@@ -1,0 +1,112 @@
+//! Seabed reflection model.
+//!
+//! Rayleigh reflection coefficient at a fluid-fluid interface between
+//! water and a sediment half-space, as a function of grazing angle.
+//! Below the critical angle reflection is near-total; above it energy
+//! leaks into the bottom — the dominant loss mechanism in shelf
+//! propagation (the Monterey Bay setting of the paper).
+
+/// Sediment half-space parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Seabed {
+    /// Sediment sound speed (m/s).
+    pub c_sediment: f64,
+    /// Sediment/water density ratio.
+    pub density_ratio: f64,
+    /// Sediment attenuation folded into an imaginary-part proxy
+    /// (dB per wavelength, applied as extra loss per bounce).
+    pub attenuation_db_lambda: f64,
+}
+
+impl Seabed {
+    /// Sandy shelf bottom (fast, reflective).
+    pub fn sand() -> Seabed {
+        Seabed { c_sediment: 1650.0, density_ratio: 1.9, attenuation_db_lambda: 0.8 }
+    }
+
+    /// Silty/muddy bottom (slow, lossy).
+    pub fn silt() -> Seabed {
+        Seabed { c_sediment: 1520.0, density_ratio: 1.4, attenuation_db_lambda: 1.0 }
+    }
+
+    /// Perfectly reflecting bottom (testing).
+    pub fn perfect() -> Seabed {
+        Seabed { c_sediment: f64::INFINITY, density_ratio: f64::INFINITY, attenuation_db_lambda: 0.0 }
+    }
+
+    /// Power reflection coefficient `|R|²` for a ray hitting the bottom
+    /// with grazing angle `theta` (radians) in water of sound speed `c_w`.
+    pub fn power_reflection(&self, theta: f64, c_w: f64) -> f64 {
+        if !self.c_sediment.is_finite() {
+            return 1.0;
+        }
+        let theta = theta.abs().max(1e-6);
+        // Rayleigh: R = (m sinθ - n') / (m sinθ + n'),
+        // m = ρ2/ρ1, n = c1/c2, n'² = n² - cos²θ (may be negative ⇒ total
+        // internal reflection below the critical angle).
+        let m = self.density_ratio;
+        let n = c_w / self.c_sediment;
+        let cos2 = theta.cos().powi(2);
+        let n2 = n * n - cos2;
+        let r2 = if n2 <= 0.0 {
+            // Total reflection (evanescent transmission).
+            1.0
+        } else {
+            let np = n2.sqrt();
+            let r = (m * theta.sin() - np) / (m * theta.sin() + np);
+            r * r
+        };
+        // Extra per-bounce loss from sediment absorption, scaled by how
+        // steeply the ray probes the bottom.
+        let extra_db = self.attenuation_db_lambda * theta.sin().abs();
+        r2 * 10f64.powf(-extra_db / 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_bottom_lossless() {
+        let b = Seabed::perfect();
+        assert_eq!(b.power_reflection(0.5, 1500.0), 1.0);
+        assert_eq!(b.power_reflection(1.5, 1500.0), 1.0);
+    }
+
+    #[test]
+    fn shallow_grazing_reflects_more() {
+        let b = Seabed::sand();
+        let shallow = b.power_reflection(0.05, 1500.0);
+        let steep = b.power_reflection(1.2, 1500.0);
+        assert!(shallow > steep, "{shallow} vs {steep}");
+    }
+
+    #[test]
+    fn below_critical_angle_total() {
+        let b = Seabed::sand();
+        // Critical grazing angle: cosθc = c_w/c_sed → θc ≈ 24.6° for 1500/1650.
+        let theta_c = (1500.0f64 / 1650.0).acos();
+        let r = b.power_reflection(theta_c * 0.5, 1500.0);
+        // Only the absorption proxy reduces it below 1.
+        assert!(r > 0.9, "r = {r}");
+    }
+
+    #[test]
+    fn reflection_coefficient_bounded() {
+        for b in [Seabed::sand(), Seabed::silt()] {
+            for q in 1..30 {
+                let theta = q as f64 * 0.05;
+                let r = b.power_reflection(theta, 1500.0);
+                assert!((0.0..=1.0).contains(&r), "r({theta}) = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn silt_lossier_than_sand_at_steep_angles() {
+        let sand = Seabed::sand().power_reflection(0.8, 1500.0);
+        let silt = Seabed::silt().power_reflection(0.8, 1500.0);
+        assert!(silt < sand, "silt {silt} should lose more than sand {sand}");
+    }
+}

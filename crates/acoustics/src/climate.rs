@@ -1,0 +1,283 @@
+//! The "acoustic climate": TL for a sweep of sources, frequencies and
+//! sections.
+//!
+//! Paper §2.2: "With enough compute power one can compute the whole
+//! 'acoustic climate' in a three-dimensional region, providing TL for
+//! any source and receiver locations in the region as a function of time
+//! and frequency, by running multiple independent tasks for different
+//! sources/frequencies/slices at different times." Each task in the
+//! sweep is exactly one [`ClimateTask`]; the MTC layer schedules them
+//! (the paper ran 6000+ such jobs of ~3 minutes each).
+
+use crate::ssp::SoundSpeedSection;
+use crate::tl::{TlField, TlSolver};
+use esse_ocean::{Grid, OceanState};
+
+/// One independent acoustic task: a section, a source depth and a
+/// frequency.
+#[derive(Debug, Clone)]
+pub struct ClimateTask {
+    /// Index of the section in the sweep.
+    pub section_idx: usize,
+    /// Transect endpoints as grid cells.
+    pub endpoints: ((usize, usize), (usize, usize)),
+    /// Source depth (m).
+    pub source_depth: f64,
+    /// Frequency (kHz).
+    pub f_khz: f64,
+}
+
+/// The full sweep definition.
+#[derive(Debug, Clone)]
+pub struct ClimateSweep {
+    /// Transects (grid-cell endpoint pairs).
+    pub sections: Vec<((usize, usize), (usize, usize))>,
+    /// Source depths (m).
+    pub source_depths: Vec<f64>,
+    /// Frequencies (kHz).
+    pub freqs_khz: Vec<f64>,
+}
+
+impl ClimateSweep {
+    /// Enumerate every task in the sweep (sections × depths × freqs).
+    pub fn tasks(&self) -> Vec<ClimateTask> {
+        let mut out = Vec::with_capacity(
+            self.sections.len() * self.source_depths.len() * self.freqs_khz.len(),
+        );
+        for (si, &endpoints) in self.sections.iter().enumerate() {
+            for &sd in &self.source_depths {
+                for &f in &self.freqs_khz {
+                    out.push(ClimateTask { section_idx: si, endpoints, source_depth: sd, f_khz: f });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.sections.len() * self.source_depths.len() * self.freqs_khz.len()
+    }
+
+    /// True when the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A fan of zonal sections across a grid, at `n_sections` latitudes,
+    /// from near the western edge to near the coast.
+    pub fn zonal_fan(grid: &Grid, n_sections: usize, source_depths: Vec<f64>, freqs_khz: Vec<f64>) -> ClimateSweep {
+        let mut sections = Vec::with_capacity(n_sections);
+        for q in 0..n_sections {
+            let j = (grid.ny * (q + 1)) / (n_sections + 1);
+            // End at the last wet cell of the row.
+            let mut last_wet = 1;
+            for i in 0..grid.nx {
+                if grid.is_wet(i, j) {
+                    last_wet = i;
+                }
+            }
+            sections.push(((1, j), (last_wet.max(2), j)));
+        }
+        ClimateSweep { sections, source_depths, freqs_khz }
+    }
+}
+
+/// Execute one climate task against an ocean state.
+///
+/// Returns `None` when the section cannot be built (land path).
+pub fn run_task(
+    grid: &Grid,
+    state: &OceanState,
+    task: &ClimateTask,
+    solver: &TlSolver,
+) -> Option<TlField> {
+    let sec = SoundSpeedSection::from_ocean(grid, state, task.endpoints.0, task.endpoints.1)?;
+    let max_range = sec.max_range();
+    let max_depth = sec
+        .profiles
+        .iter()
+        .map(|p| p.water_depth)
+        .fold(0.0_f64, f64::max)
+        .max(10.0);
+    Some(solver.solve(&sec, task.source_depth, task.f_khz, max_range, max_depth))
+}
+
+/// A computed acoustic climate: TL fields indexed by
+/// (section, source depth, frequency), queryable for any
+/// source/receiver/frequency combination (§2.2's product).
+#[derive(Debug, Clone, Default)]
+pub struct ClimateStore {
+    entries: Vec<(ClimateTask, TlField)>,
+}
+
+impl ClimateStore {
+    /// Empty store.
+    pub fn new() -> ClimateStore {
+        ClimateStore { entries: Vec::new() }
+    }
+
+    /// Insert one completed task's field.
+    pub fn insert(&mut self, task: ClimateTask, field: TlField) {
+        self.entries.push((task, field));
+    }
+
+    /// Number of stored fields.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Execute every task of a sweep against one ocean state and store
+    /// the results (tasks over land paths are skipped). Returns how many
+    /// tasks produced fields.
+    pub fn compute_sweep(
+        &mut self,
+        grid: &Grid,
+        state: &OceanState,
+        sweep: &ClimateSweep,
+        solver: &TlSolver,
+    ) -> usize {
+        let mut done = 0;
+        for task in sweep.tasks() {
+            if let Some(field) = run_task(grid, state, &task, solver) {
+                self.insert(task, field);
+                done += 1;
+            }
+        }
+        done
+    }
+
+    /// TL at `(range, depth)` for the stored entry nearest in
+    /// (section, source depth) and *interpolated in frequency* between
+    /// the two bracketing stored frequencies (intensity-domain blend).
+    pub fn query(
+        &self,
+        section_idx: usize,
+        source_depth: f64,
+        f_khz: f64,
+        range: f64,
+        depth: f64,
+    ) -> Option<f64> {
+        // Candidates on the requested section at the nearest source depth.
+        let on_section: Vec<&(ClimateTask, TlField)> = self
+            .entries
+            .iter()
+            .filter(|(t, _)| t.section_idx == section_idx)
+            .collect();
+        if on_section.is_empty() {
+            return None;
+        }
+        let best_depth = on_section
+            .iter()
+            .map(|(t, _)| t.source_depth)
+            .fold(f64::INFINITY, |b, d| {
+                if (d - source_depth).abs() < (b - source_depth).abs() {
+                    d
+                } else {
+                    b
+                }
+            });
+        let at_depth: Vec<&&(ClimateTask, TlField)> = on_section
+            .iter()
+            .filter(|(t, _)| t.source_depth == best_depth)
+            .collect();
+        // Bracket in frequency.
+        let mut below: Option<&&(ClimateTask, TlField)> = None;
+        let mut above: Option<&&(ClimateTask, TlField)> = None;
+        for e in &at_depth {
+            let f = e.0.f_khz;
+            if f <= f_khz && below.map_or(true, |b| f > b.0.f_khz) {
+                below = Some(e);
+            }
+            if f >= f_khz && above.map_or(true, |a| f < a.0.f_khz) {
+                above = Some(e);
+            }
+        }
+        let tl_of = |e: &&&(ClimateTask, TlField)| e.1.at_range_depth(range, depth);
+        match (below, above) {
+            (Some(b), Some(a)) if (a.0.f_khz - b.0.f_khz).abs() > 1e-12 => {
+                let w = (f_khz - b.0.f_khz) / (a.0.f_khz - b.0.f_khz);
+                let (tb, ta) = (tl_of(&b), tl_of(&a));
+                if tb.is_finite() && ta.is_finite() {
+                    // Blend intensities, not dB.
+                    let ib = 10f64.powf(-tb / 10.0);
+                    let ia = 10f64.powf(-ta / 10.0);
+                    Some(-10.0 * ((1.0 - w) * ib + w * ia).log10())
+                } else {
+                    Some(if w < 0.5 { tb } else { ta })
+                }
+            }
+            (Some(b), _) => Some(tl_of(&b)),
+            (_, Some(a)) => Some(tl_of(&a)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esse_ocean::scenario;
+
+    #[test]
+    fn sweep_enumerates_cartesian_product() {
+        let sweep = ClimateSweep {
+            sections: vec![((0, 0), (5, 0)), ((0, 1), (5, 1))],
+            source_depths: vec![10.0, 50.0, 100.0],
+            freqs_khz: vec![0.5, 1.0],
+        };
+        assert_eq!(sweep.len(), 12);
+        let tasks = sweep.tasks();
+        assert_eq!(tasks.len(), 12);
+        assert_eq!(tasks[0].section_idx, 0);
+        assert_eq!(tasks[11].section_idx, 1);
+    }
+
+    #[test]
+    fn zonal_fan_sections_are_wet() {
+        let (model, _st) = scenario::monterey(24, 24, 4);
+        let sweep = ClimateSweep::zonal_fan(&model.grid, 4, vec![20.0], vec![0.5]);
+        assert_eq!(sweep.sections.len(), 4);
+        for &((i0, j0), (i1, _)) in &sweep.sections {
+            assert!(model.grid.is_wet(i0, j0));
+            assert!(i1 > i0);
+        }
+    }
+
+    #[test]
+    fn climate_store_queries_and_interpolates() {
+        let (model, st) = scenario::monterey(20, 20, 4);
+        let sweep = ClimateSweep::zonal_fan(&model.grid, 2, vec![30.0], vec![0.4, 1.6]);
+        let solver = TlSolver { n_rays: 61, nr: 30, nz: 15, ..Default::default() };
+        let mut store = ClimateStore::new();
+        let done = store.compute_sweep(&model.grid, &st, &sweep, &solver);
+        assert_eq!(done, store.len());
+        assert!(done >= 2, "sweep should produce fields");
+        // Query at a stored frequency and between frequencies.
+        let at_low = store.query(0, 30.0, 0.4, 20_000.0, 50.0);
+        let mid = store.query(0, 30.0, 1.0, 20_000.0, 50.0);
+        let at_high = store.query(0, 30.0, 1.6, 20_000.0, 50.0);
+        let (l, m, h) = (at_low.unwrap(), mid.unwrap(), at_high.unwrap());
+        assert!(l.is_finite() && m.is_finite() && h.is_finite());
+        // Interpolated TL lies within [min, max] of the bracketing values.
+        assert!(m >= l.min(h) - 1e-9 && m <= l.max(h) + 1e-9, "{l} {m} {h}");
+        // Unknown section: None.
+        assert!(store.query(99, 30.0, 0.4, 1000.0, 10.0).is_none());
+    }
+
+    #[test]
+    fn run_task_produces_field() {
+        let (model, st) = scenario::monterey(24, 24, 5);
+        let sweep = ClimateSweep::zonal_fan(&model.grid, 2, vec![30.0], vec![0.8]);
+        let solver = TlSolver { n_rays: 61, nr: 40, nz: 20, ..Default::default() };
+        let task = &sweep.tasks()[0];
+        let tl = run_task(&model.grid, &st, task, &solver).expect("wet section");
+        assert!(tl.mean_finite().is_finite());
+        assert!(tl.mean_finite() > 20.0, "mean TL {}", tl.mean_finite());
+    }
+}

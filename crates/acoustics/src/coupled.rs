@@ -1,0 +1,387 @@
+//! Coupled physical-acoustical uncertainty.
+//!
+//! Paper §2.2: "ESSE ocean physics uncertainties are transferred to
+//! acoustical uncertainties along such a section. Time is fixed and an
+//! acoustic broadband transmission loss (TL) field is computed for each
+//! ocean realization... The coupled physical-acoustical covariance P for
+//! the section is computed and non-dimensionalized. Its dominant
+//! eigenvectors (uncertainty modes) can be used for coupled
+//! physical-acoustical assimilation."
+
+use crate::ssp::SoundSpeedSection;
+use crate::tl::{TlField, TlSolver};
+use esse_linalg::{stats, Matrix, Svd};
+use esse_ocean::{Grid, OceanState};
+
+/// TL cap (dB) applied before statistics so that shadow zones (no ray
+/// energy) do not produce infinities.
+pub const TL_CAP_DB: f64 = 120.0;
+
+/// Ensemble of TL fields produced from an ensemble of ocean states along
+/// one section.
+#[derive(Debug, Clone)]
+pub struct TlEnsemble {
+    /// Field geometry of every member.
+    pub nr: usize,
+    /// Depth bins.
+    pub nz: usize,
+    /// Members as columns (`nr·nz × N`), capped at [`TL_CAP_DB`].
+    pub members: Matrix,
+}
+
+impl TlEnsemble {
+    /// Compute TL for every ocean realization along a fixed transect.
+    ///
+    /// Members whose section cannot be built are skipped (paper §4:
+    /// individual members are not significant).
+    pub fn from_ocean_ensemble(
+        grid: &Grid,
+        states: &[OceanState],
+        endpoints: ((usize, usize), (usize, usize)),
+        source_depth: f64,
+        freqs_khz: &[f64],
+        solver: &TlSolver,
+    ) -> Option<TlEnsemble> {
+        let mut members = Matrix::zeros(0, 0);
+        let mut nr = 0;
+        let mut nz = 0;
+        for st in states {
+            let Some(sec) = SoundSpeedSection::from_ocean(grid, st, endpoints.0, endpoints.1)
+            else {
+                continue;
+            };
+            let max_range = sec.max_range();
+            let max_depth = sec
+                .profiles
+                .iter()
+                .map(|p| p.water_depth)
+                .fold(0.0_f64, f64::max)
+                .max(10.0);
+            let tl = solver.solve_broadband(&sec, source_depth, freqs_khz, max_range, max_depth);
+            nr = tl.nr;
+            nz = tl.nz;
+            members
+                .push_col(&tl.to_vec_capped(TL_CAP_DB))
+                .expect("consistent TL geometry across members");
+        }
+        if members.cols() < 2 {
+            return None;
+        }
+        Some(TlEnsemble { nr, nz, members })
+    }
+
+    /// Ensemble mean TL field.
+    pub fn mean(&self) -> TlField {
+        let mu = stats::col_mean(&self.members);
+        TlField { nr: self.nr, nz: self.nz, dr: 0.0, dz: 0.0, tl_db: mu }
+    }
+
+    /// Ensemble standard deviation per bin (the acoustic uncertainty map).
+    pub fn std(&self) -> Vec<f64> {
+        stats::row_std(&self.members)
+    }
+}
+
+/// The non-dimensionalized coupled covariance of `[c_section; TL]` and
+/// its dominant modes.
+#[derive(Debug, Clone)]
+pub struct CoupledModes {
+    /// Number of physical (sound-speed) components in the stacked vector.
+    pub n_physical: usize,
+    /// Number of acoustic (TL) components.
+    pub n_acoustic: usize,
+    /// Singular values of the normalized joint spread (descending).
+    pub singular_values: Vec<f64>,
+    /// Dominant joint modes as columns (`(n_physical+n_acoustic) × k`).
+    pub modes: Matrix,
+    /// Normalization scale of the physical block (its mean ensemble std).
+    pub phys_scale: f64,
+    /// Normalization scale of the acoustic block.
+    pub ac_scale: f64,
+    /// Ensemble mean of the physical block.
+    pub phys_mean: Vec<f64>,
+    /// Ensemble mean of the acoustic block.
+    pub ac_mean: Vec<f64>,
+}
+
+/// Build the coupled physical-acoustical modes from matched ensembles of
+/// sound-speed sections (flattened, columns) and TL fields (columns).
+///
+/// Each block is normalized by its own ensemble-mean standard deviation
+/// (the paper's non-dimensionalization) so that °C-scale and dB-scale
+/// variances contribute comparably; the dominant eigenvectors of the
+/// joint covariance are then the leading singular vectors of the stacked
+/// normalized spread matrix.
+pub fn coupled_modes(physical: &Matrix, acoustic: &Matrix, k: usize) -> CoupledModes {
+    assert_eq!(physical.cols(), acoustic.cols(), "matched ensembles required");
+    let n = physical.cols();
+    assert!(n >= 2, "need at least two members");
+    let norm_block = |m: &Matrix| -> (Matrix, f64) {
+        let mu = stats::col_mean(m);
+        let spread = stats::spread_matrix(m, &mu);
+        // Mean std over the block, used as the scale.
+        let stds = stats::row_std(m);
+        let scale = (stds.iter().sum::<f64>() / stds.len().max(1) as f64).max(1e-12);
+        (spread.scaled(1.0 / scale), scale)
+    };
+    let (phys_n, phys_scale) = norm_block(physical);
+    let (ac_n, ac_scale) = norm_block(acoustic);
+    let phys_mean = stats::col_mean(physical);
+    let ac_mean = stats::col_mean(acoustic);
+    // Stack the blocks.
+    let np = phys_n.rows();
+    let na = ac_n.rows();
+    let mut joint = Matrix::zeros(np + na, n);
+    for j in 0..n {
+        joint.col_mut(j)[..np].copy_from_slice(phys_n.col(j));
+        joint.col_mut(j)[np..].copy_from_slice(ac_n.col(j));
+    }
+    let svd = Svd::compute(&joint).expect("joint spread SVD");
+    let k = k.min(svd.s.len());
+    CoupledModes {
+        n_physical: np,
+        n_acoustic: na,
+        singular_values: svd.s[..k].to_vec(),
+        modes: svd.u.take_cols(k),
+        phys_scale,
+        ac_scale,
+        phys_mean,
+        ac_mean,
+    }
+}
+
+/// One observation for the coupled analysis: an index into either block,
+/// a value in *physical units* (m/s for sound speed, dB for TL), and its
+/// error variance (same units squared).
+#[derive(Debug, Clone, Copy)]
+pub enum CoupledObs {
+    /// Hydrographic: observe physical component `idx`.
+    Physical {
+        /// Index into the physical block.
+        idx: usize,
+        /// Observed value.
+        value: f64,
+        /// Error variance.
+        variance: f64,
+    },
+    /// Acoustic: observe TL bin `idx`.
+    Acoustic {
+        /// Index into the acoustic (TL) block.
+        idx: usize,
+        /// Observed value (dB).
+        value: f64,
+        /// Error variance (dB²).
+        variance: f64,
+    },
+}
+
+/// Result of the coupled physical-acoustical analysis.
+#[derive(Debug, Clone)]
+pub struct CoupledAnalysis {
+    /// Posterior physical block (physical units).
+    pub physical: Vec<f64>,
+    /// Posterior acoustic block (dB).
+    pub acoustic: Vec<f64>,
+    /// Observation-space RMS misfit before/after (normalized units).
+    pub prior_misfit: f64,
+    /// Posterior misfit.
+    pub posterior_misfit: f64,
+}
+
+/// Coupled assimilation (paper §2.2): update the joint
+/// `[sound-speed section; TL field]` state from hydrographic and/or TL
+/// observations through the dominant coupled modes. Observing TL
+/// corrects the *ocean* (and vice versa) because the modes tie the two
+/// blocks together.
+pub fn assimilate_coupled(
+    modes: &CoupledModes,
+    observations: &[CoupledObs],
+) -> Result<CoupledAnalysis, esse_core::EsseError> {
+    use esse_core::obs::{ObsKind, ObsSet, Observation};
+    use esse_core::subspace::ErrorSubspace;
+    let np = modes.n_physical;
+    // Joint anomaly state (normalized units): forecast anomaly is zero
+    // (the ensemble mean is the forecast).
+    let n = np + modes.n_acoustic;
+    let forecast = vec![0.0; n];
+    let subspace = ErrorSubspace {
+        modes: modes.modes.clone(),
+        variances: modes.singular_values.iter().map(|s| s * s).collect(),
+    };
+    let mut set = ObsSet::new();
+    for o in observations {
+        let (joint_idx, value_n, var_n, kind) = match *o {
+            CoupledObs::Physical { idx, value, variance } => (
+                idx,
+                (value - modes.phys_mean[idx]) / modes.phys_scale,
+                variance / (modes.phys_scale * modes.phys_scale),
+                ObsKind::Ctd,
+            ),
+            CoupledObs::Acoustic { idx, value, variance } => (
+                np + idx,
+                (value - modes.ac_mean[idx]) / modes.ac_scale,
+                variance / (modes.ac_scale * modes.ac_scale),
+                ObsKind::Point,
+            ),
+        };
+        set.obs.push(Observation::point(joint_idx, value_n, var_n.max(1e-12), kind));
+    }
+    let an = esse_core::assimilate::assimilate(&forecast, &subspace, &set)?;
+    // Denormalize back to physical units.
+    let physical = an.state[..np]
+        .iter()
+        .zip(modes.phys_mean.iter())
+        .map(|(a, m)| m + a * modes.phys_scale)
+        .collect();
+    let acoustic = an.state[np..]
+        .iter()
+        .zip(modes.ac_mean.iter())
+        .map(|(a, m)| m + a * modes.ac_scale)
+        .collect();
+    Ok(CoupledAnalysis {
+        physical,
+        acoustic,
+        prior_misfit: an.prior_misfit,
+        posterior_misfit: an.posterior_misfit,
+    })
+}
+
+impl CoupledModes {
+    /// Fraction of joint variance captured by the retained modes
+    /// relative to the ensemble's total (requires all σ; here relative to
+    /// the retained set — 1.0 when `k` covered everything).
+    pub fn retained_energy(&self) -> f64 {
+        self.singular_values.iter().map(|s| s * s).sum()
+    }
+
+    /// Split one joint mode into its (physical, acoustic) parts.
+    pub fn split_mode(&self, idx: usize) -> (Vec<f64>, Vec<f64>) {
+        let col = self.modes.col(idx);
+        (col[..self.n_physical].to_vec(), col[self.n_physical..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coupled_modes_pick_up_correlated_variability() {
+        // Synthetic matched ensemble: physical variable drives the
+        // acoustic one (a = 2 p + noise), 12 members, 3 phys + 4 acoustic
+        // components.
+        let n = 12;
+        let mut phys = Matrix::zeros(3, n);
+        let mut ac = Matrix::zeros(4, n);
+        for j in 0..n {
+            let p = (j as f64 * 0.7).sin();
+            for i in 0..3 {
+                phys.set(i, j, p * (1.0 + i as f64 * 0.1));
+            }
+            for i in 0..4 {
+                ac.set(i, j, 2.0 * p + 0.01 * ((i * j) as f64).cos());
+            }
+        }
+        let modes = coupled_modes(&phys, &ac, 3);
+        assert_eq!(modes.n_physical, 3);
+        assert_eq!(modes.n_acoustic, 4);
+        // Leading mode dominates (rank ~1 signal).
+        assert!(modes.singular_values[0] > 5.0 * modes.singular_values[1].max(1e-12));
+        // The leading mode has weight in BOTH blocks.
+        let (p0, a0) = modes.split_mode(0);
+        let pn: f64 = p0.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let an: f64 = a0.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(pn > 0.1 && an > 0.1, "phys {pn}, acoustic {an}");
+    }
+
+    #[test]
+    fn mode_vectors_are_orthonormal() {
+        let n = 8;
+        let phys = Matrix::from_fn(5, n, |i, j| ((i * 3 + j * 5) as f64).sin());
+        let ac = Matrix::from_fn(6, n, |i, j| ((i * 7 + j * 2) as f64).cos());
+        let modes = coupled_modes(&phys, &ac, 4);
+        let g = modes.modes.gram();
+        for i in 0..modes.modes.cols() {
+            for j in 0..modes.modes.cols() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((g.get(i, j) - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Matched synthetic ensembles where acoustic = 2·physical.
+    fn correlated_ensembles() -> (Matrix, Matrix) {
+        let n = 16;
+        let mut phys = Matrix::zeros(3, n);
+        let mut ac = Matrix::zeros(4, n);
+        for j in 0..n {
+            let p = (j as f64 * 0.7).sin();
+            for i in 0..3 {
+                phys.set(i, j, 10.0 + p * (1.0 + i as f64 * 0.1));
+            }
+            for i in 0..4 {
+                ac.set(i, j, 60.0 + 2.0 * p + 0.01 * ((i * j) as f64).cos());
+            }
+        }
+        (phys, ac)
+    }
+
+    #[test]
+    fn tl_observation_corrects_the_ocean() {
+        // The whole point of coupled DA: observing TL moves the physical
+        // estimate in the correlated direction.
+        let (phys, ac) = correlated_ensembles();
+        let modes = coupled_modes(&phys, &ac, 3);
+        let prior_phys = modes.phys_mean.clone();
+        // Observe TL bin 0 well above its mean (⇒ physical driver p > 0
+        // ⇒ physical block should move up too).
+        let obs = [CoupledObs::Acoustic { idx: 0, value: modes.ac_mean[0] + 1.5, variance: 0.01 }];
+        let an = assimilate_coupled(&modes, &obs).unwrap();
+        assert!(an.posterior_misfit < an.prior_misfit);
+        assert!(
+            an.physical[0] > prior_phys[0] + 0.1,
+            "physical must respond to the TL datum: {} vs prior {}",
+            an.physical[0],
+            prior_phys[0]
+        );
+        // And the acoustic estimate moved toward the observation.
+        assert!(an.acoustic[0] > modes.ac_mean[0] + 0.5);
+    }
+
+    #[test]
+    fn hydrographic_observation_corrects_the_acoustics() {
+        let (phys, ac) = correlated_ensembles();
+        let modes = coupled_modes(&phys, &ac, 3);
+        let obs = [CoupledObs::Physical { idx: 1, value: modes.phys_mean[1] - 0.8, variance: 0.001 }];
+        let an = assimilate_coupled(&modes, &obs).unwrap();
+        // Acoustic block moves down with the physical datum (positive
+        // correlation in the synthetic ensemble).
+        assert!(
+            an.acoustic[2] < modes.ac_mean[2] - 0.2,
+            "TL must respond to the hydrographic datum: {} vs mean {}",
+            an.acoustic[2],
+            modes.ac_mean[2]
+        );
+    }
+
+    #[test]
+    fn no_observations_is_identity() {
+        let (phys, ac) = correlated_ensembles();
+        let modes = coupled_modes(&phys, &ac, 3);
+        let an = assimilate_coupled(&modes, &[]).unwrap();
+        for (a, m) in an.physical.iter().zip(modes.phys_mean.iter()) {
+            assert!((a - m).abs() < 1e-12);
+        }
+        for (a, m) in an.acoustic.iter().zip(modes.ac_mean.iter()) {
+            assert!((a - m).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matched ensembles")]
+    fn mismatched_ensembles_panic() {
+        let phys = Matrix::zeros(3, 5);
+        let ac = Matrix::zeros(3, 6);
+        coupled_modes(&phys, &ac, 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Eigenray search: rays connecting a source to a specific receiver.
+//!
+//! The "acoustic climate" answers TL for *any* source/receiver pair;
+//! for a specific sonar geometry one also wants the eigenrays — the
+//! discrete ray paths that arrive at the receiver — with their travel
+//! times and losses (arrival structure). Found by scanning the launch-
+//! angle fan for sign changes of the depth miss at the receiver range
+//! and refining each bracket by bisection.
+
+use crate::ray::{Ray, RayTracer};
+use crate::ssp::SoundSpeedSection;
+
+/// One eigenray arrival.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Launch angle (radians from horizontal, positive down).
+    pub theta0: f64,
+    /// Travel time to the receiver (s).
+    pub travel_time_s: f64,
+    /// Cumulative boundary power loss (0..1].
+    pub boundary_loss: f64,
+    /// Surface/bottom bounce counts.
+    pub bounces: (usize, usize),
+    /// Residual depth miss at the receiver range (m).
+    pub miss_m: f64,
+}
+
+/// Depth at `range` along a traced ray, together with travel time
+/// (integrating ds/c) — `None` if the ray dies before reaching `range`.
+fn depth_and_time_at(ray: &Ray, section: &SoundSpeedSection, range: f64) -> Option<(f64, f64)> {
+    let mut time = 0.0;
+    for w in ray.path.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let c_here = section.at(a.r, a.z.max(0.0)).max(1.0);
+        let ds = b.s - a.s;
+        if b.r >= range {
+            // Interpolate within the segment.
+            let f = if (b.r - a.r).abs() > 1e-12 { (range - a.r) / (b.r - a.r) } else { 0.0 };
+            let z = a.z + f * (b.z - a.z);
+            let t = time + f * ds / c_here;
+            return Some((z, t));
+        }
+        time += ds / c_here;
+    }
+    None
+}
+
+/// Find eigenrays from `(0, source_depth)` to `(range, receiver_depth)`.
+///
+/// Scans `n_scan` launch angles over `[-aperture, aperture]`, brackets
+/// sign changes of the depth miss, and bisects each bracket `iters`
+/// times. Multipath geometries return several arrivals.
+pub fn find_eigenrays(
+    tracer: &RayTracer,
+    section: &SoundSpeedSection,
+    source_depth: f64,
+    receiver_depth: f64,
+    range: f64,
+    aperture: f64,
+    n_scan: usize,
+    iters: usize,
+) -> Vec<Arrival> {
+    let miss = |theta: f64| -> Option<(f64, Ray)> {
+        let ray = tracer.trace(section, source_depth, theta, range * 1.05);
+        depth_and_time_at(&ray, section, range).map(|(z, _)| (z - receiver_depth, ray))
+    };
+    let n_scan = n_scan.max(3);
+    let thetas: Vec<f64> = (0..n_scan)
+        .map(|q| -aperture + 2.0 * aperture * q as f64 / (n_scan - 1) as f64)
+        .collect();
+    let misses: Vec<Option<f64>> = thetas.iter().map(|&t| miss(t).map(|(m, _)| m)).collect();
+    let mut arrivals = Vec::new();
+    for q in 1..n_scan {
+        let (Some(m0), Some(m1)) = (misses[q - 1], misses[q]) else {
+            continue;
+        };
+        if m0 == 0.0 || m0.signum() == m1.signum() {
+            continue;
+        }
+        // Bisection on the bracket.
+        let (mut lo, mut hi) = (thetas[q - 1], thetas[q]);
+        let mut mlo = m0;
+        for _ in 0..iters {
+            let mid = 0.5 * (lo + hi);
+            match miss(mid) {
+                Some((mm, _)) => {
+                    if mm.signum() == mlo.signum() {
+                        lo = mid;
+                        mlo = mm;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                None => break,
+            }
+        }
+        let theta = 0.5 * (lo + hi);
+        if let Some((m, ray)) = miss(theta) {
+            if let Some((_, t)) = depth_and_time_at(&ray, section, range) {
+                let loss = ray
+                    .path
+                    .iter()
+                    .find(|p| p.r >= range)
+                    .map(|p| p.boundary_loss)
+                    .unwrap_or_else(|| ray.path.last().map(|p| p.boundary_loss).unwrap_or(1.0));
+                arrivals.push(Arrival {
+                    theta0: theta,
+                    travel_time_s: t,
+                    boundary_loss: loss,
+                    bounces: (ray.surface_bounces, ray.bottom_bounces),
+                    miss_m: m,
+                });
+            }
+        }
+    }
+    arrivals.sort_by(|a, b| a.travel_time_s.partial_cmp(&b.travel_time_s).unwrap());
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottom::Seabed;
+    use crate::ssp::SoundSpeedProfile;
+
+    fn uniform(depth: f64, range: f64) -> SoundSpeedSection {
+        SoundSpeedSection::range_independent(SoundSpeedProfile::uniform(1500.0, depth), range)
+    }
+
+    #[test]
+    fn direct_path_in_free_space() {
+        // Deep water, source and receiver at the same depth: the direct
+        // path is horizontal, travel time = range / c.
+        let sec = uniform(50_000.0, 12_000.0);
+        let tracer = RayTracer { seabed: Seabed::perfect(), ..Default::default() };
+        let arr = find_eigenrays(&tracer, &sec, 25_000.0, 25_000.0, 10_000.0, 0.15, 61, 25);
+        assert!(!arr.is_empty(), "direct path must exist");
+        let direct = &arr[0];
+        let expect = 10_000.0 / 1500.0;
+        assert!(
+            (direct.travel_time_s - expect).abs() < 0.05,
+            "t = {} vs {}",
+            direct.travel_time_s,
+            expect
+        );
+        assert!(direct.theta0.abs() < 0.01, "direct path is horizontal");
+        assert!(direct.miss_m.abs() < 5.0);
+    }
+
+    #[test]
+    fn waveguide_produces_multipath() {
+        // Shallow water: direct + surface/bottom-reflected arrivals.
+        let sec = uniform(150.0, 6_000.0);
+        let tracer = RayTracer { seabed: Seabed::perfect(), ds: 10.0, ..Default::default() };
+        let arr = find_eigenrays(&tracer, &sec, 50.0, 80.0, 5_000.0, 0.35, 141, 25);
+        assert!(arr.len() >= 3, "expected multipath, got {}", arr.len());
+        // Arrivals sorted by travel time; later ones bounced more.
+        for w in arr.windows(2) {
+            assert!(w[0].travel_time_s <= w[1].travel_time_s);
+        }
+        let first = &arr[0];
+        let last = arr.last().unwrap();
+        assert!(
+            last.bounces.0 + last.bounces.1 >= first.bounces.0 + first.bounces.1,
+            "later arrivals bounce at least as much"
+        );
+        // Reflected paths are longer than the geometric direct path.
+        let direct_t = (5_000.0f64.powi(2) + 30.0f64.powi(2)).sqrt() / 1500.0;
+        assert!((first.travel_time_s - direct_t).abs() < 0.05);
+        assert!(last.travel_time_s > direct_t);
+    }
+
+    #[test]
+    fn lossy_bottom_attenuates_bounced_arrivals() {
+        let sec = uniform(120.0, 6_000.0);
+        let tracer = RayTracer { seabed: Seabed::silt(), ds: 10.0, ..Default::default() };
+        let arr = find_eigenrays(&tracer, &sec, 40.0, 60.0, 5_000.0, 0.4, 141, 25);
+        assert!(!arr.is_empty());
+        for a in &arr {
+            if a.bounces.1 > 0 {
+                assert!(a.boundary_loss < 1.0, "bottom bounce must lose power");
+            }
+        }
+    }
+
+    #[test]
+    fn no_eigenrays_beyond_aperture() {
+        // Receiver far above any ray the tiny aperture can reach in deep
+        // water at short range: no arrivals.
+        let sec = uniform(50_000.0, 6_000.0);
+        let tracer = RayTracer { seabed: Seabed::perfect(), ..Default::default() };
+        let arr = find_eigenrays(&tracer, &sec, 25_000.0, 1_000.0, 5_000.0, 0.02, 21, 10);
+        assert!(arr.is_empty());
+    }
+}

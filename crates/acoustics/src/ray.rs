@@ -1,0 +1,248 @@
+//! 2-D ray tracing through a range-dependent sound-speed section.
+//!
+//! Rays are integrated in `(r, z)` with `z` positive down and the ray
+//! angle `theta` measured from horizontal (positive = downgoing).
+//! Governing equations (small range-dependence):
+//!
+//! ```text
+//! dr/ds = cos θ,   dz/ds = sin θ,
+//! dθ/ds = (−cos θ · ∂c/∂z + sin θ · ∂c/∂r) / c
+//! ```
+//!
+//! so rays refract toward lower sound speed. The surface reflects
+//! perfectly; the bottom applies the [`crate::bottom::Seabed`] power
+//! reflection per bounce. Amplitude bookkeeping (spreading, attenuation)
+//! is done by the flux method in [`crate::tl`]; here each ray tracks its
+//! cumulative path length and bounce-loss product.
+
+use crate::bottom::Seabed;
+use crate::ssp::SoundSpeedSection;
+
+/// One sample along a traced ray.
+#[derive(Debug, Clone, Copy)]
+pub struct RaySample {
+    /// Range from the source (m).
+    pub r: f64,
+    /// Depth (m, positive down).
+    pub z: f64,
+    /// Ray angle (radians from horizontal, positive down).
+    pub theta: f64,
+    /// Cumulative arc length (m).
+    pub s: f64,
+    /// Cumulative power loss factor from boundary interactions (0..1].
+    pub boundary_loss: f64,
+}
+
+/// A traced ray path.
+#[derive(Debug, Clone)]
+pub struct Ray {
+    /// Launch angle (radians from horizontal).
+    pub theta0: f64,
+    /// Samples at every integration step.
+    pub path: Vec<RaySample>,
+    /// Number of surface reflections.
+    pub surface_bounces: usize,
+    /// Number of bottom reflections.
+    pub bottom_bounces: usize,
+}
+
+/// Ray-tracing configuration.
+#[derive(Debug, Clone)]
+pub struct RayTracer {
+    /// Integration step (m of arc length).
+    pub ds: f64,
+    /// Abort a ray when its boundary loss drops below this power factor.
+    pub min_power: f64,
+    /// Seabed model.
+    pub seabed: Seabed,
+}
+
+impl Default for RayTracer {
+    fn default() -> Self {
+        RayTracer { ds: 25.0, min_power: 1e-9, seabed: Seabed::sand() }
+    }
+}
+
+impl RayTracer {
+    /// Trace one ray from `(0, source_depth)` at launch angle `theta0`
+    /// out to `max_range` through `section`.
+    pub fn trace(
+        &self,
+        section: &SoundSpeedSection,
+        source_depth: f64,
+        theta0: f64,
+        max_range: f64,
+    ) -> Ray {
+        let mut path = Vec::with_capacity((max_range / self.ds) as usize + 8);
+        let mut r = 0.0;
+        let mut z = source_depth;
+        let mut theta = theta0;
+        let mut s = 0.0;
+        let mut loss = 1.0;
+        let mut surface_bounces = 0;
+        let mut bottom_bounces = 0;
+        path.push(RaySample { r, z, theta, s, boundary_loss: loss });
+        let max_steps = (3.0 * max_range / self.ds) as usize + 16;
+        for _ in 0..max_steps {
+            if r >= max_range || loss < self.min_power {
+                break;
+            }
+            // Midpoint (RK2) integration.
+            let c1 = section.at(r, z);
+            let (dcdr1, dcdz1) = section.gradient(r, z);
+            let dth1 = (-theta.cos() * dcdz1 + theta.sin() * dcdr1) / c1;
+            let rm = r + 0.5 * self.ds * theta.cos();
+            let zm = z + 0.5 * self.ds * theta.sin();
+            let thm = theta + 0.5 * self.ds * dth1;
+            let cm = section.at(rm, zm.max(0.0));
+            let (dcdrm, dcdzm) = section.gradient(rm, zm.max(0.0));
+            let dthm = (-thm.cos() * dcdzm + thm.sin() * dcdrm) / cm;
+            r += self.ds * thm.cos();
+            z += self.ds * thm.sin();
+            theta += self.ds * dthm;
+            s += self.ds;
+            // Rays that turn around in range are terminated (steep rays
+            // in strong gradients; negligible energy at long range).
+            if theta.cos() <= 0.05 {
+                break;
+            }
+            // Surface reflection.
+            if z < 0.0 {
+                z = -z;
+                theta = -theta;
+                surface_bounces += 1;
+            }
+            // Bottom reflection with angle-dependent loss.
+            let h = section.water_depth(r.max(0.0));
+            if z > h {
+                z = 2.0 * h - z;
+                let grazing = theta.abs();
+                let cw = section.at(r.max(0.0), h);
+                loss *= self.seabed.power_reflection(grazing, cw);
+                theta = -theta;
+                bottom_bounces += 1;
+                if z < 0.0 {
+                    // Pathological very shallow water: clamp.
+                    z = 0.5 * h;
+                }
+            }
+            path.push(RaySample { r, z, theta, s, boundary_loss: loss });
+        }
+        Ray { theta0, path, surface_bounces, bottom_bounces }
+    }
+
+    /// Trace a fan of `n` rays with launch angles uniformly spaced in
+    /// `[-aperture, aperture]` (radians).
+    pub fn trace_fan(
+        &self,
+        section: &SoundSpeedSection,
+        source_depth: f64,
+        aperture: f64,
+        n: usize,
+        max_range: f64,
+    ) -> Vec<Ray> {
+        assert!(n >= 2);
+        (0..n)
+            .map(|q| {
+                let theta0 = -aperture + 2.0 * aperture * q as f64 / (n - 1) as f64;
+                self.trace(section, source_depth, theta0, max_range)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssp::SoundSpeedProfile;
+
+    fn uniform_section(depth: f64, range: f64) -> SoundSpeedSection {
+        SoundSpeedSection::range_independent(SoundSpeedProfile::uniform(1500.0, depth), range)
+    }
+
+    #[test]
+    fn straight_ray_in_uniform_medium() {
+        let sec = uniform_section(5000.0, 10_000.0);
+        let tracer = RayTracer { seabed: Seabed::perfect(), ..Default::default() };
+        let ray = tracer.trace(&sec, 1000.0, 0.0, 10_000.0);
+        let end = ray.path.last().unwrap();
+        assert!((end.z - 1000.0).abs() < 1.0, "horizontal ray stays level: {}", end.z);
+        assert_eq!(ray.surface_bounces, 0);
+        assert_eq!(ray.bottom_bounces, 0);
+    }
+
+    #[test]
+    fn angled_ray_reflects_at_boundaries() {
+        let sec = uniform_section(200.0, 20_000.0);
+        let tracer = RayTracer { seabed: Seabed::perfect(), ..Default::default() };
+        let ray = tracer.trace(&sec, 100.0, 0.1, 20_000.0);
+        assert!(ray.surface_bounces > 0);
+        assert!(ray.bottom_bounces > 0);
+        // All samples inside the waveguide.
+        for p in &ray.path {
+            assert!(p.z >= -1e-9 && p.z <= 200.0 + 1e-9, "z = {}", p.z);
+        }
+    }
+
+    #[test]
+    fn lossy_bottom_drains_energy() {
+        let sec = uniform_section(100.0, 20_000.0);
+        let tracer = RayTracer { seabed: Seabed::silt(), ..Default::default() };
+        let ray = tracer.trace(&sec, 50.0, 0.3, 20_000.0);
+        assert!(ray.bottom_bounces > 3);
+        let end = ray.path.last().unwrap();
+        assert!(end.boundary_loss < 0.9, "loss = {}", end.boundary_loss);
+        // Loss is monotonically non-increasing.
+        for w in ray.path.windows(2) {
+            assert!(w[1].boundary_loss <= w[0].boundary_loss + 1e-15);
+        }
+    }
+
+    #[test]
+    fn ray_refracts_toward_low_speed() {
+        // Speed increasing with depth (upward-refracting): a horizontal
+        // ray at mid-depth must curve upward (z decreasing).
+        let p = SoundSpeedProfile::new(vec![0.0, 1000.0], vec![1480.0, 1540.0], 1000.0);
+        let sec = SoundSpeedSection::range_independent(p, 20_000.0);
+        let tracer = RayTracer { seabed: Seabed::perfect(), ..Default::default() };
+        let ray = tracer.trace(&sec, 500.0, 0.0, 15_000.0);
+        // find z at ~5 km
+        let at5k = ray
+            .path
+            .iter()
+            .min_by(|a, b| ((a.r - 5000.0).abs()).partial_cmp(&(b.r - 5000.0).abs()).unwrap())
+            .unwrap();
+        assert!(at5k.z < 500.0, "ray should bend up, z = {}", at5k.z);
+    }
+
+    #[test]
+    fn sound_channel_traps_rays() {
+        // Minimum at 300 m: a near-axis shallow-angle ray oscillates
+        // around the axis without hitting the boundaries.
+        let p = SoundSpeedProfile::new(
+            vec![0.0, 300.0, 1500.0],
+            vec![1510.0, 1490.0, 1525.0],
+            1500.0,
+        );
+        let sec = SoundSpeedSection::range_independent(p, 40_000.0);
+        let tracer = RayTracer { seabed: Seabed::perfect(), ..Default::default() };
+        let ray = tracer.trace(&sec, 300.0, 0.04, 40_000.0);
+        assert_eq!(ray.surface_bounces, 0, "channel ray must not hit surface");
+        assert_eq!(ray.bottom_bounces, 0, "channel ray must not hit bottom");
+        // It oscillates: both above and below the axis at some point.
+        let above = ray.path.iter().any(|p| p.z < 295.0);
+        let below = ray.path.iter().any(|p| p.z > 305.0);
+        assert!(above && below);
+    }
+
+    #[test]
+    fn fan_launch_angles_cover_aperture() {
+        let sec = uniform_section(1000.0, 5_000.0);
+        let tracer = RayTracer::default();
+        let fan = tracer.trace_fan(&sec, 100.0, 0.3, 11, 5_000.0);
+        assert_eq!(fan.len(), 11);
+        assert!((fan[0].theta0 + 0.3).abs() < 1e-12);
+        assert!((fan[10].theta0 - 0.3).abs() < 1e-12);
+        assert!((fan[5].theta0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,276 @@
+//! Sound-speed profiles and range-dependent sections.
+
+use esse_ocean::eos::mackenzie_sound_speed;
+use esse_ocean::{Grid, OceanState};
+
+/// Sound speed vs depth at a single location.
+#[derive(Debug, Clone)]
+pub struct SoundSpeedProfile {
+    /// Sample depths (m, ascending).
+    pub depths: Vec<f64>,
+    /// Sound speed at each depth (m/s).
+    pub speeds: Vec<f64>,
+    /// Water depth at this location (m).
+    pub water_depth: f64,
+}
+
+impl SoundSpeedProfile {
+    /// Build from explicit samples; depths must be ascending.
+    pub fn new(depths: Vec<f64>, speeds: Vec<f64>, water_depth: f64) -> SoundSpeedProfile {
+        assert_eq!(depths.len(), speeds.len());
+        assert!(depths.windows(2).all(|w| w[0] < w[1]), "depths must ascend");
+        SoundSpeedProfile { depths, speeds, water_depth }
+    }
+
+    /// An isovelocity profile.
+    pub fn uniform(c: f64, water_depth: f64) -> SoundSpeedProfile {
+        SoundSpeedProfile {
+            depths: vec![0.0, water_depth],
+            speeds: vec![c, c],
+            water_depth,
+        }
+    }
+
+    /// Extract from an ocean model column at `(i, j)` (Mackenzie sound
+    /// speed at each sigma-level center plus a surface/bottom pad).
+    pub fn from_ocean_column(grid: &Grid, state: &OceanState, i: usize, j: usize) -> Option<SoundSpeedProfile> {
+        if !grid.is_wet(i, j) {
+            return None;
+        }
+        let h = grid.depth(i, j);
+        let mut depths = Vec::with_capacity(grid.nz + 2);
+        let mut speeds = Vec::with_capacity(grid.nz + 2);
+        // Surface sample: use the top level's T/S at z = 0.
+        let c0 = mackenzie_sound_speed(state.t.get(i, j, 0), state.s.get(i, j, 0), 0.0);
+        depths.push(0.0);
+        speeds.push(c0);
+        for k in 0..grid.nz {
+            let z = grid.level_depth(i, j, k);
+            if z <= depths[depths.len() - 1] {
+                continue;
+            }
+            let c = mackenzie_sound_speed(state.t.get(i, j, k), state.s.get(i, j, k), z);
+            depths.push(z);
+            speeds.push(c);
+        }
+        // Bottom pad at z = h.
+        if h > depths[depths.len() - 1] + 0.1 {
+            let kb = grid.nz - 1;
+            let cb = mackenzie_sound_speed(state.t.get(i, j, kb), state.s.get(i, j, kb), h);
+            depths.push(h);
+            speeds.push(cb);
+        }
+        Some(SoundSpeedProfile { depths, speeds, water_depth: h })
+    }
+
+    /// Sound speed at depth `z` (linear interpolation, clamped).
+    pub fn at(&self, z: f64) -> f64 {
+        let n = self.depths.len();
+        if z <= self.depths[0] {
+            return self.speeds[0];
+        }
+        if z >= self.depths[n - 1] {
+            return self.speeds[n - 1];
+        }
+        let mut k = 1;
+        while self.depths[k] < z {
+            k += 1;
+        }
+        let (z0, z1) = (self.depths[k - 1], self.depths[k]);
+        let w = (z - z0) / (z1 - z0).max(1e-12);
+        self.speeds[k - 1] * (1.0 - w) + self.speeds[k] * w
+    }
+
+    /// Depth of the sound-speed minimum (channel axis).
+    pub fn channel_axis(&self) -> f64 {
+        let mut best = 0;
+        for k in 1..self.speeds.len() {
+            if self.speeds[k] < self.speeds[best] {
+                best = k;
+            }
+        }
+        self.depths[best]
+    }
+}
+
+/// Range-dependent sound-speed section `c(r, z)` along a transect,
+/// stored as a list of profiles at regularly spaced ranges.
+#[derive(Debug, Clone)]
+pub struct SoundSpeedSection {
+    /// Ranges of the stored profiles (m, ascending from 0).
+    pub ranges: Vec<f64>,
+    /// One profile per range.
+    pub profiles: Vec<SoundSpeedProfile>,
+}
+
+impl SoundSpeedSection {
+    /// Range-independent section from a single profile.
+    pub fn range_independent(profile: SoundSpeedProfile, max_range: f64) -> SoundSpeedSection {
+        SoundSpeedSection {
+            ranges: vec![0.0, max_range],
+            profiles: vec![profile.clone(), profile],
+        }
+    }
+
+    /// Extract a section from an ocean state along the straight cell path
+    /// from `(i0, j0)` to `(i1, j1)` (inclusive, Bresenham-like sampling).
+    ///
+    /// Land cells along the path are skipped; returns `None` when fewer
+    /// than two wet columns are found.
+    pub fn from_ocean(
+        grid: &Grid,
+        state: &OceanState,
+        (i0, j0): (usize, usize),
+        (i1, j1): (usize, usize),
+    ) -> Option<SoundSpeedSection> {
+        let steps = ((i1 as isize - i0 as isize).abs().max((j1 as isize - j0 as isize).abs()))
+            .max(1) as usize;
+        let mut ranges = Vec::new();
+        let mut profiles = Vec::new();
+        for q in 0..=steps {
+            let f = q as f64 / steps as f64;
+            let i = (i0 as f64 + f * (i1 as f64 - i0 as f64)).round() as usize;
+            let j = (j0 as f64 + f * (j1 as f64 - j0 as f64)).round() as usize;
+            if let Some(p) = SoundSpeedProfile::from_ocean_column(grid, state, i, j) {
+                let dx = (i as f64 - i0 as f64) * grid.dx;
+                let dy = (j as f64 - j0 as f64) * grid.dy;
+                let r = (dx * dx + dy * dy).sqrt();
+                if let Some(&last) = ranges.last() {
+                    if r <= last + 1.0 {
+                        continue;
+                    }
+                }
+                ranges.push(r);
+                profiles.push(p);
+            }
+        }
+        if ranges.len() < 2 {
+            return None;
+        }
+        Some(SoundSpeedSection { ranges, profiles })
+    }
+
+    /// Maximum range of the section (m).
+    pub fn max_range(&self) -> f64 {
+        *self.ranges.last().unwrap()
+    }
+
+    /// Sound speed at `(r, z)` — linear in range between bracketing profiles.
+    pub fn at(&self, r: f64, z: f64) -> f64 {
+        let n = self.ranges.len();
+        if r <= self.ranges[0] {
+            return self.profiles[0].at(z);
+        }
+        if r >= self.ranges[n - 1] {
+            return self.profiles[n - 1].at(z);
+        }
+        let mut k = 1;
+        while self.ranges[k] < r {
+            k += 1;
+        }
+        let (r0, r1) = (self.ranges[k - 1], self.ranges[k]);
+        let w = (r - r0) / (r1 - r0).max(1e-12);
+        self.profiles[k - 1].at(z) * (1.0 - w) + self.profiles[k].at(z) * w
+    }
+
+    /// Water depth at range `r` (linear interpolation).
+    pub fn water_depth(&self, r: f64) -> f64 {
+        let n = self.ranges.len();
+        if r <= self.ranges[0] {
+            return self.profiles[0].water_depth;
+        }
+        if r >= self.ranges[n - 1] {
+            return self.profiles[n - 1].water_depth;
+        }
+        let mut k = 1;
+        while self.ranges[k] < r {
+            k += 1;
+        }
+        let (r0, r1) = (self.ranges[k - 1], self.ranges[k]);
+        let w = (r - r0) / (r1 - r0).max(1e-12);
+        self.profiles[k - 1].water_depth * (1.0 - w) + self.profiles[k].water_depth * w
+    }
+
+    /// Sound-speed derivatives (∂c/∂r, ∂c/∂z) at `(r, z)` by central
+    /// differences with steps matched to the sampling.
+    pub fn gradient(&self, r: f64, z: f64) -> (f64, f64) {
+        let dr = (self.max_range() / 200.0).max(1.0);
+        let dz = 2.0;
+        let dcdr = (self.at(r + dr, z) - self.at((r - dr).max(0.0), z))
+            / (dr + dr.min(r));
+        let dcdz = (self.at(r, z + dz) - self.at(r, (z - dz).max(0.0))) / (dz + dz.min(z));
+        (dcdr, dcdz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esse_ocean::scenario;
+
+    #[test]
+    fn uniform_profile_constant() {
+        let p = SoundSpeedProfile::uniform(1500.0, 1000.0);
+        assert_eq!(p.at(0.0), 1500.0);
+        assert_eq!(p.at(500.0), 1500.0);
+        assert_eq!(p.at(2000.0), 1500.0);
+    }
+
+    #[test]
+    fn interpolation_between_samples() {
+        let p = SoundSpeedProfile::new(vec![0.0, 100.0], vec![1500.0, 1480.0], 100.0);
+        assert!((p.at(50.0) - 1490.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_axis_at_minimum() {
+        let p = SoundSpeedProfile::new(
+            vec![0.0, 100.0, 500.0, 1000.0],
+            vec![1500.0, 1490.0, 1485.0, 1495.0],
+            1000.0,
+        );
+        assert_eq!(p.channel_axis(), 500.0);
+    }
+
+    #[test]
+    fn ocean_profile_realistic() {
+        let (model, st) = scenario::monterey(24, 24, 6);
+        let g = &model.grid;
+        let p = SoundSpeedProfile::from_ocean_column(g, &st, 2, 12).unwrap();
+        assert!(p.water_depth > 400.0);
+        // Realistic range and a monotone depth grid.
+        for &c in &p.speeds {
+            assert!((1430.0..1550.0).contains(&c), "c = {c}");
+        }
+        assert!(p.depths.windows(2).all(|w| w[0] < w[1]));
+        // Warm surface over cold thermocline: speed drops below the surface.
+        assert!(p.at(150.0) < p.at(0.0));
+    }
+
+    #[test]
+    fn land_column_gives_none() {
+        let (model, st) = scenario::monterey(24, 24, 4);
+        let g = &model.grid;
+        assert!(SoundSpeedProfile::from_ocean_column(g, &st, g.nx - 1, g.ny / 2).is_none());
+    }
+
+    #[test]
+    fn section_from_ocean_spans_range() {
+        let (model, st) = scenario::monterey(24, 24, 4);
+        let g = &model.grid;
+        let sec = SoundSpeedSection::from_ocean(g, &st, (1, 12), (16, 12)).unwrap();
+        assert!(sec.ranges.len() >= 10);
+        assert!(sec.max_range() > 50_000.0);
+        // Interpolation is bounded by the profile values.
+        let c = sec.at(sec.max_range() / 2.0, 30.0);
+        assert!((1400.0..1600.0).contains(&c));
+    }
+
+    #[test]
+    fn range_independent_section() {
+        let p = SoundSpeedProfile::uniform(1500.0, 200.0);
+        let sec = SoundSpeedSection::range_independent(p, 10_000.0);
+        assert_eq!(sec.at(5000.0, 100.0), 1500.0);
+        assert_eq!(sec.water_depth(9999.0), 200.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Transmission-loss solve cost — one acoustic-climate task body (the
+//! paper's ~3-minute acoustics jobs, scaled down).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esse_acoustics::ssp::{SoundSpeedProfile, SoundSpeedSection};
+use esse_acoustics::tl::TlSolver;
+
+fn bench_tl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transmission_loss");
+    let profile = SoundSpeedProfile::new(
+        vec![0.0, 50.0, 150.0, 600.0],
+        vec![1505.0, 1492.0, 1486.0, 1495.0],
+        600.0,
+    );
+    let section = SoundSpeedSection::range_independent(profile, 30_000.0);
+    for n_rays in [61usize, 121, 241] {
+        let solver = TlSolver { n_rays, nr: 60, nz: 30, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("solve", n_rays), &solver, |b, solver| {
+            b.iter(|| solver.solve(&section, 40.0, 0.8, 30_000.0, 600.0))
+        });
+    }
+    let solver = TlSolver { n_rays: 121, nr: 60, nz: 30, ..Default::default() };
+    group.bench_function("broadband_3freq", |b| {
+        b.iter(|| solver.solve_broadband(&section, 40.0, &[0.4, 0.8, 1.6], 30_000.0, 600.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tl);
+criterion_main!(benches);

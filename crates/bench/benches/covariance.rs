@@ -1,0 +1,44 @@
+//! Continuous-differ stage cost: adding members to the spread
+//! accumulator and snapshotting (the paper's diff loop + safe-file copy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esse_core::covariance::SpreadAccumulator;
+use esse_linalg::random::randn_vec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_covariance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("continuous_differ");
+    let state_dim = 20_000;
+    let mut rng = StdRng::seed_from_u64(4);
+    let central = randn_vec(&mut rng, state_dim);
+    let member = randn_vec(&mut rng, state_dim);
+    group.bench_function("add_member_20k", |b| {
+        // Batched: a fresh accumulator per batch keeps memory bounded and
+        // the duplicate-id check O(small).
+        b.iter_batched_ref(
+            || SpreadAccumulator::new(central.clone()),
+            |acc| {
+                for id in 0..16 {
+                    acc.add_member(id, &member);
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    for n in [16usize, 64, 128] {
+        let mut acc = SpreadAccumulator::new(central.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        for j in 0..n {
+            let m = randn_vec(&mut rng, state_dim);
+            acc.add_member(j, &m);
+        }
+        group.bench_with_input(BenchmarkId::new("snapshot_20k", n), &acc, |b, acc| {
+            b.iter(|| acc.snapshot())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_covariance);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! PE ocean model step throughput: the per-member forecast cost that
+//! dominates the ESSE ensemble (the paper's ~25-minute pemodel runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esse_ocean::scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pemodel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pemodel");
+    for (nx, nz) in [(16usize, 4usize), (24, 5), (32, 6)] {
+        let (model, st0) = scenario::monterey(nx, nx, nz);
+        group.bench_with_input(
+            BenchmarkId::new("step", format!("{nx}x{nx}x{nz}")),
+            &(model, st0),
+            |b, (model, st0)| {
+                let mut st = st0.clone();
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| {
+                    model.step(&mut st, Some(&mut rng)).expect("stable step");
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pemodel);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! SVD scaling: the continuous-SVD stage cost as the ensemble grows —
+//! the paper's motivation for a large-memory SVD host and (future)
+//! ScaLAPACK.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esse_linalg::{random::randn_matrix, Svd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spread_svd");
+    // Tall-skinny spread matrices: state dim 4000, growing N.
+    for n in [16usize, 32, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let m = randn_matrix(&mut rng, 4000, n);
+        group.bench_with_input(BenchmarkId::new("gram_thin_svd", n), &m, |b, m| {
+            b.iter(|| Svd::gram(m).unwrap())
+        });
+    }
+    // Square-ish matrices through one-sided Jacobi.
+    for n in [16usize, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(100 + n as u64);
+        let m = randn_matrix(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::new("jacobi_svd", n), &m, |b, m| {
+            b.iter(|| Svd::jacobi(m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd);
+criterion_main!(benches);

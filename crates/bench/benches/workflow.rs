@@ -1,0 +1,60 @@
+//! MTC workflow engine overhead and scaling: Fig. 3 serial loop vs the
+//! Fig. 4 pool at different worker counts on a fixed ensemble.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esse_core::adaptive::EnsembleSchedule;
+use esse_core::driver::{EsseConfig, SerialEsse};
+use esse_core::model::LinearGaussianModel;
+use esse_core::subspace::ErrorSubspace;
+use esse_mtc::workflow::{MtcConfig, MtcEsse};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (LinearGaussianModel, ErrorSubspace, Vec<f64>) {
+    let rates = [0.98, 0.95, 0.3, 0.2, 0.15, 0.1];
+    let model = LinearGaussianModel::diagonal(&rates, 0.05, 1.0);
+    let mut rng = StdRng::seed_from_u64(1);
+    let prior = ErrorSubspace::isotropic(&mut rng, 6, 6, 1.0);
+    (model, prior, vec![0.0; 6])
+}
+
+fn bench_workflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("esse_workflow");
+    group.sample_size(10);
+    let (model, prior, mean) = setup();
+    group.bench_function("serial_fig3_n64", |b| {
+        let cfg = EsseConfig {
+            schedule: EnsembleSchedule::new(64, 64),
+            tolerance: 1e-12,
+            duration: 10.0,
+            max_rank: 6,
+            ..Default::default()
+        };
+        let esse = SerialEsse::new(&model, cfg);
+        b.iter(|| esse.forecast_uncertainty(&mean, &prior).unwrap())
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("mtc_fig4_n64", workers),
+            &workers,
+            |b, &workers| {
+                let cfg = MtcConfig {
+                    workers,
+                    pool_factor: 1.0,
+                    schedule: EnsembleSchedule::new(64, 64),
+                    tolerance: 1e-12,
+                    duration: 10.0,
+                    max_rank: 6,
+                    svd_stride: 16,
+                    ..Default::default()
+                };
+                let engine = MtcEsse::new(&model, cfg);
+                b.iter(|| engine.run(&mean, &prior).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workflow);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * SVD algorithm: Gram path vs one-sided Jacobi on ESSE-shaped
+//!   (tall-skinny) spread matrices — why production ESSE uses Gram;
+//! * pool over-provisioning factor `M/N`: pipeline fullness vs wasted
+//!   members at convergence (paper §4.1's M ≥ N);
+//! * SVD stride: convergence-detection latency vs SVD overhead (the
+//!   "continuous" SVD cadence);
+//! * sigma-coordinate pressure-gradient correction: spurious currents
+//!   with and without the reference-profile subtraction.
+//!
+//! ```text
+//! cargo run --release -p esse-bench --bin ablation
+//! ```
+
+use esse_core::adaptive::{CompletionPolicy, EnsembleSchedule};
+use esse_core::model::LinearGaussianModel;
+use esse_core::subspace::ErrorSubspace;
+use esse_linalg::random::randn_matrix;
+use esse_linalg::Svd;
+use esse_mtc::workflow::{MtcConfig, MtcEsse};
+use esse_ocean::dynamics::{baroclinic_pressure, grad_x, RefProfile};
+use esse_ocean::scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    // --- 1. SVD algorithm ablation. ---
+    println!("== ablation 1: Gram vs one-sided Jacobi SVD on spread matrices ==");
+    for (n_state, n_members) in [(2000usize, 32usize), (8000, 64), (20000, 96)] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = randn_matrix(&mut rng, n_state, n_members);
+        let t0 = Instant::now();
+        let g = Svd::gram(&m).unwrap();
+        let t_gram = t0.elapsed();
+        let t0 = Instant::now();
+        let j = Svd::jacobi(&m).unwrap();
+        let t_jacobi = t0.elapsed();
+        let max_rel = g
+            .s
+            .iter()
+            .zip(j.s.iter())
+            .map(|(a, b)| (a - b).abs() / b.max(1e-12))
+            .fold(0.0f64, f64::max);
+        println!(
+            "  {n_state:6} x {n_members:3}: gram {t_gram:9.2?}  jacobi {t_jacobi:9.2?}  \
+             speedup {:5.1}x  max sigma rel-err {max_rel:.2e}",
+            t_jacobi.as_secs_f64() / t_gram.as_secs_f64()
+        );
+    }
+
+    // --- 2. Pool over-provisioning. ---
+    println!("\n== ablation 2: pool factor M/N vs wasted members at convergence ==");
+    let rates = [0.98, 0.95, 0.3, 0.2, 0.15, 0.1];
+    let model = LinearGaussianModel::diagonal(&rates, 0.05, 1.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    let prior = ErrorSubspace::isotropic(&mut rng, 6, 6, 1.0);
+    let mean = vec![0.0; 6];
+    for pool_factor in [1.0, 1.25, 1.5, 2.0] {
+        let cfg = MtcConfig {
+            workers: 4,
+            pool_factor,
+            schedule: EnsembleSchedule::new(16, 256),
+            tolerance: 0.05,
+            duration: 10.0,
+            max_rank: 6,
+            svd_stride: 8,
+            completion: CompletionPolicy::CancelImmediately,
+            ..Default::default()
+        };
+        let out = MtcEsse::new(&model, cfg).run(&mean, &prior).unwrap();
+        println!(
+            "  M/N = {pool_factor:4.2}: used {:3}, wasted {:2}, cancelled {:2}, converged {}",
+            out.members_used, out.members_wasted, out.members_cancelled, out.converged
+        );
+    }
+
+    // --- 3. SVD stride. ---
+    println!("\n== ablation 3: SVD stride (continuous-SVD cadence) ==");
+    for stride in [2usize, 8, 32] {
+        let cfg = MtcConfig {
+            workers: 4,
+            pool_factor: 1.25,
+            schedule: EnsembleSchedule::new(16, 512),
+            tolerance: 0.05,
+            duration: 10.0,
+            max_rank: 6,
+            svd_stride: stride,
+            ..Default::default()
+        };
+        let out = MtcEsse::new(&model, cfg).run(&mean, &prior).unwrap();
+        println!(
+            "  stride {stride:3}: {:2} SVD rounds, detected convergence after {:3} members",
+            out.svd_rounds, out.members_used
+        );
+    }
+
+    // --- 4. Sigma-coordinate pressure-gradient correction. ---
+    println!("\n== ablation 4: reference-profile pressure-gradient correction ==");
+    let (pe, st0) = scenario::monterey(20, 20, 5);
+    let g = &pe.grid;
+    let with_ref = RefProfile::from_state(g, &st0, 64);
+    let without = RefProfile::zero();
+    for (label, prof) in [("with correction", &with_ref), ("without", &without)] {
+        let phi = baroclinic_pressure(g, &st0.t, &st0.s, prof);
+        // Spurious along-sigma PG over the steep shelf break of a
+        // *resting* stratified ocean: measure the largest |∂φ/∂x|.
+        let mut worst = 0.0_f64;
+        for k in 0..g.nz {
+            for j in 2..g.ny - 2 {
+                for i in 2..g.nx - 2 {
+                    if g.is_wet(i, j) && g.is_wet(i + 1, j) && g.is_wet(i.wrapping_sub(1), j) {
+                        worst = worst.max(grad_x(g, &phi, i, j, k).abs());
+                    }
+                }
+            }
+        }
+        // Equivalent spurious geostrophic jet: u = PG / f.
+        let u_spur = worst / 8.8e-5;
+        println!("  {label:18}: max |grad phi| {worst:.3e} m/s^2  (spurious jet ~{u_spur:6.2} m/s)");
+    }
+    println!(
+        "\nthe correction is what keeps the resting stratified ocean at rest over the\n\
+         Monterey canyon topography (see esse-ocean::dynamics::RefProfile)."
+    );
+}

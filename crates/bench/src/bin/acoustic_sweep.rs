@@ -1,0 +1,69 @@
+//! §5.2.1 reproduction (E3): "The ESSE calculation was followed by more
+//! than 6000 ocean acoustics realizations — each of which executed for
+//! approximately 3 minutes — in this case no job arrays were used and
+//! the system handled all 6000+ jobs without any problem whatsoever."
+//!
+//! Simulates the 6000-job sweep through the home-cluster model and also
+//! times a real (small) slice of the actual TL solver to show the task
+//! body is genuine.
+//!
+//! ```text
+//! cargo run --release -p esse-bench --bin acoustic_sweep
+//! ```
+
+use esse_acoustics::climate::{run_task, ClimateSweep};
+use esse_acoustics::tl::TlSolver;
+use esse_mtc::sim::cluster::{run_batch, ClusterConfig, InputStaging, JobSpec, NfsConfig};
+use esse_mtc::sim::platform::local_opteron;
+use esse_mtc::sim::scheduler::DispatchPolicy;
+use esse_ocean::scenario;
+use std::time::Instant;
+
+fn main() {
+    // --- The simulated 6000-job campaign. ---
+    let cfg = ClusterConfig {
+        cores: 210,
+        platform: local_opteron(),
+        dispatch: DispatchPolicy::sge(),
+        staging: InputStaging::PrestagedLocal,
+        nfs: NfsConfig::default(),
+    };
+    let job = JobSpec { cpu_s: 180.0, read_mb: 5.0, small_ops: 20, write_mb: 2.0 };
+    let count = 6200;
+    let rep = run_batch(&cfg, job, count);
+    println!("== Sec 5.2.1: acoustics sweep ({count} x ~3 min jobs, 210 cores, SGE) ==");
+    println!("makespan: {:.1} min (ideal {:.1} min)", rep.makespan / 60.0,
+        (count as f64 / 210.0).ceil() * 3.0);
+    println!(
+        "mean job wall time {:.1} s, mean CPU utilization {:.1}%",
+        rep.jobs.iter().map(|j| j.total()).sum::<f64>() / count as f64,
+        100.0 * rep.mean_cpu_utilization
+    );
+    // Per-job dispatch overhead stays tiny — "without any problem".
+    let mean_start_gap = {
+        let mut starts: Vec<f64> = rep.jobs.iter().map(|j| j.start).collect();
+        starts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        starts.windows(2).map(|w| w[1] - w[0]).sum::<f64>() / (count - 1) as f64
+    };
+    println!("mean inter-dispatch gap: {mean_start_gap:.3} s");
+
+    // --- A real slice of the sweep with the actual TL solver. ---
+    let (model, st) = scenario::monterey(20, 20, 5);
+    let sweep = ClimateSweep::zonal_fan(&model.grid, 6, vec![20.0, 50.0], vec![0.4, 0.8, 1.6]);
+    let solver = TlSolver { n_rays: 121, nr: 60, nz: 30, ..Default::default() };
+    let tasks = sweep.tasks();
+    let t0 = Instant::now();
+    let mut ok = 0;
+    for task in &tasks {
+        if run_task(&model.grid, &st, task, &solver).is_some() {
+            ok += 1;
+        }
+    }
+    let dt = t0.elapsed();
+    println!(
+        "\nreal TL tasks: {ok}/{} computed in {dt:.2?} ({:.1} ms/task) — the full 6000-task\n\
+         climate at paper-scale resolution is what the cluster sweep above schedules",
+        tasks.len(),
+        dt.as_secs_f64() * 1000.0 / tasks.len() as f64
+    );
+}

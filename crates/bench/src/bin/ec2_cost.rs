@@ -1,0 +1,46 @@
+//! §5.4.2 reproduction (C1): the EC2 cost model.
+//!
+//! Paper: "an ESSE calculation with 1.5GB input data, 960 ensemble
+//! members each sending back 11MB … would cost
+//! 1.5×0.1 + 10.56×0.17 + 2(hr)×20×0.8 = $33.95. Use of reserved
+//! instances would drop pricing for the cpu usage by more than a factor
+//! of 3."
+//!
+//! ```text
+//! cargo run --release -p esse-bench --bin ec2_cost
+//! ```
+
+use esse_bench::{render_table, CompareRow};
+use esse_mtc::sim::cloud::{billed_hours, campaign_cost, Ec2Pricing};
+
+fn main() {
+    let pricing = Ec2Pricing::default();
+    let c = campaign_cost(&pricing, 1.5, 960, 11.0, 20, 2.0 * 3600.0, 0.80, false);
+    let rows = vec![
+        CompareRow { label: "input transfer (1.5 GB)".into(), paper: 0.15, ours: c.transfer_in, unit: "$" },
+        CompareRow { label: "output transfer (10.56 GB)".into(), paper: 1.795, ours: c.transfer_out, unit: "$" },
+        CompareRow { label: "compute (2 h x 20 x $0.80)".into(), paper: 32.0, ours: c.compute, unit: "$" },
+        CompareRow { label: "TOTAL".into(), paper: 33.95, ours: c.total(), unit: "$" },
+    ];
+    println!("{}", render_table("Sec 5.4.2: EC2 campaign cost", &rows));
+
+    let r = campaign_cost(&pricing, 1.5, 960, 11.0, 20, 2.0 * 3600.0, 0.80, true);
+    println!(
+        "reserved instances: compute ${:.2} -> ${:.2} ({:.1}x cheaper; paper: 'more than a factor of 3')",
+        c.compute,
+        r.compute,
+        c.compute / r.compute
+    );
+
+    println!("\nceil-hour billing ('1 hour 1 sec counts as 2 hours'):");
+    for secs in [3599.0, 3600.0, 3601.0, 7199.0, 7201.0] {
+        println!("  run of {secs:6.0} s bills {} hour(s)", billed_hours(secs));
+    }
+
+    // Cost vs ensemble size sweep (what the paper's budget buys).
+    println!("\ncost scaling with ensemble size (2 h window, 20 x m1.xlarge):");
+    for members in [240, 480, 960, 1920, 3840] {
+        let cc = campaign_cost(&pricing, 1.5, members, 11.0, 20, 2.0 * 3600.0, 0.80, false);
+        println!("  {members:5} members -> ${:7.2}", cc.total());
+    }
+}

@@ -1,0 +1,73 @@
+//! §5.2.1 reproduction (E1): 600 ESSE members on ~210 cores of the home
+//! cluster — all-local-I/O vs mixed-locality makespan, and the pert CPU
+//! utilization jump (≈20% → ≈100%) from prestaging.
+//!
+//! ```text
+//! cargo run --release -p esse-bench --bin local_timings
+//! ```
+
+use esse_bench::{render_table, CompareRow};
+use esse_mtc::sim::cluster::{run_batch, ClusterConfig, InputStaging, JobSpec, NfsConfig};
+use esse_mtc::sim::platform::{local_opteron, pert_cpu_utilization, WorkloadSpec};
+use esse_mtc::sim::scheduler::DispatchPolicy;
+
+fn main() {
+    let w = WorkloadSpec::default();
+    let job = JobSpec {
+        cpu_s: w.pert_cpu_s + w.pemodel_cpu_s,
+        read_mb: w.pert_read_mb + w.pemodel_read_mb,
+        small_ops: w.pert_small_ops,
+        write_mb: w.pemodel_write_mb,
+    };
+    let base = ClusterConfig {
+        cores: 210,
+        platform: local_opteron(),
+        dispatch: DispatchPolicy::sge(),
+        staging: InputStaging::PrestagedLocal,
+        nfs: NfsConfig::default(),
+    };
+
+    let local = run_batch(&base, job, 600);
+    let mut nfs_cfg = base.clone();
+    nfs_cfg.staging = InputStaging::NfsShared;
+    let mixed = run_batch(&nfs_cfg, job, 600);
+
+    let rows = vec![
+        CompareRow {
+            label: "600 members, all-local I/O".into(),
+            paper: 77.0,
+            ours: local.makespan / 60.0,
+            unit: "mn",
+        },
+        CompareRow {
+            label: "600 members, mixed locality".into(),
+            paper: 86.0,
+            ours: mixed.makespan / 60.0,
+            unit: "mn",
+        },
+    ];
+    println!("{}", render_table("Sec 5.2.1: ESSE workflow makespan (SGE, 210 cores)", &rows));
+
+    // The pert utilization diagnostic.
+    let p = local_opteron();
+    let util_rows = vec![
+        CompareRow {
+            label: "pert CPU utilization, NFS".into(),
+            paper: 20.0,
+            ours: 100.0 * pert_cpu_utilization(&w, &p, 1250.0 / 210.0),
+            unit: "%",
+        },
+        CompareRow {
+            label: "pert CPU utilization, prestaged".into(),
+            paper: 100.0,
+            ours: 100.0 * pert_cpu_utilization(&w, &p, p.fs.seq_bandwidth_mb_s),
+            unit: "%",
+        },
+    ];
+    println!("{}", render_table("Sec 5.2.1: pert CPU utilization", &util_rows));
+    println!(
+        "whole-job mean CPU utilization in the simulation: local {:.1}%, mixed {:.1}%",
+        100.0 * local.mean_cpu_utilization,
+        100.0 * mixed.mean_cpu_utilization
+    );
+}

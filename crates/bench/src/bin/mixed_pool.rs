@@ -1,0 +1,105 @@
+//! Mixed local/Grid/EC2 execution (paper §5.3-5.4 and the §7 plan for
+//! "a mixed local/Grid/EC2 run employing MyCluster"), the §4.2 split
+//! pert/pemodel variant, job-array submission load (§4.2/§5.2.1), and
+//! the gang-scheduling cost of nested members (§7).
+//!
+//! ```text
+//! cargo run --release -p esse-bench --bin mixed_pool
+//! ```
+
+use esse_mtc::sim::gang::{gang_overhead, pack_gangs};
+use esse_mtc::sim::multicluster::{member_time, plan, plan_balanced, presets};
+use esse_mtc::sim::platform::WorkloadSpec;
+use esse_mtc::sim::submission::{evaluate, restart_cost, SchedulerCosts, SubmissionStrategy};
+
+fn main() {
+    let w = WorkloadSpec::default();
+
+    // --- Mixed pools. ---
+    println!("== mixed local/Grid/EC2 ensemble (960 members) ==");
+    let pools = vec![
+        presets::home(210),
+        presets::teragrid_purdue(128, 1800.0),
+        presets::teragrid_ornl(100, 3600.0),
+        presets::ec2_c1xlarge(20),
+    ];
+    for p in &pools {
+        println!(
+            "  {:14} {:4} slots, delay {:6.0} s, member time {:7.1} s{}",
+            p.name,
+            p.slots,
+            p.availability_delay_s,
+            member_time(&w, p),
+            if p.fast_input_access { "" } else { "  (split pert: ICs shipped)" }
+        );
+    }
+    let home_only = plan(&w, &pools[..1], 960);
+    let naive = plan(&w, &pools, 960);
+    let mixed = plan_balanced(&w, &pools, 960);
+    println!(
+        "home only: {:.1} min; proportional split: {:.1} min; balanced split: {:.1} min          ({:.0}% faster than home alone)",
+        home_only.makespan_s / 60.0,
+        naive.makespan_s / 60.0,
+        mixed.makespan_s / 60.0,
+        100.0 * (1.0 - mixed.makespan_s / home_only.makespan_s)
+    );
+    for b in &mixed.blocks {
+        println!(
+            "  block {:14} members {:4}..{:4} completes at {:7.1} min",
+            pools[b.pool].name,
+            b.first,
+            b.first + b.count,
+            b.completion_s / 60.0
+        );
+    }
+    let inv = mixed.order_inversions(&pools, &w, 40);
+    println!(
+        "completion-order inversions (sampled): {inv} — 'perturbation 900 may very well\n\
+         finish well before number 700' (Sec 5.3.3); the differ is order-independent for this reason."
+    );
+
+    // --- Split-pert payoff on ORNL. ---
+    let split = presets::teragrid_ornl(100, 0.0);
+    let mut unsplit = split.clone();
+    unsplit.fast_input_access = true;
+    println!(
+        "\nsplit pert/pemodel on ORNL (PVFS2): member {:.1} s split vs {:.1} s unsplit",
+        member_time(&w, &split),
+        member_time(&w, &unsplit)
+    );
+
+    // --- Submission strategies. ---
+    println!("\n== job arrays vs per-job submission (Sec 4.2) ==");
+    let costs = SchedulerCosts::default();
+    for (label, strat) in [
+        ("per-job x 6000", SubmissionStrategy::PerJob),
+        ("arrays of 600", SubmissionStrategy::JobArray { chunk: 600 }),
+    ] {
+        let r = evaluate(strat, 6000, &costs);
+        println!(
+            "  {label:16} {:5} submissions, {:5} records, scheduler load {:7.1} s, latency x{:.2}",
+            r.submissions, r.tracked_records, r.scheduler_load_s, r.latency_multiplier
+        );
+    }
+    let completed: Vec<usize> = (0..380).collect();
+    println!(
+        "restart after 380/600 members: per-job reruns {}, arrays-of-100 rerun {} \
+         (the Sec 4.2 restart asymmetry)",
+        restart_cost(SubmissionStrategy::PerJob, 600, &completed),
+        restart_cost(SubmissionStrategy::JobArray { chunk: 100 }, 600, &completed)
+    );
+
+    // --- Gang scheduling of nested members. ---
+    println!("\n== nested members as 2-3 task gangs (Sec 7) ==");
+    for g in [2usize, 3, 4] {
+        let rep = pack_gangs(210, g, 600 / g, 1537.0);
+        println!(
+            "  gangs of {g}: {:3} gangs/wave, {:2} wasted slots/wave, makespan {:6.1} min, \
+             overhead vs singletons {:.2}x",
+            rep.gangs_per_wave,
+            rep.wasted_slots,
+            rep.makespan_s / 60.0,
+            gang_overhead(210, g, 600 / g, 1537.0)
+        );
+    }
+}

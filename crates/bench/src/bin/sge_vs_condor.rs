@@ -1,0 +1,63 @@
+//! §5.2.1 reproduction (E2): "Timings under Condor were between 10−20%
+//! slower" — the dispatch-latency mechanism, plus the effect of the
+//! paper's configuration tuning.
+//!
+//! ```text
+//! cargo run --release -p esse-bench --bin sge_vs_condor
+//! ```
+
+use esse_mtc::sim::cluster::{run_batch, ClusterConfig, InputStaging, JobSpec, NfsConfig};
+use esse_mtc::sim::platform::{local_opteron, WorkloadSpec};
+use esse_mtc::sim::scheduler::DispatchPolicy;
+
+fn main() {
+    let w = WorkloadSpec::default();
+    let job = JobSpec {
+        cpu_s: w.pert_cpu_s + w.pemodel_cpu_s,
+        read_mb: w.pert_read_mb + w.pemodel_read_mb,
+        small_ops: w.pert_small_ops,
+        write_mb: w.pemodel_write_mb,
+    };
+    let mk = |dispatch: DispatchPolicy| ClusterConfig {
+        cores: 210,
+        platform: local_opteron(),
+        dispatch,
+        staging: InputStaging::PrestagedLocal,
+        nfs: NfsConfig::default(),
+    };
+
+    println!("== Sec 5.2.1: SGE vs Condor dispatch behaviour (600 members, 210 cores) ==");
+    let sge = run_batch(&mk(DispatchPolicy::sge()), job, 600);
+    println!("SGE (immediate reassignment):        {:6.1} min", sge.makespan / 60.0);
+    let condor = run_batch(&mk(DispatchPolicy::condor()), job, 600);
+    let slow = 100.0 * (condor.makespan / sge.makespan - 1.0);
+    println!(
+        "Condor (300 s negotiation cycles):   {:6.1} min  (+{slow:.1}% — paper: 10-20%)",
+        condor.makespan / 60.0
+    );
+    let tuned = run_batch(&mk(DispatchPolicy::condor_tuned()), job, 600);
+    let slow_t = 100.0 * (tuned.makespan / sge.makespan - 1.0);
+    println!(
+        "Condor (tuned, 60 s cycles):         {:6.1} min  (+{slow_t:.1}% — \"we tweaked the\n\
+         configuration files to diminish this difference\")",
+        tuned.makespan / 60.0
+    );
+
+    // Sensitivity: the gap grows with the number of dispatch waves.
+    println!("\nsensitivity to job granularity (Condor 300 s cycles vs SGE):");
+    for (label, cpu_s, count) in [
+        ("short jobs (3 min x 6000)", 180.0, 6000),
+        ("medium jobs (8.5 min x 1200)", 510.0, 1200),
+        ("long jobs (25.6 min x 600)", 1536.9, 600),
+    ] {
+        let spec = JobSpec { cpu_s, read_mb: 10.0, small_ops: 20, write_mb: 2.0 };
+        let s = run_batch(&mk(DispatchPolicy::sge()), spec, count);
+        let c = run_batch(&mk(DispatchPolicy::condor()), spec, count);
+        println!(
+            "  {label:28} SGE {:7.1} min, Condor {:7.1} min (+{:.1}%)",
+            s.makespan / 60.0,
+            c.makespan / 60.0,
+            100.0 * (c.makespan / s.makespan - 1.0)
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Shared helpers for the benchmark harness binaries: table formatting
+//! and paper-vs-measured comparison rows.
+
+/// One table row comparing a paper value with a reproduced value.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Row label.
+    pub label: String,
+    /// Value reported by the paper.
+    pub paper: f64,
+    /// Value this reproduction computes.
+    pub ours: f64,
+    /// Unit string.
+    pub unit: &'static str,
+}
+
+impl CompareRow {
+    /// Relative deviation |ours − paper| / |paper|.
+    pub fn rel_error(&self) -> f64 {
+        if self.paper == 0.0 {
+            return 0.0;
+        }
+        (self.ours - self.paper).abs() / self.paper.abs()
+    }
+}
+
+/// Render rows as an aligned text table with relative errors.
+pub fn render_table(title: &str, rows: &[CompareRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<34} {:>12} {:>12} {:>8}\n",
+        "case", "paper", "reproduced", "rel.err"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<34} {:>9.2} {:<2} {:>9.2} {:<2} {:>7.1}%\n",
+            r.label,
+            r.paper,
+            r.unit,
+            r.ours,
+            r.unit,
+            100.0 * r.rel_error()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_error_computed() {
+        let r = CompareRow { label: "x".into(), paper: 100.0, ours: 110.0, unit: "s" };
+        assert!((r.rel_error() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = vec![
+            CompareRow { label: "a".into(), paper: 1.0, ours: 1.0, unit: "s" },
+            CompareRow { label: "b".into(), paper: 2.0, ours: 2.2, unit: "m" },
+        ];
+        let t = render_table("T", &rows);
+        assert!(t.contains("== T =="));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! Adaptive ensemble sizing and deadline policy (paper Fig. 3 loop and
+//! §4.1 pool management).
+//!
+//! The serial algorithm doubles the ensemble (`N → N₂ ≤ Nmax`) whenever
+//! the convergence test fails, until convergence, `Nmax`, or the
+//! forecast deadline `Tmax`. The MTC pool variant over-provisions
+//! (`M ≥ N`) so the SVD pipeline never drains, and decides what to do
+//! with still-running members once converged.
+
+/// Growth schedule for the ensemble size.
+#[derive(Debug, Clone)]
+pub struct EnsembleSchedule {
+    /// Initial ensemble size N.
+    pub initial: usize,
+    /// Multiplicative growth factor (paper: 2 — "increase N to N2").
+    pub growth: f64,
+    /// Hard maximum Nmax.
+    pub max: usize,
+}
+
+impl EnsembleSchedule {
+    /// Paper-like default: start small, double, cap.
+    pub fn new(initial: usize, max: usize) -> EnsembleSchedule {
+        EnsembleSchedule { initial: initial.max(2), growth: 2.0, max: max.max(initial) }
+    }
+
+    /// The sequence of target sizes: `N, 2N, 4N, …, Nmax`.
+    pub fn stages(&self) -> Vec<usize> {
+        let mut out = vec![self.initial];
+        loop {
+            let last = *out.last().unwrap();
+            if last >= self.max {
+                break;
+            }
+            let next = ((last as f64 * self.growth).ceil() as usize).min(self.max);
+            if next == last {
+                break;
+            }
+            out.push(next);
+        }
+        out
+    }
+
+    /// Next stage after a failed convergence test at size `n`
+    /// (`None` when already at `Nmax`).
+    pub fn next_after(&self, n: usize) -> Option<usize> {
+        if n >= self.max {
+            return None;
+        }
+        Some(((n as f64 * self.growth).ceil() as usize).min(self.max))
+    }
+}
+
+/// What to do with members still running when convergence is reached
+/// (§4.1: "depending on the time constraints … and an associated policy").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompletionPolicy {
+    /// Cancel everything pending/running and conclude immediately.
+    CancelImmediately,
+    /// Let members already *finished* be diffed, run one more SVD, use all
+    /// available results; cancel the rest.
+    UseCompleted,
+    /// Additionally spare members close to finishing (needs runtime
+    /// estimates; the fraction is "done if ≥ this share of expected
+    /// runtime has elapsed").
+    SpareNearlyDone(f64),
+}
+
+/// Deadline bookkeeping for a forecast (Tmax in the paper).
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    /// Wall-clock budget (s).
+    pub budget: f64,
+    /// Elapsed so far (s) — advanced by the caller/simulator.
+    pub elapsed: f64,
+}
+
+impl Deadline {
+    /// New deadline with a budget in seconds.
+    pub fn new(budget: f64) -> Deadline {
+        Deadline { budget, elapsed: 0.0 }
+    }
+
+    /// Remaining seconds (never negative).
+    pub fn remaining(&self) -> f64 {
+        (self.budget - self.elapsed).max(0.0)
+    }
+
+    /// True when the budget is exhausted.
+    pub fn expired(&self) -> bool {
+        self.elapsed >= self.budget
+    }
+
+    /// Advance the clock.
+    pub fn advance(&mut self, dt: f64) {
+        self.elapsed += dt.max(0.0);
+    }
+
+    /// Would launching a task of `estimate` seconds still fit?
+    pub fn fits(&self, estimate: f64) -> bool {
+        estimate <= self.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_double_to_cap() {
+        let s = EnsembleSchedule::new(100, 600);
+        assert_eq!(s.stages(), vec![100, 200, 400, 600]);
+    }
+
+    #[test]
+    fn next_after_caps() {
+        let s = EnsembleSchedule::new(100, 600);
+        assert_eq!(s.next_after(100), Some(200));
+        assert_eq!(s.next_after(400), Some(600));
+        assert_eq!(s.next_after(600), None);
+    }
+
+    #[test]
+    fn minimum_two_members() {
+        let s = EnsembleSchedule::new(1, 10);
+        assert_eq!(s.initial, 2);
+    }
+
+    #[test]
+    fn deadline_lifecycle() {
+        let mut d = Deadline::new(100.0);
+        assert!(!d.expired());
+        assert!(d.fits(50.0));
+        d.advance(70.0);
+        assert!(!d.fits(50.0));
+        assert!(d.fits(30.0));
+        d.advance(40.0);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), 0.0);
+    }
+
+    #[test]
+    fn growth_factor_other_than_two() {
+        let s = EnsembleSchedule { initial: 10, growth: 1.5, max: 40 };
+        assert_eq!(s.stages(), vec![10, 15, 23, 35, 40]);
+    }
+}

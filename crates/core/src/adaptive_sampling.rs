@@ -1,0 +1,145 @@
+//! Adaptive sampling guidance (paper §6/§7): where should the gliders
+//! and AUVs go next?
+//!
+//! The simplest ESSE-consistent criterion deploys the next observations
+//! where the *predicted* uncertainty is largest — the variance field of
+//! the forecast error subspace. A greedy selector with an exclusion
+//! radius spreads the assets instead of stacking them on one hotspot
+//! (each pick assumes the local uncertainty will be largely observed
+//! away within the radius).
+
+use esse_ocean::Grid;
+
+/// One suggested deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingTarget {
+    /// Horizontal cell.
+    pub cell: (usize, usize),
+    /// Predicted variance at the pick (score).
+    pub score: f64,
+}
+
+/// Greedy maximum-variance site selection over a horizontal score field
+/// (`nx × ny`, flattened j-major like `Field2`). Land cells are skipped;
+/// each pick suppresses scores within `exclusion_radius` cells.
+pub fn select_sites(
+    grid: &Grid,
+    variance_field: &[f64],
+    count: usize,
+    exclusion_radius: f64,
+) -> Vec<SamplingTarget> {
+    let (nx, ny) = (grid.nx, grid.ny);
+    assert_eq!(variance_field.len(), nx * ny, "horizontal field expected");
+    let mut score: Vec<f64> = variance_field.to_vec();
+    // Mask land.
+    for j in 0..ny {
+        for i in 0..nx {
+            if !grid.is_wet(i, j) {
+                score[j * nx + i] = f64::NEG_INFINITY;
+            }
+        }
+    }
+    let mut picks = Vec::with_capacity(count);
+    let r2 = exclusion_radius * exclusion_radius;
+    for _ in 0..count {
+        // argmax
+        let (mut bi, mut bj, mut bs) = (0usize, 0usize, f64::NEG_INFINITY);
+        for j in 0..ny {
+            for i in 0..nx {
+                let s = score[j * nx + i];
+                if s > bs {
+                    bs = s;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        if !bs.is_finite() || bs <= 0.0 {
+            break;
+        }
+        picks.push(SamplingTarget { cell: (bi, bj), score: bs });
+        // Exclude the neighbourhood.
+        for j in 0..ny {
+            for i in 0..nx {
+                let di = i as f64 - bi as f64;
+                let dj = j as f64 - bj as f64;
+                if di * di + dj * dj <= r2 {
+                    score[j * nx + i] = f64::NEG_INFINITY;
+                }
+            }
+        }
+    }
+    picks
+}
+
+/// A straight glider track through the top-scoring site, oriented
+/// cross-shore (constant j), clipped to wet cells.
+pub fn suggest_track(grid: &Grid, target: &SamplingTarget, half_length: usize) -> Vec<(usize, usize)> {
+    let (ci, cj) = target.cell;
+    let lo = ci.saturating_sub(half_length);
+    let hi = (ci + half_length).min(grid.nx - 1);
+    (lo..=hi).filter(|&i| grid.is_wet(i, cj)).map(|i| (i, cj)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esse_ocean::bathymetry::Bathymetry;
+
+    fn grid() -> Grid {
+        Grid::new(Bathymetry::flat(10, 10, 100.0), 2, 1000.0, 1000.0)
+    }
+
+    #[test]
+    fn picks_the_peak_first() {
+        let g = grid();
+        let mut f = vec![0.1; 100];
+        f[5 * 10 + 7] = 3.0; // (7,5)
+        f[2 * 10 + 2] = 2.0; // (2,2)
+        let picks = select_sites(&g, &f, 2, 2.0);
+        assert_eq!(picks[0].cell, (7, 5));
+        assert_eq!(picks[1].cell, (2, 2));
+        assert!((picks[0].score - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusion_radius_spreads_picks() {
+        let g = grid();
+        let mut f = vec![0.0; 100];
+        // Two adjacent hotspots; radius 3 forces the second pick elsewhere.
+        f[5 * 10 + 5] = 3.0;
+        f[5 * 10 + 6] = 2.9;
+        f[0] = 1.0;
+        let picks = select_sites(&g, &f, 2, 3.0);
+        assert_eq!(picks[0].cell, (5, 5));
+        assert_eq!(picks[1].cell, (0, 0), "adjacent hotspot must be excluded");
+    }
+
+    #[test]
+    fn land_cells_never_picked() {
+        let mut b = Bathymetry::flat(6, 6, 50.0);
+        b.depth.set(3, 3, -1.0);
+        let g = Grid::new(b, 1, 1000.0, 1000.0);
+        let mut f = vec![0.1; 36];
+        f[3 * 6 + 3] = 99.0; // the land cell has the max raw score
+        let picks = select_sites(&g, &f, 1, 1.0);
+        assert_ne!(picks[0].cell, (3, 3));
+    }
+
+    #[test]
+    fn zero_field_yields_no_picks() {
+        let g = grid();
+        let f = vec![0.0; 100];
+        assert!(select_sites(&g, &f, 3, 1.0).is_empty());
+    }
+
+    #[test]
+    fn track_is_clipped_and_wet() {
+        let g = grid();
+        let t = SamplingTarget { cell: (8, 4), score: 1.0 };
+        let track = suggest_track(&g, &t, 4);
+        assert!(track.contains(&(8, 4)));
+        assert!(track.iter().all(|&(i, _)| i <= 9));
+        assert!(track.len() >= 5);
+    }
+}

@@ -1,0 +1,234 @@
+//! The ESSE analysis step: minimum-variance update in the error subspace.
+//!
+//! With forecast `x_f`, subspace `(E, Λ)` (so `P_f ≈ E Λ Eᵀ`),
+//! observations `y = H x + ε`, `ε ~ N(0, R)`:
+//!
+//! ```text
+//! H_E = H E                      (m × k)
+//! S   = H_E Λ H_Eᵀ + R           (m × m innovation covariance, SPD)
+//! x_a = x_f + E Λ H_Eᵀ S⁻¹ (y − H x_f)
+//! Λ_a' = Λ − Λ H_Eᵀ S⁻¹ H_E Λ    (k × k, posterior subspace covariance)
+//! ```
+//!
+//! `Λ_a'` is re-diagonalized (`Λ_a' = V D Vᵀ`) and the posterior modes
+//! rotated (`E_a = E V`), so the analysis hands back a proper ESSE
+//! subspace for the next perturbation cycle.
+
+use crate::obs::ObsSet;
+use crate::subspace::ErrorSubspace;
+use crate::EsseError;
+use esse_linalg::{cholesky::Cholesky, Matrix, SymEigen};
+
+/// Result of one assimilation.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Analysis (posterior) state.
+    pub state: Vec<f64>,
+    /// Posterior error subspace.
+    pub subspace: ErrorSubspace,
+    /// Prior observation-space RMS misfit.
+    pub prior_misfit: f64,
+    /// Posterior observation-space RMS misfit.
+    pub posterior_misfit: f64,
+}
+
+/// Perform the subspace minimum-variance analysis.
+pub fn assimilate(
+    forecast: &[f64],
+    subspace: &ErrorSubspace,
+    obs: &ObsSet,
+) -> Result<Analysis, EsseError> {
+    if obs.is_empty() {
+        return Ok(Analysis {
+            state: forecast.to_vec(),
+            subspace: subspace.clone(),
+            prior_misfit: 0.0,
+            posterior_misfit: 0.0,
+        });
+    }
+    let k = subspace.rank();
+    let m = obs.len();
+    // H_E (m × k), innovation d (m).
+    let he = obs.h_times_modes(&subspace.modes);
+    let d = obs.innovation(forecast);
+    let prior_misfit = obs.rms_misfit(forecast);
+    // S = H_E Λ H_Eᵀ + R.
+    let mut he_lam = he.clone(); // H_E Λ (m × k)
+    for c in 0..k {
+        let lam = subspace.variances[c];
+        for r in 0..m {
+            he_lam.set(r, c, he_lam.get(r, c) * lam);
+        }
+    }
+    let mut s = he_lam.matmul(&he.transpose()).map_err(EsseError::Linalg)?;
+    for (r, var) in obs.variances().iter().enumerate() {
+        s.set(r, r, s.get(r, r) + var.max(1e-12));
+    }
+    let chol = Cholesky::compute(&s).map_err(EsseError::Linalg)?;
+    // Gain applied to the innovation: x_a = x_f + E Λ H_Eᵀ S⁻¹ d.
+    let sinv_d = chol.solve(&d).map_err(EsseError::Linalg)?;
+    let ht_sinvd = he_lam.tr_matvec(&sinv_d).map_err(EsseError::Linalg)?; // (Λ H_Eᵀ) S⁻¹ d, length k
+    let dx = subspace.modes.matvec(&ht_sinvd).map_err(EsseError::Linalg)?;
+    let state: Vec<f64> = forecast.iter().zip(dx.iter()).map(|(x, p)| x + p).collect();
+    let posterior_misfit = obs.rms_misfit(&state);
+    // Posterior subspace covariance Λ' = Λ − Λ H_Eᵀ S⁻¹ H_E Λ  (k × k).
+    let sinv_he_lam = chol.solve_matrix(&he_lam).map_err(EsseError::Linalg)?; // S⁻¹ (H_E Λ)
+    let reduction = he_lam.transpose().matmul(&sinv_he_lam).map_err(EsseError::Linalg)?;
+    let mut lam_post = Matrix::zeros(k, k);
+    for i in 0..k {
+        for j in 0..k {
+            let prior = if i == j { subspace.variances[i] } else { 0.0 };
+            lam_post.set(i, j, prior - reduction.get(i, j));
+        }
+    }
+    // Symmetrize against roundoff and re-diagonalize.
+    let lam_sym = lam_post
+        .add(&lam_post.transpose())
+        .map_err(EsseError::Linalg)?
+        .scaled(0.5);
+    let eig = SymEigen::compute(&lam_sym).map_err(EsseError::Linalg)?;
+    let post_vars: Vec<f64> = eig.values.iter().map(|&v| v.max(0.0)).collect();
+    let post_modes = subspace.modes.matmul(&eig.vectors).map_err(EsseError::Linalg)?;
+    Ok(Analysis {
+        state,
+        subspace: ErrorSubspace { modes: post_modes, variances: post_vars },
+        prior_misfit,
+        posterior_misfit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{ObsKind, Observation};
+    use esse_linalg::Matrix;
+
+    fn axis_subspace(n: usize, axes: &[usize], vars: &[f64]) -> ErrorSubspace {
+        let mut m = Matrix::zeros(n, axes.len());
+        for (j, &ax) in axes.iter().enumerate() {
+            m.set(ax, j, 1.0);
+        }
+        ErrorSubspace { modes: m, variances: vars.to_vec() }
+    }
+
+    #[test]
+    fn scalar_kalman_update_matches_closed_form() {
+        // n = 1, P = 4, R = 1, y = 2, x_f = 0:
+        // K = 4/5, x_a = 1.6, P_a = 4 - 16/5 = 0.8.
+        let sub = axis_subspace(1, &[0], &[4.0]);
+        let obs = ObsSet { obs: vec![Observation::point(0, 2.0, 1.0, ObsKind::Point)] };
+        let an = assimilate(&[0.0], &sub, &obs).unwrap();
+        assert!((an.state[0] - 1.6).abs() < 1e-12);
+        assert!((an.subspace.variances[0] - 0.8).abs() < 1e-12);
+        assert!(an.posterior_misfit < an.prior_misfit);
+    }
+
+    #[test]
+    fn unobserved_directions_untouched() {
+        // Observe axis 0 only; axis-1 variance must stay put.
+        let sub = axis_subspace(3, &[0, 1], &[4.0, 2.0]);
+        let obs = ObsSet { obs: vec![Observation::point(0, 1.0, 0.5, ObsKind::Point)] };
+        let an = assimilate(&[0.0, 0.0, 0.0], &sub, &obs).unwrap();
+        assert_eq!(an.state[1], 0.0);
+        assert_eq!(an.state[2], 0.0);
+        // Posterior variances: one reduced, one = 2 (sorted descending).
+        let mut vars = an.subspace.variances.clone();
+        vars.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!((vars[0] - 2.0).abs() < 1e-10);
+        assert!(vars[1] < 4.0);
+    }
+
+    #[test]
+    fn posterior_variance_never_exceeds_prior() {
+        let sub = axis_subspace(5, &[0, 2, 4], &[9.0, 4.0, 1.0]);
+        let obs = ObsSet {
+            obs: vec![
+                Observation::point(0, 3.0, 0.25, ObsKind::Point),
+                Observation::point(2, -1.0, 0.25, ObsKind::Point),
+                Observation::point(4, 0.5, 0.25, ObsKind::Point),
+            ],
+        };
+        let an = assimilate(&[0.0; 5], &sub, &obs).unwrap();
+        assert!(an.subspace.total_variance() < sub.total_variance());
+        for &v in &an.subspace.variances {
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn tight_observations_pull_state_close() {
+        let sub = axis_subspace(2, &[0, 1], &[100.0, 100.0]);
+        let obs = ObsSet {
+            obs: vec![
+                Observation::point(0, 7.0, 1e-6, ObsKind::Point),
+                Observation::point(1, -3.0, 1e-6, ObsKind::Point),
+            ],
+        };
+        let an = assimilate(&[0.0, 0.0], &sub, &obs).unwrap();
+        assert!((an.state[0] - 7.0).abs() < 1e-3);
+        assert!((an.state[1] + 3.0).abs() < 1e-3);
+        assert!(an.posterior_misfit < 1e-3);
+    }
+
+    #[test]
+    fn empty_obs_is_identity() {
+        let sub = axis_subspace(3, &[0], &[2.0]);
+        let an = assimilate(&[1.0, 2.0, 3.0], &sub, &ObsSet::new()).unwrap();
+        assert_eq!(an.state, vec![1.0, 2.0, 3.0]);
+        assert_eq!(an.subspace.variances, vec![2.0]);
+    }
+
+    #[test]
+    fn posterior_modes_stay_orthonormal() {
+        let sub = axis_subspace(6, &[0, 1, 2], &[5.0, 3.0, 1.0]);
+        let obs = ObsSet {
+            obs: vec![
+                Observation { entries: vec![(0, 1.0), (1, 1.0)], value: 2.0, variance: 0.5, kind: ObsKind::Point },
+                Observation { entries: vec![(1, 1.0), (2, -1.0)], value: -1.0, variance: 0.5, kind: ObsKind::Point },
+            ],
+        };
+        let an = assimilate(&[0.0; 6], &sub, &obs).unwrap();
+        assert!(an.subspace.orthonormality_defect() < 1e-9);
+    }
+
+    #[test]
+    fn consistency_with_dense_kalman_filter() {
+        // Full-rank subspace in a small space == exact Kalman filter.
+        // Compare against the dense textbook formulas.
+        let n = 3;
+        let p = Matrix::from_col_major(
+            n,
+            n,
+            vec![2.0, 0.3, 0.1, 0.3, 1.5, 0.2, 0.1, 0.2, 1.0],
+        );
+        let sub = ErrorSubspace::from_covariance(&p, 1e-12, n);
+        let xf = vec![1.0, -1.0, 0.5];
+        let obs = ObsSet {
+            obs: vec![
+                Observation::point(0, 2.0, 0.5, ObsKind::Point),
+                Observation::point(2, 0.0, 0.25, ObsKind::Point),
+            ],
+        };
+        let an = assimilate(&xf, &sub, &obs).unwrap();
+        // Dense KF: K = P Hᵀ (H P Hᵀ + R)⁻¹.
+        let h = Matrix::from_fn(2, n, |r, c| match (r, c) {
+            (0, 0) | (1, 2) => 1.0,
+            _ => 0.0,
+        });
+        let hp = h.matmul(&p).unwrap();
+        let mut s = hp.matmul(&h.transpose()).unwrap();
+        s.set(0, 0, s.get(0, 0) + 0.5);
+        s.set(1, 1, s.get(1, 1) + 0.25);
+        let d = vec![2.0 - 1.0, 0.0 - 0.5];
+        let sinv_d = esse_linalg::lu::solve(&s, &d).unwrap();
+        let k_dx = hp.tr_matvec(&sinv_d).unwrap();
+        for i in 0..n {
+            assert!(
+                (an.state[i] - (xf[i] + k_dx[i])).abs() < 1e-9,
+                "component {i}: {} vs {}",
+                an.state[i],
+                xf[i] + k_dx[i]
+            );
+        }
+    }
+}

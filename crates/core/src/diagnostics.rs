@@ -1,0 +1,177 @@
+//! Assimilation diagnostics for observing-system design.
+//!
+//! The paper's §2 application list includes "observing-system design";
+//! §6/§7 describe adaptive sampling driven by predicted uncertainty.
+//! These diagnostics quantify how much each observation (or instrument
+//! type) actually constrains the estimate:
+//!
+//! * **Degrees of freedom for signal** `DFS = tr(H K)` — the effective
+//!   number of state directions the observation set pins down
+//!   (0 ≤ DFS ≤ min(m, k));
+//! * **per-observation influence** `(H K)_ii` — the self-sensitivity of
+//!   each datum (how much of its own signal survives into the analysis);
+//! * **variance reduction** per assimilation, total and per mode.
+
+use crate::obs::ObsSet;
+use crate::subspace::ErrorSubspace;
+use crate::EsseError;
+use esse_linalg::cholesky::Cholesky;
+#[cfg(test)]
+use esse_linalg::Matrix;
+
+/// Observation-impact summary.
+#[derive(Debug, Clone)]
+pub struct ObsImpact {
+    /// Degrees of freedom for signal, `tr(H K)`.
+    pub dfs: f64,
+    /// Per-observation self-sensitivities `(H K)_ii` ∈ [0, 1).
+    pub influence: Vec<f64>,
+    /// Prior total variance in the subspace.
+    pub prior_variance: f64,
+    /// Posterior total variance.
+    pub posterior_variance: f64,
+}
+
+impl ObsImpact {
+    /// Fraction of the prior uncertainty removed by the observations.
+    pub fn variance_reduction_fraction(&self) -> f64 {
+        if self.prior_variance <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.posterior_variance / self.prior_variance).clamp(0.0, 1.0)
+    }
+}
+
+/// Compute the impact of `obs` on a forecast subspace without changing
+/// any state: `H K = H_E Λ H_Eᵀ S⁻¹` with `S = H_E Λ H_Eᵀ + R`.
+pub fn observation_impact(subspace: &ErrorSubspace, obs: &ObsSet) -> Result<ObsImpact, EsseError> {
+    let prior_variance = subspace.total_variance();
+    if obs.is_empty() {
+        return Ok(ObsImpact {
+            dfs: 0.0,
+            influence: vec![],
+            prior_variance,
+            posterior_variance: prior_variance,
+        });
+    }
+    let k = subspace.rank();
+    let m = obs.len();
+    let he = obs.h_times_modes(&subspace.modes);
+    // B = H_E Λ H_Eᵀ (m × m).
+    let mut he_lam = he.clone();
+    for c in 0..k {
+        let lam = subspace.variances[c];
+        for r in 0..m {
+            he_lam.set(r, c, he_lam.get(r, c) * lam);
+        }
+    }
+    let b = he_lam.matmul(&he.transpose()).map_err(EsseError::Linalg)?;
+    let mut s = b.clone();
+    for (r, var) in obs.variances().iter().enumerate() {
+        s.set(r, r, s.get(r, r) + var.max(1e-12));
+    }
+    let chol = Cholesky::compute(&s).map_err(EsseError::Linalg)?;
+    // HK = B S⁻¹  ⇒ columns of HKᵀ solve S x = B row.
+    let hk_t = chol.solve_matrix(&b).map_err(EsseError::Linalg)?; // S⁻¹ B (symmetric B ⇒ (HK)ᵀ)
+    let influence: Vec<f64> = (0..m).map(|i| hk_t.get(i, i)).collect();
+    let dfs: f64 = influence.iter().sum();
+    // Posterior variance: tr(Λ) − tr(Λ H_Eᵀ S⁻¹ H_E Λ).
+    let sinv_he_lam = chol.solve_matrix(&he_lam).map_err(EsseError::Linalg)?;
+    let reduction = he_lam
+        .transpose()
+        .matmul(&sinv_he_lam)
+        .map_err(EsseError::Linalg)?;
+    let posterior_variance = prior_variance - reduction.trace();
+    Ok(ObsImpact { dfs, influence, prior_variance, posterior_variance })
+}
+
+/// Rank candidate observation sets by DFS (greedy observing-system
+/// design): returns `(candidate index, dfs)` sorted descending.
+pub fn rank_candidates(
+    subspace: &ErrorSubspace,
+    candidates: &[ObsSet],
+) -> Result<Vec<(usize, f64)>, EsseError> {
+    let mut out = Vec::with_capacity(candidates.len());
+    for (i, c) in candidates.iter().enumerate() {
+        out.push((i, observation_impact(subspace, c)?.dfs));
+    }
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{ObsKind, Observation};
+
+    fn axis_subspace(n: usize, axes: &[usize], vars: &[f64]) -> ErrorSubspace {
+        let mut m = Matrix::zeros(n, axes.len());
+        for (j, &ax) in axes.iter().enumerate() {
+            m.set(ax, j, 1.0);
+        }
+        ErrorSubspace { modes: m, variances: vars.to_vec() }
+    }
+
+    #[test]
+    fn scalar_dfs_matches_closed_form() {
+        // One obs of one mode: HK = P/(P+R) = 4/(4+1) = 0.8.
+        let sub = axis_subspace(3, &[0], &[4.0]);
+        let obs = ObsSet { obs: vec![Observation::point(0, 1.0, 1.0, ObsKind::Point)] };
+        let imp = observation_impact(&sub, &obs).unwrap();
+        assert!((imp.dfs - 0.8).abs() < 1e-12);
+        assert!((imp.influence[0] - 0.8).abs() < 1e-12);
+        // Posterior variance 4 − 16/5 = 0.8.
+        assert!((imp.posterior_variance - 0.8).abs() < 1e-12);
+        assert!((imp.variance_reduction_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dfs_bounded_by_obs_and_rank() {
+        let sub = axis_subspace(6, &[0, 1, 2], &[5.0, 3.0, 1.0]);
+        // 5 observations but only rank 3: DFS ≤ 3.
+        let obs = ObsSet {
+            obs: (0..5)
+                .map(|i| Observation::point(i % 6, 0.0, 0.01, ObsKind::Point))
+                .collect(),
+        };
+        let imp = observation_impact(&sub, &obs).unwrap();
+        assert!(imp.dfs <= 3.0 + 1e-9, "dfs {}", imp.dfs);
+        assert!(imp.dfs > 0.0);
+        for &v in &imp.influence {
+            assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn observing_uncertain_directions_wins() {
+        // Mode on axis 0 has variance 10, axis 1 only 0.1: a candidate
+        // observing axis 0 must out-rank one observing axis 1.
+        let sub = axis_subspace(4, &[0, 1], &[10.0, 0.1]);
+        let cand0 = ObsSet { obs: vec![Observation::point(0, 0.0, 1.0, ObsKind::Point)] };
+        let cand1 = ObsSet { obs: vec![Observation::point(1, 0.0, 1.0, ObsKind::Point)] };
+        let cand2 = ObsSet { obs: vec![Observation::point(3, 0.0, 1.0, ObsKind::Point)] };
+        let ranked = rank_candidates(&sub, &[cand0, cand1, cand2]).unwrap();
+        assert_eq!(ranked[0].0, 0);
+        assert_eq!(ranked[1].0, 1);
+        // Observing outside the subspace is worthless.
+        assert!(ranked[2].1 < 1e-12);
+    }
+
+    #[test]
+    fn tighter_obs_have_more_influence() {
+        let sub = axis_subspace(3, &[0], &[4.0]);
+        let tight = ObsSet { obs: vec![Observation::point(0, 0.0, 0.01, ObsKind::Point)] };
+        let loose = ObsSet { obs: vec![Observation::point(0, 0.0, 10.0, ObsKind::Point)] };
+        let it = observation_impact(&sub, &tight).unwrap();
+        let il = observation_impact(&sub, &loose).unwrap();
+        assert!(it.dfs > il.dfs);
+    }
+
+    #[test]
+    fn empty_obs_no_impact() {
+        let sub = axis_subspace(3, &[0], &[4.0]);
+        let imp = observation_impact(&sub, &ObsSet::new()).unwrap();
+        assert_eq!(imp.dfs, 0.0);
+        assert_eq!(imp.variance_reduction_fraction(), 0.0);
+    }
+}

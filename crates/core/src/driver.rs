@@ -1,0 +1,304 @@
+//! The *serial* ESSE workflow of paper Fig. 3 — the baseline the MTC
+//! implementation (Fig. 4, `esse-mtc`) is measured against.
+//!
+//! ```text
+//! loop:
+//!   for j in existing..N { perturb j; forecast j }     (serial loop)
+//!   diff all members against the central forecast      (serial)
+//!   SVD of the spread matrix                           (blocking)
+//!   convergence test vs the previous SVD
+//!   if converged or N == Nmax or deadline: break
+//!   N ← N₂
+//! assimilate observations in the converged subspace
+//! ```
+
+use crate::adaptive::{Deadline, EnsembleSchedule};
+use crate::assimilate::{assimilate, Analysis};
+use crate::convergence::{similarity, ConvergenceTest};
+use crate::covariance::SpreadAccumulator;
+use crate::model::ForecastModel;
+use crate::obs::ObsSet;
+use crate::perturb::{PerturbConfig, PerturbationGenerator};
+use crate::subspace::ErrorSubspace;
+use crate::EsseError;
+
+/// Configuration of one ESSE forecast-analysis cycle.
+#[derive(Debug, Clone)]
+pub struct EsseConfig {
+    /// Ensemble growth schedule (N → Nmax).
+    pub schedule: EnsembleSchedule,
+    /// Convergence tolerance: converged when ρ ≥ 1 − tol.
+    pub tolerance: f64,
+    /// Relative σ cutoff for retaining modes.
+    pub mode_rel_tol: f64,
+    /// Maximum retained subspace rank.
+    pub max_rank: usize,
+    /// Perturbation settings (white noise, seeds).
+    pub perturb: PerturbConfig,
+    /// Forecast duration per member (s of model time).
+    pub duration: f64,
+    /// Start time of the forecast window (s of model time).
+    pub start_time: f64,
+    /// Wall-clock budget; the serial driver charges each member 1 unit
+    /// unless a cost function is supplied.
+    pub deadline: Option<f64>,
+}
+
+impl Default for EsseConfig {
+    fn default() -> Self {
+        EsseConfig {
+            schedule: EnsembleSchedule::new(8, 64),
+            tolerance: 0.03,
+            mode_rel_tol: 1e-4,
+            max_rank: 100,
+            perturb: PerturbConfig::default(),
+            duration: 86400.0,
+            start_time: 0.0,
+            deadline: None,
+        }
+    }
+}
+
+/// Outcome of the ensemble uncertainty forecast (before assimilation).
+#[derive(Debug)]
+pub struct UncertaintyForecast {
+    /// Central (unperturbed) forecast.
+    pub central: Vec<f64>,
+    /// Converged (or best-effort) error subspace at forecast time.
+    pub subspace: ErrorSubspace,
+    /// Members actually integrated.
+    pub members_run: usize,
+    /// Members that failed and were skipped (tolerated per §4).
+    pub members_failed: usize,
+    /// Similarity history across SVD rounds.
+    pub rho_history: Vec<f64>,
+    /// Whether the convergence criterion was met (vs. hitting Nmax/Tmax).
+    pub converged: bool,
+}
+
+/// Serial ESSE driver (Fig. 3).
+pub struct SerialEsse<'m, M: ForecastModel> {
+    /// The forecast model.
+    pub model: &'m M,
+    /// Cycle configuration.
+    pub config: EsseConfig,
+}
+
+impl<'m, M: ForecastModel> SerialEsse<'m, M> {
+    /// New driver.
+    pub fn new(model: &'m M, config: EsseConfig) -> Self {
+        SerialEsse { model, config }
+    }
+
+    /// Run the uncertainty forecast: central + ensemble, growing N until
+    /// the subspace converges (Fig. 3 without the analysis step).
+    pub fn forecast_uncertainty(
+        &self,
+        mean0: &[f64],
+        prior: &ErrorSubspace,
+    ) -> Result<UncertaintyForecast, EsseError> {
+        let cfg = &self.config;
+        let gen = PerturbationGenerator::new(prior, cfg.perturb.clone());
+        // Central (unperturbed, deterministic) forecast.
+        let central = self
+            .model
+            .forecast(mean0, cfg.start_time, cfg.duration, None)?;
+        let mut acc = SpreadAccumulator::new(central.clone());
+        let mut deadline = cfg.deadline.map(Deadline::new);
+        let mut conv = ConvergenceTest::new(cfg.tolerance);
+        let mut previous: Option<ErrorSubspace> = None;
+        let mut members_run = 0;
+        let mut members_failed = 0;
+        let mut converged = false;
+        let stages = cfg.schedule.stages();
+        'stages: for &target in &stages {
+            // Fig. 3: run members `members_run..target` serially.
+            let mut j = members_run + members_failed;
+            while acc.count() < target {
+                if let Some(d) = &deadline {
+                    if d.expired() {
+                        break 'stages;
+                    }
+                }
+                let x0 = gen.perturb(mean0, j);
+                let seed = gen.forecast_seed(j);
+                match self
+                    .model
+                    .forecast(&x0, cfg.start_time, cfg.duration, Some(seed))
+                {
+                    Ok(xf) => {
+                        acc.add_member(j, &xf);
+                        members_run += 1;
+                    }
+                    Err(_) => {
+                        // §4 point 3: failures are tolerated, not fatal.
+                        members_failed += 1;
+                    }
+                }
+                if let Some(d) = deadline.as_mut() {
+                    d.advance(1.0);
+                }
+                j += 1;
+                // Safety: avoid infinite loops when everything fails.
+                if members_failed > 4 * cfg.schedule.max {
+                    return Err(EsseError::NotEnoughMembers { have: acc.count(), need: target });
+                }
+            }
+            // diff + SVD + convergence test.
+            let snap = acc.snapshot();
+            let Some(svd) = snap.svd() else {
+                continue;
+            };
+            let estimate = ErrorSubspace::from_spread_svd(&svd, cfg.mode_rel_tol, cfg.max_rank);
+            if let Some(prev) = &previous {
+                let rho = similarity(prev, &estimate);
+                if conv.check(rho) {
+                    previous = Some(estimate);
+                    converged = true;
+                    break;
+                }
+            }
+            previous = Some(estimate);
+        }
+        let subspace = match previous {
+            Some(s) => s,
+            None => {
+                return Err(EsseError::NotEnoughMembers { have: acc.count(), need: 2 });
+            }
+        };
+        Ok(UncertaintyForecast {
+            central,
+            subspace,
+            members_run,
+            members_failed,
+            rho_history: conv.history().to_vec(),
+            converged,
+        })
+    }
+
+    /// Full cycle: uncertainty forecast then assimilation of `obs`.
+    pub fn cycle(
+        &self,
+        mean0: &[f64],
+        prior: &ErrorSubspace,
+        obs: &ObsSet,
+    ) -> Result<(UncertaintyForecast, Analysis), EsseError> {
+        let fc = self.forecast_uncertainty(mean0, prior)?;
+        let analysis = assimilate(&fc.central, &fc.subspace, obs)?;
+        Ok((fc, analysis))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinearGaussianModel;
+    use crate::obs::{ObsKind, ObsSet, Observation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn linear_setup() -> (LinearGaussianModel, ErrorSubspace, Vec<f64>) {
+        // 6-dim: first two modes decay slowly, rest fast → clear dominant
+        // subspace.
+        let rates = [0.98, 0.95, 0.3, 0.3, 0.2, 0.1];
+        let model = LinearGaussianModel::diagonal(&rates, 0.05, 1.0);
+        let mut rng = StdRng::seed_from_u64(77);
+        let prior = ErrorSubspace::isotropic(&mut rng, 6, 6, 1.0);
+        let mean = vec![0.0; 6];
+        (model, prior, mean)
+    }
+
+    fn config(n0: usize, nmax: usize) -> EsseConfig {
+        EsseConfig {
+            schedule: EnsembleSchedule::new(n0, nmax),
+            tolerance: 0.05,
+            duration: 10.0,
+            max_rank: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn serial_esse_converges_on_linear_model() {
+        let (model, prior, mean) = linear_setup();
+        let esse = SerialEsse::new(&model, config(16, 256));
+        let fc = esse.forecast_uncertainty(&mean, &prior).unwrap();
+        assert!(fc.members_run >= 16);
+        assert!(!fc.rho_history.is_empty());
+        assert!(fc.converged, "rho history: {:?}", fc.rho_history);
+        // Dominant directions: modes 0 and 1 of the diagonal dynamics.
+        let lead = fc.subspace.modes.col(0);
+        let energy01 = lead[0] * lead[0] + lead[1] * lead[1];
+        assert!(energy01 > 0.8, "leading mode energy on slow axes = {energy01}");
+    }
+
+    #[test]
+    fn rho_history_is_monotonic_in_tendency() {
+        let (model, prior, mean) = linear_setup();
+        let esse = SerialEsse::new(&model, config(8, 512));
+        let fc = esse.forecast_uncertainty(&mean, &prior).unwrap();
+        // Similarity should generally improve as N grows; check the last
+        // value is the max up to tolerance.
+        let last = *fc.rho_history.last().unwrap();
+        let max = fc.rho_history.iter().fold(0.0_f64, |m, &v| m.max(v));
+        assert!(last > max - 0.1, "history {:?}", fc.rho_history);
+    }
+
+    #[test]
+    fn deadline_stops_growth() {
+        let (model, prior, mean) = linear_setup();
+        let mut cfg = config(8, 4096);
+        cfg.tolerance = 1e-9; // essentially never converges
+        cfg.deadline = Some(20.0); // only ~20 members' budget
+        let esse = SerialEsse::new(&model, cfg);
+        let fc = esse.forecast_uncertainty(&mean, &prior).unwrap();
+        assert!(!fc.converged);
+        assert!(fc.members_run <= 21, "ran {}", fc.members_run);
+    }
+
+    #[test]
+    fn full_cycle_reduces_misfit_and_variance() {
+        let (model, prior, mean) = linear_setup();
+        let esse = SerialEsse::new(&model, config(32, 128));
+        let mut obs = ObsSet::new();
+        obs.obs.push(Observation::point(0, 0.8, 0.01, ObsKind::Point));
+        obs.obs.push(Observation::point(1, -0.5, 0.01, ObsKind::Point));
+        let (fc, an) = esse.cycle(&mean, &prior, &obs).unwrap();
+        assert!(an.posterior_misfit < an.prior_misfit);
+        assert!(an.subspace.total_variance() < fc.subspace.total_variance());
+        // The analysis moved toward the observed values.
+        assert!(an.state[0] > 0.3, "state[0] = {}", an.state[0]);
+        assert!(an.state[1] < -0.2, "state[1] = {}", an.state[1]);
+    }
+
+    #[test]
+    fn failed_members_are_tolerated() {
+        // A model that fails on some seeds.
+        struct Flaky(LinearGaussianModel);
+        impl ForecastModel for Flaky {
+            fn state_dim(&self) -> usize {
+                self.0.state_dim()
+            }
+            fn forecast(
+                &self,
+                x0: &[f64],
+                t: f64,
+                d: f64,
+                seed: Option<u64>,
+            ) -> Result<Vec<f64>, crate::model::ForecastError> {
+                if let Some(s) = seed {
+                    if s % 5 == 0 {
+                        return Err(crate::model::ForecastError::Injected("flaky".into()));
+                    }
+                }
+                self.0.forecast(x0, t, d, seed)
+            }
+        }
+        let (inner, prior, mean) = linear_setup();
+        let model = Flaky(inner);
+        let esse = SerialEsse::new(&model, config(16, 64));
+        let fc = esse.forecast_uncertainty(&mean, &prior).unwrap();
+        assert!(fc.members_failed > 0, "some members should fail");
+        assert!(fc.members_run >= 16, "enough members still gathered");
+    }
+}

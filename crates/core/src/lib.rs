@@ -1,0 +1,93 @@
+#![warn(missing_docs)]
+
+//! Error Subspace Statistical Estimation (ESSE).
+//!
+//! The primary contribution of Evangelinos et al. (MTAGS'09) is the MTC
+//! formulation of ESSE (Lermusiaux & Robinson 1999; Lermusiaux 2006):
+//! uncertainty prediction and data assimilation that track only the
+//! *dominant* error subspace of an ocean forecast:
+//!
+//! 1. [`perturb`] — perturb the initial mean state along the dominant
+//!    error modes plus truncated-error white noise (the paper's `pert`
+//!    executable),
+//! 2. [`model`] — run an ensemble of stochastic model forecasts (the
+//!    paper's `pemodel`),
+//! 3. [`covariance`] — continuously difference arriving members against
+//!    the central forecast into the normalized spread matrix (the
+//!    paper's `diff` stage, order-independent per §4.1),
+//! 4. [`subspace`] + SVD — extract the dominant error modes,
+//! 5. [`convergence`] — compare successive subspaces of growing ensemble
+//!    size; stop when the similarity coefficient saturates (Fig. 2),
+//! 6. [`assimilate`] — minimum-variance update in the subspace with the
+//!    posterior modes re-diagonalized,
+//! 7. [`adaptive`] — grow the ensemble `N → N₂ → … → Nmax` under the
+//!    forecast deadline `Tmax` (Fig. 3 policy).
+//!
+//! [`driver`] chains these into the *serial* ESSE workflow of paper
+//! Fig. 3 (the baseline); the decoupled many-task variant of Fig. 4
+//! lives in the `esse-mtc` crate. [`realtime`] models the
+//! observation/forecaster/simulation timelines of Fig. 1; [`smoother`]
+//! and [`adaptive_sampling`] implement the extensions referenced in
+//! §3/§7.
+
+pub mod adaptive;
+pub mod adaptive_sampling;
+pub mod assimilate;
+pub mod convergence;
+pub mod covariance;
+pub mod diagnostics;
+pub mod driver;
+pub mod model;
+pub mod obs;
+pub mod perturb;
+pub mod priors;
+pub mod realtime;
+pub mod smoother;
+pub mod subspace;
+
+pub use assimilate::Analysis;
+pub use model::{ForecastError, ForecastModel};
+pub use obs::{ObsSet, Observation};
+pub use subspace::ErrorSubspace;
+
+/// Errors from the ESSE pipeline.
+#[derive(Debug)]
+pub enum EsseError {
+    /// The underlying forecast model failed.
+    Model(ForecastError),
+    /// Linear algebra failure (SVD/Cholesky).
+    Linalg(esse_linalg::LinalgError),
+    /// Not enough ensemble members for the requested operation.
+    NotEnoughMembers {
+        /// Members available.
+        have: usize,
+        /// Members required.
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for EsseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EsseError::Model(e) => write!(f, "forecast model error: {e}"),
+            EsseError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            EsseError::NotEnoughMembers { have, need } => {
+                write!(f, "not enough ensemble members: have {have}, need {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EsseError {}
+
+impl From<ForecastError> for EsseError {
+    fn from(e: ForecastError) -> Self {
+        EsseError::Model(e)
+    }
+}
+
+impl From<esse_linalg::LinalgError> for EsseError {
+    fn from(e: esse_linalg::LinalgError) -> Self {
+        EsseError::Linalg(e)
+    }
+}

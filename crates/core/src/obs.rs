@@ -1,0 +1,275 @@
+//! Observations and the measurement operator H.
+//!
+//! AOSN-II assimilated CTD casts, AUV and glider sections and satellite
+//! SST. Here every observation is a (possibly weighted) linear
+//! functional of the packed state vector — point observations are
+//! one-entry rows of H; instrument helpers build the right entries from
+//! the ocean grid. A hidden truth run plus [`ObsSet::synthesize`] gives
+//! the standard twin-experiment (OSSE) setup that replaces the paper's
+//! proprietary field data.
+
+use esse_linalg::random::randn;
+use esse_linalg::Matrix;
+use esse_ocean::{Grid, OceanState};
+use rand::Rng;
+
+/// One scalar observation: `y = Σ w_q x[idx_q] + ε`, `ε ~ N(0, var)`.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Sparse row of H: `(state_index, weight)` pairs.
+    pub entries: Vec<(usize, f64)>,
+    /// Observed value.
+    pub value: f64,
+    /// Error variance.
+    pub variance: f64,
+    /// Instrument label (diagnostics).
+    pub kind: ObsKind,
+}
+
+/// Instrument type, for bookkeeping and error models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsKind {
+    /// Conductivity-temperature-depth cast sample (T at depth).
+    Ctd,
+    /// Glider section sample.
+    Glider,
+    /// AUV sample.
+    Auv,
+    /// Satellite sea-surface temperature.
+    Sst,
+    /// Generic point observation.
+    Point,
+}
+
+impl Observation {
+    /// Point observation of a single state element.
+    pub fn point(index: usize, value: f64, variance: f64, kind: ObsKind) -> Observation {
+        Observation { entries: vec![(index, 1.0)], value, variance, kind }
+    }
+
+    /// Evaluate `H_row · x`.
+    pub fn apply(&self, x: &[f64]) -> f64 {
+        self.entries.iter().map(|&(i, w)| w * x[i]).sum()
+    }
+}
+
+/// A batch of observations taken at one assimilation time.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSet {
+    /// Observations in the batch.
+    pub obs: Vec<Observation>,
+}
+
+impl ObsSet {
+    /// Empty set.
+    pub fn new() -> ObsSet {
+        ObsSet { obs: Vec::new() }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.obs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.obs.is_empty()
+    }
+
+    /// Evaluate `H x` for the whole batch.
+    pub fn apply_h(&self, x: &[f64]) -> Vec<f64> {
+        self.obs.iter().map(|o| o.apply(x)).collect()
+    }
+
+    /// Innovation vector `y − H x`.
+    pub fn innovation(&self, x: &[f64]) -> Vec<f64> {
+        self.obs.iter().map(|o| o.value - o.apply(x)).collect()
+    }
+
+    /// `H E` for a mode matrix `E` (m × k, dense result).
+    pub fn h_times_modes(&self, modes: &Matrix) -> Matrix {
+        let m = self.len();
+        let k = modes.cols();
+        let mut he = Matrix::zeros(m, k);
+        for (r, o) in self.obs.iter().enumerate() {
+            for c in 0..k {
+                let col = modes.col(c);
+                let v: f64 = o.entries.iter().map(|&(i, w)| w * col[i]).sum();
+                he.set(r, c, v);
+            }
+        }
+        he
+    }
+
+    /// Diagonal of R.
+    pub fn variances(&self) -> Vec<f64> {
+        self.obs.iter().map(|o| o.variance).collect()
+    }
+
+    /// Observation-space RMS misfit of `x`.
+    pub fn rms_misfit(&self, x: &[f64]) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let d = self.innovation(x);
+        (d.iter().map(|v| v * v).sum::<f64>() / d.len() as f64).sqrt()
+    }
+
+    /// Replace every observation's value with the truth's value plus
+    /// noise of the declared variance — the OSSE twin-experiment step.
+    pub fn synthesize(&mut self, truth: &[f64], rng: &mut impl Rng) {
+        for o in &mut self.obs {
+            o.value = o.apply(truth) + o.variance.sqrt() * randn(rng);
+        }
+    }
+}
+
+/// Builders for the AOSN-II-like synthetic observation network.
+pub struct ObsNetwork;
+
+impl ObsNetwork {
+    /// Satellite SST swath: surface temperature at every `stride`-th wet
+    /// cell.
+    pub fn sst_swath(grid: &Grid, stride: usize, variance: f64) -> ObsSet {
+        let mut set = ObsSet::new();
+        let stride = stride.max(1);
+        for j in (0..grid.ny).step_by(stride) {
+            for i in (0..grid.nx).step_by(stride) {
+                if grid.is_wet(i, j) {
+                    let idx = OceanState::t_index(grid, i, j, 0);
+                    set.obs.push(Observation::point(idx, 0.0, variance, ObsKind::Sst));
+                }
+            }
+        }
+        set
+    }
+
+    /// CTD cast: temperature at every level of column `(i, j)`.
+    pub fn ctd_cast(grid: &Grid, i: usize, j: usize, variance: f64) -> ObsSet {
+        let mut set = ObsSet::new();
+        if !grid.is_wet(i, j) {
+            return set;
+        }
+        for k in 0..grid.nz {
+            let idx = OceanState::t_index(grid, i, j, k);
+            set.obs.push(Observation::point(idx, 0.0, variance, ObsKind::Ctd));
+        }
+        set
+    }
+
+    /// Glider transect: temperature at a fixed level along a straight
+    /// cell path.
+    pub fn glider_transect(
+        grid: &Grid,
+        (i0, j0): (usize, usize),
+        (i1, j1): (usize, usize),
+        k: usize,
+        variance: f64,
+    ) -> ObsSet {
+        let mut set = ObsSet::new();
+        let steps = ((i1 as isize - i0 as isize).abs().max((j1 as isize - j0 as isize).abs())).max(1)
+            as usize;
+        for q in 0..=steps {
+            let f = q as f64 / steps as f64;
+            let i = (i0 as f64 + f * (i1 as f64 - i0 as f64)).round() as usize;
+            let j = (j0 as f64 + f * (j1 as f64 - j0 as f64)).round() as usize;
+            if grid.is_wet(i, j) && k < grid.nz {
+                let idx = OceanState::t_index(grid, i, j, k);
+                set.obs.push(Observation::point(idx, 0.0, variance, ObsKind::Glider));
+            }
+        }
+        set
+    }
+
+    /// Merge several sets into one batch.
+    pub fn merge(sets: Vec<ObsSet>) -> ObsSet {
+        let mut out = ObsSet::new();
+        for s in sets {
+            out.obs.extend(s.obs);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esse_ocean::scenario;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn point_observation_applies() {
+        let o = Observation::point(2, 5.0, 0.1, ObsKind::Point);
+        assert_eq!(o.apply(&[0.0, 0.0, 7.0, 0.0]), 7.0);
+    }
+
+    #[test]
+    fn innovation_and_misfit() {
+        let mut set = ObsSet::new();
+        set.obs.push(Observation::point(0, 1.0, 0.1, ObsKind::Point));
+        set.obs.push(Observation::point(1, 2.0, 0.1, ObsKind::Point));
+        let x = vec![0.0, 0.0];
+        assert_eq!(set.innovation(&x), vec![1.0, 2.0]);
+        assert!((set.rms_misfit(&x) - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_times_modes_matches_apply() {
+        let mut set = ObsSet::new();
+        set.obs.push(Observation { entries: vec![(0, 1.0), (2, 0.5)], value: 0.0, variance: 1.0, kind: ObsKind::Point });
+        let modes = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        let he = set.h_times_modes(&modes);
+        // H·col0: 1*0 + 0.5*2 = 1; H·col1: 1*1 + 0.5*3 = 2.5
+        assert!((he.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((he.get(0, 1) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sst_swath_only_surface_wet_cells() {
+        let (model, st) = scenario::monterey(16, 16, 3);
+        let g = &model.grid;
+        let set = ObsNetwork::sst_swath(g, 2, 0.04);
+        assert!(!set.is_empty());
+        let x = st.pack();
+        let vals = set.apply_h(&x);
+        // All sampled values are the surface temperature range.
+        for v in vals {
+            assert!((4.0..20.0).contains(&v), "SST sample {v}");
+        }
+    }
+
+    #[test]
+    fn ctd_cast_samples_column() {
+        let (model, _st) = scenario::monterey(16, 16, 5);
+        let g = &model.grid;
+        let set = ObsNetwork::ctd_cast(g, 3, 8, 0.01);
+        assert_eq!(set.len(), 5);
+        // Land cast yields nothing.
+        let land = ObsNetwork::ctd_cast(g, g.nx - 1, 8, 0.01);
+        assert!(land.is_empty());
+    }
+
+    #[test]
+    fn synthesize_adds_bounded_noise() {
+        let mut set = ObsSet::new();
+        for i in 0..200 {
+            set.obs.push(Observation::point(i, 0.0, 0.04, ObsKind::Point));
+        }
+        let truth = vec![3.0; 200];
+        let mut rng = StdRng::seed_from_u64(1);
+        set.synthesize(&truth, &mut rng);
+        let mean: f64 = set.obs.iter().map(|o| o.value).sum::<f64>() / 200.0;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        let var: f64 = set.obs.iter().map(|o| (o.value - 3.0).powi(2)).sum::<f64>() / 200.0;
+        assert!((var - 0.04).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let a = ObsSet { obs: vec![Observation::point(0, 1.0, 1.0, ObsKind::Point)] };
+        let b = ObsSet { obs: vec![Observation::point(1, 2.0, 1.0, ObsKind::Point)] };
+        let m = ObsNetwork::merge(vec![a, b]);
+        assert_eq!(m.len(), 2);
+    }
+}

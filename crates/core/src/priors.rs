@@ -1,0 +1,216 @@
+//! Physically structured prior error subspaces.
+//!
+//! The first ESSE cycle of a real experiment seeds its perturbations
+//! from an *error nowcast* — smooth, large-scale temperature/salinity
+//! error modes estimated from history (paper §6: "the dominant 600
+//! eigenvectors of the posterior error covariance estimate … were
+//! utilized to perturb the ocean fields"). A white-noise isotropic prior
+//! puts variance into grid-scale and boundary degrees of freedom the
+//! dynamics cannot organize; these builders produce the smooth,
+//! surface-intensified modes a real cycle would carry.
+
+use crate::subspace::ErrorSubspace;
+use esse_linalg::{qr, Matrix};
+use esse_ocean::stochastic::NoiseGenerator;
+use esse_ocean::{Grid, OceanState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a prior of `k` horizontally correlated temperature modes
+/// (correlation length `corr_cells` cells), decaying with depth,
+/// orthonormalized, scaled so the per-cell surface temperature standard
+/// deviation is about `std_per_cell` °C.
+pub fn smooth_temperature_prior(
+    grid: &Grid,
+    k: usize,
+    std_per_cell: f64,
+    corr_cells: f64,
+    seed: u64,
+) -> ErrorSubspace {
+    let n = OceanState::packed_len(grid);
+    let t_off = OceanState::t_offset(grid);
+    let gen = NoiseGenerator::new(1.0, corr_cells);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut raw = Matrix::zeros(n, 0);
+    for _ in 0..k {
+        let field = gen.sample(grid, &mut rng);
+        let mut col = vec![0.0; n];
+        for kk in 0..grid.nz {
+            let depth_factor = (-(kk as f64) / 2.0).exp();
+            for j in 0..grid.ny {
+                for i in 0..grid.nx {
+                    let idx = t_off + (kk * grid.ny + j) * grid.nx + i;
+                    col[idx] = field.get(i, j) * depth_factor;
+                }
+            }
+        }
+        raw.push_col(&col).expect("consistent dims");
+    }
+    let q = qr::orthonormalize(&raw, 1e-10);
+    let rank = q.cols();
+    // Each orthonormal mode spreads unit energy over ~wet cells; scale
+    // total variance so the surface per-cell std lands near the target.
+    let wet = grid.bathymetry.wet_count() as f64;
+    let var = (std_per_cell * std_per_cell) * wet / k.max(1) as f64;
+    ErrorSubspace { modes: q, variances: vec![var; rank] }
+}
+
+/// Build a prior whose temperature-mode amplitudes follow the local SST
+/// gradient of `state`: error variance concentrates along fronts, where
+/// small displacement errors produce large temperature errors. This is
+/// the qualitative structure of a real ESSE error nowcast (paper §6
+/// perturbs with "the dominant 600 eigenvectors of the posterior error
+/// covariance", which carry exactly this front-following shape).
+pub fn front_weighted_temperature_prior(
+    grid: &Grid,
+    state: &esse_ocean::OceanState,
+    k: usize,
+    std_per_cell: f64,
+    corr_cells: f64,
+    seed: u64,
+) -> ErrorSubspace {
+    let n = OceanState::packed_len(grid);
+    let t_off = OceanState::t_offset(grid);
+    // Normalized SST-gradient weight field in [w0, 1].
+    let mut gmag = vec![0.0_f64; grid.nx * grid.ny];
+    let mut gmax = 0.0_f64;
+    for j in 0..grid.ny {
+        for i in 0..grid.nx {
+            if !grid.is_wet(i, j) {
+                continue;
+            }
+            let c = state.t.get(i, j, 0);
+            let mut g2 = 0.0;
+            if i + 1 < grid.nx && grid.is_wet(i + 1, j) {
+                g2 += (state.t.get(i + 1, j, 0) - c).powi(2);
+            }
+            if j + 1 < grid.ny && grid.is_wet(i, j + 1) {
+                g2 += (state.t.get(i, j + 1, 0) - c).powi(2);
+            }
+            let g = g2.sqrt();
+            gmag[j * grid.nx + i] = g;
+            gmax = gmax.max(g);
+        }
+    }
+    let w0 = 0.25;
+    let weight = |i: usize, j: usize| {
+        let g = gmag[j * grid.nx + i] / gmax.max(1e-12);
+        w0 + (1.0 - w0) * g
+    };
+    let gen = NoiseGenerator::new(1.0, corr_cells);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut raw = Matrix::zeros(n, 0);
+    for _ in 0..k {
+        let field = gen.sample(grid, &mut rng);
+        let mut col = vec![0.0; n];
+        for kk in 0..grid.nz {
+            let depth_factor = (-(kk as f64) / 2.0).exp();
+            for j in 0..grid.ny {
+                for i in 0..grid.nx {
+                    let idx = t_off + (kk * grid.ny + j) * grid.nx + i;
+                    col[idx] = field.get(i, j) * depth_factor * weight(i, j);
+                }
+            }
+        }
+        raw.push_col(&col).expect("consistent dims");
+    }
+    let q = qr::orthonormalize(&raw, 1e-10);
+    let rank = q.cols();
+    let wet = grid.bathymetry.wet_count() as f64;
+    let var = (std_per_cell * std_per_cell) * wet / k.max(1) as f64;
+    ErrorSubspace { modes: q, variances: vec![var; rank] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esse_ocean::scenario;
+
+    #[test]
+    fn prior_is_orthonormal_and_t_only() {
+        let (model, _st) = scenario::monterey(12, 12, 3);
+        let g = &model.grid;
+        let prior = smooth_temperature_prior(g, 6, 0.5, 2.0, 3);
+        assert_eq!(prior.rank(), 6);
+        assert!(prior.orthonormality_defect() < 1e-9);
+        // Only the T block carries energy.
+        let var = prior.variance_field();
+        let t0 = OceanState::t_offset(g);
+        let t1 = OceanState::s_offset(g);
+        let t_energy: f64 = var[t0..t1].iter().sum();
+        let other: f64 = var[..t0].iter().chain(var[t1..].iter()).sum();
+        assert!(t_energy > 0.0);
+        assert!(other < 1e-12 * t_energy.max(1.0));
+    }
+
+    #[test]
+    fn per_cell_std_near_target() {
+        let (model, _st) = scenario::monterey(16, 16, 3);
+        let g = &model.grid;
+        let prior = smooth_temperature_prior(g, 8, 0.5, 2.0, 9);
+        let std = prior.std_field();
+        let t0 = OceanState::t_offset(g);
+        // Mean surface-level std over wet cells.
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        for j in 0..g.ny {
+            for i in 0..g.nx {
+                if g.is_wet(i, j) {
+                    sum += std[t0 + j * g.nx + i];
+                    n += 1.0;
+                }
+            }
+        }
+        let mean_std = sum / n;
+        assert!(
+            (0.2..0.9).contains(&mean_std),
+            "surface std {mean_std} should be near 0.5"
+        );
+    }
+
+    #[test]
+    fn front_weighted_prior_concentrates_on_gradients() {
+        let (model, st) = scenario::monterey(20, 20, 4);
+        let g = &model.grid;
+        let prior = front_weighted_temperature_prior(g, &st, 10, 0.5, 2.5, 4);
+        assert!(prior.orthonormality_defect() < 1e-9);
+        let var = prior.variance_field();
+        let t0 = OceanState::t_offset(g);
+        // Mean surface variance in the frontal band (within ~5 cells of
+        // the coast) vs far offshore.
+        let mut front = (0.0, 0.0);
+        let mut off = (0.0, 0.0);
+        for j in 4..g.ny - 4 {
+            let mut lw = 0;
+            for i in 0..g.nx {
+                if g.is_wet(i, j) {
+                    lw = i;
+                }
+            }
+            for i in 0..g.nx {
+                if !g.is_wet(i, j) {
+                    continue;
+                }
+                let v = var[t0 + j * g.nx + i];
+                if lw - i <= 4 {
+                    front = (front.0 + v, front.1 + 1.0);
+                } else if i <= 5 {
+                    off = (off.0 + v, off.1 + 1.0);
+                }
+            }
+        }
+        let f = front.0 / front.1;
+        let o = off.0 / off.1;
+        assert!(f > 1.5 * o, "frontal variance {f} should dominate offshore {o}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_subspaces() {
+        let (model, _st) = scenario::monterey(10, 10, 3);
+        let g = &model.grid;
+        let a = smooth_temperature_prior(g, 4, 0.5, 2.0, 1);
+        let b = smooth_temperature_prior(g, 4, 0.5, 2.0, 2);
+        let rho = crate::convergence::similarity(&a, &b);
+        assert!(rho < 0.9, "rho = {rho}");
+    }
+}

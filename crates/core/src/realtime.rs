@@ -1,0 +1,174 @@
+//! Real-time forecasting timelines (paper Fig. 1).
+//!
+//! Three clocks interact during an at-sea experiment:
+//!
+//! * **observation ("ocean") time `T`** — when measurements are made and
+//!   the real phenomena occur, delivered in batches `T₀ … T_f`,
+//! * **forecaster time `τᵏ`** — when the k-th forecasting procedure runs
+//!   (data processing from `τᵏ₀`, r+1 simulations, web distribution by
+//!   `τᵏ_f`),
+//! * **simulation time `tⁱ`** — the span of ocean time simulation `i`
+//!   covers: assimilation up to the nowcast `T_k`, then the forecast
+//!   proper out to `T_{k+n}`.
+
+/// One batch of observations delivered during `[start, end]` ocean time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservationPeriod {
+    /// Batch index `k`.
+    pub index: usize,
+    /// Ocean time the batch opens (s).
+    pub start: f64,
+    /// Ocean time the batch closes — data available after this (s).
+    pub end: f64,
+}
+
+/// The experiment-wide observation calendar.
+#[derive(Debug, Clone)]
+pub struct ObservationCalendar {
+    /// Batches in order.
+    pub periods: Vec<ObservationPeriod>,
+}
+
+impl ObservationCalendar {
+    /// Regular calendar: batches of `period` seconds from `t0`, `count` batches.
+    pub fn regular(t0: f64, period: f64, count: usize) -> ObservationCalendar {
+        ObservationCalendar {
+            periods: (0..count)
+                .map(|k| ObservationPeriod {
+                    index: k,
+                    start: t0 + k as f64 * period,
+                    end: t0 + (k + 1) as f64 * period,
+                })
+                .collect(),
+        }
+    }
+
+    /// Batches fully available by ocean time `t` (i.e. `end ≤ t`).
+    pub fn available_at(&self, t: f64) -> &[ObservationPeriod] {
+        let n = self.periods.iter().take_while(|p| p.end <= t).count();
+        &self.periods[..n]
+    }
+
+    /// The latest closed batch at ocean time `t` — its end is the nowcast.
+    pub fn nowcast_at(&self, t: f64) -> Option<ObservationPeriod> {
+        self.available_at(t).last().copied()
+    }
+}
+
+/// One forecast simulation's time plan (bottom row of Fig. 1).
+#[derive(Debug, Clone)]
+pub struct SimulationPlan {
+    /// Simulation index `i` within the forecaster's batch of r+1 runs.
+    pub index: usize,
+    /// Ocean time the simulation starts from (typically `T₀` or the last
+    /// analysis time).
+    pub start: f64,
+    /// Nowcast time: end of assimilated data (`T_k`).
+    pub nowcast: f64,
+    /// Final prediction time (`T_{k+n}`).
+    pub horizon: f64,
+}
+
+impl SimulationPlan {
+    /// Span of the assimilation (hindcast) segment (s).
+    pub fn assimilation_span(&self) -> f64 {
+        (self.nowcast - self.start).max(0.0)
+    }
+
+    /// Span of the forecast-proper segment (s).
+    pub fn forecast_span(&self) -> f64 {
+        (self.horizon - self.nowcast).max(0.0)
+    }
+}
+
+/// The k-th forecasting procedure (middle row of Fig. 1): processing,
+/// r+1 simulations, selection/distribution — all in forecaster time.
+#[derive(Debug, Clone)]
+pub struct ForecastProcedure {
+    /// Procedure index `k`.
+    pub index: usize,
+    /// Forecaster wall-clock when the procedure starts (`τᵏ₀`, s).
+    pub start: f64,
+    /// Data/model processing duration (s) — `τᵏ₀ … τⁱ₀`.
+    pub processing: f64,
+    /// Wall-clock cost of each of the r+1 forecast simulations (s).
+    pub simulation_costs: Vec<f64>,
+    /// Study/selection/web-distribution tail (s) — `tⁱ⁺ʳ_f … τᵏ_f`.
+    pub distribution: f64,
+}
+
+impl ForecastProcedure {
+    /// Total wall-clock when simulations run back-to-back (serial).
+    pub fn total_serial(&self) -> f64 {
+        self.processing + self.simulation_costs.iter().sum::<f64>() + self.distribution
+    }
+
+    /// Total wall-clock when simulations run concurrently (the MTC win):
+    /// the slowest simulation dominates.
+    pub fn total_parallel(&self) -> f64 {
+        let slowest = self.simulation_costs.iter().fold(0.0_f64, |m, &c| m.max(c));
+        self.processing + slowest + self.distribution
+    }
+
+    /// Finish time in forecaster wall-clock, given a parallel run.
+    pub fn finish_parallel(&self) -> f64 {
+        self.start + self.total_parallel()
+    }
+
+    /// Does the forecast beat the deadline (e.g. the next observation
+    /// batch, when the forecast must be issued)?
+    pub fn timely(&self, deadline: f64) -> bool {
+        self.finish_parallel() <= deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_availability() {
+        let cal = ObservationCalendar::regular(0.0, 86400.0, 5);
+        assert_eq!(cal.available_at(0.0).len(), 0);
+        assert_eq!(cal.available_at(86400.0).len(), 1);
+        assert_eq!(cal.available_at(3.5 * 86400.0).len(), 3);
+        let now = cal.nowcast_at(2.5 * 86400.0).unwrap();
+        assert_eq!(now.index, 1);
+        assert_eq!(now.end, 2.0 * 86400.0);
+    }
+
+    #[test]
+    fn simulation_plan_spans() {
+        let p = SimulationPlan { index: 0, start: 0.0, nowcast: 2.0 * 86400.0, horizon: 4.0 * 86400.0 };
+        assert_eq!(p.assimilation_span(), 2.0 * 86400.0);
+        assert_eq!(p.forecast_span(), 2.0 * 86400.0);
+    }
+
+    #[test]
+    fn parallel_beats_serial() {
+        let proc = ForecastProcedure {
+            index: 0,
+            start: 0.0,
+            processing: 600.0,
+            simulation_costs: vec![3600.0; 8],
+            distribution: 900.0,
+        };
+        assert_eq!(proc.total_serial(), 600.0 + 8.0 * 3600.0 + 900.0);
+        assert_eq!(proc.total_parallel(), 600.0 + 3600.0 + 900.0);
+        assert!(proc.total_parallel() < proc.total_serial());
+    }
+
+    #[test]
+    fn timeliness_against_deadline() {
+        let proc = ForecastProcedure {
+            index: 0,
+            start: 0.0,
+            processing: 100.0,
+            simulation_costs: vec![500.0, 800.0],
+            distribution: 100.0,
+        };
+        // parallel finish = 1000.
+        assert!(proc.timely(1000.0));
+        assert!(!proc.timely(999.0));
+    }
+}

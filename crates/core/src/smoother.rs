@@ -1,0 +1,170 @@
+//! ESSE smoothing (filtering *and smoothing* via Error Subspace
+//! Statistical Estimation — Lermusiaux et al. 2002, cited as the
+//! smoothing extension in the paper's §3).
+//!
+//! The ensemble smoother updates a *past* state estimate with *future*
+//! observations through the cross-time ensemble covariance: with matched
+//! spread matrices `M₀` (members at t₀) and `M₁` (the same members
+//! forecast to t₁),
+//!
+//! ```text
+//! x₀ˢ = x₀ + M₀ (H M₁)ᵀ [ (H M₁)(H M₁)ᵀ + R ]⁻¹ (y − H x₁)
+//! ```
+
+use crate::covariance::SpreadSnapshot;
+use crate::obs::ObsSet;
+use crate::EsseError;
+use esse_linalg::cholesky::Cholesky;
+use esse_linalg::Matrix;
+
+/// Result of a smoothing pass.
+#[derive(Debug, Clone)]
+pub struct SmootherResult {
+    /// Smoothed past state.
+    pub state: Vec<f64>,
+    /// Members used (intersection of the two snapshots).
+    pub members_used: usize,
+}
+
+/// Smooth the past central state `x0` using observations `obs` taken at
+/// the later time of `snap1`. `snap0`/`snap1` must come from the same
+/// ensemble (member ids are matched; members present in only one
+/// snapshot are dropped).
+pub fn smooth(
+    x0: &[f64],
+    snap0: &SpreadSnapshot,
+    x1: &[f64],
+    snap1: &SpreadSnapshot,
+    obs: &ObsSet,
+) -> Result<SmootherResult, EsseError> {
+    if obs.is_empty() {
+        return Ok(SmootherResult { state: x0.to_vec(), members_used: snap0.count() });
+    }
+    // Match member ids.
+    let mut common: Vec<(usize, usize)> = Vec::new(); // (col in 0, col in 1)
+    for (c0, id) in snap0.member_ids.iter().enumerate() {
+        if let Some(c1) = snap1.member_ids.iter().position(|x| x == id) {
+            common.push((c0, c1));
+        }
+    }
+    let n = common.len();
+    if n < 2 {
+        return Err(EsseError::NotEnoughMembers { have: n, need: 2 });
+    }
+    // Rebuild matched spread matrices with consistent normalization.
+    // Snapshots are normalized by their own counts; rescale to the
+    // matched count.
+    let renorm0 = renorm_factor(snap0.count(), n);
+    let renorm1 = renorm_factor(snap1.count(), n);
+    let mut m0 = Matrix::zeros(x0.len(), n);
+    let mut m1 = Matrix::zeros(x1.len(), n);
+    for (jj, &(c0, c1)) in common.iter().enumerate() {
+        let src0 = snap0.matrix.col(c0);
+        let dst0 = m0.col_mut(jj);
+        for (d, s) in dst0.iter_mut().zip(src0) {
+            *d = s * renorm0;
+        }
+        let src1 = snap1.matrix.col(c1);
+        let dst1 = m1.col_mut(jj);
+        for (d, s) in dst1.iter_mut().zip(src1) {
+            *d = s * renorm1;
+        }
+    }
+    // H M1 (m × N).
+    let hm1 = obs.h_times_modes(&m1);
+    // S = (H M1)(H M1)ᵀ + R.
+    let mut s = hm1.matmul(&hm1.transpose()).map_err(EsseError::Linalg)?;
+    for (r, var) in obs.variances().iter().enumerate() {
+        s.set(r, r, s.get(r, r) + var.max(1e-12));
+    }
+    let chol = Cholesky::compute(&s).map_err(EsseError::Linalg)?;
+    let d = obs.innovation(x1);
+    let sinv_d = chol.solve(&d).map_err(EsseError::Linalg)?;
+    // x0 + M0 (H M1)ᵀ S⁻¹ d.
+    let coeff = hm1.tr_matvec(&sinv_d).map_err(EsseError::Linalg)?; // length N
+    let dx = m0.matvec(&coeff).map_err(EsseError::Linalg)?;
+    let state = x0.iter().zip(dx.iter()).map(|(x, p)| x + p).collect();
+    Ok(SmootherResult { state, members_used: n })
+}
+
+fn renorm_factor(orig_count: usize, matched_count: usize) -> f64 {
+    // Snapshot columns were scaled by 1/√(orig−1); we want 1/√(matched−1).
+    if orig_count > 1 && matched_count > 1 {
+        ((orig_count - 1) as f64 / (matched_count - 1) as f64).sqrt()
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covariance::SpreadAccumulator;
+    use crate::obs::{ObsKind, Observation};
+
+    /// Build matched snapshots for dynamics x1 = 0.5 * x0 (2-dim),
+    /// members symmetric around zero.
+    fn matched_snapshots() -> (SpreadSnapshot, SpreadSnapshot) {
+        let mut acc0 = SpreadAccumulator::new(vec![0.0, 0.0]);
+        let mut acc1 = SpreadAccumulator::new(vec![0.0, 0.0]);
+        let members = [
+            (0usize, [2.0, 0.0]),
+            (1, [-2.0, 0.0]),
+            (2, [0.0, 1.0]),
+            (3, [0.0, -1.0]),
+        ];
+        for (id, m0) in members {
+            acc0.add_member(id, &m0);
+            acc1.add_member(id, &[0.5 * m0[0], 0.5 * m0[1]]);
+        }
+        (acc0.snapshot(), acc1.snapshot())
+    }
+
+    #[test]
+    fn smoother_propagates_future_obs_to_past() {
+        let (s0, s1) = matched_snapshots();
+        // Observe x1[0] = 0.4 with tiny noise: implies x0[0] ≈ 0.8.
+        let obs = ObsSet { obs: vec![Observation::point(0, 0.4, 1e-6, ObsKind::Point)] };
+        let res = smooth(&[0.0, 0.0], &s0, &[0.0, 0.0], &s1, &obs).unwrap();
+        assert_eq!(res.members_used, 4);
+        assert!((res.state[0] - 0.8).abs() < 0.01, "x0[0] = {}", res.state[0]);
+        // Uncorrelated component untouched.
+        assert!(res.state[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_obs_is_identity() {
+        let (s0, s1) = matched_snapshots();
+        let res = smooth(&[1.0, 2.0], &s0, &[0.5, 1.0], &s1, &ObsSet::new()).unwrap();
+        assert_eq!(res.state, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn partial_overlap_uses_intersection() {
+        let mut acc0 = SpreadAccumulator::new(vec![0.0]);
+        let mut acc1 = SpreadAccumulator::new(vec![0.0]);
+        acc0.add_member(0, &[1.0]);
+        acc0.add_member(1, &[-1.0]);
+        acc0.add_member(2, &[0.5]);
+        // Member 2 never finished at t1 (failure tolerated).
+        acc1.add_member(0, &[0.5]);
+        acc1.add_member(1, &[-0.5]);
+        let obs = ObsSet { obs: vec![Observation::point(0, 0.2, 1e-4, ObsKind::Point)] };
+        let res = smooth(&[0.0], &acc0.snapshot(), &[0.0], &acc1.snapshot(), &obs).unwrap();
+        assert_eq!(res.members_used, 2);
+        assert!((res.state[0] - 0.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn too_few_common_members_errors() {
+        let mut acc0 = SpreadAccumulator::new(vec![0.0]);
+        let mut acc1 = SpreadAccumulator::new(vec![0.0]);
+        acc0.add_member(0, &[1.0]);
+        acc1.add_member(1, &[1.0]);
+        let obs = ObsSet { obs: vec![Observation::point(0, 0.0, 1.0, ObsKind::Point)] };
+        assert!(matches!(
+            smooth(&[0.0], &acc0.snapshot(), &[0.0], &acc1.snapshot(), &obs),
+            Err(EsseError::NotEnoughMembers { .. })
+        ));
+    }
+}

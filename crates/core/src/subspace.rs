@@ -1,0 +1,232 @@
+//! The error subspace: dominant modes and their variances.
+//!
+//! ESSE represents the forecast error covariance as
+//! `P ≈ E Λ Eᵀ` with `E` (n×k, orthonormal columns) the dominant error
+//! modes and `Λ = diag(λ₁ ≥ … ≥ λₖ)` their variances. `k ≪ n` always —
+//! that truncation *is* the method.
+
+use esse_linalg::{vecops, Matrix, Svd};
+use serde::{Deserialize, Serialize};
+
+/// Dominant error modes `E` with variances `Λ`.
+#[derive(Debug, Clone)]
+pub struct ErrorSubspace {
+    /// Modes as columns, `n × k`, orthonormal.
+    pub modes: Matrix,
+    /// Mode variances λᵢ (descending, ≥ 0). `λᵢ = σᵢ²` of the spread SVD.
+    pub variances: Vec<f64>,
+}
+
+/// Compact, serializable summary of a subspace (for experiment records).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubspaceSummary {
+    /// Rank retained.
+    pub rank: usize,
+    /// Total variance (Σλ).
+    pub total_variance: f64,
+    /// Leading variances (up to 10).
+    pub leading: Vec<f64>,
+}
+
+impl ErrorSubspace {
+    /// Build from the thin SVD of a normalized spread matrix `M`
+    /// (`P = M Mᵀ` ⇒ modes = U, variances = σ²), keeping modes above
+    /// `rel_tol · σ₁` and at most `max_rank`.
+    pub fn from_spread_svd(svd: &Svd, rel_tol: f64, max_rank: usize) -> ErrorSubspace {
+        let rank = svd.rank(rel_tol).min(max_rank).max(1).min(svd.s.len());
+        ErrorSubspace {
+            modes: svd.u.take_cols(rank),
+            variances: svd.s[..rank].iter().map(|s| s * s).collect(),
+        }
+    }
+
+    /// Build from a (small) full covariance matrix — testing path.
+    pub fn from_covariance(p: &Matrix, rel_tol: f64, max_rank: usize) -> ErrorSubspace {
+        let eig = esse_linalg::SymEigen::compute(p).expect("symmetric covariance");
+        let lead = eig.values.first().copied().unwrap_or(0.0).max(0.0);
+        let mut rank = 0;
+        for &v in &eig.values {
+            if v > rel_tol * lead && rank < max_rank {
+                rank += 1;
+            } else {
+                break;
+            }
+        }
+        let rank = rank.max(1).min(eig.values.len());
+        ErrorSubspace {
+            modes: eig.vectors.take_cols(rank),
+            variances: eig.values[..rank].iter().map(|&v| v.max(0.0)).collect(),
+        }
+    }
+
+    /// State dimension `n`.
+    pub fn state_dim(&self) -> usize {
+        self.modes.rows()
+    }
+
+    /// Retained rank `k`.
+    pub fn rank(&self) -> usize {
+        self.variances.len()
+    }
+
+    /// Total retained variance Σλ (the error "energy").
+    pub fn total_variance(&self) -> f64 {
+        self.variances.iter().sum()
+    }
+
+    /// Per-state-element marginal variance `diag(E Λ Eᵀ)` — this is the
+    /// uncertainty *field* mapped in the paper's Figs. 5-6.
+    pub fn variance_field(&self) -> Vec<f64> {
+        let n = self.state_dim();
+        let mut var = vec![0.0; n];
+        for (k, &lam) in self.variances.iter().enumerate() {
+            let col = self.modes.col(k);
+            for i in 0..n {
+                var[i] += lam * col[i] * col[i];
+            }
+        }
+        var
+    }
+
+    /// Per-element standard deviation field.
+    pub fn std_field(&self) -> Vec<f64> {
+        self.variance_field().into_iter().map(f64::sqrt).collect()
+    }
+
+    /// Apply the covariance to a vector: `P v = E Λ (Eᵀ v)` in `O(nk)`.
+    pub fn covariance_times(&self, v: &[f64]) -> Vec<f64> {
+        let etv = self.modes.tr_matvec(v).expect("dimension checked");
+        let scaled: Vec<f64> = etv
+            .iter()
+            .zip(self.variances.iter())
+            .map(|(c, l)| c * l)
+            .collect();
+        self.modes.matvec(&scaled).expect("dimension checked")
+    }
+
+    /// Truncate to the leading `k` modes.
+    pub fn truncate(&self, k: usize) -> ErrorSubspace {
+        let k = k.min(self.rank()).max(1);
+        ErrorSubspace {
+            modes: self.modes.take_cols(k),
+            variances: self.variances[..k].to_vec(),
+        }
+    }
+
+    /// Projection coefficients of `v` on the modes (`Eᵀ v`).
+    pub fn project(&self, v: &[f64]) -> Vec<f64> {
+        self.modes.tr_matvec(v).expect("dimension checked")
+    }
+
+    /// Verify orthonormality of the modes (max deviation of `EᵀE` from I).
+    pub fn orthonormality_defect(&self) -> f64 {
+        let g = self.modes.gram();
+        let k = self.rank();
+        let mut worst: f64 = 0.0;
+        for i in 0..k {
+            for j in 0..k {
+                let want = if i == j { 1.0 } else { 0.0 };
+                worst = worst.max((g.get(i, j) - want).abs());
+            }
+        }
+        worst
+    }
+
+    /// Serializable summary.
+    pub fn summary(&self) -> SubspaceSummary {
+        SubspaceSummary {
+            rank: self.rank(),
+            total_variance: self.total_variance(),
+            leading: self.variances.iter().take(10).copied().collect(),
+        }
+    }
+
+    /// An isotropic subspace (identity-like) for bootstrapping: `k`
+    /// random orthonormal modes with equal variance `var`.
+    pub fn isotropic(rng: &mut impl rand::Rng, n: usize, k: usize, var: f64) -> ErrorSubspace {
+        let modes = esse_linalg::random::random_orthonormal(rng, n, k);
+        ErrorSubspace { modes, variances: vec![var; k] }
+    }
+
+    /// RMS amplitude of the subspace along a unit direction `d`
+    /// (`sqrt(dᵀ P d)`).
+    pub fn amplitude_along(&self, d: &[f64]) -> f64 {
+        let pv = self.covariance_times(d);
+        vecops::dot(d, &pv).max(0.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simple_subspace() -> ErrorSubspace {
+        // Modes e1, e2 in R^4 with variances 4 and 1.
+        let mut m = Matrix::zeros(4, 2);
+        m.set(0, 0, 1.0);
+        m.set(1, 1, 1.0);
+        ErrorSubspace { modes: m, variances: vec![4.0, 1.0] }
+    }
+
+    #[test]
+    fn variance_field_diagonal() {
+        let s = simple_subspace();
+        assert_eq!(s.variance_field(), vec![4.0, 1.0, 0.0, 0.0]);
+        assert_eq!(s.std_field(), vec![2.0, 1.0, 0.0, 0.0]);
+        assert_eq!(s.total_variance(), 5.0);
+    }
+
+    #[test]
+    fn covariance_times_matches_dense() {
+        let s = simple_subspace();
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        let pv = s.covariance_times(&v);
+        assert_eq!(pv, vec![4.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_covariance_recovers_modes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = esse_linalg::random::random_spd_with_spectrum(&mut rng, &[10.0, 5.0, 0.1, 0.01]);
+        let s = ErrorSubspace::from_covariance(&p, 0.005, 8);
+        // rel_tol 0.005 * 10 = 0.05 keeps 10, 5, 0.1.
+        assert_eq!(s.rank(), 3);
+        assert!((s.variances[0] - 10.0).abs() < 1e-8);
+        assert!(s.orthonormality_defect() < 1e-9);
+    }
+
+    #[test]
+    fn truncate_keeps_leading() {
+        let s = simple_subspace();
+        let t = s.truncate(1);
+        assert_eq!(t.rank(), 1);
+        assert_eq!(t.variances, vec![4.0]);
+    }
+
+    #[test]
+    fn amplitude_along_axes() {
+        let s = simple_subspace();
+        assert!((s.amplitude_along(&[1.0, 0.0, 0.0, 0.0]) - 2.0).abs() < 1e-12);
+        assert!((s.amplitude_along(&[0.0, 0.0, 1.0, 0.0]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isotropic_is_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = ErrorSubspace::isotropic(&mut rng, 20, 5, 0.3);
+        assert_eq!(s.rank(), 5);
+        assert!(s.orthonormality_defect() < 1e-10);
+        assert!((s.total_variance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_roundtrip() {
+        let s = simple_subspace();
+        let sum = s.summary();
+        assert_eq!(sum.rank, 2);
+        assert_eq!(sum.total_variance, 5.0);
+        assert_eq!(sum.leading, vec![4.0, 1.0]);
+    }
+}

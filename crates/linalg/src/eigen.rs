@@ -1,0 +1,191 @@
+//! Symmetric eigendecomposition by cyclic Jacobi rotations.
+//!
+//! ESSE's error subspace is the dominant eigenspace of the (normalized)
+//! ensemble covariance; the Gram-matrix SVD path reduces to this solver.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Eigendecomposition `A = V Λ Vᵀ` of a symmetric matrix, eigenvalues
+/// sorted descending.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, matching `values` order.
+    pub vectors: Matrix,
+}
+
+impl SymEigen {
+    /// Compute with default tolerance and sweep budget.
+    pub fn compute(a: &Matrix) -> Result<SymEigen> {
+        Self::compute_with(a, crate::DEFAULT_TOL, 64)
+    }
+
+    /// Compute the eigendecomposition of symmetric `a`.
+    ///
+    /// `tol` is relative to the Frobenius norm; `max_sweeps` bounds the
+    /// cyclic Jacobi sweeps (each sweep visits every off-diagonal pair).
+    pub fn compute_with(a: &Matrix, tol: f64, max_sweeps: usize) -> Result<SymEigen> {
+        let (m, n) = a.shape();
+        if m != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{m} x {n}"),
+            });
+        }
+        if n == 0 {
+            return Ok(SymEigen { values: vec![], vectors: Matrix::zeros(0, 0) });
+        }
+        let asym = a.asymmetry();
+        let scale = a.fro_norm().max(1e-300);
+        if asym > 1e-8 * scale {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "symmetric matrix".into(),
+                found: format!("asymmetry {asym:e}"),
+            });
+        }
+        let mut w = a.clone();
+        let mut v = Matrix::identity(n);
+        let threshold = tol * scale;
+        let mut converged = false;
+        let mut sweeps = 0;
+        while sweeps < max_sweeps {
+            sweeps += 1;
+            let off = w.offdiag_norm();
+            if off <= threshold {
+                converged = true;
+                break;
+            }
+            for p in 0..n - 1 {
+                for q in p + 1..n {
+                    let apq = w.get(p, q);
+                    if apq.abs() <= threshold / (n as f64) {
+                        continue;
+                    }
+                    let app = w.get(p, p);
+                    let aqq = w.get(q, q);
+                    // Classic Jacobi rotation angle.
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // Rotate rows/cols p and q of W.
+                    for k in 0..n {
+                        let wkp = w.get(k, p);
+                        let wkq = w.get(k, q);
+                        w.set(k, p, c * wkp - s * wkq);
+                        w.set(k, q, s * wkp + c * wkq);
+                    }
+                    for k in 0..n {
+                        let wpk = w.get(p, k);
+                        let wqk = w.get(q, k);
+                        w.set(p, k, c * wpk - s * wqk);
+                        w.set(q, k, s * wpk + c * wqk);
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v.get(k, p);
+                        let vkq = v.get(k, q);
+                        v.set(k, p, c * vkp - s * vkq);
+                        v.set(k, q, s * vkp + c * vkq);
+                    }
+                }
+            }
+        }
+        if !converged && w.offdiag_norm() > threshold {
+            return Err(LinalgError::NoConvergence { iterations: sweeps });
+        }
+        // Sort descending by eigenvalue.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| w.get(j, j).partial_cmp(&w.get(i, i)).unwrap());
+        let values: Vec<f64> = order.iter().map(|&i| w.get(i, i)).collect();
+        let vectors = v.select_cols(&order);
+        Ok(SymEigen { values, vectors })
+    }
+
+    /// Number of eigenvalues above `frac * λ_max` — the "dominant" count.
+    pub fn dominant_count(&self, frac: f64) -> usize {
+        if self.values.is_empty() {
+            return 0;
+        }
+        let cut = self.values[0].max(0.0) * frac;
+        self.values.iter().take_while(|&&v| v > cut).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = SymEigen::compute(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_col_major(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = SymEigen::compute(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10 || (v0[0] + v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let n = 10;
+        let b = Matrix::from_fn(n, n, |i, j| ((i + 2 * j) as f64 * 0.37).cos());
+        let a = b.add(&b.transpose()).unwrap().scaled(0.5);
+        let e = SymEigen::compute(&a).unwrap();
+        // V is orthogonal
+        let vtv = e.vectors.gram();
+        assert!(vtv.sub(&Matrix::identity(n)).unwrap().max_abs() < 1e-10);
+        // A V = V Λ
+        let av = a.matmul(&e.vectors).unwrap();
+        let vl = e.vectors.matmul(&Matrix::from_diag(&e.values)).unwrap();
+        assert!(av.sub(&vl).unwrap().max_abs() < 1e-9);
+        // eigenvalues descending
+        for k in 1..n {
+            assert!(e.values[k - 1] >= e.values[k] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let n = 7;
+        let b = Matrix::from_fn(n, n, |i, j| ((i * j + 1) as f64).sqrt());
+        let a = b.add(&b.transpose()).unwrap().scaled(0.5);
+        let e = SymEigen::compute(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Matrix::from_col_major(2, 2, vec![1.0, 5.0, 0.0, 1.0]);
+        assert!(SymEigen::compute(&a).is_err());
+    }
+
+    #[test]
+    fn dominant_count_cutoff() {
+        let a = Matrix::from_diag(&[100.0, 50.0, 1.0, 0.1]);
+        let e = SymEigen::compute(&a).unwrap();
+        assert_eq!(e.dominant_count(0.1), 2); // > 10.0
+        assert_eq!(e.dominant_count(0.0001), 4);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = SymEigen::compute(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! Matrix multiply: serial kernel plus a threaded variant.
+//!
+//! The threaded variant partitions the *output columns* across threads,
+//! so each thread writes a disjoint block and the result is bitwise
+//! identical to the serial kernel regardless of thread count — the same
+//! property the paper relies on when moving the SVD stage between the
+//! master node and a large-memory host.
+
+use crate::matrix::Matrix;
+
+/// Serial `A * B` with a j-k-i loop order that streams columns of `A`.
+pub fn gemm_serial(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "gemm shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for j in 0..n {
+        let bj = b.col(j);
+        let cj = c.col_mut(j);
+        for (l, &blj) in bj.iter().enumerate().take(k) {
+            if blj == 0.0 {
+                continue;
+            }
+            let al = a.col(l);
+            for i in 0..m {
+                cj[i] += al[i] * blj;
+            }
+        }
+    }
+    c
+}
+
+/// Threaded `A * B` over `threads` workers (column-block partition).
+///
+/// Falls back to the serial kernel when the problem is small or a single
+/// thread is requested.
+pub fn gemm_parallel(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "gemm shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    // Threading pays off only past ~1 Mflop.
+    if threads <= 1 || n < 2 || m * k * n < 1 << 20 {
+        return gemm_serial(a, b);
+    }
+    let threads = threads.min(n);
+    let mut c = Matrix::zeros(m, n);
+    {
+        let data = c.as_mut_slice();
+        // Split the output buffer into per-thread column blocks.
+        let cols_per = n.div_ceil(threads);
+        let mut blocks: Vec<(usize, &mut [f64])> = Vec::with_capacity(threads);
+        let mut rest = data;
+        let mut j0 = 0;
+        while j0 < n {
+            let take = cols_per.min(n - j0);
+            let (head, tail) = rest.split_at_mut(take * m);
+            blocks.push((j0, head));
+            rest = tail;
+            j0 += take;
+        }
+        std::thread::scope(|s| {
+            for (j0, block) in blocks {
+                s.spawn(move || {
+                    let ncols = block.len() / m;
+                    for jj in 0..ncols {
+                        let j = j0 + jj;
+                        let bj = b.col(j);
+                        let cj = &mut block[jj * m..(jj + 1) * m];
+                        for (l, &blj) in bj.iter().enumerate().take(k) {
+                            if blj == 0.0 {
+                                continue;
+                            }
+                            let al = a.col(l);
+                            for i in 0..m {
+                                cj[i] += al[i] * blj;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+    c
+}
+
+/// Threaded Gram matrix `AᵀA` (n×n from an m×n input), partitioning
+/// output *columns* across threads so the result is bitwise identical to
+/// [`crate::matrix::Matrix::gram`] for any thread count. This is the hot
+/// kernel of the ESSE Gram-SVD path when ensembles get large.
+pub fn gram_parallel(a: &Matrix, threads: usize) -> Matrix {
+    let n = a.cols();
+    if threads <= 1 || n < 8 || a.rows() * n * n < 1 << 22 {
+        return a.gram();
+    }
+    let threads = threads.min(n);
+    let mut g = Matrix::zeros(n, n);
+    {
+        let data = g.as_mut_slice();
+        let cols_per = n.div_ceil(threads);
+        let mut blocks: Vec<(usize, &mut [f64])> = Vec::with_capacity(threads);
+        let mut rest = data;
+        let mut j0 = 0;
+        while j0 < n {
+            let take = cols_per.min(n - j0);
+            let (head, tail) = rest.split_at_mut(take * n);
+            blocks.push((j0, head));
+            rest = tail;
+            j0 += take;
+        }
+        std::thread::scope(|s| {
+            for (j0, block) in blocks {
+                s.spawn(move || {
+                    let ncols = block.len() / n;
+                    for jj in 0..ncols {
+                        let j = j0 + jj;
+                        let cj = a.col(j);
+                        let out = &mut block[jj * n..(jj + 1) * n];
+                        for (i, o) in out.iter_mut().enumerate() {
+                            *o = crate::vecops::dot(a.col(i), cj);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    g
+}
+
+/// Rank-k update `C += alpha * A * Aᵀ` restricted to square symmetric output.
+///
+/// Used by the continuous covariance accumulation: adding a member's
+/// difference column `d` performs `P += d dᵀ / (N-1)` without forming the
+/// full ensemble matrix product.
+pub fn syrk_update(c: &mut Matrix, a_col: &[f64], alpha: f64) {
+    let n = a_col.len();
+    assert_eq!(c.shape(), (n, n), "syrk output must be n×n");
+    for j in 0..n {
+        let aj = alpha * a_col[j];
+        if aj == 0.0 {
+            continue;
+        }
+        let cj = c.col_mut(j);
+        for i in 0..n {
+            cj[i] += a_col[i] * aj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        // Cheap deterministic pseudo-random fill (LCG) — no rand needed here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let a = test_matrix(64, 48, 1);
+        let b = test_matrix(48, 80, 2);
+        let serial = gemm_serial(&a, &b);
+        for threads in [2, 3, 7] {
+            // Force the parallel path by a large virtual size: use real sizes
+            // but call the internal partitioning via a big product too.
+            let par = gemm_parallel(&a, &b, threads);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_path_large_enough_to_thread() {
+        let a = test_matrix(128, 128, 3);
+        let b = test_matrix(128, 128, 4);
+        let serial = gemm_serial(&a, &b);
+        let par = gemm_parallel(&a, &b, 4);
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn gram_parallel_matches_serial_bitwise() {
+        let a = test_matrix(600, 48, 11);
+        let serial = a.gram();
+        for threads in [2, 3, 5] {
+            let par = gram_parallel(&a, threads);
+            // Serial gram computes the upper triangle and mirrors it;
+            // parallel computes every entry directly — values agree to
+            // bitwise identity because both use the same dot kernel.
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn gram_parallel_small_falls_back() {
+        let a = test_matrix(10, 4, 12);
+        assert_eq!(gram_parallel(&a, 8), a.gram());
+    }
+
+    #[test]
+    fn syrk_matches_explicit_outer_product() {
+        let d = vec![1.0, -2.0, 0.5];
+        let mut c = Matrix::zeros(3, 3);
+        syrk_update(&mut c, &d, 2.0);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((c.get(i, j) - 2.0 * d[i] * d[j]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_rectangular_shapes() {
+        let a = test_matrix(5, 3, 9);
+        let b = test_matrix(3, 7, 10);
+        let c = gemm_serial(&a, &b);
+        assert_eq!(c.shape(), (5, 7));
+        // check one entry by hand
+        let mut want = 0.0;
+        for l in 0..3 {
+            want += a.get(2, l) * b.get(l, 4);
+        }
+        assert!((c.get(2, 4) - want).abs() < 1e-12);
+    }
+}

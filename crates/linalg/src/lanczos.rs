@@ -1,0 +1,217 @@
+//! Lanczos iteration for dominant eigenpairs of an implicit symmetric
+//! operator.
+//!
+//! The paper anticipates ensembles too large for dense shared-memory
+//! SVD ("use of SCALAPACK … may become necessary in the future if our
+//! ensembles get too large"). An alternative that avoids large dense
+//! factorizations entirely: ESSE only needs the *dominant* eigenpairs of
+//! `P = M Mᵀ`, and `P v = M (Mᵀ v)` costs two passes over the spread
+//! matrix — ideal for Lanczos with full reorthogonalization.
+
+use crate::eigen::SymEigen;
+use crate::matrix::Matrix;
+use crate::vecops;
+use crate::{LinalgError, Result};
+use rand::Rng;
+
+/// Result of a Lanczos run: the leading eigenpairs of the operator.
+#[derive(Debug, Clone)]
+pub struct LanczosEigen {
+    /// Leading eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Matching eigenvectors as columns.
+    pub vectors: Matrix,
+    /// Lanczos steps performed.
+    pub iterations: usize,
+}
+
+/// Compute the `k` dominant eigenpairs of the symmetric PSD operator
+/// `op: v ↦ A v` acting on `R^n`, using at most `max_iter` Lanczos steps
+/// with full reorthogonalization.
+pub fn lanczos_dominant(
+    op: &dyn Fn(&[f64]) -> Vec<f64>,
+    n: usize,
+    k: usize,
+    max_iter: usize,
+    rng: &mut impl Rng,
+) -> Result<LanczosEigen> {
+    if n == 0 || k == 0 {
+        return Ok(LanczosEigen { values: vec![], vectors: Matrix::zeros(n, 0), iterations: 0 });
+    }
+    let k = k.min(n);
+    let m_max = max_iter.clamp(k + 2, n);
+    // Krylov basis (columns), tridiagonal coefficients.
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m_max);
+    let mut alphas: Vec<f64> = Vec::with_capacity(m_max);
+    let mut betas: Vec<f64> = Vec::with_capacity(m_max);
+    // Random start vector.
+    let mut v: Vec<f64> = (0..n).map(|_| crate::random::randn(rng)).collect();
+    let nv = vecops::norm2(&v);
+    if nv == 0.0 {
+        return Err(LinalgError::Singular);
+    }
+    vecops::scale(1.0 / nv, &mut v);
+    basis.push(v.clone());
+    let mut w_prev: Option<Vec<f64>> = None;
+    let mut beta_prev = 0.0;
+    for step in 0..m_max {
+        let mut w = op(&basis[step]);
+        if w.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("operator output length {n}"),
+                found: format!("{}", w.len()),
+            });
+        }
+        if let Some(prev) = &w_prev {
+            vecops::axpy(-beta_prev, prev, &mut w);
+        }
+        let alpha = vecops::dot(&basis[step], &w);
+        vecops::axpy(-alpha, &basis[step], &mut w);
+        // Full reorthogonalization (twice for safety).
+        for _ in 0..2 {
+            for b in &basis {
+                let p = vecops::dot(b, &w);
+                vecops::axpy(-p, b, &mut w);
+            }
+        }
+        alphas.push(alpha);
+        let beta = vecops::norm2(&w);
+        if step + 1 == m_max || beta < 1e-12 * alpha.abs().max(1.0) {
+            // Krylov space exhausted (or budget reached).
+            betas.push(0.0);
+            break;
+        }
+        betas.push(beta);
+        vecops::scale(1.0 / beta, &mut w);
+        basis.push(w.clone());
+        w_prev = Some(basis[step].clone());
+        beta_prev = beta;
+    }
+    let m = alphas.len();
+    // Eigen-decompose the tridiagonal (dense path: m is small).
+    let mut t = Matrix::zeros(m, m);
+    for i in 0..m {
+        t.set(i, i, alphas[i]);
+        if i + 1 < m && betas[i] > 0.0 {
+            t.set(i, i + 1, betas[i]);
+            t.set(i + 1, i, betas[i]);
+        }
+    }
+    let eig = SymEigen::compute(&t)?;
+    let keep = k.min(m);
+    let mut vectors = Matrix::zeros(n, keep);
+    for q in 0..keep {
+        let coeff = eig.vectors.col(q);
+        let dst = vectors.col_mut(q);
+        for (c, b) in coeff.iter().zip(basis.iter()) {
+            vecops::axpy(*c, b, dst);
+        }
+        let nv = vecops::norm2(dst);
+        if nv > 0.0 {
+            vecops::scale(1.0 / nv, dst);
+        }
+    }
+    Ok(LanczosEigen { values: eig.values[..keep].to_vec(), vectors, iterations: m })
+}
+
+/// Dominant eigenpairs of the ensemble covariance `P = M Mᵀ` given the
+/// spread matrix `M` (n × N), without forming `P` or the Gram matrix.
+pub fn spread_dominant_eigen(
+    m: &Matrix,
+    k: usize,
+    max_iter: usize,
+    rng: &mut impl Rng,
+) -> Result<LanczosEigen> {
+    let op = |v: &[f64]| -> Vec<f64> {
+        let mtv = m.tr_matvec(v).expect("dimension checked");
+        m.matvec(&mtv).expect("dimension checked")
+    };
+    lanczos_dominant(&op, m.rows(), k, max_iter, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{randn_matrix, random_spd_with_spectrum};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_known_spectrum() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = [50.0, 20.0, 5.0, 1.0, 0.5, 0.1];
+        let a = random_spd_with_spectrum(&mut rng, &spec);
+        let op = |v: &[f64]| a.matvec(v).unwrap();
+        let res = lanczos_dominant(&op, 6, 3, 6, &mut rng).unwrap();
+        for (got, want) in res.values.iter().zip(spec.iter()) {
+            assert!((got - want).abs() < 1e-8 * want, "{got} vs {want}");
+        }
+        // Eigenvector check: A v = λ v.
+        for q in 0..3 {
+            let v = res.vectors.col(q);
+            let av = a.matvec(v).unwrap();
+            for i in 0..6 {
+                assert!((av[i] - res.values[q] * v[i]).abs() < 1e-7, "pair {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_gram_svd_on_spread_matrices() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = randn_matrix(&mut rng, 500, 24);
+        let lan = spread_dominant_eigen(&m, 5, 60, &mut rng).unwrap();
+        let svd = crate::svd::Svd::gram(&m).unwrap();
+        for q in 0..5 {
+            let sigma2 = svd.s[q] * svd.s[q];
+            assert!(
+                (lan.values[q] - sigma2).abs() < 1e-6 * sigma2.max(1.0),
+                "lambda{q}: {} vs {}",
+                lan.values[q],
+                sigma2
+            );
+            // Vectors agree up to sign.
+            let dot = vecops::dot(lan.vectors.col(q), svd.u.col(q)).abs();
+            assert!(dot > 0.999, "mode {q} alignment {dot}");
+        }
+    }
+
+    #[test]
+    fn orthonormal_output() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = randn_matrix(&mut rng, 120, 12);
+        let lan = spread_dominant_eigen(&m, 6, 40, &mut rng).unwrap();
+        let g = lan.vectors.gram();
+        for i in 0..6 {
+            for j in 0..6 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((g.get(i, j) - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_on_low_rank() {
+        // Rank-2 operator: Lanczos must stop early and still nail both
+        // eigenvalues.
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = randn_matrix(&mut rng, 60, 2);
+        let lan = spread_dominant_eigen(&m, 4, 50, &mut rng).unwrap();
+        assert!(lan.iterations <= 4, "iterations {}", lan.iterations);
+        let svd = crate::svd::Svd::gram(&m).unwrap();
+        for q in 0..2 {
+            let sigma2 = svd.s[q] * svd.s[q];
+            assert!((lan.values[q] - sigma2).abs() < 1e-8 * sigma2.max(1.0));
+        }
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let op = |v: &[f64]| v.to_vec();
+        let r = lanczos_dominant(&op, 0, 3, 10, &mut rng).unwrap();
+        assert!(r.values.is_empty());
+        let r = lanczos_dominant(&op, 5, 0, 10, &mut rng).unwrap();
+        assert!(r.values.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! LU factorization with partial pivoting, and linear solves.
+//!
+//! The assimilation update solves `(H_E Σ H_Eᵀ + R) z = d` — a small
+//! (obs-count sized) dense system — through this module.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// LU decomposition `P A = L U` of a square matrix.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed factors: unit-lower L below the diagonal, U on/above.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorize `a`. Fails with [`LinalgError::Singular`] when a pivot
+    /// collapses below `1e-300` in magnitude.
+    pub fn compute(a: &Matrix) -> Result<Lu> {
+        let (m, n) = a.shape();
+        if m != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{m} x {n}"),
+            });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below row k.
+            let mut p = k;
+            let mut best = lu.get(k, k).abs();
+            for i in k + 1..n {
+                let v = lu.get(i, k).abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            if p != k {
+                for j in 0..n {
+                    let t = lu.get(k, j);
+                    lu.set(k, j, lu.get(p, j));
+                    lu.set(p, j, t);
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu.get(k, k);
+            for i in k + 1..n {
+                let f = lu.get(i, k) / pivot;
+                lu.set(i, k, f);
+                if f != 0.0 {
+                    for j in k + 1..n {
+                        let v = lu.get(i, j) - f * lu.get(k, j);
+                        lu.set(i, j, v);
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("rhs of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        // Apply permutation, then forward/back substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = s / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solve `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let mut x = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let sol = self.solve(b.col(j))?;
+            x.col_mut(j).copy_from_slice(&sol);
+        }
+        Ok(x)
+    }
+
+    /// Determinant from the factorization.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+}
+
+/// Convenience: solve `A x = b` in one call.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::compute(a)?.solve(b)
+}
+
+/// Inverse of a square matrix (small systems only — assimilation gains).
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    let lu = Lu::compute(a)?;
+    lu.solve_matrix(&Matrix::identity(a.rows()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+        let a = Matrix::from_col_major(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-14);
+        assert!((x[1] - 1.4).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero top-left pivot forces a row swap.
+        let a = Matrix::from_col_major(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_col_major(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(Lu::compute(&a), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn residual_small_random() {
+        let n = 12;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            ((i * 31 + j * 17) as f64).sin() + if i == j { n as f64 } else { 0.0 }
+        });
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let x = solve(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn det_of_identity_and_swap() {
+        assert!((Lu::compute(&Matrix::identity(4)).unwrap().det() - 1.0).abs() < 1e-15);
+        let a = Matrix::from_col_major(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        assert!((Lu::compute(&a).unwrap().det() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_col_major(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Lu::compute(&Matrix::zeros(2, 3)).is_err());
+    }
+}

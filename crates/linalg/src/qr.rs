@@ -1,0 +1,187 @@
+//! Householder QR factorization (thin form).
+//!
+//! Used for re-orthonormalizing error-subspace bases after assimilation
+//! updates and for completing rank-deficient SVD left factors.
+
+use crate::matrix::Matrix;
+use crate::vecops;
+use crate::{LinalgError, Result};
+
+/// Thin QR factorization `A = Q R` with `Q` (m×n, orthonormal columns)
+/// and `R` (n×n, upper triangular), for `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthonormal factor, `m × n`.
+    pub q: Matrix,
+    /// Upper-triangular factor, `n × n`.
+    pub r: Matrix,
+}
+
+impl Qr {
+    /// Compute the thin QR of `a` by Householder reflections.
+    pub fn compute(a: &Matrix) -> Result<Qr> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "rows >= cols for thin QR".into(),
+                found: format!("{m} x {n}"),
+            });
+        }
+        // Work on a copy; store Householder vectors in-place below the diagonal.
+        let mut r = a.clone();
+        let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for k in 0..n {
+            // Build the Householder vector for column k, rows k..m.
+            let col = r.col(k);
+            let x = &col[k..m];
+            let alpha = -x[0].signum() * vecops::norm2(x);
+            let mut v = x.to_vec();
+            v[0] -= alpha;
+            let vnorm = vecops::norm2(&v);
+            if vnorm > 0.0 {
+                vecops::scale(1.0 / vnorm, &mut v);
+                // Apply H = I - 2 v vᵀ to the trailing columns k..n.
+                for j in k..n {
+                    let cj = r.col_mut(j);
+                    let tail = &mut cj[k..m];
+                    let proj = 2.0 * vecops::dot(&v, tail);
+                    vecops::axpy(-proj, &v, tail);
+                }
+            }
+            vs.push(v);
+        }
+        // Extract the upper triangle into R (n×n), zeroing below.
+        let mut rr = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=j {
+                rr.set(i, j, r.get(i, j));
+            }
+        }
+        // Form thin Q by applying the reflections to the first n columns of I.
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            q.set(j, j, 1.0);
+        }
+        for k in (0..n).rev() {
+            let v = &vs[k];
+            if vecops::norm2(v) == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let cj = q.col_mut(j);
+                let tail = &mut cj[k..m];
+                let proj = 2.0 * vecops::dot(v, tail);
+                vecops::axpy(-proj, v, tail);
+            }
+        }
+        Ok(Qr { q, r: rr })
+    }
+}
+
+/// Modified Gram-Schmidt orthonormalization of the columns of `a`,
+/// dropping columns whose residual norm falls below `tol` (rank reveal).
+///
+/// Returns the orthonormal basis actually retained. This is the cheap
+/// re-orthonormalization used between ESSE assimilation cycles.
+pub fn orthonormalize(a: &Matrix, tol: f64) -> Matrix {
+    let (m, n) = a.shape();
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for j in 0..n {
+        let mut v = a.col(j).to_vec();
+        // Two MGS passes for numerical safety ("twice is enough").
+        for _ in 0..2 {
+            for b in &basis {
+                let p = vecops::dot(b, &v);
+                vecops::axpy(-p, b, &mut v);
+            }
+        }
+        let nv = vecops::norm2(&v);
+        if nv > tol {
+            vecops::scale(1.0 / nv, &mut v);
+            basis.push(v);
+        }
+    }
+    let mut q = Matrix::zeros(m, basis.len());
+    for (j, b) in basis.iter().enumerate() {
+        q.col_mut(j).copy_from_slice(b);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(m: usize, n: usize) -> Matrix {
+        Matrix::from_fn(m, n, |i, j| ((i * n + j) as f64 * 0.7).sin() + if i == j { 2.0 } else { 0.0 })
+    }
+
+    fn assert_orthonormal(q: &Matrix, tol: f64) {
+        let g = q.gram();
+        for i in 0..q.cols() {
+            for j in 0..q.cols() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (g.get(i, j) - want).abs() < tol,
+                    "QtQ[{i},{j}] = {}",
+                    g.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_a() {
+        let a = fill(8, 5);
+        let qr = Qr::compute(&a).unwrap();
+        assert_orthonormal(&qr.q, 1e-12);
+        let recon = qr.q.matmul(&qr.r).unwrap();
+        assert!(recon.sub(&a).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = fill(6, 4);
+        let qr = Qr::compute(&a).unwrap();
+        for j in 0..4 {
+            for i in j + 1..4 {
+                assert_eq!(qr.r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_rejects_wide() {
+        let a = Matrix::zeros(2, 5);
+        assert!(Qr::compute(&a).is_err());
+    }
+
+    #[test]
+    fn square_qr() {
+        let a = fill(5, 5);
+        let qr = Qr::compute(&a).unwrap();
+        assert_orthonormal(&qr.q, 1e-12);
+        let recon = qr.q.matmul(&qr.r).unwrap();
+        assert!(recon.sub(&a).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn mgs_drops_dependent_columns() {
+        // Third column is the sum of the first two.
+        let mut a = Matrix::zeros(4, 3);
+        a.col_mut(0).copy_from_slice(&[1.0, 0.0, 0.0, 0.0]);
+        a.col_mut(1).copy_from_slice(&[0.0, 1.0, 0.0, 0.0]);
+        a.col_mut(2).copy_from_slice(&[1.0, 1.0, 0.0, 0.0]);
+        let q = orthonormalize(&a, 1e-10);
+        assert_eq!(q.cols(), 2);
+        assert_orthonormal(&q, 1e-12);
+    }
+
+    #[test]
+    fn mgs_keeps_full_rank() {
+        let a = fill(7, 4);
+        let q = orthonormalize(&a, 1e-10);
+        assert_eq!(q.cols(), 4);
+        assert_orthonormal(&q, 1e-10);
+    }
+}

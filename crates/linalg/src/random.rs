@@ -1,0 +1,99 @@
+//! Gaussian sampling and random-matrix helpers.
+//!
+//! `rand` 0.8 ships only uniform distributions in-tree, so the normal
+//! sampler here is a Box-Muller transform; that is plenty for ensemble
+//! perturbation generation (ESSE draws `O(N · rank)` standard normals
+//! per cycle, not billions).
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// One standard-normal draw via Box-Muller.
+pub fn randn(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0): sample u1 from (0,1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Vector of standard-normal draws.
+pub fn randn_vec(rng: &mut impl Rng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| randn(rng)).collect()
+}
+
+/// Matrix with i.i.d. standard-normal entries.
+pub fn randn_matrix(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = randn(rng);
+    }
+    m
+}
+
+/// Random matrix with orthonormal columns (QR of a Gaussian matrix).
+pub fn random_orthonormal(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    assert!(rows >= cols, "need rows >= cols for orthonormal columns");
+    let g = randn_matrix(rng, rows, cols);
+    crate::qr::Qr::compute(&g).expect("QR of Gaussian matrix").q
+}
+
+/// Random symmetric positive semi-definite matrix with the given
+/// eigenvalue spectrum (for testing estimators against known covariances).
+pub fn random_spd_with_spectrum(rng: &mut impl Rng, spectrum: &[f64]) -> Matrix {
+    let n = spectrum.len();
+    let q = random_orthonormal(rng, n, n);
+    let ql = {
+        let mut ql = q.clone();
+        for (j, &l) in spectrum.iter().enumerate() {
+            crate::vecops::scale(l, ql.col_mut(j));
+        }
+        ql
+    };
+    ql.matmul(&q.transpose()).expect("shapes agree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let xs = randn_vec(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let a = randn_vec(&mut StdRng::seed_from_u64(7), 10);
+        let b = randn_vec(&mut StdRng::seed_from_u64(7), 10);
+        assert_eq!(a, b);
+        let c = randn_vec(&mut StdRng::seed_from_u64(8), 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn orthonormal_columns() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = random_orthonormal(&mut rng, 12, 5);
+        let g = q.gram();
+        assert!(g.sub(&Matrix::identity(5)).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn spd_spectrum_recovered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = [5.0, 2.0, 1.0, 0.5];
+        let a = random_spd_with_spectrum(&mut rng, &spec);
+        let e = crate::eigen::SymEigen::compute(&a).unwrap();
+        for (got, want) in e.values.iter().zip(spec.iter()) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Ensemble statistics: means, anomaly (spread) matrices, sample
+//! covariances — the numerical heart of the ESSE "diff" stage.
+
+use crate::matrix::Matrix;
+
+/// Mean of each row across columns: the ensemble mean state when columns
+/// are members.
+pub fn col_mean(a: &Matrix) -> Vec<f64> {
+    let (m, n) = a.shape();
+    let mut mu = vec![0.0; m];
+    if n == 0 {
+        return mu;
+    }
+    for j in 0..n {
+        let cj = a.col(j);
+        for i in 0..m {
+            mu[i] += cj[i];
+        }
+    }
+    for v in &mut mu {
+        *v /= n as f64;
+    }
+    mu
+}
+
+/// Anomaly ("spread") matrix: subtract `center` from every column and
+/// scale by `1/√(N-1)`, so that `M Mᵀ` is the sample covariance.
+///
+/// In ESSE the center is the *central (unperturbed) forecast*, not the
+/// ensemble mean — the paper's diff loop computes differences from the
+/// central forecast as members arrive.
+pub fn spread_matrix(a: &Matrix, center: &[f64]) -> Matrix {
+    let (m, n) = a.shape();
+    assert_eq!(center.len(), m, "center length must match state dimension");
+    let norm = if n > 1 { 1.0 / ((n - 1) as f64).sqrt() } else { 1.0 };
+    let mut out = Matrix::zeros(m, n);
+    for j in 0..n {
+        let src = a.col(j);
+        let dst = out.col_mut(j);
+        for i in 0..m {
+            dst[i] = (src[i] - center[i]) * norm;
+        }
+    }
+    out
+}
+
+/// Per-row sample variance across columns (the uncertainty *field* that
+/// Figures 5-6 of the paper map). Uses the ensemble mean as center.
+pub fn row_variance(a: &Matrix) -> Vec<f64> {
+    let (m, n) = a.shape();
+    if n < 2 {
+        return vec![0.0; m];
+    }
+    let mu = col_mean(a);
+    let mut var = vec![0.0; m];
+    for j in 0..n {
+        let cj = a.col(j);
+        for i in 0..m {
+            let d = cj[i] - mu[i];
+            var[i] += d * d;
+        }
+    }
+    for v in &mut var {
+        *v /= (n - 1) as f64;
+    }
+    var
+}
+
+/// Per-row sample standard deviation.
+pub fn row_std(a: &Matrix) -> Vec<f64> {
+    row_variance(a).into_iter().map(f64::sqrt).collect()
+}
+
+/// Full sample covariance `S = M Mᵀ` where `M` is the spread matrix
+/// around the ensemble mean. Only feasible for small state dimensions
+/// (tests, acoustic sections); production ESSE never forms it.
+pub fn sample_covariance(a: &Matrix) -> Matrix {
+    let mu = col_mean(a);
+    let m = spread_matrix(a, &mu);
+    m.matmul(&m.transpose()).expect("shapes agree")
+}
+
+/// Pearson correlation between two equal-length samples.
+pub fn correlation(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = crate::vecops::mean(x);
+    let my = crate::vecops::mean(y);
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_mean_simple() {
+        let a = Matrix::from_cols(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(col_mean(&a), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn spread_matrix_covariance_identity() {
+        // Members (1,0) and (-1,0) around center (0,0):
+        // spread = [[1,-1],[0,0]]/√1 ; S = M Mᵀ = [[2,0],[0,0]]
+        let a = Matrix::from_cols(&[vec![1.0, 0.0], vec![-1.0, 0.0]]).unwrap();
+        let m = spread_matrix(&a, &[0.0, 0.0]);
+        let s = m.matmul(&m.transpose()).unwrap();
+        assert!((s.get(0, 0) - 2.0).abs() < 1e-15);
+        assert_eq!(s.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn row_variance_matches_definition() {
+        let a = Matrix::from_cols(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]).unwrap();
+        // variance of 1,2,3,4 (sample) = 5/3
+        let v = row_variance(&a);
+        assert!((v[0] - 5.0 / 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn row_variance_degenerate_cases() {
+        let a = Matrix::from_cols(&[vec![1.0, 2.0]]).unwrap();
+        assert_eq!(row_variance(&a), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sample_covariance_diag_is_variance() {
+        let a = Matrix::from_cols(&[
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+        ])
+        .unwrap();
+        let s = sample_covariance(&a);
+        let v = row_variance(&a);
+        assert!((s.get(0, 0) - v[0]).abs() < 1e-12);
+        assert!((s.get(1, 1) - v[1]).abs() < 1e-12);
+        // perfectly correlated rows: cov = sqrt(v0 v1)
+        assert!((s.get(0, 1) - (v[0] * v[1]).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_bounds() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((correlation(&x, &y) - 1.0).abs() < 1e-14);
+        let z = [-1.0, -2.0, -3.0, -4.0];
+        assert!((correlation(&x, &z) + 1.0).abs() < 1e-14);
+        let c = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(correlation(&x, &c), 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Vector kernels shared by the factorizations and the ESSE statistics.
+
+/// Dot product. Unrolled by 4 to help the autovectorizer.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for k in 0..chunks {
+        let i = 4 * k;
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+    }
+    let mut s = s0 + s1 + s2 + s3;
+    for i in 4 * chunks..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Euclidean norm with scaling to avoid overflow/underflow.
+pub fn norm2(a: &[f64]) -> f64 {
+    let mx = a.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    if mx == 0.0 || !mx.is_finite() {
+        return mx;
+    }
+    let mut s = 0.0;
+    for &v in a {
+        let t = v / mx;
+        s += t * t;
+    }
+    mx * s.sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    if alpha == 0.0 {
+        return;
+    }
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Elementwise difference `a - b` into a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Elementwise sum `a + b` into a new vector.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Root-mean-square difference between two vectors.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum();
+    (s / a.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        // length not a multiple of 4 exercises the tail loop
+        let a: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        let b = vec![2.0; 11];
+        assert_eq!(dot(&a, &b), 110.0);
+    }
+
+    #[test]
+    fn norm2_is_scale_safe() {
+        let big = vec![1e200, 1e200];
+        let n = norm2(&big);
+        assert!(n.is_finite());
+        assert!((n - 1e200 * 2.0_f64.sqrt()).abs() / n < 1e-15);
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![3.5, 4.5]);
+    }
+
+    #[test]
+    fn rmse_zero_for_identical() {
+        let a = vec![1.0, 2.0, 3.0];
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

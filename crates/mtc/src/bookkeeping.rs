@@ -1,0 +1,180 @@
+//! File-based dependency tracking (paper §4.2).
+//!
+//! "Dependencies are tracked using separate (per perturbation index)
+//! files containing the error codes of the singleton scripts … These
+//! files reside in directories accessible directly or indirectly from
+//! all execution hosts so that state information can be readily shared."
+//!
+//! [`StatusDir`] is that mechanism: one small file per member index in a
+//! shared directory, holding the exit code; scanning the directory
+//! reconstructs workflow state after a crash, enabling restarts that
+//! "can only be restarted without rerunning all jobs".
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Exit status of a member, as recorded on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// Singleton finished successfully (exit code 0).
+    Success,
+    /// Singleton failed with the given code.
+    Failed(i32),
+}
+
+/// A shared status directory: one `<index>.status` file per member.
+#[derive(Debug, Clone)]
+pub struct StatusDir {
+    root: PathBuf,
+}
+
+impl StatusDir {
+    /// Open (creating if needed) a status directory.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<StatusDir> {
+        fs::create_dir_all(root.as_ref())?;
+        Ok(StatusDir { root: root.as_ref().to_path_buf() })
+    }
+
+    fn path_of(&self, index: usize) -> PathBuf {
+        self.root.join(format!("{index}.status"))
+    }
+
+    /// Record member `index`'s exit code (atomically: write-then-rename,
+    /// so concurrent scanners never see a half-written file).
+    pub fn record(&self, index: usize, status: ExitStatus) -> io::Result<()> {
+        let code = match status {
+            ExitStatus::Success => 0,
+            ExitStatus::Failed(c) => c,
+        };
+        let tmp = self.root.join(format!("{index}.status.tmp"));
+        fs::write(&tmp, format!("{code}\n"))?;
+        fs::rename(&tmp, self.path_of(index))?;
+        Ok(())
+    }
+
+    /// Read one member's recorded status, if any.
+    pub fn read(&self, index: usize) -> io::Result<Option<ExitStatus>> {
+        match fs::read_to_string(self.path_of(index)) {
+            Ok(s) => {
+                let code: i32 = s.trim().parse().map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad status file: {e}"))
+                })?;
+                Ok(Some(if code == 0 { ExitStatus::Success } else { ExitStatus::Failed(code) }))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Scan the directory: `(succeeded, failed)` member index lists.
+    pub fn scan(&self) -> io::Result<(Vec<usize>, Vec<usize>)> {
+        let mut ok = Vec::new();
+        let mut bad = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(stem) = name.strip_suffix(".status") else {
+                continue;
+            };
+            let Ok(index) = stem.parse::<usize>() else {
+                continue;
+            };
+            match self.read(index)? {
+                Some(ExitStatus::Success) => ok.push(index),
+                Some(ExitStatus::Failed(_)) => bad.push(index),
+                None => {}
+            }
+        }
+        ok.sort_unstable();
+        bad.sort_unstable();
+        Ok((ok, bad))
+    }
+
+    /// Remove every record (fresh experiment).
+    pub fn clear(&self) -> io::Result<()> {
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(".status") {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("esse-bookkeeping-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn record_and_read_roundtrip() {
+        let dir = StatusDir::open(tmpdir("rt")).unwrap();
+        dir.record(3, ExitStatus::Success).unwrap();
+        dir.record(7, ExitStatus::Failed(137)).unwrap();
+        assert_eq!(dir.read(3).unwrap(), Some(ExitStatus::Success));
+        assert_eq!(dir.read(7).unwrap(), Some(ExitStatus::Failed(137)));
+        assert_eq!(dir.read(99).unwrap(), None);
+    }
+
+    #[test]
+    fn scan_reconstructs_state() {
+        let dir = StatusDir::open(tmpdir("scan")).unwrap();
+        for i in [0usize, 2, 4] {
+            dir.record(i, ExitStatus::Success).unwrap();
+        }
+        dir.record(1, ExitStatus::Failed(1)).unwrap();
+        let (ok, bad) = dir.scan().unwrap();
+        assert_eq!(ok, vec![0, 2, 4]);
+        assert_eq!(bad, vec![1]);
+    }
+
+    #[test]
+    fn rerecord_overwrites() {
+        let dir = StatusDir::open(tmpdir("rewrite")).unwrap();
+        dir.record(5, ExitStatus::Failed(2)).unwrap();
+        dir.record(5, ExitStatus::Success).unwrap();
+        assert_eq!(dir.read(5).unwrap(), Some(ExitStatus::Success));
+    }
+
+    #[test]
+    fn clear_empties_directory() {
+        let dir = StatusDir::open(tmpdir("clear")).unwrap();
+        dir.record(1, ExitStatus::Success).unwrap();
+        dir.clear().unwrap();
+        let (ok, bad) = dir.scan().unwrap();
+        assert!(ok.is_empty() && bad.is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_and_scanners() {
+        let root = tmpdir("conc");
+        let dir = StatusDir::open(&root).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let d = dir.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        d.record(t * 100 + i, ExitStatus::Success).unwrap();
+                    }
+                });
+            }
+            let d = dir.clone();
+            s.spawn(move || {
+                for _ in 0..20 {
+                    // Scans must never error on half-written files.
+                    let _ = d.scan().unwrap();
+                }
+            });
+        });
+        let (ok, _) = dir.scan().unwrap();
+        assert_eq!(ok.len(), 200);
+    }
+}

@@ -1,0 +1,168 @@
+//! Statistical-coverage accounting for failed/missing members.
+//!
+//! Paper §4, point 3: "failures … are not catastrophic and can be
+//! tolerated — moreover runs that have not finished (or even started) by
+//! the forecast deadline can be safely ignored **provided they do not
+//! collectively represent a systematic hole in the statistical
+//! coverage**."
+//!
+//! Because ESSE perturbations are i.i.d. draws indexed by member number,
+//! losing a *random* subset is harmless; losing a *structured* subset
+//! (every member of one grid site's contiguous block, every odd index
+//! from a striped array submission) is exactly the systematic hole the
+//! paper warns about — it correlates with execution locality and hence
+//! potentially with anything the site's configuration did to those runs.
+//! This module quantifies the structure of the missing set.
+
+/// Coverage report for a planned ensemble of `0..total` members.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Members planned.
+    pub total: usize,
+    /// Members that delivered results.
+    pub completed: usize,
+    /// Longest run of consecutive missing members.
+    pub longest_gap: usize,
+    /// Fraction missing (0..1).
+    pub missing_fraction: f64,
+    /// p-value-like score for the longest gap under random loss (small ⇒
+    /// the gap is too long to be chance ⇒ systematic hole).
+    pub gap_surprise: f64,
+    /// Parity imbalance of the missing set: |missing_even − missing_odd|
+    /// / missing (1 ⇒ perfectly striped, a task-array stripe hole).
+    pub parity_imbalance: f64,
+}
+
+impl CoverageReport {
+    /// Verdict per the paper: tolerate the losses unless they are
+    /// structured (long contiguous gap beyond chance, or a stripe).
+    pub fn is_systematic_hole(&self) -> bool {
+        if self.completed == self.total {
+            return false;
+        }
+        self.gap_surprise < 0.01 || (self.parity_imbalance > 0.8 && self.missing() >= 8)
+    }
+
+    /// Number of missing members.
+    pub fn missing(&self) -> usize {
+        self.total - self.completed
+    }
+}
+
+/// Analyze which of `0..total` member indices completed.
+pub fn analyze(completed_ids: &[usize], total: usize) -> CoverageReport {
+    let mut present = vec![false; total];
+    let mut completed = 0usize;
+    for &id in completed_ids {
+        if id < total && !present[id] {
+            present[id] = true;
+            completed += 1;
+        }
+    }
+    let missing = total - completed;
+    // Longest missing gap.
+    let mut longest_gap = 0usize;
+    let mut run = 0usize;
+    for &p in &present {
+        if !p {
+            run += 1;
+            longest_gap = longest_gap.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    // Chance of a gap this long under uniform random loss: with loss
+    // probability q = missing/total, P(specific window of length L all
+    // missing) = q^L; union bound over (total − L + 1) windows.
+    let q = if total > 0 { missing as f64 / total as f64 } else { 0.0 };
+    let gap_surprise = if longest_gap == 0 || q >= 1.0 {
+        1.0
+    } else {
+        let windows = (total - longest_gap + 1) as f64;
+        (windows * q.powi(longest_gap as i32)).min(1.0)
+    };
+    // Parity structure of the missing set.
+    let (mut even, mut odd) = (0usize, 0usize);
+    for (i, &p) in present.iter().enumerate() {
+        if !p {
+            if i % 2 == 0 {
+                even += 1;
+            } else {
+                odd += 1;
+            }
+        }
+    }
+    let parity_imbalance = if missing > 0 {
+        (even as f64 - odd as f64).abs() / missing as f64
+    } else {
+        0.0
+    };
+    CoverageReport {
+        total,
+        completed,
+        longest_gap,
+        missing_fraction: q,
+        gap_surprise,
+        parity_imbalance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_ensemble_is_clean() {
+        let ids: Vec<usize> = (0..100).collect();
+        let r = analyze(&ids, 100);
+        assert_eq!(r.missing(), 0);
+        assert!(!r.is_systematic_hole());
+        assert_eq!(r.longest_gap, 0);
+    }
+
+    #[test]
+    fn scattered_random_losses_are_tolerated() {
+        // ~10% loss, scattered: no systematic hole.
+        let ids: Vec<usize> = (0..200).filter(|i| i % 13 != 5 && i % 17 != 3).collect();
+        let r = analyze(&ids, 200);
+        assert!(r.missing() > 10);
+        assert!(!r.is_systematic_hole(), "{r:?}");
+    }
+
+    #[test]
+    fn contiguous_block_loss_is_systematic() {
+        // Members 100..160 (one grid site's block) all missing.
+        let ids: Vec<usize> = (0..200).filter(|&i| !(100..160).contains(&i)).collect();
+        let r = analyze(&ids, 200);
+        assert_eq!(r.longest_gap, 60);
+        assert!(r.is_systematic_hole(), "{r:?}");
+    }
+
+    #[test]
+    fn striped_loss_is_systematic() {
+        // Every odd member missing (a task-array stripe failure).
+        let ids: Vec<usize> = (0..100).filter(|i| i % 2 == 0).collect();
+        let r = analyze(&ids, 100);
+        assert!((r.parity_imbalance - 1.0).abs() < 1e-12);
+        assert!(r.is_systematic_hole());
+    }
+
+    #[test]
+    fn duplicates_and_out_of_range_ignored() {
+        let ids = vec![0, 0, 1, 1, 500];
+        let r = analyze(&ids, 4);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.missing(), 2);
+    }
+
+    #[test]
+    fn small_random_gap_not_flagged() {
+        // 3 consecutive missing out of 100 with 10% loss overall: gap of
+        // 3 is unsurprising.
+        let mut ids: Vec<usize> = (0..100).collect();
+        ids.retain(|&i| !(50..53).contains(&i) && i % 15 != 0);
+        let r = analyze(&ids, 100);
+        assert!(r.gap_surprise > 0.01, "{r:?}");
+        assert!(!r.is_systematic_hole());
+    }
+}

@@ -1,0 +1,124 @@
+//! Workflow execution metrics: makespan, utilization, throughput — the
+//! quantities §5.2.1 of the paper reports.
+
+use crate::task::{TaskRecord, TaskState};
+use std::time::Duration;
+
+/// Aggregate execution metrics from a set of task records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionMetrics {
+    /// Tasks that ran to completion.
+    pub completed: usize,
+    /// Tasks cancelled before running.
+    pub cancelled: usize,
+    /// Sum of task runtimes (CPU-seconds consumed by the pool).
+    pub total_busy: Duration,
+    /// Earliest start to latest finish.
+    pub span: Duration,
+    /// Mean task runtime.
+    pub mean_runtime: Duration,
+    /// Pool utilization over the span for `workers` workers (0..1).
+    pub utilization: f64,
+}
+
+/// Compute metrics over `records` assuming `workers` parallel workers.
+pub fn summarize(records: &[TaskRecord], workers: usize) -> ExecutionMetrics {
+    let mut completed = 0usize;
+    let mut cancelled = 0usize;
+    let mut total_busy = Duration::ZERO;
+    let mut first_start: Option<Duration> = None;
+    let mut last_finish: Option<Duration> = None;
+    for r in records {
+        match r.state {
+            TaskState::Cancelled => cancelled += 1,
+            TaskState::Done => {
+                completed += 1;
+                if let Some(rt) = r.runtime() {
+                    total_busy += rt;
+                }
+                if let Some(s) = r.started_at {
+                    first_start = Some(first_start.map_or(s, |f| f.min(s)));
+                }
+                if let Some(f) = r.finished_at {
+                    last_finish = Some(last_finish.map_or(f, |l| l.max(f)));
+                }
+            }
+            _ => {}
+        }
+    }
+    let span = match (first_start, last_finish) {
+        (Some(s), Some(f)) if f > s => f - s,
+        _ => Duration::ZERO,
+    };
+    let mean_runtime = if completed > 0 {
+        total_busy / completed as u32
+    } else {
+        Duration::ZERO
+    };
+    let capacity = span.as_secs_f64() * workers.max(1) as f64;
+    let utilization = if capacity > 0.0 {
+        (total_busy.as_secs_f64() / capacity).min(1.0)
+    } else {
+        0.0
+    };
+    ExecutionMetrics { completed, cancelled, total_busy, span, mean_runtime, utilization }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskOutcome;
+
+    fn record(id: usize, start_s: f64, end_s: f64) -> TaskRecord {
+        TaskRecord {
+            id,
+            state: TaskState::Done,
+            started_at: Some(Duration::from_secs_f64(start_s)),
+            finished_at: Some(Duration::from_secs_f64(end_s)),
+            outcome: Some(TaskOutcome::Success),
+            worker: Some(0),
+        }
+    }
+
+    #[test]
+    fn perfect_packing_is_full_utilization() {
+        // 2 workers, 4 tasks of 1 s packed back to back over 2 s.
+        let records = vec![
+            record(0, 0.0, 1.0),
+            record(1, 0.0, 1.0),
+            record(2, 1.0, 2.0),
+            record(3, 1.0, 2.0),
+        ];
+        let m = summarize(&records, 2);
+        assert_eq!(m.completed, 4);
+        assert!((m.utilization - 1.0).abs() < 1e-9);
+        assert_eq!(m.span, Duration::from_secs(2));
+        assert_eq!(m.mean_runtime, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn idle_workers_reduce_utilization() {
+        // 2 workers but only one 2-second task.
+        let records = vec![record(0, 0.0, 2.0)];
+        let m = summarize(&records, 2);
+        assert!((m.utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancelled_tasks_counted_separately() {
+        let mut r = TaskRecord::pending(1);
+        r.state = TaskState::Cancelled;
+        let records = vec![record(0, 0.0, 1.0), r];
+        let m = summarize(&records, 1);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.cancelled, 1);
+    }
+
+    #[test]
+    fn empty_records() {
+        let m = summarize(&[], 4);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.span, Duration::ZERO);
+        assert_eq!(m.utilization, 0.0);
+    }
+}

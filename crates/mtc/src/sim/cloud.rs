@@ -1,0 +1,172 @@
+//! EC2 provisioning and the §5.4.2 cost model.
+//!
+//! "Cost-wise for example an ESSE calculation with 1.5GB input data, 960
+//! ensemble members each sending back 11MB (for a total of 6.6GB) would
+//! cost: 1.5(GB)×0.1 + 10.56(GB)×0.17 + 2(hr)×20×0.8 = $33.95. Use of
+//! reserved instances would drop pricing for the cpu usage by more than
+//! a factor of 3." (The paper's prose says 6.6 GB for 600×11 MB but the
+//! formula charges 10.56 GB = 960×11 MB — we implement the formula.)
+//!
+//! Billing quirks modeled: ceil-hour charging ("usage of 1 hour 1 sec
+//! counts as 2 hours"), separate in/out transfer prices, and reserved
+//! instances cutting the hourly rate by >3×.
+
+use crate::sim::ec2::Ec2Instance;
+
+/// 2009 EC2 pricing constants.
+#[derive(Debug, Clone, Copy)]
+pub struct Ec2Pricing {
+    /// USD per GB transferred into EC2.
+    pub transfer_in_per_gb: f64,
+    /// USD per GB transferred out of EC2.
+    pub transfer_out_per_gb: f64,
+    /// Reserved-instance discount on the hourly rate (>3× in the paper).
+    pub reserved_discount: f64,
+}
+
+impl Default for Ec2Pricing {
+    fn default() -> Self {
+        Ec2Pricing { transfer_in_per_gb: 0.10, transfer_out_per_gb: 0.17, reserved_discount: 3.2 }
+    }
+}
+
+/// A cost estimate broken into the paper's three terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Input transfer (USD).
+    pub transfer_in: f64,
+    /// Output transfer (USD).
+    pub transfer_out: f64,
+    /// Instance-hours (USD).
+    pub compute: f64,
+}
+
+impl CostBreakdown {
+    /// Total cost (USD).
+    pub fn total(&self) -> f64 {
+        self.transfer_in + self.transfer_out + self.compute
+    }
+}
+
+/// Hours billed for a run of `seconds` ("1 hour 1 sec counts as 2 hours").
+pub fn billed_hours(seconds: f64) -> f64 {
+    (seconds / 3600.0).ceil().max(1.0)
+}
+
+/// Cost of an ESSE campaign on EC2.
+///
+/// * `input_gb` staged in once,
+/// * `members` each returning `output_mb_per_member`,
+/// * `instances` running for `run_seconds` wall-clock each at
+///   `hourly_rate` USD/hour.
+pub fn campaign_cost(
+    pricing: &Ec2Pricing,
+    input_gb: f64,
+    members: usize,
+    output_mb_per_member: f64,
+    instances: usize,
+    run_seconds: f64,
+    hourly_rate: f64,
+    reserved: bool,
+) -> CostBreakdown {
+    let out_gb = members as f64 * output_mb_per_member / 1000.0;
+    let rate = if reserved { hourly_rate / pricing.reserved_discount } else { hourly_rate };
+    CostBreakdown {
+        transfer_in: input_gb * pricing.transfer_in_per_gb,
+        transfer_out: out_gb * pricing.transfer_out_per_gb,
+        compute: billed_hours(run_seconds) * instances as f64 * rate,
+    }
+}
+
+/// How many instances of a type are needed to run `members` forecasts of
+/// `task_s` seconds (on that instance) within `deadline_s`, given the
+/// instance's core count.
+pub fn instances_needed(inst: &Ec2Instance, members: usize, task_s: f64, deadline_s: f64) -> usize {
+    let waves = (deadline_s / task_s).floor().max(1.0);
+    let per_instance = (inst.cores * waves).max(0.5);
+    (members as f64 / per_instance).ceil() as usize
+}
+
+/// Virtual-cluster provisioning: boot latency before the pool is usable
+/// (minutes, not the hours of a grid queue — the paper's "for all
+/// intents and purposes the response is immediate").
+#[derive(Debug, Clone, Copy)]
+pub struct ProvisioningModel {
+    /// Time to boot one AMI (s).
+    pub boot_s: f64,
+    /// Instances booted concurrently.
+    pub parallel_boots: usize,
+}
+
+impl Default for ProvisioningModel {
+    fn default() -> Self {
+        ProvisioningModel { boot_s: 120.0, parallel_boots: 20 }
+    }
+}
+
+impl ProvisioningModel {
+    /// Time until `n` instances are up.
+    pub fn time_to_provision(&self, n: usize) -> f64 {
+        let waves = n.div_ceil(self.parallel_boots.max(1));
+        waves as f64 * self.boot_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::ec2::m1_xlarge;
+
+    #[test]
+    fn paper_example_costs_33_95() {
+        // 1.5 GB in, 960 members × 11 MB out, 2 h × 20 instances × $0.8.
+        let c = campaign_cost(&Ec2Pricing::default(), 1.5, 960, 11.0, 20, 2.0 * 3600.0, 0.80, false);
+        assert!((c.transfer_in - 0.15).abs() < 1e-9);
+        assert!((c.transfer_out - 10.56 * 0.17).abs() < 1e-9);
+        assert!((c.compute - 32.0).abs() < 1e-9);
+        assert!((c.total() - 33.945).abs() < 0.01, "total = {}", c.total());
+    }
+
+    #[test]
+    fn ceil_hour_billing() {
+        assert_eq!(billed_hours(3600.0), 1.0);
+        assert_eq!(billed_hours(3601.0), 2.0);
+        assert_eq!(billed_hours(1.0), 1.0);
+        // The paper's exact complaint: 1 h 1 s = 2 hours.
+        let short = campaign_cost(&Ec2Pricing::default(), 0.0, 0, 0.0, 10, 3601.0, 0.80, false);
+        assert!((short.compute - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reserved_instances_cut_compute_over_3x() {
+        let p = Ec2Pricing::default();
+        let on_demand = campaign_cost(&p, 1.5, 960, 11.0, 20, 7200.0, 0.80, false);
+        let reserved = campaign_cost(&p, 1.5, 960, 11.0, 20, 7200.0, 0.80, true);
+        assert!(on_demand.compute / reserved.compute > 3.0);
+        // Transfers unchanged.
+        assert_eq!(on_demand.transfer_in, reserved.transfer_in);
+        assert_eq!(on_demand.transfer_out, reserved.transfer_out);
+    }
+
+    #[test]
+    fn instances_needed_scales() {
+        let inst = m1_xlarge(); // 4 cores
+        // 960 members of 1860 s within 2 h: 3 waves per core → 12 per
+        // instance → 80 instances.
+        let n = instances_needed(&inst, 960, 1860.0, 7200.0);
+        assert_eq!(n, 80);
+        // Within 1 h: only 1 wave → 240 instances.
+        let n1 = instances_needed(&inst, 960, 1860.0, 3600.0);
+        assert_eq!(n1, 240);
+    }
+
+    #[test]
+    fn provisioning_is_minutes_not_hours() {
+        let p = ProvisioningModel::default();
+        // 20 instances boot in one 2-minute wave.
+        assert_eq!(p.time_to_provision(20), 120.0);
+        assert_eq!(p.time_to_provision(21), 240.0);
+        // Contrast with a grid queue wait of hours: EC2 is "immediate".
+        assert!(p.time_to_provision(100) < 3600.0);
+    }
+}

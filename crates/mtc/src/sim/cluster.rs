@@ -1,0 +1,368 @@
+//! Discrete-event simulation of the paper's home cluster (§5.2):
+//! a fixed pool of cores fed by a dispatch policy, with job input read
+//! either from prestaged local disk or from the shared NFS server
+//! (fluid-flow contention), and output always copied back to NFS
+//! ("in all cases the useful output files are copied back to the NFS
+//! server at the end of their job").
+
+use crate::sim::event::EventQueue;
+use crate::sim::platform::Platform;
+use crate::sim::scheduler::DispatchPolicy;
+use crate::sim::storage::SharedBandwidth;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Where job input lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputStaging {
+    /// Input prestaged to every node's local disk (the "all local I/O"
+    /// scenario).
+    PrestagedLocal,
+    /// Input read from the shared NFS server (the "mixed locality"
+    /// scenario).
+    NfsShared,
+}
+
+/// One job's resource demands (reference-platform CPU seconds + I/O).
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec {
+    /// CPU seconds on the reference platform.
+    pub cpu_s: f64,
+    /// Input volume (MB).
+    pub read_mb: f64,
+    /// Small-file operations during input.
+    pub small_ops: usize,
+    /// Output volume copied back to NFS (MB).
+    pub write_mb: f64,
+}
+
+/// NFS server characteristics (10 Gbit/s link in the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct NfsConfig {
+    /// Aggregate server bandwidth (MB/s).
+    pub capacity_mb_s: f64,
+    /// Per-client cap (node NIC, MB/s; GigE in the paper).
+    pub per_client_mb_s: f64,
+}
+
+impl Default for NfsConfig {
+    fn default() -> Self {
+        // 10 Gbit/s server link, 1 Gbit/s node NICs.
+        NfsConfig { capacity_mb_s: 1250.0, per_client_mb_s: 110.0 }
+    }
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker cores available (the paper had ~210 of 240 free).
+    pub cores: usize,
+    /// Node platform (homogeneous local cluster).
+    pub platform: Platform,
+    /// Dispatch policy (SGE vs Condor).
+    pub dispatch: DispatchPolicy,
+    /// Input staging mode.
+    pub staging: InputStaging,
+    /// NFS server model.
+    pub nfs: NfsConfig,
+}
+
+/// Timestamps of one simulated job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobTimes {
+    /// Job index.
+    pub id: usize,
+    /// Dispatch (start of input read).
+    pub start: f64,
+    /// Input read finished / CPU began.
+    pub cpu_start: f64,
+    /// CPU finished / output copy began.
+    pub cpu_end: f64,
+    /// Output copy finished (job complete).
+    pub end: f64,
+}
+
+impl JobTimes {
+    /// Total wall time.
+    pub fn total(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// CPU utilization of the job (cpu time / wall time).
+    pub fn cpu_utilization(&self) -> f64 {
+        let w = self.total();
+        if w > 0.0 {
+            (self.cpu_end - self.cpu_start) / w
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Batch simulation report.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Completion time of the last job (s).
+    pub makespan: f64,
+    /// Per-job timestamps.
+    pub jobs: Vec<JobTimes>,
+    /// Mean per-job CPU utilization.
+    pub mean_cpu_utilization: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A slot is ready to take a job.
+    Dispatch,
+    /// Fixed-duration input read finished.
+    ReadDone(usize),
+    /// CPU phase finished.
+    CpuDone(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Read,
+    Write,
+}
+
+/// Simulate a batch of identical-`spec` jobs (`count` of them).
+pub fn run_batch(cfg: &ClusterConfig, spec: JobSpec, count: usize) -> SimReport {
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut nfs = SharedBandwidth::new(cfg.nfs.capacity_mb_s, cfg.nfs.per_client_mb_s);
+    let mut pending: VecDeque<usize> = (0..count).collect();
+    let mut jobs: Vec<JobTimes> = (0..count)
+        .map(|id| JobTimes { id, start: -1.0, cpu_start: -1.0, cpu_end: -1.0, end: -1.0 })
+        .collect();
+    let mut flow_of: HashMap<u64, (usize, Phase)> = HashMap::new();
+    let mut next_flow: u64 = 0;
+    let mut completed = 0usize;
+    let eff_speed = cfg.platform.effective_speed();
+    let small_latency = match cfg.staging {
+        InputStaging::PrestagedLocal => cfg.platform.fs.small_file_latency_s,
+        // Small ops over NFS: round-trips to the server (~1 ms each).
+        InputStaging::NfsShared => 0.001,
+    };
+
+    // All slots ask for work at their first dispatch opportunity.
+    for _ in 0..cfg.cores {
+        queue.schedule(cfg.dispatch.next_dispatch(0.0), Ev::Dispatch);
+    }
+
+    let start_job = |id: usize,
+                         t: f64,
+                         queue: &mut EventQueue<Ev>,
+                         nfs: &mut SharedBandwidth,
+                         flow_of: &mut HashMap<u64, (usize, Phase)>,
+                         next_flow: &mut u64,
+                         jobs: &mut [JobTimes]| {
+        jobs[id].start = t;
+        let meta = spec.small_ops as f64 * small_latency;
+        match cfg.staging {
+            InputStaging::PrestagedLocal => {
+                let read = spec.read_mb / cfg.platform.fs.seq_bandwidth_mb_s + meta;
+                queue.schedule(t + read, Ev::ReadDone(id));
+            }
+            InputStaging::NfsShared => {
+                // Metadata ops first (not bandwidth-bound), then the
+                // bulk transfer through the shared server.
+                nfs.add_flow(*next_flow, spec.read_mb, t + meta);
+                flow_of.insert(*next_flow, (id, Phase::Read));
+                *next_flow += 1;
+            }
+        }
+    };
+
+    loop {
+        // Next source of progress: event queue or NFS completion.
+        let t_ev = queue.peek_time();
+        let t_bw = nfs.next_completion().map(|(t, _)| t);
+        let bw_first = match (t_ev, t_bw) {
+            (None, None) => break,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(te), Some(tb)) => tb < te,
+        };
+        match (t_ev, t_bw) {
+            _ if bw_first => {
+                let tb = t_bw.expect("bw_first implies a completion");
+                // NFS transfer completes first.
+                nfs.advance_to(tb);
+                for fid in nfs.harvest() {
+                    let (id, phase) = flow_of.remove(&fid).expect("tracked flow");
+                    match phase {
+                        Phase::Read => {
+                            jobs[id].cpu_start = tb;
+                            let cpu = spec.cpu_s / eff_speed;
+                            queue.schedule(tb + cpu, Ev::CpuDone(id));
+                        }
+                        Phase::Write => {
+                            jobs[id].end = tb;
+                            completed += 1;
+                            queue.schedule(cfg.dispatch.next_dispatch(tb), Ev::Dispatch);
+                        }
+                    }
+                }
+            }
+            _ => {
+                let Some((t, ev)) = queue.pop() else { break };
+                nfs.advance_to(t);
+                // Harvest any flows that finished exactly by now.
+                for fid in nfs.harvest() {
+                    let (id, phase) = flow_of.remove(&fid).expect("tracked flow");
+                    match phase {
+                        Phase::Read => {
+                            jobs[id].cpu_start = t;
+                            let cpu = spec.cpu_s / eff_speed;
+                            queue.schedule(t + cpu, Ev::CpuDone(id));
+                        }
+                        Phase::Write => {
+                            jobs[id].end = t;
+                            completed += 1;
+                            queue.schedule(cfg.dispatch.next_dispatch(t), Ev::Dispatch);
+                        }
+                    }
+                }
+                match ev {
+                    Ev::Dispatch => {
+                        if let Some(id) = pending.pop_front() {
+                            start_job(id, t, &mut queue, &mut nfs, &mut flow_of, &mut next_flow, &mut jobs);
+                        }
+                        // No pending work: the slot stays idle (batch done).
+                    }
+                    Ev::ReadDone(id) => {
+                        jobs[id].cpu_start = t;
+                        let cpu = spec.cpu_s / eff_speed;
+                        queue.schedule(t + cpu, Ev::CpuDone(id));
+                    }
+                    Ev::CpuDone(id) => {
+                        jobs[id].cpu_end = t;
+                        if spec.write_mb > 0.0 {
+                            nfs.add_flow(next_flow, spec.write_mb, t);
+                            flow_of.insert(next_flow, (id, Phase::Write));
+                            next_flow += 1;
+                        } else {
+                            jobs[id].end = t;
+                            completed += 1;
+                            queue.schedule(cfg.dispatch.next_dispatch(t), Ev::Dispatch);
+                        }
+                    }
+                }
+            }
+        }
+        if completed == count && nfs.active() == 0 {
+            break;
+        }
+    }
+    let makespan = jobs.iter().map(|j| j.end).fold(0.0, f64::max);
+    let mean_cpu_utilization = if count > 0 {
+        jobs.iter().map(|j| j.cpu_utilization()).sum::<f64>() / count as f64
+    } else {
+        0.0
+    };
+    SimReport { makespan, jobs, mean_cpu_utilization }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::platform::local_opteron;
+
+    fn esse_member_job() -> JobSpec {
+        // pert + pemodel fused (§5.2.1): pert reads the prior modes, the
+        // PE model reads forcing/climatology; output is ~11 MB.
+        JobSpec { cpu_s: 5.89 + 1531.0, read_mb: 1140.0, small_ops: 600, write_mb: 11.0 }
+    }
+
+    fn cluster(staging: InputStaging, dispatch: DispatchPolicy) -> ClusterConfig {
+        ClusterConfig {
+            cores: 210,
+            platform: local_opteron(),
+            dispatch,
+            staging,
+            nfs: NfsConfig::default(),
+        }
+    }
+
+    #[test]
+    fn local_staging_600_members_about_77_minutes() {
+        let cfg = cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge());
+        let rep = run_batch(&cfg, esse_member_job(), 600);
+        let minutes = rep.makespan / 60.0;
+        // Paper: ≈ 77 min.
+        assert!((73.0..82.0).contains(&minutes), "makespan {minutes:.1} min");
+        assert!(rep.mean_cpu_utilization > 0.95, "util {}", rep.mean_cpu_utilization);
+    }
+
+    #[test]
+    fn nfs_staging_600_members_about_86_minutes() {
+        let cfg = cluster(InputStaging::NfsShared, DispatchPolicy::sge());
+        let rep = run_batch(&cfg, esse_member_job(), 600);
+        let minutes = rep.makespan / 60.0;
+        // Paper: ≈ 86 min for the mixed-locality case.
+        assert!((82.0..92.0).contains(&minutes), "makespan {minutes:.1} min");
+        // And it must be slower than the all-local run.
+        let local = run_batch(
+            &cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge()),
+            esse_member_job(),
+            600,
+        );
+        assert!(rep.makespan > local.makespan + 200.0);
+    }
+
+    #[test]
+    fn condor_is_10_to_20_percent_slower() {
+        let spec = esse_member_job();
+        let sge = run_batch(&cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge()), spec, 600);
+        let condor = run_batch(
+            &cluster(InputStaging::PrestagedLocal, DispatchPolicy::condor()),
+            spec,
+            600,
+        );
+        let ratio = condor.makespan / sge.makespan;
+        assert!(
+            (1.05..1.30).contains(&ratio),
+            "condor/sge = {ratio:.3} ({} vs {})",
+            condor.makespan,
+            sge.makespan
+        );
+    }
+
+    #[test]
+    fn acoustics_sweep_6000_jobs_flows_through() {
+        // §5.2.1: 6000+ acoustics realizations, ~3 minutes each.
+        let spec = JobSpec { cpu_s: 180.0, read_mb: 5.0, small_ops: 20, write_mb: 2.0 };
+        let cfg = cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge());
+        let rep = run_batch(&cfg, spec, 6000);
+        // Ideal: 6000/210 × ~180 s ≈ 86 min; allow scheduling overhead.
+        let minutes = rep.makespan / 60.0;
+        assert!((80.0..110.0).contains(&minutes), "makespan {minutes:.1} min");
+        assert_eq!(rep.jobs.len(), 6000);
+        assert!(rep.jobs.iter().all(|j| j.end > 0.0));
+    }
+
+    #[test]
+    fn utilization_drops_under_nfs_contention() {
+        // The §5.2.1 signature: prestaged input keeps CPUs busy; NFS
+        // contention starves them during the read phase.
+        let spec = JobSpec { cpu_s: 5.89, read_mb: 140.0, small_ops: 600, write_mb: 0.0 };
+        let local = run_batch(&cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge()), spec, 210);
+        let nfs = run_batch(&cluster(InputStaging::NfsShared, DispatchPolicy::sge()), spec, 210);
+        assert!(local.mean_cpu_utilization > 0.9, "local {}", local.mean_cpu_utilization);
+        assert!(
+            nfs.mean_cpu_utilization < 0.3,
+            "nfs {} should starve",
+            nfs.mean_cpu_utilization
+        );
+    }
+
+    #[test]
+    fn small_cluster_serializes_waves() {
+        let spec = JobSpec { cpu_s: 100.0, read_mb: 0.0, small_ops: 0, write_mb: 0.0 };
+        let mut cfg = cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge());
+        cfg.cores = 2;
+        let rep = run_batch(&cfg, spec, 4);
+        // Two waves of 100 s + dispatch overheads.
+        assert!((200.0..205.0).contains(&rep.makespan), "makespan {}", rep.makespan);
+    }
+}

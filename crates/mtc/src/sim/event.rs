@@ -1,0 +1,137 @@
+//! Discrete-event machinery: a time-ordered event queue with stable
+//! FIFO ordering for simultaneous events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event at `time` carrying a payload.
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; tie-break on sequence for FIFO.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+    }
+
+    /// Schedule `payload` at absolute time `time` (clamped to now).
+    pub fn schedule(&mut self, time: f64, payload: E) {
+        let t = time.max(self.now);
+        self.heap.push(Entry { time: t, seq: self.seq, payload });
+        self.seq += 1;
+    }
+
+    /// Pop the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let e = self.heap.pop()?;
+        self.now = e.time;
+        Some((e.time, e.payload))
+    }
+
+    /// Time of the next event without popping.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.pop().unwrap(), (1.0, "a"));
+        assert_eq!(q.pop().unwrap(), (2.0, "b"));
+        assert_eq!(q.pop().unwrap(), (3.0, "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(1.0, 2);
+        q.schedule(1.0, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn clock_advances_and_clamps() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "x");
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+        // Scheduling in the past clamps to now.
+        q.schedule(1.0, "late");
+        assert_eq!(q.pop().unwrap(), (5.0, "late"));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, 0);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Gang scheduling of small multi-task (MPI) members — paper §7:
+//! "nested HOPS calculations which are executed in parallel — thereby
+//! introducing the concept of massive ensembles of small (2-3 task) MPI
+//! jobs. We are interested in seeing how queuing systems and resource
+//! managers handle such a workload."
+//!
+//! A gang needs `g` slots *simultaneously*; a cluster of `c` cores packs
+//! `floor(c/g)` gangs per wave, wasting `c mod g` slots — plus, under a
+//! scheduler that backfills singletons aggressively, gangs can starve
+//! unless slots are reserved. The model quantifies both effects.
+
+/// Packing report for a gang workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GangReport {
+    /// Gangs that run concurrently.
+    pub gangs_per_wave: usize,
+    /// Slots idle in every wave due to packing.
+    pub wasted_slots: usize,
+    /// Waves required.
+    pub waves: usize,
+    /// Makespan (s).
+    pub makespan_s: f64,
+    /// Slot utilization (0..1).
+    pub utilization: f64,
+}
+
+/// Pack `jobs` gangs of `gang_size` tasks (each `task_s` seconds,
+/// synchronized) onto `cores` slots.
+pub fn pack_gangs(cores: usize, gang_size: usize, jobs: usize, task_s: f64) -> GangReport {
+    assert!(gang_size >= 1);
+    let gangs_per_wave = (cores / gang_size).max(0);
+    if gangs_per_wave == 0 {
+        return GangReport {
+            gangs_per_wave: 0,
+            wasted_slots: cores,
+            waves: 0,
+            makespan_s: f64::INFINITY,
+            utilization: 0.0,
+        };
+    }
+    let wasted = cores - gangs_per_wave * gang_size;
+    let waves = jobs.div_ceil(gangs_per_wave);
+    let makespan = waves as f64 * task_s;
+    let busy = jobs as f64 * gang_size as f64 * task_s;
+    let capacity = cores as f64 * makespan;
+    GangReport {
+        gangs_per_wave,
+        wasted_slots: wasted,
+        waves,
+        makespan_s: makespan,
+        utilization: if capacity > 0.0 { (busy / capacity).min(1.0) } else { 0.0 },
+    }
+}
+
+/// Compare a gang workload against running the same total work as
+/// singletons (ratio > 1 = gangs cost extra makespan).
+pub fn gang_overhead(cores: usize, gang_size: usize, jobs: usize, task_s: f64) -> f64 {
+    let gang = pack_gangs(cores, gang_size, jobs, task_s);
+    // Singleton equivalent: jobs × gang_size independent tasks.
+    let singleton_waves = (jobs * gang_size).div_ceil(cores);
+    let singleton = singleton_waves as f64 * task_s;
+    gang.makespan_s / singleton
+}
+
+/// Reservation policy for mixing gangs with singleton backfill: reserve
+/// `reserved` slots for gangs, let singletons use the rest. Returns
+/// `(gang makespan, singleton makespan)` — the §7 concern is schedulers
+/// "tuned to prioritize large core count parallel jobs" or, inversely,
+/// backfill starving the gangs.
+pub fn mixed_with_reservation(
+    cores: usize,
+    reserved: usize,
+    gang_size: usize,
+    gangs: usize,
+    singletons: usize,
+    task_s: f64,
+) -> (f64, f64) {
+    let reserved = reserved.min(cores);
+    let gang_rep = pack_gangs(reserved, gang_size, gangs, task_s);
+    let single_slots = cores - reserved;
+    let single_makespan = if single_slots == 0 {
+        f64::INFINITY
+    } else {
+        singletons.div_ceil(single_slots) as f64 * task_s
+    };
+    (gang_rep.makespan_s, single_makespan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_packing_wastes_nothing() {
+        let r = pack_gangs(210, 3, 70, 100.0);
+        assert_eq!(r.gangs_per_wave, 70);
+        assert_eq!(r.wasted_slots, 0);
+        assert_eq!(r.waves, 1);
+        assert!((r.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remainder_slots_are_wasted() {
+        // 210 cores, gangs of 4: 52 gangs/wave, 2 slots idle.
+        let r = pack_gangs(210, 4, 52, 100.0);
+        assert_eq!(r.gangs_per_wave, 52);
+        assert_eq!(r.wasted_slots, 2);
+        assert!(r.utilization < 1.0);
+    }
+
+    #[test]
+    fn gang_too_big_for_cluster() {
+        let r = pack_gangs(2, 3, 5, 100.0);
+        assert_eq!(r.gangs_per_wave, 0);
+        assert!(r.makespan_s.is_infinite());
+    }
+
+    #[test]
+    fn gangs_never_beat_singletons() {
+        for (cores, g, jobs) in [(210, 2, 300), (210, 3, 1000), (100, 7, 55)] {
+            let overhead = gang_overhead(cores, g, jobs, 60.0);
+            assert!(overhead >= 1.0 - 1e-12, "overhead {overhead}");
+        }
+    }
+
+    #[test]
+    fn gang_overhead_worst_when_gang_size_misaligns() {
+        // 100 cores: gangs of 3 waste 1 slot/wave; gangs of 4 pack evenly.
+        let bad = gang_overhead(100, 3, 330, 60.0);
+        let good = gang_overhead(100, 4, 250, 60.0);
+        assert!(bad >= good, "misaligned {bad} vs aligned {good}");
+    }
+
+    #[test]
+    fn reservation_trades_gang_vs_singleton_latency() {
+        // More reservation: gangs finish sooner, singletons later.
+        let (g_lo, s_lo) = mixed_with_reservation(210, 30, 3, 100, 600, 100.0);
+        let (g_hi, s_hi) = mixed_with_reservation(210, 90, 3, 100, 600, 100.0);
+        assert!(g_hi < g_lo);
+        assert!(s_hi > s_lo);
+    }
+}

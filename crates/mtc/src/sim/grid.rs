@@ -1,0 +1,175 @@
+//! Grid (Teragrid-like) resource model: queue waits, per-user active-job
+//! caps, and advance reservations (§5.3.3-5.3.4).
+//!
+//! The paper's concerns: shared queues may start jobs "on the following
+//! day (or in any case outside the useful time window)", active-job caps
+//! "throttle back performance expectations", and schedulers tuned for
+//! large parallel jobs penalize massive task parallelism. This module
+//! gives each site a deterministic queue-wait model plus a cap, and
+//! computes when the ESSE member results actually become available.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One grid site's scheduling behaviour.
+#[derive(Debug, Clone)]
+pub struct GridSite {
+    /// Site name.
+    pub name: String,
+    /// Cores obtainable once jobs run.
+    pub cores: usize,
+    /// Mean queue wait before the first job starts (s).
+    pub mean_queue_wait: f64,
+    /// Spread of queue wait (uniform half-width, s).
+    pub queue_wait_spread: f64,
+    /// Maximum simultaneously *active* jobs per user (0 = unlimited).
+    pub max_active_jobs: usize,
+    /// Advance reservation available: queue wait collapses to 0.
+    pub advance_reservation: bool,
+}
+
+impl GridSite {
+    /// Sample this site's queue wait for one submission batch.
+    pub fn sample_queue_wait(&self, rng: &mut StdRng) -> f64 {
+        if self.advance_reservation {
+            return 0.0;
+        }
+        let lo = (self.mean_queue_wait - self.queue_wait_spread).max(0.0);
+        let hi = self.mean_queue_wait + self.queue_wait_spread;
+        rng.gen_range(lo..=hi.max(lo + 1e-9))
+    }
+
+    /// Effective parallelism for a task-parallel workload: limited by the
+    /// per-user cap if one exists.
+    pub fn effective_slots(&self) -> usize {
+        if self.max_active_jobs == 0 {
+            self.cores
+        } else {
+            self.cores.min(self.max_active_jobs)
+        }
+    }
+
+    /// Makespan (s from submission) for `jobs` independent tasks of
+    /// `task_s` seconds each, given a sampled queue wait.
+    pub fn makespan(&self, jobs: usize, task_s: f64, queue_wait: f64) -> f64 {
+        let slots = self.effective_slots().max(1);
+        let waves = jobs.div_ceil(slots);
+        queue_wait + waves as f64 * task_s
+    }
+
+    /// Can this site deliver `jobs` tasks of `task_s` seconds before a
+    /// forecast deadline of `deadline_s` from submission (using the mean
+    /// queue wait)?
+    pub fn timely(&self, jobs: usize, task_s: f64, deadline_s: f64) -> bool {
+        let wait = if self.advance_reservation { 0.0 } else { self.mean_queue_wait };
+        self.makespan(jobs, task_s, wait) <= deadline_s
+    }
+}
+
+/// A multi-site plan: split an ensemble over several sites proportionally
+/// to their effective slots (the paper's "so many different Grid
+/// resources at the same time would have to be employed").
+pub fn split_ensemble(sites: &[GridSite], members: usize) -> Vec<(usize, usize)> {
+    let total: usize = sites.iter().map(|s| s.effective_slots()).sum();
+    if total == 0 || members == 0 {
+        return sites.iter().map(|_| (0, 0)).collect();
+    }
+    let mut out = Vec::with_capacity(sites.len());
+    let mut assigned = 0;
+    for (i, s) in sites.iter().enumerate() {
+        let share = if i + 1 == sites.len() {
+            members - assigned
+        } else {
+            members * s.effective_slots() / total
+        };
+        out.push((i, share));
+        assigned += share;
+    }
+    out
+}
+
+/// Completion time of the whole ensemble when split across sites
+/// (deterministic mean waits; the slowest site dominates — §5.3.3's
+/// "perturbation 900 may very well finish well before number 700").
+pub fn ensemble_completion(sites: &[GridSite], members: usize, task_s: f64, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = split_ensemble(sites, members);
+    let mut worst = 0.0_f64;
+    for &(i, share) in &split {
+        if share == 0 {
+            continue;
+        }
+        let wait = sites[i].sample_queue_wait(&mut rng);
+        worst = worst.max(sites[i].makespan(share, task_s, wait));
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(cores: usize, wait: f64, cap: usize) -> GridSite {
+        GridSite {
+            name: "test".into(),
+            cores,
+            mean_queue_wait: wait,
+            queue_wait_spread: 0.0,
+            max_active_jobs: cap,
+            advance_reservation: false,
+        }
+    }
+
+    #[test]
+    fn active_job_cap_throttles() {
+        let s = site(1000, 0.0, 100);
+        assert_eq!(s.effective_slots(), 100);
+        // 1000 tasks of 100 s at 100 slots = 10 waves.
+        assert_eq!(s.makespan(1000, 100.0, 0.0), 1000.0);
+    }
+
+    #[test]
+    fn queue_wait_can_blow_the_deadline() {
+        // 4-hour queue wait, 2-hour deadline: not timely even with
+        // enough cores.
+        let s = site(500, 4.0 * 3600.0, 0);
+        assert!(!s.timely(400, 1531.0, 2.0 * 3600.0));
+        // Advance reservation fixes it.
+        let mut r = s.clone();
+        r.advance_reservation = true;
+        assert!(r.timely(400, 1531.0, 2.0 * 3600.0));
+    }
+
+    #[test]
+    fn reservation_zeroes_wait() {
+        let mut s = site(10, 1000.0, 0);
+        s.advance_reservation = true;
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.sample_queue_wait(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn split_proportional_to_slots() {
+        let sites = vec![site(100, 0.0, 0), site(300, 0.0, 0)];
+        let split = split_ensemble(&sites, 400);
+        assert_eq!(split[0].1, 100);
+        assert_eq!(split[1].1, 300);
+        // All members assigned.
+        assert_eq!(split.iter().map(|s| s.1).sum::<usize>(), 400);
+    }
+
+    #[test]
+    fn slowest_site_dominates_completion() {
+        let sites = vec![site(100, 0.0, 0), site(100, 10_000.0, 0)];
+        let t = ensemble_completion(&sites, 200, 100.0, 7);
+        assert!(t >= 10_000.0, "t = {t}");
+    }
+
+    #[test]
+    fn empty_cases() {
+        let sites = vec![site(10, 0.0, 0)];
+        assert_eq!(ensemble_completion(&sites, 0, 100.0, 1), 0.0);
+        let split = split_ensemble(&[], 100);
+        assert!(split.is_empty());
+    }
+}

@@ -1,0 +1,399 @@
+//! Mixed local/Grid/EC2 pools (paper §5.3.1, §5.4.1 and the §7 plan to
+//! "test the feasibility of a mixed local/Grid/EC2 run employing
+//! MyCluster") plus the split pert/pemodel workflow variant of §4.2.
+//!
+//! A [`ResourcePool`] is one scheduling domain (the home cluster, one
+//! grid site, one EC2 virtual cluster) with its own platform, slot
+//! count, availability delay (queue wait / provisioning) and staging
+//! state. [`MixedPlan`] assigns each pool "a clearly separated block of
+//! ensemble members … to avoid overlaps" (§5.3.1) and predicts the
+//! completion timeline, including the §5.3.3 effect that "perturbation
+//! 900 may very well finish well before number 700".
+
+use crate::sim::platform::{pemodel_time, pert_time, Platform, WorkloadSpec};
+
+/// One scheduling domain in the mixed run.
+#[derive(Debug, Clone)]
+pub struct ResourcePool {
+    /// Pool name ("home", "TG-ORNL", "ec2-c1.xlarge", …).
+    pub name: String,
+    /// Node platform of this pool.
+    pub platform: Platform,
+    /// Concurrent member slots.
+    pub slots: usize,
+    /// Time until the pool can start work (grid queue wait, EC2 boot).
+    pub availability_delay_s: f64,
+    /// Can this pool's nodes read the big `pert` inputs efficiently?
+    /// If false, `pert` must run elsewhere and ship initial conditions
+    /// here (the §4.2 split-ensemble rationale).
+    pub fast_input_access: bool,
+    /// Seconds to ship one member's initial conditions into this pool
+    /// when `pert` ran remotely.
+    pub ic_ship_s: f64,
+}
+
+/// The member-block assignment for one pool.
+#[derive(Debug, Clone)]
+pub struct BlockAssignment {
+    /// Pool index.
+    pub pool: usize,
+    /// First member index (inclusive).
+    pub first: usize,
+    /// Number of members.
+    pub count: usize,
+    /// Predicted completion time of the block (s from submission).
+    pub completion_s: f64,
+}
+
+/// A mixed-run plan.
+#[derive(Debug, Clone)]
+pub struct MixedPlan {
+    /// Per-pool blocks, in pool order.
+    pub blocks: Vec<BlockAssignment>,
+    /// Completion of the whole ensemble (max over blocks).
+    pub makespan_s: f64,
+}
+
+/// Per-member job cost on a pool, honoring the split-pert variant:
+/// pools without fast input access receive pert output shipped from the
+/// home cluster instead of running pert locally.
+pub fn member_time(w: &WorkloadSpec, pool: &ResourcePool) -> f64 {
+    if pool.fast_input_access {
+        pert_time(w, &pool.platform) + pemodel_time(w, &pool.platform)
+    } else {
+        pool.ic_ship_s + pemodel_time(w, &pool.platform)
+    }
+}
+
+/// Makespan-balanced assignment: pick the completion time `T` at which
+/// the pools' combined throughput covers all members, then give each
+/// pool the members it can finish by `T` (accounting for its
+/// availability delay). This equalizes block completion times instead of
+/// letting the slowest site dominate.
+pub fn plan_balanced(w: &WorkloadSpec, pools: &[ResourcePool], members: usize) -> MixedPlan {
+    assert!(!pools.is_empty(), "need at least one pool");
+    if members == 0 {
+        return plan(w, pools, 0);
+    }
+    let mt: Vec<f64> = pools.iter().map(|p| member_time(w, p).max(1e-9)).collect();
+    let capacity_by = |t: f64| -> usize {
+        pools
+            .iter()
+            .zip(mt.iter())
+            .map(|(p, &m)| {
+                let usable = (t - p.availability_delay_s).max(0.0);
+                // Whole waves only.
+                ((usable / m).floor() as usize) * p.slots
+            })
+            .sum()
+    };
+    // Binary search the smallest T with enough capacity.
+    let mut lo = 0.0;
+    let mut hi = mt.iter().cloned().fold(0.0, f64::max)
+        * (members as f64)
+        + pools.iter().map(|p| p.availability_delay_s).fold(0.0, f64::max)
+        + 1.0;
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if capacity_by(mid) >= members {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let t_star = hi;
+    // Hand out blocks up to each pool's capacity at T*.
+    let mut blocks = Vec::with_capacity(pools.len());
+    let mut first = 0usize;
+    let mut remaining = members;
+    for (idx, p) in pools.iter().enumerate() {
+        let usable = (t_star - p.availability_delay_s).max(0.0);
+        let cap = ((usable / mt[idx]).floor() as usize) * p.slots;
+        let count = cap.min(remaining);
+        let waves = count.div_ceil(p.slots.max(1));
+        let completion = if count == 0 {
+            0.0
+        } else {
+            p.availability_delay_s + waves as f64 * mt[idx]
+        };
+        blocks.push(BlockAssignment { pool: idx, first, count, completion_s: completion });
+        first += count;
+        remaining -= count;
+    }
+    // Round-off leftovers go to the fastest pool.
+    if remaining > 0 {
+        let best = (0..pools.len())
+            .min_by(|&a, &b| mt[a].partial_cmp(&mt[b]).unwrap())
+            .unwrap();
+        blocks[best].count += remaining;
+        let p = &pools[best];
+        let waves = blocks[best].count.div_ceil(p.slots.max(1));
+        blocks[best].completion_s = p.availability_delay_s + waves as f64 * mt[best];
+        // Re-derive contiguous firsts.
+        let mut f = 0usize;
+        for b in &mut blocks {
+            b.first = f;
+            f += b.count;
+        }
+    }
+    let makespan = blocks
+        .iter()
+        .filter(|b| b.count > 0)
+        .map(|b| b.completion_s)
+        .fold(0.0, f64::max);
+    MixedPlan { blocks, makespan_s: makespan }
+}
+
+/// Assign `members` across pools proportionally to *effective speed*
+/// (slots / member_time), in contiguous blocks per §5.3.1.
+pub fn plan(w: &WorkloadSpec, pools: &[ResourcePool], members: usize) -> MixedPlan {
+    assert!(!pools.is_empty(), "need at least one pool");
+    let rates: Vec<f64> = pools
+        .iter()
+        .map(|p| p.slots as f64 / member_time(w, p).max(1e-9))
+        .collect();
+    let total_rate: f64 = rates.iter().sum();
+    let mut blocks = Vec::with_capacity(pools.len());
+    let mut first = 0usize;
+    for (idx, p) in pools.iter().enumerate() {
+        let count = if idx + 1 == pools.len() {
+            members - first
+        } else {
+            ((members as f64) * rates[idx] / total_rate).round() as usize
+        };
+        let count = count.min(members - first);
+        let waves = count.div_ceil(p.slots.max(1));
+        let completion = p.availability_delay_s + waves as f64 * member_time(w, p);
+        blocks.push(BlockAssignment { pool: idx, first, count, completion_s: completion });
+        first += count;
+    }
+    let makespan = blocks
+        .iter()
+        .filter(|b| b.count > 0)
+        .map(|b| b.completion_s)
+        .fold(0.0, f64::max);
+    MixedPlan { blocks, makespan_s: makespan }
+}
+
+impl MixedPlan {
+    /// Does member `m` finish before member `n`? Predicts the §5.3.3
+    /// out-of-order completions across pools: each member completes in
+    /// its block's wave sequence on its own pool.
+    pub fn completion_of(&self, pools: &[ResourcePool], w: &WorkloadSpec, member: usize) -> f64 {
+        for b in &self.blocks {
+            if member >= b.first && member < b.first + b.count {
+                let p = &pools[b.pool];
+                let pos = member - b.first;
+                let wave = pos / p.slots.max(1);
+                return p.availability_delay_s + (wave + 1) as f64 * member_time(w, p);
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Count of completion-order inversions relative to member index
+    /// (sampled): how scrambled is the arrival order? The ESSE differ is
+    /// order-independent (§4.1) precisely because this is large.
+    pub fn order_inversions(&self, pools: &[ResourcePool], w: &WorkloadSpec, stride: usize) -> usize {
+        let total: usize = self.blocks.iter().map(|b| b.count).sum();
+        let samples: Vec<(usize, f64)> = (0..total)
+            .step_by(stride.max(1))
+            .map(|m| (m, self.completion_of(pools, w, m)))
+            .collect();
+        let mut inv = 0;
+        for i in 0..samples.len() {
+            for j in i + 1..samples.len() {
+                if samples[i].1 > samples[j].1 {
+                    inv += 1;
+                }
+            }
+        }
+        inv
+    }
+}
+
+/// Convenience pools mirroring the paper's setting.
+pub mod presets {
+    use super::ResourcePool;
+    use crate::sim::ec2;
+    use crate::sim::platform::{local_opteron, ornl_p4, purdue_core2};
+
+    /// The home cluster: fast input access, no delay.
+    pub fn home(slots: usize) -> ResourcePool {
+        ResourcePool {
+            name: "home".into(),
+            platform: local_opteron(),
+            slots,
+            availability_delay_s: 0.0,
+            fast_input_access: true,
+            ic_ship_s: 0.0,
+        }
+    }
+
+    /// A Teragrid site with a queue wait; pert inputs are remote
+    /// (split-pert: ICs shipped from home).
+    pub fn teragrid_purdue(slots: usize, queue_wait_s: f64) -> ResourcePool {
+        ResourcePool {
+            name: "TG-Purdue".into(),
+            platform: purdue_core2(),
+            slots,
+            availability_delay_s: queue_wait_s,
+            fast_input_access: false,
+            ic_ship_s: 20.0,
+        }
+    }
+
+    /// ORNL: PVFS2 makes local pert disastrous; always split-pert.
+    pub fn teragrid_ornl(slots: usize, queue_wait_s: f64) -> ResourcePool {
+        ResourcePool {
+            name: "TG-ORNL".into(),
+            platform: ornl_p4(),
+            slots,
+            availability_delay_s: queue_wait_s,
+            fast_input_access: false,
+            ic_ship_s: 25.0,
+        }
+    }
+
+    /// An EC2 virtual cluster of `instances` c1.xlarge nodes (boot delay,
+    /// slow WAN for ICs).
+    pub fn ec2_c1xlarge(instances: usize) -> ResourcePool {
+        let inst = ec2::c1_xlarge();
+        ResourcePool {
+            name: "ec2-c1.xlarge".into(),
+            platform: inst.platform,
+            slots: (instances as f64 * inst.cores) as usize,
+            availability_delay_s: 120.0,
+            fast_input_access: false,
+            ic_ship_s: 40.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::presets::*;
+    use super::*;
+
+    #[test]
+    fn all_members_assigned_in_contiguous_blocks() {
+        let w = WorkloadSpec::default();
+        let pools = vec![home(210), teragrid_purdue(128, 600.0), ec2_c1xlarge(20)];
+        let plan = plan(&w, &pools, 960);
+        let total: usize = plan.blocks.iter().map(|b| b.count).sum();
+        assert_eq!(total, 960);
+        // Contiguity: each block starts where the previous ended.
+        let mut next = 0;
+        for b in &plan.blocks {
+            assert_eq!(b.first, next);
+            next += b.count;
+        }
+    }
+
+    #[test]
+    fn faster_pools_receive_more_members() {
+        let w = WorkloadSpec::default();
+        let pools = vec![home(200), teragrid_purdue(50, 0.0)];
+        let p = plan(&w, &pools, 500);
+        assert!(p.blocks[0].count > p.blocks[1].count);
+    }
+
+    #[test]
+    fn mixed_run_beats_home_alone_for_big_ensembles() {
+        let w = WorkloadSpec::default();
+        let home_only = plan(&w, &[home(210)], 960);
+        let mixed = plan(
+            &w,
+            &[home(210), teragrid_purdue(128, 900.0), ec2_c1xlarge(20)],
+            960,
+        );
+        assert!(
+            mixed.makespan_s < home_only.makespan_s,
+            "mixed {} vs home {}",
+            mixed.makespan_s,
+            home_only.makespan_s
+        );
+    }
+
+    #[test]
+    fn split_pert_avoids_pvfs2_penalty() {
+        // Running pert locally on ORNL costs ~68 s/member; shipping ICs
+        // costs 25 s. The split variant must be cheaper per member.
+        let w = WorkloadSpec::default();
+        let split = teragrid_ornl(100, 0.0);
+        let mut unsplit = split.clone();
+        unsplit.fast_input_access = true;
+        assert!(
+            member_time(&w, &split) < member_time(&w, &unsplit),
+            "split {} vs unsplit {}",
+            member_time(&w, &split),
+            member_time(&w, &unsplit)
+        );
+    }
+
+    #[test]
+    fn completion_order_is_scrambled_across_pools() {
+        // §5.3.3: "perturbation 900 may very well finish well before
+        // number 700" — lots of order inversions in a mixed plan.
+        let w = WorkloadSpec::default();
+        let pools = vec![home(210), teragrid_ornl(100, 1800.0), ec2_c1xlarge(20)];
+        let p = plan(&w, &pools, 900);
+        let inv = p.order_inversions(&pools, &w, 25);
+        assert!(inv > 0, "expected out-of-order completions");
+        // Concretely: the first EC2 member can finish before the last
+        // home member when home needs several waves.
+        let last_home = p.blocks[0].first + p.blocks[0].count - 1;
+        let first_ec2 = p.blocks[2].first;
+        if p.blocks[2].count > 0 && p.blocks[0].count > 210 {
+            assert!(
+                p.completion_of(&pools, &w, first_ec2)
+                    < p.completion_of(&pools, &w, last_home)
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_plan_beats_proportional_with_slow_sites() {
+        let w = WorkloadSpec::default();
+        let pools = vec![
+            home(210),
+            teragrid_purdue(128, 1800.0),
+            teragrid_ornl(100, 3600.0),
+            ec2_c1xlarge(20),
+        ];
+        let naive = plan(&w, &pools, 960);
+        let balanced = plan_balanced(&w, &pools, 960);
+        let total: usize = balanced.blocks.iter().map(|b| b.count).sum();
+        assert_eq!(total, 960);
+        assert!(
+            balanced.makespan_s <= naive.makespan_s + 1e-6,
+            "balanced {} vs naive {}",
+            balanced.makespan_s,
+            naive.makespan_s
+        );
+        // Contiguity holds.
+        let mut f = 0;
+        for b in &balanced.blocks {
+            assert_eq!(b.first, f);
+            f += b.count;
+        }
+    }
+
+    #[test]
+    fn balanced_plan_single_pool_degenerates() {
+        let w = WorkloadSpec::default();
+        let pools = vec![home(210)];
+        let a = plan(&w, &pools, 600);
+        let b = plan_balanced(&w, &pools, 600);
+        assert!((a.makespan_s - b.makespan_s).abs() < 1.0);
+        assert_eq!(b.blocks[0].count, 600);
+    }
+
+    #[test]
+    fn queue_wait_shifts_block_completion() {
+        let w = WorkloadSpec::default();
+        let fast = plan(&w, &[teragrid_purdue(100, 0.0)], 100);
+        let slow = plan(&w, &[teragrid_purdue(100, 3600.0)], 100);
+        assert!((slow.makespan_s - fast.makespan_s - 3600.0).abs() < 1e-9);
+    }
+}

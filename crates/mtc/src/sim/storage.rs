@@ -1,0 +1,171 @@
+//! Shared-storage contention: a fluid-flow (processor-sharing) model of
+//! the NFS fileserver.
+//!
+//! The paper's home cluster serves 18 TB over NFS through a 10 Gbit/s
+//! link; when hundreds of `pert` jobs read their input concurrently each
+//! gets a fraction of the server bandwidth — that is exactly the
+//! "CPU utilization ≈20%" regime of §5.2.1. The model: every active
+//! transfer receives `capacity / n_active` MB/s, recomputed whenever a
+//! transfer starts or finishes (max-min fair sharing with one bottleneck).
+
+/// Identifier of a flow (transfer).
+pub type FlowId = u64;
+
+/// Fluid-flow shared-bandwidth resource.
+#[derive(Debug, Clone)]
+pub struct SharedBandwidth {
+    /// Aggregate capacity (MB/s).
+    pub capacity_mb_s: f64,
+    /// Per-flow cap (MB/s) — a single client cannot exceed its NIC.
+    pub per_flow_cap_mb_s: f64,
+    flows: Vec<(FlowId, f64)>, // (id, remaining MB)
+    clock: f64,
+}
+
+impl SharedBandwidth {
+    /// New resource with aggregate and per-flow caps.
+    pub fn new(capacity_mb_s: f64, per_flow_cap_mb_s: f64) -> SharedBandwidth {
+        SharedBandwidth { capacity_mb_s, per_flow_cap_mb_s, flows: Vec::new(), clock: 0.0 }
+    }
+
+    /// Current per-flow rate (MB/s).
+    pub fn rate(&self) -> f64 {
+        if self.flows.is_empty() {
+            return self.per_flow_cap_mb_s;
+        }
+        (self.capacity_mb_s / self.flows.len() as f64).min(self.per_flow_cap_mb_s)
+    }
+
+    /// Number of active flows.
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Start a transfer of `mb` megabytes at simulation time `now`.
+    pub fn add_flow(&mut self, id: FlowId, mb: f64, now: f64) {
+        self.advance_to(now);
+        self.flows.push((id, mb.max(0.0)));
+    }
+
+    /// Advance the fluid state to time `now`, draining every flow at the
+    /// shared rate. Flows that hit zero stay at zero until harvested.
+    pub fn advance_to(&mut self, now: f64) {
+        let dt = now - self.clock;
+        if dt > 0.0 && !self.flows.is_empty() {
+            let rate = self.rate();
+            for (_, rem) in &mut self.flows {
+                *rem = (*rem - rate * dt).max(0.0);
+            }
+        }
+        self.clock = self.clock.max(now);
+    }
+
+    /// Time at which the next flow completes, with the *current* flow
+    /// set (valid until the set changes). `None` when idle.
+    pub fn next_completion(&self) -> Option<(f64, FlowId)> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        let rate = self.rate();
+        let mut best: Option<(f64, FlowId)> = None;
+        for &(id, rem) in &self.flows {
+            let t = self.clock + rem / rate.max(1e-12);
+            match best {
+                Some((bt, _)) if bt <= t => {}
+                _ => best = Some((t, id)),
+            }
+        }
+        best
+    }
+
+    /// Remove finished flows (remaining ≤ eps) and return their ids.
+    pub fn harvest(&mut self) -> Vec<FlowId> {
+        let mut done = Vec::new();
+        self.flows.retain(|&(id, rem)| {
+            if rem <= 1e-9 {
+                done.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        done
+    }
+
+    /// Current simulation clock of the resource.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_gets_per_flow_cap() {
+        let mut bw = SharedBandwidth::new(1000.0, 100.0);
+        bw.add_flow(1, 200.0, 0.0);
+        // Rate capped at 100 MB/s → completes at t = 2.
+        let (t, id) = bw.next_completion().unwrap();
+        assert_eq!(id, 1);
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_splits_bandwidth() {
+        let mut bw = SharedBandwidth::new(100.0, 1000.0);
+        bw.add_flow(1, 100.0, 0.0);
+        bw.add_flow(2, 100.0, 0.0);
+        // Two flows at 50 MB/s each → both complete at t = 2.
+        let (t, _) = bw.next_completion().unwrap();
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_joiner_slows_existing_flow() {
+        let mut bw = SharedBandwidth::new(100.0, 1000.0);
+        bw.add_flow(1, 100.0, 0.0);
+        // At t=0.5, flow 1 has 50 MB left; flow 2 joins.
+        bw.add_flow(2, 100.0, 0.5);
+        // Both now at 50 MB/s; flow 1 finishes at 0.5 + 1.0 = 1.5.
+        let (t, id) = bw.next_completion().unwrap();
+        assert_eq!(id, 1);
+        assert!((t - 1.5).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn harvest_removes_done_flows_and_speeds_rest() {
+        let mut bw = SharedBandwidth::new(100.0, 1000.0);
+        bw.add_flow(1, 50.0, 0.0);
+        bw.add_flow(2, 200.0, 0.0);
+        let (t1, id1) = bw.next_completion().unwrap();
+        assert_eq!(id1, 1);
+        bw.advance_to(t1);
+        let done = bw.harvest();
+        assert_eq!(done, vec![1]);
+        // Flow 2 had 200 − 50 = 150 MB left, now alone at 100 MB/s.
+        let (t2, id2) = bw.next_completion().unwrap();
+        assert_eq!(id2, 2);
+        assert!((t2 - (t1 + 1.5)).abs() < 1e-9, "t2 = {t2}");
+    }
+
+    #[test]
+    fn idle_resource_reports_none() {
+        let bw = SharedBandwidth::new(100.0, 100.0);
+        assert!(bw.next_completion().is_none());
+        assert_eq!(bw.rate(), 100.0);
+    }
+
+    #[test]
+    fn many_flows_processor_sharing_rate() {
+        let mut bw = SharedBandwidth::new(1250.0, 110.0);
+        for i in 0..210 {
+            bw.add_flow(i, 140.0, 0.0);
+        }
+        // 1250/210 ≈ 5.95 MB/s each → 140 MB in ≈ 23.5 s: the paper's
+        // "pert at 20% CPU" regime.
+        let (t, _) = bw.next_completion().unwrap();
+        assert!((t - 140.0 / (1250.0 / 210.0)).abs() < 1e-6, "t = {t}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Input prestaging and output return strategies (§5.3.2).
+//!
+//! Input: read everything over the WAN/OpenDAP on demand, or prestage
+//! once per site then read locally. Output: the paper weighs three
+//! models —
+//!
+//! * **push**: every node sends its results home at job end; "the batch
+//!   nature of the runs results in a very large number of concurrent
+//!   remote transfer attempts followed by no network activity
+//!   whatsoever", saturating the home gateway;
+//! * **pull**: an agent at home fetches from a per-site repository,
+//!   pacing transfers "so that they happen more or less continuously";
+//! * **two-stage put**: nodes drop results on a site-shared filesystem
+//!   and an independent agent ships them home.
+
+use crate::sim::storage::SharedBandwidth;
+
+/// Output return strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputStrategy {
+    /// Nodes push directly home at completion (bursty).
+    Push,
+    /// A home agent pulls at a steady pace.
+    Pull,
+    /// Nodes write to site storage; an agent ships home continuously.
+    TwoStagePut,
+}
+
+/// Transfer plan evaluation result.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferReport {
+    /// Time until the last byte reaches home (s, from first completion).
+    pub completion_s: f64,
+    /// Peak number of simultaneous WAN connections at the home gateway.
+    pub peak_connections: usize,
+}
+
+/// Evaluate an output-return strategy for `members` results of
+/// `output_mb` each, finishing in `batches` simultaneous waves,
+/// over a home gateway of `gateway_mb_s` (per-connection cap
+/// `per_conn_mb_s`).
+pub fn evaluate_output_strategy(
+    strategy: OutputStrategy,
+    members: usize,
+    output_mb: f64,
+    batches: usize,
+    gateway_mb_s: f64,
+    per_conn_mb_s: f64,
+) -> TransferReport {
+    let batches = batches.max(1);
+    let per_batch = members.div_ceil(batches);
+    match strategy {
+        OutputStrategy::Push => {
+            // Every member of a batch opens a connection at once: the
+            // gateway serves per_batch concurrent flows, then sits idle
+            // until the next wave (fluid model per wave).
+            let mut total = 0.0;
+            for _ in 0..batches {
+                let mut bw = SharedBandwidth::new(gateway_mb_s, per_conn_mb_s);
+                for i in 0..per_batch {
+                    bw.add_flow(i as u64, output_mb, 0.0);
+                }
+                // All flows equal ⇒ they all complete together.
+                let (t, _) = bw.next_completion().expect("flows present");
+                total += t;
+            }
+            TransferReport { completion_s: total, peak_connections: per_batch }
+        }
+        OutputStrategy::Pull | OutputStrategy::TwoStagePut => {
+            // Paced: a small constant number of connections kept busy
+            // continuously; the gateway streams at (nearly) full rate.
+            let conns = 4usize;
+            let rate = gateway_mb_s.min(conns as f64 * per_conn_mb_s);
+            let total_mb = members as f64 * output_mb;
+            let mut t = total_mb / rate;
+            if strategy == OutputStrategy::TwoStagePut {
+                // Extra site-storage hop adds a small pipeline delay.
+                t += output_mb / per_conn_mb_s;
+            }
+            TransferReport { completion_s: t, peak_connections: conns }
+        }
+    }
+}
+
+/// Input staging plan: total seconds to make `input_mb` of shared input
+/// readable on `nodes` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputStrategy {
+    /// Every job reads from the home OpenDAP server over the WAN.
+    OnDemandRemote,
+    /// One WAN copy to site storage, then a parallel local fan-out
+    /// ("one copy from home to gpfs-wan and then a fast distribution").
+    PrestageViaSite,
+}
+
+/// Evaluate input staging: returns (prestage seconds, per-job read seconds).
+pub fn evaluate_input_strategy(
+    strategy: InputStrategy,
+    input_mb: f64,
+    nodes: usize,
+    wan_mb_s: f64,
+    site_fanout_mb_s: f64,
+    concurrent_readers: usize,
+) -> (f64, f64) {
+    match strategy {
+        InputStrategy::OnDemandRemote => {
+            // No prestage, but every reader shares the WAN link.
+            let share = wan_mb_s / concurrent_readers.max(1) as f64;
+            (0.0, input_mb / share)
+        }
+        InputStrategy::PrestageViaSite => {
+            let wan_copy = input_mb / wan_mb_s;
+            let fanout = input_mb * nodes as f64 / site_fanout_mb_s;
+            // Per-job read is then local-disk speed (fast, uncontended).
+            (wan_copy + fanout, input_mb / 700.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_saturates_gateway_with_connections() {
+        let rep = evaluate_output_strategy(OutputStrategy::Push, 600, 11.0, 3, 100.0, 12.0);
+        assert_eq!(rep.peak_connections, 200);
+        // 200 × 11 MB through 100 MB/s per wave = 22 s; 3 waves = 66 s.
+        assert!((rep.completion_s - 66.0).abs() < 1.0, "t = {}", rep.completion_s);
+    }
+
+    #[test]
+    fn pull_keeps_few_connections_and_wins() {
+        let push = evaluate_output_strategy(OutputStrategy::Push, 600, 11.0, 3, 100.0, 12.0);
+        let pull = evaluate_output_strategy(OutputStrategy::Pull, 600, 11.0, 3, 100.0, 12.0);
+        assert!(pull.peak_connections < push.peak_connections);
+        // Paced pull at 48 MB/s moves 6.6 GB in ~137 s — slower here in
+        // raw seconds but spread continuously (no burst), and with far
+        // fewer gateway connections. The paper's claim is about pacing:
+        // check the connection count, and that pull stays within the
+        // same order of magnitude.
+        assert!(pull.completion_s < 10.0 * push.completion_s);
+    }
+
+    #[test]
+    fn two_stage_adds_pipeline_hop() {
+        let pull = evaluate_output_strategy(OutputStrategy::Pull, 100, 11.0, 1, 100.0, 12.0);
+        let two = evaluate_output_strategy(OutputStrategy::TwoStagePut, 100, 11.0, 1, 100.0, 12.0);
+        assert!(two.completion_s > pull.completion_s);
+    }
+
+    #[test]
+    fn prestage_beats_on_demand_for_many_readers() {
+        // 1.4 GB input, 200 nodes, 50 MB/s WAN, fast site fan-out.
+        let (pre_s, per_job_pre) =
+            evaluate_input_strategy(InputStrategy::PrestageViaSite, 1400.0, 200, 50.0, 2000.0, 200);
+        let (_, per_job_remote) =
+            evaluate_input_strategy(InputStrategy::OnDemandRemote, 1400.0, 200, 50.0, 2000.0, 200);
+        // On-demand: 200 readers share 50 MB/s → 0.25 MB/s each → hours.
+        assert!(per_job_remote > 5000.0);
+        assert!(per_job_pre < 3.0);
+        // Prestage pays once (~168 s) and amortizes over 200 jobs.
+        let total_pre = pre_s + 200.0 * per_job_pre;
+        let total_remote = 200.0 * per_job_remote;
+        assert!(total_pre < total_remote / 10.0);
+    }
+
+    #[test]
+    fn hundreds_of_opendap_requests_are_undesirable() {
+        // The paper: "hundreds of requests to a central OpenDAP server
+        // make it a less desirable solution".
+        let (_, t100) = evaluate_input_strategy(InputStrategy::OnDemandRemote, 140.0, 1, 50.0, 0.0, 100);
+        let (_, t1) = evaluate_input_strategy(InputStrategy::OnDemandRemote, 140.0, 1, 50.0, 0.0, 1);
+        assert!(t100 > 90.0 * t1);
+    }
+}

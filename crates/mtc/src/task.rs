@@ -1,0 +1,100 @@
+//! Task bookkeeping shared by the live workflow and the simulator.
+//!
+//! Paper §4.2: dependencies are tracked via per-perturbation-index files
+//! holding exit codes; the index is passed to each singleton. Here a
+//! [`TaskRecord`] is that bookkeeping entry: index, state transitions,
+//! timestamps, and the exit outcome.
+
+use std::time::Duration;
+
+/// Perturbation/member index — the task identity in ESSE.
+pub type TaskId = usize;
+
+/// Lifecycle of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Queued, not yet picked up by a worker.
+    Pending,
+    /// Running on a worker.
+    Running,
+    /// Finished (see outcome).
+    Done,
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+/// Exit status of a finished task (the "error code file" of §4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOutcome {
+    /// Success.
+    Success,
+    /// Model failure (tolerated; member skipped).
+    Failed(String),
+    /// Result arrived after convergence — computed but unused ("wasted
+    /// cycles" in the paper's cancellation discussion).
+    Wasted,
+}
+
+/// One task's bookkeeping record.
+#[derive(Debug, Clone)]
+pub struct TaskRecord {
+    /// Member index.
+    pub id: TaskId,
+    /// Current state.
+    pub state: TaskState,
+    /// Time from workflow start when the task began running.
+    pub started_at: Option<Duration>,
+    /// Time from workflow start when the task finished.
+    pub finished_at: Option<Duration>,
+    /// Outcome, once done.
+    pub outcome: Option<TaskOutcome>,
+    /// Worker that executed it.
+    pub worker: Option<usize>,
+}
+
+impl TaskRecord {
+    /// Fresh pending record.
+    pub fn pending(id: TaskId) -> TaskRecord {
+        TaskRecord {
+            id,
+            state: TaskState::Pending,
+            started_at: None,
+            finished_at: None,
+            outcome: None,
+            worker: None,
+        }
+    }
+
+    /// Runtime, when both timestamps exist.
+    pub fn runtime(&self) -> Option<Duration> {
+        match (self.started_at, self.finished_at) {
+            (Some(s), Some(f)) if f >= s => Some(f - s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_lifecycle() {
+        let mut r = TaskRecord::pending(42);
+        assert_eq!(r.state, TaskState::Pending);
+        assert!(r.runtime().is_none());
+        r.state = TaskState::Running;
+        r.started_at = Some(Duration::from_secs(1));
+        r.state = TaskState::Done;
+        r.finished_at = Some(Duration::from_secs(4));
+        r.outcome = Some(TaskOutcome::Success);
+        assert_eq!(r.runtime(), Some(Duration::from_secs(3)));
+    }
+
+    #[test]
+    fn runtime_requires_both_stamps() {
+        let mut r = TaskRecord::pending(1);
+        r.started_at = Some(Duration::from_secs(5));
+        assert!(r.runtime().is_none());
+    }
+}

@@ -1,0 +1,724 @@
+//! The parallel ESSE workflow of paper Fig. 4, on real threads.
+//!
+//! Structure (one box per paper concept):
+//!
+//! * **pool of ensemble calculations** — worker threads pull
+//!   perturb/forecast task indices from a channel; the pool is
+//!   over-provisioned (`M ≥ N`) so the SVD pipeline never drains;
+//! * **continuous differ** — the coordinator receives member results as
+//!   they arrive (any order) and accumulates difference columns;
+//! * **continuous SVD + convergence** — every `svd_stride` new members a
+//!   consistent snapshot (the "safe file", see [`crate::triple_buffer`])
+//!   is decomposed and compared with the previous subspace;
+//! * **cancellation** — on convergence the cancel flag stops idle
+//!   workers, pending tasks are drained, and the completion policy
+//!   decides what happens to members already computed or still running.
+
+use crate::task::{TaskId, TaskOutcome, TaskRecord, TaskState};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use esse_core::adaptive::{CompletionPolicy, EnsembleSchedule};
+use esse_core::convergence::{similarity, ConvergenceTest};
+use esse_core::covariance::SpreadAccumulator;
+use esse_core::model::{ForecastError, ForecastModel};
+use esse_core::perturb::{PerturbConfig, PerturbationGenerator};
+use esse_core::subspace::ErrorSubspace;
+use esse_core::EsseError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Configuration of the MTC workflow.
+#[derive(Debug, Clone)]
+pub struct MtcConfig {
+    /// Worker threads (the paper's cluster cores).
+    pub workers: usize,
+    /// Pool over-provisioning: `M = ceil(pool_factor · N) ≥ N`.
+    pub pool_factor: f64,
+    /// Ensemble growth schedule.
+    pub schedule: EnsembleSchedule,
+    /// Convergence tolerance (ρ ≥ 1 − tol).
+    pub tolerance: f64,
+    /// Relative σ cutoff for retained modes.
+    pub mode_rel_tol: f64,
+    /// Maximum retained rank.
+    pub max_rank: usize,
+    /// Perturbation settings.
+    pub perturb: PerturbConfig,
+    /// Forecast duration (model seconds).
+    pub duration: f64,
+    /// Forecast start (model seconds).
+    pub start_time: f64,
+    /// Run the SVD every this many newly arrived members.
+    pub svd_stride: usize,
+    /// What to do with in-flight members at convergence.
+    pub completion: CompletionPolicy,
+    /// Hard wall-clock deadline Tmax (paper §4 point 1: "a forecast
+    /// needs to be timely"). When it expires, queued members are
+    /// cancelled and still-running members are ignored ("runs that have
+    /// not finished … by the forecast deadline can be safely ignored").
+    pub deadline: Option<Duration>,
+}
+
+impl Default for MtcConfig {
+    fn default() -> Self {
+        MtcConfig {
+            workers: 4,
+            pool_factor: 1.25,
+            schedule: EnsembleSchedule::new(8, 64),
+            tolerance: 0.03,
+            mode_rel_tol: 1e-4,
+            max_rank: 100,
+            perturb: PerturbConfig::default(),
+            duration: 86400.0,
+            start_time: 0.0,
+            svd_stride: 8,
+            completion: CompletionPolicy::UseCompleted,
+            deadline: None,
+        }
+    }
+}
+
+/// Result of an MTC ESSE run.
+#[derive(Debug)]
+pub struct MtcOutcome {
+    /// Central (unperturbed) forecast.
+    pub central: Vec<f64>,
+    /// Final error subspace.
+    pub subspace: ErrorSubspace,
+    /// Whether the convergence criterion fired (vs Nmax exhaustion).
+    pub converged: bool,
+    /// Similarity history across SVD rounds.
+    pub rho_history: Vec<f64>,
+    /// Per-task bookkeeping.
+    pub records: Vec<TaskRecord>,
+    /// Wall-clock makespan of the whole workflow.
+    pub makespan: Duration,
+    /// Members whose results entered the final subspace.
+    pub members_used: usize,
+    /// Members that failed.
+    pub members_failed: usize,
+    /// Members computed but discarded (arrived after convergence under
+    /// `CancelImmediately`) — the paper's "wasted cycles".
+    pub members_wasted: usize,
+    /// Tasks cancelled before starting.
+    pub members_cancelled: usize,
+    /// SVD rounds executed.
+    pub svd_rounds: usize,
+    /// Whether the Tmax deadline fired before convergence/Nmax.
+    pub deadline_expired: bool,
+}
+
+type WorkerResult = (TaskId, usize, Duration, Duration, Result<Vec<f64>, ForecastError>);
+
+impl MtcOutcome {
+    /// Statistical-coverage report over the planned member set (paper §4
+    /// point 3: losses are fine unless they form a systematic hole).
+    pub fn coverage(&self) -> crate::coverage::CoverageReport {
+        let completed: Vec<TaskId> = self
+            .records
+            .iter()
+            .filter(|r| matches!(r.outcome, Some(TaskOutcome::Success)))
+            .map(|r| r.id)
+            .collect();
+        crate::coverage::analyze(&completed, self.records.len())
+    }
+}
+
+/// The MTC ESSE engine.
+pub struct MtcEsse<'m, M: ForecastModel> {
+    /// The forecast model shared by all workers.
+    pub model: &'m M,
+    /// Workflow configuration.
+    pub config: MtcConfig,
+}
+
+impl<'m, M: ForecastModel> MtcEsse<'m, M> {
+    /// New engine.
+    pub fn new(model: &'m M, config: MtcConfig) -> Self {
+        MtcEsse { model, config }
+    }
+
+    /// Run the decoupled uncertainty forecast (Fig. 4).
+    pub fn run(&self, mean0: &[f64], prior: &ErrorSubspace) -> Result<MtcOutcome, EsseError> {
+        self.run_resuming(mean0, prior, &[])
+    }
+
+    /// Run, resuming from previously completed members (paper §4.2: a
+    /// stopped ESSE execution "can be restarted without rerunning all
+    /// jobs"). `previous` supplies `(member index, forecast result)`
+    /// pairs recovered from the bookkeeping directory; those indices are
+    /// folded into the differ up front and never re-enqueued.
+    pub fn run_resuming(
+        &self,
+        mean0: &[f64],
+        prior: &ErrorSubspace,
+        previous: &[(TaskId, Vec<f64>)],
+    ) -> Result<MtcOutcome, EsseError> {
+        let cfg = &self.config;
+        let t0 = Instant::now();
+        let gen = PerturbationGenerator::new(prior, cfg.perturb.clone());
+        // Central forecast first: the differ needs it.
+        let central = self
+            .model
+            .forecast(mean0, cfg.start_time, cfg.duration, None)?;
+
+        let (task_tx, task_rx) = unbounded::<TaskId>();
+        let (result_tx, result_rx) = unbounded::<WorkerResult>();
+        let cancel = AtomicBool::new(false);
+
+        let stages = cfg.schedule.stages();
+        let pool_target = |n: usize| ((n as f64 * cfg.pool_factor).ceil() as usize).max(n);
+
+        let resumed: std::collections::HashSet<TaskId> =
+            previous.iter().map(|(id, _)| *id).collect();
+        let mut records: Vec<TaskRecord> = Vec::new();
+        let mut enqueued = 0usize;
+        // `enqueued` counts *task ids issued*, including resumed ids that
+        // are skipped (they already ran in the previous incarnation).
+        let enqueue_to = |target: usize,
+                              records: &mut Vec<TaskRecord>,
+                              enqueued: &mut usize,
+                              tx: &Sender<TaskId>|
+         -> usize {
+            let mut skipped = 0usize;
+            while *enqueued < target {
+                if resumed.contains(enqueued) {
+                    let mut rec = TaskRecord::pending(*enqueued);
+                    rec.state = TaskState::Done;
+                    rec.outcome = Some(TaskOutcome::Success);
+                    records.push(rec);
+                    skipped += 1;
+                } else {
+                    records.push(TaskRecord::pending(*enqueued));
+                    tx.send(*enqueued).expect("task channel open");
+                }
+                *enqueued += 1;
+            }
+            skipped
+        };
+
+        let outcome = std::thread::scope(|scope| -> Result<MtcOutcome, EsseError> {
+            // --- Workers: the MTC pool. ---
+            for w in 0..cfg.workers.max(1) {
+                let task_rx: Receiver<TaskId> = task_rx.clone();
+                let result_tx: Sender<WorkerResult> = result_tx.clone();
+                let gen = &gen;
+                let cancel = &cancel;
+                let model = self.model;
+                scope.spawn(move || loop {
+                    if cancel.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match task_rx.recv_timeout(Duration::from_millis(5)) {
+                        Ok(id) => {
+                            let started = t0.elapsed();
+                            let x0 = gen.perturb(mean0, id);
+                            let seed = gen.forecast_seed(id);
+                            let res =
+                                model.forecast(&x0, cfg.start_time, cfg.duration, Some(seed));
+                            let finished = t0.elapsed();
+                            // Receiver may be gone during shutdown; ignore.
+                            let _ = result_tx.send((id, w, started, finished, res));
+                        }
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                });
+            }
+            drop(result_tx); // coordinator keeps only result_rx
+
+            // --- Coordinator: continuous differ + SVD + convergence. ---
+            let mut acc = SpreadAccumulator::new(central.clone());
+            for (id, result) in previous {
+                acc.add_member(*id, result);
+            }
+            let mut conv = ConvergenceTest::new(cfg.tolerance);
+            let mut previous: Option<ErrorSubspace> = None;
+            let mut converged = false;
+            let mut members_failed = 0usize;
+            let mut members_wasted = 0usize;
+            let mut svd_rounds = 0usize;
+            let mut stage_idx = 0usize;
+            let mut since_svd = 0usize;
+            let mut received = 0usize;
+            let mut converged_at: Option<Duration> = None;
+            let mut runtime_sum = Duration::ZERO;
+            let mut runtime_count = 0u32;
+
+            received += enqueue_to(pool_target(stages[0]), &mut records, &mut enqueued, &task_tx);
+            // Resumed members may already complete early stages: advance
+            // and top up the pool before entering the receive loop.
+            while stage_idx + 1 < stages.len() && acc.count() >= stages[stage_idx] {
+                stage_idx += 1;
+                received += enqueue_to(
+                    pool_target(stages[stage_idx]),
+                    &mut records,
+                    &mut enqueued,
+                    &task_tx,
+                );
+            }
+
+            // Main receive loop: runs until converged (and drained per
+            // policy) or every enqueued task is accounted for.
+            let mut deadline_expired = false;
+            while received < enqueued {
+                // Bounded wait so the Tmax deadline is honored even while
+                // results are scarce.
+                let msg = result_rx.recv_timeout(Duration::from_millis(20));
+                if let Some(dl) = cfg.deadline {
+                    if !deadline_expired && t0.elapsed() >= dl {
+                        deadline_expired = true;
+                        converged_at.get_or_insert(t0.elapsed());
+                        cancel.store(true, Ordering::Relaxed);
+                        while let Ok(pid) = task_rx.try_recv() {
+                            records[pid].state = TaskState::Cancelled;
+                            received += 1;
+                        }
+                    }
+                }
+                let (id, w, started, finished, res) = match msg {
+                    Ok(m) => m,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                };
+                received += 1;
+                let rec = &mut records[id];
+                rec.worker = Some(w);
+                rec.started_at = Some(started);
+                rec.finished_at = Some(finished);
+                rec.state = TaskState::Done;
+                match res {
+                    Ok(xf) => {
+                        runtime_sum += finished.saturating_sub(started);
+                        runtime_count += 1;
+                        if deadline_expired && !converged {
+                            // Paper: late runs are safely ignored.
+                            rec.outcome = Some(TaskOutcome::Wasted);
+                            members_wasted += 1;
+                        } else if converged {
+                            // Completion policy decides the fate of members
+                            // that were in flight at convergence (§4.1).
+                            let spare = match cfg.completion {
+                                CompletionPolicy::CancelImmediately => false,
+                                CompletionPolicy::UseCompleted => true,
+                                CompletionPolicy::SpareNearlyDone(frac) => {
+                                    // Spare only members that had already run
+                                    // ≥ frac of the mean runtime when the
+                                    // convergence fired ("spare any ensemble
+                                    // calculations close to finishing").
+                                    let mean_rt = if runtime_count > 0 {
+                                        runtime_sum / runtime_count
+                                    } else {
+                                        Duration::ZERO
+                                    };
+                                    let t_conv = converged_at.unwrap_or_default();
+                                    let progress = t_conv.saturating_sub(started);
+                                    progress.as_secs_f64() >= frac * mean_rt.as_secs_f64()
+                                }
+                            };
+                            if spare {
+                                rec.outcome = Some(TaskOutcome::Success);
+                                acc.add_member(id, &xf);
+                            } else {
+                                rec.outcome = Some(TaskOutcome::Wasted);
+                                members_wasted += 1;
+                            }
+                        } else {
+                            rec.outcome = Some(TaskOutcome::Success);
+                            acc.add_member(id, &xf);
+                            since_svd += 1;
+                        }
+                    }
+                    Err(e) => {
+                        rec.outcome = Some(TaskOutcome::Failed(e.to_string()));
+                        members_failed += 1;
+                    }
+                }
+                if converged || deadline_expired {
+                    continue; // draining in-flight results
+                }
+                // Continuous SVD stage.
+                let stage_target = stages[stage_idx];
+                let at_stride = since_svd >= cfg.svd_stride;
+                let at_stage = acc.count() >= stage_target;
+                if (at_stride || at_stage) && acc.count() >= 2 {
+                    since_svd = 0;
+                    let snap = acc.snapshot();
+                    if let Some(svd) = snap.svd() {
+                        svd_rounds += 1;
+                        let estimate =
+                            ErrorSubspace::from_spread_svd(&svd, cfg.mode_rel_tol, cfg.max_rank);
+                        if let Some(prev) = &previous {
+                            let rho = similarity(prev, &estimate);
+                            if conv.check(rho) {
+                                converged = true;
+                                converged_at = Some(t0.elapsed());
+                                cancel.store(true, Ordering::Relaxed);
+                                // Drain pending tasks (cancel queued).
+                                while let Ok(pid) = task_rx.try_recv() {
+                                    records[pid].state = TaskState::Cancelled;
+                                    received += 1;
+                                }
+                            }
+                        }
+                        previous = Some(estimate);
+                    }
+                }
+                // Pool growth: if the current stage is complete but not
+                // converged, move to the next stage and top up the pool
+                // (before the pipeline drains — §4.1).
+                if !converged && acc.count() >= stage_target {
+                    if stage_idx + 1 < stages.len() {
+                        stage_idx += 1;
+                        received += enqueue_to(
+                            pool_target(stages[stage_idx]),
+                            &mut records,
+                            &mut enqueued,
+                            &task_tx,
+                        );
+                    } else if received >= enqueued {
+                        break; // Nmax exhausted
+                    }
+                }
+            }
+            cancel.store(true, Ordering::Relaxed);
+            drop(task_tx);
+            // Cancelled-but-pending bookkeeping.
+            let members_cancelled = records
+                .iter()
+                .filter(|r| r.state == TaskState::Cancelled)
+                .count();
+
+            // Completion policy: a final SVD over everything that arrived.
+            let final_subspace = if matches!(
+                cfg.completion,
+                CompletionPolicy::UseCompleted | CompletionPolicy::SpareNearlyDone(_)
+            ) || previous.is_none()
+            {
+                let snap = acc.snapshot();
+                match snap.svd() {
+                    Some(svd) => {
+                        svd_rounds += 1;
+                        Some(ErrorSubspace::from_spread_svd(
+                            &svd,
+                            cfg.mode_rel_tol,
+                            cfg.max_rank,
+                        ))
+                    }
+                    None => None,
+                }
+            } else {
+                previous.clone()
+            };
+            let subspace = final_subspace
+                .or(previous)
+                .ok_or(EsseError::NotEnoughMembers { have: acc.count(), need: 2 })?;
+
+            Ok(MtcOutcome {
+                central,
+                subspace,
+                converged,
+                rho_history: conv.history().to_vec(),
+                makespan: t0.elapsed(),
+                members_used: acc.count(),
+                members_failed,
+                members_wasted,
+                members_cancelled,
+                svd_rounds,
+                deadline_expired,
+                records,
+            })
+        })?;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esse_core::model::LinearGaussianModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (LinearGaussianModel, ErrorSubspace, Vec<f64>) {
+        let rates = [0.98, 0.95, 0.3, 0.3, 0.2, 0.1];
+        let model = LinearGaussianModel::diagonal(&rates, 0.05, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let prior = ErrorSubspace::isotropic(&mut rng, 6, 6, 1.0);
+        (model, prior, vec![0.0; 6])
+    }
+
+    fn config(workers: usize) -> MtcConfig {
+        MtcConfig {
+            workers,
+            schedule: EnsembleSchedule::new(16, 256),
+            tolerance: 0.05,
+            duration: 10.0,
+            max_rank: 6,
+            svd_stride: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mtc_workflow_converges() {
+        let (model, prior, mean) = setup();
+        let engine = MtcEsse::new(&model, config(4));
+        let out = engine.run(&mean, &prior).unwrap();
+        assert!(out.converged, "rho: {:?}", out.rho_history);
+        assert!(out.members_used >= 16);
+        assert!(out.svd_rounds >= 2);
+        // Dominant subspace captures the slow axes.
+        let lead = out.subspace.modes.col(0);
+        assert!(lead[0] * lead[0] + lead[1] * lead[1] > 0.8);
+    }
+
+    #[test]
+    fn all_tasks_accounted_for() {
+        let (model, prior, mean) = setup();
+        let engine = MtcEsse::new(&model, config(3));
+        let out = engine.run(&mean, &prior).unwrap();
+        for r in &out.records {
+            assert!(
+                matches!(r.state, TaskState::Done | TaskState::Cancelled),
+                "task {} left in {:?}",
+                r.id,
+                r.state
+            );
+            if r.state == TaskState::Done {
+                assert!(r.outcome.is_some());
+                assert!(r.runtime().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_matches_multi_worker_statistics() {
+        // Same member seeds ⇒ same member results regardless of worker
+        // count; the subspace from the same member set must agree.
+        let (model, prior, mean) = setup();
+        let mut cfg = config(1);
+        cfg.tolerance = 1e-12; // force full Nmax in both runs
+        cfg.schedule = EnsembleSchedule::new(32, 32);
+        cfg.pool_factor = 1.0;
+        let out1 = MtcEsse::new(&model, cfg.clone()).run(&mean, &prior).unwrap();
+        let mut cfg4 = cfg;
+        cfg4.workers = 4;
+        let out4 = MtcEsse::new(&model, cfg4).run(&mean, &prior).unwrap();
+        assert_eq!(out1.members_used, out4.members_used);
+        let rho = similarity(&out1.subspace, &out4.subspace);
+        assert!(rho > 0.9999, "subspaces should match, rho = {rho}");
+    }
+
+    #[test]
+    fn failures_are_tolerated_and_counted() {
+        struct Flaky(LinearGaussianModel);
+        impl ForecastModel for Flaky {
+            fn state_dim(&self) -> usize {
+                self.0.state_dim()
+            }
+            fn forecast(
+                &self,
+                x0: &[f64],
+                t: f64,
+                d: f64,
+                seed: Option<u64>,
+            ) -> Result<Vec<f64>, ForecastError> {
+                if let Some(s) = seed {
+                    if s % 4 == 0 {
+                        return Err(ForecastError::Injected("node crash".into()));
+                    }
+                }
+                self.0.forecast(x0, t, d, seed)
+            }
+        }
+        let (inner, prior, mean) = setup();
+        let model = Flaky(inner);
+        let engine = MtcEsse::new(&model, config(4));
+        let out = engine.run(&mean, &prior).unwrap();
+        assert!(out.members_failed > 0);
+        assert!(out.members_used >= 16, "used {}", out.members_used);
+    }
+
+    #[test]
+    fn cancel_immediately_wastes_inflight_results() {
+        let (model, prior, mean) = setup();
+        let mut cfg = config(4);
+        cfg.completion = CompletionPolicy::CancelImmediately;
+        cfg.pool_factor = 2.0; // lots of extra in-flight work
+        let engine = MtcEsse::new(&model, cfg);
+        let out = engine.run(&mean, &prior).unwrap();
+        if out.converged {
+            // Over-provisioned pool + immediate cancel ⇒ some members
+            // were computed in vain or cancelled outright.
+            assert!(
+                out.members_wasted + out.members_cancelled > 0,
+                "wasted {}, cancelled {}",
+                out.members_wasted,
+                out.members_cancelled
+            );
+        }
+    }
+
+    #[test]
+    fn resume_skips_completed_members_and_matches_fresh_run() {
+        // Precompute members 0..20 as a previous incarnation would have
+        // left them (the bookkeeping files of paper 4.2), then resume.
+        let (model, prior, mean) = setup();
+        let mut cfg = config(2);
+        cfg.tolerance = 1e-12;
+        cfg.schedule = EnsembleSchedule::new(32, 32);
+        cfg.pool_factor = 1.0;
+        let gen = esse_core::perturb::PerturbationGenerator::new(
+            &prior,
+            cfg.perturb.clone(),
+        );
+        let previous: Vec<(TaskId, Vec<f64>)> = (0..20)
+            .map(|j| {
+                let x0 = gen.perturb(&mean, j);
+                let xf = model
+                    .forecast(&x0, cfg.start_time, cfg.duration, Some(gen.forecast_seed(j)))
+                    .unwrap();
+                (j, xf)
+            })
+            .collect();
+        let resumed = MtcEsse::new(&model, cfg.clone())
+            .run_resuming(&mean, &prior, &previous)
+            .unwrap();
+        // Only 12 members actually ran in this incarnation.
+        let ran = resumed
+            .records
+            .iter()
+            .filter(|r| r.worker.is_some())
+            .count();
+        assert_eq!(ran, 12, "resume must not rerun completed members");
+        assert_eq!(resumed.members_used, 32);
+        // Identical subspace to an uninterrupted run (same member seeds).
+        let fresh = MtcEsse::new(&model, cfg).run(&mean, &prior).unwrap();
+        let rho = similarity(&fresh.subspace, &resumed.subspace);
+        assert!(rho > 0.9999, "rho = {rho}");
+    }
+
+    #[test]
+    fn resume_with_all_members_done_skips_straight_to_svd() {
+        let (model, prior, mean) = setup();
+        let mut cfg = config(2);
+        cfg.tolerance = 1e-12;
+        cfg.schedule = EnsembleSchedule::new(8, 8);
+        cfg.pool_factor = 1.0;
+        let gen = esse_core::perturb::PerturbationGenerator::new(&prior, cfg.perturb.clone());
+        let previous: Vec<(TaskId, Vec<f64>)> = (0..8)
+            .map(|j| {
+                let x0 = gen.perturb(&mean, j);
+                (j, model.forecast(&x0, 0.0, cfg.duration, Some(gen.forecast_seed(j))).unwrap())
+            })
+            .collect();
+        let out = MtcEsse::new(&model, cfg).run_resuming(&mean, &prior, &previous).unwrap();
+        assert_eq!(out.members_used, 8);
+        assert!(out.records.iter().all(|r| r.worker.is_none()), "nothing re-ran");
+        assert!(out.subspace.rank() >= 1);
+    }
+
+    #[test]
+    fn spare_nearly_done_interpolates_between_policies() {
+        let (model, prior, mean) = setup();
+        let run_with = |completion: CompletionPolicy| {
+            let cfg = MtcConfig {
+                workers: 4,
+                pool_factor: 2.0,
+                schedule: EnsembleSchedule::new(16, 256),
+                tolerance: 0.05,
+                duration: 10.0,
+                max_rank: 6,
+                svd_stride: 8,
+                completion,
+                ..Default::default()
+            };
+            MtcEsse::new(&model, cfg).run(&mean, &prior).unwrap()
+        };
+        // frac = 0: everything in flight counts as "nearly done" → no
+        // wasted results (like UseCompleted).
+        let spare_all = run_with(CompletionPolicy::SpareNearlyDone(0.0));
+        assert_eq!(spare_all.members_wasted, 0, "frac=0 must spare everything");
+        // frac huge: nothing qualifies → in-flight results are wasted,
+        // like CancelImmediately (if anything was in flight at all).
+        let spare_none = run_with(CompletionPolicy::SpareNearlyDone(1e6));
+        let cancel = run_with(CompletionPolicy::CancelImmediately);
+        assert_eq!(
+            spare_none.members_wasted > 0,
+            cancel.members_wasted > 0,
+            "frac=inf behaves like cancel-immediately"
+        );
+    }
+
+    #[test]
+    fn deadline_cancels_and_is_reported() {
+        // A model slow enough that the deadline fires mid-ensemble.
+        struct Slow(LinearGaussianModel);
+        impl ForecastModel for Slow {
+            fn state_dim(&self) -> usize {
+                self.0.state_dim()
+            }
+            fn forecast(
+                &self,
+                x0: &[f64],
+                t: f64,
+                d: f64,
+                seed: Option<u64>,
+            ) -> Result<Vec<f64>, ForecastError> {
+                std::thread::sleep(Duration::from_millis(30));
+                self.0.forecast(x0, t, d, seed)
+            }
+        }
+        let (inner, prior, mean) = setup();
+        let model = Slow(inner);
+        let cfg = MtcConfig {
+            workers: 2,
+            pool_factor: 1.0,
+            schedule: EnsembleSchedule::new(64, 64),
+            tolerance: 1e-12,
+            duration: 10.0,
+            max_rank: 6,
+            svd_stride: 8,
+            deadline: Some(Duration::from_millis(250)),
+            ..Default::default()
+        };
+        let out = MtcEsse::new(&model, cfg).run(&mean, &prior).unwrap();
+        assert!(out.deadline_expired, "deadline should fire");
+        assert!(!out.converged);
+        // Far fewer than 64 members made it; the rest were cancelled or
+        // ignored as late.
+        assert!(out.members_used < 64, "used {}", out.members_used);
+        assert!(out.members_cancelled + out.members_wasted > 0);
+        // Losses at the tail are contiguous-from-the-end, which the
+        // coverage check treats as a (known) systematic truncation.
+        let cov = out.coverage();
+        assert_eq!(cov.total, out.records.len());
+        assert!(cov.missing() > 0);
+    }
+
+    #[test]
+    fn coverage_clean_on_full_run() {
+        let (model, prior, mean) = setup();
+        let mut cfg = config(2);
+        cfg.tolerance = 1e-12;
+        cfg.schedule = EnsembleSchedule::new(16, 16);
+        cfg.pool_factor = 1.0;
+        let out = MtcEsse::new(&model, cfg).run(&mean, &prior).unwrap();
+        let cov = out.coverage();
+        assert_eq!(cov.missing(), 0);
+        assert!(!cov.is_systematic_hole());
+    }
+
+    #[test]
+    fn pool_is_overprovisioned() {
+        let (model, prior, mean) = setup();
+        let mut cfg = config(2);
+        cfg.pool_factor = 1.5;
+        cfg.tolerance = 1e-12; // never converges; runs to Nmax
+        cfg.schedule = EnsembleSchedule::new(8, 16);
+        let engine = MtcEsse::new(&model, cfg);
+        let out = engine.run(&mean, &prior).unwrap();
+        // M = 1.5 × 16 = 24 tasks were enqueued in total.
+        assert!(out.records.len() >= 24, "records {}", out.records.len());
+    }
+}

@@ -1,0 +1,127 @@
+//! Synthetic bathymetry generators.
+//!
+//! The AOSN-II exercise ran in Monterey Bay: a shelf cut by a deep
+//! submarine canyon, open ocean to the west, coastline to the east. The
+//! `monterey_like` generator reproduces that topology qualitatively so
+//! that upwelling-front dynamics (and hence the uncertainty structure of
+//! paper Figs. 5-6) have the right shape.
+
+use crate::field::Field2;
+
+/// Water depth `h(i, j)` in meters; `h <= 0` marks land.
+#[derive(Debug, Clone)]
+pub struct Bathymetry {
+    /// Depth field (m, positive down). Non-positive values are land.
+    pub depth: Field2,
+    /// Minimum water depth clamped for wet cells (m).
+    pub min_depth: f64,
+}
+
+impl Bathymetry {
+    /// Flat-bottom ocean, all wet.
+    pub fn flat(nx: usize, ny: usize, depth: f64) -> Self {
+        Bathymetry { depth: Field2::constant(nx, ny, depth), min_depth: depth.min(10.0) }
+    }
+
+    /// Zonal shelf-slope: shallow in the east (high `i`), deep west.
+    pub fn shelf_slope(nx: usize, ny: usize, deep: f64, shallow: f64) -> Self {
+        let depth = Field2::from_fn(nx, ny, |i, _j| {
+            let x = i as f64 / (nx - 1).max(1) as f64;
+            deep + (shallow - deep) * x
+        });
+        Bathymetry { depth, min_depth: shallow.min(10.0).max(1.0) }
+    }
+
+    /// Monterey-Bay-like domain: coast along the eastern edge with a
+    /// concave bay, a shelf, and a deep canyon cutting into the bay mouth.
+    ///
+    /// `nx × ny` cells; returns depths between ~20 m (inner shelf) and
+    /// `deep` m (offshore), with land (`depth <= 0`) east of the coastline.
+    pub fn monterey_like(nx: usize, ny: usize, deep: f64) -> Self {
+        let fx = |i: usize| i as f64 / (nx - 1).max(1) as f64; // 0 = west, 1 = east
+        let fy = |j: usize| j as f64 / (ny - 1).max(1) as f64; // 0 = south, 1 = north
+        let depth = Field2::from_fn(nx, ny, |i, j| {
+            let x = fx(i);
+            let y = fy(j);
+            // Coastline position: mostly near x = 0.85, indented (bay)
+            // around the middle third of the domain.
+            let bay = 0.12 * (-((y - 0.5) / 0.18).powi(2)).exp();
+            let coast_x = 0.82 + bay;
+            if x >= coast_x {
+                return -10.0; // land
+            }
+            // Shelf: depth grows westward from ~20 m at the coast.
+            let off = (coast_x - x) / coast_x; // 0 at coast, ->1 offshore
+            let mut d = 20.0 + (deep - 20.0) * (off * 2.2).tanh();
+            // Submarine canyon: a deep incision running WSW from the bay
+            // center, like Monterey Canyon.
+            let canyon_axis = 0.5 + 0.08 * (x - coast_x); // slight tilt
+            let cw = 0.035 + 0.10 * (coast_x - x).max(0.0); // widens offshore
+            let cd = (-((y - canyon_axis) / cw).powi(2)).exp();
+            let canyon_amp = (deep * 0.9 - d).max(0.0) * (1.0 - (x / coast_x).powi(2));
+            d += canyon_amp * cd;
+            d.min(deep)
+        });
+        Bathymetry { depth, min_depth: 15.0 }
+    }
+
+    /// True when cell `(i, j)` is ocean.
+    #[inline]
+    pub fn is_wet(&self, i: usize, j: usize) -> bool {
+        self.depth.get(i, j) > 0.0
+    }
+
+    /// Depth clamped to `min_depth` for wet cells; 0 for land.
+    pub fn water_depth(&self, i: usize, j: usize) -> f64 {
+        let d = self.depth.get(i, j);
+        if d > 0.0 {
+            d.max(self.min_depth)
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of wet cells.
+    pub fn wet_count(&self) -> usize {
+        self.depth.as_slice().iter().filter(|&&d| d > 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_all_wet() {
+        let b = Bathymetry::flat(8, 8, 500.0);
+        assert_eq!(b.wet_count(), 64);
+        assert_eq!(b.water_depth(3, 3), 500.0);
+    }
+
+    #[test]
+    fn shelf_slope_monotone() {
+        let b = Bathymetry::shelf_slope(10, 4, 1000.0, 50.0);
+        assert!(b.water_depth(0, 0) > b.water_depth(9, 0));
+        assert!((b.water_depth(0, 0) - 1000.0).abs() < 1e-9);
+        assert!((b.water_depth(9, 0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monterey_has_land_and_canyon() {
+        let b = Bathymetry::monterey_like(40, 40, 2000.0);
+        // Eastern edge is land.
+        assert!(!b.is_wet(39, 20));
+        // Western edge is deep ocean.
+        assert!(b.is_wet(0, 20));
+        assert!(b.water_depth(0, 20) > 1000.0);
+        // Canyon: the mid-latitude row is deeper than rows well away from
+        // the canyon axis at the same longitude over the shelf.
+        let mid = b.water_depth(25, 20);
+        let away = b.water_depth(25, 4);
+        assert!(mid > away, "canyon ({mid}) should exceed shelf ({away})");
+        // Some land but mostly water.
+        let wet = b.wet_count();
+        assert!(wet > 40 * 40 / 2);
+        assert!(wet < 40 * 40);
+    }
+}

@@ -1,0 +1,116 @@
+//! Open-boundary handling: sponge relaxation toward climatology.
+//!
+//! The west, south and north edges of the regional domain are open
+//! ocean; a sponge band relaxes the prognostic fields toward the initial
+//! (climatological) state with a rate that ramps from `1/tau` at the
+//! edge to zero at the inner edge of the band. The east edge is the
+//! coast (land mask), which needs no sponge.
+
+use crate::field::Field2;
+use crate::grid::Grid;
+
+/// Precomputed sponge relaxation rates (1/s) per horizontal cell.
+#[derive(Debug, Clone)]
+pub struct Sponge {
+    rate: Field2,
+}
+
+impl Sponge {
+    /// Build a sponge of `width` cells on the west/south/north edges with
+    /// an e-folding time `tau` seconds at the outermost cell.
+    pub fn new(grid: &Grid, width: usize, tau: f64) -> Sponge {
+        let (nx, ny) = (grid.nx, grid.ny);
+        let w = width.max(1) as f64;
+        let rate = Field2::from_fn(nx, ny, |i, j| {
+            if !grid.is_wet(i, j) {
+                return 0.0;
+            }
+            // Distance (in cells) from each open edge.
+            let d_west = i as f64;
+            let d_south = j as f64;
+            let d_north = (ny - 1 - j) as f64;
+            let d = d_west.min(d_south).min(d_north);
+            if d >= w {
+                0.0
+            } else {
+                // Quadratic ramp: strongest at the edge.
+                let x = 1.0 - d / w;
+                x * x / tau
+            }
+        });
+        Sponge { rate }
+    }
+
+    /// Relaxation rate (1/s) at `(i, j)`.
+    #[inline]
+    pub fn rate(&self, i: usize, j: usize) -> f64 {
+        self.rate.get(i, j)
+    }
+
+    /// Apply one relaxation step of length `dt` pulling `field` toward
+    /// `target` (both flat, 2-D or per-level slices of equal layout).
+    pub fn relax_level(&self, dt: f64, field: &mut [f64], target: &[f64]) {
+        let (nx, ny) = self.rate.shape();
+        debug_assert_eq!(field.len(), nx * ny);
+        debug_assert_eq!(target.len(), nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                let r = self.rate.get(i, j);
+                if r > 0.0 {
+                    let n = j * nx + i;
+                    let alpha = (r * dt).min(1.0);
+                    field[n] += alpha * (target[n] - field[n]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bathymetry::Bathymetry;
+
+    fn grid() -> Grid {
+        Grid::new(Bathymetry::flat(12, 12, 100.0), 2, 1000.0, 1000.0)
+    }
+
+    #[test]
+    fn edge_has_max_rate_interior_zero() {
+        let g = grid();
+        let s = Sponge::new(&g, 3, 86400.0);
+        assert!(s.rate(0, 6) > 0.0);
+        assert!(s.rate(6, 0) > 0.0);
+        assert!(s.rate(6, 11) > 0.0);
+        assert_eq!(s.rate(6, 6), 0.0);
+        // East edge (coast side) has no sponge of its own.
+        assert_eq!(s.rate(11, 6), 0.0);
+        // Edge rate equals 1/tau.
+        assert!((s.rate(0, 6) - 1.0 / 86400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relaxation_pulls_toward_target() {
+        let g = grid();
+        let s = Sponge::new(&g, 3, 1000.0);
+        let n = g.cells2();
+        let mut f = vec![1.0; n];
+        let target = vec![0.0; n];
+        s.relax_level(500.0, &mut f, &target);
+        // Outermost west cell moved halfway; interior untouched.
+        assert!(f[6 * 12] < 1.0);
+        assert_eq!(f[6 * 12 + 6], 1.0);
+    }
+
+    #[test]
+    fn rate_clamped_to_full_replacement() {
+        let g = grid();
+        let s = Sponge::new(&g, 2, 1.0); // absurdly fast sponge
+        let n = g.cells2();
+        let mut f = vec![5.0; n];
+        let target = vec![2.0; n];
+        s.relax_level(100.0, &mut f, &target);
+        // alpha clamps at 1 → exact replacement, no overshoot.
+        assert_eq!(f[6 * 12], 2.0);
+    }
+}

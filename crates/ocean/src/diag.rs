@@ -1,0 +1,112 @@
+//! Integral diagnostics: energy, heat content, transport — used by the
+//! stability tests and by the example binaries' progress reports.
+
+use crate::grid::Grid;
+use crate::state::OceanState;
+use crate::RHO0;
+
+/// Domain-integrated kinetic energy (J).
+pub fn kinetic_energy(grid: &Grid, state: &OceanState) -> f64 {
+    let mut ke = 0.0;
+    for j in 0..grid.ny {
+        for i in 0..grid.nx {
+            if !grid.is_wet(i, j) {
+                continue;
+            }
+            for k in 0..grid.nz {
+                let u = state.u.get(i, j, k);
+                let v = state.v.get(i, j, k);
+                let vol = grid.dx * grid.dy * grid.layer_thickness(i, j, k);
+                ke += 0.5 * RHO0 * (u * u + v * v) * vol;
+            }
+        }
+    }
+    ke
+}
+
+/// Domain-integrated heat content relative to 0 °C (J).
+pub fn heat_content(grid: &Grid, state: &OceanState) -> f64 {
+    let cp = 3990.0;
+    let mut q = 0.0;
+    for j in 0..grid.ny {
+        for i in 0..grid.nx {
+            if !grid.is_wet(i, j) {
+                continue;
+            }
+            for k in 0..grid.nz {
+                let vol = grid.dx * grid.dy * grid.layer_thickness(i, j, k);
+                q += RHO0 * cp * state.t.get(i, j, k) * vol;
+            }
+        }
+    }
+    q
+}
+
+/// Mean sea-surface temperature over wet cells (°C).
+pub fn mean_sst(grid: &Grid, state: &OceanState) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0.0;
+    for j in 0..grid.ny {
+        for i in 0..grid.nx {
+            if grid.is_wet(i, j) {
+                sum += state.t.get(i, j, 0);
+                n += 1.0;
+            }
+        }
+    }
+    if n > 0.0 {
+        sum / n
+    } else {
+        0.0
+    }
+}
+
+/// Volume-mean free-surface elevation (m) — should stay near zero
+/// (volume conservation up to sponge effects).
+pub fn mean_eta(grid: &Grid, state: &OceanState) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0.0;
+    for j in 0..grid.ny {
+        for i in 0..grid.nx {
+            if grid.is_wet(i, j) {
+                sum += state.eta.get(i, j);
+                n += 1.0;
+            }
+        }
+    }
+    if n > 0.0 {
+        sum / n
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bathymetry::Bathymetry;
+
+    #[test]
+    fn resting_state_diagnostics() {
+        let g = Grid::new(Bathymetry::flat(6, 6, 100.0), 3, 1000.0, 1000.0);
+        let st = OceanState::resting(&g, 10.0, 34.0);
+        assert_eq!(kinetic_energy(&g, &st), 0.0);
+        assert_eq!(mean_eta(&g, &st), 0.0);
+        assert!((mean_sst(&g, &st) - 10.0).abs() < 1e-12);
+        // heat content = rho cp T V
+        let vol = 6.0 * 6.0 * 1000.0 * 1000.0 * 100.0;
+        let want = RHO0 * 3990.0 * 10.0 * vol;
+        assert!((heat_content(&g, &st) - want).abs() / want < 1e-12);
+    }
+
+    #[test]
+    fn ke_scales_quadratically() {
+        let g = Grid::new(Bathymetry::flat(4, 4, 100.0), 2, 1000.0, 1000.0);
+        let mut st = OceanState::resting(&g, 10.0, 34.0);
+        st.u.set(1, 1, 0, 0.5);
+        let ke1 = kinetic_energy(&g, &st);
+        st.u.set(1, 1, 0, 1.0);
+        let ke2 = kinetic_energy(&g, &st);
+        assert!((ke2 / ke1 - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,432 @@
+//! Discrete operators for the primitive-equation step.
+//!
+//! Collocated (A-grid) finite differences. Momentum is linear (mesoscale
+//! QG-like regime); the nonlinearity that grows ensemble perturbations
+//! lives in the tracer advection — T/S anomalies change density, density
+//! changes pressure gradients, pressure changes the currents that advect
+//! T/S. Land cells are masked; fluxes never cross the mask.
+
+use crate::eos;
+use crate::field::{Field2, Field3};
+use crate::grid::Grid;
+use crate::state::OceanState;
+use crate::{GRAVITY, RHO0};
+
+/// Horizontal-mean density profile ρ̄'(z), used to reduce the
+/// sigma-coordinate pressure-gradient error: integrating only the
+/// *deviation* from a resting reference profile makes the pressure
+/// gradient of a horizontally uniform stratified ocean exactly zero over
+/// arbitrarily steep topography.
+#[derive(Debug, Clone)]
+pub struct RefProfile {
+    /// Sample depths (m, ascending from 0).
+    depths: Vec<f64>,
+    /// Mean density anomaly at each sample depth (kg/m³).
+    values: Vec<f64>,
+}
+
+impl RefProfile {
+    /// Zero reference (recovers the raw integration).
+    pub fn zero() -> RefProfile {
+        RefProfile { depths: vec![0.0, 1.0], values: vec![0.0, 0.0] }
+    }
+
+    /// Build from the horizontal mean of a state's T/S at a set of
+    /// common depths.
+    pub fn from_state(grid: &Grid, state: &OceanState, samples: usize) -> RefProfile {
+        let zmax = grid.max_depth().max(1.0);
+        let samples = samples.max(2);
+        let mut depths = Vec::with_capacity(samples);
+        let mut values = Vec::with_capacity(samples);
+        for q in 0..samples {
+            let z = zmax * q as f64 / (samples - 1) as f64;
+            let mut sum = 0.0;
+            let mut n = 0.0;
+            for j in 0..grid.ny {
+                for i in 0..grid.nx {
+                    if !grid.is_wet(i, j) || grid.depth(i, j) < z {
+                        continue;
+                    }
+                    // Interpolate the column's T/S to depth z.
+                    let (t, s) = column_interp(grid, state, i, j, z);
+                    sum += eos::density_anomaly(t, s);
+                    n += 1.0;
+                }
+            }
+            depths.push(z);
+            values.push(if n > 0.0 { sum / n } else { 0.0 });
+        }
+        RefProfile { depths, values }
+    }
+
+    /// Reference density anomaly at depth `z` (linear interpolation,
+    /// clamped at the ends).
+    pub fn at(&self, z: f64) -> f64 {
+        let n = self.depths.len();
+        if z <= self.depths[0] {
+            return self.values[0];
+        }
+        if z >= self.depths[n - 1] {
+            return self.values[n - 1];
+        }
+        let mut k = 1;
+        while self.depths[k] < z {
+            k += 1;
+        }
+        let (z0, z1) = (self.depths[k - 1], self.depths[k]);
+        let w = (z - z0) / (z1 - z0).max(1e-12);
+        self.values[k - 1] * (1.0 - w) + self.values[k] * w
+    }
+}
+
+/// Linear interpolation of a column's (T, S) to depth `z`.
+fn column_interp(grid: &Grid, state: &OceanState, i: usize, j: usize, z: f64) -> (f64, f64) {
+    let nz = grid.nz;
+    let d0 = grid.level_depth(i, j, 0);
+    if z <= d0 {
+        return (state.t.get(i, j, 0), state.s.get(i, j, 0));
+    }
+    for k in 1..nz {
+        let dk = grid.level_depth(i, j, k);
+        if z <= dk {
+            let dk1 = grid.level_depth(i, j, k - 1);
+            let w = (z - dk1) / (dk - dk1).max(1e-12);
+            let t = state.t.get(i, j, k - 1) * (1.0 - w) + state.t.get(i, j, k) * w;
+            let s = state.s.get(i, j, k - 1) * (1.0 - w) + state.s.get(i, j, k) * w;
+            return (t, s);
+        }
+    }
+    (state.t.get(i, j, nz - 1), state.s.get(i, j, nz - 1))
+}
+
+/// Hydrostatic baroclinic pressure anomaly field φ = p'/ρ₀ (m²/s²) at
+/// level centers, integrated downward from the surface, relative to the
+/// resting reference profile `rho_ref`.
+pub fn baroclinic_pressure(grid: &Grid, t: &Field3, s: &Field3, rho_ref: &RefProfile) -> Field3 {
+    let (nx, ny, nz) = (grid.nx, grid.ny, grid.nz);
+    let mut phi = Field3::zeros(nx, ny, nz);
+    for j in 0..ny {
+        for i in 0..nx {
+            if !grid.is_wet(i, j) {
+                continue;
+            }
+            let mut p = 0.0; // pressure anomaly / rho0 at current interface
+            for k in 0..nz {
+                let hk = grid.layer_thickness(i, j, k);
+                let z_center = grid.level_depth(i, j, k);
+                let rho = eos::density_anomaly(t.get(i, j, k), s.get(i, j, k))
+                    - rho_ref.at(z_center);
+                // Pressure at level center: interface pressure + half layer.
+                let at_center = p + GRAVITY * rho / RHO0 * (0.5 * hk);
+                phi.set(i, j, k, at_center);
+                p += GRAVITY * rho / RHO0 * hk;
+            }
+        }
+    }
+    phi
+}
+
+/// Masked centered x-gradient of a level slice at `(i, j)` (1/m units of field/m).
+#[inline]
+pub fn grad_x(grid: &Grid, f: &Field3, i: usize, j: usize, k: usize) -> f64 {
+    let nx = grid.nx;
+    let wet = |ii: usize| grid.is_wet(ii, j);
+    let (il, ir) = (i.saturating_sub(1), (i + 1).min(nx - 1));
+    let l_ok = il != i && wet(il);
+    let r_ok = ir != i && wet(ir);
+    match (l_ok, r_ok) {
+        (true, true) => (f.get(ir, j, k) - f.get(il, j, k)) / (2.0 * grid.dx),
+        (true, false) => (f.get(i, j, k) - f.get(il, j, k)) / grid.dx,
+        (false, true) => (f.get(ir, j, k) - f.get(i, j, k)) / grid.dx,
+        (false, false) => 0.0,
+    }
+}
+
+/// Masked centered y-gradient.
+#[inline]
+pub fn grad_y(grid: &Grid, f: &Field3, i: usize, j: usize, k: usize) -> f64 {
+    let ny = grid.ny;
+    let wet = |jj: usize| grid.is_wet(i, jj);
+    let (jl, jr) = (j.saturating_sub(1), (j + 1).min(ny - 1));
+    let l_ok = jl != j && wet(jl);
+    let r_ok = jr != j && wet(jr);
+    match (l_ok, r_ok) {
+        (true, true) => (f.get(i, jr, k) - f.get(i, jl, k)) / (2.0 * grid.dy),
+        (true, false) => (f.get(i, j, k) - f.get(i, jl, k)) / grid.dy,
+        (false, true) => (f.get(i, jr, k) - f.get(i, j, k)) / grid.dy,
+        (false, false) => 0.0,
+    }
+}
+
+/// Masked centered gradient of a 2-D field (η).
+#[inline]
+pub fn grad2_x(grid: &Grid, f: &Field2, i: usize, j: usize) -> f64 {
+    let nx = grid.nx;
+    let wet = |ii: usize| grid.is_wet(ii, j);
+    let (il, ir) = (i.saturating_sub(1), (i + 1).min(nx - 1));
+    let l_ok = il != i && wet(il);
+    let r_ok = ir != i && wet(ir);
+    match (l_ok, r_ok) {
+        (true, true) => (f.get(ir, j) - f.get(il, j)) / (2.0 * grid.dx),
+        (true, false) => (f.get(i, j) - f.get(il, j)) / grid.dx,
+        (false, true) => (f.get(ir, j) - f.get(i, j)) / grid.dx,
+        (false, false) => 0.0,
+    }
+}
+
+/// Masked centered y-gradient of a 2-D field.
+#[inline]
+pub fn grad2_y(grid: &Grid, f: &Field2, i: usize, j: usize) -> f64 {
+    let ny = grid.ny;
+    let wet = |jj: usize| grid.is_wet(i, jj);
+    let (jl, jr) = (j.saturating_sub(1), (j + 1).min(ny - 1));
+    let l_ok = jl != j && wet(jl);
+    let r_ok = jr != j && wet(jr);
+    match (l_ok, r_ok) {
+        (true, true) => (f.get(i, jr) - f.get(i, jl)) / (2.0 * grid.dy),
+        (true, false) => (f.get(i, j) - f.get(i, jl)) / grid.dy,
+        (false, true) => (f.get(i, jr) - f.get(i, j)) / grid.dy,
+        (false, false) => 0.0,
+    }
+}
+
+/// Masked 5-point horizontal Laplacian of a 3-D field at `(i, j, k)`.
+#[inline]
+pub fn laplacian(grid: &Grid, f: &Field3, i: usize, j: usize, k: usize) -> f64 {
+    let c = f.get(i, j, k);
+    let mut acc = 0.0;
+    if i > 0 && grid.is_wet(i - 1, j) {
+        acc += (f.get(i - 1, j, k) - c) / (grid.dx * grid.dx);
+    }
+    if i + 1 < grid.nx && grid.is_wet(i + 1, j) {
+        acc += (f.get(i + 1, j, k) - c) / (grid.dx * grid.dx);
+    }
+    if j > 0 && grid.is_wet(i, j - 1) {
+        acc += (f.get(i, j - 1, k) - c) / (grid.dy * grid.dy);
+    }
+    if j + 1 < grid.ny && grid.is_wet(i, j + 1) {
+        acc += (f.get(i, j + 1, k) - c) / (grid.dy * grid.dy);
+    }
+    acc
+}
+
+/// First-order upwind horizontal advection tendency `-(u ∂f/∂x + v ∂f/∂y)`
+/// at `(i, j, k)`, mask-aware (no flux from land).
+#[inline]
+pub fn upwind_advection(
+    grid: &Grid,
+    f: &Field3,
+    u: f64,
+    v: f64,
+    i: usize,
+    j: usize,
+    k: usize,
+) -> f64 {
+    let c = f.get(i, j, k);
+    let mut tend = 0.0;
+    // x-direction
+    if u > 0.0 {
+        if i > 0 && grid.is_wet(i - 1, j) {
+            tend -= u * (c - f.get(i - 1, j, k)) / grid.dx;
+        }
+    } else if u < 0.0 && i + 1 < grid.nx && grid.is_wet(i + 1, j) {
+        tend -= u * (f.get(i + 1, j, k) - c) / grid.dx;
+    }
+    // y-direction
+    if v > 0.0 {
+        if j > 0 && grid.is_wet(i, j - 1) {
+            tend -= v * (c - f.get(i, j - 1, k)) / grid.dy;
+        }
+    } else if v < 0.0 && j + 1 < grid.ny && grid.is_wet(i, j + 1) {
+        tend -= v * (f.get(i, j + 1, k) - c) / grid.dy;
+    }
+    tend
+}
+
+/// Vertical velocity at layer *interfaces* (positive up, m/s), length
+/// `nz+1` per column, diagnosed from the horizontal divergence
+/// integrated from the bottom (w = 0 at the seabed).
+pub fn diagnose_w_column(grid: &Grid, u: &Field3, v: &Field3, i: usize, j: usize) -> Vec<f64> {
+    let nz = grid.nz;
+    let mut w = vec![0.0; nz + 1];
+    if !grid.is_wet(i, j) {
+        return w;
+    }
+    // Integrate continuity upward: w_top(k) = w_bottom(k) - h_k * div_k.
+    for k in (0..nz).rev() {
+        let dudx = grad_x(grid, u, i, j, k);
+        let dvdy = grad_y(grid, v, i, j, k);
+        let hk = grid.layer_thickness(i, j, k);
+        w[k] = w[k + 1] - hk * (dudx + dvdy);
+    }
+    w
+}
+
+/// Upwind vertical advection tendency `-w ∂f/∂z` of a tracer at
+/// `(i, j, k)` given interface velocities `w` (positive up, length
+/// `nz+1`, from [`diagnose_w_column`]; `k` increases downward).
+#[inline]
+pub fn vertical_advection(
+    grid: &Grid,
+    f: &Field3,
+    w: &[f64],
+    i: usize,
+    j: usize,
+    k: usize,
+) -> f64 {
+    let nz = grid.nz;
+    let c = f.get(i, j, k);
+    // Cell-center vertical velocity.
+    let wc = 0.5 * (w[k] + w[k + 1]);
+    if wc > 0.0 {
+        // Upward flow: information comes from the layer below.
+        if k + 1 < nz {
+            let dz = 0.5
+                * (grid.layer_thickness(i, j, k) + grid.layer_thickness(i, j, k + 1)).max(1e-6);
+            -wc * (c - f.get(i, j, k + 1)) / dz
+        } else {
+            0.0
+        }
+    } else if wc < 0.0 {
+        // Downward flow: information comes from the layer above.
+        if k > 0 {
+            let dz = 0.5
+                * (grid.layer_thickness(i, j, k) + grid.layer_thickness(i, j, k - 1)).max(1e-6);
+            -wc * (f.get(i, j, k - 1) - c) / dz
+        } else {
+            0.0
+        }
+    } else {
+        0.0
+    }
+}
+
+/// Vertical diffusion tendency (explicit) for a tracer column.
+#[inline]
+pub fn vertical_diffusion(
+    grid: &Grid,
+    f: &Field3,
+    kv: f64,
+    i: usize,
+    j: usize,
+    k: usize,
+) -> f64 {
+    let nz = grid.nz;
+    let hk = grid.layer_thickness(i, j, k).max(1e-6);
+    let c = f.get(i, j, k);
+    let mut flux = 0.0;
+    if k > 0 {
+        let hup = grid.layer_thickness(i, j, k - 1).max(1e-6);
+        let dz = 0.5 * (hk + hup);
+        flux += kv * (f.get(i, j, k - 1) - c) / dz;
+    }
+    if k + 1 < nz {
+        let hdn = grid.layer_thickness(i, j, k + 1).max(1e-6);
+        let dz = 0.5 * (hk + hdn);
+        flux += kv * (f.get(i, j, k + 1) - c) / dz;
+    }
+    flux / hk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bathymetry::Bathymetry;
+
+    fn grid() -> Grid {
+        Grid::new(Bathymetry::flat(8, 8, 100.0), 4, 1000.0, 1000.0)
+    }
+
+    #[test]
+    fn pressure_of_uniform_density_is_uniform_horizontally() {
+        let g = grid();
+        let t = Field3::constant(8, 8, 4, 10.0);
+        let s = Field3::constant(8, 8, 4, 34.0);
+        let phi = baroclinic_pressure(&g, &t, &s, &RefProfile::zero());
+        // No horizontal gradient anywhere.
+        for k in 0..4 {
+            for j in 1..7 {
+                for i in 1..7 {
+                    assert!(grad_x(&g, &phi, i, j, k).abs() < 1e-12);
+                    assert!(grad_y(&g, &phi, i, j, k).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cold_column_has_higher_pressure_below() {
+        let g = grid();
+        // Column (2,2) colder (denser) than (5,5).
+        let t = Field3::from_fn(8, 8, 4, |i, j, _| if i == 2 && j == 2 { 5.0 } else { 15.0 });
+        let s = Field3::constant(8, 8, 4, 34.0);
+        let phi = baroclinic_pressure(&g, &t, &s, &RefProfile::zero());
+        assert!(phi.get(2, 2, 3) > phi.get(5, 5, 3));
+        // Pressure anomaly magnitude grows with depth.
+        assert!(phi.get(2, 2, 3) > phi.get(2, 2, 0));
+    }
+
+    #[test]
+    fn gradient_of_linear_field_exact() {
+        let g = grid();
+        let f = Field3::from_fn(8, 8, 4, |i, j, _| 3.0 * i as f64 + 7.0 * j as f64);
+        // interior: df/dx = 3/dx, df/dy = 7/dy
+        assert!((grad_x(&g, &f, 4, 4, 0) - 3.0 / 1000.0).abs() < 1e-15);
+        assert!((grad_y(&g, &f, 4, 4, 0) - 7.0 / 1000.0).abs() < 1e-15);
+        // one-sided at edges still exact for linear fields
+        assert!((grad_x(&g, &f, 0, 4, 0) - 3.0 / 1000.0).abs() < 1e-15);
+        assert!((grad_x(&g, &f, 7, 4, 0) - 3.0 / 1000.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn laplacian_of_linear_field_zero() {
+        let g = grid();
+        let f = Field3::from_fn(8, 8, 4, |i, j, _| 2.0 * i as f64 - 5.0 * j as f64);
+        assert!(laplacian(&g, &f, 4, 4, 1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn upwind_advection_direction() {
+        let g = grid();
+        // f increases with i; positive u advects low values from the west:
+        // tendency negative... -u*(c - west)/dx = -u*(+1)/dx < 0.
+        let f = Field3::from_fn(8, 8, 4, |i, _, _| i as f64);
+        let tend = upwind_advection(&g, &f, 1.0, 0.0, 4, 4, 0);
+        assert!(tend < 0.0);
+        let tend_neg = upwind_advection(&g, &f, -1.0, 0.0, 4, 4, 0);
+        assert!(tend_neg > 0.0);
+    }
+
+    #[test]
+    fn w_zero_for_divergence_free_column() {
+        let g = grid();
+        let u = Field3::constant(8, 8, 4, 0.1);
+        let v = Field3::constant(8, 8, 4, -0.05);
+        let w = diagnose_w_column(&g, &u, &v, 4, 4);
+        for &wi in &w {
+            assert!(wi.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convergent_flow_produces_upwelling() {
+        let g = grid();
+        // u decreasing with i: du/dx < 0 -> convergence -> w > 0 (upwelling).
+        let u = Field3::from_fn(8, 8, 4, |i, _, _| -0.01 * i as f64);
+        let v = Field3::zeros(8, 8, 4);
+        let w = diagnose_w_column(&g, &u, &v, 4, 4);
+        assert!(w[0] > 0.0, "surface w {w:?}");
+        assert_eq!(w[4], 0.0);
+    }
+
+    #[test]
+    fn vertical_diffusion_smooths() {
+        let g = grid();
+        // Hot layer k=1 between cold layers: diffusion must cool it.
+        let f = Field3::from_fn(8, 8, 4, |_, _, k| if k == 1 { 20.0 } else { 10.0 });
+        let tend = vertical_diffusion(&g, &f, 1e-3, 4, 4, 1);
+        assert!(tend < 0.0);
+        let tend_above = vertical_diffusion(&g, &f, 1e-3, 4, 4, 0);
+        assert!(tend_above > 0.0);
+    }
+}

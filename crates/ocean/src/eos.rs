@@ -1,0 +1,107 @@
+//! Equation of state and sound speed.
+//!
+//! Density uses a linearized seawater EOS adequate for the dynamics at
+//! mesoscale; sound speed uses the Mackenzie (1981) nine-term formula,
+//! which is what couples the physical ocean to the acoustics (§2.2 of
+//! the paper: T/S fields → sound speed → transmission loss).
+
+use crate::RHO0;
+
+/// Thermal expansion coefficient (kg/m³/°C) around T₀.
+pub const EOS_ALPHA: f64 = 0.17;
+/// Haline contraction coefficient (kg/m³/psu) around S₀.
+pub const EOS_BETA: f64 = 0.76;
+/// Reference temperature (°C).
+pub const T_REF: f64 = 12.0;
+/// Reference salinity (psu).
+pub const S_REF: f64 = 33.5;
+
+/// Linearized in-situ density anomaly ρ' = ρ − ρ₀ (kg/m³).
+#[inline]
+pub fn density_anomaly(t: f64, s: f64) -> f64 {
+    -EOS_ALPHA * (t - T_REF) + EOS_BETA * (s - S_REF)
+}
+
+/// Full density (kg/m³).
+#[inline]
+pub fn density(t: f64, s: f64) -> f64 {
+    RHO0 + density_anomaly(t, s)
+}
+
+/// Buoyancy frequency squared `N² = -(g/ρ₀) dρ/dz` from two vertically
+/// adjacent (T, S) samples separated by `dz` meters (positive down).
+pub fn brunt_vaisala_sq(t_up: f64, s_up: f64, t_dn: f64, s_dn: f64, dz: f64) -> f64 {
+    let drho = density_anomaly(t_dn, s_dn) - density_anomaly(t_up, s_up);
+    crate::GRAVITY / RHO0 * drho / dz.max(1e-6)
+}
+
+/// Mackenzie (1981) sound speed (m/s).
+///
+/// `t` in °C, `s` in psu, `z` depth in meters (positive down).
+/// Valid for 0-30 °C, 30-40 psu, 0-8000 m.
+pub fn mackenzie_sound_speed(t: f64, s: f64, z: f64) -> f64 {
+    1448.96 + 4.591 * t - 5.304e-2 * t * t + 2.374e-4 * t * t * t
+        + 1.340 * (s - 35.0)
+        + 1.630e-2 * z
+        + 1.675e-7 * z * z
+        - 1.025e-2 * t * (s - 35.0)
+        - 7.139e-13 * t * z * z * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_colder_is_denser() {
+        assert!(density(5.0, 34.0) > density(15.0, 34.0));
+    }
+
+    #[test]
+    fn density_saltier_is_denser() {
+        assert!(density(10.0, 35.0) > density(10.0, 33.0));
+    }
+
+    #[test]
+    fn density_reference_point() {
+        assert!((density(T_REF, S_REF) - RHO0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_stratification_positive_n2() {
+        // Warm over cold: stable.
+        let n2 = brunt_vaisala_sq(15.0, 33.5, 8.0, 33.8, 50.0);
+        assert!(n2 > 0.0);
+        // Cold over warm with same salt: unstable.
+        let n2u = brunt_vaisala_sq(8.0, 33.5, 15.0, 33.5, 50.0);
+        assert!(n2u < 0.0);
+    }
+
+    #[test]
+    fn mackenzie_reference_value() {
+        // Direct evaluation of the nine-term formula at T=10°C, S=35 psu,
+        // z=1000 m gives 1506.26 m/s.
+        let c = mackenzie_sound_speed(10.0, 35.0, 1000.0);
+        assert!((c - 1506.26).abs() < 0.05, "c = {c}");
+        // Surface check: T=0, S=35, z=0 reduces to the leading constant.
+        let c0 = mackenzie_sound_speed(0.0, 35.0, 0.0);
+        assert!((c0 - 1448.96).abs() < 1e-9, "c0 = {c0}");
+    }
+
+    #[test]
+    fn sound_speed_increases_with_temperature_and_depth() {
+        let c1 = mackenzie_sound_speed(5.0, 34.0, 100.0);
+        let c2 = mackenzie_sound_speed(15.0, 34.0, 100.0);
+        assert!(c2 > c1);
+        let c3 = mackenzie_sound_speed(5.0, 34.0, 2000.0);
+        assert!(c3 > c1);
+    }
+
+    #[test]
+    fn sound_speed_plausible_range() {
+        for &(t, s, z) in &[(0.0, 33.0, 0.0), (25.0, 36.0, 0.0), (4.0, 34.5, 4000.0)] {
+            let c = mackenzie_sound_speed(t, s, z);
+            assert!((1400.0..1600.0).contains(&c), "c({t},{s},{z}) = {c}");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! 2-D and 3-D scalar fields on the model grid.
+//!
+//! Layout: `Field3` stores `(i, j, k)` as `data[(k*ny + j)*nx + i]`, so a
+//! horizontal level is contiguous — vertical level extraction (the
+//! "30 m temperature" maps of paper Fig. 6) is a slice copy.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D horizontal field (`nx × ny`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field2 {
+    nx: usize,
+    ny: usize,
+    data: Vec<f64>,
+}
+
+impl Field2 {
+    /// Zero-filled field.
+    pub fn zeros(nx: usize, ny: usize) -> Self {
+        Field2 { nx, ny, data: vec![0.0; nx * ny] }
+    }
+
+    /// Constant-filled field.
+    pub fn constant(nx: usize, ny: usize, v: f64) -> Self {
+        Field2 { nx, ny, data: vec![v; nx * ny] }
+    }
+
+    /// Build from a closure `f(i, j)`.
+    pub fn from_fn(nx: usize, ny: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut d = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                d.push(f(i, j));
+            }
+        }
+        Field2 { nx, ny, data: d }
+    }
+
+    /// Grid extent `(nx, ny)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Value at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nx && j < self.ny);
+        self.data[j * self.nx + i]
+    }
+
+    /// Assign at `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nx && j < self.ny);
+        self.data[j * self.nx + i] = v;
+    }
+
+    /// Add to `(i, j)`.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nx && j < self.ny);
+        self.data[j * self.nx + i] += v;
+    }
+
+    /// Flat storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Minimum and maximum values.
+    pub fn min_max(&self) -> (f64, f64) {
+        self.data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        })
+    }
+
+    /// Mean value.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    /// True if any entry is non-finite.
+    pub fn has_nan(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+/// A 3-D field (`nx × ny × nz`), level-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field3 {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    data: Vec<f64>,
+}
+
+impl Field3 {
+    /// Zero-filled field.
+    pub fn zeros(nx: usize, ny: usize, nz: usize) -> Self {
+        Field3 { nx, ny, nz, data: vec![0.0; nx * ny * nz] }
+    }
+
+    /// Constant-filled field.
+    pub fn constant(nx: usize, ny: usize, nz: usize, v: f64) -> Self {
+        Field3 { nx, ny, nz, data: vec![v; nx * ny * nz] }
+    }
+
+    /// Build from a closure `f(i, j, k)`.
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Self {
+        let mut d = Vec::with_capacity(nx * ny * nz);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    d.push(f(i, j, k));
+                }
+            }
+        }
+        Field3 { nx, ny, nz, data: d }
+    }
+
+    /// Grid extent `(nx, ny, nz)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Linear index of `(i, j, k)`.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        (k * self.ny + j) * self.nx + i
+    }
+
+    /// Value at `(i, j, k)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.idx(i, j, k)]
+    }
+
+    /// Assign at `(i, j, k)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        let ix = self.idx(i, j, k);
+        self.data[ix] = v;
+    }
+
+    /// Add to `(i, j, k)`.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        let ix = self.idx(i, j, k);
+        self.data[ix] += v;
+    }
+
+    /// Contiguous horizontal level `k`.
+    pub fn level(&self, k: usize) -> &[f64] {
+        let n = self.nx * self.ny;
+        &self.data[k * n..(k + 1) * n]
+    }
+
+    /// Horizontal level `k` copied into a [`Field2`].
+    pub fn level_field(&self, k: usize) -> Field2 {
+        Field2 { nx: self.nx, ny: self.ny, data: self.level(k).to_vec() }
+    }
+
+    /// Flat storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Minimum and maximum values.
+    pub fn min_max(&self) -> (f64, f64) {
+        self.data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        })
+    }
+
+    /// True if any entry is non-finite.
+    pub fn has_nan(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Vertical column at `(i, j)` (strided copy, length `nz`).
+    pub fn column(&self, i: usize, j: usize) -> Vec<f64> {
+        (0..self.nz).map(|k| self.get(i, j, k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field2_roundtrip() {
+        let mut f = Field2::zeros(3, 2);
+        f.set(2, 1, 5.0);
+        assert_eq!(f.get(2, 1), 5.0);
+        f.add(2, 1, 1.0);
+        assert_eq!(f.get(2, 1), 6.0);
+        assert_eq!(f.shape(), (3, 2));
+    }
+
+    #[test]
+    fn field3_indexing_levels() {
+        let f = Field3::from_fn(2, 3, 4, |i, j, k| (100 * k + 10 * j + i) as f64);
+        assert_eq!(f.get(1, 2, 3), 321.0);
+        let lvl = f.level(2);
+        assert_eq!(lvl.len(), 6);
+        assert_eq!(lvl[0], 200.0);
+        let l2 = f.level_field(1);
+        assert_eq!(l2.get(1, 1), 111.0);
+    }
+
+    #[test]
+    fn field3_column() {
+        let f = Field3::from_fn(2, 2, 3, |i, j, k| (i + 10 * j + 100 * k) as f64);
+        assert_eq!(f.column(1, 1), vec![11.0, 111.0, 211.0]);
+    }
+
+    #[test]
+    fn min_max_and_nan() {
+        let mut f = Field2::from_fn(2, 2, |i, j| (i + j) as f64);
+        assert_eq!(f.min_max(), (0.0, 2.0));
+        assert!(!f.has_nan());
+        f.set(0, 0, f64::NAN);
+        assert!(f.has_nan());
+    }
+
+    #[test]
+    fn mean_of_constant() {
+        let f = Field2::constant(4, 4, 2.5);
+        assert_eq!(f.mean(), 2.5);
+    }
+}

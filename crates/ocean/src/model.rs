@@ -1,0 +1,799 @@
+//! The primitive-equation model driver (`pemodel` of the paper).
+
+use crate::boundary::Sponge;
+use crate::dynamics as dyn_ops;
+use crate::field::{Field2, Field3};
+use crate::forcing::Forcing;
+use crate::grid::Grid;
+use crate::state::OceanState;
+use crate::stochastic::NoiseGenerator;
+use crate::{GRAVITY, RHO0};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Model parameters.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Baroclinic time step (s).
+    pub dt: f64,
+    /// Horizontal eddy viscosity (m²/s).
+    pub ah: f64,
+    /// Horizontal tracer diffusivity (m²/s).
+    pub kh: f64,
+    /// Vertical tracer diffusivity (m²/s).
+    pub kv: f64,
+    /// Vertical momentum viscosity (m²/s); clamped per column so the
+    /// explicit scheme stays stable over thin stretched surface layers.
+    pub kv_m: f64,
+    /// Linear bottom drag coefficient (1/s on the bottom layer).
+    pub bottom_drag: f64,
+    /// Interior Rayleigh drag (1/s, all layers) — weak, bounds the
+    /// coastal jet where the coarse A-grid under-resolves frontal shear.
+    pub rayleigh_drag: f64,
+    /// Sponge width (cells) at open boundaries.
+    pub sponge_width: usize,
+    /// Sponge e-folding time at the boundary (s).
+    pub sponge_tau: f64,
+    /// Stochastic model-error std-dev applied to the T tendency (°C per step).
+    pub noise_t: f64,
+    /// Stochastic model-error correlation length (cells).
+    pub noise_corr_cells: f64,
+    /// Free-surface smoothing factor per barotropic substep (A-grid
+    /// checkerboard damping, dimensionless 0..1).
+    pub eta_smooth: f64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            dt: 300.0,
+            ah: 100.0,
+            kh: 50.0,
+            kv: 1e-4,
+            kv_m: 5e-3,
+            bottom_drag: 2e-5,
+            rayleigh_drag: 3e-6,
+            sponge_width: 4,
+            sponge_tau: 2.0 * 86400.0,
+            noise_t: 0.02,
+            noise_corr_cells: 3.0,
+            eta_smooth: 0.02,
+        }
+    }
+}
+
+/// Errors the integrator can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A prognostic field became non-finite at the given model time (s).
+    NumericalBlowup {
+        /// Model time (s) at which the blow-up was detected.
+        time: f64,
+    },
+    /// The requested time step violates the advective CFL bound.
+    CflViolation {
+        /// The configured step (s).
+        dt: f64,
+        /// The largest stable step (s).
+        limit: f64,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::NumericalBlowup { time } => {
+                write!(f, "numerical blow-up at model time {time} s")
+            }
+            ModelError::CflViolation { dt, limit } => {
+                write!(f, "dt = {dt} s violates CFL limit {limit} s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Smallest layer thickness among level `k` and its vertical neighbours
+/// (the explicit-diffusion stability scale).
+fn grid_min_dz(g: &Grid, i: usize, j: usize, k: usize) -> f64 {
+    let mut dz = g.layer_thickness(i, j, k);
+    if k > 0 {
+        dz = dz.min(g.layer_thickness(i, j, k - 1));
+    }
+    if k + 1 < g.nz {
+        dz = dz.min(g.layer_thickness(i, j, k + 1));
+    }
+    dz.max(1e-3)
+}
+
+/// The stochastic primitive-equation model: grid + forcing + parameters
+/// + climatology (initial state, used by the sponge).
+pub struct PeModel {
+    /// Model grid.
+    pub grid: Grid,
+    /// Atmospheric forcing.
+    pub forcing: Forcing,
+    /// Numerical and physical parameters.
+    pub config: ModelConfig,
+    /// Climatological state the open boundaries relax to.
+    pub climatology: OceanState,
+    sponge: Sponge,
+    sponge_vel: Sponge,
+    noise: NoiseGenerator,
+    rho_ref: dyn_ops::RefProfile,
+}
+
+impl PeModel {
+    /// Build a model; `climatology` is both the sponge target and the
+    /// reference state.
+    pub fn new(grid: Grid, forcing: Forcing, config: ModelConfig, climatology: OceanState) -> PeModel {
+        let sponge = Sponge::new(&grid, config.sponge_width, config.sponge_tau);
+        // Velocities are absorbed five times faster than tracers so that
+        // boundary jets exit cleanly instead of reflecting.
+        let sponge_vel = Sponge::new(&grid, config.sponge_width, config.sponge_tau / 5.0);
+        let noise = NoiseGenerator::new(config.noise_t, config.noise_corr_cells);
+        // Reference profile from the climatology: cancels the
+        // sigma-coordinate pressure-gradient error of the resting state.
+        let rho_ref = dyn_ops::RefProfile::from_state(&grid, &climatology, 64);
+        PeModel { grid, forcing, config, climatology, sponge, sponge_vel, noise, rho_ref }
+    }
+
+    /// Packed state-vector length.
+    pub fn state_dim(&self) -> usize {
+        OceanState::packed_len(&self.grid)
+    }
+
+    /// Advance `state` by one baroclinic step of the configured `dt`.
+    /// When `rng` is `Some`, the stochastic model-error forcing is applied
+    /// (ESSE ensemble members); `None` integrates the deterministic
+    /// central forecast.
+    pub fn step(&self, state: &mut OceanState, rng: Option<&mut StdRng>) -> Result<(), ModelError> {
+        self.step_dt(state, rng, self.config.dt)
+    }
+
+    /// Advance by one step of length `dt` seconds. The stochastic forcing
+    /// amplitude is scaled by `√(dt/config.dt)` so that subcycled steps
+    /// accumulate the same noise variance per unit time.
+    pub fn step_dt(
+        &self,
+        state: &mut OceanState,
+        rng: Option<&mut StdRng>,
+        dt: f64,
+    ) -> Result<(), ModelError> {
+        let g = &self.grid;
+        let cfg = &self.config;
+        // CFL guard (advective).
+        let umax = state.max_speed().max(0.01);
+        let cfl = 0.9 * g.dx.min(g.dy) / umax;
+        if dt > cfl {
+            return Err(ModelError::CflViolation { dt, limit: cfl });
+        }
+
+        let (nx, ny, nz) = (g.nx, g.ny, g.nz);
+        let time = state.time;
+
+        // --- 1. Baroclinic pressure from the current T/S. ---
+        let phi = dyn_ops::baroclinic_pressure(g, &state.t, &state.s, &self.rho_ref);
+
+        // --- 2. Provisional momentum update (everything except the
+        //        barotropic surface-pressure gradient). ---
+        let mut u_star = state.u.clone();
+        let mut v_star = state.v.clone();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if !g.is_wet(i, j) {
+                        continue;
+                    }
+                    // Vertical viscosity clamped for explicit stability on
+                    // thin (stretched-sigma) surface layers.
+                    let dz_min = grid_min_dz(g, i, j, k);
+                    let kvm = cfg.kv_m.min(0.2 * dz_min * dz_min / dt);
+                    let mut du = -dyn_ops::grad_x(g, &phi, i, j, k)
+                        + cfg.ah * dyn_ops::laplacian(g, &state.u, i, j, k)
+                        + dyn_ops::vertical_diffusion(g, &state.u, kvm, i, j, k);
+                    let mut dv = -dyn_ops::grad_y(g, &phi, i, j, k)
+                        + cfg.ah * dyn_ops::laplacian(g, &state.v, i, j, k)
+                        + dyn_ops::vertical_diffusion(g, &state.v, kvm, i, j, k);
+                    // Wind stress enters the top layer; linear drag the bottom.
+                    if k == 0 {
+                        let (tx, ty) = self.forcing.wind_stress(g, i, j, time);
+                        let h0 = g.layer_thickness(i, j, 0).max(1e-3);
+                        du += tx / (RHO0 * h0);
+                        dv += ty / (RHO0 * h0);
+                    }
+                    if k == nz - 1 {
+                        du -= cfg.bottom_drag * state.u.get(i, j, k);
+                        dv -= cfg.bottom_drag * state.v.get(i, j, k);
+                    }
+                    du -= cfg.rayleigh_drag * state.u.get(i, j, k);
+                    dv -= cfg.rayleigh_drag * state.v.get(i, j, k);
+                    // Semi-implicit Coriolis: exact rotation of the
+                    // provisional velocity by angle f·dt. The barotropic
+                    // subcycle below is rotation-free — Coriolis acts on
+                    // the full velocity exactly once per baroclinic step
+                    // (an O(f·dt) splitting error, and unconditionally
+                    // neutral, unlike explicit rotation inside the
+                    // subcycle which amplifies by √(1+f²Δt²) per substep).
+                    let f = g.coriolis(j);
+                    let (cth, sth) = ((f * dt).cos(), (f * dt).sin());
+                    let u0 = state.u.get(i, j, k) + dt * du;
+                    let v0 = state.v.get(i, j, k) + dt * dv;
+                    u_star.set(i, j, k, cth * u0 + sth * v0);
+                    v_star.set(i, j, k, -sth * u0 + cth * v0);
+                }
+            }
+        }
+
+        // --- 3. Split-explicit barotropic subcycle. ---
+        // Depth means of the provisional velocity.
+        let mut ubar = Field2::zeros(nx, ny);
+        let mut vbar = Field2::zeros(nx, ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                if !g.is_wet(i, j) {
+                    continue;
+                }
+                let mut su = 0.0;
+                let mut sv = 0.0;
+                for k in 0..nz {
+                    let w = g.sigma_w[k + 1] - g.sigma_w[k];
+                    su += w * u_star.get(i, j, k);
+                    sv += w * v_star.get(i, j, k);
+                }
+                ubar.set(i, j, su);
+                vbar.set(i, j, sv);
+            }
+        }
+        let dt_bt = g.barotropic_dt_limit().min(dt);
+        let n_sub = (dt / dt_bt).ceil() as usize;
+        let dt_bt = dt / n_sub as f64;
+        let mut eta = state.eta.clone();
+        // C-grid barotropic subcycle: face-normal velocities (uf between
+        // cells in x, vf in y), conservative flux divergence for eta, and
+        // explicit Coriolis from face-averaged tangential velocity. The
+        // C-grid staggering has consistent gradient/divergence adjoints
+        // and exactly closed boundaries, which the collocated form lacks
+        // (an A-grid forward-backward subcycle pumps energy at edges).
+        let nfx = (nx + 1) * ny; // x-faces
+        let nfy = nx * (ny + 1); // y-faces
+        let fx = |i: usize, j: usize| j * (nx + 1) + i; // face (i-1/2, j) at index i
+        let fy = |i: usize, j: usize| j * nx + i; // face (i, j-1/2) at index j
+        let wet = |i: usize, j: usize| g.is_wet(i, j);
+        // Face openness and face depths.
+        let mut open_x = vec![false; nfx];
+        let mut h_x = vec![0.0f64; nfx];
+        for j in 0..ny {
+            for i in 1..nx {
+                if wet(i - 1, j) && wet(i, j) {
+                    open_x[fx(i, j)] = true;
+                    h_x[fx(i, j)] = 0.5 * (g.depth(i - 1, j) + g.depth(i, j));
+                }
+            }
+        }
+        let mut open_y = vec![false; nfy];
+        let mut h_y = vec![0.0f64; nfy];
+        for j in 1..ny {
+            for i in 0..nx {
+                if wet(i, j - 1) && wet(i, j) {
+                    open_y[fy(i, j)] = true;
+                    h_y[fy(i, j)] = 0.5 * (g.depth(i, j - 1) + g.depth(i, j));
+                }
+            }
+        }
+        // Initialize face velocities from the cell-centered depth means.
+        let mut uf = vec![0.0f64; nfx];
+        for j in 0..ny {
+            for i in 1..nx {
+                if open_x[fx(i, j)] {
+                    uf[fx(i, j)] = 0.5 * (ubar.get(i - 1, j) + ubar.get(i, j));
+                }
+            }
+        }
+        let mut vf = vec![0.0f64; nfy];
+        for j in 1..ny {
+            for i in 0..nx {
+                if open_y[fy(i, j)] {
+                    vf[fy(i, j)] = 0.5 * (vbar.get(i, j - 1) + vbar.get(i, j));
+                }
+            }
+        }
+        // Divergence damping coefficient (m²/s): damps divergent
+        // (inertia-gravity) modes that the rotation/gravity splitting
+        // can otherwise pump, without touching geostrophic flow — the
+        // standard stabilizer of split-explicit free-surface models.
+        let nu_div = 0.01 * g.dx.min(g.dy).powi(2) / dt_bt;
+        let mut divg = vec![0.0f64; nx * ny];
+        for _ in 0..n_sub {
+            // Velocity divergence at cell centers (for the damping term).
+            for j in 0..ny {
+                for i in 0..nx {
+                    let d = if wet(i, j) {
+                        let ue = if open_x[fx(i + 1, j)] { uf[fx(i + 1, j)] } else { 0.0 };
+                        let uw = if open_x[fx(i, j)] { uf[fx(i, j)] } else { 0.0 };
+                        let vn = if open_y[fy(i, j + 1)] { vf[fy(i, j + 1)] } else { 0.0 };
+                        let vs = if open_y[fy(i, j)] { vf[fy(i, j)] } else { 0.0 };
+                        (ue - uw) / g.dx + (vn - vs) / g.dy
+                    } else {
+                        0.0
+                    };
+                    divg[j * nx + i] = d;
+                }
+            }
+            // Momentum on faces (forward): -g dη/dn + ν_d ∂(∇·u)/∂n.
+            let mut uf_new = uf.clone();
+            for j in 0..ny {
+                for i in 1..nx {
+                    let ix = fx(i, j);
+                    if !open_x[ix] {
+                        continue;
+                    }
+                    let detax = (eta.get(i, j) - eta.get(i - 1, j)) / g.dx;
+                    let ddiv = (divg[j * nx + i] - divg[j * nx + i - 1]) / g.dx;
+                    uf_new[ix] = uf[ix] + dt_bt * (-GRAVITY * detax + nu_div * ddiv);
+                }
+            }
+            uf = uf_new;
+            let mut vf_new = vf.clone();
+            for j in 1..ny {
+                for i in 0..nx {
+                    let iy = fy(i, j);
+                    if !open_y[iy] {
+                        continue;
+                    }
+                    let detay = (eta.get(i, j) - eta.get(i, j - 1)) / g.dy;
+                    let ddiv = (divg[j * nx + i] - divg[(j - 1) * nx + i]) / g.dy;
+                    vf_new[iy] = vf[iy] + dt_bt * (-GRAVITY * detay + nu_div * ddiv);
+                }
+            }
+            vf = vf_new;
+            // Continuity (backward): exactly conservative flux divergence.
+            for j in 0..ny {
+                for i in 0..nx {
+                    if !wet(i, j) {
+                        continue;
+                    }
+                    let fe = if open_x[fx(i + 1, j)] { h_x[fx(i + 1, j)] * uf[fx(i + 1, j)] } else { 0.0 };
+                    let fw = if open_x[fx(i, j)] { h_x[fx(i, j)] * uf[fx(i, j)] } else { 0.0 };
+                    let fn_ = if open_y[fy(i, j + 1)] { h_y[fy(i, j + 1)] * vf[fy(i, j + 1)] } else { 0.0 };
+                    let fs = if open_y[fy(i, j)] { h_y[fy(i, j)] * vf[fy(i, j)] } else { 0.0 };
+                    let div = (fe - fw) / g.dx + (fn_ - fs) / g.dy;
+                    eta.add(i, j, -dt_bt * div);
+                }
+            }
+        }
+        // Map face velocities back to the cell-centered depth means.
+        for j in 0..ny {
+            for i in 0..nx {
+                if !wet(i, j) {
+                    continue;
+                }
+                let uw = if open_x[fx(i, j)] { uf[fx(i, j)] } else { 0.0 };
+                let ue = if open_x[fx(i + 1, j)] { uf[fx(i + 1, j)] } else { 0.0 };
+                let nopen = (open_x[fx(i, j)] as u32 + open_x[fx(i + 1, j)] as u32).max(1);
+                ubar.set(i, j, (uw + ue) / nopen as f64);
+                let vs = if open_y[fy(i, j)] { vf[fy(i, j)] } else { 0.0 };
+                let vn = if open_y[fy(i, j + 1)] { vf[fy(i, j + 1)] } else { 0.0 };
+                let mopen = (open_y[fy(i, j)] as u32 + open_y[fy(i, j + 1)] as u32).max(1);
+                vbar.set(i, j, (vs + vn) / mopen as f64);
+            }
+        }
+        let _ = cfg.eta_smooth; // checkerboard damping unnecessary on the C-grid
+
+        // --- 4. Recombine: replace the depth mean of u* with the final
+        //        barotropic velocity. ---
+        for j in 0..ny {
+            for i in 0..nx {
+                if !g.is_wet(i, j) {
+                    continue;
+                }
+                let mut su = 0.0;
+                let mut sv = 0.0;
+                for k in 0..nz {
+                    let w = g.sigma_w[k + 1] - g.sigma_w[k];
+                    su += w * u_star.get(i, j, k);
+                    sv += w * v_star.get(i, j, k);
+                }
+                let du = ubar.get(i, j) - su;
+                let dv = vbar.get(i, j) - sv;
+                for k in 0..nz {
+                    u_star.add(i, j, k, du);
+                    v_star.add(i, j, k, dv);
+                }
+            }
+        }
+
+        // --- 5. Tracer advection-diffusion with the *old* velocity
+        //        (explicit, upwind) + surface fluxes + model error. ---
+        let mut t_new = state.t.clone();
+        let mut s_new = state.s.clone();
+        // Stochastic model error: one correlated field per step scaled by
+        // a vertical profile decaying with depth.
+        let noise_scale = (dt / cfg.dt).sqrt();
+        let noise_field = rng.map(|r| self.noise.sample(g, r));
+        for j in 0..ny {
+            for i in 0..nx {
+                if !g.is_wet(i, j) {
+                    continue;
+                }
+                let wcol = dyn_ops::diagnose_w_column(g, &state.u, &state.v, i, j);
+                for k in 0..nz {
+                    let u = state.u.get(i, j, k);
+                    let v = state.v.get(i, j, k);
+                    let mut dtt = dyn_ops::upwind_advection(g, &state.t, u, v, i, j, k)
+                        + dyn_ops::vertical_advection(g, &state.t, &wcol, i, j, k)
+                        + cfg.kh * dyn_ops::laplacian(g, &state.t, i, j, k)
+                        + dyn_ops::vertical_diffusion(g, &state.t, cfg.kv, i, j, k);
+                    let dss = dyn_ops::upwind_advection(g, &state.s, u, v, i, j, k)
+                        + dyn_ops::vertical_advection(g, &state.s, &wcol, i, j, k)
+                        + cfg.kh * dyn_ops::laplacian(g, &state.s, i, j, k)
+                        + dyn_ops::vertical_diffusion(g, &state.s, cfg.kv, i, j, k);
+                    if k == 0 {
+                        // Surface heat flux: Q / (rho0 cp h).
+                        let q = self.forcing.heat_flux(g, i, j, time);
+                        let h0 = g.layer_thickness(i, j, 0).max(1e-3);
+                        dtt += q / (RHO0 * 3990.0 * h0);
+                    }
+                    t_new.add(i, j, k, dt * dtt);
+                    s_new.add(i, j, k, dt * dss);
+                    if let Some(nf) = &noise_field {
+                        // Model error concentrated in the upper ocean and
+                        // suppressed inside the sponge band: the boundary
+                        // zone is pinned to exterior data, so perturbing it
+                        // would fabricate spurious boundary uncertainty.
+                        let depth_factor = (-(g.level_depth(i, j, k)) / 150.0).exp();
+                        let sponge_damp =
+                            1.0 - (self.sponge.rate(i, j) * cfg.sponge_tau).min(1.0);
+                        t_new.add(i, j, k, nf.get(i, j) * depth_factor * noise_scale * sponge_damp);
+                    }
+                }
+            }
+        }
+
+        // --- 5b. Convective adjustment: hydrostatic models cannot
+        //        resolve convection, so density inversions created by
+        //        upwelling or surface cooling are removed by mixing
+        //        adjacent layers (thickness-weighted), as in HOPS-class
+        //        models. ---
+        for j in 0..ny {
+            for i in 0..nx {
+                if !g.is_wet(i, j) {
+                    continue;
+                }
+                for _pass in 0..nz {
+                    let mut mixed = false;
+                    for k in 0..nz - 1 {
+                        let r_up = crate::eos::density_anomaly(t_new.get(i, j, k), s_new.get(i, j, k));
+                        let r_dn = crate::eos::density_anomaly(
+                            t_new.get(i, j, k + 1),
+                            s_new.get(i, j, k + 1),
+                        );
+                        if r_up > r_dn + 1e-12 {
+                            let h1 = g.layer_thickness(i, j, k);
+                            let h2 = g.layer_thickness(i, j, k + 1);
+                            let w1 = h1 / (h1 + h2);
+                            let w2 = 1.0 - w1;
+                            let tm = w1 * t_new.get(i, j, k) + w2 * t_new.get(i, j, k + 1);
+                            let sm = w1 * s_new.get(i, j, k) + w2 * s_new.get(i, j, k + 1);
+                            t_new.set(i, j, k, tm);
+                            t_new.set(i, j, k + 1, tm);
+                            s_new.set(i, j, k, sm);
+                            s_new.set(i, j, k + 1, sm);
+                            mixed = true;
+                        }
+                    }
+                    if !mixed {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // --- 6. Sponge relaxation toward climatology at open boundaries. ---
+        for k in 0..nz {
+            let n2 = nx * ny;
+            let rel = |f: &mut Field3, clim: &Field3| {
+                let range = k * n2..(k + 1) * n2;
+                let target = &clim.as_slice()[range.clone()];
+                let mut level = f.as_slice()[range.clone()].to_vec();
+                self.sponge.relax_level(dt, &mut level, target);
+                f.as_mut_slice()[range].copy_from_slice(&level);
+            };
+            rel(&mut t_new, &self.climatology.t);
+            rel(&mut s_new, &self.climatology.s);
+            let rel_vel = |f: &mut Field3, clim: &Field3| {
+                let range = k * n2..(k + 1) * n2;
+                let target = &clim.as_slice()[range.clone()];
+                let mut level = f.as_slice()[range.clone()].to_vec();
+                self.sponge_vel.relax_level(dt, &mut level, target);
+                f.as_mut_slice()[range].copy_from_slice(&level);
+            };
+            rel_vel(&mut u_star, &self.climatology.u);
+            rel_vel(&mut v_star, &self.climatology.v);
+        }
+        {
+            let target = self.climatology.eta.as_slice().to_vec();
+            let mut level = eta.as_slice().to_vec();
+            self.sponge.relax_level(dt, &mut level, &target);
+            eta.as_mut_slice().copy_from_slice(&level);
+        }
+
+        // Volume constraint: an open regional domain with sponges does not
+        // conserve volume exactly; remove the spurious domain-mean drift.
+        {
+            let mut sum = 0.0;
+            let mut n = 0.0;
+            for j in 0..ny {
+                for i in 0..nx {
+                    if g.is_wet(i, j) {
+                        sum += eta.get(i, j);
+                        n += 1.0;
+                    }
+                }
+            }
+            if n > 0.0 {
+                let mean = sum / n;
+                for j in 0..ny {
+                    for i in 0..nx {
+                        if g.is_wet(i, j) {
+                            eta.add(i, j, -mean);
+                        }
+                    }
+                }
+            }
+        }
+
+        state.u = u_star;
+        state.v = v_star;
+        state.t = t_new;
+        state.s = s_new;
+        state.eta = eta;
+        state.time = time + dt;
+
+        if state.has_nan() {
+            return Err(ModelError::NumericalBlowup { time: state.time });
+        }
+        Ok(())
+    }
+
+    /// Integrate `state` forward by `duration` seconds (rounded up to a
+    /// whole number of baroclinic steps).
+    ///
+    /// Adaptive: when sharpened coastal jets push the advective CFL below
+    /// the configured step, the step is subcycled (up to 16×) instead of
+    /// failing — an ensemble member should survive vigorous frontal
+    /// events. Beyond 16× the state is declared blown up.
+    pub fn run(
+        &self,
+        state: &mut OceanState,
+        duration: f64,
+        mut rng: Option<&mut StdRng>,
+    ) -> Result<usize, ModelError> {
+        let steps = (duration / self.config.dt).ceil().max(0.0) as usize;
+        let g = &self.grid;
+        for _ in 0..steps {
+            let umax = state.max_speed().max(0.01);
+            let cfl = 0.9 * g.dx.min(g.dy) / umax;
+            // 60% headroom: the jet can accelerate within the step.
+            let n_sub = (1.6 * self.config.dt / cfl).ceil().max(1.0) as usize;
+            if n_sub > 16 {
+                return Err(ModelError::NumericalBlowup { time: state.time });
+            }
+            let dt_sub = self.config.dt / n_sub as f64;
+            for _ in 0..n_sub {
+                self.step_dt(state, rng.as_deref_mut(), dt_sub)?;
+            }
+        }
+        Ok(steps)
+    }
+
+    /// ESSE-facing packed interface: integrate the packed state `x0`
+    /// forward `duration` seconds with the stochastic forcing seeded by
+    /// `seed` (deterministic per seed); `seed = None` runs the
+    /// deterministic central forecast.
+    pub fn forecast(
+        &self,
+        x0: &[f64],
+        start_time: f64,
+        duration: f64,
+        seed: Option<u64>,
+    ) -> Result<Vec<f64>, ModelError> {
+        let mut st = OceanState::unpack(&self.grid, x0);
+        st.time = start_time;
+        match seed {
+            Some(s) => {
+                let mut rng = StdRng::seed_from_u64(s);
+                self.run(&mut st, duration, Some(&mut rng))?;
+            }
+            None => {
+                self.run(&mut st, duration, None)?;
+            }
+        }
+        Ok(st.pack())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bathymetry::Bathymetry;
+    use crate::scenario;
+
+    fn small_model(noise_t: f64) -> (PeModel, OceanState) {
+        let grid = Grid::new(Bathymetry::flat(12, 12, 200.0), 3, 2000.0, 2000.0);
+        let clim = OceanState::resting(&grid, 12.0, 33.5);
+        let cfg = ModelConfig { noise_t, ..ModelConfig::default() };
+        let model = PeModel::new(grid, Forcing::calm(), cfg, clim.clone());
+        (model, clim)
+    }
+
+    #[test]
+    fn resting_state_stays_resting_without_forcing() {
+        let (model, mut st) = small_model(0.0);
+        model.run(&mut st, 6.0 * 3600.0, None).unwrap();
+        assert!(st.max_speed() < 1e-10, "speed {}", st.max_speed());
+        let (lo, hi) = st.eta.min_max();
+        assert!(lo.abs() < 1e-10 && hi.abs() < 1e-10);
+        let (tlo, thi) = st.t.min_max();
+        assert!((tlo - 12.0).abs() < 1e-9 && (thi - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wind_spins_up_currents() {
+        let grid = Grid::new(Bathymetry::flat(12, 12, 200.0), 3, 2000.0, 2000.0);
+        let clim = OceanState::resting(&grid, 12.0, 33.5);
+        let cfg = ModelConfig { noise_t: 0.0, ..ModelConfig::default() };
+        let model = PeModel::new(grid, Forcing::steady_upwelling(-0.1), cfg, clim.clone());
+        let mut st = clim;
+        model.run(&mut st, 12.0 * 3600.0, None).unwrap();
+        assert!(st.max_speed() > 0.005, "speed {}", st.max_speed());
+        assert!(!st.has_nan());
+    }
+
+    #[test]
+    fn stochastic_members_diverge_deterministically() {
+        let (model, st) = small_model(0.05);
+        let x0 = st.pack();
+        let a = model.forecast(&x0, 0.0, 3600.0, Some(1)).unwrap();
+        let b = model.forecast(&x0, 0.0, 3600.0, Some(2)).unwrap();
+        let a2 = model.forecast(&x0, 0.0, 3600.0, Some(1)).unwrap();
+        assert_eq!(a, a2, "same seed must reproduce bitwise");
+        assert_ne!(a, b, "different seeds must diverge");
+    }
+
+    #[test]
+    fn central_forecast_is_deterministic() {
+        let (model, st) = small_model(0.05);
+        let x0 = st.pack();
+        let a = model.forecast(&x0, 0.0, 3600.0, None).unwrap();
+        let b = model.forecast(&x0, 0.0, 3600.0, None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cfl_violation_detected() {
+        let (model, mut st) = small_model(0.0);
+        // Inject an absurd velocity.
+        st.u.set(5, 5, 0, 50.0);
+        let err = model.step(&mut st, None).unwrap_err();
+        assert!(matches!(err, ModelError::CflViolation { .. }));
+    }
+
+    #[test]
+    fn monterey_scenario_runs_one_day_stably() {
+        let (model, mut st) = scenario::monterey(24, 24, 5);
+        let mut rng = StdRng::seed_from_u64(4);
+        model.run(&mut st, 86400.0, Some(&mut rng)).unwrap();
+        assert!(!st.has_nan());
+        let (tlo, thi) = st.t.min_max();
+        assert!(tlo > 0.0 && thi < 30.0, "T range [{tlo}, {thi}]");
+        assert!(st.max_speed() < 3.0, "speed {}", st.max_speed());
+    }
+
+    #[test]
+    fn barotropic_seiche_decays_never_grows() {
+        // Regression for the split-scheme instability: an initial
+        // free-surface bump in a closed basin must ring down, never grow
+        // (the A-grid subcycle and the explicit-Coriolis subcycle both
+        // failed this within simulated days).
+        let mut grid = Grid::new(Bathymetry::flat(20, 20, 400.0), 3, 3000.0, 3000.0);
+        grid.beta = 0.0;
+        let mut st = OceanState::resting(&grid, 12.0, 33.5);
+        for j in 0..20 {
+            for i in 0..20 {
+                let dx = (i as f64 - 9.5) / 3.0;
+                let dy = (j as f64 - 9.5) / 3.0;
+                st.eta.set(i, j, 0.05 * (-(dx * dx + dy * dy)).exp());
+            }
+        }
+        let clim = OceanState::resting(&grid, 12.0, 33.5);
+        let cfg = ModelConfig { noise_t: 0.0, ..ModelConfig::default() };
+        let model = PeModel::new(grid.clone(), Forcing::calm(), cfg, clim);
+        let mut peak: f64 = 0.0;
+        for _ in 0..150 {
+            model.step(&mut st, None).unwrap();
+            peak = peak.max(st.eta.min_max().1.abs()).max(st.eta.min_max().0.abs());
+        }
+        // 150 steps = 12.5 h: amplitude bounded by the initial bump and
+        // the state ends smaller than it started.
+        assert!(peak < 0.10, "seiche amplitude grew: {peak}");
+        let (lo, hi) = st.eta.min_max();
+        assert!(lo.abs().max(hi.abs()) < 0.05, "seiche must decay: [{lo}, {hi}]");
+        assert!(st.max_speed() < 0.05);
+    }
+
+    #[test]
+    fn baroclinic_shear_reaches_thermal_wind_balance() {
+        // Warm-north temperature front: geostrophy demands
+        // du/dz = (g/(f rho0)) d(rho)/dy < 0 — eastward at depth,
+        // westward at the surface. Check sign and magnitude of the
+        // adjusted shear after 2 days.
+        let mut grid = Grid::new(Bathymetry::flat(24, 24, 400.0), 4, 20_000.0, 20_000.0);
+        grid.beta = 0.0;
+        let mut st = OceanState::resting(&grid, 12.0, 33.5);
+        for j in 0..24 {
+            for i in 0..24 {
+                let y = (j as f64 - 11.5) / 3.0;
+                for k in 0..grid.nz {
+                    st.t.set(i, j, k, 12.0 + y.tanh());
+                }
+            }
+        }
+        let clim = st.clone();
+        let cfg = ModelConfig { noise_t: 0.0, ..ModelConfig::default() };
+        let model = PeModel::new(grid.clone(), Forcing::calm(), cfg, clim);
+        model.run(&mut st, 2.0 * 86400.0, None).unwrap();
+        let (i, j) = (12, 12);
+        let dtdy = (st.t.get(i, j + 1, 0) - st.t.get(i, j - 1, 0)) / (2.0 * grid.dy);
+        let f = grid.coriolis(j);
+        let dz = grid.level_depth(i, j, grid.nz - 1) - grid.level_depth(i, j, 0);
+        // d(rho)/dy = -alpha dT/dy; du(top-bottom) = (g/(f rho0)) d(rho)/dy * dz.
+        let du_expect = crate::GRAVITY * (-crate::eos::EOS_ALPHA) * dtdy / (crate::RHO0 * f) * dz;
+        let du_model = st.u.get(i, j, 0) - st.u.get(i, j, grid.nz - 1);
+        assert!(
+            du_model.signum() == du_expect.signum(),
+            "shear sign: model {du_model} vs thermal wind {du_expect}"
+        );
+        let ratio = du_model / du_expect;
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "thermal-wind ratio {ratio} (model {du_model}, expected {du_expect})"
+        );
+    }
+
+    #[test]
+    fn upwelling_wind_drives_coastal_upwelling_and_cooling() {
+        // Steady equatorward wind along an eastern coast drives offshore
+        // Ekman transport in the surface layer; continuity demands upward
+        // vertical velocity at the coast, and the domain SST cools as
+        // colder thermocline water is mixed up.
+        let (model, mut st) = scenario::upwelling_test(20, 16, 4);
+        let g = &model.grid;
+        let sst0 = crate::diag::mean_sst(g, &st);
+        model.run(&mut st, 2.0 * 86400.0, None).unwrap();
+        // Surface-layer offshore (westward, u < 0) Ekman flow near the coast.
+        let mut u_coast = 0.0;
+        let mut w_coast = 0.0;
+        let mut n = 0.0;
+        for j in 4..g.ny - 4 {
+            let mut lw = 0;
+            for i in 0..g.nx {
+                if g.is_wet(i, j) {
+                    lw = i;
+                }
+            }
+            u_coast += st.u.get(lw, j, 0);
+            let wcol = crate::dynamics::diagnose_w_column(g, &st.u, &st.v, lw, j);
+            // Upper-interface vertical velocities (below the surface layer).
+            w_coast += wcol[1];
+            n += 1.0;
+        }
+        u_coast /= n;
+        w_coast /= n;
+        assert!(u_coast < -1e-4, "expected offshore surface Ekman flow, got u = {u_coast}");
+        assert!(w_coast > 1e-7, "expected coastal upwelling, got w = {w_coast}");
+        let sst1 = crate::diag::mean_sst(g, &st);
+        assert!(sst1 < sst0 - 0.02, "SST should cool: {sst0} -> {sst1}");
+    }
+}

@@ -1,0 +1,314 @@
+//! One-way grid nesting (paper §7: "more realistic model setups are
+//! expected to require the use of nested HOPS calculations which are
+//! executed in parallel — thereby introducing the concept of massive
+//! ensembles of small (2-3 task) MPI jobs").
+//!
+//! A fine inner domain covers a sub-rectangle of the coarse outer
+//! domain at `refine ×` resolution. Coupling is one-way via the inner
+//! model's sponge: after every outer step the inner climatology (the
+//! sponge target) is refreshed from the interpolated outer solution, so
+//! the inner boundary tracks the evolving outer ocean while the
+//! interior develops its own finer-scale dynamics.
+
+use crate::bathymetry::Bathymetry;
+use crate::field::{Field2, Field3};
+
+use crate::grid::Grid;
+use crate::model::{ModelError, PeModel};
+use crate::state::OceanState;
+use rand::rngs::StdRng;
+
+/// Placement of the inner domain inside the outer grid.
+#[derive(Debug, Clone, Copy)]
+pub struct NestSpec {
+    /// Outer-grid cell column where the nest starts.
+    pub i0: usize,
+    /// Outer-grid cell row where the nest starts.
+    pub j0: usize,
+    /// Nest extent in outer cells (x).
+    pub ni: usize,
+    /// Nest extent in outer cells (y).
+    pub nj: usize,
+    /// Refinement factor (2 or 3 typical).
+    pub refine: usize,
+}
+
+impl NestSpec {
+    /// Inner-grid dimensions.
+    pub fn inner_cells(&self) -> (usize, usize) {
+        (self.ni * self.refine, self.nj * self.refine)
+    }
+
+    /// Outer-grid fractional coordinates of inner cell center `(ii, jj)`.
+    pub fn outer_coords(&self, ii: usize, jj: usize) -> (f64, f64) {
+        let r = self.refine as f64;
+        (
+            self.i0 as f64 + (ii as f64 + 0.5) / r - 0.5,
+            self.j0 as f64 + (jj as f64 + 0.5) / r - 0.5,
+        )
+    }
+}
+
+/// Bilinear interpolation of a horizontal level of an outer field at
+/// fractional outer coordinates, masked (land neighbours are excluded
+/// with weight renormalization; returns `None` over all-land stencils).
+fn bilinear_masked(
+    grid: &Grid,
+    get: &dyn Fn(usize, usize) -> f64,
+    x: f64,
+    y: f64,
+) -> Option<f64> {
+    let x = x.clamp(0.0, (grid.nx - 1) as f64);
+    let y = y.clamp(0.0, (grid.ny - 1) as f64);
+    let i0 = x.floor() as usize;
+    let j0 = y.floor() as usize;
+    let i1 = (i0 + 1).min(grid.nx - 1);
+    let j1 = (j0 + 1).min(grid.ny - 1);
+    let fx = x - i0 as f64;
+    let fy = y - j0 as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, j, w) in [
+        (i0, j0, (1.0 - fx) * (1.0 - fy)),
+        (i1, j0, fx * (1.0 - fy)),
+        (i0, j1, (1.0 - fx) * fy),
+        (i1, j1, fx * fy),
+    ] {
+        if grid.is_wet(i, j) && w > 0.0 {
+            num += w * get(i, j);
+            den += w;
+        }
+    }
+    if den > 1e-12 {
+        Some(num / den)
+    } else {
+        None
+    }
+}
+
+/// A nested pair of models (one ensemble member = both tasks).
+pub struct NestedModel {
+    /// Coarse outer model.
+    pub outer: PeModel,
+    /// Fine inner model.
+    pub inner: PeModel,
+    /// Placement.
+    pub spec: NestSpec,
+}
+
+impl NestedModel {
+    /// Build the nested pair: the inner grid refines the outer
+    /// bathymetry bilinearly, the inner initial state interpolates the
+    /// outer initial state, and both share forcing/physics parameters
+    /// (inner `dt` divided by the refinement factor).
+    pub fn new(outer: PeModel, spec: NestSpec) -> (NestedModel, OceanState, OceanState) {
+        let og = &outer.grid;
+        assert!(spec.i0 + spec.ni <= og.nx && spec.j0 + spec.nj <= og.ny, "nest inside outer");
+        assert!(spec.refine >= 1);
+        let (inx, iny) = spec.inner_cells();
+        // Refined bathymetry.
+        let depth = Field2::from_fn(inx, iny, |ii, jj| {
+            let (x, y) = spec.outer_coords(ii, jj);
+            bilinear_masked(og, &|i, j| og.bathymetry.depth.get(i, j), x, y).unwrap_or(-10.0)
+        });
+        let bathy = Bathymetry { depth, min_depth: og.bathymetry.min_depth };
+        let r = spec.refine as f64;
+        let stretch_p = estimate_stretch(og);
+        let igrid = Grid::new_stretched(bathy, og.nz, og.dx / r, og.dy / r, stretch_p);
+        // Inner initial state from the outer initial state (climatology).
+        let inner_init = Self::interpolate_state(og, &outer.climatology, &igrid, &spec);
+        let mut icfg = outer.config.clone();
+        icfg.dt = outer.config.dt / r;
+        let imodel = PeModel::new(igrid, outer.forcing.clone(), icfg, inner_init.clone());
+        let outer_init = outer.climatology.clone();
+        (NestedModel { outer, inner: imodel, spec }, outer_init, inner_init)
+    }
+
+    /// Interpolate a full outer state onto the inner grid.
+    pub fn interpolate_state(
+        og: &Grid,
+        outer_state: &OceanState,
+        ig: &Grid,
+        spec: &NestSpec,
+    ) -> OceanState {
+        let (inx, iny) = (ig.nx, ig.ny);
+        let mut st = OceanState::resting(ig, 12.0, 33.5);
+        let interp3 = |f: &Field3, k: usize, ii: usize, jj: usize, fallback: f64| {
+            let (x, y) = spec.outer_coords(ii, jj);
+            bilinear_masked(og, &|i, j| f.get(i, j, k), x, y).unwrap_or(fallback)
+        };
+        for k in 0..ig.nz {
+            for jj in 0..iny {
+                for ii in 0..inx {
+                    if !ig.is_wet(ii, jj) {
+                        continue;
+                    }
+                    st.u.set(ii, jj, k, interp3(&outer_state.u, k, ii, jj, 0.0));
+                    st.v.set(ii, jj, k, interp3(&outer_state.v, k, ii, jj, 0.0));
+                    st.t.set(ii, jj, k, interp3(&outer_state.t, k, ii, jj, 12.0));
+                    st.s.set(ii, jj, k, interp3(&outer_state.s, k, ii, jj, 33.5));
+                }
+            }
+        }
+        for jj in 0..iny {
+            for ii in 0..inx {
+                if !ig.is_wet(ii, jj) {
+                    continue;
+                }
+                let (x, y) = spec.outer_coords(ii, jj);
+                let v = bilinear_masked(og, &|i, j| outer_state.eta.get(i, j), x, y)
+                    .unwrap_or(0.0);
+                st.eta.set(ii, jj, v);
+            }
+        }
+        st.time = outer_state.time;
+        st
+    }
+
+    /// Advance the pair by one *outer* step: outer first, then refresh
+    /// the inner boundary target from the new outer solution, then
+    /// `refine` inner substeps.
+    pub fn step(
+        &mut self,
+        outer_state: &mut OceanState,
+        inner_state: &mut OceanState,
+        mut rng: Option<&mut StdRng>,
+    ) -> Result<(), ModelError> {
+        self.outer.step(outer_state, rng.as_deref_mut())?;
+        // One-way coupling: the inner sponge now relaxes toward the
+        // updated outer solution.
+        self.inner.climatology =
+            Self::interpolate_state(&self.outer.grid, outer_state, &self.inner.grid, &self.spec);
+        for _ in 0..self.spec.refine {
+            self.inner.step(inner_state, rng.as_deref_mut())?;
+        }
+        Ok(())
+    }
+
+    /// Run for `duration` seconds of model time.
+    pub fn run(
+        &mut self,
+        outer_state: &mut OceanState,
+        inner_state: &mut OceanState,
+        duration: f64,
+        mut rng: Option<&mut StdRng>,
+    ) -> Result<usize, ModelError> {
+        let steps = (duration / self.outer.config.dt).ceil().max(0.0) as usize;
+        for _ in 0..steps {
+            self.step(outer_state, inner_state, rng.as_deref_mut())?;
+        }
+        Ok(steps)
+    }
+}
+
+/// Recover the stretching exponent of a grid from its sigma interfaces
+/// (`sigma_w[1] = (1/nz)^p`).
+fn estimate_stretch(g: &Grid) -> f64 {
+    if g.nz < 2 {
+        return 1.0;
+    }
+    let base = 1.0 / g.nz as f64;
+    (g.sigma_w[1].ln() / base.ln()).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    fn nested() -> (NestedModel, OceanState, OceanState) {
+        let (outer, _st) = scenario::monterey(16, 16, 3);
+        let spec = NestSpec { i0: 6, j0: 6, ni: 6, nj: 6, refine: 2 };
+        NestedModel::new(outer, spec)
+    }
+
+    #[test]
+    fn inner_grid_refines_geometry() {
+        let (nm, _o, _i) = nested();
+        assert_eq!(nm.inner.grid.nx, 12);
+        assert_eq!(nm.inner.grid.ny, 12);
+        assert!((nm.inner.grid.dx - nm.outer.grid.dx / 2.0).abs() < 1e-9);
+        assert!((nm.inner.config.dt - nm.outer.config.dt / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolated_state_matches_outer_values() {
+        let (nm, outer0, inner0) = nested();
+        // An inner cell at the center of an outer wet cell carries a
+        // temperature within the outer field's local range.
+        let og = &nm.outer.grid;
+        let ig = &nm.inner.grid;
+        for jj in (0..ig.ny).step_by(3) {
+            for ii in (0..ig.nx).step_by(3) {
+                if !ig.is_wet(ii, jj) {
+                    continue;
+                }
+                let t = inner0.t.get(ii, jj, 0);
+                let (x, y) = nm.spec.outer_coords(ii, jj);
+                let i = (x.round() as usize).min(og.nx - 1);
+                let j = (y.round() as usize).min(og.ny - 1);
+                if og.is_wet(i, j) {
+                    let t_out = outer0.t.get(i, j, 0);
+                    assert!((t - t_out).abs() < 2.0, "inner {t} vs outer {t_out}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_pair_runs_stably() {
+        let (mut nm, mut outer, mut inner) = nested();
+        nm.run(&mut outer, &mut inner, 3.0 * 3600.0, None).unwrap();
+        assert!(!outer.has_nan());
+        assert!(!inner.has_nan());
+        let (tlo, thi) = inner.t.min_max();
+        assert!(tlo > 0.0 && thi < 30.0, "inner T in [{tlo}, {thi}]");
+    }
+
+    #[test]
+    fn inner_tracks_outer_through_the_boundary() {
+        // With quiet physics, the inner domain's mean SST must track the
+        // outer solution sampled over the same area (one-way coupling
+        // keeps them consistent).
+        let (mut nm, mut outer, mut inner) = nested();
+        nm.run(&mut outer, &mut inner, 6.0 * 3600.0, None).unwrap();
+        let og = &nm.outer.grid;
+        let ig = &nm.inner.grid;
+        let mut inner_mean = 0.0;
+        let mut n_in = 0.0;
+        for jj in 0..ig.ny {
+            for ii in 0..ig.nx {
+                if ig.is_wet(ii, jj) {
+                    inner_mean += inner.t.get(ii, jj, 0);
+                    n_in += 1.0;
+                }
+            }
+        }
+        inner_mean /= n_in;
+        let mut outer_mean = 0.0;
+        let mut n_out = 0.0;
+        for j in nm.spec.j0..nm.spec.j0 + nm.spec.nj {
+            for i in nm.spec.i0..nm.spec.i0 + nm.spec.ni {
+                if og.is_wet(i, j) {
+                    outer_mean += outer.t.get(i, j, 0);
+                    n_out += 1.0;
+                }
+            }
+        }
+        outer_mean /= n_out;
+        assert!(
+            (inner_mean - outer_mean).abs() < 1.0,
+            "inner mean SST {inner_mean} vs outer {outer_mean}"
+        );
+    }
+
+    #[test]
+    fn nest_must_fit_inside_outer() {
+        let (outer, _st) = scenario::monterey(10, 10, 3);
+        let spec = NestSpec { i0: 8, j0: 8, ni: 6, nj: 6, refine: 2 };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            NestedModel::new(outer, spec)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Plain-text rendering of 2-D fields.
+//!
+//! The paper's Figs. 5-6 are color maps of ensemble standard deviation;
+//! this module renders the equivalent as ASCII shade maps (for terminal
+//! inspection) and CSV (for external plotting).
+
+use crate::field::Field2;
+use crate::grid::Grid;
+
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+/// Render a field as an ASCII shade map. Land cells (per `grid` mask)
+/// print as `'L'`. Rows are printed north-up (j descending).
+pub fn ascii_map(grid: &Grid, field: &Field2, title: &str) -> String {
+    let (nx, ny) = field.shape();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for j in 0..ny {
+        for i in 0..nx {
+            if grid.is_wet(i, j) {
+                let v = field.get(i, j);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        lo = 0.0;
+        hi = 0.0;
+    }
+    let span = (hi - lo).max(1e-30);
+    let mut out = String::with_capacity((nx + 1) * ny + 128);
+    out.push_str(&format!("{title}  [min {lo:.4}, max {hi:.4}]\n"));
+    for j in (0..ny).rev() {
+        for i in 0..nx {
+            if grid.is_wet(i, j) {
+                let v = (field.get(i, j) - lo) / span;
+                let idx = ((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+                out.push(SHADES[idx] as char);
+            } else {
+                out.push('L');
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV dump `i,j,value` with land cells skipped.
+pub fn to_csv(grid: &Grid, field: &Field2) -> String {
+    let (nx, ny) = field.shape();
+    let mut out = String::from("i,j,value\n");
+    for j in 0..ny {
+        for i in 0..nx {
+            if grid.is_wet(i, j) {
+                out.push_str(&format!("{i},{j},{:.6e}\n", field.get(i, j)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bathymetry::Bathymetry;
+
+    #[test]
+    fn ascii_map_shapes_and_land() {
+        let mut b = Bathymetry::flat(4, 3, 100.0);
+        b.depth.set(3, 1, -1.0);
+        let g = Grid::new(b, 2, 1000.0, 1000.0);
+        let f = Field2::from_fn(4, 3, |i, j| (i + j) as f64);
+        let s = ascii_map(&g, &f, "test");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // title + 3 rows
+        assert!(lines[0].starts_with("test"));
+        // Row j=1 is the middle printed line; land at i=3.
+        assert_eq!(&lines[2][3..4], "L");
+    }
+
+    #[test]
+    fn csv_skips_land() {
+        let mut b = Bathymetry::flat(2, 2, 100.0);
+        b.depth.set(0, 0, -1.0);
+        let g = Grid::new(b, 1, 1000.0, 1000.0);
+        let f = Field2::constant(2, 2, 1.0);
+        let csv = to_csv(&g, &f);
+        assert_eq!(csv.lines().count(), 4); // header + 3 wet cells
+        assert!(!csv.contains("\n0,0,"));
+    }
+
+    #[test]
+    fn constant_field_renders() {
+        let g = Grid::new(Bathymetry::flat(3, 3, 100.0), 1, 1000.0, 1000.0);
+        let f = Field2::constant(3, 3, 5.0);
+        let s = ascii_map(&g, &f, "const");
+        assert!(s.contains("min 5.0000"));
+    }
+}

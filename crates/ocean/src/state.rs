@@ -1,0 +1,168 @@
+//! The model prognostic state and its packing into an ESSE state vector.
+//!
+//! ESSE treats a model state as one long vector `x` — a column of the
+//! ensemble matrix. The packing order is `[u, v, T, S, η]`, all wet and
+//! land cells included (land stays identically zero/climatological, so
+//! it contributes nothing to the error subspace).
+
+use crate::field::{Field2, Field3};
+use crate::grid::Grid;
+use serde::{Deserialize, Serialize};
+
+/// Prognostic model state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OceanState {
+    /// Eastward velocity (m/s).
+    pub u: Field3,
+    /// Northward velocity (m/s).
+    pub v: Field3,
+    /// Potential temperature (°C).
+    pub t: Field3,
+    /// Salinity (psu).
+    pub s: Field3,
+    /// Free-surface elevation (m).
+    pub eta: Field2,
+    /// Model time (seconds since scenario start).
+    pub time: f64,
+}
+
+impl OceanState {
+    /// Resting state: zero velocity and elevation, uniform T/S.
+    pub fn resting(grid: &Grid, t0: f64, s0: f64) -> OceanState {
+        let (nx, ny, nz) = (grid.nx, grid.ny, grid.nz);
+        OceanState {
+            u: Field3::zeros(nx, ny, nz),
+            v: Field3::zeros(nx, ny, nz),
+            t: Field3::constant(nx, ny, nz, t0),
+            s: Field3::constant(nx, ny, nz, s0),
+            eta: Field2::zeros(nx, ny),
+            time: 0.0,
+        }
+    }
+
+    /// Length of the packed state vector for `grid`.
+    pub fn packed_len(grid: &Grid) -> usize {
+        4 * grid.cells3() + grid.cells2()
+    }
+
+    /// Pack into a flat vector `[u, v, T, S, η]`.
+    pub fn pack(&self) -> Vec<f64> {
+        let mut x = Vec::with_capacity(
+            4 * self.u.as_slice().len() + self.eta.as_slice().len(),
+        );
+        x.extend_from_slice(self.u.as_slice());
+        x.extend_from_slice(self.v.as_slice());
+        x.extend_from_slice(self.t.as_slice());
+        x.extend_from_slice(self.s.as_slice());
+        x.extend_from_slice(self.eta.as_slice());
+        x
+    }
+
+    /// Unpack from a flat vector produced by [`OceanState::pack`].
+    ///
+    /// `time` is not part of the ESSE state vector; the caller sets it.
+    pub fn unpack(grid: &Grid, x: &[f64]) -> OceanState {
+        assert_eq!(x.len(), Self::packed_len(grid), "packed state length mismatch");
+        let n3 = grid.cells3();
+        let n2 = grid.cells2();
+        let (nx, ny, nz) = (grid.nx, grid.ny, grid.nz);
+        let mut st = OceanState::resting(grid, 0.0, 0.0);
+        st.u.as_mut_slice().copy_from_slice(&x[0..n3]);
+        st.v.as_mut_slice().copy_from_slice(&x[n3..2 * n3]);
+        st.t.as_mut_slice().copy_from_slice(&x[2 * n3..3 * n3]);
+        st.s.as_mut_slice().copy_from_slice(&x[3 * n3..4 * n3]);
+        st.eta.as_mut_slice().copy_from_slice(&x[4 * n3..4 * n3 + n2]);
+        let _ = (nx, ny, nz);
+        st
+    }
+
+    /// Offset of the temperature block in the packed vector.
+    pub fn t_offset(grid: &Grid) -> usize {
+        2 * grid.cells3()
+    }
+
+    /// Offset of the salinity block in the packed vector.
+    pub fn s_offset(grid: &Grid) -> usize {
+        3 * grid.cells3()
+    }
+
+    /// Offset of the surface-elevation block in the packed vector.
+    pub fn eta_offset(grid: &Grid) -> usize {
+        4 * grid.cells3()
+    }
+
+    /// Packed index of temperature at `(i, j, k)`.
+    pub fn t_index(grid: &Grid, i: usize, j: usize, k: usize) -> usize {
+        Self::t_offset(grid) + (k * grid.ny + j) * grid.nx + i
+    }
+
+    /// Packed index of salinity at `(i, j, k)`.
+    pub fn s_index(grid: &Grid, i: usize, j: usize, k: usize) -> usize {
+        Self::s_offset(grid) + (k * grid.ny + j) * grid.nx + i
+    }
+
+    /// True if any prognostic field contains a non-finite value.
+    pub fn has_nan(&self) -> bool {
+        self.u.has_nan() || self.v.has_nan() || self.t.has_nan() || self.s.has_nan() || self.eta.has_nan()
+    }
+
+    /// Maximum horizontal speed (m/s) — used for CFL checks.
+    pub fn max_speed(&self) -> f64 {
+        let mut m: f64 = 0.0;
+        for (&u, &v) in self.u.as_slice().iter().zip(self.v.as_slice()) {
+            m = m.max((u * u + v * v).sqrt());
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bathymetry::Bathymetry;
+
+    fn grid() -> Grid {
+        Grid::new(Bathymetry::flat(5, 4, 200.0), 3, 1000.0, 1000.0)
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let g = grid();
+        let mut st = OceanState::resting(&g, 12.0, 33.5);
+        st.u.set(1, 2, 0, 0.3);
+        st.eta.set(4, 3, 0.05);
+        st.t.set(2, 2, 1, 14.5);
+        let x = st.pack();
+        assert_eq!(x.len(), OceanState::packed_len(&g));
+        let st2 = OceanState::unpack(&g, &x);
+        assert_eq!(st2.u.get(1, 2, 0), 0.3);
+        assert_eq!(st2.eta.get(4, 3), 0.05);
+        assert_eq!(st2.t.get(2, 2, 1), 14.5);
+        assert_eq!(st2.s.get(0, 0, 0), 33.5);
+    }
+
+    #[test]
+    fn packed_indices_consistent() {
+        let g = grid();
+        let mut st = OceanState::resting(&g, 0.0, 0.0);
+        st.t.set(3, 1, 2, 99.0);
+        let x = st.pack();
+        assert_eq!(x[OceanState::t_index(&g, 3, 1, 2)], 99.0);
+        st.s.set(0, 3, 1, -7.0);
+        let x = st.pack();
+        assert_eq!(x[OceanState::s_index(&g, 0, 3, 1)], -7.0);
+    }
+
+    #[test]
+    fn max_speed_and_nan() {
+        let g = grid();
+        let mut st = OceanState::resting(&g, 10.0, 34.0);
+        assert_eq!(st.max_speed(), 0.0);
+        st.u.set(0, 0, 0, 3.0);
+        st.v.set(0, 0, 0, 4.0);
+        assert!((st.max_speed() - 5.0).abs() < 1e-12);
+        assert!(!st.has_nan());
+        st.t.set(0, 0, 0, f64::NAN);
+        assert!(st.has_nan());
+    }
+}

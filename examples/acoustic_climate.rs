@@ -1,0 +1,116 @@
+//! Coupled physical-acoustical uncertainty and the acoustic climate
+//! (paper §2.2 and the 6000-job acoustics sweep of §5.2.1).
+//!
+//! An ESSE-style ensemble of ocean states feeds broadband
+//! transmission-loss computations along a cross-shore section; the
+//! ensemble yields the mean TL, the TL uncertainty, and the dominant
+//! coupled physical-acoustical modes. The full acoustic-climate sweep
+//! (sections × source depths × frequencies) is then enumerated and a
+//! subset executed, with the task count matched against the paper's
+//! 6000+ jobs.
+//!
+//! ```text
+//! cargo run --release --example acoustic_climate
+//! ```
+
+use esse::acoustics::climate::{run_task, ClimateSweep};
+use esse::acoustics::coupled::{coupled_modes, TlEnsemble};
+use esse::acoustics::ssp::SoundSpeedSection;
+use esse::acoustics::tl::TlSolver;
+use esse::core::model::{ForecastModel, PeForecastModel};
+use esse::linalg::Matrix;
+use esse::ocean::{scenario, OceanState};
+
+fn main() {
+    let (pe, state0) = scenario::monterey(20, 20, 5);
+    let grid = pe.grid.clone();
+    let model = PeForecastModel::new(pe);
+    let x0 = state0.pack();
+
+    // --- A small stochastic ensemble of ocean states. ---
+    let n_members = 8;
+    println!("integrating {n_members} stochastic ocean realizations...");
+    let states: Vec<OceanState> = (0..n_members)
+        .map(|j| {
+            let xf = model
+                .forecast(&x0, 0.0, 6.0 * 3600.0, Some(1000 + j as u64))
+                .expect("member integrates");
+            OceanState::unpack(&grid, &xf)
+        })
+        .collect();
+
+    // --- TL ensemble along one cross-shore section. ---
+    let endpoints = ((2, 10), (15, 10));
+    let solver = TlSolver { n_rays: 121, nr: 60, nz: 30, ..Default::default() };
+    let freqs = [0.4, 0.8, 1.6]; // kHz broadband set
+    let tl_ens = TlEnsemble::from_ocean_ensemble(&grid, &states, endpoints, 30.0, &freqs, &solver)
+        .expect("section is wet");
+    let mean_tl = tl_ens.mean();
+    let std_tl = tl_ens.std();
+    let max_std = std_tl.iter().fold(0.0_f64, |m, &v| m.max(v));
+    println!(
+        "TL ensemble: {} members, field {}x{} bins; mean TL {:.1} dB, peak TL std {:.2} dB",
+        tl_ens.members.cols(),
+        tl_ens.nr,
+        tl_ens.nz,
+        mean_tl.tl_db.iter().sum::<f64>() / mean_tl.tl_db.len() as f64,
+        max_std
+    );
+
+    // --- Coupled physical-acoustical modes. ---
+    // Physical block: the sound-speed section per member (flattened).
+    let mut phys = Matrix::zeros(0, 0);
+    for st in &states {
+        let sec = SoundSpeedSection::from_ocean(&grid, st, endpoints.0, endpoints.1)
+            .expect("wet section");
+        // Sample the section on a fixed raster so members align.
+        let mut flat = Vec::new();
+        for q in 0..40 {
+            let r = sec.max_range() * q as f64 / 39.0;
+            for d in 0..15 {
+                let z = 300.0 * d as f64 / 14.0;
+                flat.push(sec.at(r, z));
+            }
+        }
+        phys.push_col(&flat).expect("aligned sections");
+    }
+    let modes = coupled_modes(&phys, &tl_ens.members, 4);
+    println!(
+        "coupled physical-acoustical modes: leading singular values {:?}",
+        modes
+            .singular_values
+            .iter()
+            .map(|s| (s * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    let (p0, a0) = modes.split_mode(0);
+    let pn = p0.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let an = a0.iter().map(|v| v * v).sum::<f64>().sqrt();
+    println!("leading mode weight: physical {pn:.3}, acoustic {an:.3}");
+
+    // --- The acoustic climate sweep (paper: 6000+ tasks). ---
+    let sweep = ClimateSweep::zonal_fan(
+        &grid,
+        10,
+        vec![10.0, 30.0, 60.0, 100.0],
+        (1..=15).map(|q| 0.2 * q as f64).collect(), // 15 frequencies
+    );
+    println!(
+        "acoustic climate: {} sections x {} depths x {} freqs = {} independent tasks \
+         (the paper ran 6000+ of these, ~3 min each)",
+        sweep.sections.len(),
+        sweep.source_depths.len(),
+        sweep.freqs_khz.len(),
+        sweep.len()
+    );
+    // Execute a sample of the sweep to show the task body.
+    let fast = TlSolver { n_rays: 61, nr: 40, nz: 20, ..Default::default() };
+    let sample: Vec<_> = sweep.tasks().into_iter().step_by(97).collect();
+    let mut done = 0;
+    for task in &sample {
+        if run_task(&grid, &states[0], task, &fast).is_some() {
+            done += 1;
+        }
+    }
+    println!("executed {done}/{} sampled climate tasks successfully", sample.len());
+}

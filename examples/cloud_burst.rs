@@ -1,0 +1,132 @@
+//! Scaling ESSE out: local cluster, grid sites, and EC2 cloud-bursting
+//! (paper §5.3-5.4), with the §5.4.2 cost model.
+//!
+//! The scenario: the forecast deadline demands a 960-member ensemble in
+//! two hours. The local cluster alone cannot make it; the example
+//! evaluates grid augmentation (queue waits, job caps) and EC2 bursting
+//! (instance choice, hourly billing, transfer costs, staging strategy).
+//!
+//! ```text
+//! cargo run --release --example cloud_burst
+//! ```
+
+use esse::mtc::sim::cloud::{campaign_cost, instances_needed, Ec2Pricing, ProvisioningModel};
+use esse::mtc::sim::cluster::{run_batch, ClusterConfig, InputStaging, JobSpec, NfsConfig};
+use esse::mtc::sim::ec2;
+use esse::mtc::sim::grid::GridSite;
+use esse::mtc::sim::platform::{local_opteron, pemodel_time, pert_time, WorkloadSpec};
+use esse::mtc::sim::scheduler::DispatchPolicy;
+use esse::mtc::staging::{evaluate_output_strategy, OutputStrategy};
+
+fn main() {
+    let w = WorkloadSpec::default();
+    let members = 960;
+    let deadline_h = 2.0;
+    println!("goal: {members} ESSE members within {deadline_h} hours\n");
+
+    // --- Local cluster baseline. ---
+    let local = ClusterConfig {
+        cores: 210,
+        platform: local_opteron(),
+        dispatch: DispatchPolicy::sge(),
+        staging: InputStaging::PrestagedLocal,
+        nfs: NfsConfig::default(),
+    };
+    let job = JobSpec {
+        cpu_s: w.pert_cpu_s + w.pemodel_cpu_s,
+        read_mb: w.pert_read_mb + w.pemodel_read_mb,
+        small_ops: w.pert_small_ops,
+        write_mb: w.pemodel_write_mb,
+    };
+    let rep = run_batch(&local, job, members);
+    println!(
+        "local cluster (210 cores): {:.1} min for {members} members — {}",
+        rep.makespan / 60.0,
+        if rep.makespan <= deadline_h * 3600.0 { "meets deadline" } else { "MISSES deadline" }
+    );
+
+    // --- Grid augmentation. ---
+    let sites = [
+        GridSite {
+            name: "TG-A (no reservation)".into(),
+            cores: 400,
+            mean_queue_wait: 3.0 * 3600.0,
+            queue_wait_spread: 2.0 * 3600.0,
+            max_active_jobs: 128,
+            advance_reservation: false,
+        },
+        GridSite {
+            name: "TG-B (advance reservation)".into(),
+            cores: 256,
+            mean_queue_wait: 0.0,
+            queue_wait_spread: 0.0,
+            max_active_jobs: 0,
+            advance_reservation: true,
+        },
+    ];
+    println!("\ngrid augmentation:");
+    for s in &sites {
+        let task_s = pemodel_time(&w, &local_opteron());
+        let timely = s.timely(300, task_s, deadline_h * 3600.0);
+        println!(
+            "  {:28} {} slots, mean wait {:.1} h -> 300 members {}",
+            s.name,
+            s.effective_slots(),
+            s.mean_queue_wait / 3600.0,
+            if timely { "in time" } else { "TOO LATE (queue wait)" }
+        );
+    }
+
+    // --- EC2 bursting: pick an instance type. ---
+    println!("\nEC2 bursting (Table 2 platforms):");
+    let pricing = Ec2Pricing::default();
+    let prov = ProvisioningModel::default();
+    for inst in ec2::catalog() {
+        let task_s = pemodel_time(&w, &inst.platform) + pert_time(&w, &inst.platform);
+        let n = instances_needed(&inst, members, task_s, deadline_h * 3600.0 - prov.time_to_provision(20));
+        let cost = campaign_cost(
+            &pricing,
+            1.5,
+            members,
+            w.pemodel_write_mb,
+            n,
+            deadline_h * 3600.0,
+            inst.price_per_hour,
+            false,
+        );
+        println!(
+            "  {:10} task {:6.0}s  -> {:4} instances, total ${:7.2} (compute ${:.2}, in ${:.2}, out ${:.2})",
+            inst.platform.name,
+            task_s,
+            n,
+            cost.total(),
+            cost.compute,
+            cost.transfer_in,
+            cost.transfer_out
+        );
+    }
+
+    // --- The paper's exact cost example. ---
+    let paper = campaign_cost(&pricing, 1.5, 960, 11.0, 20, 2.0 * 3600.0, 0.80, false);
+    println!(
+        "\npaper's 5.4.2 example (20 instances, 2 h, $0.80/h): total ${:.2} (paper: $33.95)",
+        paper.total()
+    );
+    let reserved = campaign_cost(&pricing, 1.5, 960, 11.0, 20, 2.0 * 3600.0, 0.80, true);
+    println!(
+        "with reserved instances the compute term drops {:.1}x: ${:.2} -> ${:.2}",
+        paper.compute / reserved.compute,
+        paper.compute,
+        reserved.compute
+    );
+
+    // --- Output staging back to the home cluster. ---
+    println!("\noutput return strategies (960 x 11 MB over a 100 MB/s home gateway):");
+    for strat in [OutputStrategy::Push, OutputStrategy::Pull, OutputStrategy::TwoStagePut] {
+        let r = evaluate_output_strategy(strat, members, 11.0, 3, 100.0, 12.0);
+        println!(
+            "  {strat:?}: {:6.1} s to drain, peak {} concurrent gateway connections",
+            r.completion_s, r.peak_connections
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: a small ESSE uncertainty forecast on the Monterey-like
+//! domain, run through the many-task workflow engine.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use esse::core::adaptive::EnsembleSchedule;
+use esse::core::model::PeForecastModel;
+use esse::mtc::workflow::{MtcConfig, MtcEsse};
+use esse::ocean::{render, scenario, OceanState};
+
+fn main() {
+    // 1. Build the ocean model: a coarse Monterey-Bay-like domain.
+    let (pe, state0) = scenario::monterey(16, 16, 4);
+    println!(
+        "domain: {}x{}x{} cells, state dimension {}",
+        pe.grid.nx,
+        pe.grid.ny,
+        pe.grid.nz,
+        pe.state_dim()
+    );
+    let mean0 = state0.pack();
+
+    // 2. Prior error subspace: smooth temperature modes, as a real
+    //    cycle's error nowcast would provide.
+    let prior = esse::core::priors::smooth_temperature_prior(&pe.grid, 16, 0.4, 2.5, 42);
+
+    // 3. Run the MTC ESSE workflow: pool of stochastic forecasts,
+    //    continuous differ + SVD, convergence-driven ensemble growth.
+    let cfg = MtcConfig {
+        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        schedule: EnsembleSchedule::new(8, 32),
+        tolerance: 0.08,
+        duration: 6.0 * 3600.0, // 6-hour forecast
+        svd_stride: 8,
+        max_rank: 24,
+        ..Default::default()
+    };
+    let workers = cfg.workers;
+    let grid = pe.grid.clone();
+    let model = PeForecastModel::new(pe);
+    let engine = MtcEsse::new(&model, cfg);
+    let out = engine.run(&mean0, &prior).expect("workflow runs");
+
+    println!(
+        "ensemble: {} members used, {} failed, converged = {} (rho history: {:?})",
+        out.members_used,
+        out.members_failed,
+        out.converged,
+        out.rho_history.iter().map(|r| (r * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+    );
+    println!(
+        "error subspace: rank {} capturing total variance {:.4}",
+        out.subspace.rank(),
+        out.subspace.total_variance()
+    );
+    println!("workflow makespan: {:.2?} on {workers} workers", out.makespan);
+
+    // 4. Map the SST uncertainty (the paper's Fig. 5 analogue).
+    let std_field = out.subspace.std_field();
+    let t_off = OceanState::t_offset(&grid);
+    let sst_std =
+        esse::ocean::Field2::from_fn(grid.nx, grid.ny, |i, j| std_field[t_off + j * grid.nx + i]);
+    println!();
+    println!(
+        "{}",
+        render::ascii_map(&grid, &sst_std, "ESSE SST uncertainty forecast (degC std-dev)")
+    );
+}

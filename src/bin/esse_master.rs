@@ -1,0 +1,298 @@
+//! `esse_master` — the master script of paper §4.2, as a real process
+//! orchestrator.
+//!
+//! "This master script that runs on a central machine on the home
+//! cluster launches singleton jobs that implement the perturb/forecast
+//! ensemble calculations. The differ, SVD and convergence check
+//! calculations proceed semi-independently …. Dependencies are tracked
+//! using separate (per perturbation index) files containing the error
+//! codes of the singleton scripts."
+//!
+//! This binary spawns the real `pert` and `pemodel` executables as child
+//! processes (up to `--children` concurrently), tracks per-member exit
+//! codes in a shared status directory, runs the continuous differ + SVD
+//! + convergence test as results land, grows the ensemble on failed
+//! convergence, cancels pending work on success, and supports `--resume`
+//! after a kill without rerunning completed members.
+//!
+//! ```text
+//! esse_master --workdir DIR --domain monterey:NX,NY,NZ --hours H \
+//!             [--initial N] [--max NMAX] [--tolerance T] [--children C] \
+//!             [--white-noise E] [--base-seed S] [--resume]
+//! ```
+
+use esse::cli::{self, files};
+use esse::core::adaptive::EnsembleSchedule;
+use esse::core::convergence::{similarity, ConvergenceTest};
+use esse::core::covariance::SpreadAccumulator;
+use esse::core::perturb::{PerturbConfig, PerturbationGenerator};
+use esse::core::subspace::ErrorSubspace;
+use esse::fileio;
+use esse::mtc::bookkeeping::{ExitStatus, StatusDir};
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+
+const USAGE: &str = "esse_master --workdir DIR --domain monterey:NX,NY,NZ --hours H \
+                     [--initial N] [--max NMAX] [--tolerance T] [--children C] [--resume]";
+
+/// A running singleton chain: pert then pemodel for one member.
+struct Running {
+    member: usize,
+    stage: Stage,
+    child: Child,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Stage {
+    Pert,
+    Pemodel,
+}
+
+fn sibling(name: &str) -> PathBuf {
+    let mut exe = std::env::current_exe().expect("current exe path");
+    exe.set_file_name(name);
+    exe
+}
+
+fn spawn_pert(workdir: &Path, member: usize, white_noise: f64, base_seed: u64) -> Child {
+    Command::new(sibling("pert"))
+        .arg("--workdir")
+        .arg(workdir)
+        .arg("--member")
+        .arg(member.to_string())
+        .arg("--white-noise")
+        .arg(white_noise.to_string())
+        .arg("--base-seed")
+        .arg(base_seed.to_string())
+        .spawn()
+        .expect("spawn pert")
+}
+
+fn spawn_pemodel(workdir: &Path, domain: &str, hours: f64, member: usize, seed: u64) -> Child {
+    Command::new(sibling("pemodel"))
+        .arg("--workdir")
+        .arg(workdir)
+        .arg("--domain")
+        .arg(domain)
+        .arg("--hours")
+        .arg(hours.to_string())
+        .arg("--member")
+        .arg(member.to_string())
+        .arg("--seed")
+        .arg(seed.to_string())
+        .spawn()
+        .expect("spawn pemodel")
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = cli::parse_args(&argv);
+    let workdir = PathBuf::from(cli::require(&args, "workdir", USAGE));
+    let domain = cli::require(&args, "domain", USAGE).to_string();
+    let hours: f64 = cli::get_or(&args, "hours", 6.0);
+    let initial: usize = cli::get_or(&args, "initial", 8);
+    let max: usize = cli::get_or(&args, "max", 32);
+    let tolerance: f64 = cli::get_or(&args, "tolerance", 0.08);
+    let children: usize = cli::get_or(&args, "children", 2).max(1);
+    let white_noise: f64 = cli::get_or(&args, "white-noise", 0.0);
+    let base_seed: u64 = cli::get_or(&args, "base-seed", 0x5EED);
+    let resume = args.contains_key("resume");
+
+    std::fs::create_dir_all(&workdir).expect("create workdir");
+    let status = StatusDir::open(workdir.join("status")).expect("status dir");
+
+    // --- Setup: model, mean, prior. ---
+    let (model, st0) = cli::build_model(&domain).unwrap_or_else(|e| {
+        eprintln!("esse_master: {e}");
+        std::process::exit(2);
+    });
+    let mean_path = workdir.join(files::MEAN);
+    let prior_path = workdir.join(files::PRIOR);
+    if !resume || !mean_path.exists() {
+        fileio::write_vector(&mean_path, &st0.pack()).expect("write mean");
+    }
+    if !resume || !prior_path.exists() {
+        let prior = esse::core::priors::smooth_temperature_prior(&model.grid, 12, 0.5, 2.5, base_seed);
+        fileio::write_subspace(&prior_path, &prior).expect("write prior");
+    }
+    let _mean = fileio::read_vector(&mean_path).expect("read mean");
+    let prior = fileio::read_subspace(&prior_path).expect("read prior");
+    let gen = PerturbationGenerator::new(
+        &prior,
+        PerturbConfig { white_noise, base_seed, frozen_indices: Vec::new() },
+    );
+
+    // --- Central forecast (deterministic; reused on resume). ---
+    let central_path = workdir.join(files::CENTRAL);
+    if !central_path.exists() {
+        let st = Command::new(sibling("pemodel"))
+            .arg("--workdir")
+            .arg(&workdir)
+            .arg("--domain")
+            .arg(&domain)
+            .arg("--hours")
+            .arg(hours.to_string())
+            .arg("--central")
+            .status()
+            .expect("spawn central pemodel");
+        if !st.success() {
+            eprintln!("esse_master: central forecast failed");
+            std::process::exit(1);
+        }
+    }
+    let central = fileio::read_vector(&central_path).expect("read central");
+    let mut acc = SpreadAccumulator::new(central);
+
+    // --- Resume: fold in completed members from the status directory. ---
+    let mut resumed = 0usize;
+    if resume {
+        let (ok, _failed) = status.scan().expect("scan status");
+        for member in ok {
+            let fc = workdir.join(files::fc(member));
+            if let Ok(xf) = fileio::read_vector(&fc) {
+                if acc.add_member(member, &xf) {
+                    resumed += 1;
+                }
+            }
+        }
+    }
+    println!("esse_master: starting with {} members in the differ (resumed {resumed})", acc.count());
+
+    // --- The pool loop. ---
+    let schedule = EnsembleSchedule::new(initial, max);
+    let stages = schedule.stages();
+    let mut stage_idx = 0usize;
+    while stage_idx + 1 < stages.len() && acc.count() >= stages[stage_idx] {
+        stage_idx += 1;
+    }
+    let mut conv = ConvergenceTest::new(tolerance);
+    let mut previous: Option<ErrorSubspace> = None;
+    let mut converged = false;
+    let mut pending: VecDeque<usize> =
+        (0..stages[stage_idx]).filter(|m| !acc.snapshot().member_ids.contains(m)).collect();
+    let mut running: Vec<Running> = Vec::new();
+    let mut launched_max = pending.iter().copied().max().map(|m| m + 1).unwrap_or(acc.count());
+    let mut failed = 0usize;
+    let svd_stride = (initial / 2).max(4);
+    let mut since_svd = 0usize;
+
+    loop {
+        // Fill the pool.
+        while !converged && running.len() < children {
+            let Some(member) = pending.pop_front() else {
+                break;
+            };
+            let child = spawn_pert(&workdir, member, white_noise, base_seed);
+            running.push(Running { member, stage: Stage::Pert, child });
+        }
+        if running.is_empty() && (converged || pending.is_empty()) {
+            // Nothing in flight: either done or ensemble exhausted.
+            if converged || stage_idx + 1 >= stages.len() || acc.count() >= stages[stage_idx] {
+                if !converged && stage_idx + 1 < stages.len() {
+                    // Grow to the next stage.
+                    stage_idx += 1;
+                    for m in launched_max..stages[stage_idx] {
+                        pending.push_back(m);
+                    }
+                    launched_max = launched_max.max(stages[stage_idx]);
+                    continue;
+                }
+                break;
+            }
+        }
+        // Poll children.
+        let mut idx = 0;
+        while idx < running.len() {
+            let done = running[idx].child.try_wait().expect("try_wait");
+            match done {
+                None => {
+                    idx += 1;
+                }
+                Some(code) => {
+                    let mut task = running.swap_remove(idx);
+                    let member = task.member;
+                    if !code.success() {
+                        status
+                            .record(member, ExitStatus::Failed(code.code().unwrap_or(-1)))
+                            .expect("record");
+                        failed += 1;
+                        continue;
+                    }
+                    match task.stage {
+                        Stage::Pert => {
+                            // Chain into pemodel.
+                            let seed = gen.forecast_seed(member);
+                            task.child = spawn_pemodel(&workdir, &domain, hours, member, seed);
+                            task.stage = Stage::Pemodel;
+                            running.push(task);
+                        }
+                        Stage::Pemodel => {
+                            status.record(member, ExitStatus::Success).expect("record");
+                            let fc = workdir.join(files::fc(member));
+                            if let Ok(xf) = fileio::read_vector(&fc) {
+                                if acc.add_member(member, &xf) {
+                                    since_svd += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Continuous SVD + convergence.
+        let at_stage = acc.count() >= stages[stage_idx];
+        if !converged && (since_svd >= svd_stride || (at_stage && since_svd > 0)) && acc.count() >= 2 {
+            since_svd = 0;
+            if let Some(svd) = acc.snapshot().svd() {
+                let estimate = ErrorSubspace::from_spread_svd(&svd, 1e-4, 64);
+                if let Some(prev) = &previous {
+                    let rho = similarity(prev, &estimate);
+                    println!(
+                        "esse_master: N={} rho={rho:.4} (tol {:.3})",
+                        acc.count(),
+                        tolerance
+                    );
+                    if conv.check(rho) {
+                        converged = true;
+                        let cancelled = pending.len();
+                        pending.clear();
+                        println!("esse_master: converged; cancelled {cancelled} queued members");
+                    }
+                }
+                previous = Some(estimate);
+            }
+        }
+        // Grow the pool when a stage completes unconverged.
+        if !converged && at_stage && pending.is_empty() && running.is_empty() {
+            if stage_idx + 1 < stages.len() {
+                stage_idx += 1;
+                for m in launched_max..stages[stage_idx] {
+                    pending.push_back(m);
+                }
+                launched_max = launched_max.max(stages[stage_idx]);
+            } else {
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // --- Final subspace (UseCompleted policy: everything that arrived). ---
+    let snapshot = acc.snapshot();
+    let Some(svd) = snapshot.svd() else {
+        eprintln!("esse_master: not enough members for an SVD");
+        std::process::exit(1);
+    };
+    let final_subspace = ErrorSubspace::from_spread_svd(&svd, 1e-4, 64);
+    fileio::write_subspace(workdir.join(files::POSTERIOR), &final_subspace)
+        .expect("write posterior");
+    println!(
+        "esse_master: done — {} members ({} failed), converged={}, rank {}, total variance {:.5}",
+        acc.count(),
+        failed,
+        converged,
+        final_subspace.rank(),
+        final_subspace.total_variance()
+    );
+}

@@ -1,0 +1,152 @@
+//! Binary state-vector and subspace files for the process-level workflow.
+//!
+//! The paper's ESSE is file-based: `pert` reads the prior modes and the
+//! mean state from disk and writes a perturbed initial condition;
+//! `pemodel` reads that file and writes the forecast; the diff/SVD
+//! stages work on covariance files. This module defines those formats:
+//! a small magic-tagged header followed by little-endian `f64`s, written
+//! via the `bytes` crate.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const VEC_MAGIC: u32 = 0x4553_5345; // "ESSE"
+const SUB_MAGIC: u32 = 0x4553_5542; // "ESUB"
+
+/// Write a state vector to `path`.
+pub fn write_vector(path: impl AsRef<Path>, data: &[f64]) -> io::Result<()> {
+    let mut buf = BytesMut::with_capacity(16 + 8 * data.len());
+    buf.put_u32_le(VEC_MAGIC);
+    buf.put_u64_le(data.len() as u64);
+    for &v in data {
+        buf.put_f64_le(v);
+    }
+    atomic_write(path, &buf.freeze())
+}
+
+/// Read a state vector from `path`.
+pub fn read_vector(path: impl AsRef<Path>) -> io::Result<Vec<f64>> {
+    let raw = fs::read(path)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 12 || buf.get_u32_le() != VEC_MAGIC {
+        return Err(bad_data("not an ESSE vector file"));
+    }
+    let n = buf.get_u64_le() as usize;
+    if buf.remaining() != 8 * n {
+        return Err(bad_data("vector length mismatch"));
+    }
+    Ok((0..n).map(|_| buf.get_f64_le()).collect())
+}
+
+/// Write an error subspace (modes + variances) to `path`.
+pub fn write_subspace(
+    path: impl AsRef<Path>,
+    subspace: &esse_core::subspace::ErrorSubspace,
+) -> io::Result<()> {
+    let (n, k) = subspace.modes.shape();
+    let mut buf = BytesMut::with_capacity(24 + 8 * (n * k + k));
+    buf.put_u32_le(SUB_MAGIC);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(k as u64);
+    for &v in &subspace.variances {
+        buf.put_f64_le(v);
+    }
+    for j in 0..k {
+        for &v in subspace.modes.col(j) {
+            buf.put_f64_le(v);
+        }
+    }
+    atomic_write(path, &buf.freeze())
+}
+
+/// Read an error subspace from `path`.
+pub fn read_subspace(path: impl AsRef<Path>) -> io::Result<esse_core::subspace::ErrorSubspace> {
+    let raw = fs::read(path)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 20 || buf.get_u32_le() != SUB_MAGIC {
+        return Err(bad_data("not an ESSE subspace file"));
+    }
+    let n = buf.get_u64_le() as usize;
+    let k = buf.get_u64_le() as usize;
+    if buf.remaining() != 8 * (k + n * k) {
+        return Err(bad_data("subspace size mismatch"));
+    }
+    let variances: Vec<f64> = (0..k).map(|_| buf.get_f64_le()).collect();
+    let mut modes = esse_linalg::Matrix::zeros(n, k);
+    for j in 0..k {
+        for i in 0..n {
+            modes.set(i, j, buf.get_f64_le());
+        }
+    }
+    Ok(esse_core::subspace::ErrorSubspace { modes, variances })
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Write-then-rename so concurrent readers never see a torn file (the
+/// same discipline as the paper's safe/live covariance files).
+fn atomic_write(path: impl AsRef<Path>, data: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, data)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esse_core::subspace::ErrorSubspace;
+    use esse_linalg::Matrix;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("esse-fileio-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let p = tmp("vec");
+        let data = vec![1.5, -2.25, 0.0, 1e300, f64::MIN_POSITIVE];
+        write_vector(&p, &data).unwrap();
+        assert_eq!(read_vector(&p).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_vector_roundtrip() {
+        let p = tmp("empty");
+        write_vector(&p, &[]).unwrap();
+        assert!(read_vector(&p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn subspace_roundtrip() {
+        let p = tmp("sub");
+        let modes = Matrix::from_fn(6, 2, |i, j| (i * 2 + j) as f64 * 0.25);
+        let sub = ErrorSubspace { modes: modes.clone(), variances: vec![4.0, 1.0] };
+        write_subspace(&p, &sub).unwrap();
+        let back = read_subspace(&p).unwrap();
+        assert_eq!(back.variances, vec![4.0, 1.0]);
+        assert_eq!(back.modes, modes);
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let p = tmp("bad");
+        std::fs::write(&p, b"garbage!").unwrap();
+        assert!(read_vector(&p).is_err());
+        assert!(read_subspace(&p).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let p = tmp("trunc");
+        write_vector(&p, &[1.0, 2.0, 3.0]).unwrap();
+        let mut raw = std::fs::read(&p).unwrap();
+        raw.truncate(raw.len() - 4);
+        std::fs::write(&p, raw).unwrap();
+        assert!(read_vector(&p).is_err());
+    }
+}

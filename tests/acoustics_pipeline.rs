@@ -1,0 +1,104 @@
+//! End-to-end physical→acoustical uncertainty transfer (paper §2.2):
+//! an ocean ensemble with a temperature front produces a TL ensemble
+//! whose uncertainty is non-trivial, and the coupled covariance links
+//! the two fields.
+
+mod common;
+
+use common::smooth_t_prior;
+use esse::acoustics::coupled::{coupled_modes, TlEnsemble};
+use esse::acoustics::ssp::SoundSpeedSection;
+use esse::acoustics::tl::TlSolver;
+use esse::core::model::{ForecastModel, PeForecastModel};
+use esse::core::perturb::{PerturbConfig, PerturbationGenerator};
+use esse::linalg::Matrix;
+use esse::ocean::OceanState;
+
+#[test]
+fn ocean_uncertainty_transfers_to_acoustic_uncertainty() {
+    let (pe, st0) = esse::ocean::scenario::monterey(16, 16, 4);
+    let grid = pe.grid.clone();
+    let model = PeForecastModel::new(pe);
+    let mean0 = st0.pack();
+    let prior = smooth_t_prior(&grid, 8, 0.6, 4);
+    let gen = PerturbationGenerator::new(&prior, PerturbConfig::default());
+
+    // Ensemble of ocean states at forecast time.
+    let n_members = 6;
+    let states: Vec<OceanState> = (0..n_members)
+        .map(|j| {
+            let x0 = gen.perturb(&mean0, j);
+            let xf = model
+                .forecast(&x0, 0.0, 1800.0, Some(gen.forecast_seed(j)))
+                .expect("member");
+            OceanState::unpack(&grid, &xf)
+        })
+        .collect();
+
+    let endpoints = ((2, 8), (12, 8));
+    let solver = TlSolver { n_rays: 81, nr: 40, nz: 20, ..Default::default() };
+    let tl = TlEnsemble::from_ocean_ensemble(&grid, &states, endpoints, 25.0, &[0.8], &solver)
+        .expect("wet section");
+    assert_eq!(tl.members.cols(), n_members);
+
+    // TL uncertainty exists where the ocean is uncertain.
+    let std = tl.std();
+    let peak = std.iter().fold(0.0_f64, |m, &v| m.max(v));
+    assert!(peak > 0.1, "peak TL std {peak} dB should be non-trivial");
+    // And the mean field is a sane TL field.
+    let mean = tl.mean();
+    let finite: Vec<f64> = mean.tl_db.iter().copied().filter(|v| v.is_finite()).collect();
+    assert!(!finite.is_empty());
+    let avg = finite.iter().sum::<f64>() / finite.len() as f64;
+    assert!((30.0..130.0).contains(&avg), "mean TL {avg} dB");
+}
+
+#[test]
+fn coupled_modes_span_both_blocks() {
+    let (pe, st0) = esse::ocean::scenario::monterey(14, 14, 4);
+    let grid = pe.grid.clone();
+    let model = PeForecastModel::new(pe);
+    let mean0 = st0.pack();
+    let prior = smooth_t_prior(&grid, 6, 0.6, 13);
+    let gen = PerturbationGenerator::new(&prior, PerturbConfig::default());
+    let endpoints = ((2, 7), (10, 7));
+    let solver = TlSolver { n_rays: 61, nr: 30, nz: 15, ..Default::default() };
+
+    let mut states = Vec::new();
+    let mut phys = Matrix::zeros(0, 0);
+    for j in 0..6 {
+        let x0 = gen.perturb(&mean0, j);
+        let xf = model
+            .forecast(&x0, 0.0, 1800.0, Some(gen.forecast_seed(j)))
+            .expect("member");
+        let st = OceanState::unpack(&grid, &xf);
+        let sec = SoundSpeedSection::from_ocean(&grid, &st, endpoints.0, endpoints.1)
+            .expect("section");
+        // Fixed raster of the sound-speed section.
+        let mut flat = Vec::new();
+        for q in 0..20 {
+            let r = sec.max_range() * q as f64 / 19.0;
+            for d in 0..10 {
+                flat.push(sec.at(r, 200.0 * d as f64 / 9.0));
+            }
+        }
+        phys.push_col(&flat).expect("aligned");
+        states.push(st);
+    }
+    let tl = TlEnsemble::from_ocean_ensemble(&grid, &states, endpoints, 25.0, &[0.8], &solver)
+        .expect("tl ensemble");
+    let modes = coupled_modes(&phys, &tl.members, 3);
+    // Leading coupled mode must carry weight in BOTH the physical and
+    // the acoustic blocks — that is the whole point of the coupled
+    // assimilation idea.
+    let (p0, a0) = modes.split_mode(0);
+    let pn = p0.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let an = a0.iter().map(|v| v * v).sum::<f64>().sqrt();
+    assert!(pn > 0.05, "physical weight {pn}");
+    assert!(an > 0.05, "acoustic weight {an}");
+    // Modes orthonormal.
+    let g = modes.modes.gram();
+    for i in 0..modes.modes.cols() {
+        assert!((g.get(i, i) - 1.0).abs() < 1e-8);
+    }
+}

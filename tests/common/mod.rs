@@ -1,0 +1,16 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use esse::core::subspace::ErrorSubspace;
+use esse::ocean::{Grid, OceanState};
+
+/// Physically structured prior (delegates to the library builder).
+pub fn smooth_t_prior(grid: &Grid, k: usize, std_per_cell: f64, seed: u64) -> ErrorSubspace {
+    esse::core::priors::smooth_temperature_prior(grid, k, std_per_cell, 2.5, seed)
+}
+
+/// RMSE restricted to the temperature block of two packed states.
+pub fn t_block_rmse(grid: &Grid, a: &[f64], b: &[f64]) -> f64 {
+    let t0 = OceanState::t_offset(grid);
+    let t1 = OceanState::s_offset(grid);
+    esse::linalg::vecops::rmse(&a[t0..t1], &b[t0..t1])
+}

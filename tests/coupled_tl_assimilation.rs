@@ -1,0 +1,121 @@
+//! End-to-end coupled physical-acoustical assimilation (paper §2.2):
+//! a hidden truth ocean produces "measured" transmission-loss data; the
+//! ESSE ensemble's coupled modes let those TL observations correct both
+//! the acoustic estimate and the underlying sound-speed section.
+
+mod common;
+
+use common::smooth_t_prior;
+use esse::acoustics::coupled::{assimilate_coupled, coupled_modes, CoupledObs, TlEnsemble};
+use esse::acoustics::ssp::SoundSpeedSection;
+use esse::acoustics::tl::TlSolver;
+use esse::core::model::{ForecastModel, PeForecastModel};
+use esse::core::perturb::{PerturbConfig, PerturbationGenerator};
+use esse::linalg::Matrix;
+use esse::ocean::OceanState;
+
+/// Flatten a sound-speed section on a fixed raster so ensemble members
+/// and the truth align component-by-component.
+fn raster_section(sec: &SoundSpeedSection, nr: usize, nz: usize, max_depth: f64) -> Vec<f64> {
+    let mut flat = Vec::with_capacity(nr * nz);
+    for q in 0..nr {
+        let r = sec.max_range() * q as f64 / (nr - 1) as f64;
+        for d in 0..nz {
+            let z = max_depth * d as f64 / (nz - 1) as f64;
+            flat.push(sec.at(r, z));
+        }
+    }
+    flat
+}
+
+#[test]
+fn tl_observations_correct_ocean_and_acoustics() {
+    let (pe, st0) = esse::ocean::scenario::monterey(16, 16, 4);
+    let grid = pe.grid.clone();
+    let model = PeForecastModel::new(pe);
+    let mean0 = st0.pack();
+    let span = 1800.0;
+    let prior = smooth_t_prior(&grid, 8, 0.6, 77);
+    let gen = PerturbationGenerator::new(&prior, PerturbConfig::default());
+    let endpoints = ((2, 8), (12, 8));
+    let solver = TlSolver { n_rays: 81, nr: 40, nz: 20, ..Default::default() };
+    let freqs = [0.8];
+
+    // Hidden truth: a prior draw, evolved; its TL field is "measured".
+    let truth0 = gen.perturb(&mean0, 5555);
+    let truth_state =
+        OceanState::unpack(&grid, &model.forecast(&truth0, 0.0, span, None).expect("truth"));
+    let truth_sec = SoundSpeedSection::from_ocean(&grid, &truth_state, endpoints.0, endpoints.1)
+        .expect("truth section");
+    let truth_raster = raster_section(&truth_sec, 20, 10, 300.0);
+
+    // Ensemble of ocean states + matched physical/TL blocks.
+    let n_members = 10;
+    let mut states = Vec::new();
+    let mut phys = Matrix::zeros(0, 0);
+    for j in 0..n_members {
+        let x0 = gen.perturb(&mean0, j);
+        let xf = model
+            .forecast(&x0, 0.0, span, Some(gen.forecast_seed(j)))
+            .expect("member");
+        let st = OceanState::unpack(&grid, &xf);
+        let sec = SoundSpeedSection::from_ocean(&grid, &st, endpoints.0, endpoints.1)
+            .expect("member section");
+        phys.push_col(&raster_section(&sec, 20, 10, 300.0)).expect("aligned");
+        states.push(st);
+    }
+    let tl = TlEnsemble::from_ocean_ensemble(&grid, &states, endpoints, 25.0, &freqs, &solver)
+        .expect("tl ensemble");
+    let modes = coupled_modes(&phys, &tl.members, 6);
+
+    // "Measure" TL at a handful of receiver bins from the truth ocean.
+    let truth_tl = {
+        let max_range = truth_sec.max_range();
+        let max_depth = truth_sec
+            .profiles
+            .iter()
+            .map(|p| p.water_depth)
+            .fold(0.0_f64, f64::max);
+        solver.solve_broadband(&truth_sec, 25.0, &freqs, max_range, max_depth)
+    };
+    let truth_tl_vec = truth_tl.to_vec_capped(esse::acoustics::coupled::TL_CAP_DB);
+    // Pick bins where both the truth and the ensemble mean are finite and
+    // informative (mid-range, mid-depth).
+    let mut obs = Vec::new();
+    for &bin in &[5 * 40 + 10usize, 8 * 40 + 15, 12 * 40 + 20, 10 * 40 + 25] {
+        let v = truth_tl_vec[bin];
+        if v < 115.0 {
+            obs.push(CoupledObs::Acoustic { idx: bin, value: v, variance: 1.0 });
+        }
+    }
+    assert!(obs.len() >= 2, "need usable TL observations");
+
+    let an = assimilate_coupled(&modes, &obs).expect("coupled analysis");
+    assert!(an.posterior_misfit < an.prior_misfit, "TL data must be fit");
+
+    // The *physical* estimate (sound-speed section) moves toward the
+    // truth: RMSE against the truth raster shrinks relative to the
+    // ensemble-mean prior.
+    let rmse = |a: &[f64], b: &[f64]| esse::linalg::vecops::rmse(a, b);
+    let prior_rmse = rmse(&modes.phys_mean, &truth_raster);
+    let post_rmse = rmse(&an.physical, &truth_raster);
+    assert!(
+        post_rmse <= prior_rmse * 1.02,
+        "coupled analysis must not degrade the ocean estimate: {post_rmse} vs {prior_rmse}"
+    );
+    // And the acoustic estimate moved toward the measured bins in the
+    // aggregate (individual bins can trade misfit in a coupled
+    // minimum-variance update; the mean must improve).
+    let mut before = 0.0;
+    let mut after = 0.0;
+    for o in &obs {
+        if let CoupledObs::Acoustic { idx, value, .. } = *o {
+            before += (modes.ac_mean[idx] - value).abs();
+            after += (an.acoustic[idx] - value).abs();
+        }
+    }
+    assert!(
+        after < before,
+        "mean TL misfit must shrink: {after} vs {before}"
+    );
+}

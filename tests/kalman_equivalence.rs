@@ -1,0 +1,149 @@
+//! ESSE vs the exact Kalman filter on linear-Gaussian dynamics.
+//!
+//! With linear dynamics, Gaussian noise, and a full-rank subspace, ESSE
+//! is a Monte-Carlo approximation of the Kalman filter: as the ensemble
+//! grows, the ESSE forecast covariance must converge to the exact
+//! `P_f = A P_a Aᵀ + Q`, and the ESSE analysis must converge to the
+//! exact Kalman analysis. This pins the whole pipeline (perturb →
+//! ensemble → spread → SVD → assimilate) to closed-form truth.
+
+use esse::core::assimilate::assimilate;
+use esse::core::covariance::SpreadAccumulator;
+use esse::core::model::{ForecastModel, LinearGaussianModel};
+use esse::core::obs::{ObsKind, ObsSet, Observation};
+use esse::core::perturb::{PerturbConfig, PerturbationGenerator};
+use esse::core::subspace::ErrorSubspace;
+use esse::linalg::{lu, Matrix};
+
+/// Dense covariance from a subspace (small n only).
+fn dense_cov(sub: &ErrorSubspace) -> Matrix {
+    let n = sub.state_dim();
+    let mut p = Matrix::zeros(n, n);
+    for (k, &lam) in sub.variances.iter().enumerate() {
+        let col = sub.modes.col(k);
+        for i in 0..n {
+            for j in 0..n {
+                p.set(i, j, p.get(i, j) + lam * col[i] * col[j]);
+            }
+        }
+    }
+    p
+}
+
+fn frobenius_rel_err(a: &Matrix, b: &Matrix) -> f64 {
+    a.sub(b).unwrap().fro_norm() / b.fro_norm().max(1e-300)
+}
+
+#[test]
+fn ensemble_covariance_converges_to_exact_propagation() {
+    let n = 4;
+    let rates = [0.9, 0.8, 0.7, 0.6];
+    let q = 0.3;
+    let steps = 5usize;
+    let model = LinearGaussianModel::diagonal(&rates, q, 1.0);
+    // Prior P0 = diag(2, 1, 0.5, 0.25) with axis-aligned modes.
+    let p0_diag = [2.0, 1.0, 0.5, 0.25];
+    let mut modes = Matrix::zeros(n, n);
+    for i in 0..n {
+        modes.set(i, i, 1.0);
+    }
+    let prior = ErrorSubspace { modes, variances: p0_diag.to_vec() };
+    let p_exact = model.propagate_covariance(&Matrix::from_diag(&p0_diag), steps);
+
+    let mean = vec![0.0; n];
+    let gen = PerturbationGenerator::new(&prior, PerturbConfig::default());
+    let central = model.forecast(&mean, 0.0, steps as f64, None).unwrap();
+
+    let mut errs = Vec::new();
+    for &ensemble_n in &[50usize, 400, 3200] {
+        let mut acc = SpreadAccumulator::new(central.clone());
+        for j in 0..ensemble_n {
+            let x0 = gen.perturb(&mean, j);
+            let xf = model
+                .forecast(&x0, 0.0, steps as f64, Some(gen.forecast_seed(j)))
+                .unwrap();
+            acc.add_member(j, &xf);
+        }
+        let snap = acc.snapshot();
+        let p_ens = snap.matrix.matmul(&snap.matrix.transpose()).unwrap();
+        errs.push(frobenius_rel_err(&p_ens, &p_exact));
+    }
+    // Monte-Carlo convergence: error shrinks roughly like 1/sqrt(N).
+    assert!(errs[0] > errs[2], "errors should decrease: {errs:?}");
+    assert!(errs[2] < 0.1, "large-ensemble covariance within 10%: {errs:?}");
+    let rate = errs[0] / errs[2];
+    assert!(rate > 3.0, "expected ~sqrt(64)=8x improvement, got {rate:.1} ({errs:?})");
+}
+
+#[test]
+fn esse_analysis_matches_exact_kalman_update() {
+    let n = 4;
+    let model = LinearGaussianModel::diagonal(&[0.9, 0.8, 0.7, 0.6], 0.3, 1.0);
+    let steps = 3usize;
+    let p0_diag = [2.0, 1.0, 0.5, 0.25];
+    let mut modes = Matrix::zeros(n, n);
+    for i in 0..n {
+        modes.set(i, i, 1.0);
+    }
+    let prior = ErrorSubspace { modes, variances: p0_diag.to_vec() };
+    let mean = vec![0.2, -0.1, 0.3, 0.0];
+    let gen = PerturbationGenerator::new(&prior, PerturbConfig::default());
+    let central = model.forecast(&mean, 0.0, steps as f64, None).unwrap();
+
+    // Large ensemble → subspace ≈ exact forecast covariance.
+    let mut acc = SpreadAccumulator::new(central.clone());
+    for j in 0..4000 {
+        let x0 = gen.perturb(&mean, j);
+        let xf = model
+            .forecast(&x0, 0.0, steps as f64, Some(gen.forecast_seed(j)))
+            .unwrap();
+        acc.add_member(j, &xf);
+    }
+    let svd = acc.snapshot().svd().unwrap();
+    let sub = ErrorSubspace::from_spread_svd(&svd, 1e-8, n);
+
+    // Observations of components 0 and 2.
+    let obs = ObsSet {
+        obs: vec![
+            Observation::point(0, 0.5, 0.2, ObsKind::Point),
+            Observation::point(2, -0.4, 0.1, ObsKind::Point),
+        ],
+    };
+    let esse_an = assimilate(&central, &sub, &obs).unwrap();
+
+    // Exact Kalman update with the exact forecast covariance.
+    let p_f = model.propagate_covariance(&Matrix::from_diag(&p0_diag), steps);
+    let h = Matrix::from_fn(2, n, |r, c| match (r, c) {
+        (0, 0) | (1, 2) => 1.0,
+        _ => 0.0,
+    });
+    let hp = h.matmul(&p_f).unwrap();
+    let mut s = hp.matmul(&h.transpose()).unwrap();
+    s.set(0, 0, s.get(0, 0) + 0.2);
+    s.set(1, 1, s.get(1, 1) + 0.1);
+    let d = vec![0.5 - central[0], -0.4 - central[2]];
+    let sinv_d = lu::solve(&s, &d).unwrap();
+    let dx = hp.tr_matvec(&sinv_d).unwrap();
+    let exact: Vec<f64> = central.iter().zip(dx.iter()).map(|(c, p)| c + p).collect();
+
+    for i in 0..n {
+        assert!(
+            (esse_an.state[i] - exact[i]).abs() < 0.05,
+            "component {i}: esse {} vs kalman {}",
+            esse_an.state[i],
+            exact[i]
+        );
+    }
+    // Posterior covariance close to the exact Joseph-form result on the
+    // diagonal.
+    let p_esse = dense_cov(&esse_an.subspace);
+    // Exact: P_a = P_f − P_f Hᵀ S⁻¹ H P_f.
+    let sinv_hp = {
+        let lu_fac = esse::linalg::lu::Lu::compute(&s).unwrap();
+        lu_fac.solve_matrix(&hp).unwrap()
+    };
+    let reduction = hp.transpose().matmul(&sinv_hp).unwrap();
+    let p_exact = p_f.sub(&reduction).unwrap();
+    let rel = frobenius_rel_err(&p_esse, &p_exact);
+    assert!(rel < 0.1, "posterior covariance rel err {rel}");
+}

@@ -1,0 +1,136 @@
+//! End-to-end test of the *process-level* workflow: the real `pert`,
+//! `pemodel` and `esse_master` executables coordinating through files
+//! and per-member status records, exactly like the paper's shell-script
+//! implementation (§4.2).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const DOMAIN: &str = "monterey:10,10,3";
+
+fn workdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("esse-procwf-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn run_master(dir: &Path, extra: &[&str]) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_esse_master"));
+    cmd.args([
+        "--workdir",
+        dir.to_str().unwrap(),
+        "--domain",
+        DOMAIN,
+        "--hours",
+        "1",
+        "--initial",
+        "4",
+        "--max",
+        "8",
+        "--tolerance",
+        "0.15",
+        "--children",
+        "2",
+    ]);
+    cmd.args(extra);
+    let out = cmd.output().expect("esse_master runs");
+    assert!(
+        out.status.success(),
+        "master failed: {}\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn master_produces_posterior_subspace() {
+    let dir = workdir("basic");
+    let log = run_master(&dir, &[]);
+    assert!(log.contains("done"), "log: {log}");
+    // The posterior subspace file loads and is well-formed.
+    let sub = esse::fileio::read_subspace(dir.join("posterior.sub")).expect("posterior exists");
+    assert!(sub.rank() >= 1);
+    assert!(sub.total_variance() > 0.0);
+    assert!(sub.orthonormality_defect() < 1e-8);
+    // Status directory recorded every member that produced a forecast.
+    let n_fc = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            let name = e.as_ref().unwrap().file_name();
+            let s = name.to_string_lossy().into_owned();
+            s.starts_with("fc_") && s != "fc_central.vec"
+        })
+        .count();
+    assert!(n_fc >= 4, "at least the initial ensemble ran: {n_fc}");
+}
+
+#[test]
+fn resume_reuses_completed_members() {
+    let dir = workdir("resume");
+    run_master(&dir, &[]);
+    // Resume with a larger Nmax and tight tolerance: the master must
+    // report the previously completed members as resumed.
+    let log = run_master(&dir, &["--resume", "--max", "12", "--tolerance", "0.05"]);
+    let resumed_line = log
+        .lines()
+        .find(|l| l.contains("resumed"))
+        .expect("resume line present");
+    // "starting with N members in the differ (resumed N)" with N >= 4.
+    assert!(
+        !resumed_line.contains("(resumed 0)"),
+        "must resume previous members: {resumed_line}"
+    );
+}
+
+#[test]
+fn pert_singleton_is_deterministic_per_member() {
+    let dir = workdir("pert");
+    // Prepare mean + prior by letting the master initialize, but run
+    // pert directly twice for the same member.
+    let (model, st0) = esse::cli::build_model(DOMAIN).unwrap();
+    esse::fileio::write_vector(dir.join("mean.vec"), &st0.pack()).unwrap();
+    let prior = esse::core::priors::smooth_temperature_prior(&model.grid, 6, 0.4, 2.0, 9);
+    esse::fileio::write_subspace(dir.join("prior.sub"), &prior).unwrap();
+    for _ in 0..2 {
+        let out = Command::new(env!("CARGO_BIN_EXE_pert"))
+            .args(["--workdir", dir.to_str().unwrap(), "--member", "3"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let a = esse::fileio::read_vector(dir.join("ic_3.vec")).unwrap();
+    // Regenerate in-process and compare bitwise.
+    let gen = esse::core::perturb::PerturbationGenerator::new(
+        &prior,
+        esse::core::perturb::PerturbConfig::default(),
+    );
+    let b = gen.perturb(&st0.pack(), 3);
+    assert_eq!(a, b, "file-based pert must equal in-process pert");
+}
+
+#[test]
+fn pemodel_rejects_mismatched_domain() {
+    let dir = workdir("mismatch");
+    // IC from a 10x10x3 domain, pemodel told 12x12x3: must exit nonzero.
+    let (_, st0) = esse::cli::build_model(DOMAIN).unwrap();
+    esse::fileio::write_vector(dir.join("ic_0.vec"), &st0.pack()).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_pemodel"))
+        .args([
+            "--workdir",
+            dir.to_str().unwrap(),
+            "--domain",
+            "monterey:12,12,3",
+            "--hours",
+            "1",
+            "--member",
+            "0",
+            "--seed",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does not match"));
+}

@@ -1,0 +1,223 @@
+//! Property-based cross-crate invariants (proptest).
+
+use esse::core::assimilate::assimilate;
+use esse::core::convergence::similarity;
+use esse::core::covariance::SpreadAccumulator;
+use esse::core::obs::{ObsKind, ObsSet, Observation};
+use esse::core::subspace::ErrorSubspace;
+use esse::linalg::{Matrix, Svd};
+use esse::ocean::bathymetry::Bathymetry;
+use esse::ocean::{Grid, OceanState};
+use proptest::prelude::*;
+
+fn small_grid() -> Grid {
+    Grid::new(Bathymetry::flat(4, 3, 100.0), 2, 1000.0, 1000.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pack/unpack is the identity for arbitrary field values.
+    #[test]
+    fn ocean_state_pack_roundtrip(vals in prop::collection::vec(-50.0f64..50.0, 4*3*2*4 + 4*3)) {
+        let grid = small_grid();
+        let st = OceanState::unpack(&grid, &vals);
+        prop_assert_eq!(st.pack(), vals);
+    }
+
+    /// The spread accumulator is permutation-invariant: any member order
+    /// yields the same covariance action.
+    #[test]
+    fn spread_accumulator_order_invariant(
+        cols in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 4), 2..8),
+        probe in prop::collection::vec(-1.0f64..1.0, 4),
+    ) {
+        let mut fwd = SpreadAccumulator::new(vec![0.0; 4]);
+        for (id, c) in cols.iter().enumerate() {
+            fwd.add_member(id, c);
+        }
+        let mut rev = SpreadAccumulator::new(vec![0.0; 4]);
+        for (id, c) in cols.iter().enumerate().rev() {
+            rev.add_member(id, c);
+        }
+        let a = fwd.snapshot().covariance_times(&probe);
+        let b = rev.snapshot().covariance_times(&probe);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// SVD reconstruction and factor orthonormality for arbitrary
+    /// matrices.
+    #[test]
+    fn svd_reconstructs_arbitrary_matrices(
+        rows in 2usize..8,
+        cols in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let m = Matrix::from_fn(rows, cols, |i, j| {
+            let x = (seed as f64 + (i * 31 + j * 17) as f64) * 0.618;
+            (x.sin() * 43758.5453).fract() * 4.0 - 2.0
+        });
+        let svd = Svd::compute(&m).unwrap();
+        let recon = svd.reconstruct();
+        let err = recon.sub(&m).unwrap().max_abs();
+        prop_assert!(err < 1e-8 * m.fro_norm().max(1.0), "err {}", err);
+        for k in 1..svd.s.len() {
+            prop_assert!(svd.s[k - 1] >= svd.s[k] - 1e-12);
+        }
+    }
+
+    /// Similarity is symmetric and within [0, 1] for arbitrary subspaces.
+    #[test]
+    fn similarity_bounds_and_symmetry(seed_a in 0u64..500, seed_b in 0u64..500, ka in 1usize..4, kb in 1usize..4) {
+        use rand::SeedableRng;
+        let mut ra = rand::rngs::StdRng::seed_from_u64(seed_a);
+        let mut rb = rand::rngs::StdRng::seed_from_u64(seed_b);
+        let a = ErrorSubspace::isotropic(&mut ra, 6, ka, 1.0 + (seed_a % 5) as f64);
+        let b = ErrorSubspace::isotropic(&mut rb, 6, kb, 0.5 + (seed_b % 3) as f64);
+        let rab = similarity(&a, &b);
+        let rba = similarity(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&rab));
+        prop_assert!((rab - rba).abs() < 1e-9);
+        // Self-similarity is exactly 1.
+        prop_assert!((similarity(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    /// Assimilation never increases total variance (any obs set), and
+    /// never leaves the posterior variances negative. The raw RMS misfit
+    /// is only guaranteed to contract for a single observation (with
+    /// several coupled observations the minimum-variance update trades
+    /// realized misfit between them), so that assertion is per-obs.
+    #[test]
+    fn assimilation_contracts_variance(
+        obs_vals in prop::collection::vec((-3.0f64..3.0, 0.01f64..2.0), 1..5),
+        seed in 0u64..200,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 6;
+        let sub = ErrorSubspace::isotropic(&mut rng, n, 3, 2.0);
+        let forecast = vec![0.5; n];
+        let mut set = ObsSet::new();
+        for (q, &(v, var)) in obs_vals.iter().enumerate() {
+            set.obs.push(Observation::point(q % n, v, var, ObsKind::Point));
+        }
+        let an = assimilate(&forecast, &sub, &set).unwrap();
+        prop_assert!(an.subspace.total_variance() <= sub.total_variance() + 1e-9);
+        for &v in &an.subspace.variances {
+            prop_assert!(v >= -1e-12);
+        }
+    }
+
+    /// With a single observation the realized misfit always contracts.
+    #[test]
+    fn single_obs_misfit_contracts(
+        v in -3.0f64..3.0,
+        var in 0.01f64..2.0,
+        idx in 0usize..6,
+        seed in 0u64..200,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sub = ErrorSubspace::isotropic(&mut rng, 6, 3, 2.0);
+        let forecast = vec![0.5; 6];
+        let set = ObsSet { obs: vec![Observation::point(idx, v, var, ObsKind::Point)] };
+        let an = assimilate(&forecast, &sub, &set).unwrap();
+        prop_assert!(an.posterior_misfit <= an.prior_misfit + 1e-9);
+    }
+
+    /// Mackenzie sound speed stays physical over the valid input ranges.
+    #[test]
+    fn sound_speed_physical_range(t in 0.0f64..30.0, s in 30.0f64..40.0, z in 0.0f64..4000.0) {
+        let c = esse::ocean::eos::mackenzie_sound_speed(t, s, z);
+        prop_assert!((1400.0..1650.0).contains(&c), "c = {}", c);
+    }
+
+    /// Seabed reflection is a valid power coefficient for any grazing
+    /// angle and water sound speed.
+    #[test]
+    fn reflection_coefficient_valid(theta in 0.001f64..1.57, c_w in 1450.0f64..1550.0) {
+        for b in [esse::acoustics::bottom::Seabed::sand(), esse::acoustics::bottom::Seabed::silt()] {
+            let r = b.power_reflection(theta, c_w);
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    /// The variance field of a subspace always sums to its total variance
+    /// (diag of E Λ Eᵀ has trace Σλ for orthonormal E).
+    #[test]
+    fn variance_field_sums_to_total(seed in 0u64..300, k in 1usize..5) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sub = ErrorSubspace::isotropic(&mut rng, 8, k, 0.5 + (seed % 7) as f64 * 0.3);
+        let total: f64 = sub.variance_field().iter().sum();
+        prop_assert!((total - sub.total_variance()).abs() < 1e-9 * sub.total_variance().max(1.0));
+    }
+
+    /// Coverage analysis invariants: counts consistent, fractions bounded,
+    /// never flags a complete run.
+    #[test]
+    fn coverage_analyzer_invariants(ids in prop::collection::vec(0usize..100, 0..100)) {
+        let r = esse::mtc::coverage::analyze(&ids, 100);
+        prop_assert!(r.completed <= 100);
+        prop_assert_eq!(r.missing(), 100 - r.completed);
+        prop_assert!((0.0..=1.0).contains(&r.missing_fraction));
+        prop_assert!((0.0..=1.0).contains(&r.gap_surprise));
+        prop_assert!((0.0..=1.0).contains(&r.parity_imbalance));
+        prop_assert!(r.longest_gap <= r.missing());
+        if r.completed == 100 {
+            prop_assert!(!r.is_systematic_hole());
+        }
+    }
+
+    /// EC2 ceil-hour billing is monotone and never under-bills.
+    #[test]
+    fn billed_hours_monotone(a in 1.0f64..20_000.0, b in 1.0f64..20_000.0) {
+        use esse::mtc::sim::cloud::billed_hours;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(billed_hours(lo) <= billed_hours(hi));
+        prop_assert!(billed_hours(hi) >= hi / 3600.0);
+        prop_assert!(billed_hours(hi) >= 1.0);
+    }
+
+    /// Thin SVD rank never exceeds min(rows, cols) and energy fractions
+    /// are monotone in k.
+    #[test]
+    fn svd_rank_and_energy_monotone(rows in 2usize..7, cols in 2usize..7, seed in 0u64..300) {
+        let m = Matrix::from_fn(rows, cols, |i, j| {
+            ((seed as f64 + (i * 7 + j * 13) as f64) * 0.731).sin()
+        });
+        let svd = Svd::compute(&m).unwrap();
+        prop_assert!(svd.rank(1e-12) <= rows.min(cols));
+        let mut prev = 0.0;
+        for k in 0..=svd.s.len() {
+            let e = svd.energy_fraction(k);
+            prop_assert!(e >= prev - 1e-12);
+            prop_assert!(e <= 1.0 + 1e-12);
+            prev = e;
+        }
+    }
+
+    /// The perturbation generator's members have the mean exactly at the
+    /// center when averaged over ± pairs of the same noise draw... (no
+    /// pairing implemented) — instead: every member differs from the mean
+    /// only within the subspace span when white noise is off.
+    #[test]
+    fn perturbations_confined_to_subspace(member in 0usize..64, seed in 0u64..100) {
+        use esse::core::perturb::{PerturbConfig, PerturbationGenerator};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sub = ErrorSubspace::isotropic(&mut rng, 10, 3, 1.0);
+        let gen = PerturbationGenerator::new(&sub, PerturbConfig::default());
+        let mean = vec![0.5; 10];
+        let x = gen.perturb(&mean, member);
+        // Residual after projecting the anomaly on the modes is ~0.
+        let anom: Vec<f64> = x.iter().zip(mean.iter()).map(|(a, b)| a - b).collect();
+        let coeff = sub.project(&anom);
+        let recon = sub.modes.matvec(&coeff).unwrap();
+        for (a, r) in anom.iter().zip(recon.iter()) {
+            prop_assert!((a - r).abs() < 1e-9);
+        }
+    }
+}

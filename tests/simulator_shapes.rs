@@ -1,0 +1,131 @@
+//! The evaluation *shapes* of the paper, asserted end-to-end against the
+//! simulator: who wins, by roughly what factor, and where the
+//! crossovers fall. These are the statements EXPERIMENTS.md records.
+
+use esse::mtc::sim::cloud::{campaign_cost, Ec2Pricing};
+use esse::mtc::sim::cluster::{run_batch, ClusterConfig, InputStaging, JobSpec, NfsConfig};
+use esse::mtc::sim::ec2::catalog;
+use esse::mtc::sim::grid::GridSite;
+use esse::mtc::sim::platform::{
+    local_opteron, ornl_p4, pemodel_time, pert_time, purdue_core2, WorkloadSpec,
+};
+use esse::mtc::sim::scheduler::DispatchPolicy;
+
+fn esse_job(w: &WorkloadSpec) -> JobSpec {
+    JobSpec {
+        cpu_s: w.pert_cpu_s + w.pemodel_cpu_s,
+        read_mb: w.pert_read_mb + w.pemodel_read_mb,
+        small_ops: w.pert_small_ops,
+        write_mb: w.pemodel_write_mb,
+    }
+}
+
+#[test]
+fn table1_shape_recompilation_is_worth_it() {
+    // Paper: "speeds vary appreciably (and a recompilation … can be well
+    // worth it)". Core2 beats P4 by ~1.65x on pemodel; pert on ORNL is
+    // an order of magnitude slower than elsewhere.
+    let w = WorkloadSpec::default();
+    let pe_ornl = pemodel_time(&w, &ornl_p4());
+    let pe_purdue = pemodel_time(&w, &purdue_core2());
+    let pe_local = pemodel_time(&w, &local_opteron());
+    assert!(pe_ornl > pe_local && pe_local > pe_purdue);
+    let ratio = pe_ornl / pe_purdue;
+    assert!((1.4..2.0).contains(&ratio), "ORNL/Purdue = {ratio}");
+    let pert_ornl = pert_time(&w, &ornl_p4());
+    let pert_local = pert_time(&w, &local_opteron());
+    assert!(pert_ornl > 8.0 * pert_local, "PVFS2 pert penalty {pert_ornl} vs {pert_local}");
+}
+
+#[test]
+fn table2_shape_core_share_and_compute_optimization() {
+    // m1.small is ~MISSING half its core: pemodel ≈ 1.55-1.6x m1.large.
+    let w = WorkloadSpec::default();
+    let c = catalog();
+    let t: Vec<f64> = c.iter().map(|i| pemodel_time(&w, &i.platform)).collect();
+    let small_over_large = t[0] / t[1];
+    assert!((1.4..1.8).contains(&small_over_large), "ratio {small_over_large}");
+    // c1 instances beat m1 instances for the CPU-bound pemodel…
+    assert!(t[3] < t[1] && t[4] < t[2]);
+    // …and EC2's best pemodel is still slower than the best bare-metal
+    // grid platform (virtualization cost).
+    let best_ec2 = t.iter().cloned().fold(f64::INFINITY, f64::min);
+    let purdue = pemodel_time(&w, &purdue_core2());
+    assert!(best_ec2 < purdue * 1.05 && best_ec2 > purdue * 0.85);
+}
+
+#[test]
+fn local_io_beats_nfs_and_both_land_near_paper_minutes() {
+    let w = WorkloadSpec::default();
+    let job = esse_job(&w);
+    let mk = |staging| ClusterConfig {
+        cores: 210,
+        platform: local_opteron(),
+        dispatch: DispatchPolicy::sge(),
+        staging,
+        nfs: NfsConfig::default(),
+    };
+    let local = run_batch(&mk(InputStaging::PrestagedLocal), job, 600);
+    let mixed = run_batch(&mk(InputStaging::NfsShared), job, 600);
+    let local_min = local.makespan / 60.0;
+    let mixed_min = mixed.makespan / 60.0;
+    // Paper: ≈77 vs ≈86 minutes; shape: mixed ~10-15% slower.
+    assert!((70.0..85.0).contains(&local_min), "local {local_min}");
+    assert!((80.0..95.0).contains(&mixed_min), "mixed {mixed_min}");
+    let slowdown = mixed_min / local_min;
+    assert!((1.05..1.25).contains(&slowdown), "slowdown {slowdown}");
+}
+
+#[test]
+fn condor_penalty_shrinks_with_tuning() {
+    let w = WorkloadSpec::default();
+    let job = esse_job(&w);
+    let mk = |dispatch| ClusterConfig {
+        cores: 210,
+        platform: local_opteron(),
+        dispatch,
+        staging: InputStaging::PrestagedLocal,
+        nfs: NfsConfig::default(),
+    };
+    let sge = run_batch(&mk(DispatchPolicy::sge()), job, 600).makespan;
+    let condor = run_batch(&mk(DispatchPolicy::condor()), job, 600).makespan;
+    let tuned = run_batch(&mk(DispatchPolicy::condor_tuned()), job, 600).makespan;
+    assert!(condor > sge);
+    assert!(tuned > sge);
+    assert!(tuned < condor, "tuning must close part of the gap");
+    let pct = condor / sge - 1.0;
+    assert!((0.05..0.30).contains(&pct), "condor penalty {pct}");
+}
+
+#[test]
+fn cost_model_matches_paper_total() {
+    let c = campaign_cost(&Ec2Pricing::default(), 1.5, 960, 11.0, 20, 7200.0, 0.80, false);
+    assert!((c.total() - 33.945).abs() < 0.02, "total {}", c.total());
+    // Compute dominates the bill (paper's implicit point: transfers are
+    // cheap relative to instance-hours at this scale).
+    assert!(c.compute > 0.9 * (c.transfer_in + c.transfer_out) * 10.0);
+}
+
+#[test]
+fn grid_queue_wait_vs_ec2_provisioning_crossover() {
+    // EC2's "for all intents and purposes the response is immediate" vs
+    // grid queue waits: for a 2 h deadline, a site with multi-hour queue
+    // waits loses to EC2 even though its hardware is free and faster.
+    let site = GridSite {
+        name: "busy TG site".into(),
+        cores: 512,
+        mean_queue_wait: 4.0 * 3600.0,
+        queue_wait_spread: 0.0,
+        max_active_jobs: 0,
+        advance_reservation: false,
+    };
+    let w = WorkloadSpec::default();
+    let task = pemodel_time(&w, &purdue_core2());
+    assert!(!site.timely(512, task, 2.0 * 3600.0));
+    // EC2: boot 20 instances (minutes), then one wave of pemodel runs
+    // fits in 2 h on any instance type.
+    for inst in catalog() {
+        let t = pemodel_time(&w, &inst.platform);
+        assert!(120.0 + t < 2.0 * 3600.0, "{}: {t}", inst.platform.name);
+    }
+}

@@ -1,0 +1,111 @@
+//! Fig. 3 (serial) vs Fig. 4 (MTC) equivalence and behaviour:
+//! with a fixed ensemble size the two implementations must estimate the
+//! same error subspace (member identity is order- and worker-independent),
+//! and the MTC cancellation machinery must account for every task.
+
+mod common;
+
+use common::smooth_t_prior;
+use esse::core::adaptive::{CompletionPolicy, EnsembleSchedule};
+use esse::core::convergence::similarity;
+use esse::core::driver::{EsseConfig, SerialEsse};
+use esse::core::model::PeForecastModel;
+use esse::mtc::task::TaskState;
+use esse::mtc::workflow::{MtcConfig, MtcEsse};
+
+fn fixed_size_configs(n: usize, span: f64) -> (EsseConfig, MtcConfig) {
+    let serial = EsseConfig {
+        schedule: EnsembleSchedule::new(n, n),
+        tolerance: 1e-12,
+        duration: span,
+        max_rank: n,
+        ..Default::default()
+    };
+    let mtc = MtcConfig {
+        workers: 4,
+        pool_factor: 1.0,
+        schedule: EnsembleSchedule::new(n, n),
+        tolerance: 1e-12,
+        duration: span,
+        max_rank: n,
+        svd_stride: n,
+        completion: CompletionPolicy::UseCompleted,
+        ..Default::default()
+    };
+    (serial, mtc)
+}
+
+#[test]
+fn serial_and_mtc_estimate_the_same_subspace_on_the_ocean_model() {
+    let (pe, st0) = esse::ocean::scenario::monterey(12, 12, 3);
+    let grid = pe.grid.clone();
+    let model = PeForecastModel::new(pe);
+    let mean0 = st0.pack();
+    let prior = smooth_t_prior(&grid, 8, 0.4, 11);
+    let span = 2.0 * 3600.0;
+    let (scfg, mcfg) = fixed_size_configs(16, span);
+
+    let serial = SerialEsse::new(&model, scfg)
+        .forecast_uncertainty(&mean0, &prior)
+        .expect("serial");
+    let mtc = MtcEsse::new(&model, mcfg).run(&mean0, &prior).expect("mtc");
+
+    assert_eq!(serial.members_run, mtc.members_used);
+    // Same member ids ⇒ identical spread matrices up to column order ⇒
+    // identical subspaces.
+    let rho = similarity(&serial.subspace, &mtc.subspace);
+    assert!(rho > 0.9999, "rho = {rho}");
+    // Central forecasts are bitwise equal (deterministic).
+    assert_eq!(serial.central, mtc.central);
+}
+
+#[test]
+fn mtc_accounts_for_every_task_under_cancellation() {
+    let (pe, st0) = esse::ocean::scenario::monterey(10, 10, 3);
+    let grid = pe.grid.clone();
+    let model = PeForecastModel::new(pe);
+    let mean0 = st0.pack();
+    let prior = smooth_t_prior(&grid, 8, 0.4, 5);
+    let cfg = MtcConfig {
+        workers: 4,
+        pool_factor: 1.6, // heavy over-provisioning
+        schedule: EnsembleSchedule::new(8, 64),
+        tolerance: 0.15, // converge early → cancellations happen
+        duration: 1800.0,
+        svd_stride: 4,
+        max_rank: 16,
+        completion: CompletionPolicy::CancelImmediately,
+        ..Default::default()
+    };
+    let out = MtcEsse::new(&model, cfg).run(&mean0, &prior).expect("mtc");
+    // Conservation: every record is Done or Cancelled, and the counters
+    // add up.
+    let done = out.records.iter().filter(|r| r.state == TaskState::Done).count();
+    let cancelled = out.records.iter().filter(|r| r.state == TaskState::Cancelled).count();
+    assert_eq!(done + cancelled, out.records.len());
+    assert_eq!(cancelled, out.members_cancelled);
+    assert_eq!(
+        done,
+        out.members_used + out.members_failed + out.members_wasted,
+        "done tasks split into used/failed/wasted"
+    );
+}
+
+#[test]
+fn workflow_scales_down_to_one_worker() {
+    let (pe, st0) = esse::ocean::scenario::monterey(10, 10, 3);
+    let grid = pe.grid.clone();
+    let model = PeForecastModel::new(pe);
+    let mean0 = st0.pack();
+    let prior = smooth_t_prior(&grid, 6, 0.3, 8);
+    let (_, mut mcfg) = fixed_size_configs(8, 1800.0);
+    mcfg.workers = 1;
+    let out = MtcEsse::new(&model, mcfg).run(&mean0, &prior).expect("single worker");
+    assert_eq!(out.members_used, 8);
+    // All tasks ran on worker 0.
+    for r in &out.records {
+        if r.state == TaskState::Done {
+            assert_eq!(r.worker, Some(0));
+        }
+    }
+}
