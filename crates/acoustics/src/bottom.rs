@@ -31,7 +31,11 @@ impl Seabed {
 
     /// Perfectly reflecting bottom (testing).
     pub fn perfect() -> Seabed {
-        Seabed { c_sediment: f64::INFINITY, density_ratio: f64::INFINITY, attenuation_db_lambda: 0.0 }
+        Seabed {
+            c_sediment: f64::INFINITY,
+            density_ratio: f64::INFINITY,
+            attenuation_db_lambda: 0.0,
+        }
     }
 
     /// Power reflection coefficient `|R|²` for a ray hitting the bottom

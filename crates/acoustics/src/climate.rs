@@ -47,7 +47,12 @@ impl ClimateSweep {
         for (si, &endpoints) in self.sections.iter().enumerate() {
             for &sd in &self.source_depths {
                 for &f in &self.freqs_khz {
-                    out.push(ClimateTask { section_idx: si, endpoints, source_depth: sd, f_khz: f });
+                    out.push(ClimateTask {
+                        section_idx: si,
+                        endpoints,
+                        source_depth: sd,
+                        f_khz: f,
+                    });
                 }
             }
         }
@@ -66,7 +71,12 @@ impl ClimateSweep {
 
     /// A fan of zonal sections across a grid, at `n_sections` latitudes,
     /// from near the western edge to near the coast.
-    pub fn zonal_fan(grid: &Grid, n_sections: usize, source_depths: Vec<f64>, freqs_khz: Vec<f64>) -> ClimateSweep {
+    pub fn zonal_fan(
+        grid: &Grid,
+        n_sections: usize,
+        source_depths: Vec<f64>,
+        freqs_khz: Vec<f64>,
+    ) -> ClimateSweep {
         let mut sections = Vec::with_capacity(n_sections);
         for q in 0..n_sections {
             let j = (grid.ny * (q + 1)) / (n_sections + 1);
@@ -94,12 +104,7 @@ pub fn run_task(
 ) -> Option<TlField> {
     let sec = SoundSpeedSection::from_ocean(grid, state, task.endpoints.0, task.endpoints.1)?;
     let max_range = sec.max_range();
-    let max_depth = sec
-        .profiles
-        .iter()
-        .map(|p| p.water_depth)
-        .fold(0.0_f64, f64::max)
-        .max(10.0);
+    let max_depth = sec.profiles.iter().map(|p| p.water_depth).fold(0.0_f64, f64::max).max(10.0);
     Some(solver.solve(&sec, task.source_depth, task.f_khz, max_range, max_depth))
 }
 
@@ -164,28 +169,21 @@ impl ClimateStore {
         depth: f64,
     ) -> Option<f64> {
         // Candidates on the requested section at the nearest source depth.
-        let on_section: Vec<&(ClimateTask, TlField)> = self
-            .entries
-            .iter()
-            .filter(|(t, _)| t.section_idx == section_idx)
-            .collect();
+        let on_section: Vec<&(ClimateTask, TlField)> =
+            self.entries.iter().filter(|(t, _)| t.section_idx == section_idx).collect();
         if on_section.is_empty() {
             return None;
         }
-        let best_depth = on_section
-            .iter()
-            .map(|(t, _)| t.source_depth)
-            .fold(f64::INFINITY, |b, d| {
+        let best_depth =
+            on_section.iter().map(|(t, _)| t.source_depth).fold(f64::INFINITY, |b, d| {
                 if (d - source_depth).abs() < (b - source_depth).abs() {
                     d
                 } else {
                     b
                 }
             });
-        let at_depth: Vec<&&(ClimateTask, TlField)> = on_section
-            .iter()
-            .filter(|(t, _)| t.source_depth == best_depth)
-            .collect();
+        let at_depth: Vec<&&(ClimateTask, TlField)> =
+            on_section.iter().filter(|(t, _)| t.source_depth == best_depth).collect();
         // Bracket in frequency.
         let mut below: Option<&&(ClimateTask, TlField)> = None;
         let mut above: Option<&&(ClimateTask, TlField)> = None;

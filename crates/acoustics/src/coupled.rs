@@ -51,12 +51,8 @@ impl TlEnsemble {
                 continue;
             };
             let max_range = sec.max_range();
-            let max_depth = sec
-                .profiles
-                .iter()
-                .map(|p| p.water_depth)
-                .fold(0.0_f64, f64::max)
-                .max(10.0);
+            let max_depth =
+                sec.profiles.iter().map(|p| p.water_depth).fold(0.0_f64, f64::max).max(10.0);
             let tl = solver.solve_broadband(&sec, source_depth, freqs_khz, max_range, max_depth);
             nr = tl.nr;
             nz = tl.nz;
@@ -352,7 +348,8 @@ mod tests {
     fn hydrographic_observation_corrects_the_acoustics() {
         let (phys, ac) = correlated_ensembles();
         let modes = coupled_modes(&phys, &ac, 3);
-        let obs = [CoupledObs::Physical { idx: 1, value: modes.phys_mean[1] - 0.8, variance: 0.001 }];
+        let obs =
+            [CoupledObs::Physical { idx: 1, value: modes.phys_mean[1] - 0.8, variance: 0.001 }];
         let an = assimilate_coupled(&modes, &obs).unwrap();
         // Acoustic block moves down with the physical datum (positive
         // correlation in the synthetic ensemble).

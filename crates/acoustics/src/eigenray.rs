@@ -65,9 +65,8 @@ pub fn find_eigenrays(
         depth_and_time_at(&ray, section, range).map(|(z, _)| (z - receiver_depth, ray))
     };
     let n_scan = n_scan.max(3);
-    let thetas: Vec<f64> = (0..n_scan)
-        .map(|q| -aperture + 2.0 * aperture * q as f64 / (n_scan - 1) as f64)
-        .collect();
+    let thetas: Vec<f64> =
+        (0..n_scan).map(|q| -aperture + 2.0 * aperture * q as f64 / (n_scan - 1) as f64).collect();
     let misses: Vec<Option<f64>> = thetas.iter().map(|&t| miss(t).map(|(m, _)| m)).collect();
     let mut arrivals = Vec::new();
     for q in 1..n_scan {

@@ -219,11 +219,8 @@ mod tests {
     fn sound_channel_traps_rays() {
         // Minimum at 300 m: a near-axis shallow-angle ray oscillates
         // around the axis without hitting the boundaries.
-        let p = SoundSpeedProfile::new(
-            vec![0.0, 300.0, 1500.0],
-            vec![1510.0, 1490.0, 1525.0],
-            1500.0,
-        );
+        let p =
+            SoundSpeedProfile::new(vec![0.0, 300.0, 1500.0], vec![1510.0, 1490.0, 1525.0], 1500.0);
         let sec = SoundSpeedSection::range_independent(p, 40_000.0);
         let tracer = RayTracer { seabed: Seabed::perfect(), ..Default::default() };
         let ray = tracer.trace(&sec, 300.0, 0.04, 40_000.0);

@@ -24,16 +24,17 @@ impl SoundSpeedProfile {
 
     /// An isovelocity profile.
     pub fn uniform(c: f64, water_depth: f64) -> SoundSpeedProfile {
-        SoundSpeedProfile {
-            depths: vec![0.0, water_depth],
-            speeds: vec![c, c],
-            water_depth,
-        }
+        SoundSpeedProfile { depths: vec![0.0, water_depth], speeds: vec![c, c], water_depth }
     }
 
     /// Extract from an ocean model column at `(i, j)` (Mackenzie sound
     /// speed at each sigma-level center plus a surface/bottom pad).
-    pub fn from_ocean_column(grid: &Grid, state: &OceanState, i: usize, j: usize) -> Option<SoundSpeedProfile> {
+    pub fn from_ocean_column(
+        grid: &Grid,
+        state: &OceanState,
+        i: usize,
+        j: usize,
+    ) -> Option<SoundSpeedProfile> {
         if !grid.is_wet(i, j) {
             return None;
         }
@@ -106,10 +107,7 @@ pub struct SoundSpeedSection {
 impl SoundSpeedSection {
     /// Range-independent section from a single profile.
     pub fn range_independent(profile: SoundSpeedProfile, max_range: f64) -> SoundSpeedSection {
-        SoundSpeedSection {
-            ranges: vec![0.0, max_range],
-            profiles: vec![profile.clone(), profile],
-        }
+        SoundSpeedSection { ranges: vec![0.0, max_range], profiles: vec![profile.clone(), profile] }
     }
 
     /// Extract a section from an ocean state along the straight cell path
@@ -196,8 +194,7 @@ impl SoundSpeedSection {
     pub fn gradient(&self, r: f64, z: f64) -> (f64, f64) {
         let dr = (self.max_range() / 200.0).max(1.0);
         let dz = 2.0;
-        let dcdr = (self.at(r + dr, z) - self.at((r - dr).max(0.0), z))
-            / (dr + dr.min(r));
+        let dcdr = (self.at(r + dr, z) - self.at((r - dr).max(0.0), z)) / (dr + dr.min(r));
         let dcdz = (self.at(r, z + dz) - self.at(r, (z - dz).max(0.0))) / (dz + dz.min(z));
         (dcdr, dcdz)
     }

@@ -84,13 +84,7 @@ pub struct TlSolver {
 
 impl Default for TlSolver {
     fn default() -> Self {
-        TlSolver {
-            tracer: RayTracer::default(),
-            n_rays: 181,
-            aperture: 0.5,
-            nr: 100,
-            nz: 50,
-        }
+        TlSolver { tracer: RayTracer::default(), n_rays: 181, aperture: 0.5, nr: 100, nz: 50 }
     }
 }
 
@@ -106,7 +100,8 @@ impl TlSolver {
         max_range: f64,
         max_depth: f64,
     ) -> TlField {
-        let rays = self.tracer.trace_fan(section, source_depth, self.aperture, self.n_rays, max_range);
+        let rays =
+            self.tracer.trace_fan(section, source_depth, self.aperture, self.n_rays, max_range);
         self.bin_rays(&rays, f_khz, max_range, max_depth)
     }
 
@@ -120,11 +115,10 @@ impl TlSolver {
         max_depth: f64,
     ) -> TlField {
         assert!(!freqs_khz.is_empty());
-        let rays = self.tracer.trace_fan(section, source_depth, self.aperture, self.n_rays, max_range);
-        let fields: Vec<TlField> = freqs_khz
-            .iter()
-            .map(|&f| self.bin_rays(&rays, f, max_range, max_depth))
-            .collect();
+        let rays =
+            self.tracer.trace_fan(section, source_depth, self.aperture, self.n_rays, max_range);
+        let fields: Vec<TlField> =
+            freqs_khz.iter().map(|&f| self.bin_rays(&rays, f, max_range, max_depth)).collect();
         let (nr, nz, dr, dz) = (fields[0].nr, fields[0].nz, fields[0].dr, fields[0].dz);
         let mut tl_db = vec![f64::INFINITY; nr * nz];
         for n in 0..nr * nz {
@@ -183,13 +177,7 @@ impl TlSolver {
         let cal = 1.0 / (2.0);
         let tl_db = intensity
             .iter()
-            .map(|&i| {
-                if i > 0.0 {
-                    -10.0 * (i * cal).log10()
-                } else {
-                    f64::INFINITY
-                }
-            })
+            .map(|&i| if i > 0.0 { -10.0 * (i * cal).log10() } else { f64::INFINITY })
             .collect();
         TlField { nr, nz, dr, dz, tl_db }
     }
@@ -225,12 +213,7 @@ mod tests {
         // Unbounded uniform medium: TL(2r) − TL(r) ≈ 6 dB (±3 dB tolerance
         // for the stochastic binning).
         let sec = deep_uniform(20_000.0);
-        let solver = TlSolver {
-            n_rays: 721,
-            aperture: 0.9,
-            nz: 100,
-            ..Default::default()
-        };
+        let solver = TlSolver { n_rays: 721, aperture: 0.9, nz: 100, ..Default::default() };
         let tl = solver.solve(&sec, 25_000.0, 0.2, 20_000.0, 50_000.0);
         let tl_r = tl.at_range_depth(5_000.0, 25_000.0);
         let tl_2r = tl.at_range_depth(10_000.0, 25_000.0);

@@ -37,12 +37,11 @@ fn main() {
         let t0 = Instant::now();
         let j = Svd::jacobi(&m).unwrap();
         let t_jacobi = t0.elapsed();
-        let max_rel = g
-            .s
-            .iter()
-            .zip(j.s.iter())
-            .map(|(a, b)| (a - b).abs() / b.max(1e-12))
-            .fold(0.0f64, f64::max);
+        let max_rel =
+            g.s.iter()
+                .zip(j.s.iter())
+                .map(|(a, b)| (a - b).abs() / b.max(1e-12))
+                .fold(0.0f64, f64::max);
         println!(
             "  {n_state:6} x {n_members:3}: gram {t_gram:9.2?}  jacobi {t_jacobi:9.2?}  \
              speedup {:5.1}x  max sigma rel-err {max_rel:.2e}",
@@ -118,7 +117,9 @@ fn main() {
         }
         // Equivalent spurious geostrophic jet: u = PG / f.
         let u_spur = worst / 8.8e-5;
-        println!("  {label:18}: max |grad phi| {worst:.3e} m/s^2  (spurious jet ~{u_spur:6.2} m/s)");
+        println!(
+            "  {label:18}: max |grad phi| {worst:.3e} m/s^2  (spurious jet ~{u_spur:6.2} m/s)"
+        );
     }
     println!(
         "\nthe correction is what keeps the resting stratified ocean at rest over the\n\

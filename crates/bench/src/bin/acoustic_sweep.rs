@@ -32,8 +32,11 @@ fn main() {
     let count = 6200;
     let rep = run_batch(&cfg, job, count);
     println!("== Sec 5.2.1: acoustics sweep ({count} x ~3 min jobs, 210 cores, SGE) ==");
-    println!("makespan: {:.1} min (ideal {:.1} min)", rep.makespan / 60.0,
-        (count as f64 / 210.0).ceil() * 3.0);
+    println!(
+        "makespan: {:.1} min (ideal {:.1} min)",
+        rep.makespan / 60.0,
+        (count as f64 / 210.0).ceil() * 3.0
+    );
     println!(
         "mean job wall time {:.1} s, mean CPU utilization {:.1}%",
         rep.jobs.iter().map(|j| j.total()).sum::<f64>() / count as f64,

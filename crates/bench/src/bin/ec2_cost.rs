@@ -17,9 +17,24 @@ fn main() {
     let pricing = Ec2Pricing::default();
     let c = campaign_cost(&pricing, 1.5, 960, 11.0, 20, 2.0 * 3600.0, 0.80, false);
     let rows = vec![
-        CompareRow { label: "input transfer (1.5 GB)".into(), paper: 0.15, ours: c.transfer_in, unit: "$" },
-        CompareRow { label: "output transfer (10.56 GB)".into(), paper: 1.795, ours: c.transfer_out, unit: "$" },
-        CompareRow { label: "compute (2 h x 20 x $0.80)".into(), paper: 32.0, ours: c.compute, unit: "$" },
+        CompareRow {
+            label: "input transfer (1.5 GB)".into(),
+            paper: 0.15,
+            ours: c.transfer_in,
+            unit: "$",
+        },
+        CompareRow {
+            label: "output transfer (10.56 GB)".into(),
+            paper: 1.795,
+            ours: c.transfer_out,
+            unit: "$",
+        },
+        CompareRow {
+            label: "compute (2 h x 20 x $0.80)".into(),
+            paper: 32.0,
+            ours: c.compute,
+            unit: "$",
+        },
         CompareRow { label: "TOTAL".into(), paper: 33.95, ours: c.total(), unit: "$" },
     ];
     println!("{}", render_table("Sec 5.4.2: EC2 campaign cost", &rows));

@@ -4,14 +4,33 @@
 //!
 //! ```text
 //! cargo run --release -p esse-bench --bin local_timings
+//! cargo run --release -p esse-bench --bin local_timings -- --trace-out mixed.json
 //! ```
+//!
+//! With `--trace-out <path>` the mixed-locality (NFS) batch is replayed
+//! through `esse-obs` on the virtual clock: one lane per core slot with
+//! read/cpu/write spans, so the NFS read stretching is visible next to
+//! the CPU phase in `chrome://tracing`/Perfetto.
 
 use esse_bench::{render_table, CompareRow};
-use esse_mtc::sim::cluster::{run_batch, ClusterConfig, InputStaging, JobSpec, NfsConfig};
+use esse_mtc::sim::cluster::{
+    run_batch, run_batch_traced, ClusterConfig, InputStaging, JobSpec, NfsConfig,
+};
 use esse_mtc::sim::platform::{local_opteron, pert_cpu_utilization, WorkloadSpec};
 use esse_mtc::sim::scheduler::DispatchPolicy;
+use std::path::PathBuf;
 
 fn main() {
+    let mut trace_out: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(argv.next().expect("--trace-out needs a path")))
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
     let w = WorkloadSpec::default();
     let job = JobSpec {
         cpu_s: w.pert_cpu_s + w.pemodel_cpu_s,
@@ -30,7 +49,14 @@ fn main() {
     let local = run_batch(&base, job, 600);
     let mut nfs_cfg = base.clone();
     nfs_cfg.staging = InputStaging::NfsShared;
-    let mixed = run_batch(&nfs_cfg, job, 600);
+    // The simulation is deterministic, so the traced variant reports the
+    // same makespans as run_batch while also replaying the schedule.
+    let ring = esse_obs::RingRecorder::new();
+    let mixed = if trace_out.is_some() {
+        run_batch_traced(&nfs_cfg, job, 600, &ring)
+    } else {
+        run_batch(&nfs_cfg, job, 600)
+    };
 
     let rows = vec![
         CompareRow {
@@ -70,4 +96,19 @@ fn main() {
         100.0 * local.mean_cpu_utilization,
         100.0 * mixed.mean_cpu_utilization
     );
+
+    if let Some(path) = &trace_out {
+        let trace = ring.drain();
+        // Cross-check the trace against the analytic report: cpu-phase
+        // utilization from per-slot timelines on the virtual clock.
+        let cpu_util = esse_obs::timeline::mean_utilization(&trace, Some("task"));
+        esse_obs::export::save(&trace, path).expect("write trace");
+        println!(
+            "trace: {} events across {} lanes (cpu-span utilization {:.1}%) -> {}",
+            trace.events.len(),
+            trace.lanes().len(),
+            100.0 * cpu_util,
+            path.display()
+        );
+    }
 }

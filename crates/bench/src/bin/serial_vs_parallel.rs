@@ -11,7 +11,13 @@
 //!
 //! ```text
 //! cargo run --release -p esse-bench --bin serial_vs_parallel
+//! cargo run --release -p esse-bench --bin serial_vs_parallel -- --trace-out run.json
 //! ```
+//!
+//! With `--trace-out <path>` the serial driver and a converging MTC run
+//! are recorded through `esse-obs` and exported — Chrome trace-event
+//! JSON for `.json`/`.trace` paths (open in `chrome://tracing` or
+//! Perfetto), JSONL otherwise.
 
 use esse_core::adaptive::EnsembleSchedule;
 use esse_core::driver::{EsseConfig, SerialEsse};
@@ -19,8 +25,10 @@ use esse_core::model::{ForecastModel, LinearGaussianModel};
 use esse_core::subspace::ErrorSubspace;
 use esse_mtc::metrics::summarize;
 use esse_mtc::workflow::{MtcConfig, MtcEsse};
+use esse_obs::RingRecorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// A model that burns a calibrated amount of CPU per forecast so that
@@ -52,6 +60,17 @@ impl ForecastModel for CostlyModel {
 }
 
 fn main() {
+    let mut trace_out: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(argv.next().expect("--trace-out needs a path")))
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+
     let rates = [0.98, 0.95, 0.3, 0.2, 0.15, 0.1];
     let model = CostlyModel {
         inner: LinearGaussianModel::diagonal(&rates, 0.05, 1.0),
@@ -72,7 +91,11 @@ fn main() {
         max_rank: 6,
         ..Default::default()
     };
-    let serial = SerialEsse::new(&model, serial_cfg);
+    let ring = RingRecorder::new();
+    let mut serial = SerialEsse::new(&model, serial_cfg);
+    if trace_out.is_some() {
+        serial = serial.with_recorder(&ring);
+    }
     let sf = serial.forecast_uncertainty(&mean, &prior).expect("serial");
     let serial_time = t0.elapsed();
     println!("serial loop: {} members in {serial_time:.2?}", sf.members_run);
@@ -110,7 +133,8 @@ fn main() {
         // Fig. 3: rounds of (all members) then (diff+SVD) with barriers;
         // rounds double N: N/2 then N (two rounds typical).
         let waves = |jobs: f64| (jobs / cores).ceil();
-        let serial_struct = waves(n as f64 / 2.0) * member_s + svd_s + waves(n as f64 / 2.0) * member_s + svd_s;
+        let serial_struct =
+            waves(n as f64 / 2.0) * member_s + svd_s + waves(n as f64 / 2.0) * member_s + svd_s;
         // Fig. 4: the pool never drains; diff/SVD overlap the forecasts,
         // only the final SVD is exposed.
         let parallel_struct = waves(n as f64) * member_s + svd_s;
@@ -125,4 +149,32 @@ fn main() {
         "\nthe pool also hides the diff stage entirely: it runs continuously as members\n\
          arrive instead of serializing after the forecast loop (paper Sec 4.1, bottleneck 1-3)."
     );
+
+    if let Some(path) = &trace_out {
+        // One more MTC run with a realistic tolerance so the trace shows
+        // the convergence machinery firing (the benchmark runs above use
+        // tolerance 1e-12 to force the full ensemble). Serial-driver
+        // spans recorded above share the file on the Driver lane.
+        let cfg = MtcConfig {
+            workers: 4,
+            schedule: EnsembleSchedule::new(16, 256),
+            tolerance: 0.05,
+            duration: 10.0,
+            max_rank: 6,
+            svd_stride: 8,
+            ..Default::default()
+        };
+        let engine = MtcEsse::new(&model, cfg).with_recorder(&ring);
+        let out = engine.run(&mean, &prior).expect("traced mtc");
+        let trace = ring.drain();
+        esse_obs::export::save(&trace, path).expect("write trace");
+        println!(
+            "\ntrace: {} events ({} dropped), traced MTC run converged = {} with {} members -> {}",
+            trace.events.len(),
+            trace.dropped,
+            out.converged,
+            out.members_used,
+            path.display()
+        );
+    }
 }

@@ -22,7 +22,12 @@ fn main() {
     // uncertainty (the paper's posterior-mode structure) remains visible
     // over the forecast window.
     pe.config.noise_t = 0.01;
-    let pe = esse_ocean::PeModel::new(pe.grid.clone(), pe.forcing.clone(), pe.config.clone(), pe.climatology.clone());
+    let pe = esse_ocean::PeModel::new(
+        pe.grid.clone(),
+        pe.forcing.clone(),
+        pe.config.clone(),
+        pe.climatology.clone(),
+    );
     let grid = pe.grid.clone();
     let model = PeForecastModel::new(pe);
     let mean0 = st0.pack();
@@ -58,7 +63,10 @@ fn main() {
 
     println!();
     println!("{}", render::ascii_map(&grid, &sst, "Figure 5 analogue: SST uncertainty (degC std)"));
-    println!("{}", render::ascii_map(&grid, &t30, "Figure 6 analogue: 30 m T uncertainty (degC std)"));
+    println!(
+        "{}",
+        render::ascii_map(&grid, &t30, "Figure 6 analogue: 30 m T uncertainty (degC std)")
+    );
 
     // Structure check: the coastal transition band carries more
     // uncertainty than the open ocean (the paper's figures show maxima
@@ -93,7 +101,10 @@ fn main() {
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let (mc, mo) = (mean(&coastal), mean(&offshore));
-    println!("coastal-band mean SST std {mc:.4} degC vs offshore {mo:.4} degC (ratio {:.2})", mc / mo);
+    println!(
+        "coastal-band mean SST std {mc:.4} degC vs offshore {mo:.4} degC (ratio {:.2})",
+        mc / mo
+    );
     if mc > mo {
         println!("-> uncertainty concentrates along the coastal zone, as in the paper's Figs. 5-6");
     } else {

@@ -74,7 +74,11 @@ pub fn select_sites(
 
 /// A straight glider track through the top-scoring site, oriented
 /// cross-shore (constant j), clipped to wet cells.
-pub fn suggest_track(grid: &Grid, target: &SamplingTarget, half_length: usize) -> Vec<(usize, usize)> {
+pub fn suggest_track(
+    grid: &Grid,
+    target: &SamplingTarget,
+    half_length: usize,
+) -> Vec<(usize, usize)> {
     let (ci, cj) = target.cell;
     let lo = ci.saturating_sub(half_length);
     let hi = (ci + half_length).min(grid.nx - 1);

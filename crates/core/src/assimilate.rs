@@ -82,10 +82,7 @@ pub fn assimilate(
         }
     }
     // Symmetrize against roundoff and re-diagonalize.
-    let lam_sym = lam_post
-        .add(&lam_post.transpose())
-        .map_err(EsseError::Linalg)?
-        .scaled(0.5);
+    let lam_sym = lam_post.add(&lam_post.transpose()).map_err(EsseError::Linalg)?.scaled(0.5);
     let eig = SymEigen::compute(&lam_sym).map_err(EsseError::Linalg)?;
     let post_vars: Vec<f64> = eig.values.iter().map(|&v| v.max(0.0)).collect();
     let post_modes = subspace.modes.matmul(&eig.vectors).map_err(EsseError::Linalg)?;
@@ -183,8 +180,18 @@ mod tests {
         let sub = axis_subspace(6, &[0, 1, 2], &[5.0, 3.0, 1.0]);
         let obs = ObsSet {
             obs: vec![
-                Observation { entries: vec![(0, 1.0), (1, 1.0)], value: 2.0, variance: 0.5, kind: ObsKind::Point },
-                Observation { entries: vec![(1, 1.0), (2, -1.0)], value: -1.0, variance: 0.5, kind: ObsKind::Point },
+                Observation {
+                    entries: vec![(0, 1.0), (1, 1.0)],
+                    value: 2.0,
+                    variance: 0.5,
+                    kind: ObsKind::Point,
+                },
+                Observation {
+                    entries: vec![(1, 1.0), (2, -1.0)],
+                    value: -1.0,
+                    variance: 0.5,
+                    kind: ObsKind::Point,
+                },
             ],
         };
         let an = assimilate(&[0.0; 6], &sub, &obs).unwrap();
@@ -196,11 +203,7 @@ mod tests {
         // Full-rank subspace in a small space == exact Kalman filter.
         // Compare against the dense textbook formulas.
         let n = 3;
-        let p = Matrix::from_col_major(
-            n,
-            n,
-            vec![2.0, 0.3, 0.1, 0.3, 1.5, 0.2, 0.1, 0.2, 1.0],
-        );
+        let p = Matrix::from_col_major(n, n, vec![2.0, 0.3, 0.1, 0.3, 1.5, 0.2, 0.1, 0.2, 1.0]);
         let sub = ErrorSubspace::from_covariance(&p, 1e-12, n);
         let xf = vec![1.0, -1.0, 0.5];
         let obs = ObsSet {

@@ -79,11 +79,7 @@ impl SpreadAccumulator {
         if self.member_ids.contains(&id) {
             return false;
         }
-        let diff: Vec<f64> = forecast
-            .iter()
-            .zip(self.central.iter())
-            .map(|(x, c)| x - c)
-            .collect();
+        let diff: Vec<f64> = forecast.iter().zip(self.central.iter()).map(|(x, c)| x - c).collect();
         self.diffs.push_col(&diff).expect("consistent dimensions");
         self.member_ids.push(id);
         self.version += 1;

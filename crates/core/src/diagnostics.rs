@@ -77,10 +77,7 @@ pub fn observation_impact(subspace: &ErrorSubspace, obs: &ObsSet) -> Result<ObsI
     let dfs: f64 = influence.iter().sum();
     // Posterior variance: tr(Λ) − tr(Λ H_Eᵀ S⁻¹ H_E Λ).
     let sinv_he_lam = chol.solve_matrix(&he_lam).map_err(EsseError::Linalg)?;
-    let reduction = he_lam
-        .transpose()
-        .matmul(&sinv_he_lam)
-        .map_err(EsseError::Linalg)?;
+    let reduction = he_lam.transpose().matmul(&sinv_he_lam).map_err(EsseError::Linalg)?;
     let posterior_variance = prior_variance - reduction.trace();
     Ok(ObsImpact { dfs, influence, prior_variance, posterior_variance })
 }
@@ -130,9 +127,7 @@ mod tests {
         let sub = axis_subspace(6, &[0, 1, 2], &[5.0, 3.0, 1.0]);
         // 5 observations but only rank 3: DFS ≤ 3.
         let obs = ObsSet {
-            obs: (0..5)
-                .map(|i| Observation::point(i % 6, 0.0, 0.01, ObsKind::Point))
-                .collect(),
+            obs: (0..5).map(|i| Observation::point(i % 6, 0.0, 0.01, ObsKind::Point)).collect(),
         };
         let imp = observation_impact(&sub, &obs).unwrap();
         assert!(imp.dfs <= 3.0 + 1e-9, "dfs {}", imp.dfs);

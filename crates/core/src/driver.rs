@@ -21,6 +21,7 @@ use crate::obs::ObsSet;
 use crate::perturb::{PerturbConfig, PerturbationGenerator};
 use crate::subspace::ErrorSubspace;
 use crate::EsseError;
+use esse_obs::{Lane, Recorder, RecorderExt, NULL};
 
 /// Configuration of one ESSE forecast-analysis cycle.
 #[derive(Debug, Clone)]
@@ -82,12 +83,23 @@ pub struct SerialEsse<'m, M: ForecastModel> {
     pub model: &'m M,
     /// Cycle configuration.
     pub config: EsseConfig,
+    /// Observability sink (no-op unless [`SerialEsse::with_recorder`]).
+    recorder: &'m dyn Recorder,
 }
 
 impl<'m, M: ForecastModel> SerialEsse<'m, M> {
     /// New driver.
     pub fn new(model: &'m M, config: EsseConfig) -> Self {
-        SerialEsse { model, config }
+        SerialEsse { model, config, recorder: &NULL }
+    }
+
+    /// Attach a trace recorder: the driver then emits `phase` spans for
+    /// the Fig. 3 serial loop (central forecast, per-stage ensemble
+    /// growth, SVD rounds) on [`Lane::Driver`], directly comparable with
+    /// the MTC engine's per-worker trace for Fig 3-vs-4 studies.
+    pub fn with_recorder(mut self, recorder: &'m dyn Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Run the uncertainty forecast: central + ensemble, growing N until
@@ -98,11 +110,13 @@ impl<'m, M: ForecastModel> SerialEsse<'m, M> {
         prior: &ErrorSubspace,
     ) -> Result<UncertaintyForecast, EsseError> {
         let cfg = &self.config;
+        let rec = self.recorder;
         let gen = PerturbationGenerator::new(prior, cfg.perturb.clone());
         // Central (unperturbed, deterministic) forecast.
-        let central = self
-            .model
-            .forecast(mean0, cfg.start_time, cfg.duration, None)?;
+        let central = {
+            let _g = rec.span(Lane::Driver, "phase", "central_forecast", Vec::new());
+            self.model.forecast(mean0, cfg.start_time, cfg.duration, None)?
+        };
         let mut acc = SpreadAccumulator::new(central.clone());
         let mut deadline = cfg.deadline.map(Deadline::new);
         let mut conv = ConvergenceTest::new(cfg.tolerance);
@@ -112,27 +126,55 @@ impl<'m, M: ForecastModel> SerialEsse<'m, M> {
         let mut converged = false;
         let stages = cfg.schedule.stages();
         'stages: for &target in &stages {
+            let _stage = rec.span(Lane::Driver, "phase", "stage", vec![("target", target.into())]);
             // Fig. 3: run members `members_run..target` serially.
             let mut j = members_run + members_failed;
             while acc.count() < target {
                 if let Some(d) = &deadline {
                     if d.expired() {
+                        if rec.enabled() {
+                            rec.instant_at(
+                                rec.now_ns(),
+                                Lane::Driver,
+                                "deadline",
+                                "deadline_expired",
+                                vec![("members_run", members_run.into())],
+                            );
+                        }
                         break 'stages;
                     }
                 }
                 let x0 = gen.perturb(mean0, j);
                 let seed = gen.forecast_seed(j);
-                match self
-                    .model
-                    .forecast(&x0, cfg.start_time, cfg.duration, Some(seed))
-                {
+                let res = {
+                    let _g = rec.span(Lane::Driver, "task", "member", vec![("member", j.into())]);
+                    self.model.forecast(&x0, cfg.start_time, cfg.duration, Some(seed))
+                };
+                match res {
                     Ok(xf) => {
                         acc.add_member(j, &xf);
                         members_run += 1;
+                        if rec.enabled() {
+                            rec.counter_at(
+                                rec.now_ns(),
+                                Lane::Driver,
+                                "members_run",
+                                members_run as f64,
+                            );
+                        }
                     }
                     Err(_) => {
                         // §4 point 3: failures are tolerated, not fatal.
                         members_failed += 1;
+                        if rec.enabled() {
+                            rec.instant_at(
+                                rec.now_ns(),
+                                Lane::Driver,
+                                "task",
+                                "member_failed",
+                                vec![("member", j.into())],
+                            );
+                        }
                     }
                 }
                 if let Some(d) = deadline.as_mut() {
@@ -145,14 +187,37 @@ impl<'m, M: ForecastModel> SerialEsse<'m, M> {
                 }
             }
             // diff + SVD + convergence test.
-            let snap = acc.snapshot();
-            let Some(svd) = snap.svd() else {
+            let svd = {
+                let _g =
+                    rec.span(Lane::Driver, "svd", "svd", vec![("members", acc.count().into())]);
+                let snap = acc.snapshot();
+                snap.svd()
+            };
+            let Some(svd) = svd else {
                 continue;
             };
             let estimate = ErrorSubspace::from_spread_svd(&svd, cfg.mode_rel_tol, cfg.max_rank);
             if let Some(prev) = &previous {
                 let rho = similarity(prev, &estimate);
+                if rec.enabled() {
+                    rec.instant_at(
+                        rec.now_ns(),
+                        Lane::Driver,
+                        "convergence",
+                        "convergence_check",
+                        vec![("rho", rho.into()), ("members", acc.count().into())],
+                    );
+                }
                 if conv.check(rho) {
+                    if rec.enabled() {
+                        rec.instant_at(
+                            rec.now_ns(),
+                            Lane::Driver,
+                            "convergence",
+                            "converged",
+                            vec![("rho", rho.into()), ("members", acc.count().into())],
+                        );
+                    }
                     previous = Some(estimate);
                     converged = true;
                     break;

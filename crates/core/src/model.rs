@@ -87,9 +87,7 @@ impl ForecastModel for PeForecastModel {
         duration: f64,
         seed: Option<u64>,
     ) -> Result<Vec<f64>, ForecastError> {
-        self.model
-            .forecast(x0, start_time, duration, seed)
-            .map_err(ForecastError::Ocean)
+        self.model.forecast(x0, start_time, duration, seed).map_err(ForecastError::Ocean)
     }
 }
 
@@ -117,10 +115,7 @@ impl NestedForecastModel {
         );
         let (nm, _outer0, inner0) = NestedModel::new(outer, spec);
         let inner_grid = nm.inner.grid.clone();
-        (
-            NestedForecastModel { outer_template: outer_clone, spec, inner_grid },
-            inner0.pack(),
-        )
+        (NestedForecastModel { outer_template: outer_clone, spec, inner_grid }, inner0.pack())
     }
 
     /// The inner grid (for observation operators and maps).

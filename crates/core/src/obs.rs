@@ -167,8 +167,8 @@ impl ObsNetwork {
         variance: f64,
     ) -> ObsSet {
         let mut set = ObsSet::new();
-        let steps = ((i1 as isize - i0 as isize).abs().max((j1 as isize - j0 as isize).abs())).max(1)
-            as usize;
+        let steps = ((i1 as isize - i0 as isize).abs().max((j1 as isize - j0 as isize).abs()))
+            .max(1) as usize;
         for q in 0..=steps {
             let f = q as f64 / steps as f64;
             let i = (i0 as f64 + f * (i1 as f64 - i0 as f64)).round() as usize;
@@ -217,7 +217,12 @@ mod tests {
     #[test]
     fn h_times_modes_matches_apply() {
         let mut set = ObsSet::new();
-        set.obs.push(Observation { entries: vec![(0, 1.0), (2, 0.5)], value: 0.0, variance: 1.0, kind: ObsKind::Point });
+        set.obs.push(Observation {
+            entries: vec![(0, 1.0), (2, 0.5)],
+            value: 0.0,
+            variance: 1.0,
+            kind: ObsKind::Point,
+        });
         let modes = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
         let he = set.h_times_modes(&modes);
         // H·col0: 1*0 + 0.5*2 = 1; H·col1: 1*1 + 0.5*3 = 2.5

@@ -67,9 +67,8 @@ impl<'a> PerturbationGenerator<'a> {
         let mut rng = self.member_rng(member);
         let k = self.subspace.rank();
         // Structured part: E Λ^{1/2} z.
-        let z: Vec<f64> = (0..k)
-            .map(|q| randn(&mut rng) * self.subspace.variances[q].max(0.0).sqrt())
-            .collect();
+        let z: Vec<f64> =
+            (0..k).map(|q| randn(&mut rng) * self.subspace.variances[q].max(0.0).sqrt()).collect();
         let mut x = self.subspace.modes.matvec(&z).expect("dimension checked");
         // Truncated-error white noise.
         if self.config.white_noise > 0.0 {
@@ -171,11 +170,8 @@ mod tests {
     #[test]
     fn frozen_indices_stay_at_mean() {
         let s = subspace();
-        let cfg = PerturbConfig {
-            white_noise: 1.0,
-            frozen_indices: vec![0, 3],
-            ..Default::default()
-        };
+        let cfg =
+            PerturbConfig { white_noise: 1.0, frozen_indices: vec![0, 3], ..Default::default() };
         let g = PerturbationGenerator::new(&s, cfg);
         let mean = vec![5.0; 6];
         let x = g.perturb(&mean, 3);

@@ -162,10 +162,7 @@ mod tests {
             }
         }
         let mean_std = sum / n;
-        assert!(
-            (0.2..0.9).contains(&mean_std),
-            "surface std {mean_std} should be near 0.5"
-        );
+        assert!((0.2..0.9).contains(&mean_std), "surface std {mean_std} should be near 0.5");
     }
 
     #[test]

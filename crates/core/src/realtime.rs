@@ -139,7 +139,8 @@ mod tests {
 
     #[test]
     fn simulation_plan_spans() {
-        let p = SimulationPlan { index: 0, start: 0.0, nowcast: 2.0 * 86400.0, horizon: 4.0 * 86400.0 };
+        let p =
+            SimulationPlan { index: 0, start: 0.0, nowcast: 2.0 * 86400.0, horizon: 4.0 * 86400.0 };
         assert_eq!(p.assimilation_span(), 2.0 * 86400.0);
         assert_eq!(p.forecast_span(), 2.0 * 86400.0);
     }

@@ -107,12 +107,7 @@ mod tests {
     fn matched_snapshots() -> (SpreadSnapshot, SpreadSnapshot) {
         let mut acc0 = SpreadAccumulator::new(vec![0.0, 0.0]);
         let mut acc1 = SpreadAccumulator::new(vec![0.0, 0.0]);
-        let members = [
-            (0usize, [2.0, 0.0]),
-            (1, [-2.0, 0.0]),
-            (2, [0.0, 1.0]),
-            (3, [0.0, -1.0]),
-        ];
+        let members = [(0usize, [2.0, 0.0]), (1, [-2.0, 0.0]), (2, [0.0, 1.0]), (3, [0.0, -1.0])];
         for (id, m0) in members {
             acc0.add_member(id, &m0);
             acc1.add_member(id, &[0.5 * m0[0], 0.5 * m0[1]]);

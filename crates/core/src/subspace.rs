@@ -96,21 +96,14 @@ impl ErrorSubspace {
     /// Apply the covariance to a vector: `P v = E Λ (Eᵀ v)` in `O(nk)`.
     pub fn covariance_times(&self, v: &[f64]) -> Vec<f64> {
         let etv = self.modes.tr_matvec(v).expect("dimension checked");
-        let scaled: Vec<f64> = etv
-            .iter()
-            .zip(self.variances.iter())
-            .map(|(c, l)| c * l)
-            .collect();
+        let scaled: Vec<f64> = etv.iter().zip(self.variances.iter()).map(|(c, l)| c * l).collect();
         self.modes.matvec(&scaled).expect("dimension checked")
     }
 
     /// Truncate to the leading `k` modes.
     pub fn truncate(&self, k: usize) -> ErrorSubspace {
         let k = k.min(self.rank()).max(1);
-        ErrorSubspace {
-            modes: self.modes.take_cols(k),
-            variances: self.variances[..k].to_vec(),
-        }
+        ErrorSubspace { modes: self.modes.take_cols(k), variances: self.variances[..k].to_vec() }
     }
 
     /// Projection coefficients of `v` on the modes (`Eᵀ v`).

@@ -133,10 +133,7 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_col_major(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
-        assert!(matches!(
-            Cholesky::compute(&a),
-            Err(LinalgError::NotPositiveDefinite)
-        ));
+        assert!(matches!(Cholesky::compute(&a), Err(LinalgError::NotPositiveDefinite)));
     }
 
     #[test]

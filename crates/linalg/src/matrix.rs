@@ -168,11 +168,7 @@ impl Matrix {
     /// Matrix with the first `k` columns of `self`.
     pub fn take_cols(&self, k: usize) -> Matrix {
         assert!(k <= self.cols);
-        Matrix {
-            rows: self.rows,
-            cols: k,
-            data: self.data[..k * self.rows].to_vec(),
-        }
+        Matrix { rows: self.rows, cols: k, data: self.data[..k * self.rows].to_vec() }
     }
 
     /// Matrix made of the listed columns, in order.
@@ -274,12 +270,7 @@ impl Matrix {
                 found: format!("{:?}", other.shape()),
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
         Ok(Matrix { rows: self.rows, cols: self.cols, data })
     }
 

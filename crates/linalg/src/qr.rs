@@ -113,7 +113,9 @@ mod tests {
     use super::*;
 
     fn fill(m: usize, n: usize) -> Matrix {
-        Matrix::from_fn(m, n, |i, j| ((i * n + j) as f64 * 0.7).sin() + if i == j { 2.0 } else { 0.0 })
+        Matrix::from_fn(m, n, |i, j| {
+            ((i * n + j) as f64 * 0.7).sin() + if i == j { 2.0 } else { 0.0 }
+        })
     }
 
     fn assert_orthonormal(q: &Matrix, tol: f64) {
@@ -121,11 +123,7 @@ mod tests {
         for i in 0..q.cols() {
             for j in 0..q.cols() {
                 let want = if i == j { 1.0 } else { 0.0 };
-                assert!(
-                    (g.get(i, j) - want).abs() < tol,
-                    "QtQ[{i},{j}] = {}",
-                    g.get(i, j)
-                );
+                assert!((g.get(i, j) - want).abs() < tol, "QtQ[{i},{j}] = {}", g.get(i, j));
             }
         }
     }

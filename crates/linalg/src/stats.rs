@@ -140,12 +140,7 @@ mod tests {
 
     #[test]
     fn sample_covariance_diag_is_variance() {
-        let a = Matrix::from_cols(&[
-            vec![1.0, 10.0],
-            vec![2.0, 20.0],
-            vec![3.0, 30.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_cols(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]).unwrap();
         let s = sample_covariance(&a);
         let v = row_variance(&a);
         assert!((s.get(0, 0) - v[0]).abs() < 1e-12);

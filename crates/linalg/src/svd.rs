@@ -178,11 +178,7 @@ impl Svd {
     /// Truncate to the leading `k` modes.
     pub fn truncate(&self, k: usize) -> Svd {
         let k = k.min(self.s.len());
-        Svd {
-            u: self.u.take_cols(k),
-            s: self.s[..k].to_vec(),
-            v: self.v.take_cols(k),
-        }
+        Svd { u: self.u.take_cols(k), s: self.s[..k].to_vec(), v: self.v.take_cols(k) }
     }
 
     /// Energy (Σσ²) captured by the leading `k` modes, as a fraction of total.
@@ -245,7 +241,10 @@ mod tests {
         );
         // Reconstruction
         let recon = svd.reconstruct();
-        assert!(recon.sub(a).unwrap().max_abs() < tol * a.fro_norm().max(1.0), "bad reconstruction");
+        assert!(
+            recon.sub(a).unwrap().max_abs() < tol * a.fro_norm().max(1.0),
+            "bad reconstruction"
+        );
         // Descending σ ≥ 0
         for k in 0..svd.s.len() {
             assert!(svd.s[k] >= 0.0);

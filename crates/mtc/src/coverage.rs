@@ -92,11 +92,8 @@ pub fn analyze(completed_ids: &[usize], total: usize) -> CoverageReport {
             }
         }
     }
-    let parity_imbalance = if missing > 0 {
-        (even as f64 - odd as f64).abs() / missing as f64
-    } else {
-        0.0
-    };
+    let parity_imbalance =
+        if missing > 0 { (even as f64 - odd as f64).abs() / missing as f64 } else { 0.0 };
     CoverageReport {
         total,
         completed,

@@ -1,21 +1,27 @@
 //! Workflow execution metrics: makespan, utilization, throughput — the
 //! quantities §5.2.1 of the paper reports.
 
-use crate::task::{TaskRecord, TaskState};
+use crate::task::{TaskOutcome, TaskRecord, TaskState};
 use std::time::Duration;
 
 /// Aggregate execution metrics from a set of task records.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionMetrics {
-    /// Tasks that ran to completion.
+    /// Tasks that ran to completion and produced a usable result.
     pub completed: usize,
+    /// Tasks that ran but failed. Their wall-clock still occupied a
+    /// worker, so their runtimes count towards `total_busy`, `span` and
+    /// `utilization` (the pool was busy even though the result was
+    /// lost — paper §4 point 3).
+    pub failed: usize,
     /// Tasks cancelled before running.
     pub cancelled: usize,
-    /// Sum of task runtimes (CPU-seconds consumed by the pool).
+    /// Sum of task runtimes (CPU-seconds consumed by the pool),
+    /// including failed tasks.
     pub total_busy: Duration,
-    /// Earliest start to latest finish.
+    /// Earliest start to latest finish, over every task that ran.
     pub span: Duration,
-    /// Mean task runtime.
+    /// Mean task runtime over every task that ran (incl. failed).
     pub mean_runtime: Duration,
     /// Pool utilization over the span for `workers` workers (0..1).
     pub utilization: f64,
@@ -24,7 +30,9 @@ pub struct ExecutionMetrics {
 /// Compute metrics over `records` assuming `workers` parallel workers.
 pub fn summarize(records: &[TaskRecord], workers: usize) -> ExecutionMetrics {
     let mut completed = 0usize;
+    let mut failed = 0usize;
     let mut cancelled = 0usize;
+    let mut ran = 0u32;
     let mut total_busy = Duration::ZERO;
     let mut first_start: Option<Duration> = None;
     let mut last_finish: Option<Duration> = None;
@@ -32,9 +40,14 @@ pub fn summarize(records: &[TaskRecord], workers: usize) -> ExecutionMetrics {
         match r.state {
             TaskState::Cancelled => cancelled += 1,
             TaskState::Done => {
-                completed += 1;
+                if matches!(r.outcome, Some(TaskOutcome::Failed(_))) {
+                    failed += 1;
+                } else {
+                    completed += 1;
+                }
                 if let Some(rt) = r.runtime() {
                     total_busy += rt;
+                    ran += 1;
                 }
                 if let Some(s) = r.started_at {
                     first_start = Some(first_start.map_or(s, |f| f.min(s)));
@@ -50,18 +63,11 @@ pub fn summarize(records: &[TaskRecord], workers: usize) -> ExecutionMetrics {
         (Some(s), Some(f)) if f > s => f - s,
         _ => Duration::ZERO,
     };
-    let mean_runtime = if completed > 0 {
-        total_busy / completed as u32
-    } else {
-        Duration::ZERO
-    };
+    let mean_runtime = if ran > 0 { total_busy / ran } else { Duration::ZERO };
     let capacity = span.as_secs_f64() * workers.max(1) as f64;
-    let utilization = if capacity > 0.0 {
-        (total_busy.as_secs_f64() / capacity).min(1.0)
-    } else {
-        0.0
-    };
-    ExecutionMetrics { completed, cancelled, total_busy, span, mean_runtime, utilization }
+    let utilization =
+        if capacity > 0.0 { (total_busy.as_secs_f64() / capacity).min(1.0) } else { 0.0 };
+    ExecutionMetrics { completed, failed, cancelled, total_busy, span, mean_runtime, utilization }
 }
 
 #[cfg(test)]
@@ -118,7 +124,26 @@ mod tests {
     fn empty_records() {
         let m = summarize(&[], 4);
         assert_eq!(m.completed, 0);
+        assert_eq!(m.failed, 0);
         assert_eq!(m.span, Duration::ZERO);
         assert_eq!(m.utilization, 0.0);
+    }
+
+    #[test]
+    fn failed_tasks_occupy_the_pool_but_are_not_completed() {
+        // One 1 s success and one 1 s failure on a single worker: the
+        // pool was busy the whole 2 s even though half the results were
+        // lost, so utilization stays 1.0 and the failure is reported
+        // separately from `completed`.
+        let mut f = record(1, 1.0, 2.0);
+        f.outcome = Some(TaskOutcome::Failed("node crash".into()));
+        let records = vec![record(0, 0.0, 1.0), f];
+        let m = summarize(&records, 1);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.total_busy, Duration::from_secs(2));
+        assert_eq!(m.span, Duration::from_secs(2));
+        assert!((m.utilization - 1.0).abs() < 1e-9);
+        assert_eq!(m.mean_runtime, Duration::from_secs(1));
     }
 }

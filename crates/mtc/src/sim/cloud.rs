@@ -120,7 +120,8 @@ mod tests {
     #[test]
     fn paper_example_costs_33_95() {
         // 1.5 GB in, 960 members × 11 MB out, 2 h × 20 instances × $0.8.
-        let c = campaign_cost(&Ec2Pricing::default(), 1.5, 960, 11.0, 20, 2.0 * 3600.0, 0.80, false);
+        let c =
+            campaign_cost(&Ec2Pricing::default(), 1.5, 960, 11.0, 20, 2.0 * 3600.0, 0.80, false);
         assert!((c.transfer_in - 0.15).abs() < 1e-9);
         assert!((c.transfer_out - 10.56 * 0.17).abs() < 1e-9);
         assert!((c.compute - 32.0).abs() < 1e-9);
@@ -151,8 +152,8 @@ mod tests {
     #[test]
     fn instances_needed_scales() {
         let inst = m1_xlarge(); // 4 cores
-        // 960 members of 1860 s within 2 h: 3 waves per core → 12 per
-        // instance → 80 instances.
+                                // 960 members of 1860 s within 2 h: 3 waves per core → 12 per
+                                // instance → 80 instances.
         let n = instances_needed(&inst, 960, 1860.0, 7200.0);
         assert_eq!(n, 80);
         // Within 1 h: only 1 wave → 240 instances.

@@ -9,6 +9,7 @@ use crate::sim::event::EventQueue;
 use crate::sim::platform::Platform;
 use crate::sim::scheduler::DispatchPolicy;
 use crate::sim::storage::SharedBandwidth;
+use esse_obs::{Lane, Recorder, RecorderExt};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -150,12 +151,12 @@ pub fn run_batch(cfg: &ClusterConfig, spec: JobSpec, count: usize) -> SimReport 
     }
 
     let start_job = |id: usize,
-                         t: f64,
-                         queue: &mut EventQueue<Ev>,
-                         nfs: &mut SharedBandwidth,
-                         flow_of: &mut HashMap<u64, (usize, Phase)>,
-                         next_flow: &mut u64,
-                         jobs: &mut [JobTimes]| {
+                     t: f64,
+                     queue: &mut EventQueue<Ev>,
+                     nfs: &mut SharedBandwidth,
+                     flow_of: &mut HashMap<u64, (usize, Phase)>,
+                     next_flow: &mut u64,
+                     jobs: &mut [JobTimes]| {
         jobs[id].start = t;
         let meta = spec.small_ops as f64 * small_latency;
         match cfg.staging {
@@ -226,7 +227,15 @@ pub fn run_batch(cfg: &ClusterConfig, spec: JobSpec, count: usize) -> SimReport 
                 match ev {
                     Ev::Dispatch => {
                         if let Some(id) = pending.pop_front() {
-                            start_job(id, t, &mut queue, &mut nfs, &mut flow_of, &mut next_flow, &mut jobs);
+                            start_job(
+                                id,
+                                t,
+                                &mut queue,
+                                &mut nfs,
+                                &mut flow_of,
+                                &mut next_flow,
+                                &mut jobs,
+                            );
                         }
                         // No pending work: the slot stays idle (batch done).
                     }
@@ -261,6 +270,81 @@ pub fn run_batch(cfg: &ClusterConfig, spec: JobSpec, count: usize) -> SimReport 
         0.0
     };
     SimReport { makespan, jobs, mean_cpu_utilization }
+}
+
+/// Virtual simulation seconds as trace nanoseconds — the same [`Event`]
+/// schema the real-thread workflow uses, just on the virtual clock.
+///
+/// [`Event`]: esse_obs::Event
+fn vns(t: f64) -> u64 {
+    (t.max(0.0) * 1e9).round() as u64
+}
+
+/// Like [`run_batch`], but additionally replays the simulated schedule
+/// into `recorder`: per core-slot read/cpu/write spans on
+/// [`Lane::Slot`] lanes plus a dispatch instant per job, all on the
+/// virtual clock (1 simulated second = 1e9 trace ns). The simulation
+/// itself is byte-for-byte the one [`run_batch`] runs; slot occupancy
+/// is reconstructed from the job timestamps (earliest-freed slot wins,
+/// matching the simulator's slot-pulls-work dispatch).
+pub fn run_batch_traced(
+    cfg: &ClusterConfig,
+    spec: JobSpec,
+    count: usize,
+    recorder: &dyn Recorder,
+) -> SimReport {
+    let report = run_batch(cfg, spec, count);
+    if !recorder.enabled() {
+        return report;
+    }
+    // Assign each job to a core slot: jobs in dispatch order, each
+    // taking the slot that has been idle the longest (or a fresh slot
+    // while fewer than `cores` are in use).
+    let mut order: Vec<usize> = (0..report.jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        report.jobs[a].start.partial_cmp(&report.jobs[b].start).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut slot_free_at: Vec<f64> = Vec::new();
+    for &i in &order {
+        let j = &report.jobs[i];
+        let mut chosen: Option<usize> = None;
+        for (s, free_at) in slot_free_at.iter().enumerate() {
+            let earlier = match chosen {
+                None => true,
+                Some(c) => *free_at < slot_free_at[c],
+            };
+            if *free_at <= j.start + 1e-9 && earlier {
+                chosen = Some(s);
+            }
+        }
+        let slot = match chosen {
+            Some(s) => s,
+            None => {
+                slot_free_at.push(0.0);
+                slot_free_at.len() - 1
+            }
+        };
+        slot_free_at[slot] = j.end;
+        let lane = Lane::Slot(slot as u32);
+        recorder.instant_at(vns(j.start), lane, "sim", "dispatch", vec![("job", j.id.into())]);
+        recorder.begin_at(vns(j.start), lane, "io", "read", vec![("job", j.id.into())]);
+        recorder.end_at(vns(j.cpu_start), lane, "io", "read");
+        recorder.begin_at(vns(j.cpu_start), lane, "task", "cpu", vec![("job", j.id.into())]);
+        recorder.end_at(vns(j.cpu_end), lane, "task", "cpu");
+        if j.end > j.cpu_end {
+            recorder.begin_at(vns(j.cpu_end), lane, "io", "write", vec![("job", j.id.into())]);
+            recorder.end_at(vns(j.end), lane, "io", "write");
+        }
+        recorder.observe("sim_job", vns(j.end).saturating_sub(vns(j.start)));
+    }
+    recorder.instant_at(
+        vns(report.makespan),
+        Lane::Coordinator,
+        "sim",
+        "batch_done",
+        vec![("jobs", count.into()), ("slots", slot_free_at.len().into())],
+    );
+    report
 }
 
 #[cfg(test)]
@@ -313,12 +397,10 @@ mod tests {
     #[test]
     fn condor_is_10_to_20_percent_slower() {
         let spec = esse_member_job();
-        let sge = run_batch(&cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge()), spec, 600);
-        let condor = run_batch(
-            &cluster(InputStaging::PrestagedLocal, DispatchPolicy::condor()),
-            spec,
-            600,
-        );
+        let sge =
+            run_batch(&cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge()), spec, 600);
+        let condor =
+            run_batch(&cluster(InputStaging::PrestagedLocal, DispatchPolicy::condor()), spec, 600);
         let ratio = condor.makespan / sge.makespan;
         assert!(
             (1.05..1.30).contains(&ratio),
@@ -346,14 +428,11 @@ mod tests {
         // The §5.2.1 signature: prestaged input keeps CPUs busy; NFS
         // contention starves them during the read phase.
         let spec = JobSpec { cpu_s: 5.89, read_mb: 140.0, small_ops: 600, write_mb: 0.0 };
-        let local = run_batch(&cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge()), spec, 210);
+        let local =
+            run_batch(&cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge()), spec, 210);
         let nfs = run_batch(&cluster(InputStaging::NfsShared, DispatchPolicy::sge()), spec, 210);
         assert!(local.mean_cpu_utilization > 0.9, "local {}", local.mean_cpu_utilization);
-        assert!(
-            nfs.mean_cpu_utilization < 0.3,
-            "nfs {} should starve",
-            nfs.mean_cpu_utilization
-        );
+        assert!(nfs.mean_cpu_utilization < 0.3, "nfs {} should starve", nfs.mean_cpu_utilization);
     }
 
     #[test]
@@ -364,5 +443,34 @@ mod tests {
         let rep = run_batch(&cfg, spec, 4);
         // Two waves of 100 s + dispatch overheads.
         assert!((200.0..205.0).contains(&rep.makespan), "makespan {}", rep.makespan);
+    }
+
+    #[test]
+    fn traced_batch_replays_the_exact_schedule() {
+        let spec = JobSpec { cpu_s: 100.0, read_mb: 10.0, small_ops: 5, write_mb: 2.0 };
+        let mut cfg = cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge());
+        cfg.cores = 2;
+        let rec = esse_obs::RingRecorder::new();
+        let rep = run_batch_traced(&cfg, spec, 4, &rec);
+        // Tracing must not perturb the simulation.
+        let plain = run_batch(&cfg, spec, 4);
+        assert_eq!(rep.makespan, plain.makespan);
+
+        let trace = rec.drain();
+        trace.check_well_formed().expect("well-formed sim trace");
+        let spans = trace.spans();
+        let cpu: Vec<_> = spans.iter().filter(|s| s.name == "cpu").collect();
+        assert_eq!(cpu.len(), 4, "one cpu span per job");
+        assert_eq!(spans.iter().filter(|s| s.name == "read").count(), 4);
+        assert_eq!(spans.iter().filter(|s| s.name == "write").count(), 4);
+        // Virtual clock: each cpu span is exactly 100 simulated seconds.
+        for s in &cpu {
+            assert_eq!(s.end_ns - s.start_ns, 100 * 1_000_000_000);
+        }
+        // Slot reconstruction never uses more lanes than cores.
+        let slots: std::collections::HashSet<_> = cpu.iter().map(|s| s.lane).collect();
+        assert!(slots.len() <= 2, "slots {:?}", slots);
+        assert_eq!(trace.instants("dispatch").len(), 4);
+        assert_eq!(trace.instants("batch_done").len(), 1);
     }
 }

@@ -143,10 +143,7 @@ mod tests {
     #[test]
     fn m1small_is_slowest_c1_fastest_for_pemodel() {
         let w = WorkloadSpec::default();
-        let times: Vec<f64> = catalog()
-            .iter()
-            .map(|i| pemodel_time(&w, &i.platform))
-            .collect();
+        let times: Vec<f64> = catalog().iter().map(|i| pemodel_time(&w, &i.platform)).collect();
         // m1.small slowest.
         assert!(times[0] > times[1] && times[0] > times[3]);
         // Compute-optimized c1 beats m1 for the CPU-bound pemodel.

@@ -26,11 +26,7 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap; tie-break on sequence for FIFO.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then(other.seq.cmp(&self.seq))
+        other.time.partial_cmp(&self.time).unwrap_or(Ordering::Equal).then(other.seq.cmp(&self.seq))
     }
 }
 

@@ -89,8 +89,7 @@ pub fn plan_balanced(w: &WorkloadSpec, pools: &[ResourcePool], members: usize) -
     };
     // Binary search the smallest T with enough capacity.
     let mut lo = 0.0;
-    let mut hi = mt.iter().cloned().fold(0.0, f64::max)
-        * (members as f64)
+    let mut hi = mt.iter().cloned().fold(0.0, f64::max) * (members as f64)
         + pools.iter().map(|p| p.availability_delay_s).fold(0.0, f64::max)
         + 1.0;
     for _ in 0..64 {
@@ -111,20 +110,15 @@ pub fn plan_balanced(w: &WorkloadSpec, pools: &[ResourcePool], members: usize) -
         let cap = ((usable / mt[idx]).floor() as usize) * p.slots;
         let count = cap.min(remaining);
         let waves = count.div_ceil(p.slots.max(1));
-        let completion = if count == 0 {
-            0.0
-        } else {
-            p.availability_delay_s + waves as f64 * mt[idx]
-        };
+        let completion =
+            if count == 0 { 0.0 } else { p.availability_delay_s + waves as f64 * mt[idx] };
         blocks.push(BlockAssignment { pool: idx, first, count, completion_s: completion });
         first += count;
         remaining -= count;
     }
     // Round-off leftovers go to the fastest pool.
     if remaining > 0 {
-        let best = (0..pools.len())
-            .min_by(|&a, &b| mt[a].partial_cmp(&mt[b]).unwrap())
-            .unwrap();
+        let best = (0..pools.len()).min_by(|&a, &b| mt[a].partial_cmp(&mt[b]).unwrap()).unwrap();
         blocks[best].count += remaining;
         let p = &pools[best];
         let waves = blocks[best].count.div_ceil(p.slots.max(1));
@@ -136,11 +130,8 @@ pub fn plan_balanced(w: &WorkloadSpec, pools: &[ResourcePool], members: usize) -
             f += b.count;
         }
     }
-    let makespan = blocks
-        .iter()
-        .filter(|b| b.count > 0)
-        .map(|b| b.completion_s)
-        .fold(0.0, f64::max);
+    let makespan =
+        blocks.iter().filter(|b| b.count > 0).map(|b| b.completion_s).fold(0.0, f64::max);
     MixedPlan { blocks, makespan_s: makespan }
 }
 
@@ -148,10 +139,8 @@ pub fn plan_balanced(w: &WorkloadSpec, pools: &[ResourcePool], members: usize) -
 /// (slots / member_time), in contiguous blocks per §5.3.1.
 pub fn plan(w: &WorkloadSpec, pools: &[ResourcePool], members: usize) -> MixedPlan {
     assert!(!pools.is_empty(), "need at least one pool");
-    let rates: Vec<f64> = pools
-        .iter()
-        .map(|p| p.slots as f64 / member_time(w, p).max(1e-9))
-        .collect();
+    let rates: Vec<f64> =
+        pools.iter().map(|p| p.slots as f64 / member_time(w, p).max(1e-9)).collect();
     let total_rate: f64 = rates.iter().sum();
     let mut blocks = Vec::with_capacity(pools.len());
     let mut first = 0usize;
@@ -167,11 +156,8 @@ pub fn plan(w: &WorkloadSpec, pools: &[ResourcePool], members: usize) -> MixedPl
         blocks.push(BlockAssignment { pool: idx, first, count, completion_s: completion });
         first += count;
     }
-    let makespan = blocks
-        .iter()
-        .filter(|b| b.count > 0)
-        .map(|b| b.completion_s)
-        .fold(0.0, f64::max);
+    let makespan =
+        blocks.iter().filter(|b| b.count > 0).map(|b| b.completion_s).fold(0.0, f64::max);
     MixedPlan { blocks, makespan_s: makespan }
 }
 
@@ -194,7 +180,12 @@ impl MixedPlan {
     /// Count of completion-order inversions relative to member index
     /// (sampled): how scrambled is the arrival order? The ESSE differ is
     /// order-independent (§4.1) precisely because this is large.
-    pub fn order_inversions(&self, pools: &[ResourcePool], w: &WorkloadSpec, stride: usize) -> usize {
+    pub fn order_inversions(
+        &self,
+        pools: &[ResourcePool],
+        w: &WorkloadSpec,
+        stride: usize,
+    ) -> usize {
         let total: usize = self.blocks.iter().map(|b| b.count).sum();
         let samples: Vec<(usize, f64)> = (0..total)
             .step_by(stride.max(1))
@@ -302,11 +293,7 @@ mod tests {
     fn mixed_run_beats_home_alone_for_big_ensembles() {
         let w = WorkloadSpec::default();
         let home_only = plan(&w, &[home(210)], 960);
-        let mixed = plan(
-            &w,
-            &[home(210), teragrid_purdue(128, 900.0), ec2_c1xlarge(20)],
-            960,
-        );
+        let mixed = plan(&w, &[home(210), teragrid_purdue(128, 900.0), ec2_c1xlarge(20)], 960);
         assert!(
             mixed.makespan_s < home_only.makespan_s,
             "mixed {} vs home {}",
@@ -346,8 +333,7 @@ mod tests {
         let first_ec2 = p.blocks[2].first;
         if p.blocks[2].count > 0 && p.blocks[0].count > 210 {
             assert!(
-                p.completion_of(&pools, &w, first_ec2)
-                    < p.completion_of(&pools, &w, last_home)
+                p.completion_of(&pools, &w, first_ec2) < p.completion_of(&pools, &w, last_home)
             );
         }
     }

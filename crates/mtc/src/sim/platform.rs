@@ -115,7 +115,11 @@ pub fn pert_cpu_utilization(w: &WorkloadSpec, p: &Platform, effective_read_mb_s:
 /// Local prestaged disk: sequential reads come out of the page cache
 /// after prestaging.
 pub fn fs_local_prestaged() -> FsProfile {
-    FsProfile { name: "local-disk (prestaged)", seq_bandwidth_mb_s: 700.0, small_file_latency_s: 0.0002 }
+    FsProfile {
+        name: "local-disk (prestaged)",
+        seq_bandwidth_mb_s: 700.0,
+        small_file_latency_s: 0.0002,
+    }
 }
 
 /// Purdue's shared filesystem (conventional parallel FS).

@@ -58,7 +58,11 @@ pub struct SubmissionReport {
 }
 
 /// Evaluate a submission strategy for `members` ensemble members.
-pub fn evaluate(strategy: SubmissionStrategy, members: usize, costs: &SchedulerCosts) -> SubmissionReport {
+pub fn evaluate(
+    strategy: SubmissionStrategy,
+    members: usize,
+    costs: &SchedulerCosts,
+) -> SubmissionReport {
     let (submissions, tracked) = match strategy {
         SubmissionStrategy::PerJob => (members, members),
         SubmissionStrategy::JobArray { chunk } => {
@@ -67,7 +71,8 @@ pub fn evaluate(strategy: SubmissionStrategy, members: usize, costs: &SchedulerC
             (members.div_ceil(chunk), members.div_ceil(chunk))
         }
     };
-    let load = submissions as f64 * costs.per_submission_s + tracked as f64 * costs.per_job_record_s;
+    let load =
+        submissions as f64 * costs.per_submission_s + tracked as f64 * costs.per_job_record_s;
     let pressure = tracked as f64 / costs.record_capacity.max(1) as f64;
     SubmissionReport {
         submissions,
@@ -82,11 +87,7 @@ pub fn evaluate(strategy: SubmissionStrategy, members: usize, costs: &SchedulerC
 /// is all-or-nothing per array: any array containing incomplete members
 /// must be resubmitted whole unless the workflow switches to per-job
 /// submissions for the remainder.
-pub fn restart_cost(
-    strategy: SubmissionStrategy,
-    members: usize,
-    completed: &[usize],
-) -> usize {
+pub fn restart_cost(strategy: SubmissionStrategy, members: usize, completed: &[usize]) -> usize {
     match strategy {
         SubmissionStrategy::PerJob => members - completed.len(),
         SubmissionStrategy::JobArray { chunk } => {

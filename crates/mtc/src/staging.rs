@@ -169,8 +169,10 @@ mod tests {
     fn hundreds_of_opendap_requests_are_undesirable() {
         // The paper: "hundreds of requests to a central OpenDAP server
         // make it a less desirable solution".
-        let (_, t100) = evaluate_input_strategy(InputStrategy::OnDemandRemote, 140.0, 1, 50.0, 0.0, 100);
-        let (_, t1) = evaluate_input_strategy(InputStrategy::OnDemandRemote, 140.0, 1, 50.0, 0.0, 1);
+        let (_, t100) =
+            evaluate_input_strategy(InputStrategy::OnDemandRemote, 140.0, 1, 50.0, 0.0, 100);
+        let (_, t1) =
+            evaluate_input_strategy(InputStrategy::OnDemandRemote, 140.0, 1, 50.0, 0.0, 1);
         assert!(t100 > 90.0 * t1);
     }
 }

@@ -52,8 +52,7 @@ impl<T> TripleBuffer<T> {
     /// keeps it consistent even while newer versions are published.
     pub fn read(&self) -> Option<(Arc<T>, u64)> {
         let slot = self.safe.lock();
-        slot.as_ref()
-            .map(|v| (Arc::clone(v), self.safe_version.load(Ordering::Acquire)))
+        slot.as_ref().map(|v| (Arc::clone(v), self.safe_version.load(Ordering::Acquire)))
     }
 
     /// Latest published version number (0 = nothing yet).

@@ -23,8 +23,14 @@ use esse_core::model::{ForecastError, ForecastModel};
 use esse_core::perturb::{PerturbConfig, PerturbationGenerator};
 use esse_core::subspace::ErrorSubspace;
 use esse_core::EsseError;
+use esse_obs::{Lane, Recorder, RecorderExt, NULL};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Duration since workflow start as trace nanoseconds.
+fn ns(d: Duration) -> u64 {
+    d.as_nanos() as u64
+}
 
 /// Configuration of the MTC workflow.
 #[derive(Debug, Clone)]
@@ -129,12 +135,26 @@ pub struct MtcEsse<'m, M: ForecastModel> {
     pub model: &'m M,
     /// Workflow configuration.
     pub config: MtcConfig,
+    /// Observability sink (no-op unless [`MtcEsse::with_recorder`]).
+    recorder: &'m dyn Recorder,
 }
 
 impl<'m, M: ForecastModel> MtcEsse<'m, M> {
     /// New engine.
     pub fn new(model: &'m M, config: MtcConfig) -> Self {
-        MtcEsse { model, config }
+        MtcEsse { model, config, recorder: &NULL }
+    }
+
+    /// Attach a trace recorder. Workers then emit one `task`/`member`
+    /// span per executed member on their [`Lane::Worker`] lane
+    /// (timestamped on the same workflow clock as [`TaskRecord`]s), and
+    /// the coordinator emits SVD spans, convergence/deadline instants
+    /// and progress counters on [`Lane::Coordinator`]. With the default
+    /// [`esse_obs::NullRecorder`] every instrumentation site reduces to
+    /// a branch on `enabled()`.
+    pub fn with_recorder(mut self, recorder: &'m dyn Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Run the decoupled uncertainty forecast (Fig. 4).
@@ -154,12 +174,23 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
         previous: &[(TaskId, Vec<f64>)],
     ) -> Result<MtcOutcome, EsseError> {
         let cfg = &self.config;
+        let obs = self.recorder;
         let t0 = Instant::now();
         let gen = PerturbationGenerator::new(prior, cfg.perturb.clone());
         // Central forecast first: the differ needs it.
-        let central = self
-            .model
-            .forecast(mean0, cfg.start_time, cfg.duration, None)?;
+        if obs.enabled() {
+            obs.begin_at(
+                ns(t0.elapsed()),
+                Lane::Coordinator,
+                "phase",
+                "central_forecast",
+                Vec::new(),
+            );
+        }
+        let central = self.model.forecast(mean0, cfg.start_time, cfg.duration, None)?;
+        if obs.enabled() {
+            obs.end_at(ns(t0.elapsed()), Lane::Coordinator, "phase", "central_forecast");
+        }
 
         let (task_tx, task_rx) = unbounded::<TaskId>();
         let (result_tx, result_rx) = unbounded::<WorkerResult>();
@@ -175,9 +206,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
         // `enqueued` counts *task ids issued*, including resumed ids that
         // are skipped (they already ran in the previous incarnation).
         let enqueue_to = |target: usize,
-                              records: &mut Vec<TaskRecord>,
-                              enqueued: &mut usize,
-                              tx: &Sender<TaskId>|
+                          records: &mut Vec<TaskRecord>,
+                          enqueued: &mut usize,
+                          tx: &Sender<TaskId>|
          -> usize {
             let mut skipped = 0usize;
             while *enqueued < target {
@@ -213,9 +244,29 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                             let started = t0.elapsed();
                             let x0 = gen.perturb(mean0, id);
                             let seed = gen.forecast_seed(id);
-                            let res =
-                                model.forecast(&x0, cfg.start_time, cfg.duration, Some(seed));
+                            let res = model.forecast(&x0, cfg.start_time, cfg.duration, Some(seed));
                             let finished = t0.elapsed();
+                            if obs.enabled() {
+                                let lane = Lane::Worker(w as u32);
+                                obs.begin_at(
+                                    ns(started),
+                                    lane,
+                                    "task",
+                                    "member",
+                                    vec![("member", id.into())],
+                                );
+                                if res.is_err() {
+                                    obs.instant_at(
+                                        ns(finished),
+                                        lane,
+                                        "task",
+                                        "member_failed",
+                                        vec![("member", id.into())],
+                                    );
+                                }
+                                obs.end_at(ns(finished), lane, "task", "member");
+                                obs.observe("member", ns(finished.saturating_sub(started)));
+                            }
                             // Receiver may be gone during shutdown; ignore.
                             let _ = result_tx.send((id, w, started, finished, res));
                         }
@@ -269,9 +320,27 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                         deadline_expired = true;
                         converged_at.get_or_insert(t0.elapsed());
                         cancel.store(true, Ordering::Relaxed);
+                        if obs.enabled() {
+                            obs.instant_at(
+                                ns(t0.elapsed()),
+                                Lane::Coordinator,
+                                "workflow",
+                                "deadline_expired",
+                                vec![("tmax_ms", (dl.as_millis() as u64).into())],
+                            );
+                        }
                         while let Ok(pid) = task_rx.try_recv() {
                             records[pid].state = TaskState::Cancelled;
                             received += 1;
+                            if obs.enabled() {
+                                obs.instant_at(
+                                    ns(t0.elapsed()),
+                                    Lane::Coordinator,
+                                    "task",
+                                    "cancelled",
+                                    vec![("member", pid.into())],
+                                );
+                            }
                         }
                     }
                 }
@@ -333,6 +402,12 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                         members_failed += 1;
                     }
                 }
+                if obs.enabled() {
+                    let now = ns(t0.elapsed());
+                    obs.counter_at(now, Lane::Coordinator, "members_done", acc.count() as f64);
+                    obs.counter_at(now, Lane::Coordinator, "members_failed", members_failed as f64);
+                    obs.counter_at(now, Lane::Coordinator, "members_wasted", members_wasted as f64);
+                }
                 if converged || deadline_expired {
                     continue; // draining in-flight results
                 }
@@ -342,6 +417,16 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                 let at_stage = acc.count() >= stage_target;
                 if (at_stride || at_stage) && acc.count() >= 2 {
                     since_svd = 0;
+                    let svd_started = t0.elapsed();
+                    if obs.enabled() {
+                        obs.begin_at(
+                            ns(svd_started),
+                            Lane::Coordinator,
+                            "svd",
+                            "svd",
+                            vec![("members", acc.count().into())],
+                        );
+                    }
                     let snap = acc.snapshot();
                     if let Some(svd) = snap.svd() {
                         svd_rounds += 1;
@@ -349,18 +434,50 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                             ErrorSubspace::from_spread_svd(&svd, cfg.mode_rel_tol, cfg.max_rank);
                         if let Some(prev) = &previous {
                             let rho = similarity(prev, &estimate);
+                            if obs.enabled() {
+                                obs.instant_at(
+                                    ns(t0.elapsed()),
+                                    Lane::Coordinator,
+                                    "svd",
+                                    "convergence_check",
+                                    vec![("rho", rho.into()), ("members", acc.count().into())],
+                                );
+                            }
                             if conv.check(rho) {
                                 converged = true;
                                 converged_at = Some(t0.elapsed());
                                 cancel.store(true, Ordering::Relaxed);
+                                if obs.enabled() {
+                                    obs.instant_at(
+                                        ns(t0.elapsed()),
+                                        Lane::Coordinator,
+                                        "workflow",
+                                        "converged",
+                                        vec![("rho", rho.into()), ("members", acc.count().into())],
+                                    );
+                                }
                                 // Drain pending tasks (cancel queued).
                                 while let Ok(pid) = task_rx.try_recv() {
                                     records[pid].state = TaskState::Cancelled;
                                     received += 1;
+                                    if obs.enabled() {
+                                        obs.instant_at(
+                                            ns(t0.elapsed()),
+                                            Lane::Coordinator,
+                                            "task",
+                                            "cancelled",
+                                            vec![("member", pid.into())],
+                                        );
+                                    }
                                 }
                             }
                         }
                         previous = Some(estimate);
+                    }
+                    if obs.enabled() {
+                        let svd_finished = t0.elapsed();
+                        obs.end_at(ns(svd_finished), Lane::Coordinator, "svd", "svd");
+                        obs.observe("svd", ns(svd_finished.saturating_sub(svd_started)));
                     }
                 }
                 // Pool growth: if the current stage is complete but not
@@ -369,6 +486,15 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                 if !converged && acc.count() >= stage_target {
                     if stage_idx + 1 < stages.len() {
                         stage_idx += 1;
+                        if obs.enabled() {
+                            obs.instant_at(
+                                ns(t0.elapsed()),
+                                Lane::Coordinator,
+                                "workflow",
+                                "stage_advance",
+                                vec![("target", stages[stage_idx].into())],
+                            );
+                        }
                         received += enqueue_to(
                             pool_target(stages[stage_idx]),
                             &mut records,
@@ -383,10 +509,8 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
             cancel.store(true, Ordering::Relaxed);
             drop(task_tx);
             // Cancelled-but-pending bookkeeping.
-            let members_cancelled = records
-                .iter()
-                .filter(|r| r.state == TaskState::Cancelled)
-                .count();
+            let members_cancelled =
+                records.iter().filter(|r| r.state == TaskState::Cancelled).count();
 
             // Completion policy: a final SVD over everything that arrived.
             let final_subspace = if matches!(
@@ -394,18 +518,27 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                 CompletionPolicy::UseCompleted | CompletionPolicy::SpareNearlyDone(_)
             ) || previous.is_none()
             {
+                if obs.enabled() {
+                    obs.begin_at(
+                        ns(t0.elapsed()),
+                        Lane::Coordinator,
+                        "svd",
+                        "svd_final",
+                        vec![("members", acc.count().into())],
+                    );
+                }
                 let snap = acc.snapshot();
-                match snap.svd() {
+                let decomposed = match snap.svd() {
                     Some(svd) => {
                         svd_rounds += 1;
-                        Some(ErrorSubspace::from_spread_svd(
-                            &svd,
-                            cfg.mode_rel_tol,
-                            cfg.max_rank,
-                        ))
+                        Some(ErrorSubspace::from_spread_svd(&svd, cfg.mode_rel_tol, cfg.max_rank))
                     }
                     None => None,
+                };
+                if obs.enabled() {
+                    obs.end_at(ns(t0.elapsed()), Lane::Coordinator, "svd", "svd_final");
                 }
+                decomposed
             } else {
                 previous.clone()
             };
@@ -568,10 +701,7 @@ mod tests {
         cfg.tolerance = 1e-12;
         cfg.schedule = EnsembleSchedule::new(32, 32);
         cfg.pool_factor = 1.0;
-        let gen = esse_core::perturb::PerturbationGenerator::new(
-            &prior,
-            cfg.perturb.clone(),
-        );
+        let gen = esse_core::perturb::PerturbationGenerator::new(&prior, cfg.perturb.clone());
         let previous: Vec<(TaskId, Vec<f64>)> = (0..20)
             .map(|j| {
                 let x0 = gen.perturb(&mean, j);
@@ -581,15 +711,10 @@ mod tests {
                 (j, xf)
             })
             .collect();
-        let resumed = MtcEsse::new(&model, cfg.clone())
-            .run_resuming(&mean, &prior, &previous)
-            .unwrap();
+        let resumed =
+            MtcEsse::new(&model, cfg.clone()).run_resuming(&mean, &prior, &previous).unwrap();
         // Only 12 members actually ran in this incarnation.
-        let ran = resumed
-            .records
-            .iter()
-            .filter(|r| r.worker.is_some())
-            .count();
+        let ran = resumed.records.iter().filter(|r| r.worker.is_some()).count();
         assert_eq!(ran, 12, "resume must not rerun completed members");
         assert_eq!(resumed.members_used, 32);
         // Identical subspace to an uninterrupted run (same member seeds).

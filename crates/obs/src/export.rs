@@ -1,0 +1,249 @@
+//! Trace exporters: JSONL (one event per line, machine-grepable) and
+//! the Chrome trace-event format (open in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev) for an interactive per-worker
+//! timeline).
+
+use crate::event::{ArgValue, EventKind};
+use crate::json::{push_f64, push_str_literal};
+use crate::trace::Trace;
+use std::io::{self, Write};
+use std::path::Path;
+
+fn push_arg_value(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(u) => out.push_str(&u.to_string()),
+        ArgValue::F64(f) => push_f64(out, *f),
+        ArgValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        ArgValue::Str(s) => push_str_literal(out, s),
+    }
+}
+
+fn push_args_object(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_literal(out, k);
+        out.push(':');
+        push_arg_value(out, v);
+    }
+    out.push('}');
+}
+
+/// Serialize the trace as JSON Lines: one `meta` line, one line per
+/// event, then one `histogram` line per latency metric.
+pub fn write_jsonl<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    let mut line = String::new();
+    line.push_str(&format!(
+        "{{\"kind\":\"meta\",\"schema\":\"esse-obs-v1\",\"events\":{},\"dropped\":{}}}",
+        trace.events.len(),
+        trace.dropped
+    ));
+    writeln!(w, "{line}")?;
+    for ev in &trace.events {
+        line.clear();
+        let kind = match ev.kind {
+            EventKind::Begin => "begin",
+            EventKind::End => "end",
+            EventKind::Instant => "instant",
+            EventKind::Counter(_) => "counter",
+        };
+        line.push_str(&format!("{{\"kind\":\"{kind}\",\"ts_ns\":{},\"lane\":", ev.ts_ns));
+        push_str_literal(&mut line, &ev.lane.label());
+        line.push_str(&format!(",\"tid\":{},\"cat\":", ev.lane.tid()));
+        push_str_literal(&mut line, ev.cat);
+        line.push_str(",\"name\":");
+        push_str_literal(&mut line, ev.name);
+        if let EventKind::Counter(v) = ev.kind {
+            line.push_str(",\"value\":");
+            push_f64(&mut line, v);
+        }
+        if !ev.args.is_empty() {
+            line.push_str(",\"args\":");
+            push_args_object(&mut line, &ev.args);
+        }
+        line.push('}');
+        writeln!(w, "{line}")?;
+    }
+    for (name, h) in &trace.histograms {
+        line.clear();
+        line.push_str("{\"kind\":\"histogram\",\"name\":");
+        push_str_literal(&mut line, name);
+        line.push_str(&format!(
+            ",\"count\":{},\"mean_ns\":{},\"min_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            h.count(),
+            h.mean_ns(),
+            h.min(),
+            h.quantile_ns(0.5),
+            h.quantile_ns(0.99),
+            h.max()
+        ));
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// JSONL as an in-memory string.
+pub fn jsonl_string(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write_jsonl(trace, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+/// Serialize the trace as a Chrome trace-event JSON array. Timestamps
+/// are microseconds (the format's unit) with nanosecond precision kept
+/// in the fraction.
+pub fn write_chrome_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    let mut first = true;
+    let emit = |w: &mut W, line: &str, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+            write!(w, "[\n{line}")
+        } else {
+            write!(w, ",\n{line}")
+        }
+    };
+    // Name the lanes so viewers show "worker-3" instead of "tid 13".
+    for lane in trace.lanes() {
+        let mut line = String::new();
+        line.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":",
+            lane.tid()
+        ));
+        push_str_literal(&mut line, &lane.label());
+        line.push_str("}}");
+        emit(&mut w, &line, &mut first)?;
+    }
+    for ev in &trace.events {
+        let ts_us = ev.ts_ns as f64 / 1000.0;
+        let mut line = String::new();
+        line.push_str("{\"name\":");
+        push_str_literal(&mut line, ev.name);
+        line.push_str(",\"cat\":");
+        push_str_literal(&mut line, ev.cat);
+        let ph = match ev.kind {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+            EventKind::Counter(_) => "C",
+        };
+        line.push_str(&format!(
+            ",\"ph\":\"{ph}\",\"ts\":{ts_us:.3},\"pid\":1,\"tid\":{}",
+            ev.lane.tid()
+        ));
+        if ev.kind == EventKind::Instant {
+            line.push_str(",\"s\":\"t\"");
+        }
+        if let EventKind::Counter(v) = ev.kind {
+            line.push_str(",\"args\":{\"value\":");
+            push_f64(&mut line, v);
+            line.push('}');
+        } else if !ev.args.is_empty() {
+            line.push_str(",\"args\":");
+            push_args_object(&mut line, &ev.args);
+        }
+        line.push('}');
+        emit(&mut w, &line, &mut first)?;
+    }
+    if first {
+        write!(w, "[")?;
+    }
+    writeln!(w, "\n]")?;
+    Ok(())
+}
+
+/// Chrome trace as an in-memory string.
+pub fn chrome_trace_string(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write_chrome_trace(trace, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+/// Write the trace to `path`: Chrome trace format when the extension is
+/// `.json` or `.trace`, JSONL otherwise.
+pub fn save(trace: &Trace, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let w = io::BufWriter::new(file);
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("json") | Some("trace") => write_chrome_trace(trace, w),
+        _ => write_jsonl(trace, w),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Lane;
+    use crate::json::validate;
+    use crate::recorder::{Recorder, RecorderExt};
+    use crate::ring::RingRecorder;
+
+    fn demo_trace() -> Trace {
+        let rec = RingRecorder::new();
+        rec.begin_at(0, Lane::Worker(0), "task", "member", vec![("member", 0u64.into())]);
+        rec.end_at(1500, Lane::Worker(0), "task", "member");
+        rec.instant_at(
+            1500,
+            Lane::Coordinator,
+            "convergence",
+            "converged",
+            vec![("rho", 0.993.into()), ("note", "tricky \"quote\"\n".into())],
+        );
+        rec.counter_at(1600, Lane::Coordinator, "members_done", 42.0);
+        rec.observe("member", 1500);
+        rec.drain()
+    }
+
+    #[test]
+    fn jsonl_lines_are_individually_valid() {
+        let s = jsonl_string(&demo_trace());
+        let lines: Vec<&str> = s.lines().collect();
+        // meta + 4 events + 1 histogram.
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            validate(line).unwrap_or_else(|e| panic!("invalid line {line}: {e}"));
+        }
+        assert!(lines[0].contains("\"kind\":\"meta\""));
+        assert!(lines.last().unwrap().contains("\"kind\":\"histogram\""));
+        assert!(s.contains("\"lane\":\"worker-0\""));
+    }
+
+    #[test]
+    fn chrome_trace_is_one_valid_json_array() {
+        let s = chrome_trace_string(&demo_trace());
+        validate(&s).unwrap_or_else(|e| panic!("invalid chrome trace: {e}\n{s}"));
+        assert!(s.contains("\"ph\":\"B\""));
+        assert!(s.contains("\"ph\":\"E\""));
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"ph\":\"C\""));
+        assert!(s.contains("thread_name"));
+        // ns precision survives as fractional microseconds.
+        assert!(s.contains("\"ts\":1.500"), "{s}");
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let tr = Trace::default();
+        validate(&chrome_trace_string(&tr)).expect("empty chrome trace valid");
+        let jsonl = jsonl_string(&tr);
+        assert_eq!(jsonl.lines().count(), 1); // just the meta line
+        validate(jsonl.lines().next().unwrap()).expect("meta line valid");
+    }
+
+    #[test]
+    fn save_picks_format_by_extension() {
+        let dir = std::env::temp_dir();
+        let chrome = dir.join("esse_obs_test_trace.json");
+        let jsonl = dir.join("esse_obs_test_trace.jsonl");
+        save(&demo_trace(), &chrome).unwrap();
+        save(&demo_trace(), &jsonl).unwrap();
+        let c = std::fs::read_to_string(&chrome).unwrap();
+        let j = std::fs::read_to_string(&jsonl).unwrap();
+        std::fs::remove_file(&chrome).ok();
+        std::fs::remove_file(&jsonl).ok();
+        assert!(c.trim_start().starts_with('['));
+        assert!(j.trim_start().starts_with('{'));
+        validate(&c).unwrap();
+    }
+}

@@ -1,0 +1,164 @@
+//! Log-bucketed latency histograms: 64 power-of-two buckets covering the
+//! full `u64` nanosecond range, constant memory, merge-able across
+//! worker threads.
+
+/// A log₂-bucketed histogram of nanosecond latencies.
+///
+/// Bucket `b` holds observations `v` with `floor(log2(max(v,1))) == b`,
+/// i.e. the half-open range `[2^b, 2^(b+1))` (bucket 0 also holds 0).
+/// Quantiles are resolved to the upper edge of the containing bucket, so
+/// they over-estimate by at most 2×: the right fidelity for "is the SVD
+/// stage milliseconds or seconds" questions at ~500 bytes per metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; 64],
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    63 - (v | 1).leading_zeros() as usize
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LogHistogram { counts: [0; 64], count: 0, sum_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+    }
+
+    /// Record one observation (nanoseconds).
+    pub fn record(&mut self, v_ns: u64) {
+        self.counts[bucket_of(v_ns)] += 1;
+        self.count += 1;
+        self.sum_ns += v_ns as u128;
+        self.min_ns = self.min_ns.min(v_ns);
+        self.max_ns = self.max_ns.max(v_ns);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean (the sum is tracked exactly).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum_ns / self.count as u128) as u64
+        }
+    }
+
+    /// Exact minimum observation, 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Exact maximum observation.
+    pub fn max(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Quantile `q` in [0, 1], resolved to the upper edge of the bucket
+    /// containing the q-th observation (clamped to the observed max).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if b >= 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merge another histogram into this one (drain from per-thread
+    /// buffers into one report).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_bracket_observations() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30, 1000, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean_ns(), (10 + 20 + 30 + 1000 + 5000) / 5);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 5000);
+        // p50 falls in the bucket of 30 ([16,32)); upper edge 31.
+        let p50 = h.quantile_ns(0.5);
+        assert!((30..=31).contains(&p50), "p50 = {p50}");
+        // p100 clamps to the max.
+        assert_eq!(h.quantile_ns(1.0), 5000);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                a.record(v * 7)
+            } else {
+                b.record(v * 7)
+            }
+            all.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Hand-rolled JSON primitives: escaping for the exporters and a strict
+//! validating parser used by the exporter tests (this crate takes no
+//! external dependencies, so there is no serde_json to lean on).
+
+/// Append `s` to `out` as a JSON string literal (with quotes).
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite-safe JSON number for `v` (`null` for NaN/±inf, which
+/// JSON cannot represent).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display for finite f64 is valid JSON.
+        out.push_str(&format!("{v}"));
+        // `1` displays as "1": still valid JSON (integer form).
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Strict whole-input JSON validation. Returns `Err(description)` if
+/// `s` is not exactly one JSON value (plus surrounding whitespace).
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut p: usize) -> usize {
+    while p < b.len() && matches!(b[p], b' ' | b'\t' | b'\n' | b'\r') {
+        p += 1;
+    }
+    p
+}
+
+fn value(b: &[u8], p: usize) -> Result<usize, String> {
+    match b.get(p) {
+        None => Err(format!("unexpected end of input at byte {p}")),
+        Some(b'{') => object(b, p),
+        Some(b'[') => array(b, p),
+        Some(b'"') => string(b, p),
+        Some(b't') => literal(b, p, b"true"),
+        Some(b'f') => literal(b, p, b"false"),
+        Some(b'n') => literal(b, p, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, p),
+        Some(c) => Err(format!("unexpected byte {c:?} at {p}")),
+    }
+}
+
+fn literal(b: &[u8], p: usize, lit: &[u8]) -> Result<usize, String> {
+    if b.len() >= p + lit.len() && &b[p..p + lit.len()] == lit {
+        Ok(p + lit.len())
+    } else {
+        Err(format!("bad literal at byte {p}"))
+    }
+}
+
+fn object(b: &[u8], mut p: usize) -> Result<usize, String> {
+    p = skip_ws(b, p + 1); // past '{'
+    if b.get(p) == Some(&b'}') {
+        return Ok(p + 1);
+    }
+    loop {
+        p = string(b, skip_ws(b, p))?;
+        p = skip_ws(b, p);
+        if b.get(p) != Some(&b':') {
+            return Err(format!("expected ':' at byte {p}"));
+        }
+        p = value(b, skip_ws(b, p + 1))?;
+        p = skip_ws(b, p);
+        match b.get(p) {
+            Some(b',') => p = skip_ws(b, p + 1),
+            Some(b'}') => return Ok(p + 1),
+            _ => return Err(format!("expected ',' or '}}' at byte {p}")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut p: usize) -> Result<usize, String> {
+    p = skip_ws(b, p + 1); // past '['
+    if b.get(p) == Some(&b']') {
+        return Ok(p + 1);
+    }
+    loop {
+        p = value(b, skip_ws(b, p))?;
+        p = skip_ws(b, p);
+        match b.get(p) {
+            Some(b',') => p = skip_ws(b, p + 1),
+            Some(b']') => return Ok(p + 1),
+            _ => return Err(format!("expected ',' or ']' at byte {p}")),
+        }
+    }
+}
+
+fn string(b: &[u8], p: usize) -> Result<usize, String> {
+    if b.get(p) != Some(&b'"') {
+        return Err(format!("expected string at byte {p}"));
+    }
+    let mut p = p + 1;
+    while let Some(&c) = b.get(p) {
+        match c {
+            b'"' => return Ok(p + 1),
+            b'\\' => match b.get(p + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => p += 2,
+                Some(b'u') => {
+                    let hex = b.get(p + 2..p + 6).ok_or(format!("short \\u escape at {p}"))?;
+                    if !hex.iter().all(|h| h.is_ascii_hexdigit()) {
+                        return Err(format!("bad \\u escape at byte {p}"));
+                    }
+                    p += 6;
+                }
+                _ => return Err(format!("bad escape at byte {p}")),
+            },
+            0x00..=0x1f => return Err(format!("raw control byte in string at {p}")),
+            _ => p += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], mut p: usize) -> Result<usize, String> {
+    let start = p;
+    if b.get(p) == Some(&b'-') {
+        p += 1;
+    }
+    let int_digits = eat_digits(b, p);
+    if int_digits == p {
+        return Err(format!("bad number at byte {start}"));
+    }
+    // No leading zeros (JSON): "0" ok, "01" not.
+    if b[p] == b'0' && int_digits > p + 1 {
+        return Err(format!("leading zero at byte {p}"));
+    }
+    p = int_digits;
+    if b.get(p) == Some(&b'.') {
+        let frac = eat_digits(b, p + 1);
+        if frac == p + 1 {
+            return Err(format!("bad fraction at byte {p}"));
+        }
+        p = frac;
+    }
+    if matches!(b.get(p), Some(b'e' | b'E')) {
+        p += 1;
+        if matches!(b.get(p), Some(b'+' | b'-')) {
+            p += 1;
+        }
+        let exp = eat_digits(b, p);
+        if exp == p {
+            return Err(format!("bad exponent at byte {p}"));
+        }
+        p = exp;
+    }
+    Ok(p)
+}
+
+fn eat_digits(b: &[u8], mut p: usize) -> usize {
+    while p < b.len() && b[p].is_ascii_digit() {
+        p += 1;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            " 0 ",
+            "-1.5e-7",
+            r#""a\"bé""#,
+            r#"{"a":[1,2,{"b":null}],"c":"\n"}"#,
+        ] {
+            assert!(validate(ok).is_ok(), "{ok}: {:?}", validate(ok));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "\"unterminated",
+            "nul",
+            "[1] trailing",
+            "\"raw\ncontrol\"",
+            "NaN",
+        ] {
+            assert!(validate(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn escaping_roundtrips_through_validation() {
+        let nasty = "quote\" slash\\ newline\n tab\t ctrl\u{1} unicode é 日本";
+        let mut out = String::new();
+        push_str_literal(&mut out, nasty);
+        assert!(validate(&out).is_ok(), "{out}");
+    }
+
+    #[test]
+    fn f64_formatting_is_valid_json() {
+        for v in [0.0, -1.0, 1.5e300, 1e-300, 123456789.123, f64::NAN, f64::INFINITY] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            assert!(validate(&out).is_ok(), "{v} -> {out}");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-worker timelines and utilization-over-time: the measured version
+//! of the paper's §5.2.1 narrative ("pert CPU utilization went from 20%
+//! to 100% when inputs were prestaged").
+
+use crate::event::Lane;
+use crate::trace::Trace;
+use std::collections::BTreeMap;
+
+/// Busy intervals of one lane, merged and time-sorted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerTimeline {
+    /// The lane.
+    pub lane: Lane,
+    /// Non-overlapping, sorted `[start_ns, end_ns)` busy intervals.
+    pub busy: Vec<(u64, u64)>,
+}
+
+impl WorkerTimeline {
+    /// Total busy nanoseconds.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Busy nanoseconds overlapping `[from_ns, to_ns)`.
+    pub fn busy_in(&self, from_ns: u64, to_ns: u64) -> u64 {
+        self.busy.iter().map(|&(s, e)| e.min(to_ns).saturating_sub(s.max(from_ns))).sum()
+    }
+}
+
+fn merge_intervals(mut iv: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    iv.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Build per-lane busy timelines from the trace's closed spans,
+/// optionally keeping only spans of one category (e.g. `"task"` for
+/// member computations, excluding coordinator phases).
+pub fn timelines(trace: &Trace, cat: Option<&str>) -> Vec<WorkerTimeline> {
+    let mut by_lane: BTreeMap<Lane, Vec<(u64, u64)>> = BTreeMap::new();
+    for span in trace.spans() {
+        if cat.is_some_and(|c| c != span.cat) {
+            continue;
+        }
+        by_lane.entry(span.lane).or_default().push((span.start_ns, span.end_ns));
+    }
+    by_lane
+        .into_iter()
+        .map(|(lane, iv)| WorkerTimeline { lane, busy: merge_intervals(iv) })
+        .collect()
+}
+
+/// One utilization sample: over `[t_ns, t_ns + window)`, the fraction of
+/// lane-time spent inside busy spans (0 = all idle, 1 = all busy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilSample {
+    /// Window start (ns from trace epoch).
+    pub t_ns: u64,
+    /// Busy fraction across all lanes in the window.
+    pub busy_fraction: f64,
+}
+
+/// Utilization-over-time of the `"task"`-category spans, in windows of
+/// `window_ns`, across every lane that ran at least one task. This is
+/// the §5.2.1 plot: a prestaged run holds near 1.0; an I/O-starved or
+/// pipeline-draining run sags.
+pub fn utilization(trace: &Trace, window_ns: u64) -> Vec<UtilSample> {
+    utilization_of(trace, window_ns, Some("task"))
+}
+
+/// [`utilization`] with an explicit category filter (`None` = all spans).
+pub fn utilization_of(trace: &Trace, window_ns: u64, cat: Option<&str>) -> Vec<UtilSample> {
+    let window_ns = window_ns.max(1);
+    let tls = timelines(trace, cat);
+    if tls.is_empty() {
+        return Vec::new();
+    }
+    let t_end = tls.iter().filter_map(|t| t.busy.last().map(|&(_, e)| e)).max().unwrap_or(0);
+    let t_start = tls.iter().filter_map(|t| t.busy.first().map(|&(s, _)| s)).min().unwrap_or(0);
+    // Align windows to the epoch so traces of the same run line up.
+    let first_window = (t_start / window_ns) * window_ns;
+    let mut samples = Vec::new();
+    let mut t = first_window;
+    while t < t_end {
+        let to = t.saturating_add(window_ns);
+        let busy: u64 = tls.iter().map(|tl| tl.busy_in(t, to)).sum();
+        let capacity = (to - t) as f64 * tls.len() as f64;
+        samples.push(UtilSample { t_ns: t, busy_fraction: busy as f64 / capacity });
+        t = to;
+    }
+    samples
+}
+
+/// Mean busy fraction over the whole trace (first task start to last
+/// task end), the scalar the paper quotes per run.
+pub fn mean_utilization(trace: &Trace, cat: Option<&str>) -> f64 {
+    let tls = timelines(trace, cat);
+    if tls.is_empty() {
+        return 0.0;
+    }
+    let t_end = tls.iter().filter_map(|t| t.busy.last().map(|&(_, e)| e)).max().unwrap_or(0);
+    let t_start = tls.iter().filter_map(|t| t.busy.first().map(|&(s, _)| s)).min().unwrap_or(0);
+    if t_end <= t_start {
+        return 0.0;
+    }
+    let busy: u64 = tls.iter().map(|tl| tl.busy_in(t_start, t_end)).sum();
+    busy as f64 / ((t_end - t_start) as f64 * tls.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RecorderExt;
+    use crate::ring::RingRecorder;
+
+    /// Two workers, tasks back to back on one and half-idle on the other.
+    fn two_worker_trace() -> Trace {
+        let rec = RingRecorder::new();
+        for (i, (s, e)) in [(0u64, 100u64), (100, 200)].iter().enumerate() {
+            rec.begin_at(*s, Lane::Worker(0), "task", "member", vec![("member", i.into())]);
+            rec.end_at(*e, Lane::Worker(0), "task", "member");
+        }
+        rec.begin_at(0, Lane::Worker(1), "task", "member", vec![]);
+        rec.end_at(100, Lane::Worker(1), "task", "member");
+        // A coordinator span that must not count as task time.
+        rec.begin_at(0, Lane::Coordinator, "svd", "svd", vec![]);
+        rec.end_at(50, Lane::Coordinator, "svd", "svd");
+        rec.drain()
+    }
+
+    #[test]
+    fn busy_time_per_worker() {
+        let tr = two_worker_trace();
+        let tls = timelines(&tr, Some("task"));
+        assert_eq!(tls.len(), 2);
+        assert_eq!(tls[0].lane, Lane::Worker(0));
+        assert_eq!(tls[0].busy_ns(), 200);
+        assert_eq!(tls[1].busy_ns(), 100);
+        // Back-to-back intervals merged.
+        assert_eq!(tls[0].busy, vec![(0, 200)]);
+    }
+
+    #[test]
+    fn utilization_windows_show_the_drain() {
+        let tr = two_worker_trace();
+        let u = utilization(&tr, 100);
+        assert_eq!(u.len(), 2);
+        assert!((u[0].busy_fraction - 1.0).abs() < 1e-12, "both busy early: {u:?}");
+        assert!((u[1].busy_fraction - 0.5).abs() < 1e-12, "one drained late: {u:?}");
+        let mean = mean_utilization(&tr, Some("task"));
+        assert!((mean - 0.75).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    fn category_filter_excludes_coordinator() {
+        let tr = two_worker_trace();
+        let all = timelines(&tr, None);
+        assert_eq!(all.len(), 3);
+        let tasks = timelines(&tr, Some("task"));
+        assert!(tasks.iter().all(|t| t.lane != Lane::Coordinator));
+    }
+
+    #[test]
+    fn empty_trace_is_empty() {
+        let tr = Trace::default();
+        assert!(utilization(&tr, 1000).is_empty());
+        assert_eq!(mean_utilization(&tr, None), 0.0);
+    }
+
+    #[test]
+    fn overlapping_spans_merge() {
+        let rec = RingRecorder::new();
+        rec.begin_at(0, Lane::Worker(0), "task", "a", vec![]);
+        rec.begin_at(50, Lane::Worker(0), "task", "b", vec![]);
+        rec.end_at(150, Lane::Worker(0), "task", "b");
+        rec.end_at(100, Lane::Worker(0), "task", "a");
+        // Note: ends are LIFO-matched; intervals overlap and must merge.
+        let tr = rec.drain();
+        let tls = timelines(&tr, Some("task"));
+        assert_eq!(tls[0].busy_ns(), 150);
+    }
+}

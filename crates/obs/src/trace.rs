@@ -1,0 +1,204 @@
+//! A drained trace: time-sorted events plus latency histograms, with
+//! span matching and well-formedness checks.
+
+use crate::event::{Event, EventKind, Lane};
+use crate::hist::LogHistogram;
+use std::collections::BTreeMap;
+
+/// A closed span reconstructed from a Begin/End pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Lane the span ran on.
+    pub lane: Lane,
+    /// Category of the opening event.
+    pub cat: &'static str,
+    /// Name of the opening event.
+    pub name: &'static str,
+    /// Start (ns from trace epoch).
+    pub start_ns: u64,
+    /// End (ns from trace epoch).
+    pub end_ns: u64,
+}
+
+impl Span {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Everything a recorder captured, sorted by `(ts_ns, seq)`.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Time-ordered events.
+    pub events: Vec<Event>,
+    /// Latency histograms fed through [`crate::Recorder::observe`].
+    pub histograms: BTreeMap<&'static str, LogHistogram>,
+    /// Events the recorder had to discard (ring overflow).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Distinct lanes present, sorted.
+    pub fn lanes(&self) -> Vec<Lane> {
+        let mut lanes: Vec<Lane> = self.events.iter().map(|e| e.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        lanes
+    }
+
+    /// Match Begin/End pairs (LIFO per lane) into closed spans, in order
+    /// of completion. Unclosed spans are omitted.
+    pub fn spans(&self) -> Vec<Span> {
+        let mut open: BTreeMap<Lane, Vec<&Event>> = BTreeMap::new();
+        let mut spans = Vec::new();
+        for ev in &self.events {
+            match ev.kind {
+                EventKind::Begin => open.entry(ev.lane).or_default().push(ev),
+                EventKind::End => {
+                    if let Some(b) = open.get_mut(&ev.lane).and_then(|s| s.pop()) {
+                        spans.push(Span {
+                            lane: ev.lane,
+                            cat: b.cat,
+                            name: b.name,
+                            start_ns: b.ts_ns,
+                            end_ns: ev.ts_ns.max(b.ts_ns),
+                        });
+                    }
+                }
+                EventKind::Instant | EventKind::Counter(_) => {}
+            }
+        }
+        spans
+    }
+
+    /// Instant events with the given name.
+    pub fn instants(&self, name: &str) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.kind == EventKind::Instant && e.name == name).collect()
+    }
+
+    /// Samples of the counter `name` as `(ts_ns, value)`, in time order.
+    pub fn counter(&self, name: &str) -> Vec<(u64, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Counter(v) if e.name == name => Some((e.ts_ns, v)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Structural validity: events sorted by time, every `End` closes an
+    /// open span on its lane (matching name), and no span is left open.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        let mut prev = 0u64;
+        let mut open: BTreeMap<Lane, Vec<&Event>> = BTreeMap::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.ts_ns < prev {
+                return Err(format!(
+                    "event {i} ({}/{}) goes back in time: {} < {}",
+                    ev.cat, ev.name, ev.ts_ns, prev
+                ));
+            }
+            prev = ev.ts_ns;
+            match ev.kind {
+                EventKind::Begin => open.entry(ev.lane).or_default().push(ev),
+                EventKind::End => match open.get_mut(&ev.lane).and_then(|s| s.pop()) {
+                    Some(b) if b.name == ev.name => {}
+                    Some(b) => {
+                        return Err(format!(
+                            "event {i}: End({}) closes Begin({}) on {}",
+                            ev.name,
+                            b.name,
+                            ev.lane.label()
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "event {i}: End({}) with no open span on {}",
+                            ev.name,
+                            ev.lane.label()
+                        ));
+                    }
+                },
+                _ => {}
+            }
+        }
+        for (lane, stack) in &open {
+            if let Some(b) = stack.last() {
+                return Err(format!("span {} left open on {}", b.name, lane.label()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RecorderExt;
+    use crate::ring::RingRecorder;
+
+    fn demo_trace() -> Trace {
+        let rec = RingRecorder::new();
+        rec.begin_at(0, Lane::Worker(0), "task", "member", vec![("member", 0u64.into())]);
+        rec.begin_at(5, Lane::Worker(1), "task", "member", vec![("member", 1u64.into())]);
+        rec.end_at(10, Lane::Worker(0), "task", "member");
+        rec.instant_at(12, Lane::Coordinator, "convergence", "converged", vec![]);
+        rec.counter_at(12, Lane::Coordinator, "members_done", 2.0);
+        rec.end_at(20, Lane::Worker(1), "task", "member");
+        rec.drain()
+    }
+
+    #[test]
+    fn spans_pair_begin_end_per_lane() {
+        let tr = demo_trace();
+        let spans = tr.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].lane, Lane::Worker(0));
+        assert_eq!(spans[0].duration_ns(), 10);
+        assert_eq!(spans[1].lane, Lane::Worker(1));
+        assert_eq!(spans[1].duration_ns(), 15);
+        assert!(tr.check_well_formed().is_ok());
+    }
+
+    #[test]
+    fn nested_spans_are_lifo() {
+        let rec = RingRecorder::new();
+        rec.begin_at(0, Lane::Driver, "phase", "stage", vec![]);
+        rec.begin_at(1, Lane::Driver, "task", "member", vec![]);
+        rec.end_at(2, Lane::Driver, "task", "member");
+        rec.end_at(9, Lane::Driver, "phase", "stage");
+        let tr = rec.drain();
+        let spans = tr.spans();
+        assert_eq!(spans[0].name, "member");
+        assert_eq!(spans[1].name, "stage");
+        assert_eq!(spans[1].duration_ns(), 9);
+        assert!(tr.check_well_formed().is_ok());
+    }
+
+    #[test]
+    fn instants_and_counters_are_findable() {
+        let tr = demo_trace();
+        assert_eq!(tr.instants("converged").len(), 1);
+        assert_eq!(tr.counter("members_done"), vec![(12, 2.0)]);
+        assert_eq!(tr.lanes().len(), 3);
+    }
+
+    #[test]
+    fn unbalanced_end_is_rejected() {
+        let rec = RingRecorder::new();
+        rec.end_at(3, Lane::Driver, "task", "member");
+        let tr = rec.drain();
+        assert!(tr.check_well_formed().is_err());
+        assert!(tr.spans().is_empty());
+    }
+
+    #[test]
+    fn open_span_is_rejected() {
+        let rec = RingRecorder::new();
+        rec.begin_at(3, Lane::Driver, "task", "member", vec![]);
+        let tr = rec.drain();
+        assert!(tr.check_well_formed().is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the exporters: any recorded event sequence must
+//! produce balanced begin/end span pairs, monotone non-negative
+//! timestamps, valid JSON on every JSONL line, and a parseable Chrome
+//! trace array.
+
+use esse_obs::json::validate;
+use esse_obs::{export, EventKind, Lane, Recorder, RecorderExt, RingRecorder};
+use proptest::prelude::*;
+
+/// One scripted recording action on a lane.
+#[derive(Debug, Clone)]
+enum Op {
+    Open(&'static str),
+    Close,
+    Instant(&'static str, String),
+    Counter(&'static str, f64),
+    Observe(&'static str, u64),
+}
+
+const SPAN_NAMES: [&str; 4] = ["member", "svd", "read", "stage"];
+const MARK_NAMES: [&str; 3] = ["converged", "deadline_expired", "cancelled"];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..SPAN_NAMES.len()).prop_map(|i| Op::Open(SPAN_NAMES[i])),
+        Just(Op::Close),
+        ((0..MARK_NAMES.len()), ".{0,12}").prop_map(|(i, s)| Op::Instant(MARK_NAMES[i], s)),
+        (0..MARK_NAMES.len(), proptest::num::f64::ANY)
+            .prop_map(|(i, v)| Op::Counter(MARK_NAMES[i], v)),
+        (0..SPAN_NAMES.len(), 0u64..u64::MAX / 2).prop_map(|(i, v)| Op::Observe(SPAN_NAMES[i], v)),
+    ]
+}
+
+/// A script: per-step (lane index, op, time increment).
+fn script_strategy() -> impl Strategy<Value = Vec<(u8, Op, u64)>> {
+    proptest::collection::vec((0u8..6, op_strategy(), 0u64..10_000), 0..200)
+}
+
+fn lane_of(idx: u8) -> Lane {
+    match idx {
+        0 => Lane::Driver,
+        1 => Lane::Coordinator,
+        2..=3 => Lane::Worker(idx as u32 - 2),
+        _ => Lane::Slot(idx as u32 - 4),
+    }
+}
+
+/// Replay a script against a recorder, keeping spans properly nested per
+/// lane (the discipline every instrumented engine follows), and closing
+/// all open spans at the end.
+fn replay(rec: &RingRecorder, script: &[(u8, Op, u64)]) {
+    let mut clock: u64 = 0;
+    let mut open: std::collections::BTreeMap<u8, Vec<&'static str>> = Default::default();
+    for (lane_idx, op, dt) in script {
+        clock += dt;
+        let lane = lane_of(*lane_idx);
+        match op {
+            Op::Open(name) => {
+                rec.begin_at(clock, lane, "task", name, vec![("member", 7u64.into())]);
+                open.entry(*lane_idx).or_default().push(name);
+            }
+            Op::Close => {
+                if let Some(name) = open.get_mut(lane_idx).and_then(|s| s.pop()) {
+                    rec.end_at(clock, lane, "task", name);
+                }
+            }
+            Op::Instant(name, text) => {
+                rec.instant_at(clock, lane, "mark", name, vec![("note", text.clone().into())]);
+            }
+            Op::Counter(name, v) => rec.counter_at(clock, lane, name, *v),
+            Op::Observe(name, v) => rec.observe(name, *v),
+        }
+    }
+    // Close whatever is still open, innermost first.
+    for (lane_idx, stack) in open.iter_mut() {
+        while let Some(name) = stack.pop() {
+            rec.end_at(clock, lane_of(*lane_idx), "task", name);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn recorded_sequences_export_cleanly(script in script_strategy()) {
+        let rec = RingRecorder::new();
+        replay(&rec, &script);
+        let trace = rec.drain();
+
+        // Balanced begin/end pairs, monotone non-negative timestamps.
+        trace.check_well_formed().expect("well-formed trace");
+        let begins = trace.events.iter().filter(|e| e.kind == EventKind::Begin).count();
+        let ends = trace.events.iter().filter(|e| e.kind == EventKind::End).count();
+        prop_assert_eq!(begins, ends);
+        prop_assert_eq!(trace.spans().len(), begins);
+        for w in trace.events.windows(2) {
+            prop_assert!(w[0].ts_ns <= w[1].ts_ns, "sorted timestamps");
+        }
+        for s in trace.spans() {
+            prop_assert!(s.end_ns >= s.start_ns);
+        }
+
+        // Every JSONL line is valid JSON on its own.
+        let jsonl = export::jsonl_string(&trace);
+        for line in jsonl.lines() {
+            validate(line).map_err(|e| TestCaseError::fail(format!("jsonl: {e}: {line}")))?;
+        }
+        // meta + events + histograms lines, nothing silently dropped.
+        prop_assert_eq!(
+            jsonl.lines().count(),
+            1 + trace.events.len() + trace.histograms.len()
+        );
+
+        // The Chrome trace is one parseable JSON array.
+        let chrome = export::chrome_trace_string(&trace);
+        validate(&chrome).map_err(|e| TestCaseError::fail(format!("chrome: {e}")))?;
+        prop_assert!(chrome.trim_start().starts_with('['));
+        prop_assert!(chrome.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn utilization_is_a_fraction(script in script_strategy(), window in 1u64..100_000) {
+        let rec = RingRecorder::new();
+        replay(&rec, &script);
+        let trace = rec.drain();
+        for s in esse_obs::timeline::utilization_of(&trace, window, None) {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s.busy_fraction), "{}", s.busy_fraction);
+        }
+        let mean = esse_obs::timeline::mean_utilization(&trace, None);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&mean));
+    }
+}

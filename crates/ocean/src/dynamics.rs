@@ -114,8 +114,8 @@ pub fn baroclinic_pressure(grid: &Grid, t: &Field3, s: &Field3, rho_ref: &RefPro
             for k in 0..nz {
                 let hk = grid.layer_thickness(i, j, k);
                 let z_center = grid.level_depth(i, j, k);
-                let rho = eos::density_anomaly(t.get(i, j, k), s.get(i, j, k))
-                    - rho_ref.at(z_center);
+                let rho =
+                    eos::density_anomaly(t.get(i, j, k), s.get(i, j, k)) - rho_ref.at(z_center);
                 // Pressure at level center: interface pressure + half layer.
                 let at_center = p + GRAVITY * rho / RHO0 * (0.5 * hk);
                 phi.set(i, j, k, at_center);
@@ -266,14 +266,7 @@ pub fn diagnose_w_column(grid: &Grid, u: &Field3, v: &Field3, i: usize, j: usize
 /// `(i, j, k)` given interface velocities `w` (positive up, length
 /// `nz+1`, from [`diagnose_w_column`]; `k` increases downward).
 #[inline]
-pub fn vertical_advection(
-    grid: &Grid,
-    f: &Field3,
-    w: &[f64],
-    i: usize,
-    j: usize,
-    k: usize,
-) -> f64 {
+pub fn vertical_advection(grid: &Grid, f: &Field3, w: &[f64], i: usize, j: usize, k: usize) -> f64 {
     let nz = grid.nz;
     let c = f.get(i, j, k);
     // Cell-center vertical velocity.
@@ -281,8 +274,8 @@ pub fn vertical_advection(
     if wc > 0.0 {
         // Upward flow: information comes from the layer below.
         if k + 1 < nz {
-            let dz = 0.5
-                * (grid.layer_thickness(i, j, k) + grid.layer_thickness(i, j, k + 1)).max(1e-6);
+            let dz =
+                0.5 * (grid.layer_thickness(i, j, k) + grid.layer_thickness(i, j, k + 1)).max(1e-6);
             -wc * (c - f.get(i, j, k + 1)) / dz
         } else {
             0.0
@@ -290,8 +283,8 @@ pub fn vertical_advection(
     } else if wc < 0.0 {
         // Downward flow: information comes from the layer above.
         if k > 0 {
-            let dz = 0.5
-                * (grid.layer_thickness(i, j, k) + grid.layer_thickness(i, j, k - 1)).max(1e-6);
+            let dz =
+                0.5 * (grid.layer_thickness(i, j, k) + grid.layer_thickness(i, j, k - 1)).max(1e-6);
             -wc * (f.get(i, j, k - 1) - c) / dz
         } else {
             0.0
@@ -303,14 +296,7 @@ pub fn vertical_advection(
 
 /// Vertical diffusion tendency (explicit) for a tracer column.
 #[inline]
-pub fn vertical_diffusion(
-    grid: &Grid,
-    f: &Field3,
-    kv: f64,
-    i: usize,
-    j: usize,
-    k: usize,
-) -> f64 {
+pub fn vertical_diffusion(grid: &Grid, f: &Field3, kv: f64, i: usize, j: usize, k: usize) -> f64 {
     let nz = grid.nz;
     let hk = grid.layer_thickness(i, j, k).max(1e-6);
     let c = f.get(i, j, k);

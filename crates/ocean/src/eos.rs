@@ -40,7 +40,8 @@ pub fn brunt_vaisala_sq(t_up: f64, s_up: f64, t_dn: f64, s_dn: f64, dz: f64) -> 
 /// `t` in °C, `s` in psu, `z` depth in meters (positive down).
 /// Valid for 0-30 °C, 30-40 psu, 0-8000 m.
 pub fn mackenzie_sound_speed(t: f64, s: f64, z: f64) -> f64 {
-    1448.96 + 4.591 * t - 5.304e-2 * t * t + 2.374e-4 * t * t * t
+    1448.96 + 4.591 * t - 5.304e-2 * t * t
+        + 2.374e-4 * t * t * t
         + 1.340 * (s - 35.0)
         + 1.630e-2 * z
         + 1.675e-7 * z * z

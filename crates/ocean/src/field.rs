@@ -74,9 +74,9 @@ impl Field2 {
 
     /// Minimum and maximum values.
     pub fn min_max(&self) -> (f64, f64) {
-        self.data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        })
+        self.data
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)))
     }
 
     /// Mean value.
@@ -187,9 +187,9 @@ impl Field3 {
 
     /// Minimum and maximum values.
     pub fn min_max(&self) -> (f64, f64) {
-        self.data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        })
+        self.data
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)))
     }
 
     /// True if any entry is non-finite.

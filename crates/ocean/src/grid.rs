@@ -55,19 +55,7 @@ impl Grid {
         let sigma_w: Vec<f64> = (0..=nz).map(|k| (k as f64 / nz as f64).powf(p)).collect();
         let sigma_c: Vec<f64> = (0..nz).map(|k| 0.5 * (sigma_w[k] + sigma_w[k + 1])).collect();
         let mask = Field2::from_fn(nx, ny, |i, j| if bathymetry.is_wet(i, j) { 1.0 } else { 0.0 });
-        Grid {
-            nx,
-            ny,
-            nz,
-            dx,
-            dy,
-            f0: 8.8e-5,
-            beta: 2.0e-11,
-            sigma_w,
-            sigma_c,
-            bathymetry,
-            mask,
-        }
+        Grid { nx, ny, nz, dx, dy, f0: 8.8e-5, beta: 2.0e-11, sigma_w, sigma_c, bathymetry, mask }
     }
 
     /// Coriolis parameter at row `j`.

@@ -127,7 +127,12 @@ pub struct PeModel {
 impl PeModel {
     /// Build a model; `climatology` is both the sponge target and the
     /// reference state.
-    pub fn new(grid: Grid, forcing: Forcing, config: ModelConfig, climatology: OceanState) -> PeModel {
+    pub fn new(
+        grid: Grid,
+        forcing: Forcing,
+        config: ModelConfig,
+        climatology: OceanState,
+    ) -> PeModel {
         let sponge = Sponge::new(&grid, config.sponge_width, config.sponge_tau);
         // Velocities are absorbed five times faster than tracers so that
         // boundary jets exit cleanly instead of reflecting.
@@ -354,9 +359,17 @@ impl PeModel {
                     if !wet(i, j) {
                         continue;
                     }
-                    let fe = if open_x[fx(i + 1, j)] { h_x[fx(i + 1, j)] * uf[fx(i + 1, j)] } else { 0.0 };
+                    let fe = if open_x[fx(i + 1, j)] {
+                        h_x[fx(i + 1, j)] * uf[fx(i + 1, j)]
+                    } else {
+                        0.0
+                    };
                     let fw = if open_x[fx(i, j)] { h_x[fx(i, j)] * uf[fx(i, j)] } else { 0.0 };
-                    let fn_ = if open_y[fy(i, j + 1)] { h_y[fy(i, j + 1)] * vf[fy(i, j + 1)] } else { 0.0 };
+                    let fn_ = if open_y[fy(i, j + 1)] {
+                        h_y[fy(i, j + 1)] * vf[fy(i, j + 1)]
+                    } else {
+                        0.0
+                    };
                     let fs = if open_y[fy(i, j)] { h_y[fy(i, j)] * vf[fy(i, j)] } else { 0.0 };
                     let div = (fe - fw) / g.dx + (fn_ - fs) / g.dy;
                     eta.add(i, j, -dt_bt * div);
@@ -443,8 +456,7 @@ impl PeModel {
                         // zone is pinned to exterior data, so perturbing it
                         // would fabricate spurious boundary uncertainty.
                         let depth_factor = (-(g.level_depth(i, j, k)) / 150.0).exp();
-                        let sponge_damp =
-                            1.0 - (self.sponge.rate(i, j) * cfg.sponge_tau).min(1.0);
+                        let sponge_damp = 1.0 - (self.sponge.rate(i, j) * cfg.sponge_tau).min(1.0);
                         t_new.add(i, j, k, nf.get(i, j) * depth_factor * noise_scale * sponge_damp);
                     }
                 }
@@ -464,7 +476,8 @@ impl PeModel {
                 for _pass in 0..nz {
                     let mut mixed = false;
                     for k in 0..nz - 1 {
-                        let r_up = crate::eos::density_anomaly(t_new.get(i, j, k), s_new.get(i, j, k));
+                        let r_up =
+                            crate::eos::density_anomaly(t_new.get(i, j, k), s_new.get(i, j, k));
                         let r_dn = crate::eos::density_anomaly(
                             t_new.get(i, j, k + 1),
                             s_new.get(i, j, k + 1),

@@ -42,22 +42,14 @@ impl NestSpec {
     /// Outer-grid fractional coordinates of inner cell center `(ii, jj)`.
     pub fn outer_coords(&self, ii: usize, jj: usize) -> (f64, f64) {
         let r = self.refine as f64;
-        (
-            self.i0 as f64 + (ii as f64 + 0.5) / r - 0.5,
-            self.j0 as f64 + (jj as f64 + 0.5) / r - 0.5,
-        )
+        (self.i0 as f64 + (ii as f64 + 0.5) / r - 0.5, self.j0 as f64 + (jj as f64 + 0.5) / r - 0.5)
     }
 }
 
 /// Bilinear interpolation of a horizontal level of an outer field at
 /// fractional outer coordinates, masked (land neighbours are excluded
 /// with weight renormalization; returns `None` over all-land stencils).
-fn bilinear_masked(
-    grid: &Grid,
-    get: &dyn Fn(usize, usize) -> f64,
-    x: f64,
-    y: f64,
-) -> Option<f64> {
+fn bilinear_masked(grid: &Grid, get: &dyn Fn(usize, usize) -> f64, x: f64, y: f64) -> Option<f64> {
     let x = x.clamp(0.0, (grid.nx - 1) as f64);
     let y = y.clamp(0.0, (grid.ny - 1) as f64);
     let i0 = x.floor() as usize;
@@ -156,8 +148,7 @@ impl NestedModel {
                     continue;
                 }
                 let (x, y) = spec.outer_coords(ii, jj);
-                let v = bilinear_masked(og, &|i, j| outer_state.eta.get(i, j), x, y)
-                    .unwrap_or(0.0);
+                let v = bilinear_masked(og, &|i, j| outer_state.eta.get(i, j), x, y).unwrap_or(0.0);
                 st.eta.set(ii, jj, v);
             }
         }

@@ -62,8 +62,7 @@ pub fn stratified_state(grid: &Grid, front_amp: f64, front_scale: f64) -> OceanS
         let vert = t_deep + (t_surface - t_deep) / (1.0 + (depth / 60.0).powi(2)).sqrt();
         let x_from_coast = (nx - 1 - i) as f64 * grid.dx;
         let wobble = 6000.0 * ((j as f64 / ny as f64) * 9.0).sin();
-        let front =
-            front_amp * (-((x_from_coast + wobble).max(0.0) / front_scale.max(1.0))).exp();
+        let front = front_amp * (-((x_from_coast + wobble).max(0.0) / front_scale.max(1.0))).exp();
         vert - front * (-depth / 80.0).exp()
     });
     let s = Field3::from_fn(nx, ny, nz, |i, j, k| {

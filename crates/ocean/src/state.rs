@@ -47,9 +47,7 @@ impl OceanState {
 
     /// Pack into a flat vector `[u, v, T, S, η]`.
     pub fn pack(&self) -> Vec<f64> {
-        let mut x = Vec::with_capacity(
-            4 * self.u.as_slice().len() + self.eta.as_slice().len(),
-        );
+        let mut x = Vec::with_capacity(4 * self.u.as_slice().len() + self.eta.as_slice().len());
         x.extend_from_slice(self.u.as_slice());
         x.extend_from_slice(self.v.as_slice());
         x.extend_from_slice(self.t.as_slice());
@@ -103,7 +101,11 @@ impl OceanState {
 
     /// True if any prognostic field contains a non-finite value.
     pub fn has_nan(&self) -> bool {
-        self.u.has_nan() || self.v.has_nan() || self.t.has_nan() || self.s.has_nan() || self.eta.has_nan()
+        self.u.has_nan()
+            || self.v.has_nan()
+            || self.t.has_nan()
+            || self.s.has_nan()
+            || self.eta.has_nan()
     }
 
     /// Maximum horizontal speed (m/s) — used for CFL checks.

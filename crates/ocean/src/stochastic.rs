@@ -33,13 +33,8 @@ impl NoiseGenerator {
     /// zero on land.
     pub fn sample(&self, grid: &Grid, rng: &mut impl Rng) -> Field2 {
         let (nx, ny) = (grid.nx, grid.ny);
-        let mut f = Field2::from_fn(nx, ny, |i, j| {
-            if grid.is_wet(i, j) {
-                randn(rng)
-            } else {
-                0.0
-            }
-        });
+        let mut f =
+            Field2::from_fn(nx, ny, |i, j| if grid.is_wet(i, j) { randn(rng) } else { 0.0 });
         // Diffusive smoothing (5-point, mask-aware).
         for _ in 0..self.smoothing_passes {
             let mut g = f.clone();
@@ -159,10 +154,7 @@ mod tests {
         let smooth = NoiseGenerator::new(1.0, 3.0);
         let c_rough = rough.estimate_correlation(&g, &mut rng, 2, 60);
         let c_smooth = smooth.estimate_correlation(&g, &mut rng, 2, 60);
-        assert!(
-            c_smooth > c_rough + 0.2,
-            "smooth {c_smooth} vs rough {c_rough}"
-        );
+        assert!(c_smooth > c_rough + 0.2, "smooth {c_smooth} vs rough {c_rough}");
     }
 
     #[test]

@@ -77,11 +77,7 @@ fn main() {
     let modes = coupled_modes(&phys, &tl_ens.members, 4);
     println!(
         "coupled physical-acoustical modes: leading singular values {:?}",
-        modes
-            .singular_values
-            .iter()
-            .map(|s| (s * 100.0).round() / 100.0)
-            .collect::<Vec<_>>()
+        modes.singular_values.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>()
     );
     let (p0, a0) = modes.split_mode(0);
     let pn = p0.iter().map(|v| v * v).sum::<f64>().sqrt();

@@ -83,7 +83,12 @@ fn main() {
     let prov = ProvisioningModel::default();
     for inst in ec2::catalog() {
         let task_s = pemodel_time(&w, &inst.platform) + pert_time(&w, &inst.platform);
-        let n = instances_needed(&inst, members, task_s, deadline_h * 3600.0 - prov.time_to_provision(20));
+        let n = instances_needed(
+            &inst,
+            members,
+            task_s,
+            deadline_h * 3600.0 - prov.time_to_provision(20),
+        );
         let cost = campaign_cost(
             &pricing,
             1.5,

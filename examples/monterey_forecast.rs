@@ -36,9 +36,7 @@ fn main() {
 
     // --- Truth run: the "real ocean" nobody gets to see directly. ---
     let forecast_span = 12.0 * 3600.0;
-    let truth = model
-        .forecast(&mean0, 0.0, forecast_span, Some(0xBEEF))
-        .expect("truth integrates");
+    let truth = model.forecast(&mean0, 0.0, forecast_span, Some(0xBEEF)).expect("truth integrates");
 
     // --- Real-time timelines (Fig. 1). ---
     let calendar = ObservationCalendar::regular(0.0, forecast_span, 4);
@@ -111,11 +109,9 @@ fn main() {
     println!();
     println!("{}", render::ascii_map(&grid, &sst_std, "Fig.5 analogue: SST uncertainty (degC)"));
     // 30 m temperature: nearest sigma level per column.
-    let t30_std = Field2::from_fn(grid.nx, grid.ny, |i, j| {
-        match grid.level_at_depth(i, j, 30.0) {
-            Some(k) => std_field[t_off + (k * grid.ny + j) * grid.nx + i],
-            None => 0.0,
-        }
+    let t30_std = Field2::from_fn(grid.nx, grid.ny, |i, j| match grid.level_at_depth(i, j, 30.0) {
+        Some(k) => std_field[t_off + (k * grid.ny + j) * grid.nx + i],
+        None => 0.0,
     });
     println!(
         "{}",

@@ -60,10 +60,7 @@ fn main() {
     let sst_std =
         esse::ocean::Field2::from_fn(ig.nx, ig.ny, |i, j| std_field[t_off + j * ig.nx + i]);
     println!();
-    println!(
-        "{}",
-        render::ascii_map(ig, &sst_std, "nest SST uncertainty (degC std, fine grid)")
-    );
+    println!("{}", render::ascii_map(ig, &sst_std, "nest SST uncertainty (degC std, fine grid)"));
 
     // What the §7 workload costs on a cluster: gangs of 2 (outer+inner
     // running as parallel tasks) vs fused singletons.

@@ -113,7 +113,8 @@ fn main() {
         fileio::write_vector(&mean_path, &st0.pack()).expect("write mean");
     }
     if !resume || !prior_path.exists() {
-        let prior = esse::core::priors::smooth_temperature_prior(&model.grid, 12, 0.5, 2.5, base_seed);
+        let prior =
+            esse::core::priors::smooth_temperature_prior(&model.grid, 12, 0.5, 2.5, base_seed);
         fileio::write_subspace(&prior_path, &prior).expect("write prior");
     }
     let _mean = fileio::read_vector(&mean_path).expect("read mean");
@@ -157,7 +158,10 @@ fn main() {
             }
         }
     }
-    println!("esse_master: starting with {} members in the differ (resumed {resumed})", acc.count());
+    println!(
+        "esse_master: starting with {} members in the differ (resumed {resumed})",
+        acc.count()
+    );
 
     // --- The pool loop. ---
     let schedule = EnsembleSchedule::new(initial, max);
@@ -242,17 +246,16 @@ fn main() {
         }
         // Continuous SVD + convergence.
         let at_stage = acc.count() >= stages[stage_idx];
-        if !converged && (since_svd >= svd_stride || (at_stage && since_svd > 0)) && acc.count() >= 2 {
+        if !converged
+            && (since_svd >= svd_stride || (at_stage && since_svd > 0))
+            && acc.count() >= 2
+        {
             since_svd = 0;
             if let Some(svd) = acc.snapshot().svd() {
                 let estimate = ErrorSubspace::from_spread_svd(&svd, 1e-4, 64);
                 if let Some(prev) = &previous {
                     let rho = similarity(prev, &estimate);
-                    println!(
-                        "esse_master: N={} rho={rho:.4} (tol {:.3})",
-                        acc.count(),
-                        tolerance
-                    );
+                    println!("esse_master: N={} rho={rho:.4} (tol {:.3})", acc.count(), tolerance);
                     if conv.check(rho) {
                         converged = true;
                         let cancelled = pending.len();

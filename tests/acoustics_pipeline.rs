@@ -28,9 +28,7 @@ fn ocean_uncertainty_transfers_to_acoustic_uncertainty() {
     let states: Vec<OceanState> = (0..n_members)
         .map(|j| {
             let x0 = gen.perturb(&mean0, j);
-            let xf = model
-                .forecast(&x0, 0.0, 1800.0, Some(gen.forecast_seed(j)))
-                .expect("member");
+            let xf = model.forecast(&x0, 0.0, 1800.0, Some(gen.forecast_seed(j))).expect("member");
             OceanState::unpack(&grid, &xf)
         })
         .collect();
@@ -68,12 +66,10 @@ fn coupled_modes_span_both_blocks() {
     let mut phys = Matrix::zeros(0, 0);
     for j in 0..6 {
         let x0 = gen.perturb(&mean0, j);
-        let xf = model
-            .forecast(&x0, 0.0, 1800.0, Some(gen.forecast_seed(j)))
-            .expect("member");
+        let xf = model.forecast(&x0, 0.0, 1800.0, Some(gen.forecast_seed(j))).expect("member");
         let st = OceanState::unpack(&grid, &xf);
-        let sec = SoundSpeedSection::from_ocean(&grid, &st, endpoints.0, endpoints.1)
-            .expect("section");
+        let sec =
+            SoundSpeedSection::from_ocean(&grid, &st, endpoints.0, endpoints.1).expect("section");
         // Fixed raster of the sound-speed section.
         let mut flat = Vec::new();
         for q in 0..20 {

@@ -9,6 +9,7 @@ pub fn smooth_t_prior(grid: &Grid, k: usize, std_per_cell: f64, seed: u64) -> Er
 }
 
 /// RMSE restricted to the temperature block of two packed states.
+#[allow(dead_code)] // not every test target that links `common` uses it
 pub fn t_block_rmse(grid: &Grid, a: &[f64], b: &[f64]) -> f64 {
     let t0 = OceanState::t_offset(grid);
     let t1 = OceanState::s_offset(grid);

@@ -55,9 +55,7 @@ fn tl_observations_correct_ocean_and_acoustics() {
     let mut phys = Matrix::zeros(0, 0);
     for j in 0..n_members {
         let x0 = gen.perturb(&mean0, j);
-        let xf = model
-            .forecast(&x0, 0.0, span, Some(gen.forecast_seed(j)))
-            .expect("member");
+        let xf = model.forecast(&x0, 0.0, span, Some(gen.forecast_seed(j))).expect("member");
         let st = OceanState::unpack(&grid, &xf);
         let sec = SoundSpeedSection::from_ocean(&grid, &st, endpoints.0, endpoints.1)
             .expect("member section");
@@ -71,11 +69,7 @@ fn tl_observations_correct_ocean_and_acoustics() {
     // "Measure" TL at a handful of receiver bins from the truth ocean.
     let truth_tl = {
         let max_range = truth_sec.max_range();
-        let max_depth = truth_sec
-            .profiles
-            .iter()
-            .map(|p| p.water_depth)
-            .fold(0.0_f64, f64::max);
+        let max_depth = truth_sec.profiles.iter().map(|p| p.water_depth).fold(0.0_f64, f64::max);
         solver.solve_broadband(&truth_sec, 25.0, &freqs, max_range, max_depth)
     };
     let truth_tl_vec = truth_tl.to_vec_capped(esse::acoustics::coupled::TL_CAP_DB);
@@ -114,8 +108,5 @@ fn tl_observations_correct_ocean_and_acoustics() {
             after += (an.acoustic[idx] - value).abs();
         }
     }
-    assert!(
-        after < before,
-        "mean TL misfit must shrink: {after} vs {before}"
-    );
+    assert!(after < before, "mean TL misfit must shrink: {after} vs {before}");
 }

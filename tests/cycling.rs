@@ -60,9 +60,7 @@ fn two_cycle_assimilation_keeps_improving() {
     for v in &mut carried.variances {
         *v *= 3.0;
     }
-    let fc2 = MtcEsse::new(&model, mk_cfg(span))
-        .run(&an1.state, &carried)
-        .expect("cycle2");
+    let fc2 = MtcEsse::new(&model, mk_cfg(span)).run(&an1.state, &carried).expect("cycle2");
     let mut obs2 = ObsNetwork::sst_swath(&grid, 2, 0.01);
     obs2.synthesize(&truth2, &mut rng);
     let an2 = assimilate(&fc2.central, &fc2.subspace, &obs2).expect("analysis2");
@@ -108,9 +106,7 @@ fn smoother_improves_the_past_state_estimate() {
     let mut acc1 = SpreadAccumulator::new(central1.clone());
     for j in 0..16 {
         let x0 = gen.perturb(&mean0, j);
-        let x1 = model
-            .forecast(&x0, 0.0, span, Some(gen.forecast_seed(j)))
-            .expect("member");
+        let x1 = model.forecast(&x0, 0.0, span, Some(gen.forecast_seed(j))).expect("member");
         acc0.add_member(j, &x0);
         acc1.add_member(j, &x1);
     }
@@ -119,8 +115,8 @@ fn smoother_improves_the_past_state_estimate() {
     let mut rng = StdRng::seed_from_u64(12);
     obs.synthesize(&truth1, &mut rng);
 
-    let res = smooth(&mean0, &acc0.snapshot(), &central1, &acc1.snapshot(), &obs)
-        .expect("smoother");
+    let res =
+        smooth(&mean0, &acc0.snapshot(), &central1, &acc1.snapshot(), &obs).expect("smoother");
     assert_eq!(res.members_used, 16);
     let rmse_before = t_block_rmse(&grid, &mean0, &truth0);
     let rmse_after = t_block_rmse(&grid, &res.state, &truth0);

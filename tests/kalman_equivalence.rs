@@ -59,9 +59,7 @@ fn ensemble_covariance_converges_to_exact_propagation() {
         let mut acc = SpreadAccumulator::new(central.clone());
         for j in 0..ensemble_n {
             let x0 = gen.perturb(&mean, j);
-            let xf = model
-                .forecast(&x0, 0.0, steps as f64, Some(gen.forecast_seed(j)))
-                .unwrap();
+            let xf = model.forecast(&x0, 0.0, steps as f64, Some(gen.forecast_seed(j))).unwrap();
             acc.add_member(j, &xf);
         }
         let snap = acc.snapshot();
@@ -94,9 +92,7 @@ fn esse_analysis_matches_exact_kalman_update() {
     let mut acc = SpreadAccumulator::new(central.clone());
     for j in 0..4000 {
         let x0 = gen.perturb(&mean, j);
-        let xf = model
-            .forecast(&x0, 0.0, steps as f64, Some(gen.forecast_seed(j)))
-            .unwrap();
+        let xf = model.forecast(&x0, 0.0, steps as f64, Some(gen.forecast_seed(j))).unwrap();
         acc.add_member(j, &xf);
     }
     let svd = acc.snapshot().svd().unwrap();

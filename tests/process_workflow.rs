@@ -73,15 +73,9 @@ fn resume_reuses_completed_members() {
     // Resume with a larger Nmax and tight tolerance: the master must
     // report the previously completed members as resumed.
     let log = run_master(&dir, &["--resume", "--max", "12", "--tolerance", "0.05"]);
-    let resumed_line = log
-        .lines()
-        .find(|l| l.contains("resumed"))
-        .expect("resume line present");
+    let resumed_line = log.lines().find(|l| l.contains("resumed")).expect("resume line present");
     // "starting with N members in the differ (resumed N)" with N >= 4.
-    assert!(
-        !resumed_line.contains("(resumed 0)"),
-        "must resume previous members: {resumed_line}"
-    );
+    assert!(!resumed_line.contains("(resumed 0)"), "must resume previous members: {resumed_line}");
 }
 
 #[test]

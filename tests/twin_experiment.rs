@@ -83,8 +83,7 @@ fn ensemble_spread_tracks_actual_error_growth() {
     let (pe, st0) = esse::ocean::scenario::monterey(12, 12, 3);
     let model = PeForecastModel::new(pe);
     let mean0 = st0.pack();
-    let prior =
-        ErrorSubspace::isotropic(&mut StdRng::seed_from_u64(3), mean0.len(), 4, 1e-10);
+    let prior = ErrorSubspace::isotropic(&mut StdRng::seed_from_u64(3), mean0.len(), 4, 1e-10);
 
     let mut spreads = Vec::new();
     for hours in [2.0, 6.0] {
@@ -101,10 +100,7 @@ fn ensemble_spread_tracks_actual_error_growth() {
         let fc = engine.run(&mean0, &prior).expect("forecast");
         spreads.push(fc.subspace.total_variance());
     }
-    assert!(
-        spreads[1] > spreads[0],
-        "uncertainty should grow with horizon: {spreads:?}"
-    );
+    assert!(spreads[1] > spreads[0], "uncertainty should grow with horizon: {spreads:?}");
 }
 
 #[test]
@@ -160,11 +156,7 @@ fn perturbation_generator_and_workflow_share_member_identity() {
     let x_a = gen.perturb(&mean0, 17);
     let x_b = gen.perturb(&mean0, 17);
     assert_eq!(x_a, x_b);
-    let f_a = model
-        .forecast(&x_a, 0.0, 1800.0, Some(gen.forecast_seed(17)))
-        .unwrap();
-    let f_b = model
-        .forecast(&x_b, 0.0, 1800.0, Some(gen.forecast_seed(17)))
-        .unwrap();
+    let f_a = model.forecast(&x_a, 0.0, 1800.0, Some(gen.forecast_seed(17))).unwrap();
+    let f_b = model.forecast(&x_b, 0.0, 1800.0, Some(gen.forecast_seed(17))).unwrap();
     assert_eq!(f_a, f_b, "same member id must reproduce bitwise anywhere");
 }

@@ -45,9 +45,8 @@ fn serial_and_mtc_estimate_the_same_subspace_on_the_ocean_model() {
     let span = 2.0 * 3600.0;
     let (scfg, mcfg) = fixed_size_configs(16, span);
 
-    let serial = SerialEsse::new(&model, scfg)
-        .forecast_uncertainty(&mean0, &prior)
-        .expect("serial");
+    let serial =
+        SerialEsse::new(&model, scfg).forecast_uncertainty(&mean0, &prior).expect("serial");
     let mtc = MtcEsse::new(&model, mcfg).run(&mean0, &prior).expect("mtc");
 
     assert_eq!(serial.members_run, mtc.members_used);
