@@ -6,7 +6,7 @@ use esse_core::adaptive::EnsembleSchedule;
 use esse_core::driver::{EsseConfig, SerialEsse};
 use esse_core::model::LinearGaussianModel;
 use esse_core::subspace::ErrorSubspace;
-use esse_mtc::workflow::{MtcConfig, MtcEsse};
+use esse_mtc::workflow::{MtcConfig, MtcEsse, RunInit};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,7 +49,7 @@ fn bench_workflow(c: &mut Criterion) {
                     ..Default::default()
                 };
                 let engine = MtcEsse::new(&model, cfg);
-                b.iter(|| engine.run(&mean, &prior).unwrap())
+                b.iter(|| engine.run(RunInit::new(&mean, &prior)).unwrap())
             },
         );
     }

@@ -18,7 +18,7 @@ use esse_core::model::LinearGaussianModel;
 use esse_core::subspace::ErrorSubspace;
 use esse_linalg::random::randn_matrix;
 use esse_linalg::Svd;
-use esse_mtc::workflow::{MtcConfig, MtcEsse};
+use esse_mtc::workflow::{MtcConfig, MtcEsse, RunInit};
 use esse_ocean::dynamics::{baroclinic_pressure, grad_x, RefProfile};
 use esse_ocean::scenario;
 use rand::rngs::StdRng;
@@ -68,7 +68,7 @@ fn main() {
             completion: CompletionPolicy::CancelImmediately,
             ..Default::default()
         };
-        let out = MtcEsse::new(&model, cfg).run(&mean, &prior).unwrap();
+        let out = MtcEsse::new(&model, cfg).run(RunInit::new(&mean, &prior)).unwrap();
         println!(
             "  M/N = {pool_factor:4.2}: used {:3}, wasted {:2}, cancelled {:2}, converged {}",
             out.members_used, out.members_wasted, out.members_cancelled, out.converged
@@ -88,7 +88,7 @@ fn main() {
             svd_stride: stride,
             ..Default::default()
         };
-        let out = MtcEsse::new(&model, cfg).run(&mean, &prior).unwrap();
+        let out = MtcEsse::new(&model, cfg).run(RunInit::new(&mean, &prior)).unwrap();
         println!(
             "  stride {stride:3}: {:2} SVD rounds, detected convergence after {:3} members",
             out.svd_rounds, out.members_used

@@ -27,6 +27,7 @@ fn main() {
         dispatch: DispatchPolicy::sge(),
         staging: InputStaging::PrestagedLocal,
         nfs: NfsConfig::default(),
+        faults: None,
     };
     let job = JobSpec { cpu_s: 180.0, read_mb: 5.0, small_ops: 20, write_mb: 2.0 };
     let count = 6200;

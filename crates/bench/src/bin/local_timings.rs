@@ -44,6 +44,7 @@ fn main() {
         dispatch: DispatchPolicy::sge(),
         staging: InputStaging::PrestagedLocal,
         nfs: NfsConfig::default(),
+        faults: None,
     };
 
     let local = run_batch(&base, job, 600);

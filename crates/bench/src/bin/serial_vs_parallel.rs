@@ -24,7 +24,7 @@ use esse_core::driver::{EsseConfig, SerialEsse};
 use esse_core::model::{ForecastModel, LinearGaussianModel};
 use esse_core::subspace::ErrorSubspace;
 use esse_mtc::metrics::summarize;
-use esse_mtc::workflow::{MtcConfig, MtcEsse};
+use esse_mtc::workflow::{MtcConfig, MtcEsse, RunInit};
 use esse_obs::RingRecorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -113,7 +113,7 @@ fn main() {
             ..Default::default()
         };
         let engine = MtcEsse::new(&model, cfg);
-        let out = engine.run(&mean, &prior).expect("mtc");
+        let out = engine.run(RunInit::new(&mean, &prior)).expect("mtc");
         let m = summarize(&out.records, workers);
         println!(
             "MTC pool, {workers} workers: {} members in {:.2?} (speedup {:.2}x, pool utilization {:.0}%)",
@@ -165,7 +165,7 @@ fn main() {
             ..Default::default()
         };
         let engine = MtcEsse::new(&model, cfg).with_recorder(&ring);
-        let out = engine.run(&mean, &prior).expect("traced mtc");
+        let out = engine.run(RunInit::new(&mean, &prior)).expect("traced mtc");
         let trace = ring.drain();
         esse_obs::export::save(&trace, path).expect("write trace");
         println!(

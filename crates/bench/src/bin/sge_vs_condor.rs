@@ -24,6 +24,7 @@ fn main() {
         dispatch,
         staging: InputStaging::PrestagedLocal,
         nfs: NfsConfig::default(),
+        faults: None,
     };
 
     println!("== Sec 5.2.1: SGE vs Condor dispatch behaviour (600 members, 210 cores) ==");

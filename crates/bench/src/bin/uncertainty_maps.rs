@@ -13,7 +13,7 @@
 
 use esse_core::adaptive::EnsembleSchedule;
 use esse_core::model::PeForecastModel;
-use esse_mtc::workflow::{MtcConfig, MtcEsse};
+use esse_mtc::workflow::{MtcConfig, MtcEsse, RunInit};
 use esse_ocean::{render, scenario, Field2, OceanState};
 
 fn main() {
@@ -44,7 +44,7 @@ fn main() {
     };
     println!("running the ESSE ensemble (up to 48 members, 12 h forecast)...");
     let engine = MtcEsse::new(&model, cfg);
-    let out = engine.run(&mean0, &prior).expect("ensemble");
+    let out = engine.run(RunInit::new(&mean0, &prior)).expect("ensemble");
     println!(
         "members {}, converged {}, subspace rank {}, makespan {:.1?}",
         out.members_used,

@@ -60,20 +60,20 @@ pub fn assimilate(
             he_lam.set(r, c, he_lam.get(r, c) * lam);
         }
     }
-    let mut s = he_lam.matmul(&he.transpose()).map_err(EsseError::Linalg)?;
+    let mut s = he_lam.matmul(&he.transpose()).map_err(EsseError::Numeric)?;
     for (r, var) in obs.variances().iter().enumerate() {
         s.set(r, r, s.get(r, r) + var.max(1e-12));
     }
-    let chol = Cholesky::compute(&s).map_err(EsseError::Linalg)?;
+    let chol = Cholesky::compute(&s).map_err(EsseError::Numeric)?;
     // Gain applied to the innovation: x_a = x_f + E Λ H_Eᵀ S⁻¹ d.
-    let sinv_d = chol.solve(&d).map_err(EsseError::Linalg)?;
-    let ht_sinvd = he_lam.tr_matvec(&sinv_d).map_err(EsseError::Linalg)?; // (Λ H_Eᵀ) S⁻¹ d, length k
-    let dx = subspace.modes.matvec(&ht_sinvd).map_err(EsseError::Linalg)?;
+    let sinv_d = chol.solve(&d).map_err(EsseError::Numeric)?;
+    let ht_sinvd = he_lam.tr_matvec(&sinv_d).map_err(EsseError::Numeric)?; // (Λ H_Eᵀ) S⁻¹ d, length k
+    let dx = subspace.modes.matvec(&ht_sinvd).map_err(EsseError::Numeric)?;
     let state: Vec<f64> = forecast.iter().zip(dx.iter()).map(|(x, p)| x + p).collect();
     let posterior_misfit = obs.rms_misfit(&state);
     // Posterior subspace covariance Λ' = Λ − Λ H_Eᵀ S⁻¹ H_E Λ  (k × k).
-    let sinv_he_lam = chol.solve_matrix(&he_lam).map_err(EsseError::Linalg)?; // S⁻¹ (H_E Λ)
-    let reduction = he_lam.transpose().matmul(&sinv_he_lam).map_err(EsseError::Linalg)?;
+    let sinv_he_lam = chol.solve_matrix(&he_lam).map_err(EsseError::Numeric)?; // S⁻¹ (H_E Λ)
+    let reduction = he_lam.transpose().matmul(&sinv_he_lam).map_err(EsseError::Numeric)?;
     let mut lam_post = Matrix::zeros(k, k);
     for i in 0..k {
         for j in 0..k {
@@ -82,10 +82,10 @@ pub fn assimilate(
         }
     }
     // Symmetrize against roundoff and re-diagonalize.
-    let lam_sym = lam_post.add(&lam_post.transpose()).map_err(EsseError::Linalg)?.scaled(0.5);
-    let eig = SymEigen::compute(&lam_sym).map_err(EsseError::Linalg)?;
+    let lam_sym = lam_post.add(&lam_post.transpose()).map_err(EsseError::Numeric)?.scaled(0.5);
+    let eig = SymEigen::compute(&lam_sym).map_err(EsseError::Numeric)?;
     let post_vars: Vec<f64> = eig.values.iter().map(|&v| v.max(0.0)).collect();
-    let post_modes = subspace.modes.matmul(&eig.vectors).map_err(EsseError::Linalg)?;
+    let post_modes = subspace.modes.matmul(&eig.vectors).map_err(EsseError::Numeric)?;
     Ok(Analysis {
         state,
         subspace: ErrorSubspace { modes: post_modes, variances: post_vars },

@@ -65,19 +65,19 @@ pub fn observation_impact(subspace: &ErrorSubspace, obs: &ObsSet) -> Result<ObsI
             he_lam.set(r, c, he_lam.get(r, c) * lam);
         }
     }
-    let b = he_lam.matmul(&he.transpose()).map_err(EsseError::Linalg)?;
+    let b = he_lam.matmul(&he.transpose()).map_err(EsseError::Numeric)?;
     let mut s = b.clone();
     for (r, var) in obs.variances().iter().enumerate() {
         s.set(r, r, s.get(r, r) + var.max(1e-12));
     }
-    let chol = Cholesky::compute(&s).map_err(EsseError::Linalg)?;
+    let chol = Cholesky::compute(&s).map_err(EsseError::Numeric)?;
     // HK = B S⁻¹  ⇒ columns of HKᵀ solve S x = B row.
-    let hk_t = chol.solve_matrix(&b).map_err(EsseError::Linalg)?; // S⁻¹ B (symmetric B ⇒ (HK)ᵀ)
+    let hk_t = chol.solve_matrix(&b).map_err(EsseError::Numeric)?; // S⁻¹ B (symmetric B ⇒ (HK)ᵀ)
     let influence: Vec<f64> = (0..m).map(|i| hk_t.get(i, i)).collect();
     let dfs: f64 = influence.iter().sum();
     // Posterior variance: tr(Λ) − tr(Λ H_Eᵀ S⁻¹ H_E Λ).
-    let sinv_he_lam = chol.solve_matrix(&he_lam).map_err(EsseError::Linalg)?;
-    let reduction = he_lam.transpose().matmul(&sinv_he_lam).map_err(EsseError::Linalg)?;
+    let sinv_he_lam = chol.solve_matrix(&he_lam).map_err(EsseError::Numeric)?;
+    let reduction = he_lam.transpose().matmul(&sinv_he_lam).map_err(EsseError::Numeric)?;
     let posterior_variance = prior_variance - reduction.trace();
     Ok(ObsImpact { dfs, influence, prior_variance, posterior_variance })
 }

@@ -1,0 +1,184 @@
+//! The workspace error hierarchy.
+//!
+//! Every fallible entry point of the ESSE stack returns [`EsseError`].
+//! The enum is `#[non_exhaustive]` so downstream matches stay valid as
+//! new failure classes appear; per-layer error types ([`ConfigError`],
+//! [`ForecastError`], [`esse_linalg::LinalgError`], [`std::io::Error`])
+//! convert into it through `From`, so `?` works across crate boundaries.
+
+use crate::model::ForecastError;
+use std::time::Duration;
+
+/// A configuration value rejected by a builder's `build()` validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    /// The offending field, as named on the builder.
+    pub field: &'static str,
+    /// Why the value was rejected.
+    pub reason: String,
+}
+
+impl ConfigError {
+    /// New error for `field`.
+    pub fn new(field: &'static str, reason: impl Into<String>) -> ConfigError {
+        ConfigError { field, reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid config field `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Errors from the ESSE pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EsseError {
+    /// A builder rejected its configuration.
+    Config(ConfigError),
+    /// Numerical/linear-algebra failure (SVD, Cholesky, dimension
+    /// mismatches).
+    Numeric(esse_linalg::LinalgError),
+    /// A member forecast task failed permanently (its retry budget, if
+    /// any, is exhausted). `member: None` means the central forecast,
+    /// which has no retry machinery: the whole run depends on it.
+    TaskFailed {
+        /// Member index, or `None` for the central forecast.
+        member: Option<usize>,
+        /// Attempts consumed (≥ 1).
+        attempts: u32,
+        /// The final attempt's failure.
+        source: ForecastError,
+    },
+    /// The Tmax forecast deadline expired before a usable result existed.
+    Deadline {
+        /// Wall-clock elapsed when the run gave up.
+        elapsed: Duration,
+        /// The configured budget.
+        budget: Duration,
+    },
+    /// Filesystem/bookkeeping I/O failure.
+    Io(std::io::Error),
+    /// Not enough ensemble members for the requested operation.
+    NotEnoughMembers {
+        /// Members available.
+        have: usize,
+        /// Members required.
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for EsseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EsseError::Config(e) => write!(f, "{e}"),
+            EsseError::Numeric(e) => write!(f, "numerical error: {e}"),
+            EsseError::TaskFailed { member: Some(m), attempts, source } => {
+                write!(f, "member {m} failed after {attempts} attempt(s): {source}")
+            }
+            EsseError::TaskFailed { member: None, attempts: _, source } => {
+                write!(f, "central forecast failed: {source}")
+            }
+            EsseError::Deadline { elapsed, budget } => {
+                write!(
+                    f,
+                    "forecast deadline expired: {:.1}s elapsed of {:.1}s budget",
+                    elapsed.as_secs_f64(),
+                    budget.as_secs_f64()
+                )
+            }
+            EsseError::Io(e) => write!(f, "I/O error: {e}"),
+            EsseError::NotEnoughMembers { have, need } => {
+                write!(f, "not enough ensemble members: have {have}, need {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EsseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EsseError::Config(e) => Some(e),
+            EsseError::Numeric(e) => Some(e),
+            EsseError::TaskFailed { source, .. } => Some(source),
+            EsseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ForecastError> for EsseError {
+    fn from(e: ForecastError) -> Self {
+        EsseError::TaskFailed { member: None, attempts: 1, source: e }
+    }
+}
+
+impl From<esse_linalg::LinalgError> for EsseError {
+    fn from(e: esse_linalg::LinalgError) -> Self {
+        EsseError::Numeric(e)
+    }
+}
+
+impl From<ConfigError> for EsseError {
+    fn from(e: ConfigError) -> Self {
+        EsseError::Config(e)
+    }
+}
+
+impl From<std::io::Error> for EsseError {
+    fn from(e: std::io::Error) -> Self {
+        EsseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<EsseError> = vec![
+            ConfigError::new("workers", "must be at least 1").into(),
+            EsseError::Numeric(esse_linalg::LinalgError::Singular),
+            EsseError::TaskFailed {
+                member: Some(7),
+                attempts: 3,
+                source: ForecastError::Injected("node crash".into()),
+            },
+            ForecastError::Injected("central blew up".into()).into(),
+            EsseError::Deadline {
+                elapsed: Duration::from_secs(90),
+                budget: Duration::from_secs(60),
+            },
+            std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into(),
+            EsseError::NotEnoughMembers { have: 1, need: 2 },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_impls_pick_the_right_variant() {
+        let e: EsseError = ForecastError::Injected("x".into()).into();
+        assert!(matches!(e, EsseError::TaskFailed { member: None, attempts: 1, .. }));
+        let e: EsseError = ConfigError::new("tolerance", "out of range").into();
+        assert!(matches!(e, EsseError::Config(_)));
+        let e: EsseError = std::io::Error::new(std::io::ErrorKind::Other, "io").into();
+        assert!(matches!(e, EsseError::Io(_)));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error;
+        let e = EsseError::TaskFailed {
+            member: Some(1),
+            attempts: 2,
+            source: ForecastError::Injected("crash".into()),
+        };
+        assert!(e.source().is_some());
+    }
+}

@@ -37,6 +37,7 @@ pub mod convergence;
 pub mod covariance;
 pub mod diagnostics;
 pub mod driver;
+pub mod error;
 pub mod model;
 pub mod obs;
 pub mod perturb;
@@ -46,48 +47,7 @@ pub mod smoother;
 pub mod subspace;
 
 pub use assimilate::Analysis;
+pub use error::{ConfigError, EsseError};
 pub use model::{ForecastError, ForecastModel};
 pub use obs::{ObsSet, Observation};
 pub use subspace::ErrorSubspace;
-
-/// Errors from the ESSE pipeline.
-#[derive(Debug)]
-pub enum EsseError {
-    /// The underlying forecast model failed.
-    Model(ForecastError),
-    /// Linear algebra failure (SVD/Cholesky).
-    Linalg(esse_linalg::LinalgError),
-    /// Not enough ensemble members for the requested operation.
-    NotEnoughMembers {
-        /// Members available.
-        have: usize,
-        /// Members required.
-        need: usize,
-    },
-}
-
-impl std::fmt::Display for EsseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            EsseError::Model(e) => write!(f, "forecast model error: {e}"),
-            EsseError::Linalg(e) => write!(f, "linear algebra error: {e}"),
-            EsseError::NotEnoughMembers { have, need } => {
-                write!(f, "not enough ensemble members: have {have}, need {need}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for EsseError {}
-
-impl From<ForecastError> for EsseError {
-    fn from(e: ForecastError) -> Self {
-        EsseError::Model(e)
-    }
-}
-
-impl From<esse_linalg::LinalgError> for EsseError {
-    fn from(e: esse_linalg::LinalgError) -> Self {
-        EsseError::Linalg(e)
-    }
-}

@@ -73,16 +73,16 @@ pub fn smooth(
     // H M1 (m × N).
     let hm1 = obs.h_times_modes(&m1);
     // S = (H M1)(H M1)ᵀ + R.
-    let mut s = hm1.matmul(&hm1.transpose()).map_err(EsseError::Linalg)?;
+    let mut s = hm1.matmul(&hm1.transpose()).map_err(EsseError::Numeric)?;
     for (r, var) in obs.variances().iter().enumerate() {
         s.set(r, r, s.get(r, r) + var.max(1e-12));
     }
-    let chol = Cholesky::compute(&s).map_err(EsseError::Linalg)?;
+    let chol = Cholesky::compute(&s).map_err(EsseError::Numeric)?;
     let d = obs.innovation(x1);
-    let sinv_d = chol.solve(&d).map_err(EsseError::Linalg)?;
+    let sinv_d = chol.solve(&d).map_err(EsseError::Numeric)?;
     // x0 + M0 (H M1)ᵀ S⁻¹ d.
-    let coeff = hm1.tr_matvec(&sinv_d).map_err(EsseError::Linalg)?; // length N
-    let dx = m0.matvec(&coeff).map_err(EsseError::Linalg)?;
+    let coeff = hm1.tr_matvec(&sinv_d).map_err(EsseError::Numeric)?; // length N
+    let dx = m0.matvec(&coeff).map_err(EsseError::Numeric)?;
     let state = x0.iter().zip(dx.iter()).map(|(x, p)| x + p).collect();
     Ok(SmootherResult { state, members_used: n })
 }

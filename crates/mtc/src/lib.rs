@@ -24,6 +24,7 @@
 
 pub mod bookkeeping;
 pub mod coverage;
+pub mod fault;
 pub mod metrics;
 pub mod staging;
 pub mod task;
@@ -45,5 +46,6 @@ pub mod sim {
     pub mod submission;
 }
 
+pub use fault::{FaultPlan, FaultReport, RetryPolicy, RunHealth};
 pub use task::{TaskId, TaskOutcome, TaskRecord, TaskState};
-pub use workflow::{MtcConfig, MtcEsse, MtcOutcome};
+pub use workflow::{MtcConfig, MtcConfigBuilder, MtcEsse, MtcOutcome, RunInit};

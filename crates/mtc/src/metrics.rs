@@ -83,6 +83,7 @@ mod tests {
             finished_at: Some(Duration::from_secs_f64(end_s)),
             outcome: Some(TaskOutcome::Success),
             worker: Some(0),
+            attempts: 1,
         }
     }
 

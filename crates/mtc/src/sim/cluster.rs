@@ -5,6 +5,7 @@
 //! ("in all cases the useful output files are copied back to the NFS
 //! server at the end of their job").
 
+use crate::fault::unit_draw;
 use crate::sim::event::EventQueue;
 use crate::sim::platform::Platform;
 use crate::sim::scheduler::DispatchPolicy;
@@ -53,6 +54,40 @@ impl Default for NfsConfig {
     }
 }
 
+/// Node-failure model for the batch simulator.
+///
+/// Paper §4 point 3: on a shared cluster "one could see resources
+/// disappear" — a node dies mid-job, the scheduler eventually notices,
+/// and the job is requeued. Failures here are a deterministic function
+/// of `(seed, job, attempt)` (same hash as the live engine's
+/// [`crate::fault::FaultPlan`]); the failure point lands partway through
+/// the CPU phase, so the partial work is counted as waste. Keep
+/// `failure_rate` well below 1: each retry draws independently, so the
+/// batch always finishes, but expected attempts grow as
+/// `1/(1 − rate)`.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeFaultModel {
+    /// Hash seed.
+    pub seed: u64,
+    /// Per-attempt probability the node dies during the job's CPU phase.
+    pub failure_rate: f64,
+    /// Time for the scheduler to detect the death (heartbeat/lease
+    /// expiry) before the normal dispatch path reassigns the job — see
+    /// [`DispatchPolicy::recovery_dispatch`].
+    pub detect_latency_s: f64,
+}
+
+impl NodeFaultModel {
+    /// Failure model with the given rate and a 30 s detection latency.
+    pub fn with_rate(seed: u64, failure_rate: f64) -> NodeFaultModel {
+        NodeFaultModel {
+            seed,
+            failure_rate: failure_rate.clamp(0.0, 0.999),
+            detect_latency_s: 30.0,
+        }
+    }
+}
+
 /// Cluster configuration.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -66,6 +101,8 @@ pub struct ClusterConfig {
     pub staging: InputStaging,
     /// NFS server model.
     pub nfs: NfsConfig,
+    /// Node failures (None = perfectly reliable cluster).
+    pub faults: Option<NodeFaultModel>,
 }
 
 /// Timestamps of one simulated job.
@@ -105,10 +142,16 @@ impl JobTimes {
 pub struct SimReport {
     /// Completion time of the last job (s).
     pub makespan: f64,
-    /// Per-job timestamps.
+    /// Per-job timestamps (of the final, successful attempt).
     pub jobs: Vec<JobTimes>,
     /// Mean per-job CPU utilization.
     pub mean_cpu_utilization: f64,
+    /// Node failures that hit the batch.
+    pub failures: usize,
+    /// CPU seconds lost to attempts that died mid-phase.
+    pub wasted_cpu_s: f64,
+    /// `(time, job)` of each node failure, in simulation order.
+    pub failure_log: Vec<(f64, usize)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +162,8 @@ enum Ev {
     ReadDone(usize),
     /// CPU phase finished.
     CpuDone(usize),
+    /// The node running this job died partway through the CPU phase.
+    CpuFail(usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -138,6 +183,10 @@ pub fn run_batch(cfg: &ClusterConfig, spec: JobSpec, count: usize) -> SimReport 
     let mut flow_of: HashMap<u64, (usize, Phase)> = HashMap::new();
     let mut next_flow: u64 = 0;
     let mut completed = 0usize;
+    let mut attempts: Vec<u32> = vec![0; count];
+    let mut failures = 0usize;
+    let mut wasted_cpu_s = 0.0f64;
+    let mut failure_log: Vec<(f64, usize)> = Vec::new();
     let eff_speed = cfg.platform.effective_speed();
     let small_latency = match cfg.staging {
         InputStaging::PrestagedLocal => cfg.platform.fs.small_file_latency_s,
@@ -174,6 +223,23 @@ pub fn run_batch(cfg: &ClusterConfig, spec: JobSpec, count: usize) -> SimReport 
         }
     };
 
+    // Schedule the end of a CPU phase starting at `t`: either a clean
+    // CpuDone, or — under the fault model, with an independent draw per
+    // `(job, attempt)` — a CpuFail partway through the phase.
+    let cpu_s = spec.cpu_s / eff_speed;
+    let schedule_cpu = |id: usize, t: f64, queue: &mut EventQueue<Ev>, attempts: &mut [u32]| {
+        let a = attempts[id];
+        attempts[id] += 1;
+        if let Some(fm) = cfg.faults {
+            if fm.failure_rate > 0.0 && unit_draw(fm.seed, id as u64, a as u64) < fm.failure_rate {
+                let frac = unit_draw(fm.seed ^ 0x0BAD_C0DE, id as u64, a as u64);
+                queue.schedule(t + cpu_s * frac.max(0.01), Ev::CpuFail(id));
+                return;
+            }
+        }
+        queue.schedule(t + cpu_s, Ev::CpuDone(id));
+    };
+
     loop {
         // Next source of progress: event queue or NFS completion.
         let t_ev = queue.peek_time();
@@ -194,8 +260,7 @@ pub fn run_batch(cfg: &ClusterConfig, spec: JobSpec, count: usize) -> SimReport 
                     match phase {
                         Phase::Read => {
                             jobs[id].cpu_start = tb;
-                            let cpu = spec.cpu_s / eff_speed;
-                            queue.schedule(tb + cpu, Ev::CpuDone(id));
+                            schedule_cpu(id, tb, &mut queue, &mut attempts);
                         }
                         Phase::Write => {
                             jobs[id].end = tb;
@@ -214,8 +279,7 @@ pub fn run_batch(cfg: &ClusterConfig, spec: JobSpec, count: usize) -> SimReport 
                     match phase {
                         Phase::Read => {
                             jobs[id].cpu_start = t;
-                            let cpu = spec.cpu_s / eff_speed;
-                            queue.schedule(t + cpu, Ev::CpuDone(id));
+                            schedule_cpu(id, t, &mut queue, &mut attempts);
                         }
                         Phase::Write => {
                             jobs[id].end = t;
@@ -241,8 +305,7 @@ pub fn run_batch(cfg: &ClusterConfig, spec: JobSpec, count: usize) -> SimReport 
                     }
                     Ev::ReadDone(id) => {
                         jobs[id].cpu_start = t;
-                        let cpu = spec.cpu_s / eff_speed;
-                        queue.schedule(t + cpu, Ev::CpuDone(id));
+                        schedule_cpu(id, t, &mut queue, &mut attempts);
                     }
                     Ev::CpuDone(id) => {
                         jobs[id].cpu_end = t;
@@ -255,6 +318,20 @@ pub fn run_batch(cfg: &ClusterConfig, spec: JobSpec, count: usize) -> SimReport 
                             completed += 1;
                             queue.schedule(cfg.dispatch.next_dispatch(t), Ev::Dispatch);
                         }
+                    }
+                    Ev::CpuFail(id) => {
+                        let fm = cfg.faults.expect("CpuFail implies a fault model");
+                        failures += 1;
+                        wasted_cpu_s += t - jobs[id].cpu_start;
+                        failure_log.push((t, id));
+                        // The job goes back in the queue; a replacement
+                        // slot only opens once the scheduler detects the
+                        // death and renegotiates.
+                        pending.push_back(id);
+                        queue.schedule(
+                            cfg.dispatch.recovery_dispatch(t, fm.detect_latency_s),
+                            Ev::Dispatch,
+                        );
                     }
                 }
             }
@@ -269,7 +346,7 @@ pub fn run_batch(cfg: &ClusterConfig, spec: JobSpec, count: usize) -> SimReport 
     } else {
         0.0
     };
-    SimReport { makespan, jobs, mean_cpu_utilization }
+    SimReport { makespan, jobs, mean_cpu_utilization, failures, wasted_cpu_s, failure_log }
 }
 
 /// Virtual simulation seconds as trace nanoseconds — the same [`Event`]
@@ -337,6 +414,15 @@ pub fn run_batch_traced(
         }
         recorder.observe("sim_job", vns(j.end).saturating_sub(vns(j.start)));
     }
+    for &(t, job) in &report.failure_log {
+        recorder.instant_at(
+            vns(t),
+            Lane::Coordinator,
+            "fault",
+            "node_failure",
+            vec![("job", job.into())],
+        );
+    }
     recorder.instant_at(
         vns(report.makespan),
         Lane::Coordinator,
@@ -365,6 +451,7 @@ mod tests {
             dispatch,
             staging,
             nfs: NfsConfig::default(),
+            faults: None,
         }
     }
 
@@ -443,6 +530,72 @@ mod tests {
         let rep = run_batch(&cfg, spec, 4);
         // Two waves of 100 s + dispatch overheads.
         assert!((200.0..205.0).contains(&rep.makespan), "makespan {}", rep.makespan);
+    }
+
+    #[test]
+    fn node_failures_cost_makespan_and_are_counted() {
+        let spec = JobSpec { cpu_s: 100.0, read_mb: 0.0, small_ops: 0, write_mb: 0.0 };
+        let mut cfg = cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge());
+        cfg.cores = 8;
+        let clean = run_batch(&cfg, spec, 64);
+        assert_eq!(clean.failures, 0);
+        assert_eq!(clean.wasted_cpu_s, 0.0);
+        cfg.faults = Some(NodeFaultModel::with_rate(42, 0.10));
+        let faulty = run_batch(&cfg, spec, 64);
+        assert!(faulty.failures > 0, "10% failure rate over 64 jobs must fire");
+        assert!(faulty.wasted_cpu_s > 0.0);
+        assert_eq!(faulty.failure_log.len(), faulty.failures);
+        // Every job still completes — recovery, not loss.
+        assert!(faulty.jobs.iter().all(|j| j.end > 0.0));
+        assert!(
+            faulty.makespan > clean.makespan,
+            "recovery cost must show: {} vs {}",
+            faulty.makespan,
+            clean.makespan
+        );
+        // Deterministic replay: same seed, same schedule.
+        let again = run_batch(&cfg, spec, 64);
+        assert_eq!(again.failures, faulty.failures);
+        assert_eq!(again.makespan, faulty.makespan);
+    }
+
+    #[test]
+    fn condor_pays_more_per_failure_than_sge() {
+        // The SGE-vs-Condor gap widens once failures force renegotiation
+        // (recovery waits for a cycle boundary on top of detection).
+        let spec = JobSpec { cpu_s: 100.0, read_mb: 0.0, small_ops: 0, write_mb: 0.0 };
+        let faults = Some(NodeFaultModel::with_rate(42, 0.10));
+        let mut sge = cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge());
+        sge.cores = 8;
+        sge.faults = faults;
+        let mut condor = cluster(InputStaging::PrestagedLocal, DispatchPolicy::condor_tuned());
+        condor.cores = 8;
+        condor.faults = faults;
+        let r_sge = run_batch(&sge, spec, 64);
+        let r_condor = run_batch(&condor, spec, 64);
+        // Identical fault draws (same seed, same job/attempt sequence is
+        // not guaranteed across schedulers, but both see failures).
+        assert!(r_sge.failures > 0 && r_condor.failures > 0);
+        assert!(
+            r_condor.makespan > r_sge.makespan,
+            "condor {} vs sge {}",
+            r_condor.makespan,
+            r_sge.makespan
+        );
+    }
+
+    #[test]
+    fn traced_batch_exports_node_failures() {
+        let spec = JobSpec { cpu_s: 100.0, read_mb: 0.0, small_ops: 0, write_mb: 0.0 };
+        let mut cfg = cluster(InputStaging::PrestagedLocal, DispatchPolicy::sge());
+        cfg.cores = 4;
+        cfg.faults = Some(NodeFaultModel::with_rate(42, 0.15));
+        let rec = esse_obs::RingRecorder::new();
+        let rep = run_batch_traced(&cfg, spec, 32, &rec);
+        assert!(rep.failures > 0);
+        let trace = rec.drain();
+        trace.check_well_formed().expect("well-formed faulty sim trace");
+        assert_eq!(trace.instants("node_failure").len(), rep.failures);
     }
 
     #[test]

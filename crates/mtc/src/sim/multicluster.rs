@@ -30,6 +30,25 @@ pub struct ResourcePool {
     /// Seconds to ship one member's initial conditions into this pool
     /// when `pert` ran remotely.
     pub ic_ship_s: f64,
+    /// Per-attempt member failure probability on this pool (preempted
+    /// grid nodes, spot-style EC2 losses). Planning inflates the
+    /// per-member cost by the expected attempt count `1/(1 − rate)`, so
+    /// unreliable pools are handed proportionally fewer members.
+    pub failure_rate: f64,
+}
+
+impl ResourcePool {
+    /// Set the pool's member failure rate (clamped to `[0, 0.9]` so the
+    /// expected-attempts factor stays finite).
+    pub fn with_failure_rate(mut self, rate: f64) -> ResourcePool {
+        self.failure_rate = rate.clamp(0.0, 0.9);
+        self
+    }
+
+    /// Expected attempts per member under this pool's failure rate.
+    pub fn expected_attempts(&self) -> f64 {
+        1.0 / (1.0 - self.failure_rate.clamp(0.0, 0.9))
+    }
 }
 
 /// The member-block assignment for one pool.
@@ -56,13 +75,16 @@ pub struct MixedPlan {
 
 /// Per-member job cost on a pool, honoring the split-pert variant:
 /// pools without fast input access receive pert output shipped from the
-/// home cluster instead of running pert locally.
+/// home cluster instead of running pert locally. Unreliable pools pay
+/// the expected-retry inflation ([`ResourcePool::expected_attempts`]),
+/// so planning accounts for recovery cost, not just raw speed.
 pub fn member_time(w: &WorkloadSpec, pool: &ResourcePool) -> f64 {
-    if pool.fast_input_access {
+    let clean = if pool.fast_input_access {
         pert_time(w, &pool.platform) + pemodel_time(w, &pool.platform)
     } else {
         pool.ic_ship_s + pemodel_time(w, &pool.platform)
-    }
+    };
+    clean * pool.expected_attempts()
 }
 
 /// Makespan-balanced assignment: pick the completion time `T` at which
@@ -218,6 +240,7 @@ pub mod presets {
             availability_delay_s: 0.0,
             fast_input_access: true,
             ic_ship_s: 0.0,
+            failure_rate: 0.0,
         }
     }
 
@@ -231,6 +254,7 @@ pub mod presets {
             availability_delay_s: queue_wait_s,
             fast_input_access: false,
             ic_ship_s: 20.0,
+            failure_rate: 0.0,
         }
     }
 
@@ -243,6 +267,7 @@ pub mod presets {
             availability_delay_s: queue_wait_s,
             fast_input_access: false,
             ic_ship_s: 25.0,
+            failure_rate: 0.0,
         }
     }
 
@@ -257,6 +282,7 @@ pub mod presets {
             availability_delay_s: 120.0,
             fast_input_access: false,
             ic_ship_s: 40.0,
+            failure_rate: 0.0,
         }
     }
 }
@@ -373,6 +399,26 @@ mod tests {
         let b = plan_balanced(&w, &pools, 600);
         assert!((a.makespan_s - b.makespan_s).abs() < 1.0);
         assert_eq!(b.blocks[0].count, 600);
+    }
+
+    #[test]
+    fn unreliable_pools_get_fewer_members() {
+        let w = WorkloadSpec::default();
+        // Two identical grid sites, one losing 30% of attempts: planning
+        // must charge it the expected-retry inflation and shift members
+        // to the reliable twin.
+        let reliable = teragrid_purdue(100, 0.0);
+        let flaky = teragrid_purdue(100, 0.0).with_failure_rate(0.30);
+        assert!(member_time(&w, &flaky) > member_time(&w, &reliable));
+        let expected = 1.0 / (1.0 - 0.30);
+        assert!((member_time(&w, &flaky) / member_time(&w, &reliable) - expected).abs() < 1e-9);
+        let p = plan(&w, &[reliable, flaky], 400);
+        assert!(
+            p.blocks[0].count > p.blocks[1].count,
+            "reliable {} vs flaky {}",
+            p.blocks[0].count,
+            p.blocks[1].count
+        );
     }
 
     #[test]

@@ -52,6 +52,16 @@ impl DispatchPolicy {
             }
         }
     }
+
+    /// Earliest time a job that *failed* at `failed_at` can restart
+    /// elsewhere: the scheduler first has to notice the death
+    /// (`detect_latency_s` — heartbeat/lease expiry), and only then does
+    /// the normal dispatch path apply. Under Condor the renegotiation
+    /// adds a cycle wait on top of detection, which is why its measured
+    /// recovery cost exceeds SGE's by more than the plain dispatch gap.
+    pub fn recovery_dispatch(&self, failed_at: f64, detect_latency_s: f64) -> f64 {
+        self.next_dispatch(failed_at + detect_latency_s.max(0.0))
+    }
 }
 
 #[cfg(test)]
@@ -71,6 +81,18 @@ mod tests {
         assert_eq!(p.next_dispatch(299.9), 300.0);
         assert_eq!(p.next_dispatch(300.0), 600.0);
         assert_eq!(p.next_dispatch(301.0), 600.0);
+    }
+
+    #[test]
+    fn recovery_adds_detection_before_dispatch() {
+        let sge = DispatchPolicy::sge();
+        // Fail at t=100 with 30 s detection: restart at 130 + overhead.
+        assert!((sge.recovery_dispatch(100.0, 30.0) - 130.5).abs() < 1e-9);
+        let condor = DispatchPolicy::condor();
+        // Detection pushes past the 300 s boundary → wait for 600 s.
+        assert_eq!(condor.recovery_dispatch(299.0, 30.0), 600.0);
+        // Condor pays strictly more for the same failure than SGE.
+        assert!(condor.recovery_dispatch(299.0, 30.0) > sge.recovery_dispatch(299.0, 30.0));
     }
 
     #[test]

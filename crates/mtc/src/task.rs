@@ -50,6 +50,9 @@ pub struct TaskRecord {
     pub outcome: Option<TaskOutcome>,
     /// Worker that executed it.
     pub worker: Option<usize>,
+    /// Attempts issued for this member (0 for resumed members, 1 for a
+    /// clean first-try run, more under retries/speculation).
+    pub attempts: u32,
 }
 
 impl TaskRecord {
@@ -62,6 +65,7 @@ impl TaskRecord {
             finished_at: None,
             outcome: None,
             worker: None,
+            attempts: 0,
         }
     }
 

@@ -3,7 +3,7 @@
 //! Structure (one box per paper concept):
 //!
 //! * **pool of ensemble calculations** — worker threads pull
-//!   perturb/forecast task indices from a channel; the pool is
+//!   perturb/forecast task attempts from a channel; the pool is
 //!   over-provisioned (`M ≥ N`) so the SVD pipeline never drains;
 //! * **continuous differ** — the coordinator receives member results as
 //!   they arrive (any order) and accumulates difference columns;
@@ -12,8 +12,16 @@
 //!   is decomposed and compared with the previous subspace;
 //! * **cancellation** — on convergence the cancel flag stops idle
 //!   workers, pending tasks are drained, and the completion policy
-//!   decides what happens to members already computed or still running.
+//!   decides what happens to members already computed or still running;
+//! * **failure recovery** — failed or timed-out attempts are requeued
+//!   with exponential backoff under the [`RetryPolicy`] budget, slow
+//!   members can be speculatively re-launched (first finisher wins),
+//!   and exhausted members degrade the run *explicitly*: the outcome
+//!   carries a [`RunHealth`] verdict, never a silent partial ensemble
+//!   (paper §4 point 3: losses are tolerable unless systematic — so
+//!   they must at least be visible).
 
+use crate::fault::{FaultKind, FaultPlan, FaultReport, RetryPolicy, RunHealth};
 use crate::task::{TaskId, TaskOutcome, TaskRecord, TaskState};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use esse_core::adaptive::{CompletionPolicy, EnsembleSchedule};
@@ -22,9 +30,11 @@ use esse_core::covariance::SpreadAccumulator;
 use esse_core::model::{ForecastError, ForecastModel};
 use esse_core::perturb::{PerturbConfig, PerturbationGenerator};
 use esse_core::subspace::ErrorSubspace;
-use esse_core::EsseError;
+use esse_core::{ConfigError, EsseError};
 use esse_obs::{Lane, Recorder, RecorderExt, NULL};
-use std::sync::atomic::{AtomicBool, Ordering};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Duration since workflow start as trace nanoseconds.
@@ -33,6 +43,10 @@ fn ns(d: Duration) -> u64 {
 }
 
 /// Configuration of the MTC workflow.
+///
+/// Prefer [`MtcConfig::builder`] for new code: it validates the
+/// combination before the engine ever sees it. Struct construction with
+/// `..Default::default()` keeps working for mechanical migration.
 #[derive(Debug, Clone)]
 pub struct MtcConfig {
     /// Worker threads (the paper's cluster cores).
@@ -62,6 +76,12 @@ pub struct MtcConfig {
     /// cancelled and still-running members are ignored ("runs that have
     /// not finished … by the forecast deadline can be safely ignored").
     pub deadline: Option<Duration>,
+    /// Failure recovery policy (default: retries disabled, reproducing
+    /// the pre-fault-tolerance engine exactly).
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection (default: none). Used by resilience
+    /// tests and the `fault_sweep` bench harness.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for MtcConfig {
@@ -79,7 +99,176 @@ impl Default for MtcConfig {
             svd_stride: 8,
             completion: CompletionPolicy::UseCompleted,
             deadline: None,
+            retry: RetryPolicy::default(),
+            faults: None,
         }
+    }
+}
+
+impl MtcConfig {
+    /// Start building a validated configuration from the defaults.
+    pub fn builder() -> MtcConfigBuilder {
+        MtcConfigBuilder { cfg: MtcConfig::default() }
+    }
+
+    /// Validate an already-constructed configuration (the builder calls
+    /// this from [`MtcConfigBuilder::build`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::new("workers", "must be at least 1"));
+        }
+        if !self.pool_factor.is_finite() || self.pool_factor < 1.0 {
+            return Err(ConfigError::new("pool_factor", "must be finite and ≥ 1 (M ≥ N)"));
+        }
+        if !(self.tolerance > 0.0 && self.tolerance < 1.0) {
+            return Err(ConfigError::new("tolerance", "must lie strictly within (0, 1)"));
+        }
+        if self.mode_rel_tol.is_nan() || self.mode_rel_tol < 0.0 {
+            return Err(ConfigError::new("mode_rel_tol", "must be ≥ 0"));
+        }
+        if self.max_rank == 0 {
+            return Err(ConfigError::new("max_rank", "must be at least 1"));
+        }
+        if self.svd_stride == 0 {
+            return Err(ConfigError::new("svd_stride", "must be at least 1"));
+        }
+        if !self.duration.is_finite() || self.duration < 0.0 {
+            return Err(ConfigError::new("duration", "must be finite and ≥ 0"));
+        }
+        if let CompletionPolicy::SpareNearlyDone(frac) = self.completion {
+            if frac.is_nan() || frac < 0.0 {
+                return Err(ConfigError::new("completion", "SpareNearlyDone fraction must be ≥ 0"));
+            }
+        }
+        self.retry.validate()?;
+        Ok(())
+    }
+}
+
+/// Builder for [`MtcConfig`] with typed defaults and a validating
+/// [`build`](MtcConfigBuilder::build).
+#[derive(Debug, Clone)]
+pub struct MtcConfigBuilder {
+    cfg: MtcConfig,
+}
+
+impl MtcConfigBuilder {
+    /// Worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Pool over-provisioning factor (`M = ceil(pool_factor · N)`).
+    pub fn pool_factor(mut self, factor: f64) -> Self {
+        self.cfg.pool_factor = factor;
+        self
+    }
+
+    /// Ensemble growth schedule.
+    pub fn schedule(mut self, schedule: EnsembleSchedule) -> Self {
+        self.cfg.schedule = schedule;
+        self
+    }
+
+    /// Convergence tolerance.
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.cfg.tolerance = tol;
+        self
+    }
+
+    /// Relative σ cutoff for retained modes.
+    pub fn mode_rel_tol(mut self, tol: f64) -> Self {
+        self.cfg.mode_rel_tol = tol;
+        self
+    }
+
+    /// Maximum retained rank.
+    pub fn max_rank(mut self, rank: usize) -> Self {
+        self.cfg.max_rank = rank;
+        self
+    }
+
+    /// Perturbation settings.
+    pub fn perturb(mut self, perturb: PerturbConfig) -> Self {
+        self.cfg.perturb = perturb;
+        self
+    }
+
+    /// Forecast duration (model seconds).
+    pub fn duration(mut self, seconds: f64) -> Self {
+        self.cfg.duration = seconds;
+        self
+    }
+
+    /// Forecast start (model seconds).
+    pub fn start_time(mut self, seconds: f64) -> Self {
+        self.cfg.start_time = seconds;
+        self
+    }
+
+    /// SVD stride (members between decompositions).
+    pub fn svd_stride(mut self, stride: usize) -> Self {
+        self.cfg.svd_stride = stride;
+        self
+    }
+
+    /// Completion policy for in-flight members at convergence.
+    pub fn completion(mut self, policy: CompletionPolicy) -> Self {
+        self.cfg.completion = policy;
+        self
+    }
+
+    /// Hard Tmax wall-clock deadline.
+    pub fn deadline(mut self, tmax: Duration) -> Self {
+        self.cfg.deadline = Some(tmax);
+        self
+    }
+
+    /// Failure recovery policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Deterministic fault injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<MtcConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// Input to [`MtcEsse::run`]: the mean state and prior subspace, plus
+/// optional resume bookkeeping (paper §4.2: a stopped ESSE execution
+/// "can be restarted without rerunning all jobs").
+#[derive(Debug, Clone, Copy)]
+pub struct RunInit<'a> {
+    /// Initial mean state.
+    pub mean: &'a [f64],
+    /// Prior error subspace supplying the perturbation directions.
+    pub prior: &'a ErrorSubspace,
+    /// Previously completed `(member index, forecast result)` pairs
+    /// recovered from the bookkeeping directory; those indices are
+    /// folded into the differ up front and never re-enqueued.
+    pub resume: &'a [(TaskId, Vec<f64>)],
+}
+
+impl<'a> RunInit<'a> {
+    /// Fresh run from `mean` and `prior`.
+    pub fn new(mean: &'a [f64], prior: &'a ErrorSubspace) -> RunInit<'a> {
+        RunInit { mean, prior, resume: &[] }
+    }
+
+    /// Attach resume bookkeeping from a previous incarnation.
+    pub fn resuming(mut self, previous: &'a [(TaskId, Vec<f64>)]) -> RunInit<'a> {
+        self.resume = previous;
+        self
     }
 }
 
@@ -100,7 +289,7 @@ pub struct MtcOutcome {
     pub makespan: Duration,
     /// Members whose results entered the final subspace.
     pub members_used: usize,
-    /// Members that failed.
+    /// Members that failed permanently (retry budget exhausted).
     pub members_failed: usize,
     /// Members computed but discarded (arrived after convergence under
     /// `CancelImmediately`) — the paper's "wasted cycles".
@@ -111,9 +300,13 @@ pub struct MtcOutcome {
     pub svd_rounds: usize,
     /// Whether the Tmax deadline fired before convergence/Nmax.
     pub deadline_expired: bool,
+    /// Statistical health: [`RunHealth::Full`], or an explicit
+    /// [`RunHealth::Degraded`] verdict when members were lost.
+    pub health: RunHealth,
+    /// What the recovery machinery did (retries, timeouts, speculation,
+    /// worker deaths).
+    pub faults: FaultReport,
 }
-
-type WorkerResult = (TaskId, usize, Duration, Duration, Result<Vec<f64>, ForecastError>);
 
 impl MtcOutcome {
     /// Statistical-coverage report over the planned member set (paper §4
@@ -126,6 +319,66 @@ impl MtcOutcome {
             .map(|r| r.id)
             .collect();
         crate::coverage::analyze(&completed, self.records.len())
+    }
+}
+
+/// One attempt of one member, as queued to the worker pool.
+#[derive(Debug, Clone, Copy)]
+struct Attempt {
+    id: TaskId,
+    attempt: u32,
+}
+
+/// Messages from workers to the coordinator.
+enum WorkerMsg {
+    /// A worker picked up an attempt (feeds straggler detection).
+    Started { id: TaskId, at: Duration },
+    /// An attempt finished.
+    Done {
+        id: TaskId,
+        attempt: u32,
+        worker: usize,
+        started: Duration,
+        finished: Duration,
+        result: Result<Vec<f64>, ForecastError>,
+    },
+}
+
+/// Per-member recovery bookkeeping, parallel to the `records` vector.
+#[derive(Default)]
+struct MemberBook {
+    /// Attempts issued so far (including in flight).
+    attempts: Vec<u32>,
+    /// Attempt messages in the queue or on a worker.
+    inflight: Vec<u32>,
+    /// Member reached a final state (success / permanent failure /
+    /// cancellation); late duplicates are discarded.
+    resolved: Vec<bool>,
+    /// A speculative duplicate was already launched.
+    speculated: Vec<bool>,
+    /// Which attempt index is the speculative copy.
+    spec_attempt: Vec<Option<u32>>,
+    /// When the most recent attempt started running (straggler scan).
+    running_since: Vec<Option<Duration>>,
+}
+
+impl MemberBook {
+    fn push_planned(&mut self) {
+        self.attempts.push(1);
+        self.inflight.push(1);
+        self.resolved.push(false);
+        self.speculated.push(false);
+        self.spec_attempt.push(None);
+        self.running_since.push(None);
+    }
+
+    fn push_resumed(&mut self) {
+        self.attempts.push(0);
+        self.inflight.push(0);
+        self.resolved.push(true);
+        self.speculated.push(false);
+        self.spec_attempt.push(None);
+        self.running_since.push(None);
     }
 }
 
@@ -146,10 +399,12 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
     }
 
     /// Attach a trace recorder. Workers then emit one `task`/`member`
-    /// span per executed member on their [`Lane::Worker`] lane
+    /// span per executed attempt on their [`Lane::Worker`] lane
     /// (timestamped on the same workflow clock as [`TaskRecord`]s), and
-    /// the coordinator emits SVD spans, convergence/deadline instants
-    /// and progress counters on [`Lane::Coordinator`]. With the default
+    /// the coordinator emits SVD spans, convergence/deadline instants,
+    /// fault-recovery instants (`retry_scheduled`, `task_timeout`,
+    /// `speculative_launch`, `worker_died`) and progress counters on
+    /// [`Lane::Coordinator`]. With the default
     /// [`esse_obs::NullRecorder`] every instrumentation site reduces to
     /// a branch on `enabled()`.
     pub fn with_recorder(mut self, recorder: &'m dyn Recorder) -> Self {
@@ -157,26 +412,34 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
         self
     }
 
-    /// Run the decoupled uncertainty forecast (Fig. 4).
-    pub fn run(&self, mean0: &[f64], prior: &ErrorSubspace) -> Result<MtcOutcome, EsseError> {
-        self.run_resuming(mean0, prior, &[])
-    }
-
-    /// Run, resuming from previously completed members (paper §4.2: a
-    /// stopped ESSE execution "can be restarted without rerunning all
-    /// jobs"). `previous` supplies `(member index, forecast result)`
-    /// pairs recovered from the bookkeeping directory; those indices are
-    /// folded into the differ up front and never re-enqueued.
+    /// Run, resuming from previously completed members.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use run(RunInit::new(mean, prior).resuming(previous)) instead"
+    )]
     pub fn run_resuming(
         &self,
         mean0: &[f64],
         prior: &ErrorSubspace,
         previous: &[(TaskId, Vec<f64>)],
     ) -> Result<MtcOutcome, EsseError> {
+        self.run(RunInit::new(mean0, prior).resuming(previous))
+    }
+
+    /// Run the decoupled uncertainty forecast (Fig. 4).
+    ///
+    /// This is the single entry point: a fresh run is
+    /// `run(RunInit::new(&mean, &prior))`; a restarted one chains
+    /// [`RunInit::resuming`]. (Before the unified API this was the pair
+    /// `run(&mean, &prior)` / `run_resuming(&mean, &prior, &previous)`.)
+    pub fn run(&self, init: RunInit<'_>) -> Result<MtcOutcome, EsseError> {
         let cfg = &self.config;
+        let mean0 = init.mean;
         let obs = self.recorder;
+        let retry = &cfg.retry;
+        let faults = cfg.faults.as_ref();
         let t0 = Instant::now();
-        let gen = PerturbationGenerator::new(prior, cfg.perturb.clone());
+        let gen = PerturbationGenerator::new(init.prior, cfg.perturb.clone());
         // Central forecast first: the differ needs it.
         if obs.enabled() {
             obs.begin_at(
@@ -192,94 +455,163 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
             obs.end_at(ns(t0.elapsed()), Lane::Coordinator, "phase", "central_forecast");
         }
 
-        let (task_tx, task_rx) = unbounded::<TaskId>();
-        let (result_tx, result_rx) = unbounded::<WorkerResult>();
+        let (task_tx, task_rx) = unbounded::<Attempt>();
+        let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
         let cancel = AtomicBool::new(false);
+        let workers_alive = AtomicUsize::new(cfg.workers.max(1));
 
         let stages = cfg.schedule.stages();
         let pool_target = |n: usize| ((n as f64 * cfg.pool_factor).ceil() as usize).max(n);
 
         let resumed: std::collections::HashSet<TaskId> =
-            previous.iter().map(|(id, _)| *id).collect();
+            init.resume.iter().map(|(id, _)| *id).collect();
         let mut records: Vec<TaskRecord> = Vec::new();
+        let mut book = MemberBook::default();
         let mut enqueued = 0usize;
-        // `enqueued` counts *task ids issued*, including resumed ids that
-        // are skipped (they already ran in the previous incarnation).
+        let mut sent = 0usize;
+        // `enqueued` counts *member ids issued*, including resumed ids
+        // that are skipped; `sent` counts attempt messages pushed to the
+        // pool (first attempts + retries + speculative duplicates).
         let enqueue_to = |target: usize,
                           records: &mut Vec<TaskRecord>,
+                          book: &mut MemberBook,
                           enqueued: &mut usize,
-                          tx: &Sender<TaskId>|
-         -> usize {
-            let mut skipped = 0usize;
+                          sent: &mut usize,
+                          tx: &Sender<Attempt>| {
             while *enqueued < target {
-                if resumed.contains(enqueued) {
-                    let mut rec = TaskRecord::pending(*enqueued);
+                let id = *enqueued;
+                if resumed.contains(&id) {
+                    let mut rec = TaskRecord::pending(id);
                     rec.state = TaskState::Done;
                     rec.outcome = Some(TaskOutcome::Success);
                     records.push(rec);
-                    skipped += 1;
+                    book.push_resumed();
                 } else {
-                    records.push(TaskRecord::pending(*enqueued));
-                    tx.send(*enqueued).expect("task channel open");
+                    records.push(TaskRecord::pending(id));
+                    book.push_planned();
+                    tx.send(Attempt { id, attempt: 0 }).expect("task channel open");
+                    *sent += 1;
                 }
                 *enqueued += 1;
             }
-            skipped
         };
 
         let outcome = std::thread::scope(|scope| -> Result<MtcOutcome, EsseError> {
             // --- Workers: the MTC pool. ---
             for w in 0..cfg.workers.max(1) {
-                let task_rx: Receiver<TaskId> = task_rx.clone();
-                let result_tx: Sender<WorkerResult> = result_tx.clone();
+                let task_rx: Receiver<Attempt> = task_rx.clone();
+                let msg_tx: Sender<WorkerMsg> = msg_tx.clone();
                 let gen = &gen;
                 let cancel = &cancel;
+                let workers_alive = &workers_alive;
                 let model = self.model;
-                scope.spawn(move || loop {
-                    if cancel.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    match task_rx.recv_timeout(Duration::from_millis(5)) {
-                        Ok(id) => {
-                            let started = t0.elapsed();
-                            let x0 = gen.perturb(mean0, id);
-                            let seed = gen.forecast_seed(id);
-                            let res = model.forecast(&x0, cfg.start_time, cfg.duration, Some(seed));
-                            let finished = t0.elapsed();
-                            if obs.enabled() {
-                                let lane = Lane::Worker(w as u32);
-                                obs.begin_at(
-                                    ns(started),
-                                    lane,
-                                    "task",
-                                    "member",
-                                    vec![("member", id.into())],
-                                );
-                                if res.is_err() {
-                                    obs.instant_at(
-                                        ns(finished),
+                scope.spawn(move || {
+                    let mut tasks_started = 0usize;
+                    loop {
+                        if cancel.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        match task_rx.recv_timeout(Duration::from_millis(5)) {
+                            Ok(Attempt { id, attempt }) => {
+                                tasks_started += 1;
+                                let started = t0.elapsed();
+                                // Receiver may be gone during shutdown; ignore send errors.
+                                let _ = msg_tx.send(WorkerMsg::Started { id, at: started });
+                                let dies =
+                                    faults.is_some_and(|p| p.worker_dies(w, tasks_started));
+                                let fault = if dies {
+                                    None
+                                } else {
+                                    faults.and_then(|p| p.fault_for(id, attempt))
+                                };
+                                if let Some(FaultKind::Straggle(extra)) = fault {
+                                    // Straggler: the work happens, just late.
+                                    std::thread::sleep(extra);
+                                }
+                                let res = if dies {
+                                    Err(ForecastError::Injected(format!(
+                                        "worker {w} died running member {id}"
+                                    )))
+                                } else {
+                                    match fault {
+                                        Some(FaultKind::Crash) => Err(ForecastError::Injected(
+                                            format!("injected crash (member {id}, attempt {attempt})"),
+                                        )),
+                                        Some(FaultKind::TransientIo) => {
+                                            Err(ForecastError::Injected(format!(
+                                                "transient I/O error (member {id}, attempt {attempt})"
+                                            )))
+                                        }
+                                        _ => {
+                                            let x0 = gen.perturb(mean0, id);
+                                            let seed = gen.forecast_seed(id);
+                                            model.forecast(
+                                                &x0,
+                                                cfg.start_time,
+                                                cfg.duration,
+                                                Some(seed),
+                                            )
+                                        }
+                                    }
+                                };
+                                let finished = t0.elapsed();
+                                if obs.enabled() {
+                                    let lane = Lane::Worker(w as u32);
+                                    obs.begin_at(
+                                        ns(started),
                                         lane,
                                         "task",
-                                        "member_failed",
-                                        vec![("member", id.into())],
+                                        "member",
+                                        vec![("member", id.into()), ("attempt", u64::from(attempt).into())],
                                     );
+                                    if res.is_err() {
+                                        obs.instant_at(
+                                            ns(finished),
+                                            lane,
+                                            "task",
+                                            "member_failed",
+                                            vec![
+                                                ("member", id.into()),
+                                                ("attempt", u64::from(attempt).into()),
+                                            ],
+                                        );
+                                    }
+                                    obs.end_at(ns(finished), lane, "task", "member");
+                                    obs.observe("member", ns(finished.saturating_sub(started)));
                                 }
-                                obs.end_at(ns(finished), lane, "task", "member");
-                                obs.observe("member", ns(finished.saturating_sub(started)));
+                                let _ = msg_tx.send(WorkerMsg::Done {
+                                    id,
+                                    attempt,
+                                    worker: w,
+                                    started,
+                                    finished,
+                                    result: res,
+                                });
+                                if dies {
+                                    if obs.enabled() {
+                                        obs.instant_at(
+                                            ns(finished),
+                                            Lane::Worker(w as u32),
+                                            "fault",
+                                            "worker_died",
+                                            vec![("worker", w.into())],
+                                        );
+                                    }
+                                    workers_alive.fetch_sub(1, Ordering::SeqCst);
+                                    break;
+                                }
                             }
-                            // Receiver may be gone during shutdown; ignore.
-                            let _ = result_tx.send((id, w, started, finished, res));
+                            Err(RecvTimeoutError::Timeout) => continue,
+                            Err(RecvTimeoutError::Disconnected) => break,
                         }
-                        Err(RecvTimeoutError::Timeout) => continue,
-                        Err(RecvTimeoutError::Disconnected) => break,
                     }
                 });
             }
-            drop(result_tx); // coordinator keeps only result_rx
+            drop(msg_tx); // coordinator keeps only msg_rx
 
-            // --- Coordinator: continuous differ + SVD + convergence. ---
+            // --- Coordinator: differ + SVD + convergence + recovery. ---
             let mut acc = SpreadAccumulator::new(central.clone());
-            for (id, result) in previous {
+            for (id, result) in init.resume {
                 acc.add_member(*id, result);
             }
             let mut conv = ConvergenceTest::new(cfg.tolerance);
@@ -290,75 +622,246 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
             let mut svd_rounds = 0usize;
             let mut stage_idx = 0usize;
             let mut since_svd = 0usize;
-            let mut received = 0usize;
+            let mut got = 0usize;
             let mut converged_at: Option<Duration> = None;
             let mut runtime_sum = Duration::ZERO;
             let mut runtime_count = 0u32;
+            let mut freport = FaultReport::default();
+            // Backoff-pending retries: (ready_at, member, attempt index).
+            let mut retry_queue: Vec<(Duration, TaskId, u32)> = Vec::new();
+            // The jitter stream is owned by the workflow and seeded from
+            // its own config; it is only advanced when a retry is
+            // actually scheduled, so zero-fault runs never consume it.
+            let mut jitter_rng = StdRng::seed_from_u64(cfg.perturb.base_seed ^ 0x7E57_FA17);
 
-            received += enqueue_to(pool_target(stages[0]), &mut records, &mut enqueued, &task_tx);
+            /// Drain queued attempts after a cancellation point
+            /// (convergence, deadline, pool death): they will never be
+            /// picked up.
+            fn drain_queued(
+                task_rx: &Receiver<Attempt>,
+                records: &mut [TaskRecord],
+                book: &mut MemberBook,
+                got: &mut usize,
+                obs: &dyn Recorder,
+                now: Duration,
+            ) {
+                while let Ok(att) = task_rx.try_recv() {
+                    *got += 1;
+                    book.inflight[att.id] = book.inflight[att.id].saturating_sub(1);
+                    if !book.resolved[att.id] {
+                        records[att.id].state = TaskState::Cancelled;
+                        book.resolved[att.id] = true;
+                        if obs.enabled() {
+                            obs.instant_at(
+                                ns(now),
+                                Lane::Coordinator,
+                                "task",
+                                "cancelled",
+                                vec![("member", att.id.into())],
+                            );
+                        }
+                    }
+                }
+            }
+
+            enqueue_to(
+                pool_target(stages[0]),
+                &mut records,
+                &mut book,
+                &mut enqueued,
+                &mut sent,
+                &task_tx,
+            );
             // Resumed members may already complete early stages: advance
             // and top up the pool before entering the receive loop.
             while stage_idx + 1 < stages.len() && acc.count() >= stages[stage_idx] {
                 stage_idx += 1;
-                received += enqueue_to(
+                enqueue_to(
                     pool_target(stages[stage_idx]),
                     &mut records,
+                    &mut book,
                     &mut enqueued,
+                    &mut sent,
                     &task_tx,
                 );
             }
 
-            // Main receive loop: runs until converged (and drained per
-            // policy) or every enqueued task is accounted for.
+            // Main receive loop: runs until every issued attempt is
+            // accounted for and no retry is pending.
             let mut deadline_expired = false;
-            while received < enqueued {
-                // Bounded wait so the Tmax deadline is honored even while
-                // results are scarce.
-                let msg = result_rx.recv_timeout(Duration::from_millis(20));
+            while got < sent || !retry_queue.is_empty() {
+                // Bounded wait so deadlines, backoff releases and the
+                // straggler scan run even while results are scarce.
+                let msg = msg_rx.recv_timeout(Duration::from_millis(5));
+                let now = t0.elapsed();
                 if let Some(dl) = cfg.deadline {
-                    if !deadline_expired && t0.elapsed() >= dl {
+                    if !deadline_expired && now >= dl {
                         deadline_expired = true;
-                        converged_at.get_or_insert(t0.elapsed());
+                        converged_at.get_or_insert(now);
                         cancel.store(true, Ordering::Relaxed);
                         if obs.enabled() {
                             obs.instant_at(
-                                ns(t0.elapsed()),
+                                ns(now),
                                 Lane::Coordinator,
                                 "workflow",
                                 "deadline_expired",
                                 vec![("tmax_ms", (dl.as_millis() as u64).into())],
                             );
                         }
-                        while let Ok(pid) = task_rx.try_recv() {
-                            records[pid].state = TaskState::Cancelled;
-                            received += 1;
+                        // Backoff-pending retries die with the deadline.
+                        for (_, id, _) in retry_queue.drain(..) {
+                            if !book.resolved[id] {
+                                records[id].state = TaskState::Cancelled;
+                                book.resolved[id] = true;
+                            }
+                        }
+                        drain_queued(&task_rx, &mut records, &mut book, &mut got, obs, now);
+                    }
+                }
+                if !converged && !deadline_expired && !retry_queue.is_empty() {
+                    // Release retries whose backoff has elapsed.
+                    let mut i = 0;
+                    while i < retry_queue.len() {
+                        if retry_queue[i].0 <= now {
+                            let (_, id, attempt) = retry_queue.swap_remove(i);
+                            book.inflight[id] += 1;
+                            sent += 1;
+                            task_tx.send(Attempt { id, attempt }).expect("task channel open");
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                if workers_alive.load(Ordering::SeqCst) == 0 && got < sent {
+                    // The whole pool died: nothing queued will ever run.
+                    drain_queued(&task_rx, &mut records, &mut book, &mut got, obs, now);
+                    for (_, id, _) in retry_queue.drain(..) {
+                        if !book.resolved[id] {
+                            records[id].state = TaskState::Done;
+                            records[id].outcome =
+                                Some(TaskOutcome::Failed("worker pool died".into()));
+                            book.resolved[id] = true;
+                            members_failed += 1;
+                        }
+                    }
+                }
+                // Straggler speculation: re-launch members that have been
+                // running much longer than the mean on the (free) pool;
+                // the first finisher resolves the member.
+                if retry.speculative && !converged && !deadline_expired && runtime_count >= 2 {
+                    let mean_rt = runtime_sum / runtime_count;
+                    let threshold = mean_rt.mul_f64(retry.speculation_factor);
+                    for id in 0..records.len() {
+                        if book.resolved[id] || book.speculated[id] || book.inflight[id] != 1 {
+                            continue;
+                        }
+                        let Some(since) = book.running_since[id] else { continue };
+                        if now.saturating_sub(since) > threshold {
+                            let attempt = book.attempts[id];
+                            book.attempts[id] += 1;
+                            book.inflight[id] += 1;
+                            book.speculated[id] = true;
+                            book.spec_attempt[id] = Some(attempt);
+                            sent += 1;
+                            freport.speculative_launches += 1;
+                            task_tx.send(Attempt { id, attempt }).expect("task channel open");
                             if obs.enabled() {
                                 obs.instant_at(
-                                    ns(t0.elapsed()),
+                                    ns(now),
                                     Lane::Coordinator,
-                                    "task",
-                                    "cancelled",
-                                    vec![("member", pid.into())],
+                                    "fault",
+                                    "speculative_launch",
+                                    vec![
+                                        ("member", id.into()),
+                                        ("attempt", u64::from(attempt).into()),
+                                    ],
                                 );
                             }
                         }
                     }
                 }
-                let (id, w, started, finished, res) = match msg {
-                    Ok(m) => m,
+                let (id, attempt, w, started, finished, res) = match msg {
+                    Ok(WorkerMsg::Started { id, at }) => {
+                        book.running_since[id] = Some(at);
+                        if records[id].state == TaskState::Pending {
+                            records[id].state = TaskState::Running;
+                        }
+                        continue;
+                    }
+                    Ok(WorkerMsg::Done { id, attempt, worker, started, finished, result }) => {
+                        (id, attempt, worker, started, finished, result)
+                    }
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
                 };
-                received += 1;
+                got += 1;
+                book.inflight[id] = book.inflight[id].saturating_sub(1);
+                if book.inflight[id] == 0 {
+                    book.running_since[id] = None;
+                }
+                if book.resolved[id] {
+                    // Late duplicate of an already-resolved member: the
+                    // losing side of a speculation race, or a result
+                    // arriving after cancellation. Only the speculative
+                    // attempt itself counts as a loss — the original
+                    // losing to its twin is already scored as a win.
+                    if book.spec_attempt[id] == Some(attempt) {
+                        freport.speculative_losses += 1;
+                        if obs.enabled() {
+                            obs.instant_at(
+                                ns(now),
+                                Lane::Coordinator,
+                                "fault",
+                                "speculative_loss",
+                                vec![("member", id.into())],
+                            );
+                        }
+                    }
+                    continue;
+                }
+                // Per-task timeout: an over-budget attempt is discarded
+                // even if it technically succeeded (its slot was needed
+                // elsewhere; paper §4 point 1 — timeliness).
+                let runtime = finished.saturating_sub(started);
+                let timed_out =
+                    res.is_ok() && retry.task_timeout.is_some_and(|limit| runtime > limit);
+                if timed_out {
+                    freport.timeouts += 1;
+                    if obs.enabled() {
+                        obs.instant_at(
+                            ns(now),
+                            Lane::Coordinator,
+                            "fault",
+                            "task_timeout",
+                            vec![
+                                ("member", id.into()),
+                                ("runtime_ms", (runtime.as_millis() as u64).into()),
+                            ],
+                        );
+                    }
+                }
                 let rec = &mut records[id];
                 rec.worker = Some(w);
                 rec.started_at = Some(started);
                 rec.finished_at = Some(finished);
                 rec.state = TaskState::Done;
                 match res {
-                    Ok(xf) => {
-                        runtime_sum += finished.saturating_sub(started);
+                    Ok(xf) if !timed_out => {
+                        runtime_sum += runtime;
                         runtime_count += 1;
+                        book.resolved[id] = true;
+                        if book.spec_attempt[id] == Some(attempt) {
+                            freport.speculative_wins += 1;
+                            if obs.enabled() {
+                                obs.instant_at(
+                                    ns(now),
+                                    Lane::Coordinator,
+                                    "fault",
+                                    "speculative_win",
+                                    vec![("member", id.into())],
+                                );
+                            }
+                        }
                         if deadline_expired && !converged {
                             // Paper: late runs are safely ignored.
                             rec.outcome = Some(TaskOutcome::Wasted);
@@ -397,16 +900,72 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                             since_svd += 1;
                         }
                     }
-                    Err(e) => {
-                        rec.outcome = Some(TaskOutcome::Failed(e.to_string()));
-                        members_failed += 1;
+                    failed => {
+                        // Timed out, or the attempt reported an error.
+                        let reason = match &failed {
+                            Err(e) => e.to_string(),
+                            Ok(_) => format!("attempt exceeded task timeout ({runtime:?})"),
+                        };
+                        if book.inflight[id] > 0 {
+                            // A twin attempt (speculation) is still out
+                            // there; let it decide the member's fate.
+                            rec.state = TaskState::Running;
+                        } else if !converged
+                            && !deadline_expired
+                            && book.attempts[id] < retry.max_attempts
+                        {
+                            // Requeue with exponential backoff + jitter.
+                            let prior = book.attempts[id];
+                            let delay = retry.backoff_delay(prior, &mut jitter_rng);
+                            let attempt_next = book.attempts[id];
+                            book.attempts[id] += 1;
+                            retry_queue.push((now + delay, id, attempt_next));
+                            freport.retries += 1;
+                            rec.state = TaskState::Pending;
+                            rec.outcome = None;
+                            if obs.enabled() {
+                                obs.instant_at(
+                                    ns(now),
+                                    Lane::Coordinator,
+                                    "fault",
+                                    "retry_scheduled",
+                                    vec![
+                                        ("member", id.into()),
+                                        ("attempt", u64::from(attempt_next).into()),
+                                        ("delay_ms", (delay.as_millis() as u64).into()),
+                                    ],
+                                );
+                            }
+                        } else {
+                            book.resolved[id] = true;
+                            rec.outcome = Some(TaskOutcome::Failed(reason));
+                            members_failed += 1;
+                            if obs.enabled() {
+                                obs.instant_at(
+                                    ns(now),
+                                    Lane::Coordinator,
+                                    "fault",
+                                    "member_failed_permanent",
+                                    vec![
+                                        ("member", id.into()),
+                                        ("attempts", u64::from(book.attempts[id]).into()),
+                                    ],
+                                );
+                            }
+                        }
                     }
                 }
                 if obs.enabled() {
-                    let now = ns(t0.elapsed());
-                    obs.counter_at(now, Lane::Coordinator, "members_done", acc.count() as f64);
-                    obs.counter_at(now, Lane::Coordinator, "members_failed", members_failed as f64);
-                    obs.counter_at(now, Lane::Coordinator, "members_wasted", members_wasted as f64);
+                    let tns = ns(t0.elapsed());
+                    obs.counter_at(tns, Lane::Coordinator, "members_done", acc.count() as f64);
+                    obs.counter_at(tns, Lane::Coordinator, "members_failed", members_failed as f64);
+                    obs.counter_at(tns, Lane::Coordinator, "members_wasted", members_wasted as f64);
+                    if freport.retries > 0 {
+                        obs.counter_at(tns, Lane::Coordinator, "retries", freport.retries as f64);
+                    }
+                    if freport.timeouts > 0 {
+                        obs.counter_at(tns, Lane::Coordinator, "timeouts", freport.timeouts as f64);
+                    }
                 }
                 if converged || deadline_expired {
                     continue; // draining in-flight results
@@ -456,20 +1015,23 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                                         vec![("rho", rho.into()), ("members", acc.count().into())],
                                     );
                                 }
-                                // Drain pending tasks (cancel queued).
-                                while let Ok(pid) = task_rx.try_recv() {
-                                    records[pid].state = TaskState::Cancelled;
-                                    received += 1;
-                                    if obs.enabled() {
-                                        obs.instant_at(
-                                            ns(t0.elapsed()),
-                                            Lane::Coordinator,
-                                            "task",
-                                            "cancelled",
-                                            vec![("member", pid.into())],
-                                        );
+                                // Backoff-pending retries are cancelled,
+                                // then the queue is drained.
+                                for (_, rid, _) in retry_queue.drain(..) {
+                                    if !book.resolved[rid] {
+                                        records[rid].state = TaskState::Cancelled;
+                                        book.resolved[rid] = true;
                                     }
                                 }
+                                let tnow = t0.elapsed();
+                                drain_queued(
+                                    &task_rx,
+                                    &mut records,
+                                    &mut book,
+                                    &mut got,
+                                    obs,
+                                    tnow,
+                                );
                             }
                         }
                         previous = Some(estimate);
@@ -483,34 +1045,43 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                 // Pool growth: if the current stage is complete but not
                 // converged, move to the next stage and top up the pool
                 // (before the pipeline drains — §4.1).
-                if !converged && acc.count() >= stage_target {
-                    if stage_idx + 1 < stages.len() {
-                        stage_idx += 1;
-                        if obs.enabled() {
-                            obs.instant_at(
-                                ns(t0.elapsed()),
-                                Lane::Coordinator,
-                                "workflow",
-                                "stage_advance",
-                                vec![("target", stages[stage_idx].into())],
-                            );
-                        }
-                        received += enqueue_to(
-                            pool_target(stages[stage_idx]),
-                            &mut records,
-                            &mut enqueued,
-                            &task_tx,
+                if !converged && acc.count() >= stage_target && stage_idx + 1 < stages.len() {
+                    stage_idx += 1;
+                    if obs.enabled() {
+                        obs.instant_at(
+                            ns(t0.elapsed()),
+                            Lane::Coordinator,
+                            "workflow",
+                            "stage_advance",
+                            vec![("target", stages[stage_idx].into())],
                         );
-                    } else if received >= enqueued {
-                        break; // Nmax exhausted
                     }
+                    enqueue_to(
+                        pool_target(stages[stage_idx]),
+                        &mut records,
+                        &mut book,
+                        &mut enqueued,
+                        &mut sent,
+                        &task_tx,
+                    );
                 }
             }
             cancel.store(true, Ordering::Relaxed);
             drop(task_tx);
+            // Copy the attempt counters into the public records.
+            for (rec, attempts) in records.iter_mut().zip(&book.attempts) {
+                rec.attempts = *attempts;
+            }
             // Cancelled-but-pending bookkeeping.
             let members_cancelled =
                 records.iter().filter(|r| r.state == TaskState::Cancelled).count();
+
+            if deadline_expired && acc.count() < 2 {
+                return Err(EsseError::Deadline {
+                    elapsed: t0.elapsed(),
+                    budget: cfg.deadline.expect("deadline fired"),
+                });
+            }
 
             // Completion policy: a final SVD over everything that arrived.
             let final_subspace = if matches!(
@@ -546,6 +1117,34 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                 .or(previous)
                 .ok_or(EsseError::NotEnoughMembers { have: acc.count(), need: 2 })?;
 
+            // Statistical health: permanent losses (and deadline
+            // truncation) are reported explicitly, never silently.
+            let truncated = deadline_expired && !converged;
+            let lost =
+                members_failed + if truncated { members_cancelled + members_wasted } else { 0 };
+            let health = if lost == 0 {
+                RunHealth::Full
+            } else {
+                let planned = records.len().max(1);
+                let succeeded = records
+                    .iter()
+                    .filter(|r| matches!(r.outcome, Some(TaskOutcome::Success)))
+                    .count();
+                let coverage = succeeded as f64 / planned as f64;
+                if obs.enabled() {
+                    obs.instant_at(
+                        ns(t0.elapsed()),
+                        Lane::Coordinator,
+                        "workflow",
+                        "degraded",
+                        vec![("coverage", coverage.into()), ("lost", lost.into())],
+                    );
+                }
+                RunHealth::Degraded { coverage, lost_members: lost }
+            };
+            freport.workers_died =
+                cfg.workers.max(1) - workers_alive.load(Ordering::SeqCst).min(cfg.workers.max(1));
+
             Ok(MtcOutcome {
                 central,
                 subspace,
@@ -558,6 +1157,8 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                 members_cancelled,
                 svd_rounds,
                 deadline_expired,
+                health,
+                faults: freport,
                 records,
             })
         })?;
@@ -569,8 +1170,6 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
 mod tests {
     use super::*;
     use esse_core::model::LinearGaussianModel;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn setup() -> (LinearGaussianModel, ErrorSubspace, Vec<f64>) {
         let rates = [0.98, 0.95, 0.3, 0.3, 0.2, 0.1];
@@ -596,10 +1195,12 @@ mod tests {
     fn mtc_workflow_converges() {
         let (model, prior, mean) = setup();
         let engine = MtcEsse::new(&model, config(4));
-        let out = engine.run(&mean, &prior).unwrap();
+        let out = engine.run(RunInit::new(&mean, &prior)).unwrap();
         assert!(out.converged, "rho: {:?}", out.rho_history);
         assert!(out.members_used >= 16);
         assert!(out.svd_rounds >= 2);
+        assert_eq!(out.health, RunHealth::Full);
+        assert!(out.faults.is_clean());
         // Dominant subspace captures the slow axes.
         let lead = out.subspace.modes.col(0);
         assert!(lead[0] * lead[0] + lead[1] * lead[1] > 0.8);
@@ -609,7 +1210,7 @@ mod tests {
     fn all_tasks_accounted_for() {
         let (model, prior, mean) = setup();
         let engine = MtcEsse::new(&model, config(3));
-        let out = engine.run(&mean, &prior).unwrap();
+        let out = engine.run(RunInit::new(&mean, &prior)).unwrap();
         for r in &out.records {
             assert!(
                 matches!(r.state, TaskState::Done | TaskState::Cancelled),
@@ -620,6 +1221,7 @@ mod tests {
             if r.state == TaskState::Done {
                 assert!(r.outcome.is_some());
                 assert!(r.runtime().is_some());
+                assert!(r.attempts >= 1);
             }
         }
     }
@@ -633,10 +1235,10 @@ mod tests {
         cfg.tolerance = 1e-12; // force full Nmax in both runs
         cfg.schedule = EnsembleSchedule::new(32, 32);
         cfg.pool_factor = 1.0;
-        let out1 = MtcEsse::new(&model, cfg.clone()).run(&mean, &prior).unwrap();
+        let out1 = MtcEsse::new(&model, cfg.clone()).run(RunInit::new(&mean, &prior)).unwrap();
         let mut cfg4 = cfg;
         cfg4.workers = 4;
-        let out4 = MtcEsse::new(&model, cfg4).run(&mean, &prior).unwrap();
+        let out4 = MtcEsse::new(&model, cfg4).run(RunInit::new(&mean, &prior)).unwrap();
         assert_eq!(out1.members_used, out4.members_used);
         let rho = similarity(&out1.subspace, &out4.subspace);
         assert!(rho > 0.9999, "subspaces should match, rho = {rho}");
@@ -667,9 +1269,22 @@ mod tests {
         let (inner, prior, mean) = setup();
         let model = Flaky(inner);
         let engine = MtcEsse::new(&model, config(4));
-        let out = engine.run(&mean, &prior).unwrap();
+        let out = engine.run(RunInit::new(&mean, &prior)).unwrap();
         assert!(out.members_failed > 0);
-        assert!(out.members_used >= 16, "used {}", out.members_used);
+        // Every pool slot resolved one way or the other; the survivors
+        // still form a usable ensemble. (How many members fail depends
+        // on the rand backend's seed hash, so the split is asserted
+        // jointly rather than per side.)
+        assert!(
+            out.members_used + out.members_failed >= 16,
+            "used {} + failed {}",
+            out.members_used,
+            out.members_failed
+        );
+        assert!(out.members_used >= 2, "used {}", out.members_used);
+        // Deterministic failures survive the (default) single attempt,
+        // and the outcome says so out loud.
+        assert!(out.health.is_degraded(), "losses must be reported: {:?}", out.health);
     }
 
     #[test]
@@ -679,7 +1294,7 @@ mod tests {
         cfg.completion = CompletionPolicy::CancelImmediately;
         cfg.pool_factor = 2.0; // lots of extra in-flight work
         let engine = MtcEsse::new(&model, cfg);
-        let out = engine.run(&mean, &prior).unwrap();
+        let out = engine.run(RunInit::new(&mean, &prior)).unwrap();
         if out.converged {
             // Over-provisioned pool + immediate cancel ⇒ some members
             // were computed in vain or cancelled outright.
@@ -711,14 +1326,15 @@ mod tests {
                 (j, xf)
             })
             .collect();
-        let resumed =
-            MtcEsse::new(&model, cfg.clone()).run_resuming(&mean, &prior, &previous).unwrap();
+        let resumed = MtcEsse::new(&model, cfg.clone())
+            .run(RunInit::new(&mean, &prior).resuming(&previous))
+            .unwrap();
         // Only 12 members actually ran in this incarnation.
         let ran = resumed.records.iter().filter(|r| r.worker.is_some()).count();
         assert_eq!(ran, 12, "resume must not rerun completed members");
         assert_eq!(resumed.members_used, 32);
         // Identical subspace to an uninterrupted run (same member seeds).
-        let fresh = MtcEsse::new(&model, cfg).run(&mean, &prior).unwrap();
+        let fresh = MtcEsse::new(&model, cfg).run(RunInit::new(&mean, &prior)).unwrap();
         let rho = similarity(&fresh.subspace, &resumed.subspace);
         assert!(rho > 0.9999, "rho = {rho}");
     }
@@ -737,10 +1353,34 @@ mod tests {
                 (j, model.forecast(&x0, 0.0, cfg.duration, Some(gen.forecast_seed(j))).unwrap())
             })
             .collect();
-        let out = MtcEsse::new(&model, cfg).run_resuming(&mean, &prior, &previous).unwrap();
+        let out =
+            MtcEsse::new(&model, cfg).run(RunInit::new(&mean, &prior).resuming(&previous)).unwrap();
         assert_eq!(out.members_used, 8);
         assert!(out.records.iter().all(|r| r.worker.is_none()), "nothing re-ran");
         assert!(out.subspace.rank() >= 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_resuming_matches_unified_entry() {
+        let (model, prior, mean) = setup();
+        let mut cfg = config(1);
+        cfg.tolerance = 1e-12;
+        cfg.schedule = EnsembleSchedule::new(16, 16);
+        cfg.pool_factor = 1.0;
+        let gen = esse_core::perturb::PerturbationGenerator::new(&prior, cfg.perturb.clone());
+        let previous: Vec<(TaskId, Vec<f64>)> = (0..4)
+            .map(|j| {
+                let x0 = gen.perturb(&mean, j);
+                (j, model.forecast(&x0, 0.0, cfg.duration, Some(gen.forecast_seed(j))).unwrap())
+            })
+            .collect();
+        let engine = MtcEsse::new(&model, cfg);
+        let via_shim = engine.run_resuming(&mean, &prior, &previous).unwrap();
+        let via_run = engine.run(RunInit::new(&mean, &prior).resuming(&previous)).unwrap();
+        assert_eq!(via_shim.members_used, via_run.members_used);
+        let rho = similarity(&via_shim.subspace, &via_run.subspace);
+        assert!(rho > 0.9999, "rho = {rho}");
     }
 
     #[test]
@@ -758,7 +1398,7 @@ mod tests {
                 completion,
                 ..Default::default()
             };
-            MtcEsse::new(&model, cfg).run(&mean, &prior).unwrap()
+            MtcEsse::new(&model, cfg).run(RunInit::new(&mean, &prior)).unwrap()
         };
         // frac = 0: everything in flight counts as "nearly done" → no
         // wasted results (like UseCompleted).
@@ -807,13 +1447,16 @@ mod tests {
             deadline: Some(Duration::from_millis(250)),
             ..Default::default()
         };
-        let out = MtcEsse::new(&model, cfg).run(&mean, &prior).unwrap();
+        let out = MtcEsse::new(&model, cfg).run(RunInit::new(&mean, &prior)).unwrap();
         assert!(out.deadline_expired, "deadline should fire");
         assert!(!out.converged);
         // Far fewer than 64 members made it; the rest were cancelled or
         // ignored as late.
         assert!(out.members_used < 64, "used {}", out.members_used);
         assert!(out.members_cancelled + out.members_wasted > 0);
+        // Deadline truncation is an explicit degradation, not a silent
+        // partial ensemble.
+        assert!(out.health.is_degraded());
         // Losses at the tail are contiguous-from-the-end, which the
         // coverage check treats as a (known) systematic truncation.
         let cov = out.coverage();
@@ -828,10 +1471,11 @@ mod tests {
         cfg.tolerance = 1e-12;
         cfg.schedule = EnsembleSchedule::new(16, 16);
         cfg.pool_factor = 1.0;
-        let out = MtcEsse::new(&model, cfg).run(&mean, &prior).unwrap();
+        let out = MtcEsse::new(&model, cfg).run(RunInit::new(&mean, &prior)).unwrap();
         let cov = out.coverage();
         assert_eq!(cov.missing(), 0);
         assert!(!cov.is_systematic_hole());
+        assert_eq!(out.health, RunHealth::Full);
     }
 
     #[test]
@@ -842,8 +1486,100 @@ mod tests {
         cfg.tolerance = 1e-12; // never converges; runs to Nmax
         cfg.schedule = EnsembleSchedule::new(8, 16);
         let engine = MtcEsse::new(&model, cfg);
-        let out = engine.run(&mean, &prior).unwrap();
+        let out = engine.run(RunInit::new(&mean, &prior)).unwrap();
         // M = 1.5 × 16 = 24 tasks were enqueued in total.
         assert!(out.records.len() >= 24, "records {}", out.records.len());
+    }
+
+    #[test]
+    fn builder_produces_validated_config() {
+        let cfg = MtcConfig::builder()
+            .workers(3)
+            .pool_factor(1.5)
+            .schedule(EnsembleSchedule::new(8, 32))
+            .tolerance(0.04)
+            .duration(3600.0)
+            .retry(RetryPolicy::retries(3))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.retry.max_attempts, 3);
+        assert!(cfg.faults.is_none());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_fields() {
+        assert_eq!(MtcConfig::builder().workers(0).build().unwrap_err().field, "workers");
+        assert_eq!(MtcConfig::builder().pool_factor(0.5).build().unwrap_err().field, "pool_factor");
+        assert_eq!(MtcConfig::builder().tolerance(0.0).build().unwrap_err().field, "tolerance");
+        assert_eq!(MtcConfig::builder().tolerance(1.5).build().unwrap_err().field, "tolerance");
+        assert_eq!(MtcConfig::builder().svd_stride(0).build().unwrap_err().field, "svd_stride");
+        assert_eq!(MtcConfig::builder().max_rank(0).build().unwrap_err().field, "max_rank");
+        assert_eq!(MtcConfig::builder().duration(f64::NAN).build().unwrap_err().field, "duration");
+        // Builder validation reaches into the retry policy too.
+        let bad_retry = RetryPolicy { max_attempts: 0, ..RetryPolicy::default() };
+        assert_eq!(
+            MtcConfig::builder().retry(bad_retry).build().unwrap_err().field,
+            "retry.max_attempts"
+        );
+    }
+
+    #[test]
+    fn config_error_converts_into_esse_error() {
+        let err: EsseError = MtcConfig::builder().workers(0).build().unwrap_err().into();
+        assert!(matches!(err, EsseError::Config(_)));
+        assert!(err.to_string().contains("workers"));
+    }
+
+    #[test]
+    fn injected_crashes_recover_with_retries() {
+        let (model, prior, mean) = setup();
+        let mut cfg = config(4);
+        cfg.tolerance = 1e-12; // run the whole fixed ensemble
+        cfg.schedule = EnsembleSchedule::new(24, 24);
+        cfg.pool_factor = 1.0;
+        cfg.faults = Some(FaultPlan::seeded(11).with_crashes(0.25));
+        cfg.retry = RetryPolicy::retries(5);
+        let out = MtcEsse::new(&model, cfg).run(RunInit::new(&mean, &prior)).unwrap();
+        assert!(out.faults.retries > 0, "a 25% crash rate must trigger retries");
+        assert_eq!(out.members_failed, 0, "retries should recover every member");
+        assert_eq!(out.members_used, 24);
+        assert_eq!(out.health, RunHealth::Full);
+    }
+
+    #[test]
+    fn without_retries_injected_crashes_degrade_explicitly() {
+        let (model, prior, mean) = setup();
+        let mut cfg = config(4);
+        cfg.tolerance = 1e-12;
+        cfg.schedule = EnsembleSchedule::new(24, 24);
+        cfg.pool_factor = 1.0;
+        cfg.faults = Some(FaultPlan::seeded(11).with_crashes(0.25));
+        cfg.retry = RetryPolicy::disabled();
+        let out = MtcEsse::new(&model, cfg).run(RunInit::new(&mean, &prior)).unwrap();
+        assert!(out.members_failed > 0);
+        match out.health {
+            RunHealth::Degraded { coverage, lost_members } => {
+                assert!(coverage < 1.0);
+                assert_eq!(lost_members, out.members_failed);
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_death_reassigns_the_task() {
+        let (model, prior, mean) = setup();
+        let mut cfg = config(3);
+        cfg.tolerance = 1e-12;
+        cfg.schedule = EnsembleSchedule::new(16, 16);
+        cfg.pool_factor = 1.0;
+        cfg.faults = Some(FaultPlan::seeded(5).with_worker_death(1, 2));
+        cfg.retry = RetryPolicy::retries(3);
+        let out = MtcEsse::new(&model, cfg).run(RunInit::new(&mean, &prior)).unwrap();
+        assert_eq!(out.faults.workers_died, 1);
+        assert!(out.faults.retries >= 1, "the dying worker's task must be requeued");
+        assert_eq!(out.members_failed, 0);
+        assert_eq!(out.members_used, 16);
     }
 }

@@ -31,6 +31,7 @@ fn main() {
         dispatch: DispatchPolicy::sge(),
         staging: InputStaging::PrestagedLocal,
         nfs: NfsConfig::default(),
+        faults: None,
     };
     let job = JobSpec {
         cpu_s: w.pert_cpu_s + w.pemodel_cpu_s,

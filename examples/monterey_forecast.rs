@@ -21,7 +21,7 @@ use esse::core::model::{ForecastModel, PeForecastModel};
 use esse::core::obs::ObsNetwork;
 use esse::core::realtime::{ForecastProcedure, ObservationCalendar};
 use esse::linalg::vecops;
-use esse::mtc::workflow::{MtcConfig, MtcEsse};
+use esse::mtc::workflow::{MtcConfig, MtcEsse, RunInit};
 use esse::ocean::{render, scenario, Field2, OceanState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,7 +60,7 @@ fn main() {
         ..Default::default()
     };
     let engine = MtcEsse::new(&model, cfg);
-    let fc = engine.run(&mean0, &prior).expect("ensemble forecast");
+    let fc = engine.run(RunInit::new(&mean0, &prior)).expect("ensemble forecast");
     println!(
         "ensemble: {} members, converged={}, subspace rank {}",
         fc.members_used,

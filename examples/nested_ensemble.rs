@@ -11,7 +11,7 @@
 use esse::core::adaptive::EnsembleSchedule;
 use esse::core::model::{ForecastModel, NestedForecastModel};
 use esse::mtc::sim::gang::{gang_overhead, pack_gangs};
-use esse::mtc::workflow::{MtcConfig, MtcEsse};
+use esse::mtc::workflow::{MtcConfig, MtcEsse, RunInit};
 use esse::ocean::nest::NestSpec;
 use esse::ocean::{render, scenario, OceanState};
 
@@ -44,7 +44,7 @@ fn main() {
         ..Default::default()
     };
     let engine = MtcEsse::new(&model, cfg);
-    let out = engine.run(&inner0, &prior).expect("nested ensemble");
+    let out = engine.run(RunInit::new(&inner0, &prior)).expect("nested ensemble");
     println!(
         "nested ensemble: {} members, converged {}, rank {}, makespan {:.2?}",
         out.members_used,

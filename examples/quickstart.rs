@@ -7,7 +7,7 @@
 
 use esse::core::adaptive::EnsembleSchedule;
 use esse::core::model::PeForecastModel;
-use esse::mtc::workflow::{MtcConfig, MtcEsse};
+use esse::mtc::workflow::{MtcConfig, MtcEsse, RunInit};
 use esse::ocean::{render, scenario, OceanState};
 
 fn main() {
@@ -41,7 +41,7 @@ fn main() {
     let grid = pe.grid.clone();
     let model = PeForecastModel::new(pe);
     let engine = MtcEsse::new(&model, cfg);
-    let out = engine.run(&mean0, &prior).expect("workflow runs");
+    let out = engine.run(RunInit::new(&mean0, &prior)).expect("workflow runs");
 
     println!(
         "ensemble: {} members used, {} failed, converged = {} (rho history: {:?})",

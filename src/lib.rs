@@ -53,3 +53,7 @@ pub use esse_core as core;
 pub use esse_linalg as linalg;
 pub use esse_mtc as mtc;
 pub use esse_ocean as ocean;
+
+// The workspace-wide error hierarchy, re-exported so downstream code can
+// `use esse::{ConfigError, EsseError}` without reaching into sub-crates.
+pub use esse_core::{ConfigError, EsseError};

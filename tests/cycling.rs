@@ -13,7 +13,7 @@ use esse::core::model::{ForecastModel, PeForecastModel};
 use esse::core::obs::ObsNetwork;
 use esse::core::perturb::{PerturbConfig, PerturbationGenerator};
 use esse::core::smoother::smooth;
-use esse::mtc::workflow::{MtcConfig, MtcEsse};
+use esse::mtc::workflow::{MtcConfig, MtcEsse, RunInit};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,7 +45,7 @@ fn two_cycle_assimilation_keeps_improving() {
     let mut rng = StdRng::seed_from_u64(17);
 
     // --- Cycle 1. ---
-    let fc1 = MtcEsse::new(&model, mk_cfg(0.0)).run(&mean0, &prior).expect("cycle1");
+    let fc1 = MtcEsse::new(&model, mk_cfg(0.0)).run(RunInit::new(&mean0, &prior)).expect("cycle1");
     let mut obs1 = ObsNetwork::sst_swath(&grid, 2, 0.01);
     obs1.synthesize(&truth1, &mut rng);
     let an1 = assimilate(&fc1.central, &fc1.subspace, &obs1).expect("analysis1");
@@ -60,7 +60,8 @@ fn two_cycle_assimilation_keeps_improving() {
     for v in &mut carried.variances {
         *v *= 3.0;
     }
-    let fc2 = MtcEsse::new(&model, mk_cfg(span)).run(&an1.state, &carried).expect("cycle2");
+    let fc2 =
+        MtcEsse::new(&model, mk_cfg(span)).run(RunInit::new(&an1.state, &carried)).expect("cycle2");
     let mut obs2 = ObsNetwork::sst_swath(&grid, 2, 0.01);
     obs2.synthesize(&truth2, &mut rng);
     let an2 = assimilate(&fc2.central, &fc2.subspace, &obs2).expect("analysis2");

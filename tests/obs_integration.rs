@@ -7,7 +7,7 @@ use esse_core::driver::{EsseConfig, SerialEsse};
 use esse_core::model::{ForecastError, ForecastModel, LinearGaussianModel};
 use esse_core::subspace::ErrorSubspace;
 use esse_mtc::metrics::summarize;
-use esse_mtc::workflow::{MtcConfig, MtcEsse};
+use esse_mtc::workflow::{MtcConfig, MtcEsse, RunInit};
 use esse_obs::{timeline, Lane, RingRecorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,7 +56,8 @@ fn mtc_trace_busy_time_agrees_with_metrics() {
         ..Default::default()
     };
     let rec = RingRecorder::new();
-    let out = MtcEsse::new(&model, cfg).with_recorder(&rec).run(&mean, &prior).unwrap();
+    let out =
+        MtcEsse::new(&model, cfg).with_recorder(&rec).run(RunInit::new(&mean, &prior)).unwrap();
     let trace = rec.drain();
     assert_eq!(trace.dropped, 0);
     trace.check_well_formed().expect("well-formed workflow trace");
@@ -117,7 +118,8 @@ fn converging_run_emits_convergence_events() {
         ..Default::default()
     };
     let rec = RingRecorder::new();
-    let out = MtcEsse::new(&model, cfg).with_recorder(&rec).run(&mean, &prior).unwrap();
+    let out =
+        MtcEsse::new(&model, cfg).with_recorder(&rec).run(RunInit::new(&mean, &prior)).unwrap();
     let trace = rec.drain();
     trace.check_well_formed().expect("well-formed trace");
     assert!(!trace.instants("convergence_check").is_empty());

@@ -64,6 +64,7 @@ fn local_io_beats_nfs_and_both_land_near_paper_minutes() {
         dispatch: DispatchPolicy::sge(),
         staging,
         nfs: NfsConfig::default(),
+        faults: None,
     };
     let local = run_batch(&mk(InputStaging::PrestagedLocal), job, 600);
     let mixed = run_batch(&mk(InputStaging::NfsShared), job, 600);
@@ -86,6 +87,7 @@ fn condor_penalty_shrinks_with_tuning() {
         dispatch,
         staging: InputStaging::PrestagedLocal,
         nfs: NfsConfig::default(),
+        faults: None,
     };
     let sge = run_batch(&mk(DispatchPolicy::sge()), job, 600).makespan;
     let condor = run_batch(&mk(DispatchPolicy::condor()), job, 600).makespan;

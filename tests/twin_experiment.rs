@@ -17,7 +17,7 @@ use esse::core::model::{ForecastModel, PeForecastModel};
 use esse::core::obs::ObsNetwork;
 use esse::core::perturb::{PerturbConfig, PerturbationGenerator};
 use esse::core::subspace::ErrorSubspace;
-use esse::mtc::workflow::{MtcConfig, MtcEsse};
+use esse::mtc::workflow::{MtcConfig, MtcEsse, RunInit};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,7 +48,7 @@ fn esse_assimilation_beats_free_forecast() {
         ..Default::default()
     };
     let engine = MtcEsse::new(&model, cfg);
-    let fc = engine.run(&mean0, &prior).expect("ensemble forecast");
+    let fc = engine.run(RunInit::new(&mean0, &prior)).expect("ensemble forecast");
     assert!(fc.members_used >= 16, "members {}", fc.members_used);
 
     // Observe the truth: SST everywhere (coarse swath) + two casts.
@@ -97,7 +97,7 @@ fn ensemble_spread_tracks_actual_error_growth() {
             ..Default::default()
         };
         let engine = MtcEsse::new(&model, cfg);
-        let fc = engine.run(&mean0, &prior).expect("forecast");
+        let fc = engine.run(RunInit::new(&mean0, &prior)).expect("forecast");
         spreads.push(fc.subspace.total_variance());
     }
     assert!(spreads[1] > spreads[0], "uncertainty should grow with horizon: {spreads:?}");
@@ -130,7 +130,7 @@ fn truth_outside_subspace_is_only_partially_corrected() {
         ..Default::default()
     };
     let engine = MtcEsse::new(&model, cfg);
-    let fc = engine.run(&mean0, &prior).expect("forecast");
+    let fc = engine.run(RunInit::new(&mean0, &prior)).expect("forecast");
     let mut obs = ObsNetwork::sst_swath(&grid, 2, 0.01);
     let mut rng = StdRng::seed_from_u64(9);
     obs.synthesize(&truth, &mut rng);

@@ -11,7 +11,7 @@ use esse::core::convergence::similarity;
 use esse::core::driver::{EsseConfig, SerialEsse};
 use esse::core::model::PeForecastModel;
 use esse::mtc::task::TaskState;
-use esse::mtc::workflow::{MtcConfig, MtcEsse};
+use esse::mtc::workflow::{MtcConfig, MtcEsse, RunInit};
 
 fn fixed_size_configs(n: usize, span: f64) -> (EsseConfig, MtcConfig) {
     let serial = EsseConfig {
@@ -47,7 +47,7 @@ fn serial_and_mtc_estimate_the_same_subspace_on_the_ocean_model() {
 
     let serial =
         SerialEsse::new(&model, scfg).forecast_uncertainty(&mean0, &prior).expect("serial");
-    let mtc = MtcEsse::new(&model, mcfg).run(&mean0, &prior).expect("mtc");
+    let mtc = MtcEsse::new(&model, mcfg).run(RunInit::new(&mean0, &prior)).expect("mtc");
 
     assert_eq!(serial.members_run, mtc.members_used);
     // Same member ids ⇒ identical spread matrices up to column order ⇒
@@ -76,7 +76,7 @@ fn mtc_accounts_for_every_task_under_cancellation() {
         completion: CompletionPolicy::CancelImmediately,
         ..Default::default()
     };
-    let out = MtcEsse::new(&model, cfg).run(&mean0, &prior).expect("mtc");
+    let out = MtcEsse::new(&model, cfg).run(RunInit::new(&mean0, &prior)).expect("mtc");
     // Conservation: every record is Done or Cancelled, and the counters
     // add up.
     let done = out.records.iter().filter(|r| r.state == TaskState::Done).count();
@@ -99,7 +99,7 @@ fn workflow_scales_down_to_one_worker() {
     let prior = smooth_t_prior(&grid, 6, 0.3, 8);
     let (_, mut mcfg) = fixed_size_configs(8, 1800.0);
     mcfg.workers = 1;
-    let out = MtcEsse::new(&model, mcfg).run(&mean0, &prior).expect("single worker");
+    let out = MtcEsse::new(&model, mcfg).run(RunInit::new(&mean0, &prior)).expect("single worker");
     assert_eq!(out.members_used, 8);
     // All tasks ran on worker 0.
     for r in &out.records {
