@@ -14,6 +14,7 @@
 //! ```text
 //! cargo run --release -p esse-bench --bin fault_sweep
 //! cargo run --release -p esse-bench --bin fault_sweep -- --trace-out fault.json
+//! cargo run --release -p esse-bench --bin fault_sweep -- --metrics-out fault.prom
 //! cargo run --release -p esse-bench --bin fault_sweep -- --assert-retries
 //! ```
 //!
@@ -23,7 +24,10 @@
 //! retry-disabled run to `<path>` with `-noretry` appended to the stem
 //! (look for `member_failed_permanent` and the `degraded` instant).
 //! `--assert-retries` exits nonzero unless the sweep actually exercised
-//! the retry path — the CI smoke check.
+//! the retry path — the CI smoke check. `--metrics-out <path>` attaches
+//! a [`esse_obs::MetricsRegistry`] to the traced retry run and dumps
+//! the final snapshot in Prometheus text exposition format (plus the
+//! cluster-sim `sim_*` series from the 10% SGE arm).
 
 use esse_core::adaptive::EnsembleSchedule;
 use esse_core::model::LinearGaussianModel;
@@ -75,12 +79,16 @@ fn coverage_of(out: &MtcOutcome) -> f64 {
 
 fn main() {
     let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut assert_retries = false;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(argv.next().expect("--trace-out needs a path")))
+            }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(argv.next().expect("--metrics-out needs a path")))
             }
             "--assert-retries" => assert_retries = true,
             other => eprintln!("ignoring unknown argument {other:?}"),
@@ -161,49 +169,75 @@ fn main() {
         }
     }
 
-    if let Some(path) = &trace_out {
+    if trace_out.is_some() || metrics_out.is_some() {
         // The acceptance pair at 10% injected failures: with retries the
         // trace shows recovery and full coverage; without, the explicit
         // coverage hole.
+        let registry = esse_obs::MetricsRegistry::new();
         let ring = RingRecorder::new();
         let out_retry = MtcEsse::new(&model, engine_config(0.10, RetryPolicy::retries(3)))
             .with_recorder(&ring)
+            .with_metrics(&registry)
             .run(RunInit::new(&mean, &prior))
             .expect("traced retry run");
-        let trace = ring.drain();
-        esse_obs::export::save(&trace, path).expect("write retry trace");
+        if let Some(path) = &metrics_out {
+            // Fold in the cluster-sim series from the 10% SGE arm so one
+            // scrape covers both execution layers.
+            let cfg = ClusterConfig {
+                cores: 210,
+                platform: local_opteron(),
+                dispatch: DispatchPolicy::sge(),
+                staging: InputStaging::PrestagedLocal,
+                nfs: NfsConfig::default(),
+                faults: Some(NodeFaultModel::with_rate(FAULT_SEED, 0.10)),
+            };
+            run_batch(&cfg, job, 600).record_metrics(&registry);
+            let snap = registry.snapshot();
+            std::fs::write(path, snap.to_prometheus()).expect("write metrics");
+            println!(
+                "\nmetrics: {} counters, {} gauges, {} histograms -> {}",
+                snap.counters.len(),
+                snap.gauges.len(),
+                snap.histograms.len(),
+                path.display()
+            );
+        }
+        if let Some(path) = &trace_out {
+            let trace = ring.drain();
+            esse_obs::export::save(&trace, path).expect("write retry trace");
 
-        let mut noretry_path = path.clone();
-        let stem = noretry_path.file_stem().map(|s| s.to_string_lossy().into_owned());
-        let ext = noretry_path.extension().map(|s| s.to_string_lossy().into_owned());
-        let name = match (stem, ext) {
-            (Some(s), Some(e)) => format!("{s}-noretry.{e}"),
-            (Some(s), None) => format!("{s}-noretry"),
-            _ => "fault-noretry.json".into(),
-        };
-        noretry_path.set_file_name(name);
-        let ring2 = RingRecorder::new();
-        let out_noretry = MtcEsse::new(&model, engine_config(0.10, RetryPolicy::disabled()))
-            .with_recorder(&ring2)
-            .run(RunInit::new(&mean, &prior))
-            .expect("traced no-retry run");
-        let trace2 = ring2.drain();
-        esse_obs::export::save(&trace2, &noretry_path).expect("write no-retry trace");
+            let mut noretry_path = path.clone();
+            let stem = noretry_path.file_stem().map(|s| s.to_string_lossy().into_owned());
+            let ext = noretry_path.extension().map(|s| s.to_string_lossy().into_owned());
+            let name = match (stem, ext) {
+                (Some(s), Some(e)) => format!("{s}-noretry.{e}"),
+                (Some(s), None) => format!("{s}-noretry"),
+                _ => "fault-noretry.json".into(),
+            };
+            noretry_path.set_file_name(name);
+            let ring2 = RingRecorder::new();
+            let out_noretry = MtcEsse::new(&model, engine_config(0.10, RetryPolicy::disabled()))
+                .with_recorder(&ring2)
+                .run(RunInit::new(&mean, &prior))
+                .expect("traced no-retry run");
+            let trace2 = ring2.drain();
+            esse_obs::export::save(&trace2, &noretry_path).expect("write no-retry trace");
 
-        println!(
-            "\ntraces: retry run ({} events, {} retries, coverage {:.0}%) -> {}",
-            trace.events.len(),
-            out_retry.faults.retries,
-            coverage_of(&out_retry) * 100.0,
-            path.display()
-        );
-        println!(
-            "        no-retry run ({} events, {} lost, coverage {:.0}%) -> {}",
-            trace2.events.len(),
-            out_noretry.members_failed,
-            coverage_of(&out_noretry) * 100.0,
-            noretry_path.display()
-        );
+            println!(
+                "\ntraces: retry run ({} events, {} retries, coverage {:.0}%) -> {}",
+                trace.events.len(),
+                out_retry.faults.retries,
+                coverage_of(&out_retry) * 100.0,
+                path.display()
+            );
+            println!(
+                "        no-retry run ({} events, {} lost, coverage {:.0}%) -> {}",
+                trace2.events.len(),
+                out_noretry.members_failed,
+                coverage_of(&out_noretry) * 100.0,
+                noretry_path.display()
+            );
+        }
     }
 
     if assert_retries {

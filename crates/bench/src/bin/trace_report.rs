@@ -1,0 +1,319 @@
+//! Turn an `esse-obs` JSONL trace into a run report, and optionally
+//! gate it against a committed benchmark baseline.
+//!
+//! ```text
+//! cargo run --release -p esse-bench --bin trace_report -- run.jsonl
+//! cargo run --release -p esse-bench --bin trace_report -- run.jsonl --markdown
+//! cargo run --release -p esse-bench --bin trace_report -- run.jsonl \
+//!     --baseline BENCH_baseline.json --assert-max-regression 25
+//! cargo run --release -p esse-bench --bin trace_report -- run.jsonl \
+//!     --write-baseline BENCH_new.json
+//! ```
+//!
+//! The report is computed from the events alone (no engine state): the
+//! Fig 3-vs-Fig 4 speedup, per-phase breakdown, queue-wait vs
+//! service-time decomposition, windowed throughput, stragglers and the
+//! critical path all come out of [`LoadedTrace::analyze`].
+//!
+//! Baselines are JSON files with schema `esse-bench-baseline-v1`
+//! holding a curated `metrics` map. Direction is inferred from the
+//! metric name: `_ns`/`_ms`/`_s` suffixes are durations (lower is
+//! better); everything else — counts, coverage, speedup, throughput —
+//! is higher-is-better. `--assert-max-regression PCT` exits nonzero if
+//! any baseline metric regressed by more than PCT percent, or vanished
+//! from the trace entirely.
+
+use esse_obs::analyze::RunAnalysis;
+use esse_obs::json::{parse, Value};
+use esse_obs::LoadedTrace;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Flatten the analysis into a flat name → value map, the currency the
+/// baseline gate and `--write-baseline` trade in.
+fn metric_map(a: &RunAnalysis) -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
+    m.insert("makespan_ms".into(), ms(a.makespan_ns));
+    m.insert("tasks".into(), a.task_count as f64);
+    m.insert("peak_throughput_per_s".into(), a.peak_throughput_per_s());
+    m.insert("critical_path_busy_ms".into(), ms(a.critical_path.busy_ns));
+    m.insert("critical_path_wait_ms".into(), ms(a.critical_path.wait_ns));
+    if let Some(w) = &a.queue_wait {
+        m.insert("queue_wait_p50_ms".into(), ms(w.p50_ns));
+        m.insert("queue_wait_p95_ms".into(), ms(w.p95_ns));
+        m.insert("queue_wait_p99_ms".into(), ms(w.p99_ns));
+    }
+    if let Some(s) = a.speedup() {
+        m.insert("speedup".into(), s);
+    }
+    for g in &a.lane_groups {
+        m.insert(format!("{}_span_ms", g.group), ms(g.span_ns));
+        m.insert(format!("{}_tasks", g.group), g.tasks as f64);
+    }
+    for (name, v) in &a.counters {
+        m.insert(name.clone(), *v);
+    }
+    m
+}
+
+/// Durations regress upward; everything else regresses downward.
+fn lower_is_better(name: &str) -> bool {
+    name.ends_with("_ns") || name.ends_with("_ms") || name.ends_with("_s")
+}
+
+/// Signed regression in percent (positive = worse than baseline).
+fn regression_pct(name: &str, base: f64, now: f64) -> f64 {
+    if base == 0.0 {
+        return 0.0;
+    }
+    if lower_is_better(name) {
+        100.0 * (now - base) / base.abs()
+    } else {
+        100.0 * (base - now) / base.abs()
+    }
+}
+
+fn load_baseline(path: &PathBuf) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let v = parse(&text)?;
+    let Value::Obj(top) = &v else { return Err("baseline is not a JSON object".into()) };
+    match top.get("schema").and_then(Value::as_str) {
+        Some("esse-bench-baseline-v1") => {}
+        other => return Err(format!("unsupported baseline schema {other:?}")),
+    }
+    let Some(Value::Obj(metrics)) = top.get("metrics") else {
+        return Err("baseline has no metrics object".into());
+    };
+    let mut out = BTreeMap::new();
+    for (k, v) in metrics {
+        let n = v.as_f64().ok_or_else(|| format!("metric {k:?} is not a number"))?;
+        out.insert(k.clone(), n);
+    }
+    Ok(out)
+}
+
+fn write_baseline(path: &PathBuf, metrics: &BTreeMap<String, f64>) -> std::io::Result<()> {
+    let mut s = String::from("{\n  \"schema\": \"esse-bench-baseline-v1\",\n  \"metrics\": {\n");
+    let last = metrics.len().saturating_sub(1);
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        s.push_str(&format!("    \"{k}\": {v}"));
+        s.push_str(if i == last { "\n" } else { ",\n" });
+    }
+    s.push_str("  }\n}\n");
+    std::fs::write(path, s)
+}
+
+fn render(a: &RunAnalysis, markdown: bool) -> String {
+    let mut out = String::new();
+    let h = |s: &str| if markdown { format!("## {s}\n") } else { format!("== {s} ==\n") };
+    out.push_str(&h("run summary"));
+    out.push_str(&format!(
+        "makespan {:.2} ms, {} task spans, peak throughput {:.1} tasks/s\n",
+        ms(a.makespan_ns),
+        a.task_count,
+        a.peak_throughput_per_s()
+    ));
+    for g in &a.lane_groups {
+        out.push_str(&format!(
+            "layer {:<6}: {} lanes, window {:.2} ms, busy {:.2} ms, {} tasks\n",
+            g.group,
+            g.lanes,
+            ms(g.span_ns),
+            ms(g.busy_ns),
+            g.tasks
+        ));
+    }
+    if let Some(s) = a.speedup() {
+        out.push_str(&format!("serial-vs-parallel wall-clock speedup: {s:.2}x\n"));
+    }
+    out.push('\n');
+    out.push_str(&h("phase breakdown"));
+    if markdown {
+        out.push_str("| phase | count | total ms | mean ms | max ms |\n");
+        out.push_str("|---|---|---|---|---|\n");
+    } else {
+        out.push_str(&format!(
+            "{:<28} {:>7} {:>12} {:>10} {:>10}\n",
+            "phase", "count", "total ms", "mean ms", "max ms"
+        ));
+    }
+    for p in &a.phases {
+        if markdown {
+            out.push_str(&format!(
+                "| {} | {} | {:.3} | {:.3} | {:.3} |\n",
+                p.key,
+                p.count,
+                ms(p.total_ns),
+                ms(p.mean_ns),
+                ms(p.max_ns)
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<28} {:>7} {:>12.3} {:>10.3} {:>10.3}\n",
+                p.key,
+                p.count,
+                ms(p.total_ns),
+                ms(p.mean_ns),
+                ms(p.max_ns)
+            ));
+        }
+    }
+    if let Some(w) = &a.queue_wait {
+        out.push('\n');
+        out.push_str(&h("queue wait vs service time"));
+        out.push_str(&format!(
+            "{} waits: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms\n",
+            w.count,
+            ms(w.mean_ns),
+            ms(w.p50_ns),
+            ms(w.p95_ns),
+            ms(w.p99_ns),
+            ms(w.max_ns)
+        ));
+    }
+    if !a.stragglers.is_empty() {
+        out.push('\n');
+        out.push_str(&h("stragglers"));
+        for s in a.stragglers.iter().take(8) {
+            out.push_str(&format!(
+                "lane {} member {}: {:.3} ms ({:.1}x mean)\n",
+                s.lane,
+                s.member.map_or_else(|| "?".into(), |m| m.to_string()),
+                ms(s.duration_ns),
+                s.factor
+            ));
+        }
+    }
+    out.push('\n');
+    out.push_str(&h("critical path"));
+    out.push_str(&format!(
+        "{} segments: busy {:.3} ms, coordination wait {:.3} ms\n",
+        a.critical_path.segments.len(),
+        ms(a.critical_path.busy_ns),
+        ms(a.critical_path.wait_ns)
+    ));
+    for seg in a.critical_path.segments.iter().take(12) {
+        out.push_str(&format!(
+            "  {:<12} {:<22} {:>10.3} ms (wait before {:.3} ms)\n",
+            seg.lane,
+            seg.key,
+            ms(seg.end_ns - seg.start_ns),
+            ms(seg.wait_before_ns)
+        ));
+    }
+    if !a.counters.is_empty() {
+        out.push('\n');
+        out.push_str(&h("final counters"));
+        for (name, v) in &a.counters {
+            out.push_str(&format!("{name} = {v}\n"));
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut trace_path: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_to: Option<PathBuf> = None;
+    let mut max_regression: Option<f64> = None;
+    let mut markdown = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline = Some(PathBuf::from(argv.next().expect("--baseline needs a path")))
+            }
+            "--write-baseline" => {
+                write_to = Some(PathBuf::from(argv.next().expect("--write-baseline needs a path")))
+            }
+            "--assert-max-regression" => {
+                let pct = argv.next().expect("--assert-max-regression needs a percentage");
+                max_regression = Some(pct.parse().expect("--assert-max-regression needs a number"));
+            }
+            "--markdown" => markdown = true,
+            other if trace_path.is_none() && !other.starts_with("--") => {
+                trace_path = Some(PathBuf::from(other))
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                exit(2);
+            }
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        eprintln!(
+            "usage: trace_report <trace.jsonl> [--markdown] [--baseline B.json] \
+             [--assert-max-regression PCT] [--write-baseline OUT.json]"
+        );
+        exit(2);
+    };
+
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: read {}: {e}", trace_path.display());
+            exit(2);
+        }
+    };
+    let trace = match LoadedTrace::from_jsonl(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: malformed trace {}: {e}", trace_path.display());
+            exit(2);
+        }
+    };
+    let analysis = trace.analyze();
+    let metrics = metric_map(&analysis);
+    print!("{}", render(&analysis, markdown));
+
+    if let Some(out) = &write_to {
+        write_baseline(out, &metrics).expect("write baseline");
+        println!("\nbaseline ({} metrics) -> {}", metrics.len(), out.display());
+    }
+
+    if let Some(base_path) = &baseline {
+        let base = match load_baseline(base_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("FAIL: baseline {}: {e}", base_path.display());
+                exit(2);
+            }
+        };
+        let limit = max_regression.unwrap_or(f64::INFINITY);
+        let mut failed = 0usize;
+        println!("\n== baseline comparison vs {} ==", base_path.display());
+        for (name, base_v) in &base {
+            match metrics.get(name) {
+                Some(now) => {
+                    let pct = regression_pct(name, *base_v, *now);
+                    let verdict = if pct > limit { "REGRESSED" } else { "ok" };
+                    if pct > limit {
+                        failed += 1;
+                    }
+                    println!(
+                        "{name:<28} baseline {base_v:>12.3} now {now:>12.3} ({pct:+.1}%) {verdict}"
+                    );
+                }
+                None => {
+                    failed += 1;
+                    println!("{name:<28} baseline {base_v:>12.3} now      MISSING  REGRESSED");
+                }
+            }
+        }
+        if max_regression.is_some() {
+            if failed > 0 {
+                eprintln!("FAIL: {failed} metric(s) regressed beyond {limit}%");
+                exit(1);
+            }
+            println!(
+                "assert-max-regression: OK (all {} baseline metrics within {limit}%)",
+                base.len()
+            );
+        }
+    }
+}

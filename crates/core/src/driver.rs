@@ -21,6 +21,7 @@ use crate::obs::ObsSet;
 use crate::perturb::{PerturbConfig, PerturbationGenerator};
 use crate::subspace::ErrorSubspace;
 use crate::EsseError;
+use esse_obs::registry::{Counter, Gauge, Histogram, MetricsRegistry};
 use esse_obs::{Lane, Recorder, RecorderExt, NULL};
 
 /// Configuration of one ESSE forecast-analysis cycle.
@@ -85,12 +86,37 @@ pub struct SerialEsse<'m, M: ForecastModel> {
     pub config: EsseConfig,
     /// Observability sink (no-op unless [`SerialEsse::with_recorder`]).
     recorder: &'m dyn Recorder,
+    /// Metrics sink (none unless [`SerialEsse::with_metrics`]).
+    metrics: Option<&'m MetricsRegistry>,
+}
+
+/// Registry handles the serial driver updates, prefixed `esse_serial_`
+/// so a serial baseline and an MTC run can share one registry without
+/// colliding.
+struct SerialMeters {
+    members_run: Gauge,
+    members_failed: Counter,
+    rho: Gauge,
+    member_runtime: Histogram,
+    svd_runtime: Histogram,
+}
+
+impl SerialMeters {
+    fn new(reg: &MetricsRegistry) -> SerialMeters {
+        SerialMeters {
+            members_run: reg.gauge("esse_serial_members_run"),
+            members_failed: reg.counter("esse_serial_members_failed_total"),
+            rho: reg.gauge("esse_serial_convergence_rho"),
+            member_runtime: reg.histogram("esse_serial_member_runtime_ns"),
+            svd_runtime: reg.histogram("esse_serial_svd_runtime_ns"),
+        }
+    }
 }
 
 impl<'m, M: ForecastModel> SerialEsse<'m, M> {
     /// New driver.
     pub fn new(model: &'m M, config: EsseConfig) -> Self {
-        SerialEsse { model, config, recorder: &NULL }
+        SerialEsse { model, config, recorder: &NULL, metrics: None }
     }
 
     /// Attach a trace recorder: the driver then emits `phase` spans for
@@ -99,6 +125,15 @@ impl<'m, M: ForecastModel> SerialEsse<'m, M> {
     /// the MTC engine's per-worker trace for Fig 3-vs-4 studies.
     pub fn with_recorder(mut self, recorder: &'m dyn Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attach a metrics registry: the driver then keeps
+    /// `esse_serial_*` gauges, counters and runtime histograms current
+    /// while the Fig. 3 loop runs, for scraping alongside the MTC
+    /// engine's `esse_*` series.
+    pub fn with_metrics(mut self, registry: &'m MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -111,6 +146,8 @@ impl<'m, M: ForecastModel> SerialEsse<'m, M> {
     ) -> Result<UncertaintyForecast, EsseError> {
         let cfg = &self.config;
         let rec = self.recorder;
+        let met = self.metrics.map(SerialMeters::new);
+        let met = met.as_ref();
         let gen = PerturbationGenerator::new(prior, cfg.perturb.clone());
         // Central (unperturbed, deterministic) forecast.
         let central = {
@@ -146,10 +183,14 @@ impl<'m, M: ForecastModel> SerialEsse<'m, M> {
                 }
                 let x0 = gen.perturb(mean0, j);
                 let seed = gen.forecast_seed(j);
+                let wall = std::time::Instant::now();
                 let res = {
                     let _g = rec.span(Lane::Driver, "task", "member", vec![("member", j.into())]);
                     self.model.forecast(&x0, cfg.start_time, cfg.duration, Some(seed))
                 };
+                if let Some(m) = met {
+                    m.member_runtime.observe(wall.elapsed().as_nanos() as u64);
+                }
                 match res {
                     Ok(xf) => {
                         acc.add_member(j, &xf);
@@ -161,6 +202,9 @@ impl<'m, M: ForecastModel> SerialEsse<'m, M> {
                                 "members_run",
                                 members_run as f64,
                             );
+                        }
+                        if let Some(m) = met {
+                            m.members_run.set(members_run as f64);
                         }
                     }
                     Err(_) => {
@@ -175,6 +219,9 @@ impl<'m, M: ForecastModel> SerialEsse<'m, M> {
                                 vec![("member", j.into())],
                             );
                         }
+                        if let Some(m) = met {
+                            m.members_failed.inc();
+                        }
                     }
                 }
                 if let Some(d) = deadline.as_mut() {
@@ -187,18 +234,25 @@ impl<'m, M: ForecastModel> SerialEsse<'m, M> {
                 }
             }
             // diff + SVD + convergence test.
+            let wall = std::time::Instant::now();
             let svd = {
                 let _g =
                     rec.span(Lane::Driver, "svd", "svd", vec![("members", acc.count().into())]);
                 let snap = acc.snapshot();
                 snap.svd()
             };
+            if let Some(m) = met {
+                m.svd_runtime.observe(wall.elapsed().as_nanos() as u64);
+            }
             let Some(svd) = svd else {
                 continue;
             };
             let estimate = ErrorSubspace::from_spread_svd(&svd, cfg.mode_rel_tol, cfg.max_rank);
             if let Some(prev) = &previous {
                 let rho = similarity(prev, &estimate);
+                if let Some(m) = met {
+                    m.rho.set(rho);
+                }
                 if rec.enabled() {
                     rec.instant_at(
                         rec.now_ns(),
@@ -334,6 +388,21 @@ mod tests {
         // The analysis moved toward the observed values.
         assert!(an.state[0] > 0.3, "state[0] = {}", an.state[0]);
         assert!(an.state[1] < -0.2, "state[1] = {}", an.state[1]);
+    }
+
+    #[test]
+    fn metrics_registry_tracks_the_serial_run() {
+        let (model, prior, mean) = linear_setup();
+        let registry = esse_obs::MetricsRegistry::new();
+        let esse = SerialEsse::new(&model, config(16, 256)).with_metrics(&registry);
+        let fc = esse.forecast_uncertainty(&mean, &prior).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("esse_serial_members_run"), Some(fc.members_run as f64));
+        let rho = snap.gauge("esse_serial_convergence_rho").unwrap();
+        assert_eq!(rho, *fc.rho_history.last().unwrap());
+        let runtime = snap.histogram("esse_serial_member_runtime_ns").unwrap();
+        assert_eq!(runtime.count(), (fc.members_run + fc.members_failed) as u64);
+        assert!(snap.histogram("esse_serial_svd_runtime_ns").unwrap().count() > 0);
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub struct ExecutionMetrics {
     pub mean_runtime: Duration,
     /// Pool utilization over the span for `workers` workers (0..1).
     pub utilization: f64,
+    /// Median queue wait over tasks that recorded both an enqueue and a
+    /// start time; `Duration::ZERO` when none did.
+    pub queue_wait_p50: Duration,
+    /// 95th-percentile queue wait.
+    pub queue_wait_p95: Duration,
+    /// 99th-percentile queue wait.
+    pub queue_wait_p99: Duration,
 }
 
 /// Compute metrics over `records` assuming `workers` parallel workers.
@@ -36,7 +43,11 @@ pub fn summarize(records: &[TaskRecord], workers: usize) -> ExecutionMetrics {
     let mut total_busy = Duration::ZERO;
     let mut first_start: Option<Duration> = None;
     let mut last_finish: Option<Duration> = None;
+    let mut waits: Vec<Duration> = Vec::new();
     for r in records {
+        if let Some(w) = r.queue_wait() {
+            waits.push(w);
+        }
         match r.state {
             TaskState::Cancelled => cancelled += 1,
             TaskState::Done => {
@@ -67,7 +78,26 @@ pub fn summarize(records: &[TaskRecord], workers: usize) -> ExecutionMetrics {
     let capacity = span.as_secs_f64() * workers.max(1) as f64;
     let utilization =
         if capacity > 0.0 { (total_busy.as_secs_f64() / capacity).min(1.0) } else { 0.0 };
-    ExecutionMetrics { completed, failed, cancelled, total_busy, span, mean_runtime, utilization }
+    waits.sort_unstable();
+    let wait_q = |q: f64| -> Duration {
+        if waits.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((q * waits.len() as f64).ceil() as usize).clamp(1, waits.len());
+        waits[rank - 1]
+    };
+    ExecutionMetrics {
+        completed,
+        failed,
+        cancelled,
+        total_busy,
+        span,
+        mean_runtime,
+        utilization,
+        queue_wait_p50: wait_q(0.50),
+        queue_wait_p95: wait_q(0.95),
+        queue_wait_p99: wait_q(0.99),
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +109,7 @@ mod tests {
         TaskRecord {
             id,
             state: TaskState::Done,
+            enqueued_at: Some(Duration::ZERO),
             started_at: Some(Duration::from_secs_f64(start_s)),
             finished_at: Some(Duration::from_secs_f64(end_s)),
             outcome: Some(TaskOutcome::Success),
@@ -128,6 +159,33 @@ mod tests {
         assert_eq!(m.failed, 0);
         assert_eq!(m.span, Duration::ZERO);
         assert_eq!(m.utilization, 0.0);
+        assert_eq!(m.queue_wait_p50, Duration::ZERO);
+        assert_eq!(m.queue_wait_p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn queue_wait_percentiles_are_order_statistics() {
+        // Waits 1..=100 s: p50 = 50 s, p95 = 95 s, p99 = 99 s exactly.
+        let records: Vec<TaskRecord> = (0..100)
+            .map(|i| {
+                let mut r = record(i, (i + 1) as f64, (i + 2) as f64);
+                r.enqueued_at = Some(Duration::ZERO);
+                r
+            })
+            .collect();
+        let m = summarize(&records, 4);
+        assert_eq!(m.queue_wait_p50, Duration::from_secs(50));
+        assert_eq!(m.queue_wait_p95, Duration::from_secs(95));
+        assert_eq!(m.queue_wait_p99, Duration::from_secs(99));
+    }
+
+    #[test]
+    fn records_without_enqueue_stamps_report_zero_wait() {
+        let mut r = record(0, 1.0, 2.0);
+        r.enqueued_at = None;
+        let m = summarize(&[r], 1);
+        assert_eq!(m.queue_wait_p50, Duration::ZERO);
+        assert_eq!(m.completed, 1);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct TaskRecord {
     pub id: TaskId,
     /// Current state.
     pub state: TaskState,
+    /// Time from workflow start when the task (most recently) entered
+    /// the run queue. Retries refresh it, so [`TaskRecord::queue_wait`]
+    /// measures the wait of the attempt that actually ran.
+    pub enqueued_at: Option<Duration>,
     /// Time from workflow start when the task began running.
     pub started_at: Option<Duration>,
     /// Time from workflow start when the task finished.
@@ -61,6 +65,7 @@ impl TaskRecord {
         TaskRecord {
             id,
             state: TaskState::Pending,
+            enqueued_at: None,
             started_at: None,
             finished_at: None,
             outcome: None,
@@ -73,6 +78,15 @@ impl TaskRecord {
     pub fn runtime(&self) -> Option<Duration> {
         match (self.started_at, self.finished_at) {
             (Some(s), Some(f)) if f >= s => Some(f - s),
+            _ => None,
+        }
+    }
+
+    /// Time spent queued before a worker picked the task up, when both
+    /// timestamps exist (queue-wait vs service-time decomposition).
+    pub fn queue_wait(&self) -> Option<Duration> {
+        match (self.enqueued_at, self.started_at) {
+            (Some(e), Some(s)) if s >= e => Some(s - e),
             _ => None,
         }
     }
@@ -100,5 +114,15 @@ mod tests {
         let mut r = TaskRecord::pending(1);
         r.started_at = Some(Duration::from_secs(5));
         assert!(r.runtime().is_none());
+    }
+
+    #[test]
+    fn queue_wait_requires_both_stamps() {
+        let mut r = TaskRecord::pending(1);
+        assert!(r.queue_wait().is_none());
+        r.enqueued_at = Some(Duration::from_secs(2));
+        assert!(r.queue_wait().is_none());
+        r.started_at = Some(Duration::from_secs(5));
+        assert_eq!(r.queue_wait(), Some(Duration::from_secs(3)));
     }
 }

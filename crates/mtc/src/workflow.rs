@@ -31,6 +31,7 @@ use esse_core::model::{ForecastError, ForecastModel};
 use esse_core::perturb::{PerturbConfig, PerturbationGenerator};
 use esse_core::subspace::ErrorSubspace;
 use esse_core::{ConfigError, EsseError};
+use esse_obs::registry::{Counter, Gauge, Histogram, MetricsRegistry};
 use esse_obs::{Lane, Recorder, RecorderExt, NULL};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -382,6 +383,53 @@ impl MemberBook {
     }
 }
 
+/// Live metric handles for one run, registered by
+/// [`MtcEsse::with_metrics`]. Handles are atomics behind `Arc`s, so
+/// workers update them without touching the registry lock.
+struct Meters {
+    members_done: Gauge,
+    coverage: Gauge,
+    rho: Gauge,
+    completed: Counter,
+    failed: Counter,
+    wasted: Counter,
+    cancelled: Counter,
+    attempts: Counter,
+    retries: Counter,
+    timeouts: Counter,
+    spec_launches: Counter,
+    spec_wins: Counter,
+    spec_losses: Counter,
+    workers_died: Counter,
+    member_runtime: Histogram,
+    svd_runtime: Histogram,
+    queue_wait: Histogram,
+}
+
+impl Meters {
+    fn new(reg: &MetricsRegistry) -> Meters {
+        Meters {
+            members_done: reg.gauge("esse_members_done"),
+            coverage: reg.gauge("esse_coverage"),
+            rho: reg.gauge("esse_convergence_rho"),
+            completed: reg.counter("esse_tasks_completed_total"),
+            failed: reg.counter("esse_tasks_failed_total"),
+            wasted: reg.counter("esse_tasks_wasted_total"),
+            cancelled: reg.counter("esse_tasks_cancelled_total"),
+            attempts: reg.counter("esse_task_attempts_total"),
+            retries: reg.counter("esse_retries_total"),
+            timeouts: reg.counter("esse_task_timeouts_total"),
+            spec_launches: reg.counter("esse_speculative_launches_total"),
+            spec_wins: reg.counter("esse_speculative_wins_total"),
+            spec_losses: reg.counter("esse_speculative_losses_total"),
+            workers_died: reg.counter("esse_workers_died_total"),
+            member_runtime: reg.histogram("esse_member_runtime_ns"),
+            svd_runtime: reg.histogram("esse_svd_runtime_ns"),
+            queue_wait: reg.histogram("esse_queue_wait_ns"),
+        }
+    }
+}
+
 /// The MTC ESSE engine.
 pub struct MtcEsse<'m, M: ForecastModel> {
     /// The forecast model shared by all workers.
@@ -390,12 +438,14 @@ pub struct MtcEsse<'m, M: ForecastModel> {
     pub config: MtcConfig,
     /// Observability sink (no-op unless [`MtcEsse::with_recorder`]).
     recorder: &'m dyn Recorder,
+    /// Live metrics registry (none unless [`MtcEsse::with_metrics`]).
+    metrics: Option<&'m MetricsRegistry>,
 }
 
 impl<'m, M: ForecastModel> MtcEsse<'m, M> {
     /// New engine.
     pub fn new(model: &'m M, config: MtcConfig) -> Self {
-        MtcEsse { model, config, recorder: &NULL }
+        MtcEsse { model, config, recorder: &NULL, metrics: None }
     }
 
     /// Attach a trace recorder. Workers then emit one `task`/`member`
@@ -412,18 +462,15 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
         self
     }
 
-    /// Run, resuming from previously completed members.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use run(RunInit::new(mean, prior).resuming(previous)) instead"
-    )]
-    pub fn run_resuming(
-        &self,
-        mean0: &[f64],
-        prior: &ErrorSubspace,
-        previous: &[(TaskId, Vec<f64>)],
-    ) -> Result<MtcOutcome, EsseError> {
-        self.run(RunInit::new(mean0, prior).resuming(previous))
+    /// Attach a live metrics registry. The run then keeps task-state
+    /// counters (`esse_tasks_*_total`), fault-recovery counters
+    /// (retries, timeouts, speculation, worker deaths), the convergence
+    /// rho gauge, and runtime/queue-wait histograms current while it
+    /// executes — scrape [`MetricsRegistry::snapshot`] at any moment
+    /// for a consistent point-in-time view.
+    pub fn with_metrics(mut self, registry: &'m MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
     }
 
     /// Run the decoupled uncertainty forecast (Fig. 4).
@@ -436,6 +483,8 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
         let cfg = &self.config;
         let mean0 = init.mean;
         let obs = self.recorder;
+        let met = self.metrics.map(Meters::new);
+        let met = met.as_ref();
         let retry = &cfg.retry;
         let faults = cfg.faults.as_ref();
         let t0 = Instant::now();
@@ -487,10 +536,22 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                     records.push(rec);
                     book.push_resumed();
                 } else {
-                    records.push(TaskRecord::pending(id));
+                    let now = t0.elapsed();
+                    let mut rec = TaskRecord::pending(id);
+                    rec.enqueued_at = Some(now);
+                    records.push(rec);
                     book.push_planned();
                     tx.send(Attempt { id, attempt: 0 }).expect("task channel open");
                     *sent += 1;
+                    if obs.enabled() {
+                        obs.instant_at(
+                            ns(now),
+                            Lane::Coordinator,
+                            "sched",
+                            "enqueued",
+                            vec![("member", id.into())],
+                        );
+                    }
                 }
                 *enqueued += 1;
             }
@@ -555,6 +616,10 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                                     }
                                 };
                                 let finished = t0.elapsed();
+                                if let Some(m) = met {
+                                    m.attempts.inc();
+                                    m.member_runtime.observe(ns(finished.saturating_sub(started)));
+                                }
                                 if obs.enabled() {
                                     let lane = Lane::Worker(w as u32);
                                     obs.begin_at(
@@ -726,7 +791,20 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                             let (_, id, attempt) = retry_queue.swap_remove(i);
                             book.inflight[id] += 1;
                             sent += 1;
+                            records[id].enqueued_at = Some(now);
                             task_tx.send(Attempt { id, attempt }).expect("task channel open");
+                            if obs.enabled() {
+                                obs.instant_at(
+                                    ns(now),
+                                    Lane::Coordinator,
+                                    "sched",
+                                    "enqueued",
+                                    vec![
+                                        ("member", id.into()),
+                                        ("attempt", u64::from(attempt).into()),
+                                    ],
+                                );
+                            }
                         } else {
                             i += 1;
                         }
@@ -742,6 +820,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                                 Some(TaskOutcome::Failed("worker pool died".into()));
                             book.resolved[id] = true;
                             members_failed += 1;
+                            if let Some(m) = met {
+                                m.failed.inc();
+                            }
                         }
                     }
                 }
@@ -764,6 +845,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                             book.spec_attempt[id] = Some(attempt);
                             sent += 1;
                             freport.speculative_launches += 1;
+                            if let Some(m) = met {
+                                m.spec_launches.inc();
+                            }
                             task_tx.send(Attempt { id, attempt }).expect("task channel open");
                             if obs.enabled() {
                                 obs.instant_at(
@@ -807,6 +891,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                     // losing to its twin is already scored as a win.
                     if book.spec_attempt[id] == Some(attempt) {
                         freport.speculative_losses += 1;
+                        if let Some(m) = met {
+                            m.spec_losses.inc();
+                        }
                         if obs.enabled() {
                             obs.instant_at(
                                 ns(now),
@@ -827,6 +914,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                     res.is_ok() && retry.task_timeout.is_some_and(|limit| runtime > limit);
                 if timed_out {
                     freport.timeouts += 1;
+                    if let Some(m) = met {
+                        m.timeouts.inc();
+                    }
                     if obs.enabled() {
                         obs.instant_at(
                             ns(now),
@@ -852,6 +942,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                         book.resolved[id] = true;
                         if book.spec_attempt[id] == Some(attempt) {
                             freport.speculative_wins += 1;
+                            if let Some(m) = met {
+                                m.spec_wins.inc();
+                            }
                             if obs.enabled() {
                                 obs.instant_at(
                                     ns(now),
@@ -921,6 +1014,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                             book.attempts[id] += 1;
                             retry_queue.push((now + delay, id, attempt_next));
                             freport.retries += 1;
+                            if let Some(m) = met {
+                                m.retries.inc();
+                            }
                             rec.state = TaskState::Pending;
                             rec.outcome = None;
                             if obs.enabled() {
@@ -953,6 +1049,19 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                                 );
                             }
                         }
+                    }
+                }
+                if let Some(m) = met {
+                    match &records[id].outcome {
+                        Some(TaskOutcome::Success) => m.completed.inc(),
+                        Some(TaskOutcome::Wasted) => m.wasted.inc(),
+                        Some(TaskOutcome::Failed(_)) => m.failed.inc(),
+                        None => {}
+                    }
+                    m.members_done.set(acc.count() as f64);
+                    m.coverage.set(acc.count() as f64 / records.len().max(1) as f64);
+                    if let Some(w) = records[id].queue_wait() {
+                        m.queue_wait.observe(w.as_nanos() as u64);
                     }
                 }
                 if obs.enabled() {
@@ -993,6 +1102,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                             ErrorSubspace::from_spread_svd(&svd, cfg.mode_rel_tol, cfg.max_rank);
                         if let Some(prev) = &previous {
                             let rho = similarity(prev, &estimate);
+                            if let Some(m) = met {
+                                m.rho.set(rho);
+                            }
                             if obs.enabled() {
                                 obs.instant_at(
                                     ns(t0.elapsed()),
@@ -1040,6 +1152,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                         let svd_finished = t0.elapsed();
                         obs.end_at(ns(svd_finished), Lane::Coordinator, "svd", "svd");
                         obs.observe("svd", ns(svd_finished.saturating_sub(svd_started)));
+                    }
+                    if let Some(m) = met {
+                        m.svd_runtime.observe(ns(t0.elapsed().saturating_sub(svd_started)));
                     }
                 }
                 // Pool growth: if the current stage is complete but not
@@ -1144,6 +1259,12 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
             };
             freport.workers_died =
                 cfg.workers.max(1) - workers_alive.load(Ordering::SeqCst).min(cfg.workers.max(1));
+            if let Some(m) = met {
+                m.cancelled.add(members_cancelled as u64);
+                m.workers_died.add(freport.workers_died as u64);
+                m.members_done.set(acc.count() as f64);
+                m.coverage.set(acc.count() as f64 / records.len().max(1) as f64);
+            }
 
             Ok(MtcOutcome {
                 central,
@@ -1361,8 +1482,35 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_resuming_matches_unified_entry() {
+    fn metrics_registry_counters_match_run_result() {
+        let (model, prior, mean) = setup();
+        let registry = esse_obs::MetricsRegistry::new();
+        let engine = MtcEsse::new(&model, config(4)).with_metrics(&registry);
+        let result = engine.run(RunInit::new(&mean, &prior)).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("esse_tasks_completed_total"),
+            Some(result.members_used as u64),
+            "completed counter must match members_used"
+        );
+        assert_eq!(snap.gauge("esse_members_done"), Some(result.members_used as f64));
+        let attempts = snap.counter("esse_task_attempts_total").unwrap();
+        assert!(
+            attempts >= result.members_used as u64,
+            "every used member took at least one attempt ({attempts} < {})",
+            result.members_used
+        );
+        let runtime =
+            snap.histogram("esse_member_runtime_ns").expect("member runtime histogram registered");
+        assert_eq!(runtime.count(), attempts, "one runtime sample per attempt");
+        let waits = snap.histogram("esse_queue_wait_ns").expect("queue wait histogram registered");
+        assert!(waits.count() > 0, "queue waits observed");
+        let cov = snap.gauge("esse_coverage").unwrap();
+        assert!((0.0..=1.0).contains(&cov), "coverage {cov} out of range");
+    }
+
+    #[test]
+    fn unified_resume_entry_is_deterministic() {
         let (model, prior, mean) = setup();
         let mut cfg = config(1);
         cfg.tolerance = 1e-12;
@@ -1376,10 +1524,10 @@ mod tests {
             })
             .collect();
         let engine = MtcEsse::new(&model, cfg);
-        let via_shim = engine.run_resuming(&mean, &prior, &previous).unwrap();
-        let via_run = engine.run(RunInit::new(&mean, &prior).resuming(&previous)).unwrap();
-        assert_eq!(via_shim.members_used, via_run.members_used);
-        let rho = similarity(&via_shim.subspace, &via_run.subspace);
+        let first = engine.run(RunInit::new(&mean, &prior).resuming(&previous)).unwrap();
+        let second = engine.run(RunInit::new(&mean, &prior).resuming(&previous)).unwrap();
+        assert_eq!(first.members_used, second.members_used);
+        let rho = similarity(&first.subspace, &second.subspace);
         assert!(rho > 0.9999, "rho = {rho}");
     }
 

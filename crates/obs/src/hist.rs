@@ -89,6 +89,40 @@ impl LogHistogram {
         self.max_ns
     }
 
+    /// Exact sum of all observations in nanoseconds.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
+    /// Raw per-bucket counts (bucket `b` covers `[2^b, 2^(b+1))`;
+    /// bucket 0 also holds 0).
+    pub fn bucket_counts(&self) -> &[u64; 64] {
+        &self.counts
+    }
+
+    /// Inclusive `[lower, upper]` bounds of bucket `b` (the range its
+    /// observations came from). `upper` of bucket 63 is `u64::MAX`.
+    pub fn bucket_bounds(b: usize) -> (u64, u64) {
+        let b = b.min(63);
+        let lower = if b == 0 { 0 } else { 1u64 << b };
+        let upper = if b >= 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
+        (lower, upper)
+    }
+
+    /// Reassemble a histogram from raw parts — the atomic registry
+    /// backend snapshots itself through this. `count`/`sum`/`min`/`max`
+    /// must describe the same observations as `counts` for quantiles to
+    /// stay meaningful.
+    pub fn from_parts(
+        counts: [u64; 64],
+        count: u64,
+        sum_ns: u128,
+        min_ns: u64,
+        max_ns: u64,
+    ) -> Self {
+        LogHistogram { counts, count, sum_ns, min_ns, max_ns }
+    }
+
     /// Merge another histogram into this one (drain from per-thread
     /// buffers into one report).
     pub fn merge(&mut self, other: &LogHistogram) {

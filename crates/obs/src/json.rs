@@ -1,6 +1,10 @@
-//! Hand-rolled JSON primitives: escaping for the exporters and a strict
-//! validating parser used by the exporter tests (this crate takes no
-//! external dependencies, so there is no serde_json to lean on).
+//! Hand-rolled JSON primitives: escaping for the exporters, a strict
+//! validating parser used by the exporter tests, and a small value
+//! parser ([`parse`]) that the trace analyzer uses to load JSONL traces
+//! back in (this crate takes no external dependencies, so there is no
+//! serde_json to lean on).
+
+use std::collections::BTreeMap;
 
 /// Append `s` to `out` as a JSON string literal (with quotes).
 pub fn push_str_literal(out: &mut String, s: &str) {
@@ -44,6 +48,169 @@ pub fn validate(s: &str) -> Result<(), String> {
         return Err(format!("trailing garbage at byte {pos}"));
     }
     Ok(())
+}
+
+/// A parsed JSON value (enough of one to load a JSONL trace line).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`; trace integers fit exactly up
+    /// to 2⁵³, far beyond any event count and precise enough for
+    /// nanosecond stamps within a run).
+    Num(f64),
+    /// A string with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (key order not preserved).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (None for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// Parse exactly one JSON value (plus surrounding whitespace) into a
+/// [`Value`] tree.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let b = s.as_bytes();
+    let p = skip_ws(b, 0);
+    let (v, p) = parse_value(b, p)?;
+    let p = skip_ws(b, p);
+    if p != b.len() {
+        return Err(format!("trailing garbage at byte {p}"));
+    }
+    Ok(v)
+}
+
+fn parse_value(b: &[u8], p: usize) -> Result<(Value, usize), String> {
+    match b.get(p) {
+        None => Err(format!("unexpected end of input at byte {p}")),
+        Some(b'{') => {
+            let mut m = BTreeMap::new();
+            let mut q = skip_ws(b, p + 1);
+            if b.get(q) == Some(&b'}') {
+                return Ok((Value::Obj(m), q + 1));
+            }
+            loop {
+                let (k, after_key) = parse_string(b, skip_ws(b, q))?;
+                let q2 = skip_ws(b, after_key);
+                if b.get(q2) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {q2}"));
+                }
+                let (v, after_val) = parse_value(b, skip_ws(b, q2 + 1))?;
+                m.insert(k, v);
+                q = skip_ws(b, after_val);
+                match b.get(q) {
+                    Some(b',') => q = skip_ws(b, q + 1),
+                    Some(b'}') => return Ok((Value::Obj(m), q + 1)),
+                    _ => return Err(format!("expected ',' or '}}' at byte {q}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            let mut items = Vec::new();
+            let mut q = skip_ws(b, p + 1);
+            if b.get(q) == Some(&b']') {
+                return Ok((Value::Arr(items), q + 1));
+            }
+            loop {
+                let (v, after) = parse_value(b, skip_ws(b, q))?;
+                items.push(v);
+                q = skip_ws(b, after);
+                match b.get(q) {
+                    Some(b',') => q = skip_ws(b, q + 1),
+                    Some(b']') => return Ok((Value::Arr(items), q + 1)),
+                    _ => return Err(format!("expected ',' or ']' at byte {q}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            let (s, q) = parse_string(b, p)?;
+            Ok((Value::Str(s), q))
+        }
+        Some(b't') => literal(b, p, b"true").map(|q| (Value::Bool(true), q)),
+        Some(b'f') => literal(b, p, b"false").map(|q| (Value::Bool(false), q)),
+        Some(b'n') => literal(b, p, b"null").map(|q| (Value::Null, q)),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let q = number(b, p)?;
+            let text = std::str::from_utf8(&b[p..q]).expect("digits are UTF-8");
+            let n: f64 = text.parse().map_err(|e| format!("bad number {text:?}: {e}"))?;
+            Ok((Value::Num(n), q))
+        }
+        Some(c) => Err(format!("unexpected byte {c:?} at {p}")),
+    }
+}
+
+fn parse_string(b: &[u8], p: usize) -> Result<(String, usize), String> {
+    let end = string(b, p)?; // strict validation first
+    let inner = &b[p + 1..end - 1];
+    let mut out = String::with_capacity(inner.len());
+    let mut i = 0;
+    while i < inner.len() {
+        if inner[i] == b'\\' {
+            match inner[i + 1] {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'b' => out.push('\u{8}'),
+                b'f' => out.push('\u{c}'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'u' => {
+                    let hex = std::str::from_utf8(&inner[i + 2..i + 6]).expect("validated hex");
+                    let cp = u32::from_str_radix(hex, 16).expect("validated hex");
+                    out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                    i += 6;
+                    continue;
+                }
+                _ => unreachable!("validated escape"),
+            }
+            i += 2;
+        } else {
+            // Copy the longest run of plain bytes in one go.
+            let start = i;
+            while i < inner.len() && inner[i] != b'\\' {
+                i += 1;
+            }
+            out.push_str(std::str::from_utf8(&inner[start..i]).expect("exporter emits UTF-8"));
+        }
+    }
+    Ok((out, end))
 }
 
 fn skip_ws(b: &[u8], mut p: usize) -> usize {
@@ -225,6 +392,40 @@ mod tests {
         let mut out = String::new();
         push_str_literal(&mut out, nasty);
         assert!(validate(&out).is_ok(), "{out}");
+    }
+
+    #[test]
+    fn parse_roundtrips_values() {
+        let v = parse(r#"{"a":[1,2.5,-3e2],"b":"x\ny","c":true,"d":null}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Value::Arr(vec![Value::Num(1.0), Value::Num(2.5), Value::Num(-300.0)])
+        );
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x\ny"));
+        assert_eq!(v.get("c"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("d"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_resolves_escapes_and_unicode() {
+        let v = parse(r#""quote\" tab\t \u0041 é 日本""#).unwrap();
+        assert_eq!(v.as_str(), Some("quote\" tab\t A é 日本"));
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["", "{", "[1,]", "01", "nul", "[1] x"] {
+            assert!(parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_u64_integers_are_exact() {
+        let v = parse("{\"ts_ns\":1234567890123}").unwrap();
+        assert_eq!(v.get("ts_ns").and_then(Value::as_u64), Some(1234567890123));
+        assert_eq!(parse("2.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
     }
 
     #[test]

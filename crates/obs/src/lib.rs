@@ -25,25 +25,38 @@
 //!   [`timeline::utilization`] over a sliding window (the §5.2.1 plot);
 //! * [`export`] — JSONL and Chrome trace-event serialization
 //!   (`chrome://tracing`, Perfetto);
-//! * [`json`] — dependency-free JSON escaping plus the strict validator
-//!   the exporter tests use.
+//! * [`json`] — dependency-free JSON escaping, a strict validator, and
+//!   a small value parser for re-loading exported traces;
+//! * [`analyze`] — trace analytics: per-phase breakdowns, queue-wait
+//!   decomposition, windowed throughput, stragglers, the critical path,
+//!   and lane-group speedup (Fig 3 vs Fig 4 from events alone);
+//! * [`registry`] — live named metrics (counters/gauges/histograms)
+//!   with Prometheus-text and JSON exposition;
+//! * [`monitor`] — a background heartbeat thread summarizing a run in
+//!   flight and a final [`monitor::RunReport`].
 //!
 //! One schema serves all three execution layers: the real-thread MTC
 //! engine and the serial driver stamp wall-clock nanoseconds, the
 //! discrete-event simulator stamps virtual-clock nanoseconds, and every
 //! consumer downstream (exporters, timelines, tests) is agnostic.
 
+pub mod analyze;
 pub mod event;
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod monitor;
 pub mod recorder;
+pub mod registry;
 pub mod ring;
 pub mod timeline;
 pub mod trace;
 
+pub use analyze::{LoadedTrace, RunAnalysis};
 pub use event::{ArgValue, Event, EventKind, Lane};
 pub use hist::LogHistogram;
+pub use monitor::{RunMonitor, RunReport};
 pub use recorder::{NullRecorder, Recorder, RecorderExt, SpanGuard, NULL};
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, Snapshot};
 pub use ring::RingRecorder;
 pub use trace::{Span, Trace};

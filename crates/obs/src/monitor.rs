@@ -1,0 +1,521 @@
+//! Live run monitoring: a [`RunMonitor`] background thread that
+//! subscribes to the event stream (via [`MonitorRecorder`], or teed
+//! next to a tracing recorder with [`Tee`]) and emits periodic
+//! [`Heartbeat`] summaries — members done/running/queued, coverage,
+//! an ETA from the observed task-time distribution, and the current
+//! subspace-convergence trajectory — plus a final [`RunReport`].
+//!
+//! The monitor consumes the same schema the trace analyzer reads
+//! (`task` spans, `sched/enqueued` instants, `members_done` counters,
+//! `convergence_check` rho args), so any instrumented engine gets live
+//! progress for free:
+//!
+//! ```
+//! use esse_obs::monitor::{MonitorConfig, RunMonitor};
+//! use esse_obs::{Lane, RecorderExt};
+//!
+//! let monitor = RunMonitor::start(MonitorConfig {
+//!     total_members: Some(64),
+//!     ..MonitorConfig::default()
+//! });
+//! let rec = monitor.recorder();
+//! // ... engine.with_recorder(&rec).run(...) ...
+//! rec.begin_at(0, Lane::Worker(0), "task", "member", vec![("member", 0u64.into())]);
+//! rec.end_at(1_000, Lane::Worker(0), "task", "member");
+//! rec.observe("member", 1_000);
+//! let report = monitor.finish();
+//! assert_eq!(report.done, 0); // no members_done counter was recorded
+//! ```
+
+use crate::event::{ArgValue, Event, EventKind};
+use crate::hist::LogHistogram;
+use crate::recorder::Recorder;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Knobs for [`RunMonitor::start`].
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Heartbeat period.
+    pub period: Duration,
+    /// Planned ensemble size, for coverage and ETA. `None` disables
+    /// both (the pool may grow adaptively and not know its target).
+    pub total_members: Option<u64>,
+    /// Print each heartbeat to stderr as it fires.
+    pub verbose: bool,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig { period: Duration::from_millis(500), total_members: None, verbose: false }
+    }
+}
+
+/// One periodic progress summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heartbeat {
+    /// Nanoseconds since the monitor started.
+    pub at_ns: u64,
+    /// Members accumulated into the subspace (`members_done` counter).
+    pub done: u64,
+    /// Permanently failed members (`members_failed` counter).
+    pub failed: u64,
+    /// Task spans currently open across all lanes.
+    pub running: u64,
+    /// Enqueued-but-unstarted attempts (approximate: `sched/enqueued`
+    /// instants minus task starts).
+    pub queued: u64,
+    /// `done / total_members`, when the total is known.
+    pub coverage: Option<f64>,
+    /// Estimated remaining wall-clock, from the mean observed task time
+    /// and the number of active lanes. `None` until at least one task
+    /// time has been observed (and the total is known).
+    pub eta_ns: Option<u64>,
+    /// Latest subspace similarity from `convergence_check`.
+    pub rho: Option<f64>,
+    /// Whether the workflow has declared convergence.
+    pub converged: bool,
+}
+
+impl Heartbeat {
+    /// One-line rendering (the `verbose` stderr format).
+    pub fn to_line(&self) -> String {
+        let mut s = format!(
+            "[monitor +{:.1}s] done {} failed {} running {} queued {}",
+            self.at_ns as f64 / 1e9,
+            self.done,
+            self.failed,
+            self.running,
+            self.queued
+        );
+        if let Some(c) = self.coverage {
+            s.push_str(&format!(" coverage {:.0}%", c * 100.0));
+        }
+        if let Some(eta) = self.eta_ns {
+            s.push_str(&format!(" eta {:.1}s", eta as f64 / 1e9));
+        }
+        if let Some(rho) = self.rho {
+            s.push_str(&format!(" rho {rho:.4}"));
+        }
+        if self.converged {
+            s.push_str(" CONVERGED");
+        }
+        s
+    }
+}
+
+#[derive(Default)]
+struct State {
+    done: u64,
+    failed: u64,
+    enqueued: u64,
+    started: u64,
+    open_tasks: BTreeMap<u64, u64>, // lane tid -> open task-span depth
+    task_lanes: BTreeMap<u64, ()>,  // lanes that ever ran a task
+    hists: BTreeMap<&'static str, LogHistogram>,
+    rho_trajectory: Vec<f64>,
+    converged: bool,
+    degraded_coverage: Option<f64>,
+    last_ts_ns: u64,
+}
+
+impl State {
+    fn ingest(&mut self, ev: &Event) {
+        self.last_ts_ns = self.last_ts_ns.max(ev.ts_ns);
+        match ev.kind {
+            EventKind::Begin if ev.cat == "task" => {
+                *self.open_tasks.entry(ev.lane.tid()).or_insert(0) += 1;
+                self.task_lanes.entry(ev.lane.tid()).or_insert(());
+                self.started += 1;
+            }
+            EventKind::End if ev.cat == "task" => {
+                let d = self.open_tasks.entry(ev.lane.tid()).or_insert(0);
+                *d = d.saturating_sub(1);
+            }
+            EventKind::Instant => match (ev.cat, ev.name) {
+                ("sched", "enqueued") => self.enqueued += 1,
+                ("svd", "convergence_check") | ("workflow", "converged") => {
+                    if let Some(rho) = arg_f64(ev, "rho") {
+                        self.rho_trajectory.push(rho);
+                    }
+                    if ev.name == "converged" {
+                        self.converged = true;
+                    }
+                }
+                ("workflow", "degraded") => {
+                    self.degraded_coverage = arg_f64(ev, "coverage");
+                }
+                _ => {}
+            },
+            EventKind::Counter(v) => match ev.name {
+                "members_done" => self.done = v as u64,
+                "members_failed" => self.failed = v as u64,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    fn task_hist(&self) -> Option<&LogHistogram> {
+        ["member", "cpu", "sim_job"].iter().find_map(|n| self.hists.get(n))
+    }
+
+    fn heartbeat(&self, at_ns: u64, total: Option<u64>) -> Heartbeat {
+        let running: u64 = self.open_tasks.values().sum();
+        let queued = self.enqueued.saturating_sub(self.started);
+        let coverage = total.map(|t| self.done as f64 / t.max(1) as f64);
+        let eta_ns = match (total, self.task_hist()) {
+            (Some(t), Some(h)) if h.count() > 0 && t > self.done => {
+                let lanes = self.task_lanes.len().max(1) as u64;
+                Some((t - self.done) * h.mean_ns() / lanes)
+            }
+            (Some(t), _) if t <= self.done => Some(0),
+            _ => None,
+        };
+        Heartbeat {
+            at_ns,
+            done: self.done,
+            failed: self.failed,
+            running,
+            queued,
+            coverage,
+            eta_ns,
+            rho: self.rho_trajectory.last().copied(),
+            converged: self.converged,
+        }
+    }
+}
+
+fn arg_f64(ev: &Event, key: &str) -> Option<f64> {
+    ev.args.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
+        ArgValue::F64(f) => Some(*f),
+        ArgValue::U64(u) => Some(*u as f64),
+        _ => None,
+    })
+}
+
+struct Shared {
+    state: Mutex<State>,
+    heartbeats: Mutex<Vec<Heartbeat>>,
+    stop: AtomicBool,
+    epoch: Instant,
+}
+
+/// The recorder handle a [`RunMonitor`] hands to engines. Events update
+/// the monitor's aggregate state under a short-lived mutex; nothing is
+/// buffered, so memory stays constant no matter how long the run is.
+/// Clone freely — clones share the same monitor.
+#[derive(Clone)]
+pub struct MonitorRecorder {
+    shared: Arc<Shared>,
+}
+
+impl Recorder for MonitorRecorder {
+    fn now_ns(&self) -> u64 {
+        self.shared.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn record(&self, ev: Event) {
+        self.shared.state.lock().expect("monitor state poisoned").ingest(&ev);
+    }
+
+    fn observe(&self, name: &'static str, latency_ns: u64) {
+        let mut state = self.shared.state.lock().expect("monitor state poisoned");
+        state.hists.entry(name).or_default().record(latency_ns);
+    }
+}
+
+/// Forward every event to two recorders: typically a tracing
+/// [`crate::RingRecorder`] and a [`MonitorRecorder`], so one
+/// instrumented run is both traced and live-monitored.
+pub struct Tee<'a> {
+    first: &'a dyn Recorder,
+    second: &'a dyn Recorder,
+}
+
+impl<'a> Tee<'a> {
+    /// Tee `first` and `second`. `now_ns` comes from `first`, so make
+    /// that the recorder whose clock the trace should use.
+    pub fn new(first: &'a dyn Recorder, second: &'a dyn Recorder) -> Self {
+        Tee { first, second }
+    }
+}
+
+impl Recorder for Tee<'_> {
+    fn enabled(&self) -> bool {
+        self.first.enabled() || self.second.enabled()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.first.now_ns()
+    }
+
+    fn record(&self, ev: Event) {
+        if self.second.enabled() {
+            self.second.record(ev.clone());
+        }
+        if self.first.enabled() {
+            self.first.record(ev);
+        }
+    }
+
+    fn observe(&self, name: &'static str, latency_ns: u64) {
+        self.first.observe(name, latency_ns);
+        self.second.observe(name, latency_ns);
+    }
+}
+
+/// A background thread that turns the live event stream into periodic
+/// [`Heartbeat`]s and a final [`RunReport`].
+pub struct RunMonitor {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    total: Option<u64>,
+}
+
+impl RunMonitor {
+    /// Start the heartbeat thread.
+    pub fn start(cfg: MonitorConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            heartbeats: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            epoch: Instant::now(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            while !thread_shared.stop.load(Ordering::Relaxed) {
+                std::thread::sleep(cfg.period);
+                if thread_shared.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let at_ns = thread_shared.epoch.elapsed().as_nanos() as u64;
+                let hb = thread_shared
+                    .state
+                    .lock()
+                    .expect("monitor state poisoned")
+                    .heartbeat(at_ns, cfg.total_members);
+                if cfg.verbose {
+                    eprintln!("{}", hb.to_line());
+                }
+                thread_shared.heartbeats.lock().expect("heartbeats poisoned").push(hb);
+            }
+        });
+        RunMonitor { shared, handle: Some(handle), total: cfg.total_members }
+    }
+
+    /// A recorder handle feeding this monitor. Pass it to
+    /// `with_recorder` directly, or tee it next to a tracing recorder
+    /// with [`Tee`].
+    pub fn recorder(&self) -> MonitorRecorder {
+        MonitorRecorder { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Stop the heartbeat thread and produce the final report.
+    pub fn finish(mut self) -> RunReport {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        let elapsed_ns = self.shared.epoch.elapsed().as_nanos() as u64;
+        let state = self.shared.state.lock().expect("monitor state poisoned");
+        let final_heartbeat = state.heartbeat(elapsed_ns, self.total);
+        let task_time = state.task_hist().cloned();
+        RunReport {
+            elapsed_ns,
+            done: state.done,
+            failed: state.failed,
+            converged: state.converged,
+            degraded_coverage: state.degraded_coverage,
+            rho_trajectory: state.rho_trajectory.clone(),
+            task_time,
+            heartbeats: std::mem::take(
+                &mut *self.shared.heartbeats.lock().expect("heartbeats poisoned"),
+            ),
+            final_heartbeat,
+        }
+    }
+}
+
+impl Drop for RunMonitor {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Everything the monitor saw, frozen at [`RunMonitor::finish`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Monitor lifetime (wall-clock ns).
+    pub elapsed_ns: u64,
+    /// Final `members_done` counter value.
+    pub done: u64,
+    /// Final `members_failed` counter value.
+    pub failed: u64,
+    /// Whether convergence was declared.
+    pub converged: bool,
+    /// Coverage from a `workflow/degraded` instant, if the run degraded.
+    pub degraded_coverage: Option<f64>,
+    /// Every rho sample, in arrival order.
+    pub rho_trajectory: Vec<f64>,
+    /// Distribution of observed task times, when any task reported one.
+    pub task_time: Option<LogHistogram>,
+    /// All periodic heartbeats that fired.
+    pub heartbeats: Vec<Heartbeat>,
+    /// State of the world at finish time.
+    pub final_heartbeat: Heartbeat,
+}
+
+impl RunReport {
+    /// Multi-line human rendering.
+    pub fn to_text(&self) -> String {
+        let mut s = format!(
+            "run report: {:.2}s, members done {} failed {}, {}\n",
+            self.elapsed_ns as f64 / 1e9,
+            self.done,
+            self.failed,
+            if self.converged {
+                "converged".to_string()
+            } else if let Some(c) = self.degraded_coverage {
+                format!("degraded (coverage {:.0}%)", c * 100.0)
+            } else {
+                "not converged".to_string()
+            }
+        );
+        if let Some(h) = &self.task_time {
+            s.push_str(&format!(
+                "task time: mean {:.1}ms p50 {:.1}ms p95 {:.1}ms p99 {:.1}ms max {:.1}ms ({} samples)\n",
+                h.mean_ns() as f64 / 1e6,
+                h.quantile_ns(0.5) as f64 / 1e6,
+                h.quantile_ns(0.95) as f64 / 1e6,
+                h.quantile_ns(0.99) as f64 / 1e6,
+                h.max() as f64 / 1e6,
+                h.count()
+            ));
+        }
+        if !self.rho_trajectory.is_empty() {
+            let tail: Vec<String> =
+                self.rho_trajectory.iter().rev().take(8).rev().map(|r| format!("{r:.4}")).collect();
+            s.push_str(&format!(
+                "rho trajectory ({} checks): ... {}\n",
+                self.rho_trajectory.len(),
+                tail.join(" ")
+            ));
+        }
+        s.push_str(&format!("heartbeats fired: {}\n", self.heartbeats.len()));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Lane;
+    use crate::recorder::RecorderExt;
+    use crate::ring::RingRecorder;
+
+    fn feed_demo_run(rec: &dyn Recorder) {
+        for m in 0..4u64 {
+            rec.instant_at(10, Lane::Coordinator, "sched", "enqueued", vec![("member", m.into())]);
+        }
+        for m in 0..3u64 {
+            let lane = Lane::Worker(m as u32 % 2);
+            rec.begin_at(20 + m * 100, lane, "task", "member", vec![("member", m.into())]);
+            rec.end_at(120 + m * 100, lane, "task", "member");
+            rec.observe("member", 100);
+            rec.counter_at(120 + m * 100, Lane::Coordinator, "members_done", (m + 1) as f64);
+        }
+        rec.instant_at(
+            330,
+            Lane::Coordinator,
+            "svd",
+            "convergence_check",
+            vec![("rho", 0.97.into()), ("members", 3u64.into())],
+        );
+        // Member 3 is still queued, never started.
+    }
+
+    #[test]
+    fn monitor_tracks_progress_and_reports() {
+        let monitor = RunMonitor::start(MonitorConfig {
+            period: Duration::from_millis(5),
+            total_members: Some(4),
+            verbose: false,
+        });
+        let rec = monitor.recorder();
+        feed_demo_run(&rec);
+        std::thread::sleep(Duration::from_millis(30));
+        let report = monitor.finish();
+        assert_eq!(report.done, 3);
+        assert_eq!(report.failed, 0);
+        assert!(!report.converged);
+        assert_eq!(report.rho_trajectory, vec![0.97]);
+        assert!(!report.heartbeats.is_empty(), "heartbeats should have fired");
+        let last = &report.final_heartbeat;
+        assert_eq!(last.running, 0);
+        assert_eq!(last.queued, 1); // member 3 enqueued, never started
+        assert_eq!(last.coverage, Some(0.75));
+        let eta = last.eta_ns.expect("eta from observed task times");
+        // 1 member remaining x 100ns mean / 2 lanes = 50ns.
+        assert_eq!(eta, 50);
+        let text = report.to_text();
+        assert!(text.contains("members done 3"), "{text}");
+        assert!(text.contains("rho trajectory"), "{text}");
+    }
+
+    #[test]
+    fn heartbeat_line_is_readable() {
+        let hb = Heartbeat {
+            at_ns: 1_500_000_000,
+            done: 10,
+            failed: 1,
+            running: 4,
+            queued: 2,
+            coverage: Some(0.5),
+            eta_ns: Some(2_000_000_000),
+            rho: Some(0.9812),
+            converged: false,
+        };
+        let line = hb.to_line();
+        assert!(line.contains("+1.5s"), "{line}");
+        assert!(line.contains("done 10"), "{line}");
+        assert!(line.contains("coverage 50%"), "{line}");
+        assert!(line.contains("rho 0.9812"), "{line}");
+    }
+
+    #[test]
+    fn tee_feeds_trace_and_monitor_at_once() {
+        let ring = RingRecorder::new();
+        let monitor = RunMonitor::start(MonitorConfig {
+            period: Duration::from_millis(50),
+            total_members: None,
+            verbose: false,
+        });
+        let mon_rec = monitor.recorder();
+        let tee = Tee::new(&ring, &mon_rec);
+        feed_demo_run(&tee);
+        let trace = ring.drain();
+        assert!(trace.check_well_formed().is_ok());
+        assert_eq!(trace.spans().len(), 3);
+        assert_eq!(trace.histograms.get("member").map(LogHistogram::count), Some(3));
+        let report = monitor.finish();
+        assert_eq!(report.done, 3);
+        assert_eq!(report.task_time.as_ref().map(LogHistogram::count), Some(3));
+    }
+
+    #[test]
+    fn converged_run_reports_convergence() {
+        let monitor = RunMonitor::start(MonitorConfig::default());
+        let rec = monitor.recorder();
+        rec.instant_at(5, Lane::Coordinator, "workflow", "converged", vec![("rho", 0.99.into())]);
+        let report = monitor.finish();
+        assert!(report.converged);
+        assert_eq!(report.rho_trajectory, vec![0.99]);
+        assert!(report.to_text().contains("converged"));
+    }
+}

@@ -1,0 +1,473 @@
+//! A lock-light metrics registry: named counters, gauges and
+//! log-bucketed histograms with point-in-time [`Snapshot`]s and
+//! Prometheus / JSON exposition.
+//!
+//! Where the [`Recorder`](crate::Recorder) answers *"what happened,
+//! when"* (a trace you analyze after the fact), the registry answers
+//! *"where are we right now"*: live counters a scraper or the
+//! [`monitor`](crate::monitor) can read mid-run. Handles are cheap
+//! `Arc`-backed clones; updates are single atomic ops (the registry
+//! lock is only taken at registration and snapshot time), so engines
+//! can update metrics from every worker thread without contention.
+//!
+//! ```
+//! use esse_obs::registry::MetricsRegistry;
+//!
+//! let reg = MetricsRegistry::new();
+//! let done = reg.counter("esse_tasks_completed_total");
+//! let rho = reg.gauge("esse_convergence_rho");
+//! let lat = reg.histogram("esse_member_runtime_ns");
+//! done.inc();
+//! rho.set(0.97);
+//! lat.observe(1_500_000);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("esse_tasks_completed_total"), Some(1));
+//! let text = snap.to_prometheus();
+//! assert!(text.contains("esse_convergence_rho 0.97"));
+//! ```
+
+use crate::hist::LogHistogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable point-in-time value (stored as `f64` bits).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Lock-free log₂-bucketed histogram (the atomic twin of
+/// [`LogHistogram`]).
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    fn bucket_of(v: u64) -> usize {
+        63 - (v | 1).leading_zeros() as usize
+    }
+
+    /// Record one observation (nanoseconds).
+    pub fn observe(&self, v_ns: u64) {
+        self.buckets[Self::bucket_of(v_ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(v_ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(v_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(v_ns, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy as a [`LogHistogram`].
+    pub fn snapshot(&self) -> LogHistogram {
+        let counts: [u64; 64] = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let count: u64 = counts.iter().sum();
+        LogHistogram::from_parts(
+            counts,
+            count,
+            self.sum_ns.load(Ordering::Relaxed) as u128,
+            self.min_ns.load(Ordering::Relaxed),
+            self.max_ns.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A clone-able histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<AtomicHistogram>);
+
+impl Histogram {
+    /// Record one observation (nanoseconds).
+    pub fn observe(&self, v_ns: u64) {
+        self.0.observe(v_ns);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> LogHistogram {
+        self.0.snapshot()
+    }
+}
+
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Hist(Arc<AtomicHistogram>),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Hist(_) => "histogram",
+        }
+    }
+}
+
+/// The registry: a name → metric map. Registration is idempotent (the
+/// same name returns a handle to the same underlying metric), names are
+/// validated against the Prometheus charset, and registering a name as
+/// two different kinds panics — that is always a wiring bug.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    slots: RwLock<BTreeMap<String, Slot>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.bytes().next().is_some_and(|c| c.is_ascii_alphabetic() || c == b'_' || c == b':')
+        && name.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b':')
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot<T, F, G>(&self, name: &str, make: F, extract: G) -> T
+    where
+        F: FnOnce() -> Slot,
+        G: Fn(&Slot) -> Option<T>,
+    {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        if let Some(slot) = self.slots.read().expect("registry poisoned").get(name) {
+            return extract(slot).unwrap_or_else(|| {
+                panic!("metric {name:?} already registered as a {}", slot.kind())
+            });
+        }
+        let mut w = self.slots.write().expect("registry poisoned");
+        let slot = w.entry(name.to_string()).or_insert_with(make);
+        extract(slot)
+            .unwrap_or_else(|| panic!("metric {name:?} already registered as a {}", slot.kind()))
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.slot(
+            name,
+            || Slot::Counter(Arc::new(AtomicU64::new(0))),
+            |s| match s {
+                Slot::Counter(c) => Some(Counter(c.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.slot(
+            name,
+            || Slot::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))),
+            |s| match s {
+                Slot::Gauge(g) => Some(Gauge(g.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.slot(
+            name,
+            || Slot::Hist(Arc::new(AtomicHistogram::default())),
+            |s| match s {
+                Slot::Hist(h) => Some(Histogram(h.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let slots = self.slots.read().expect("registry poisoned");
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, slot) in slots.iter() {
+            match slot {
+                Slot::Counter(c) => counters.push((name.clone(), c.load(Ordering::Relaxed))),
+                Slot::Gauge(g) => {
+                    gauges.push((name.clone(), f64::from_bits(g.load(Ordering::Relaxed))))
+                }
+                Slot::Hist(h) => histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        Snapshot { counters, gauges, histograms }
+    }
+}
+
+/// A point-in-time copy of every metric, ready for exposition. Vectors
+/// are name-sorted (the registry map is a `BTreeMap`), so the output is
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, histogram)` for every histogram.
+    pub histograms: Vec<(String, LogHistogram)>,
+}
+
+impl Snapshot {
+    /// Value of the counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Value of the gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Prometheus text exposition format (version 0.0.4): one `# TYPE`
+    /// line per metric, histograms as cumulative `_bucket{le="..."}`
+    /// series (bucket upper edges, powers of two) plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} "));
+            crate::json::push_f64(&mut out, *v);
+            // Prometheus spells non-finite values out, JSON cannot.
+            if !v.is_finite() {
+                out.truncate(out.len() - "null".len());
+                out.push_str(if v.is_nan() {
+                    "NaN"
+                } else if *v > 0.0 {
+                    "+Inf"
+                } else {
+                    "-Inf"
+                });
+            }
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let counts = h.bucket_counts();
+            let top = counts.iter().rposition(|&c| c > 0);
+            let mut cumulative = 0u64;
+            if let Some(top) = top {
+                for (b, &c) in counts.iter().enumerate().take(top + 1) {
+                    cumulative += c;
+                    let (_, upper) = LogHistogram::bucket_bounds(b);
+                    out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+                }
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            out.push_str(&format!("{name}_sum {}\n", h.sum_ns()));
+            out.push_str(&format!("{name}_count {}\n", h.count()));
+        }
+        out
+    }
+
+    /// The snapshot as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}` with
+    /// per-histogram summary statistics.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::push_str_literal(&mut out, name);
+            out.push_str(&format!(":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::push_str_literal(&mut out, name);
+            out.push(':');
+            crate::json::push_f64(&mut out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::push_str_literal(&mut out, name);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"mean_ns\":{},\"min_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                h.count(),
+                h.mean_ns(),
+                h.min(),
+                h.quantile_ns(0.5),
+                h.quantile_ns(0.95),
+                h.quantile_ns(0.99),
+                h.max()
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("jobs_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Idempotent registration shares the underlying metric.
+        reg.counter("jobs_total").inc();
+        assert_eq!(c.get(), 6);
+
+        let g = reg.gauge("rho");
+        g.set(0.93);
+        assert_eq!(g.get(), 0.93);
+
+        let h = reg.histogram("latency_ns");
+        for v in [10, 100, 1000, 100_000] {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("jobs_total"), Some(6));
+        assert_eq!(snap.gauge("rho"), Some(0.93));
+        let hist = snap.histogram("latency_ns").unwrap();
+        assert_eq!(hist.count(), 4);
+        assert_eq!(hist.min(), 10);
+        assert_eq!(hist.max(), 100_000);
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn updates_from_many_threads_are_complete() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("ticks_total");
+        let h = reg.histogram("tick_ns");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        c.inc();
+                        h.observe(i);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("ticks_total"), Some(8000));
+        assert_eq!(snap.histogram("tick_ns").unwrap().count(), 8000);
+    }
+
+    #[test]
+    fn prometheus_text_has_types_buckets_and_sums() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").add(3);
+        reg.gauge("b").set(1.5);
+        let h = reg.histogram("c_ns");
+        h.observe(5); // bucket 2: [4,8)
+        h.observe(6);
+        h.observe(100); // bucket 6: [64,128)
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE a_total counter\na_total 3\n"));
+        assert!(text.contains("# TYPE b gauge\nb 1.5\n"));
+        assert!(text.contains("# TYPE c_ns histogram\n"));
+        assert!(text.contains("c_ns_bucket{le=\"7\"} 2\n"));
+        assert!(text.contains("c_ns_bucket{le=\"127\"} 3\n"));
+        assert!(text.contains("c_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("c_ns_sum 111\n"));
+        assert!(text.contains("c_ns_count 3\n"));
+    }
+
+    #[test]
+    fn json_snapshot_is_valid() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").inc();
+        reg.gauge("b").set(f64::NAN); // must serialize as null, not NaN
+        reg.histogram("c_ns").observe(42);
+        let json = reg.snapshot().to_json();
+        crate::json::validate(&json).unwrap_or_else(|e| panic!("invalid json: {e}\n{json}"));
+        let v = crate::json::parse(&json).unwrap();
+        assert_eq!(
+            v.get("counters").and_then(|c| c.get("a_total")).and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(v.get("gauges").and_then(|g| g.get("b")), Some(&crate::json::Value::Null));
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        let snap = MetricsRegistry::new().snapshot();
+        assert_eq!(snap.to_prometheus(), "");
+        crate::json::validate(&snap.to_json()).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_are_rejected() {
+        MetricsRegistry::new().counter("bad name with spaces");
+    }
+}

@@ -1,0 +1,235 @@
+//! Hand-rolled property tests (seeded xorshift loops, like
+//! `tests/fault_tolerance.rs`) for the log-bucketed histogram and the
+//! Prometheus exposition format. These deliberately avoid the proptest
+//! macros so they run identically in offline environments.
+
+use esse_obs::{LogHistogram, MetricsRegistry};
+
+/// xorshift64* — deterministic, dependency-free sample source.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    /// Log-uniform value: exercises every bucket, not just the top ones.
+    fn log_uniform(&mut self) -> u64 {
+        let bits = self.next() % 64;
+        if bits == 0 {
+            self.next() % 2
+        } else {
+            (1u64 << bits) | (self.next() & ((1u64 << bits) - 1))
+        }
+    }
+}
+
+#[test]
+fn bucket_bounds_partition_the_u64_range_monotonically() {
+    // Contiguous: bucket 0 starts at 0, each bucket starts one past the
+    // previous upper bound, bucket 63 tops out at u64::MAX.
+    let (lo0, _) = LogHistogram::bucket_bounds(0);
+    assert_eq!(lo0, 0);
+    for b in 1..64usize {
+        let (_, prev_hi) = LogHistogram::bucket_bounds(b - 1);
+        let (lo, hi) = LogHistogram::bucket_bounds(b);
+        assert_eq!(lo, prev_hi + 1, "bucket {b} not contiguous");
+        assert!(lo <= hi, "bucket {b} inverted");
+    }
+    assert_eq!(LogHistogram::bucket_bounds(63).1, u64::MAX);
+
+    // Every recorded value lands in the bucket whose bounds contain it.
+    let mut rng = Rng::new(0xB0B0);
+    for _ in 0..2000 {
+        let v = rng.log_uniform();
+        let mut h = LogHistogram::new();
+        h.record(v);
+        let b = h.bucket_counts().iter().position(|&c| c == 1).expect("one bucket hit");
+        let (lo, hi) = LogHistogram::bucket_bounds(b);
+        assert!(lo <= v && v <= hi, "value {v} outside bucket {b} = [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn merge_conserves_counts_sums_and_extremes() {
+    for seed in 1..=50u64 {
+        let mut rng = Rng::new(seed * 0x9E37);
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        let n = 1 + (rng.next() % 400) as usize;
+        for _ in 0..n {
+            let v = rng.log_uniform();
+            if rng.next().is_multiple_of(2) {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        let (ca, cb) = (a.count(), b.count());
+        let (sa, sb) = (a.sum_ns(), b.sum_ns());
+        a.merge(&b);
+        assert_eq!(a.count(), ca + cb, "seed {seed}: count not conserved");
+        assert_eq!(a.sum_ns(), sa + sb, "seed {seed}: sum not conserved");
+        // Merging the split halves reproduces single-stream recording
+        // exactly — per-bucket counts, min and max included.
+        assert_eq!(a, whole, "seed {seed}: merge != combined recording");
+    }
+}
+
+#[test]
+fn quantile_estimate_stays_within_one_bucket_of_the_exact_order_statistic() {
+    for seed in 1..=40u64 {
+        let mut rng = Rng::new(seed * 0xC0FFEE);
+        let n = 1 + (rng.next() % 300) as usize;
+        let mut values: Vec<u64> = (0..n).map(|_| rng.log_uniform()).collect();
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * n as f64).ceil() as usize).max(1).min(n);
+            let exact = values[rank - 1];
+            let est = h.quantile_ns(q);
+            // The estimate is the upper edge of the exact value's bucket
+            // (clamped to the max), so it never under-reports and
+            // over-reports by at most one bucket width (2x + 1).
+            assert!(est >= exact, "seed {seed} q {q}: estimate {est} < exact {exact}");
+            assert!(
+                est <= exact.saturating_mul(2).saturating_add(1),
+                "seed {seed} q {q}: estimate {est} > one bucket above exact {exact}"
+            );
+        }
+    }
+}
+
+/// Minimal validator for the Prometheus text exposition format: every
+/// line is a `# TYPE` comment or a `name[{le="..."}] value` sample with
+/// a valid metric name and a parseable value; histogram series are
+/// cumulative and consistent with their `_count`.
+fn validate_prometheus(text: &str) {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+    }
+    let mut bucket_last: Option<(String, u64)> = None;
+    let mut counts: Vec<(String, u64)> = Vec::new();
+    let mut infs: Vec<(String, u64)> = Vec::new();
+    for line in text.lines() {
+        assert!(!line.is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().unwrap_or("");
+            let ty = it.next().unwrap_or("");
+            assert!(valid_name(name), "bad metric name in TYPE line: {line:?}");
+            assert!(matches!(ty, "counter" | "gauge" | "histogram"), "bad metric type in {line:?}");
+            assert_eq!(it.next(), None, "trailing tokens in {line:?}");
+            continue;
+        }
+        let (series, value) =
+            line.rsplit_once(' ').unwrap_or_else(|| panic!("no value in {line:?}"));
+        assert!(
+            value.parse::<f64>().is_ok() || matches!(value, "NaN" | "+Inf" | "-Inf"),
+            "unparseable sample value in {line:?}"
+        );
+        let (name, le) = match series.split_once('{') {
+            None => (series, None),
+            Some((n, labels)) => {
+                let labels = labels
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("unclosed labels in {line:?}"));
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|v| v.strip_suffix('"'))
+                    .unwrap_or_else(|| panic!("only le labels are emitted, got {line:?}"));
+                (n, Some(le.to_string()))
+            }
+        };
+        assert!(valid_name(name), "bad metric name in sample line: {line:?}");
+        if let Some(le) = le {
+            assert!(name.ends_with("_bucket"), "le label outside a bucket series: {line:?}");
+            let cum: u64 = value.parse().expect("bucket counts are integers");
+            let base = name.trim_end_matches("_bucket").to_string();
+            if let Some((prev_base, prev_cum)) = &bucket_last {
+                if *prev_base == base {
+                    assert!(cum >= *prev_cum, "non-cumulative buckets in {line:?}");
+                }
+            }
+            if le == "+Inf" {
+                infs.push((base.clone(), cum));
+            } else {
+                le.parse::<u64>().expect("finite le edges are integers");
+            }
+            bucket_last = Some((base, cum));
+        } else if let Some(base) = name.strip_suffix("_count") {
+            counts.push((base.to_string(), value.parse().expect("_count is an integer")));
+        }
+    }
+    // Every histogram's +Inf bucket equals its _count.
+    for (base, cum) in &infs {
+        let total = counts
+            .iter()
+            .find(|(b, _)| b == base)
+            .unwrap_or_else(|| panic!("histogram {base} has no _count"));
+        assert_eq!(*cum, total.1, "+Inf bucket != _count for {base}");
+    }
+}
+
+#[test]
+fn prometheus_exposition_is_valid_for_random_registries() {
+    for seed in 1..=25u64 {
+        let mut rng = Rng::new(seed * 0xFACE);
+        let reg = MetricsRegistry::new();
+        for i in 0..(1 + rng.next() % 5) {
+            reg.counter(&format!("prop_counter_{i}_total")).add(rng.next() % 10_000);
+        }
+        for i in 0..(1 + rng.next() % 5) {
+            let v = match rng.next() % 5 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => (rng.next() % 1_000_000) as f64 / 997.0 - 300.0,
+            };
+            reg.gauge(&format!("prop_gauge_{i}")).set(v);
+        }
+        for i in 0..(1 + rng.next() % 4) {
+            let h = reg.histogram(&format!("prop_hist_{i}_ns"));
+            for _ in 0..(rng.next() % 200) {
+                h.observe(rng.log_uniform());
+            }
+        }
+        let text = reg.snapshot().to_prometheus();
+        validate_prometheus(&text);
+    }
+}
+
+#[test]
+fn snapshot_json_stays_parseable_for_random_registries() {
+    for seed in 1..=25u64 {
+        let mut rng = Rng::new(seed * 0xD1CE);
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total").add(rng.next() % 1000);
+        reg.gauge("g").set(if seed % 7 == 0 { f64::NAN } else { seed as f64 / 3.0 });
+        let h = reg.histogram("h_ns");
+        for _ in 0..(rng.next() % 100) {
+            h.observe(rng.log_uniform());
+        }
+        let json = reg.snapshot().to_json();
+        let v = esse_obs::json::parse(&json).expect("snapshot JSON parses");
+        let esse_obs::json::Value::Obj(top) = v else { panic!("snapshot not an object") };
+        assert!(top.contains_key("counters"));
+        assert!(top.contains_key("gauges"));
+        assert!(top.contains_key("histograms"));
+    }
+}

@@ -133,6 +133,40 @@ fn converging_run_emits_convergence_events() {
 }
 
 #[test]
+fn offline_analyzer_agrees_with_the_live_trace_view() {
+    // The analyzer (offline, schema-driven) and the timeline module
+    // (live, typed) must agree on what the pool did.
+    let (model, prior, mean) = setup();
+    let workers = 3usize;
+    let cfg = MtcConfig {
+        workers,
+        pool_factor: 1.0,
+        schedule: EnsembleSchedule::new(12, 12),
+        tolerance: 1e-12,
+        duration: 10.0,
+        max_rank: 6,
+        svd_stride: 8,
+        ..Default::default()
+    };
+    let rec = RingRecorder::new();
+    let out =
+        MtcEsse::new(&model, cfg).with_recorder(&rec).run(RunInit::new(&mean, &prior)).unwrap();
+    let trace = rec.drain();
+    let a = esse_obs::LoadedTrace::from_trace(&trace).analyze();
+    let mtc = a.group("mtc").expect("mtc lane group");
+    let ran = out.records.iter().filter(|r| r.worker.is_some()).count();
+    assert_eq!(mtc.tasks, ran as u64);
+    let tls = timeline::timelines(&trace, Some("task"));
+    let live_busy: u64 =
+        tls.iter().filter(|tl| matches!(tl.lane, Lane::Worker(_))).map(|tl| tl.busy_ns()).sum();
+    assert_eq!(mtc.busy_ns, live_busy, "analyzer and timeline disagree on busy time");
+    // Queue waits decompose makespan: every wait is bounded by it.
+    let waits = a.queue_wait.expect("enqueue instants recorded");
+    assert_eq!(waits.count, 12);
+    assert!(waits.max_ns <= a.makespan_ns);
+}
+
+#[test]
 fn serial_driver_trace_covers_every_member() {
     let (model, prior, mean) = setup();
     let cfg = EsseConfig {
