@@ -131,6 +131,11 @@ fn render(a: &RunAnalysis, markdown: bool) -> String {
     if let Some(s) = a.speedup() {
         out.push_str(&format!("serial-vs-parallel wall-clock speedup: {s:.2}x\n"));
     }
+    if let Some(n) = a.resumed_members {
+        out.push_str(&format!(
+            "recovered run: resumed from checkpoint with {n} completed member(s)\n"
+        ));
+    }
     out.push('\n');
     out.push_str(&h("phase breakdown"));
     if markdown {

@@ -59,6 +59,18 @@ impl ConvergenceTest {
         ConvergenceTest { tol, required_passes: 1, history: Vec::new(), passes: 0 }
     }
 
+    /// Rebuild a monitor from a persisted similarity history (journal
+    /// resume): every value is replayed through the pass counter, so
+    /// the restored monitor decides convergence exactly as if the
+    /// original run had never stopped.
+    pub fn restore(tol: f64, history: &[f64]) -> ConvergenceTest {
+        let mut c = ConvergenceTest::new(tol);
+        for &rho in history {
+            c.check(rho);
+        }
+        c
+    }
+
     /// Feed the similarity between the previous and current estimates;
     /// returns `true` when converged.
     pub fn check(&mut self, rho: f64) -> bool {
@@ -68,6 +80,12 @@ impl ConvergenceTest {
         } else {
             self.passes = 0;
         }
+        self.passes >= self.required_passes
+    }
+
+    /// Whether the monitor is currently in the converged state (enough
+    /// consecutive passes at the current threshold).
+    pub fn converged(&self) -> bool {
         self.passes >= self.required_passes
     }
 

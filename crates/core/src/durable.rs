@@ -1,0 +1,156 @@
+//! Crash-durable file primitives shared by the file-based workflow
+//! layers (`esse::fileio`, `esse_mtc::journal`, the on-disk safe/live
+//! covariance protocol).
+//!
+//! The paper's ESSE is file-based so a real-time forecast survives
+//! infrastructure trouble (§4.1, §4.2); that only works if "written to
+//! disk" actually means *on* the disk. This module supplies the two
+//! ingredients every durable format here is built from:
+//!
+//! * [`crc32`] — the IEEE CRC-32 checksum, so readers detect truncated
+//!   or bit-flipped files instead of silently ingesting them;
+//! * [`atomic_write`] — write-to-temp, `fsync` the temp file, rename
+//!   over the target, then `fsync` the parent directory, so a published
+//!   file survives power loss and concurrent readers never observe a
+//!   torn state. On any failure the temporary file is removed.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `data` (the polynomial used by zip/PNG/Ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: fold `data` into a running (pre-inverted) state.
+/// Start from `0xFFFF_FFFF` and finish by XOR-ing with `0xFFFF_FFFF`.
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = CRC_TABLE[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// `fsync` a directory so a rename/create inside it survives power
+/// loss. A no-op on platforms where directories cannot be opened.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    match fs::File::open(dir) {
+        Ok(f) => f.sync_all(),
+        // Non-unix platforms may refuse to open directories; the rename
+        // itself is still atomic there, only the metadata flush is lost.
+        Err(e) if e.kind() == io::ErrorKind::PermissionDenied => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// The temporary-file sibling used by [`atomic_write`] for `path`.
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let name = path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default();
+    path.with_file_name(format!("{name}.tmp"))
+}
+
+/// Durable atomic publish: write `data` to a temporary sibling, fsync
+/// it, rename it over `path`, and fsync the parent directory. Readers
+/// either see the old complete file or the new complete file, and the
+/// new one survives power loss once this returns `Ok`. On failure the
+/// temporary file is removed — a crashed writer never leaves a torn
+/// file where a reader (or a later resume scan) might trust it.
+pub fn atomic_write(path: impl AsRef<Path>, data: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = tmp_path(path);
+    let publish = (|| -> io::Result<()> {
+        {
+            let mut f = fs::File::create(&tmp)?;
+            io::Write::write_all(&mut f, data)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fsync_dir(parent)?;
+            }
+        }
+        Ok(())
+    })();
+    if publish.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    publish
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Reference values from the IEEE CRC-32 everywhere else.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_streaming_matches_oneshot() {
+        let data = b"split into several pieces";
+        let mut state = 0xFFFF_FFFF;
+        for chunk in data.chunks(7) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, crc32(data));
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"esse journal record";
+        let good = crc32(data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.to_vec();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), good, "flip at {byte}.{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_write_publishes_and_cleans_tmp() {
+        let dir = std::env::temp_dir().join(format!("esse-durable-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("value.bin");
+        atomic_write(&target, b"hello").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"hello");
+        assert!(!tmp_path(&target).exists(), "tmp file must not persist");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_publish_leaves_no_tmp_file() {
+        let dir = std::env::temp_dir().join(format!("esse-durable-fail-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        // Renaming a file over an existing non-empty directory fails.
+        let target = dir.join("occupied");
+        fs::create_dir_all(target.join("child")).unwrap();
+        assert!(atomic_write(&target, b"doomed").is_err());
+        assert!(!tmp_path(&target).exists(), "tmp file must be removed on failure");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -37,6 +37,7 @@ pub mod convergence;
 pub mod covariance;
 pub mod diagnostics;
 pub mod driver;
+pub mod durable;
 pub mod error;
 pub mod model;
 pub mod obs;

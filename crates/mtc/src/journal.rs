@@ -1,0 +1,860 @@
+//! Crash-consistent run journal (write-ahead log) and durable
+//! checkpointing for the ESSE workflow.
+//!
+//! The paper's workflow is file-based precisely so a real-time forecast
+//! survives infrastructure trouble: §4.1's safe/live covariance files
+//! and §4.2's per-member status records exist so the master "can be
+//! restarted without rerunning all jobs". This module makes that
+//! guarantee hold against *coordinator* death at any instant:
+//!
+//! * [`Journal`] — an append-only log of checksummed, versioned records
+//!   ([`JournalRecord`]): run config hash, member completions/failures,
+//!   SVD publications, convergence, assimilation, completion. Appends
+//!   follow fsync-the-file discipline (the directory is fsynced at
+//!   creation), and replay truncates a torn tail — a record is either
+//!   fully in the log or it never happened.
+//! * [`JournalState`] — a pure fold over replayed records. Any prefix
+//!   of a valid journal folds to a valid state, which is what makes
+//!   killing the coordinator at an arbitrary byte offset recoverable.
+//! * [`Checkpoint`] — a journal plus per-member result blobs in one
+//!   directory, the durable mirror of the in-memory differ. The engine
+//!   ([`crate::workflow::MtcEsse::with_checkpoint`]) records each
+//!   completed member; [`Checkpoint::open`] validates every blob
+//!   against its CRC, quarantines corrupt files, and hands back a
+//!   [`ResumeState`] that [`crate::workflow::RunInit::resuming`] can
+//!   rehydrate — completed members are never re-run.
+
+use esse_core::durable::{atomic_write, crc32, fsync_dir};
+use parking_lot::Mutex;
+use std::fs;
+use std::io::{self, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal file magic + format version ("ESSEJNL" + version byte).
+const JOURNAL_MAGIC: &[u8; 8] = b"ESSEJNL\x01";
+
+/// Member checkpoint blob magic ("ESCK" + version byte).
+const MEMBER_MAGIC: &[u8; 4] = b"ESCK";
+/// Current member blob format version.
+const MEMBER_VERSION: u8 = 1;
+
+/// One durable event in the run's history.
+///
+/// Payloads are fixed little-endian encodings; every record is framed
+/// with a length prefix and a CRC-32 trailer on disk, so readers can
+/// tell a torn tail from a complete record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JournalRecord {
+    /// The run began under this configuration fingerprint. Always the
+    /// first record; resume refuses a journal whose hash differs from
+    /// the configuration it was asked to continue.
+    RunStart {
+        /// [`config_hash`] of the run parameters.
+        config_hash: u64,
+    },
+    /// Member `member` completed successfully; its result blob (or
+    /// forecast file) is durable on disk.
+    MemberCompleted {
+        /// Member index.
+        member: u64,
+        /// Attempts consumed to get the success.
+        attempts: u32,
+    },
+    /// Member `member` failed permanently (retry budget exhausted).
+    MemberFailed {
+        /// Member index.
+        member: u64,
+        /// Final exit/error code.
+        code: i32,
+    },
+    /// A previously completed member's on-disk result failed its
+    /// checksum on resume; the file was quarantined and the member
+    /// requeued. The run is degraded until it completes again.
+    MemberQuarantined {
+        /// Member index.
+        member: u64,
+    },
+    /// The continuous SVD stage published a new subspace estimate to
+    /// the safe file (the §4.1 three-file protocol).
+    SvdPublished {
+        /// Members in the decomposed snapshot.
+        members: u64,
+        /// Safe-file version the estimate was published as.
+        version: u64,
+        /// Similarity against the previous estimate (NaN for the first
+        /// round, which has nothing to compare against).
+        rho: f64,
+    },
+    /// The convergence criterion fired.
+    Converged {
+        /// Members in the differ at convergence.
+        members: u64,
+        /// The similarity value that crossed the threshold.
+        rho: f64,
+    },
+    /// The posterior was assimilated against observations.
+    Assimilated {
+        /// Innovations (observations) used.
+        innovations: u64,
+    },
+    /// The run finished and published its posterior.
+    RunComplete {
+        /// Members in the final subspace.
+        members: u64,
+    },
+}
+
+impl JournalRecord {
+    fn kind(&self) -> u8 {
+        match self {
+            JournalRecord::RunStart { .. } => 1,
+            JournalRecord::MemberCompleted { .. } => 2,
+            JournalRecord::MemberFailed { .. } => 3,
+            JournalRecord::MemberQuarantined { .. } => 4,
+            JournalRecord::SvdPublished { .. } => 5,
+            JournalRecord::Converged { .. } => 6,
+            JournalRecord::Assimilated { .. } => 7,
+            JournalRecord::RunComplete { .. } => 8,
+        }
+    }
+
+    /// Encode the record payload (kind byte + fields, little endian).
+    fn encode(&self) -> Vec<u8> {
+        let mut out = vec![self.kind()];
+        match *self {
+            JournalRecord::RunStart { config_hash } => {
+                out.extend_from_slice(&config_hash.to_le_bytes());
+            }
+            JournalRecord::MemberCompleted { member, attempts } => {
+                out.extend_from_slice(&member.to_le_bytes());
+                out.extend_from_slice(&attempts.to_le_bytes());
+            }
+            JournalRecord::MemberFailed { member, code } => {
+                out.extend_from_slice(&member.to_le_bytes());
+                out.extend_from_slice(&code.to_le_bytes());
+            }
+            JournalRecord::MemberQuarantined { member } => {
+                out.extend_from_slice(&member.to_le_bytes());
+            }
+            JournalRecord::SvdPublished { members, version, rho } => {
+                out.extend_from_slice(&members.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&rho.to_bits().to_le_bytes());
+            }
+            JournalRecord::Converged { members, rho } => {
+                out.extend_from_slice(&members.to_le_bytes());
+                out.extend_from_slice(&rho.to_bits().to_le_bytes());
+            }
+            JournalRecord::Assimilated { innovations } => {
+                out.extend_from_slice(&innovations.to_le_bytes());
+            }
+            JournalRecord::RunComplete { members } => {
+                out.extend_from_slice(&members.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`JournalRecord::encode`]. `None`
+    /// for unknown kinds or short payloads (treated as torn/corrupt).
+    fn decode(payload: &[u8]) -> Option<JournalRecord> {
+        let (&kind, rest) = payload.split_first()?;
+        let u64_at = |off: usize| -> Option<u64> {
+            rest.get(off..off + 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        };
+        let rec = match kind {
+            1 => JournalRecord::RunStart { config_hash: u64_at(0)? },
+            2 => JournalRecord::MemberCompleted {
+                member: u64_at(0)?,
+                attempts: u32::from_le_bytes(rest.get(8..12)?.try_into().unwrap()),
+            },
+            3 => JournalRecord::MemberFailed {
+                member: u64_at(0)?,
+                code: i32::from_le_bytes(rest.get(8..12)?.try_into().unwrap()),
+            },
+            4 => JournalRecord::MemberQuarantined { member: u64_at(0)? },
+            5 => JournalRecord::SvdPublished {
+                members: u64_at(0)?,
+                version: u64_at(8)?,
+                rho: f64::from_bits(u64_at(16)?),
+            },
+            6 => JournalRecord::Converged { members: u64_at(0)?, rho: f64::from_bits(u64_at(8)?) },
+            7 => JournalRecord::Assimilated { innovations: u64_at(0)? },
+            8 => JournalRecord::RunComplete { members: u64_at(0)? },
+            _ => return None,
+        };
+        // Reject trailing garbage so a frame is exactly one record.
+        (rec.encode().len() == payload.len()).then_some(rec)
+    }
+}
+
+/// Result of replaying a journal file.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// Records recovered, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Byte length of the valid prefix (header + complete records).
+    pub valid_len: u64,
+    /// Bytes past the valid prefix — a torn append or tail corruption.
+    /// [`Journal::open`] truncates these away.
+    pub torn_bytes: u64,
+}
+
+/// Append-only, checksummed, fsynced run journal.
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<fs::File>,
+}
+
+fn corrupt(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt journal: {}", msg.into()))
+}
+
+impl Journal {
+    /// Create a fresh journal at `path` (truncating any existing file),
+    /// durably: the header is fsynced and so is the parent directory.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = fs::File::create(&path)?;
+        file.write_all(JOURNAL_MAGIC)?;
+        file.sync_all()?;
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fsync_dir(parent)?;
+            }
+        }
+        Ok(Journal { path, file: Mutex::new(file) })
+    }
+
+    /// Replay `path` without opening it for appends. Stops at the first
+    /// torn or corrupt frame; everything before it is returned.
+    pub fn replay(path: impl AsRef<Path>) -> io::Result<Replay> {
+        let raw = fs::read(path)?;
+        if raw.len() < JOURNAL_MAGIC.len() || raw[..7] != JOURNAL_MAGIC[..7] {
+            return Err(corrupt("missing journal magic"));
+        }
+        if raw[7] != JOURNAL_MAGIC[7] {
+            return Err(corrupt(format!("unsupported journal version {}", raw[7])));
+        }
+        let mut records = Vec::new();
+        let mut pos = JOURNAL_MAGIC.len();
+        // Frame: [len u32][crc u32 of payload][payload: len bytes].
+        while let Some(head) = raw.get(pos..pos + 8) {
+            let len = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(head[4..8].try_into().unwrap());
+            let Some(payload) = raw.get(pos + 8..pos + 8 + len) else { break };
+            if crc32(payload) != crc {
+                break;
+            }
+            let Some(rec) = JournalRecord::decode(payload) else { break };
+            records.push(rec);
+            pos += 8 + len;
+        }
+        Ok(Replay { records, valid_len: pos as u64, torn_bytes: (raw.len() - pos) as u64 })
+    }
+
+    /// Open an existing journal for appending: replay it, truncate any
+    /// torn tail, and position the writer at the end of the valid
+    /// prefix. Returns the journal and what was recovered.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Journal, Replay)> {
+        let path = path.as_ref().to_path_buf();
+        let replay = Journal::replay(&path)?;
+        let file = fs::OpenOptions::new().read(true).write(true).open(&path)?;
+        if replay.torn_bytes > 0 {
+            file.set_len(replay.valid_len)?;
+            file.sync_all()?;
+        }
+        let mut file = file;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok((Journal { path, file: Mutex::new(file) }, replay))
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Durably append one record: the frame is written and fsynced
+    /// before this returns. A record is the commit point of whatever it
+    /// describes — write data files first, then append.
+    pub fn append(&self, rec: &JournalRecord) -> io::Result<()> {
+        let payload = rec.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let mut file = self.file.lock();
+        file.write_all(&frame)?;
+        file.sync_data()
+    }
+}
+
+/// One SVD round recovered from the journal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvdRound {
+    /// Members in the decomposed snapshot.
+    pub members: u64,
+    /// Safe-file version published.
+    pub version: u64,
+    /// Similarity against the previous round (NaN for the first).
+    pub rho: f64,
+}
+
+/// Pure fold of a record sequence into workflow state. Folding any
+/// prefix of a valid journal yields a valid (earlier) state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalState {
+    /// Configuration fingerprint from the `RunStart` record.
+    pub config_hash: Option<u64>,
+    /// Completed members with their attempt counts, ascending by id.
+    /// A later quarantine removes the member again.
+    pub completed: Vec<(u64, u32)>,
+    /// Permanently failed members, ascending.
+    pub failed: Vec<u64>,
+    /// Members whose results were quarantined on a resume, ascending.
+    /// (Requeued members that complete again leave this list.)
+    pub quarantined: Vec<u64>,
+    /// SVD publications in order.
+    pub svd_rounds: Vec<SvdRound>,
+    /// The convergence record, if the criterion fired.
+    pub converged: Option<(u64, f64)>,
+    /// Innovations assimilated, if assimilation ran.
+    pub assimilated: Option<u64>,
+    /// Members in the published posterior, if the run completed.
+    pub complete: Option<u64>,
+}
+
+impl JournalState {
+    /// Fold `records` into a state.
+    pub fn replay(records: &[JournalRecord]) -> JournalState {
+        let mut st = JournalState::default();
+        for rec in records {
+            match *rec {
+                JournalRecord::RunStart { config_hash } => st.config_hash = Some(config_hash),
+                JournalRecord::MemberCompleted { member, attempts } => {
+                    if let Err(i) = st.completed.binary_search_by_key(&member, |(m, _)| *m) {
+                        st.completed.insert(i, (member, attempts));
+                    }
+                    if let Ok(i) = st.quarantined.binary_search(&member) {
+                        st.quarantined.remove(i);
+                    }
+                    if let Ok(i) = st.failed.binary_search(&member) {
+                        st.failed.remove(i);
+                    }
+                }
+                JournalRecord::MemberFailed { member, .. } => {
+                    if let Err(i) = st.failed.binary_search(&member) {
+                        st.failed.insert(i, member);
+                    }
+                }
+                JournalRecord::MemberQuarantined { member } => {
+                    if let Ok(i) = st.completed.binary_search_by_key(&member, |(m, _)| *m) {
+                        st.completed.remove(i);
+                    }
+                    if let Err(i) = st.quarantined.binary_search(&member) {
+                        st.quarantined.insert(i, member);
+                    }
+                }
+                JournalRecord::SvdPublished { members, version, rho } => {
+                    st.svd_rounds.push(SvdRound { members, version, rho });
+                }
+                JournalRecord::Converged { members, rho } => st.converged = Some((members, rho)),
+                JournalRecord::Assimilated { innovations } => st.assimilated = Some(innovations),
+                JournalRecord::RunComplete { members } => st.complete = Some(members),
+            }
+        }
+        st
+    }
+
+    /// Similarity history to rehydrate the convergence monitor with
+    /// (finite rho values of the SVD rounds, in order).
+    pub fn rho_history(&self) -> Vec<f64> {
+        self.svd_rounds.iter().map(|r| r.rho).filter(|r| r.is_finite()).collect()
+    }
+
+    /// Member count at the latest SVD publication (0 if none ran yet):
+    /// the resumed coordinator uses it to continue the SVD cadence
+    /// exactly where the dead one left off.
+    pub fn last_svd_members(&self) -> u64 {
+        self.svd_rounds.last().map_or(0, |r| r.members)
+    }
+}
+
+/// Fingerprint a run configuration as FNV-1a over canonical
+/// `key=value` lines. Stable across processes and platforms; resume
+/// refuses to continue a journal written under a different hash.
+pub fn config_hash(parts: &[(&str, String)]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for (k, v) in parts {
+        for b in k.bytes().chain([b'=']).chain(v.bytes()).chain([b'\n']) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint: journal + member result blobs in one directory.
+// ---------------------------------------------------------------------
+
+/// Encode a member result vector as a checksummed blob
+/// (`ESCK`, version byte, length, f64 payload, CRC-32 trailer).
+pub fn encode_member_blob(data: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 1 + 8 + 8 * data.len() + 4);
+    out.extend_from_slice(MEMBER_MAGIC);
+    out.push(MEMBER_VERSION);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    for &v in data {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode and validate a member blob. Truncations and bit flips fail
+/// the CRC and are reported as corrupt, never silently ingested.
+pub fn decode_member_blob(raw: &[u8]) -> io::Result<Vec<f64>> {
+    let bad = |msg: &str| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("corrupt member checkpoint: {msg}"))
+    };
+    if raw.len() < 17 || &raw[..4] != MEMBER_MAGIC {
+        return Err(bad("missing magic"));
+    }
+    if raw[4] != MEMBER_VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let (body, trailer) = raw.split_at(raw.len() - 4);
+    let crc = u32::from_le_bytes(trailer.try_into().unwrap());
+    if crc32(body) != crc {
+        return Err(bad("checksum mismatch"));
+    }
+    let n = u64::from_le_bytes(body[5..13].try_into().unwrap()) as usize;
+    let payload = &body[13..];
+    if payload.len() != 8 * n {
+        return Err(bad("length mismatch"));
+    }
+    Ok(payload
+        .chunks_exact(8)
+        .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+        .collect())
+}
+
+/// Magic prefix of a subspace blob (disk triple-buffer payload).
+const SUBSPACE_MAGIC: &[u8; 4] = b"ESSB";
+
+/// Encode an error subspace as a checksummed blob — the payload the
+/// workflow publishes through the on-disk safe/live protocol
+/// ([`crate::triple_buffer::DiskTripleBuffer`]).
+pub fn encode_subspace_blob(sub: &esse_core::subspace::ErrorSubspace) -> Vec<u8> {
+    let (n, k) = sub.modes.shape();
+    let mut out = Vec::with_capacity(4 + 1 + 16 + 8 * (k + n * k) + 4);
+    out.extend_from_slice(SUBSPACE_MAGIC);
+    out.push(MEMBER_VERSION);
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(k as u64).to_le_bytes());
+    for &v in &sub.variances {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    for j in 0..k {
+        for &v in sub.modes.col(j) {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode and validate a subspace blob.
+pub fn decode_subspace_blob(raw: &[u8]) -> io::Result<esse_core::subspace::ErrorSubspace> {
+    let bad = |msg: &str| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("corrupt subspace checkpoint: {msg}"))
+    };
+    if raw.len() < 25 || &raw[..4] != SUBSPACE_MAGIC {
+        return Err(bad("missing magic"));
+    }
+    if raw[4] != MEMBER_VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let (body, trailer) = raw.split_at(raw.len() - 4);
+    let crc = u32::from_le_bytes(trailer.try_into().unwrap());
+    if crc32(body) != crc {
+        return Err(bad("checksum mismatch"));
+    }
+    let n = u64::from_le_bytes(body[5..13].try_into().unwrap()) as usize;
+    let k = u64::from_le_bytes(body[13..21].try_into().unwrap()) as usize;
+    let payload = &body[21..];
+    if payload.len() != 8 * (k + n * k) {
+        return Err(bad("size mismatch"));
+    }
+    let f = |b: &[u8]| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap()));
+    let variances: Vec<f64> = payload[..8 * k].chunks_exact(8).map(f).collect();
+    let mut modes = esse_linalg::Matrix::zeros(n, k);
+    for j in 0..k {
+        for i in 0..n {
+            modes.set(i, j, f(&payload[8 * (k + j * n + i)..8 * (k + j * n + i) + 8]));
+        }
+    }
+    Ok(esse_core::subspace::ErrorSubspace { modes, variances })
+}
+
+/// What [`Checkpoint::open`] recovered for the engine to resume from.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeState {
+    /// Completed members with validated results, ascending by id —
+    /// feed to [`crate::workflow::RunInit::resuming`].
+    pub completed: Vec<(usize, Vec<f64>)>,
+    /// Members recorded as permanently failed.
+    pub failed: Vec<usize>,
+    /// Members whose blobs failed validation and were quarantined this
+    /// open (they must be re-run).
+    pub quarantined: Vec<usize>,
+    /// The journal fold (SVD cadence, convergence, completion flags).
+    pub state: JournalState,
+}
+
+/// A checkpoint directory: `run.journal` + one blob per completed
+/// member + a `quarantine/` corner for files that failed validation.
+pub struct Checkpoint {
+    dir: PathBuf,
+    journal: Journal,
+}
+
+impl Checkpoint {
+    /// Journal file name inside a checkpoint directory.
+    pub const JOURNAL: &'static str = "run.journal";
+    /// Quarantine subdirectory name.
+    pub const QUARANTINE: &'static str = "quarantine";
+
+    fn member_path(dir: &Path, member: usize) -> PathBuf {
+        dir.join(format!("member_{member}.ck"))
+    }
+
+    /// Create a fresh checkpoint directory (the directory itself may
+    /// exist; a pre-existing journal is an error — refuse to clobber).
+    pub fn create(dir: impl AsRef<Path>, config_hash: u64) -> io::Result<Checkpoint> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let jpath = dir.join(Self::JOURNAL);
+        if jpath.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("checkpoint journal already exists at {}", jpath.display()),
+            ));
+        }
+        let journal = Journal::create(jpath)?;
+        journal.append(&JournalRecord::RunStart { config_hash })?;
+        Ok(Checkpoint { dir, journal })
+    }
+
+    /// Open an existing checkpoint: replay the journal (truncating a
+    /// torn tail), refuse a configuration-hash mismatch, validate every
+    /// completed member's blob, quarantine the corrupt ones (journaled
+    /// as [`JournalRecord::MemberQuarantined`] so the next incarnation
+    /// knows too), and return the state to resume from.
+    pub fn open(dir: impl AsRef<Path>, expect_hash: u64) -> io::Result<(Checkpoint, ResumeState)> {
+        let dir = dir.as_ref().to_path_buf();
+        let (journal, replay) = Journal::open(dir.join(Self::JOURNAL))?;
+        let state = JournalState::replay(&replay.records);
+        match state.config_hash {
+            Some(h) if h == expect_hash => {}
+            Some(h) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "checkpoint config hash mismatch: journal {h:#018x}, expected {expect_hash:#018x} — refusing to mix runs"
+                    ),
+                ));
+            }
+            None => {
+                return Err(corrupt("no RunStart record survived replay"));
+            }
+        }
+        let ck = Checkpoint { dir, journal };
+        let mut out = ResumeState { state: state.clone(), ..ResumeState::default() };
+        out.failed = state.failed.iter().map(|&m| m as usize).collect();
+        for &(member, _attempts) in &state.completed {
+            let member = member as usize;
+            let path = Self::member_path(&ck.dir, member);
+            match fs::read(&path).and_then(|raw| decode_member_blob(&raw)) {
+                Ok(data) => out.completed.push((member, data)),
+                Err(_) => {
+                    ck.quarantine(member)?;
+                    out.quarantined.push(member);
+                }
+            }
+        }
+        // The journal fold in `out.state` should reflect the
+        // quarantines we just performed.
+        for &m in &out.quarantined {
+            let m = m as u64;
+            if let Ok(i) = out.state.completed.binary_search_by_key(&m, |(id, _)| *id) {
+                out.state.completed.remove(i);
+            }
+            if let Err(i) = out.state.quarantined.binary_search(&m) {
+                out.state.quarantined.insert(i, m);
+            }
+        }
+        Ok((ck, out))
+    }
+
+    /// Move a member's (invalid) blob to `quarantine/` and journal it.
+    fn quarantine(&self, member: usize) -> io::Result<()> {
+        let src = Self::member_path(&self.dir, member);
+        if src.exists() {
+            let qdir = self.dir.join(Self::QUARANTINE);
+            fs::create_dir_all(&qdir)?;
+            fs::rename(&src, qdir.join(format!("member_{member}.ck")))?;
+        }
+        self.journal.append(&JournalRecord::MemberQuarantined { member: member as u64 })
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The underlying journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Durably record a completed member: the result blob is published
+    /// atomically first, then the journal record commits it. A crash
+    /// between the two leaves an unreferenced blob, which is harmless —
+    /// replay treats the member as incomplete and re-runs it.
+    pub fn record_member(&self, member: usize, attempts: u32, data: &[f64]) -> io::Result<()> {
+        atomic_write(Self::member_path(&self.dir, member), &encode_member_blob(data))?;
+        self.journal.append(&JournalRecord::MemberCompleted { member: member as u64, attempts })
+    }
+
+    /// Record a permanent member failure.
+    pub fn record_failed(&self, member: usize, code: i32) -> io::Result<()> {
+        self.journal.append(&JournalRecord::MemberFailed { member: member as u64, code })
+    }
+
+    /// Record an SVD publication.
+    pub fn record_svd(&self, members: usize, version: u64, rho: f64) -> io::Result<()> {
+        self.journal.append(&JournalRecord::SvdPublished { members: members as u64, version, rho })
+    }
+
+    /// Record convergence.
+    pub fn record_converged(&self, members: usize, rho: f64) -> io::Result<()> {
+        self.journal.append(&JournalRecord::Converged { members: members as u64, rho })
+    }
+
+    /// Record an assimilation pass.
+    pub fn record_assimilated(&self, innovations: usize) -> io::Result<()> {
+        self.journal.append(&JournalRecord::Assimilated { innovations: innovations as u64 })
+    }
+
+    /// Record run completion (the posterior is durable).
+    pub fn record_complete(&self, members: usize) -> io::Result<()> {
+        self.journal.append(&JournalRecord::RunComplete { members: members as u64 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("esse-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::RunStart { config_hash: 0xDEAD_BEEF },
+            JournalRecord::MemberCompleted { member: 0, attempts: 1 },
+            JournalRecord::MemberCompleted { member: 3, attempts: 2 },
+            JournalRecord::MemberFailed { member: 1, code: 3 },
+            JournalRecord::SvdPublished { members: 2, version: 1, rho: f64::NAN },
+            JournalRecord::SvdPublished { members: 4, version: 2, rho: 0.97 },
+            JournalRecord::MemberQuarantined { member: 3 },
+            JournalRecord::Converged { members: 8, rho: 0.995 },
+            JournalRecord::Assimilated { innovations: 12 },
+            JournalRecord::RunComplete { members: 8 },
+        ]
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let dir = tmpdir("rt");
+        let jpath = dir.join("run.journal");
+        let j = Journal::create(&jpath).unwrap();
+        for rec in sample_records() {
+            j.append(&rec).unwrap();
+        }
+        let replay = Journal::replay(&jpath).unwrap();
+        assert_eq!(replay.torn_bytes, 0);
+        // NaN rho compares unequal; compare via encoded bytes instead.
+        let enc = |r: &[JournalRecord]| -> Vec<Vec<u8>> { r.iter().map(|x| x.encode()).collect() };
+        assert_eq!(enc(&replay.records), enc(&sample_records()));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmpdir("torn");
+        let jpath = dir.join("run.journal");
+        let j = Journal::create(&jpath).unwrap();
+        j.append(&JournalRecord::RunStart { config_hash: 1 }).unwrap();
+        j.append(&JournalRecord::MemberCompleted { member: 0, attempts: 1 }).unwrap();
+        drop(j);
+        let full = fs::read(&jpath).unwrap();
+        // Tear the last record: keep the file but chop 3 bytes.
+        fs::write(&jpath, &full[..full.len() - 3]).unwrap();
+        let (j, replay) = Journal::open(&jpath).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.torn_bytes > 0);
+        // The torn bytes are gone; appending after resume works.
+        j.append(&JournalRecord::MemberCompleted { member: 0, attempts: 2 }).unwrap();
+        let replay = Journal::replay(&jpath).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.torn_bytes, 0);
+    }
+
+    #[test]
+    fn every_byte_prefix_replays_to_a_record_prefix() {
+        let dir = tmpdir("prefix");
+        let jpath = dir.join("run.journal");
+        let j = Journal::create(&jpath).unwrap();
+        for rec in sample_records() {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        let full = fs::read(&jpath).unwrap();
+        let all = Journal::replay(&jpath).unwrap().records;
+        let enc = |r: &[JournalRecord]| -> Vec<Vec<u8>> { r.iter().map(|x| x.encode()).collect() };
+        let cut = dir.join("cut.journal");
+        for n in JOURNAL_MAGIC.len()..=full.len() {
+            fs::write(&cut, &full[..n]).unwrap();
+            let replay = Journal::replay(&cut).unwrap();
+            let k = replay.records.len();
+            assert!(k <= all.len());
+            assert_eq!(enc(&replay.records), enc(&all[..k]), "prefix {n} bytes");
+            // The state fold never panics on a prefix.
+            let _ = JournalState::replay(&replay.records);
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_corrupt_the_replayed_prefix() {
+        let dir = tmpdir("flip");
+        let jpath = dir.join("run.journal");
+        let j = Journal::create(&jpath).unwrap();
+        for rec in sample_records().into_iter().take(4) {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        let full = fs::read(&jpath).unwrap();
+        let clean = Journal::replay(&jpath).unwrap().records;
+        let enc = |r: &[JournalRecord]| -> Vec<Vec<u8>> { r.iter().map(|x| x.encode()).collect() };
+        let mutated = dir.join("mut.journal");
+        for byte in JOURNAL_MAGIC.len()..full.len() {
+            let mut raw = full.clone();
+            raw[byte] ^= 0x10;
+            fs::write(&mutated, &raw).unwrap();
+            let replay = Journal::replay(&mutated).unwrap();
+            // Replay stops at or before the flipped frame; whatever it
+            // returns must be a prefix of the clean record stream.
+            let k = replay.records.len();
+            assert!(k < clean.len() || byte >= full.len() - 8, "flip at {byte} not detected");
+            assert_eq!(enc(&replay.records), enc(&clean[..k]), "flip at {byte}");
+        }
+    }
+
+    #[test]
+    fn state_fold_tracks_completions_failures_and_quarantine() {
+        let st = JournalState::replay(&sample_records());
+        assert_eq!(st.config_hash, Some(0xDEAD_BEEF));
+        // Member 3 completed then got quarantined on a later resume.
+        assert_eq!(st.completed, vec![(0, 1)]);
+        assert_eq!(st.failed, vec![1]);
+        assert_eq!(st.quarantined, vec![3]);
+        assert_eq!(st.svd_rounds.len(), 2);
+        assert_eq!(st.rho_history(), vec![0.97]);
+        assert_eq!(st.last_svd_members(), 4);
+        assert_eq!(st.converged, Some((8, 0.995)));
+        assert_eq!(st.assimilated, Some(12));
+        assert_eq!(st.complete, Some(8));
+    }
+
+    #[test]
+    fn member_blob_roundtrip_and_corruption() {
+        let data = vec![1.5, -2.25, 0.0, f64::MIN_POSITIVE, 1e300];
+        let blob = encode_member_blob(&data);
+        assert_eq!(decode_member_blob(&blob).unwrap(), data);
+        for n in 0..blob.len() {
+            assert!(decode_member_blob(&blob[..n]).is_err(), "truncation at {n} accepted");
+        }
+        for byte in 0..blob.len() {
+            for bit in 0..8 {
+                let mut bad = blob.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(decode_member_blob(&bad).is_err(), "bit flip at {byte}.{bit} accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_with_quarantine() {
+        let dir = tmpdir("ckpt");
+        let hash = config_hash(&[("domain", "toy".into()), ("n", "8".into())]);
+        let ck = Checkpoint::create(&dir, hash).unwrap();
+        ck.record_member(0, 1, &[1.0, 2.0]).unwrap();
+        ck.record_member(2, 1, &[3.0, 4.0]).unwrap();
+        ck.record_failed(1, 3).unwrap();
+        ck.record_svd(2, 1, f64::NAN).unwrap();
+        drop(ck);
+        // Corrupt member 2's blob.
+        let p = Checkpoint::member_path(&dir, 2);
+        let mut raw = fs::read(&p).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x01;
+        fs::write(&p, raw).unwrap();
+
+        let (_ck, resume) = Checkpoint::open(&dir, hash).unwrap();
+        assert_eq!(resume.completed, vec![(0, vec![1.0, 2.0])]);
+        assert_eq!(resume.failed, vec![1]);
+        assert_eq!(resume.quarantined, vec![2]);
+        assert!(dir.join(Checkpoint::QUARANTINE).join("member_2.ck").exists());
+        assert!(!p.exists());
+        // A second open sees the quarantine record and doesn't re-quarantine.
+        let (_ck, resume2) = Checkpoint::open(&dir, hash).unwrap();
+        assert!(resume2.quarantined.is_empty());
+        assert_eq!(resume2.state.quarantined, vec![2]);
+    }
+
+    #[test]
+    fn checkpoint_refuses_hash_mismatch_and_clobber() {
+        let dir = tmpdir("hash");
+        let ck = Checkpoint::create(&dir, 42).unwrap();
+        drop(ck);
+        let err = match Checkpoint::open(&dir, 43) {
+            Err(e) => e,
+            Ok(_) => panic!("open with wrong hash must fail"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("hash mismatch"), "{err}");
+        let err = match Checkpoint::create(&dir, 42) {
+            Err(e) => e,
+            Ok(_) => panic!("create over an existing journal must fail"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+    }
+
+    #[test]
+    fn config_hash_is_order_and_value_sensitive() {
+        let a = config_hash(&[("x", "1".into()), ("y", "2".into())]);
+        let b = config_hash(&[("x", "1".into()), ("y", "3".into())]);
+        let c = config_hash(&[("y", "2".into()), ("x", "1".into())]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, config_hash(&[("x", "1".into()), ("y", "2".into())]));
+    }
+}

@@ -25,6 +25,7 @@
 pub mod bookkeeping;
 pub mod coverage;
 pub mod fault;
+pub mod journal;
 pub mod metrics;
 pub mod staging;
 pub mod task;
@@ -47,5 +48,7 @@ pub mod sim {
 }
 
 pub use fault::{FaultPlan, FaultReport, RetryPolicy, RunHealth};
+pub use journal::{Checkpoint, Journal, JournalRecord, JournalState, ResumeState};
 pub use task::{TaskId, TaskOutcome, TaskRecord, TaskState};
-pub use workflow::{MtcConfig, MtcConfigBuilder, MtcEsse, MtcOutcome, RunInit};
+pub use triple_buffer::{DiskTripleBuffer, TripleBuffer};
+pub use workflow::{MtcConfig, MtcConfigBuilder, MtcEsse, MtcOutcome, ReplayState, RunInit};

@@ -14,7 +14,11 @@
 //! version, never a half-written one, and the writer never overwrites
 //! the version currently being read.
 
+use esse_core::durable::{atomic_write, crc32, fsync_dir};
 use parking_lot::Mutex;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -58,6 +62,131 @@ impl<T> TripleBuffer<T> {
     /// Latest published version number (0 = nothing yet).
     pub fn version(&self) -> u64 {
         self.safe_version.load(Ordering::Acquire)
+    }
+}
+
+/// Magic prefix of a safe/live covariance frame on disk.
+const DISK_MAGIC: &[u8; 4] = b"ESTB";
+/// Format version of the on-disk frame.
+const DISK_VERSION: u8 = 1;
+
+/// The paper §4.1 three-file safe/live covariance protocol on real
+/// disk: the writer (differ) alternates between two *live* files —
+/// chosen by version parity, so the file currently being rewritten is
+/// never the newest complete one — and publishes each completed version
+/// to the *safe* file via durable atomic rename. Readers (SVD, or a
+/// resumed coordinator) only ever trust frames that validate against
+/// their CRC-32 trailer, so a writer killed mid-`publish` leaves at
+/// worst one torn live file and a stale-but-intact safe file.
+///
+/// Frame layout: `"ESTB"` + format byte + `u64` version counter +
+/// `u64` payload length + payload bytes + CRC-32 trailer over all of
+/// the preceding bytes. The payload is opaque (the workflow stores an
+/// encoded error subspace).
+pub struct DiskTripleBuffer {
+    dir: PathBuf,
+    write_lock: Mutex<()>,
+}
+
+impl DiskTripleBuffer {
+    /// File name of the safe (atomically published) covariance file.
+    pub const SAFE: &'static str = "cov.safe";
+    /// File names of the two alternating live covariance files.
+    pub const LIVE: [&'static str; 2] = ["cov.live.a", "cov.live.b"];
+
+    /// Attach to `dir` (created if missing).
+    pub fn create(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(DiskTripleBuffer { dir, write_lock: Mutex::new(()) })
+    }
+
+    /// Path of the safe file.
+    pub fn safe_path(&self) -> PathBuf {
+        self.dir.join(Self::SAFE)
+    }
+
+    fn live_path(&self, version: u64) -> PathBuf {
+        self.dir.join(Self::LIVE[(version % 2) as usize])
+    }
+
+    fn encode(payload: &[u8], version: u64) -> Vec<u8> {
+        let mut frame = Vec::with_capacity(4 + 1 + 8 + 8 + payload.len() + 4);
+        frame.extend_from_slice(DISK_MAGIC);
+        frame.push(DISK_VERSION);
+        frame.extend_from_slice(&version.to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let crc = crc32(&frame);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame
+    }
+
+    fn decode(raw: &[u8]) -> Option<(Vec<u8>, u64)> {
+        if raw.len() < 4 + 1 + 8 + 8 + 4 || &raw[..4] != DISK_MAGIC {
+            return None;
+        }
+        let (body, trailer) = raw.split_at(raw.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().ok()?);
+        if crc32(body) != stored || body[4] != DISK_VERSION {
+            return None;
+        }
+        let version = u64::from_le_bytes(body[5..13].try_into().ok()?);
+        let len = u64::from_le_bytes(body[13..21].try_into().ok()?) as usize;
+        let payload = &body[21..];
+        if payload.len() != len {
+            return None;
+        }
+        Some((payload.to_vec(), version))
+    }
+
+    /// Writer side: write the frame to the live file selected by the
+    /// version's parity (fsynced in place), then publish it to the safe
+    /// file by durable atomic rename. A crash between the two steps
+    /// leaves a valid live frame that [`recover`](Self::recover) will
+    /// still find.
+    pub fn publish(&self, payload: &[u8], version: u64) -> io::Result<()> {
+        let _guard = self.write_lock.lock();
+        let frame = Self::encode(payload, version);
+        {
+            let mut f = fs::File::create(self.live_path(version))?;
+            io::Write::write_all(&mut f, &frame)?;
+            f.sync_all()?;
+        }
+        fsync_dir(&self.dir)?;
+        atomic_write(self.safe_path(), &frame)
+    }
+
+    /// Reader side: the latest frame published to the safe file, if it
+    /// exists and validates.
+    pub fn read_safe(&self) -> io::Result<Option<(Vec<u8>, u64)>> {
+        match fs::read(self.safe_path()) {
+            Ok(raw) => Ok(Self::decode(&raw)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Crash recovery: scan all three files and return the
+    /// highest-versioned frame that validates against its checksum.
+    /// A torn file (writer killed mid-write) simply loses the vote —
+    /// it is never returned, so a resumed run can only continue from a
+    /// complete, consistent covariance snapshot.
+    pub fn recover(&self) -> io::Result<Option<(Vec<u8>, u64)>> {
+        let mut best: Option<(Vec<u8>, u64)> = None;
+        for name in [Self::SAFE, Self::LIVE[0], Self::LIVE[1]] {
+            let raw = match fs::read(self.dir.join(name)) {
+                Ok(raw) => raw,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            if let Some((payload, version)) = Self::decode(&raw) {
+                if best.as_ref().is_none_or(|(_, v)| version > *v) {
+                    best = Some((payload, version));
+                }
+            }
+        }
+        Ok(best)
     }
 }
 
@@ -127,5 +256,75 @@ mod tests {
             r.join().unwrap();
         }
         assert_eq!(b.version(), 500);
+    }
+
+    fn disk_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("esse-dtb-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn disk_publish_then_read_safe() {
+        let buf = DiskTripleBuffer::create(disk_dir("pub")).unwrap();
+        assert!(buf.read_safe().unwrap().is_none());
+        buf.publish(b"covariance v1", 1).unwrap();
+        let (payload, ver) = buf.read_safe().unwrap().unwrap();
+        assert_eq!(payload, b"covariance v1");
+        assert_eq!(ver, 1);
+        buf.publish(b"covariance v2", 2).unwrap();
+        let (payload, ver) = buf.read_safe().unwrap().unwrap();
+        assert_eq!(payload, b"covariance v2");
+        assert_eq!(ver, 2);
+    }
+
+    #[test]
+    fn disk_live_files_alternate() {
+        let dir = disk_dir("alt");
+        let buf = DiskTripleBuffer::create(&dir).unwrap();
+        buf.publish(b"one", 1).unwrap();
+        buf.publish(b"two", 2).unwrap();
+        // Version parity selects the live slot, so both exist and hold
+        // different versions.
+        let a = fs::read(dir.join(DiskTripleBuffer::LIVE[0])).unwrap();
+        let b = fs::read(dir.join(DiskTripleBuffer::LIVE[1])).unwrap();
+        assert_eq!(DiskTripleBuffer::decode(&a).unwrap().1, 2);
+        assert_eq!(DiskTripleBuffer::decode(&b).unwrap().1, 1);
+    }
+
+    #[test]
+    fn disk_recover_prefers_newest_valid() {
+        let dir = disk_dir("rec");
+        let buf = DiskTripleBuffer::create(&dir).unwrap();
+        buf.publish(b"old", 7).unwrap();
+        buf.publish(b"new", 8).unwrap();
+        let (payload, ver) = buf.recover().unwrap().unwrap();
+        assert_eq!((payload.as_slice(), ver), (b"new".as_slice(), 8));
+        // Tear the newest live copy AND the safe file: recovery falls
+        // back to the older intact live frame instead of trusting torn
+        // bytes.
+        for name in [DiskTripleBuffer::LIVE[0], DiskTripleBuffer::SAFE] {
+            let p = dir.join(name);
+            let mut raw = fs::read(&p).unwrap();
+            raw.truncate(raw.len() - 2);
+            fs::write(&p, &raw).unwrap();
+        }
+        let (payload, ver) = buf.recover().unwrap().unwrap();
+        assert_eq!((payload.as_slice(), ver), (b"old".as_slice(), 7));
+        assert!(buf.read_safe().unwrap().is_none(), "torn safe file must not validate");
+    }
+
+    #[test]
+    fn disk_torn_frames_never_validate() {
+        let frame = DiskTripleBuffer::encode(b"payload bytes", 3);
+        assert!(DiskTripleBuffer::decode(&frame).is_some());
+        for cut in 0..frame.len() {
+            assert!(DiskTripleBuffer::decode(&frame[..cut]).is_none(), "prefix {cut} accepted");
+        }
+        for byte in 0..frame.len() {
+            let mut flipped = frame.clone();
+            flipped[byte] ^= 0x10;
+            assert!(DiskTripleBuffer::decode(&flipped).is_none(), "flip at {byte} accepted");
+        }
     }
 }

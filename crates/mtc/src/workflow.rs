@@ -22,7 +22,9 @@
 //!   they must at least be visible).
 
 use crate::fault::{FaultKind, FaultPlan, FaultReport, RetryPolicy, RunHealth};
+use crate::journal::{encode_subspace_blob, Checkpoint};
 use crate::task::{TaskId, TaskOutcome, TaskRecord, TaskState};
+use crate::triple_buffer::DiskTripleBuffer;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use esse_core::adaptive::{CompletionPolicy, EnsembleSchedule};
 use esse_core::convergence::{similarity, ConvergenceTest};
@@ -245,6 +247,23 @@ impl MtcConfigBuilder {
     }
 }
 
+/// SVD/convergence state rehydrated from a run journal + the on-disk
+/// safe/live covariance files, so a resumed run continues the
+/// convergence cadence exactly where the dead coordinator left it
+/// instead of restarting the similarity test from scratch.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayState {
+    /// Similarity history from `SvdPublished` journal records.
+    pub rho_history: Vec<f64>,
+    /// The last published subspace (from the safe/live files), used as
+    /// the "previous" estimate of the next convergence check.
+    pub previous: Option<ErrorSubspace>,
+    /// Ensemble size at the last SVD round (restores the stride phase).
+    pub last_svd_members: usize,
+    /// Version counter of the last published subspace.
+    pub svd_version: u64,
+}
+
 /// Input to [`MtcEsse::run`]: the mean state and prior subspace, plus
 /// optional resume bookkeeping (paper §4.2: a stopped ESSE execution
 /// "can be restarted without rerunning all jobs").
@@ -258,17 +277,25 @@ pub struct RunInit<'a> {
     /// recovered from the bookkeeping directory; those indices are
     /// folded into the differ up front and never re-enqueued.
     pub resume: &'a [(TaskId, Vec<f64>)],
+    /// Rehydrated SVD/convergence state from a journal replay.
+    pub replay: Option<&'a ReplayState>,
 }
 
 impl<'a> RunInit<'a> {
     /// Fresh run from `mean` and `prior`.
     pub fn new(mean: &'a [f64], prior: &'a ErrorSubspace) -> RunInit<'a> {
-        RunInit { mean, prior, resume: &[] }
+        RunInit { mean, prior, resume: &[], replay: None }
     }
 
     /// Attach resume bookkeeping from a previous incarnation.
     pub fn resuming(mut self, previous: &'a [(TaskId, Vec<f64>)]) -> RunInit<'a> {
         self.resume = previous;
+        self
+    }
+
+    /// Attach rehydrated SVD/convergence state from a journal replay.
+    pub fn rehydrating(mut self, replay: &'a ReplayState) -> RunInit<'a> {
+        self.replay = Some(replay);
         self
     }
 }
@@ -440,12 +467,14 @@ pub struct MtcEsse<'m, M: ForecastModel> {
     recorder: &'m dyn Recorder,
     /// Live metrics registry (none unless [`MtcEsse::with_metrics`]).
     metrics: Option<&'m MetricsRegistry>,
+    /// Durable run journal (none unless [`MtcEsse::with_checkpoint`]).
+    checkpoint: Option<&'m Checkpoint>,
 }
 
 impl<'m, M: ForecastModel> MtcEsse<'m, M> {
     /// New engine.
     pub fn new(model: &'m M, config: MtcConfig) -> Self {
-        MtcEsse { model, config, recorder: &NULL, metrics: None }
+        MtcEsse { model, config, recorder: &NULL, metrics: None, checkpoint: None }
     }
 
     /// Attach a trace recorder. Workers then emit one `task`/`member`
@@ -473,6 +502,19 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
         self
     }
 
+    /// Attach a durable run journal. Every member that enters the
+    /// spread matrix is first persisted (result blob + journal record
+    /// as the commit point), permanent failures and SVD rounds are
+    /// journalled, and each published subspace is written through the
+    /// on-disk safe/live covariance files in the checkpoint directory —
+    /// so a coordinator killed at any instant can be resumed via
+    /// [`Checkpoint::open`] + [`RunInit::resuming`]/
+    /// [`RunInit::rehydrating`] without re-running completed members.
+    pub fn with_checkpoint(mut self, checkpoint: &'m Checkpoint) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
     /// Run the decoupled uncertainty forecast (Fig. 4).
     ///
     /// This is the single entry point: a fresh run is
@@ -487,7 +529,24 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
         let met = met.as_ref();
         let retry = &cfg.retry;
         let faults = cfg.faults.as_ref();
+        let ck = self.checkpoint;
+        // The on-disk safe/live covariance files live beside the
+        // journal; every published subspace goes through them so a
+        // resumed run recovers its "previous" estimate from disk.
+        let disk_cov = match ck {
+            Some(ck) => Some(DiskTripleBuffer::create(ck.dir())?),
+            None => None,
+        };
         let t0 = Instant::now();
+        if obs.enabled() && !init.resume.is_empty() {
+            obs.instant_at(
+                0,
+                Lane::Coordinator,
+                "workflow",
+                "resumed",
+                vec![("members", init.resume.len().into())],
+            );
+        }
         let gen = PerturbationGenerator::new(init.prior, cfg.perturb.clone());
         // Central forecast first: the differ needs it.
         if obs.enabled() {
@@ -679,14 +738,22 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
             for (id, result) in init.resume {
                 acc.add_member(*id, result);
             }
-            let mut conv = ConvergenceTest::new(cfg.tolerance);
-            let mut previous: Option<ErrorSubspace> = None;
+            let mut conv = match init.replay {
+                Some(r) => ConvergenceTest::restore(cfg.tolerance, &r.rho_history),
+                None => ConvergenceTest::new(cfg.tolerance),
+            };
+            let mut previous: Option<ErrorSubspace> = init.replay.and_then(|r| r.previous.clone());
             let mut converged = false;
             let mut members_failed = 0usize;
             let mut members_wasted = 0usize;
             let mut svd_rounds = 0usize;
+            let mut svd_version: u64 = init.replay.map_or(0, |r| r.svd_version);
             let mut stage_idx = 0usize;
-            let mut since_svd = 0usize;
+            // Resume restores the SVD stride phase: members folded from
+            // the journal that the dead coordinator never decomposed
+            // still count toward the next round.
+            let mut since_svd =
+                init.replay.map_or(0, |r| acc.count().saturating_sub(r.last_svd_members));
             let mut got = 0usize;
             let mut converged_at: Option<Duration> = None;
             let mut runtime_sum = Duration::ZERO;
@@ -819,6 +886,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                             records[id].outcome =
                                 Some(TaskOutcome::Failed("worker pool died".into()));
                             book.resolved[id] = true;
+                            if let Some(ck) = ck {
+                                ck.record_failed(id, book.attempts[id] as i32)?;
+                            }
                             members_failed += 1;
                             if let Some(m) = met {
                                 m.failed.inc();
@@ -982,6 +1052,11 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                             };
                             if spare {
                                 rec.outcome = Some(TaskOutcome::Success);
+                                if let Some(ck) = ck {
+                                    // Blob first, journal record second:
+                                    // the record is the commit point.
+                                    ck.record_member(id, book.attempts[id], &xf)?;
+                                }
                                 acc.add_member(id, &xf);
                             } else {
                                 rec.outcome = Some(TaskOutcome::Wasted);
@@ -989,6 +1064,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                             }
                         } else {
                             rec.outcome = Some(TaskOutcome::Success);
+                            if let Some(ck) = ck {
+                                ck.record_member(id, book.attempts[id], &xf)?;
+                            }
                             acc.add_member(id, &xf);
                             since_svd += 1;
                         }
@@ -1035,6 +1113,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                         } else {
                             book.resolved[id] = true;
                             rec.outcome = Some(TaskOutcome::Failed(reason));
+                            if let Some(ck) = ck {
+                                ck.record_failed(id, book.attempts[id] as i32)?;
+                            }
                             members_failed += 1;
                             if obs.enabled() {
                                 obs.instant_at(
@@ -1100,8 +1181,10 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                         svd_rounds += 1;
                         let estimate =
                             ErrorSubspace::from_spread_svd(&svd, cfg.mode_rel_tol, cfg.max_rank);
+                        let mut round_rho = f64::NAN;
                         if let Some(prev) = &previous {
                             let rho = similarity(prev, &estimate);
+                            round_rho = rho;
                             if let Some(m) = met {
                                 m.rho.set(rho);
                             }
@@ -1144,6 +1227,18 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                                     obs,
                                     tnow,
                                 );
+                            }
+                        }
+                        if let Some(ck) = ck {
+                            svd_version += 1;
+                            // Covariance files first (safe/live publish),
+                            // then the journal record as commit point.
+                            if let Some(buf) = &disk_cov {
+                                buf.publish(&encode_subspace_blob(&estimate), svd_version)?;
+                            }
+                            ck.record_svd(acc.count(), svd_version, round_rho)?;
+                            if converged {
+                                ck.record_converged(acc.count(), round_rho)?;
                             }
                         }
                         previous = Some(estimate);

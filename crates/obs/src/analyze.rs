@@ -282,6 +282,7 @@ impl LoadedTrace {
             lane_groups: lane_groups(&self.events, &spans),
             counters: final_counters(&self.events),
             task_count: spans.iter().filter(|s| s.cat == "task").count(),
+            resumed_members: resumed_members(&self.events),
         }
     }
 }
@@ -629,6 +630,17 @@ fn lane_groups(events: &[LoadedEvent], spans: &[LoadedSpan]) -> Vec<LaneGroupSta
         .collect()
 }
 
+/// Member count carried by the `workflow/resumed` instant the engine
+/// emits when a run rehydrates from a checkpoint, if present.
+fn resumed_members(events: &[LoadedEvent]) -> Option<u64> {
+    events
+        .iter()
+        .find(|e| {
+            matches!(e.kind, LoadedKind::Instant) && e.cat == "workflow" && e.name == "resumed"
+        })
+        .and_then(|e| e.args.get("members").and_then(Value::as_u64))
+}
+
 fn final_counters(events: &[LoadedEvent]) -> Vec<(String, f64)> {
     let mut last: BTreeMap<String, f64> = BTreeMap::new();
     for e in events {
@@ -661,6 +673,9 @@ pub struct RunAnalysis {
     pub counters: Vec<(String, f64)>,
     /// Closed `task` spans in the whole trace.
     pub task_count: usize,
+    /// Members rehydrated from a checkpoint, when the trace carries the
+    /// engine's `workflow/resumed` instant (a recovered run).
+    pub resumed_members: Option<u64>,
 }
 
 impl RunAnalysis {

@@ -10,15 +10,25 @@
 //!
 //! This binary spawns the real `pert` and `pemodel` executables as child
 //! processes (up to `--children` concurrently), tracks per-member exit
-//! codes in a shared status directory, runs the continuous differ + SVD
-//! + convergence test as results land, grows the ensemble on failed
-//! convergence, cancels pending work on success, and supports `--resume`
-//! after a kill without rerunning completed members.
+//! codes in a shared status directory, runs the continuous differ +
+//! SVD + convergence test as results land, grows the ensemble on
+//! failed convergence, and cancels pending work on success.
+//!
+//! Crash consistency: every state transition (run start, member
+//! completed/failed/quarantined, SVD published, converged, run
+//! complete) is appended to a checksummed, fsynced `run.journal` in the
+//! workdir, and every published subspace goes through the §4.1
+//! safe/live covariance files (`cov.live.a`/`cov.live.b`/`cov.safe`).
+//! `--resume` replays the journal (truncating any torn tail), validates
+//! every completed member's forecast file against its checksum,
+//! quarantines corrupt files into `quarantine/` and requeues those
+//! members, then continues the run where it died. A non-empty workdir
+//! is refused unless `--resume` or `--force` is given.
 //!
 //! ```text
 //! esse_master --workdir DIR --domain monterey:NX,NY,NZ --hours H \
 //!             [--initial N] [--max NMAX] [--tolerance T] [--children C] \
-//!             [--white-noise E] [--base-seed S] [--resume]
+//!             [--white-noise E] [--base-seed S] [--resume | --force]
 //! ```
 
 use esse::cli::{self, files};
@@ -29,12 +39,24 @@ use esse::core::perturb::{PerturbConfig, PerturbationGenerator};
 use esse::core::subspace::ErrorSubspace;
 use esse::fileio;
 use esse::mtc::bookkeeping::{ExitStatus, StatusDir};
+use esse::mtc::journal::{
+    config_hash, decode_subspace_blob, encode_subspace_blob, Journal, JournalRecord, JournalState,
+};
+use esse::mtc::DiskTripleBuffer;
+use std::cell::Cell;
 use std::collections::VecDeque;
+use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
 
 const USAGE: &str = "esse_master --workdir DIR --domain monterey:NX,NY,NZ --hours H \
-                     [--initial N] [--max NMAX] [--tolerance T] [--children C] [--resume]";
+                     [--initial N] [--max NMAX] [--tolerance T] [--children C] \
+                     [--resume | --force]";
+
+/// Journal file name inside the workdir.
+const JOURNAL: &str = "run.journal";
+/// Quarantine subdirectory for forecast files that failed validation.
+const QUARANTINE: &str = "quarantine";
 
 /// A running singleton chain: pert then pemodel for one member.
 struct Running {
@@ -47,6 +69,28 @@ struct Running {
 enum Stage {
     Pert,
     Pemodel,
+}
+
+/// The workdir journal plus the crash-injection counter used by the
+/// recovery harness (`--crash-after-appends N` aborts the process the
+/// instant the N-th append of this incarnation is durable, simulating
+/// a power loss at a chosen journal offset).
+struct MasterJournal {
+    journal: Journal,
+    appends: Cell<u64>,
+    crash_after: Option<u64>,
+}
+
+impl MasterJournal {
+    fn append(&self, rec: &JournalRecord) {
+        self.journal.append(rec).expect("journal append");
+        self.appends.set(self.appends.get() + 1);
+        if self.crash_after.is_some_and(|n| self.appends.get() >= n) {
+            // No destructors, no buffered-writer flush: the closest a
+            // process can get to losing power.
+            std::process::abort();
+        }
+    }
 }
 
 fn sibling(name: &str) -> PathBuf {
@@ -85,6 +129,21 @@ fn spawn_pemodel(workdir: &Path, domain: &str, hours: f64, member: usize, seed: 
         .expect("spawn pemodel")
 }
 
+/// Move a forecast file that failed checksum validation into the
+/// quarantine corner and journal the quarantine, so the member is
+/// requeued and the torn bytes are never ingested — but remain on disk
+/// for post-mortem inspection.
+fn quarantine_member(workdir: &Path, journal: &MasterJournal, member: usize, why: &str) {
+    let fc = workdir.join(files::fc(member));
+    let qdir = workdir.join(QUARANTINE);
+    fs::create_dir_all(&qdir).expect("create quarantine dir");
+    if fc.exists() {
+        fs::rename(&fc, qdir.join(files::fc(member))).expect("quarantine rename");
+    }
+    journal.append(&JournalRecord::MemberQuarantined { member: member as u64 });
+    eprintln!("esse_master: quarantined member {member}: {why}");
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = cli::parse_args(&argv);
@@ -98,9 +157,90 @@ fn main() {
     let white_noise: f64 = cli::get_or(&args, "white-noise", 0.0);
     let base_seed: u64 = cli::get_or(&args, "base-seed", 0x5EED);
     let resume = args.contains_key("resume");
+    let force = args.contains_key("force");
+    let crash_after: Option<u64> = args.get("crash-after-appends").and_then(|v| v.parse().ok());
 
+    // The run identity: everything that shapes the numerical result.
+    // Only the knobs that change member *content* are fingerprinted:
+    // a member forecast is a pure function of (domain, hours, noise,
+    // seed). Schedule knobs (initial, max, tolerance) and execution
+    // knobs (children, resume, force) are deliberately excluded — a
+    // resume may legitimately extend the ensemble, tighten the
+    // tolerance, or use different parallelism.
+    let run_hash = config_hash(&[
+        ("domain", domain.clone()),
+        ("hours", hours.to_string()),
+        ("white-noise", white_noise.to_string()),
+        ("base-seed", base_seed.to_string()),
+    ]);
+
+    // --- Workdir safety: a typo must not clobber a run (and a fresh
+    // run must not silently mix with a dead one's files). ---
+    let journal_path = workdir.join(JOURNAL);
+    if !resume && workdir.exists() {
+        let non_empty = fs::read_dir(&workdir).map(|mut d| d.next().is_some()).unwrap_or(false);
+        if non_empty {
+            if force {
+                eprintln!("esse_master: --force: clearing existing workdir");
+                fs::remove_dir_all(&workdir).expect("clear workdir");
+            } else {
+                eprintln!(
+                    "esse_master: workdir {} is not empty; \
+                     pass --resume to continue the run or --force to discard it",
+                    workdir.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     std::fs::create_dir_all(&workdir).expect("create workdir");
     let status = StatusDir::open(workdir.join("status")).expect("status dir");
+
+    // --- Journal: create fresh, or replay (truncating any torn tail). ---
+    let (journal, state) = if resume && journal_path.exists() {
+        let (journal, replay) = Journal::open(&journal_path).expect("open journal");
+        if replay.torn_bytes > 0 {
+            eprintln!(
+                "esse_master: truncated {} torn byte(s) from the journal tail",
+                replay.torn_bytes
+            );
+        }
+        let state = JournalState::replay(&replay.records);
+        match state.config_hash {
+            Some(h) if h == run_hash => {}
+            Some(h) => {
+                eprintln!(
+                    "esse_master: journal belongs to a different run \
+                     (config hash {h:#018x} != {run_hash:#018x}); refusing to mix results"
+                );
+                std::process::exit(2);
+            }
+            None => {}
+        }
+        (journal, state)
+    } else {
+        let journal = Journal::create(&journal_path).expect("create journal");
+        (journal, JournalState::replay(&[]))
+    };
+    let journal = MasterJournal { journal, appends: Cell::new(0), crash_after };
+    if state.config_hash.is_none() {
+        journal.append(&JournalRecord::RunStart { config_hash: run_hash });
+    }
+    if let Some(members) = state.complete {
+        // A finished incarnation is only terminal if it still satisfies
+        // what *this* invocation asks for; a resume with a larger
+        // ensemble or a tighter tolerance legitimately extends the run.
+        let satisfied = ConvergenceTest::restore(tolerance, &state.rho_history()).converged()
+            || state.completed.len() >= max;
+        if satisfied {
+            println!("esse_master: run already complete ({members} members); nothing to do");
+            return;
+        }
+        println!(
+            "esse_master: completed run falls short of the requested schedule \
+             (max {max}, tolerance {tolerance}); extending"
+        );
+    }
 
     // --- Setup: model, mean, prior. ---
     let (model, st0) = cli::build_model(&domain).unwrap_or_else(|e| {
@@ -143,17 +283,40 @@ fn main() {
         }
     }
     let central = fileio::read_vector(&central_path).expect("read central");
-    let mut acc = SpreadAccumulator::new(central);
+    let mut acc = SpreadAccumulator::new(central.clone());
 
-    // --- Resume: fold in completed members from the status directory. ---
+    // --- Resume: fold journalled members back in, checksum-validating
+    // every forecast file. Corrupt or missing files are quarantined and
+    // the member is requeued — never silently ingested (§4.2). ---
     let mut resumed = 0usize;
     if resume {
-        let (ok, _failed) = status.scan().expect("scan status");
-        for member in ok {
-            let fc = workdir.join(files::fc(member));
-            if let Ok(xf) = fileio::read_vector(&fc) {
-                if acc.add_member(member, &xf) {
-                    resumed += 1;
+        for (m, _attempts) in &state.completed {
+            let member = *m as usize;
+            match fileio::read_vector(workdir.join(files::fc(member))) {
+                Ok(xf) => {
+                    if acc.add_member(member, &xf) {
+                        resumed += 1;
+                    }
+                }
+                Err(e) => quarantine_member(&workdir, &journal, member, &e.to_string()),
+            }
+        }
+        // Legacy workdirs (journal created just now): fall back to the
+        // §4.2 per-member status records, migrating them forward.
+        if state.completed.is_empty() && state.config_hash.is_none() {
+            let (ok, _failed) = status.scan().expect("scan status");
+            for member in ok {
+                match fileio::read_vector(workdir.join(files::fc(member))) {
+                    Ok(xf) => {
+                        if acc.add_member(member, &xf) {
+                            journal.append(&JournalRecord::MemberCompleted {
+                                member: member as u64,
+                                attempts: 1,
+                            });
+                            resumed += 1;
+                        }
+                    }
+                    Err(e) => quarantine_member(&workdir, &journal, member, &e.to_string()),
                 }
             }
         }
@@ -163,6 +326,24 @@ fn main() {
         acc.count()
     );
 
+    // --- Convergence state: restored from the journal + the safe/live
+    // covariance files, so the similarity cadence continues seamlessly. ---
+    let disk_cov = DiskTripleBuffer::create(&workdir).expect("safe/live covariance files");
+    let mut conv = ConvergenceTest::restore(tolerance, &state.rho_history());
+    let mut previous: Option<ErrorSubspace> = if resume {
+        disk_cov
+            .recover()
+            .expect("scan covariance files")
+            .and_then(|(payload, _)| decode_subspace_blob(&payload).ok())
+    } else {
+        None
+    };
+    let mut svd_version: u64 = state.svd_rounds.last().map_or(0, |r| r.version);
+    let mut since_svd = acc.count().saturating_sub(state.last_svd_members() as usize);
+    // Judged under the *current* tolerance (a resume may tighten it),
+    // not the previous incarnation's Converged record.
+    let mut converged = conv.converged();
+
     // --- The pool loop. ---
     let schedule = EnsembleSchedule::new(initial, max);
     let stages = schedule.stages();
@@ -170,16 +351,15 @@ fn main() {
     while stage_idx + 1 < stages.len() && acc.count() >= stages[stage_idx] {
         stage_idx += 1;
     }
-    let mut conv = ConvergenceTest::new(tolerance);
-    let mut previous: Option<ErrorSubspace> = None;
-    let mut converged = false;
     let mut pending: VecDeque<usize> =
         (0..stages[stage_idx]).filter(|m| !acc.snapshot().member_ids.contains(m)).collect();
+    if converged {
+        pending.clear();
+    }
     let mut running: Vec<Running> = Vec::new();
     let mut launched_max = pending.iter().copied().max().map(|m| m + 1).unwrap_or(acc.count());
     let mut failed = 0usize;
     let svd_stride = (initial / 2).max(4);
-    let mut since_svd = 0usize;
 
     loop {
         // Fill the pool.
@@ -217,9 +397,12 @@ fn main() {
                     let mut task = running.swap_remove(idx);
                     let member = task.member;
                     if !code.success() {
-                        status
-                            .record(member, ExitStatus::Failed(code.code().unwrap_or(-1)))
-                            .expect("record");
+                        let rc = code.code().unwrap_or(-1);
+                        status.record(member, ExitStatus::Failed(rc)).expect("record");
+                        journal.append(&JournalRecord::MemberFailed {
+                            member: member as u64,
+                            code: rc,
+                        });
                         failed += 1;
                         continue;
                     }
@@ -233,10 +416,22 @@ fn main() {
                         }
                         Stage::Pemodel => {
                             status.record(member, ExitStatus::Success).expect("record");
-                            let fc = workdir.join(files::fc(member));
-                            if let Ok(xf) = fileio::read_vector(&fc) {
-                                if acc.add_member(member, &xf) {
-                                    since_svd += 1;
+                            // Validate before the journal commit point:
+                            // the MemberCompleted record asserts a
+                            // checksum-clean forecast file exists.
+                            match fileio::read_vector(workdir.join(files::fc(member))) {
+                                Ok(xf) => {
+                                    journal.append(&JournalRecord::MemberCompleted {
+                                        member: member as u64,
+                                        attempts: 1,
+                                    });
+                                    if acc.add_member(member, &xf) {
+                                        since_svd += 1;
+                                    }
+                                }
+                                Err(e) => {
+                                    quarantine_member(&workdir, &journal, member, &e.to_string());
+                                    pending.push_back(member);
                                 }
                             }
                         }
@@ -253,8 +448,10 @@ fn main() {
             since_svd = 0;
             if let Some(svd) = acc.snapshot().svd() {
                 let estimate = ErrorSubspace::from_spread_svd(&svd, 1e-4, 64);
+                let mut round_rho = f64::NAN;
                 if let Some(prev) = &previous {
                     let rho = similarity(prev, &estimate);
+                    round_rho = rho;
                     println!("esse_master: N={} rho={rho:.4} (tol {:.3})", acc.count(), tolerance);
                     if conv.check(rho) {
                         converged = true;
@@ -262,6 +459,23 @@ fn main() {
                         pending.clear();
                         println!("esse_master: converged; cancelled {cancelled} queued members");
                     }
+                }
+                // Safe/live covariance files first, then the journal
+                // record as the commit point (§4.1 on disk).
+                svd_version += 1;
+                disk_cov
+                    .publish(&encode_subspace_blob(&estimate), svd_version)
+                    .expect("publish covariance");
+                journal.append(&JournalRecord::SvdPublished {
+                    members: acc.count() as u64,
+                    version: svd_version,
+                    rho: round_rho,
+                });
+                if converged {
+                    journal.append(&JournalRecord::Converged {
+                        members: acc.count() as u64,
+                        rho: round_rho,
+                    });
                 }
                 previous = Some(estimate);
             }
@@ -281,8 +495,19 @@ fn main() {
         std::thread::sleep(std::time::Duration::from_millis(20));
     }
 
-    // --- Final subspace (UseCompleted policy: everything that arrived). ---
-    let snapshot = acc.snapshot();
+    // --- Final subspace (UseCompleted policy: everything that arrived).
+    // The posterior is folded in ascending member order from the
+    // on-disk forecast files, so an interrupted-and-resumed run writes
+    // a bit-identical posterior to an uninterrupted one regardless of
+    // arrival order or where the coordinator died. ---
+    let mut ids = acc.snapshot().member_ids.clone();
+    ids.sort_unstable();
+    let mut final_acc = SpreadAccumulator::new(central);
+    for member in &ids {
+        let xf = fileio::read_vector(workdir.join(files::fc(*member))).expect("re-read forecast");
+        final_acc.add_member(*member, &xf);
+    }
+    let snapshot = final_acc.snapshot();
     let Some(svd) = snapshot.svd() else {
         eprintln!("esse_master: not enough members for an SVD");
         std::process::exit(1);
@@ -290,9 +515,10 @@ fn main() {
     let final_subspace = ErrorSubspace::from_spread_svd(&svd, 1e-4, 64);
     fileio::write_subspace(workdir.join(files::POSTERIOR), &final_subspace)
         .expect("write posterior");
+    journal.append(&JournalRecord::RunComplete { members: final_acc.count() as u64 });
     println!(
         "esse_master: done — {} members ({} failed), converged={}, rank {}, total variance {:.5}",
-        acc.count(),
+        final_acc.count(),
         failed,
         converged,
         final_subspace.rank(),

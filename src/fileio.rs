@@ -6,48 +6,101 @@
 //! stages work on covariance files. This module defines those formats:
 //! a small magic-tagged header followed by little-endian `f64`s, written
 //! via the `bytes` crate.
+//!
+//! Since the format v2 revision every file written here carries a
+//! format-version byte after the magic and a CRC-32 trailer over
+//! everything before it, so a truncated or bit-flipped file is rejected
+//! with a distinct "corrupt" error instead of being silently ingested
+//! (or mistaken for a mere length mismatch). Readers still accept the
+//! legacy un-checksummed v1 format, so workdirs written by older
+//! binaries remain loadable. All writes go through
+//! [`esse_core::durable::atomic_write`]: temp file, fsync, rename,
+//! fsync the parent directory — a published file survives power loss.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use esse_core::durable::{atomic_write, crc32};
 use std::fs;
 use std::io;
 use std::path::Path;
 
-const VEC_MAGIC: u32 = 0x4553_5345; // "ESSE"
-const SUB_MAGIC: u32 = 0x4553_5542; // "ESUB"
+const VEC_MAGIC: u32 = 0x4553_5345; // "ESSE" — legacy v1 vector
+const SUB_MAGIC: u32 = 0x4553_5542; // "ESUB" — legacy v1 subspace
+const VEC_MAGIC_V2: u32 = 0x4553_5632; // "ESV2" — checksummed vector
+const SUB_MAGIC_V2: u32 = 0x4553_5332; // "ESS2" — checksummed subspace
 
-/// Write a state vector to `path`.
-pub fn write_vector(path: impl AsRef<Path>, data: &[f64]) -> io::Result<()> {
-    let mut buf = BytesMut::with_capacity(16 + 8 * data.len());
-    buf.put_u32_le(VEC_MAGIC);
+/// Current format version written after the magic in v2 files.
+pub const FORMAT_VERSION: u8 = 2;
+
+/// Encode a state vector into the current (v2, checksummed) on-disk
+/// format. Exposed so the on-disk safe/live covariance protocol can
+/// embed vector payloads without a round-trip through a file.
+pub fn vector_to_bytes(data: &[f64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(17 + 8 * data.len() + 4);
+    buf.put_u32_le(VEC_MAGIC_V2);
+    buf.put_u8(FORMAT_VERSION);
     buf.put_u64_le(data.len() as u64);
     for &v in data {
         buf.put_f64_le(v);
     }
-    atomic_write(path, &buf.freeze())
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    buf.freeze()
+}
+
+/// Write a state vector to `path` (durable atomic publish).
+pub fn write_vector(path: impl AsRef<Path>, data: &[f64]) -> io::Result<()> {
+    atomic_write(path, &vector_to_bytes(data))
+}
+
+/// Decode a state vector from raw file bytes (v2 or legacy v1).
+pub fn vector_from_bytes(raw: &[u8]) -> io::Result<Vec<f64>> {
+    let mut buf = Bytes::from(raw.to_vec());
+    if buf.remaining() < 4 {
+        return Err(corrupt("vector", "shorter than a magic number"));
+    }
+    match buf.get_u32_le() {
+        VEC_MAGIC_V2 => {
+            let body = check_trailer(raw, "vector")?;
+            let mut buf = Bytes::from(body[4..].to_vec());
+            let version = buf.get_u8();
+            if version == 0 || version > FORMAT_VERSION {
+                return Err(corrupt("vector", "unknown format version"));
+            }
+            if buf.remaining() < 8 {
+                return Err(corrupt("vector", "truncated header"));
+            }
+            let n = buf.get_u64_le() as usize;
+            if buf.remaining() != 8 * n {
+                return Err(corrupt("vector", "length mismatch"));
+            }
+            Ok((0..n).map(|_| buf.get_f64_le()).collect())
+        }
+        VEC_MAGIC => {
+            // Legacy v1: no version byte, no checksum.
+            if buf.remaining() < 8 {
+                return Err(bad_data("not an ESSE vector file"));
+            }
+            let n = buf.get_u64_le() as usize;
+            if buf.remaining() != 8 * n {
+                return Err(bad_data("vector length mismatch"));
+            }
+            Ok((0..n).map(|_| buf.get_f64_le()).collect())
+        }
+        _ => Err(bad_data("not an ESSE vector file")),
+    }
 }
 
 /// Read a state vector from `path`.
 pub fn read_vector(path: impl AsRef<Path>) -> io::Result<Vec<f64>> {
-    let raw = fs::read(path)?;
-    let mut buf = Bytes::from(raw);
-    if buf.remaining() < 12 || buf.get_u32_le() != VEC_MAGIC {
-        return Err(bad_data("not an ESSE vector file"));
-    }
-    let n = buf.get_u64_le() as usize;
-    if buf.remaining() != 8 * n {
-        return Err(bad_data("vector length mismatch"));
-    }
-    Ok((0..n).map(|_| buf.get_f64_le()).collect())
+    vector_from_bytes(&fs::read(path)?)
 }
 
-/// Write an error subspace (modes + variances) to `path`.
-pub fn write_subspace(
-    path: impl AsRef<Path>,
-    subspace: &esse_core::subspace::ErrorSubspace,
-) -> io::Result<()> {
+/// Encode an error subspace into the current (v2, checksummed) format.
+pub fn subspace_to_bytes(subspace: &esse_core::subspace::ErrorSubspace) -> Bytes {
     let (n, k) = subspace.modes.shape();
-    let mut buf = BytesMut::with_capacity(24 + 8 * (n * k + k));
-    buf.put_u32_le(SUB_MAGIC);
+    let mut buf = BytesMut::with_capacity(25 + 8 * (n * k + k) + 4);
+    buf.put_u32_le(SUB_MAGIC_V2);
+    buf.put_u8(FORMAT_VERSION);
     buf.put_u64_le(n as u64);
     buf.put_u64_le(k as u64);
     for &v in &subspace.variances {
@@ -58,21 +111,68 @@ pub fn write_subspace(
             buf.put_f64_le(v);
         }
     }
-    atomic_write(path, &buf.freeze())
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    buf.freeze()
+}
+
+/// Write an error subspace (modes + variances) to `path`.
+pub fn write_subspace(
+    path: impl AsRef<Path>,
+    subspace: &esse_core::subspace::ErrorSubspace,
+) -> io::Result<()> {
+    atomic_write(path, &subspace_to_bytes(subspace))
+}
+
+/// Decode an error subspace from raw file bytes (v2 or legacy v1).
+pub fn subspace_from_bytes(raw: &[u8]) -> io::Result<esse_core::subspace::ErrorSubspace> {
+    let mut buf = Bytes::from(raw.to_vec());
+    if buf.remaining() < 4 {
+        return Err(corrupt("subspace", "shorter than a magic number"));
+    }
+    match buf.get_u32_le() {
+        SUB_MAGIC_V2 => {
+            let body = check_trailer(raw, "subspace")?;
+            let mut buf = Bytes::from(body[4..].to_vec());
+            let version = buf.get_u8();
+            if version == 0 || version > FORMAT_VERSION {
+                return Err(corrupt("subspace", "unknown format version"));
+            }
+            if buf.remaining() < 16 {
+                return Err(corrupt("subspace", "truncated header"));
+            }
+            let n = buf.get_u64_le() as usize;
+            let k = buf.get_u64_le() as usize;
+            if buf.remaining() != 8 * (k + n * k) {
+                return Err(corrupt("subspace", "size mismatch"));
+            }
+            parse_subspace_body(&mut buf, n, k)
+        }
+        SUB_MAGIC => {
+            if buf.remaining() < 16 {
+                return Err(bad_data("not an ESSE subspace file"));
+            }
+            let n = buf.get_u64_le() as usize;
+            let k = buf.get_u64_le() as usize;
+            if buf.remaining() != 8 * (k + n * k) {
+                return Err(bad_data("subspace size mismatch"));
+            }
+            parse_subspace_body(&mut buf, n, k)
+        }
+        _ => Err(bad_data("not an ESSE subspace file")),
+    }
 }
 
 /// Read an error subspace from `path`.
 pub fn read_subspace(path: impl AsRef<Path>) -> io::Result<esse_core::subspace::ErrorSubspace> {
-    let raw = fs::read(path)?;
-    let mut buf = Bytes::from(raw);
-    if buf.remaining() < 20 || buf.get_u32_le() != SUB_MAGIC {
-        return Err(bad_data("not an ESSE subspace file"));
-    }
-    let n = buf.get_u64_le() as usize;
-    let k = buf.get_u64_le() as usize;
-    if buf.remaining() != 8 * (k + n * k) {
-        return Err(bad_data("subspace size mismatch"));
-    }
+    subspace_from_bytes(&fs::read(path)?)
+}
+
+fn parse_subspace_body(
+    buf: &mut Bytes,
+    n: usize,
+    k: usize,
+) -> io::Result<esse_core::subspace::ErrorSubspace> {
     let variances: Vec<f64> = (0..k).map(|_| buf.get_f64_le()).collect();
     let mut modes = esse_linalg::Matrix::zeros(n, k);
     for j in 0..k {
@@ -83,22 +183,42 @@ pub fn read_subspace(path: impl AsRef<Path>) -> io::Result<esse_core::subspace::
     Ok(esse_core::subspace::ErrorSubspace { modes, variances })
 }
 
+/// Verify the CRC-32 trailer of a v2 file and return the body (all
+/// bytes before the trailer). A missing or mismatched trailer is a
+/// *corrupt file* — distinct from "not an ESSE file" so the caller (or
+/// a resume scan) knows the file was torn or flipped, not misnamed.
+fn check_trailer<'a>(raw: &'a [u8], what: &str) -> io::Result<&'a [u8]> {
+    if raw.len() < 9 {
+        return Err(corrupt(what, "truncated before checksum"));
+    }
+    let (body, trailer) = raw.split_at(raw.len() - 4);
+    let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    if crc32(body) != stored {
+        return Err(corrupt(what, "checksum mismatch"));
+    }
+    Ok(body)
+}
+
 fn bad_data(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Write-then-rename so concurrent readers never see a torn file (the
-/// same discipline as the paper's safe/live covariance files).
-fn atomic_write(path: impl AsRef<Path>, data: &[u8]) -> io::Result<()> {
-    let path = path.as_ref();
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, data)?;
-    fs::rename(&tmp, path)
+fn corrupt(what: &str, why: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt ESSE {what} file: {why}"))
+}
+
+/// `true` if `err` is the distinct corrupt-file error produced by the
+/// checksum/version validation above (as opposed to "not an ESSE file"
+/// or an ordinary I/O failure). Resume scans use this to decide between
+/// quarantining a file and treating it as foreign.
+pub fn is_corrupt_error(err: &io::Error) -> bool {
+    err.kind() == io::ErrorKind::InvalidData && err.to_string().starts_with("corrupt ESSE")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use esse_core::durable::tmp_path;
     use esse_core::subspace::ErrorSubspace;
     use esse_linalg::Matrix;
 
@@ -147,6 +267,100 @@ mod tests {
         let mut raw = std::fs::read(&p).unwrap();
         raw.truncate(raw.len() - 4);
         std::fs::write(&p, raw).unwrap();
-        assert!(read_vector(&p).is_err());
+        let err = read_vector(&p).unwrap_err();
+        assert!(is_corrupt_error(&err), "{err}");
+    }
+
+    #[test]
+    fn legacy_v1_vector_still_readable() {
+        // Hand-build a v1 file: magic + len + payload, no checksum.
+        let data = [3.5f64, -0.75, 42.0];
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&VEC_MAGIC.to_le_bytes());
+        raw.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        for v in data {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        let p = tmp("legacy-vec");
+        std::fs::write(&p, &raw).unwrap();
+        assert_eq!(read_vector(&p).unwrap(), data);
+    }
+
+    #[test]
+    fn legacy_v1_subspace_still_readable() {
+        let modes = Matrix::from_fn(3, 2, |i, j| (i + 10 * j) as f64);
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&SUB_MAGIC.to_le_bytes());
+        raw.extend_from_slice(&3u64.to_le_bytes());
+        raw.extend_from_slice(&2u64.to_le_bytes());
+        for v in [2.0f64, 0.5] {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        for j in 0..2 {
+            for &v in modes.col(j) {
+                raw.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let p = tmp("legacy-sub");
+        std::fs::write(&p, &raw).unwrap();
+        let back = read_subspace(&p).unwrap();
+        assert_eq!(back.variances, vec![2.0, 0.5]);
+        assert_eq!(back.modes, modes);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_boundary_rejected() {
+        let bytes = vector_to_bytes(&[1.0, 2.0, 3.0, 4.0]);
+        for cut in 0..bytes.len() {
+            let err = vector_from_bytes(&bytes[..cut])
+                .expect_err(&format!("prefix of {cut} bytes must not parse"));
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+        // The full file, of course, parses.
+        assert_eq!(vector_from_bytes(&bytes).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn single_bit_flips_rejected() {
+        let bytes = subspace_to_bytes(&ErrorSubspace {
+            modes: Matrix::from_fn(4, 2, |i, j| (i * 7 + j) as f64 * 0.5),
+            variances: vec![3.0, 1.0],
+        });
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.to_vec();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    subspace_from_bytes(&flipped).is_err(),
+                    "flip at byte {byte} bit {bit} was silently accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut raw = vector_to_bytes(&[9.0]).to_vec();
+        raw[4] = FORMAT_VERSION + 1;
+        // Re-stamp the trailer so only the version byte is wrong.
+        let body_len = raw.len() - 4;
+        let crc = crc32(&raw[..body_len]);
+        raw[body_len..].copy_from_slice(&crc.to_le_bytes());
+        let err = vector_from_bytes(&raw).unwrap_err();
+        assert!(is_corrupt_error(&err), "{err}");
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn atomic_write_tmp_never_persists_on_failure() {
+        let dir = tmp("atomic-fail");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Rename over a non-empty directory fails after the temp file
+        // was created; the temp sibling must be cleaned up.
+        let target = dir.join("vector.bin");
+        std::fs::create_dir_all(target.join("occupied")).unwrap();
+        assert!(write_vector(&target, &[1.0, 2.0]).is_err());
+        assert!(!tmp_path(&target).exists(), "temp file persisted after failed publish");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -15,7 +15,7 @@ fn workdir(tag: &str) -> PathBuf {
     d
 }
 
-fn run_master(dir: &Path, extra: &[&str]) -> String {
+fn master_cmd(dir: &Path, extra: &[&str]) -> Command {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_esse_master"));
     cmd.args([
         "--workdir",
@@ -34,7 +34,11 @@ fn run_master(dir: &Path, extra: &[&str]) -> String {
         "2",
     ]);
     cmd.args(extra);
-    let out = cmd.output().expect("esse_master runs");
+    cmd
+}
+
+fn run_master(dir: &Path, extra: &[&str]) -> String {
+    let out = master_cmd(dir, extra).output().expect("esse_master runs");
     assert!(
         out.status.success(),
         "master failed: {}\n{}",
@@ -76,6 +80,57 @@ fn resume_reuses_completed_members() {
     let resumed_line = log.lines().find(|l| l.contains("resumed")).expect("resume line present");
     // "starting with N members in the differ (resumed N)" with N >= 4.
     assert!(!resumed_line.contains("(resumed 0)"), "must resume previous members: {resumed_line}");
+}
+
+#[test]
+fn master_refuses_nonempty_workdir_without_resume_or_force() {
+    let dir = workdir("refuse");
+    run_master(&dir, &[]);
+    // A second plain invocation must refuse the populated workdir …
+    let out = master_cmd(&dir, &[]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "expected refusal exit code");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--resume") && err.contains("--force"), "stderr: {err}");
+    // … while --force wipes it and starts over.
+    let log = run_master(&dir, &["--force"]);
+    assert!(log.contains("done"), "log: {log}");
+}
+
+#[test]
+fn resume_refuses_mismatched_configuration() {
+    let dir = workdir("confmismatch");
+    run_master(&dir, &[]);
+    // Same workdir, different forecast horizon: the journal's config
+    // hash no longer matches, so --resume must refuse to mix runs.
+    let out = master_cmd(&dir, &["--resume", "--hours", "2"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "expected config-mismatch refusal");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("different run"), "stderr: {err}");
+}
+
+#[test]
+fn crashed_master_resumes_to_a_bit_identical_posterior() {
+    // Reference: an uninterrupted run.
+    let ref_dir = workdir("crash-ref");
+    run_master(&ref_dir, &[]);
+    let reference = std::fs::read(ref_dir.join("posterior.sub")).unwrap();
+
+    // Crash the master right after its 5th durable journal append
+    // (RunStart + four members), then resume.
+    let dir = workdir("crash");
+    let out = master_cmd(&dir, &["--crash-after-appends", "5"]).output().unwrap();
+    assert!(!out.status.success(), "injected crash did not fire");
+    assert!(dir.join("run.journal").exists(), "journal survives the crash");
+    let log = run_master(&dir, &["--resume"]);
+    assert!(!log.contains("(resumed 0)"), "resume found no completed members: {log}");
+
+    let resumed = std::fs::read(dir.join("posterior.sub")).unwrap();
+    assert_eq!(resumed, reference, "resumed posterior is not bit-identical");
+
+    // Resuming a complete run is a durable no-op.
+    let log = run_master(&dir, &["--resume"]);
+    assert!(log.contains("already complete"), "log: {log}");
+    assert_eq!(std::fs::read(dir.join("posterior.sub")).unwrap(), reference);
 }
 
 #[test]
