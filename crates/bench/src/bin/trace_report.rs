@@ -58,6 +58,11 @@ fn metric_map(a: &RunAnalysis) -> BTreeMap<String, f64> {
     for (name, v) in &a.counters {
         m.insert(name.clone(), *v);
     }
+    if a.pool.any() {
+        m.insert("pool_tasks_seeded".into(), a.pool.tasks_seeded as f64);
+        m.insert("pool_leases_granted".into(), a.pool.leases_granted as f64);
+        m.insert("pool_results_ingested".into(), a.pool.results_ingested as f64);
+    }
     m
 }
 
@@ -210,6 +215,31 @@ fn render(a: &RunAnalysis, markdown: bool) -> String {
             ms(seg.end_ns - seg.start_ns),
             ms(seg.wait_before_ns)
         ));
+    }
+    if a.pool.any() {
+        out.push('\n');
+        out.push_str(&h("task pool"));
+        out.push_str(&format!(
+            "seeded {} task(s), leases granted {}, expired {}, \
+             results ingested {}, fenced {} stale publish(es)\n",
+            a.pool.tasks_seeded,
+            a.pool.leases_granted,
+            a.pool.leases_expired,
+            a.pool.results_ingested,
+            a.pool.fencing_rejected
+        ));
+        if a.pool.workers_spawned > 0 {
+            out.push_str(&format!(
+                "local fleet: {} worker spawn(s) by the coordinator\n",
+                a.pool.workers_spawned
+            ));
+        }
+        if a.pool.fencing_rejected > 0 || a.pool.leases_expired > 0 {
+            out.push_str(
+                "lease churn detected: expiries were reclaimed and every \
+                 stale-epoch publish was fenced, not ingested\n",
+            );
+        }
     }
     if !a.counters.is_empty() {
         out.push('\n');

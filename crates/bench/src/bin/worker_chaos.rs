@@ -1,0 +1,413 @@
+//! `worker_chaos` — the kill-random-workers chaos harness for the
+//! decoupled on-disk task pool.
+//!
+//! Proves the lease + fencing contract of the pull-model workflow by
+//! actually SIGKILLing `esse_worker` processes while a pure-coordinator
+//! `esse_master` (`--workers 0`) watches the pool:
+//!
+//! 1. **Reference** — one uninterrupted run with a single local worker.
+//! 2. **Chaos sweep** — N external workers, with a seeded schedule that
+//!    SIGKILLs a random worker every few tens of milliseconds and
+//!    spawns a replacement; killed workers die holding claims, so every
+//!    recovery goes through lease expiry and an epoch-bumped requeue.
+//! 3. **Zombie fencing** — one worker is started with a stall injection
+//!    (`--stall-task 0 --stall-ms D`, D ≫ lease): it claims member 0,
+//!    stops heartbeating, sleeps past its lease expiry while the
+//!    coordinator requeues the member at the next epoch, then *wakes up
+//!    and publishes anyway*. The harness asserts the stale-epoch result
+//!    was fenced off (never ingested) and the lease expiry was seen.
+//!
+//! After every scenario the harness asserts the chaos invariant:
+//!
+//! * the run **converges** and its `posterior.sub` is **bit-identical**
+//!   to the unkilled single-worker reference;
+//! * the journal never records `MemberCompleted` twice for a member
+//!   that was not quarantined in between — no double ingestion;
+//! * (scenario 3) the fencing-rejected and lease-expired counters are
+//!   both non-zero — the zombie's publish really was rejected.
+//!
+//! ```text
+//! worker_chaos [--domain D] [--hours H] [--initial N] [--max NMAX]
+//!              [--tolerance T] [--workers W] [--seed S] [--kill-ms MS]
+//!              [--lease-ms MS] [--base-seed S] [--master PATH]
+//!              [--worker PATH] [--artifacts DIR] [--keep]
+//! ```
+//!
+//! Exits non-zero on the first violated invariant (CI gate). On failure
+//! the workdirs (journals, pool state, traces) are left in the
+//! artifacts directory for post-mortem upload.
+
+use esse_mtc::journal::{Journal, JournalRecord};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn parse_args(argv: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < argv.len() {
+        if let Some(key) = argv[i].strip_prefix("--") {
+            let val = argv.get(i + 1).filter(|v| !v.starts_with("--"));
+            match val {
+                Some(v) => {
+                    map.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                None => {
+                    map.insert(key.to_string(), String::new());
+                    i += 1;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    map
+}
+
+fn get_or<T: std::str::FromStr>(args: &HashMap<String, String>, key: &str, default: T) -> T {
+    args.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn sibling(name: &str) -> PathBuf {
+    let mut exe = std::env::current_exe().expect("current exe path");
+    exe.set_file_name(name);
+    exe
+}
+
+/// Deterministic stream for the kill schedule.
+fn xorshift64(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+struct ChaosConfig {
+    master: PathBuf,
+    worker: PathBuf,
+    domain: String,
+    hours: f64,
+    initial: usize,
+    max: usize,
+    tolerance: f64,
+    base_seed: u64,
+    lease_ms: u64,
+}
+
+impl ChaosConfig {
+    /// Coordinator command; `workers` local workers (0 = externals only).
+    fn master(&self, workdir: &Path, workers: usize) -> Command {
+        let mut cmd = Command::new(&self.master);
+        cmd.arg("--workdir")
+            .arg(workdir)
+            .arg("--domain")
+            .arg(&self.domain)
+            .arg("--hours")
+            .arg(self.hours.to_string())
+            .arg("--initial")
+            .arg(self.initial.to_string())
+            .arg("--max")
+            .arg(self.max.to_string())
+            .arg("--tolerance")
+            .arg(self.tolerance.to_string())
+            .arg("--workers")
+            .arg(workers.to_string())
+            .arg("--base-seed")
+            .arg(self.base_seed.to_string())
+            .arg("--lease-ms")
+            .arg(self.lease_ms.to_string())
+            .arg("--metrics-out")
+            .arg(workdir.join("metrics.prom"))
+            .arg("--trace-out")
+            .arg(workdir.join("pool.trace.jsonl"))
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        cmd
+    }
+
+    fn spawn_worker(&self, workdir: &Path, id: usize, extra: &[String]) -> Child {
+        let mut cmd = Command::new(&self.worker);
+        cmd.arg("--workdir")
+            .arg(workdir)
+            .arg("--worker-id")
+            .arg(id.to_string())
+            .arg("--poll-ms")
+            .arg("5")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        for a in extra {
+            cmd.arg(a);
+        }
+        cmd.spawn().expect("spawn esse_worker")
+    }
+}
+
+/// The no-double-ingestion invariant: walking the journal in order, a
+/// member may only complete again after an intervening quarantine.
+fn assert_no_reruns(journal: &Path) -> Result<(), String> {
+    let replay = Journal::replay(journal).map_err(|e| format!("replay {journal:?}: {e}"))?;
+    let mut completed: HashSet<u64> = HashSet::new();
+    for rec in &replay.records {
+        match rec {
+            JournalRecord::MemberCompleted { member, .. } if !completed.insert(*member) => {
+                return Err(format!(
+                    "member {member} recorded MemberCompleted twice without quarantine \
+                     — a result was ingested twice"
+                ));
+            }
+            JournalRecord::MemberQuarantined { member } => {
+                completed.remove(member);
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn journal_converged(journal: &Path) -> Result<bool, String> {
+    let replay = Journal::replay(journal).map_err(|e| format!("replay {journal:?}: {e}"))?;
+    Ok(replay.records.iter().any(|r| matches!(r, JournalRecord::Converged { .. })))
+}
+
+fn read_posterior(workdir: &Path) -> Result<Vec<u8>, String> {
+    std::fs::read(workdir.join("posterior.sub"))
+        .map_err(|e| format!("read {}/posterior.sub: {e}", workdir.display()))
+}
+
+/// Read one counter out of the Prometheus text the master exported.
+fn metric(workdir: &Path, name: &str) -> u64 {
+    let raw = std::fs::read_to_string(workdir.join("metrics.prom")).unwrap_or_default();
+    raw.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse::<u64>().ok()))
+        .unwrap_or(0)
+}
+
+fn reap_all(workers: &mut Vec<Child>, grace: Duration) {
+    let deadline = Instant::now() + grace;
+    for w in workers.iter_mut() {
+        loop {
+            match w.try_wait().expect("reap worker") {
+                Some(_) => break,
+                None if Instant::now() >= deadline => {
+                    let _ = w.kill();
+                    let _ = w.wait();
+                    break;
+                }
+                None => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+    workers.clear();
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv);
+    let cfg = ChaosConfig {
+        master: args.get("master").map(PathBuf::from).unwrap_or_else(|| sibling("esse_master")),
+        worker: args.get("worker").map(PathBuf::from).unwrap_or_else(|| sibling("esse_worker")),
+        domain: args.get("domain").cloned().unwrap_or_else(|| "monterey:6,5,4".into()),
+        hours: get_or(&args, "hours", 2.0),
+        initial: get_or(&args, "initial", 4),
+        max: get_or(&args, "max", 12),
+        tolerance: get_or(&args, "tolerance", 0.2),
+        base_seed: get_or(&args, "base-seed", 0x5EED),
+        lease_ms: get_or(&args, "lease-ms", 400),
+    };
+    let workers: usize = get_or(&args, "workers", 4);
+    let seed: u64 = get_or(&args, "seed", 1);
+    let kill_ms: u64 = get_or(&args, "kill-ms", 60).max(5);
+    let keep = args.contains_key("keep");
+    for (what, path) in [("esse_master", &cfg.master), ("esse_worker", &cfg.worker)] {
+        if !path.exists() {
+            eprintln!("FAIL: {what} not found at {} (build it first)", path.display());
+            std::process::exit(2);
+        }
+    }
+
+    let root = args.get("artifacts").map(PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("esse-worker-chaos-{}", std::process::id()))
+    });
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create harness root");
+    let t0 = Instant::now();
+    let mut failures: Vec<String> = Vec::new();
+
+    // --- Scenario 1: the unkilled single-worker reference. ---
+    let ref_dir = root.join("reference");
+    let status = cfg.master(&ref_dir, 1).status().expect("spawn reference master");
+    if !status.success() {
+        eprintln!("FAIL: reference run exited with {status}");
+        std::process::exit(1);
+    }
+    let reference = read_posterior(&ref_dir).unwrap_or_else(|e| {
+        eprintln!("FAIL: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = assert_no_reruns(&ref_dir.join("run.journal")) {
+        eprintln!("FAIL: reference journal: {e}");
+        std::process::exit(1);
+    }
+    let ref_converged = journal_converged(&ref_dir.join("run.journal")).unwrap_or(false);
+    println!(
+        "reference: posterior {} bytes, converged={ref_converged} ({:.1?})",
+        reference.len(),
+        t0.elapsed()
+    );
+
+    // --- Scenario 2: kill random workers on a seeded schedule. ---
+    {
+        let dir = root.join("chaos");
+        let mut master = cfg.master(&dir, 0).spawn().expect("spawn chaos master");
+        let mut fleet: Vec<Child> = (0..workers).map(|i| cfg.spawn_worker(&dir, i, &[])).collect();
+        let mut next_id = workers;
+        let mut rng = seed | 1;
+        let mut kills = 0usize;
+        let done = loop {
+            if let Some(st) = master.try_wait().expect("poll chaos master") {
+                break st;
+            }
+            rng = xorshift64(rng);
+            // Seeded jittered cadence around --kill-ms.
+            std::thread::sleep(Duration::from_millis(kill_ms / 2 + rng % kill_ms));
+            rng = xorshift64(rng);
+            let victim = (rng % fleet.len() as u64) as usize;
+            let _ = fleet[victim].kill();
+            let _ = fleet[victim].wait();
+            kills += 1;
+            // A replacement with a fresh id: workers register nowhere,
+            // they just start pulling.
+            fleet[victim] = cfg.spawn_worker(&dir, next_id, &[]);
+            next_id += 1;
+        };
+        reap_all(&mut fleet, Duration::from_secs(5));
+        let outcome = (|| -> Result<(), String> {
+            if !done.success() {
+                return Err(format!("chaos master exited with {done}"));
+            }
+            assert_no_reruns(&dir.join("run.journal"))?;
+            if journal_converged(&dir.join("run.journal"))? != ref_converged {
+                return Err("chaos run convergence differs from reference".into());
+            }
+            let posterior = read_posterior(&dir)?;
+            if posterior != reference {
+                return Err("chaos posterior differs from unkilled reference".into());
+            }
+            Ok(())
+        })();
+        let expired = metric(&dir, "esse_pool_lease_expired_total");
+        match outcome {
+            Ok(()) => println!(
+                "chaos: {kills} worker kills ({} spawned), {expired} lease expiries, \
+                 bit-identical posterior",
+                next_id
+            ),
+            Err(e) => {
+                failures.push(format!("chaos: {e}"));
+                eprintln!("FAIL chaos ({kills} kills): {e}");
+            }
+        }
+    }
+
+    // --- Scenario 3: the zombie — stall past lease expiry, publish a
+    // stale-epoch result, and get fenced; then SIGKILL the zombie. ---
+    {
+        let dir = root.join("zombie");
+        let stall_ms = cfg.lease_ms * 4;
+        let mut master = cfg.master(&dir, 0).spawn().expect("spawn zombie master");
+        // The zombie goes first, alone, so it claims member 0.
+        let zombie = cfg.spawn_worker(
+            &dir,
+            100,
+            &["--stall-task".into(), "0".into(), "--stall-ms".into(), stall_ms.to_string()],
+        );
+        let mut fleet = vec![zombie];
+        // Wait until the zombie holds the claim before letting the
+        // healthy workers in (they would win member 0 otherwise).
+        let claim = dir.join("pool").join("claimed").join("t000000.e00001");
+        let t_claim = Instant::now();
+        while !claim.exists() && t_claim.elapsed() < Duration::from_secs(30) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let claimed = claim.exists();
+        // No healthy workers yet: member 0's epoch-2 requeue has nobody
+        // to run it, so the coordinator *cannot* finish the run before
+        // the zombie wakes, publishes at the dead epoch, and is fenced.
+        // The fenced record lands in results/stale — wait for it.
+        let stale_marker = dir.join("pool").join("results").join("stale").join("r000000.e00001");
+        let t_fence = Instant::now();
+        while claimed && !stale_marker.exists() && t_fence.elapsed() < Duration::from_secs(60) {
+            if master.try_wait().expect("poll zombie master").is_some() {
+                break; // finished without fencing: the assertions below report it
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Fencing observed: SIGKILL the zombie and let healthy workers
+        // finish whatever is left (including member 0's live epoch).
+        let _ = fleet[0].kill();
+        let _ = fleet[0].wait();
+        for i in 0..workers.saturating_sub(1).max(1) {
+            fleet.push(cfg.spawn_worker(&dir, i, &[]));
+        }
+        let done = master.wait().expect("wait zombie master");
+        reap_all(&mut fleet, Duration::from_secs(5));
+        let fenced_on_disk = stale_marker.exists();
+        let fenced = metric(&dir, "esse_pool_fencing_rejected_total");
+        let expired = metric(&dir, "esse_pool_lease_expired_total");
+        let outcome = (|| -> Result<(), String> {
+            if !claimed {
+                return Err("zombie never claimed member 0".into());
+            }
+            if !done.success() {
+                return Err(format!("zombie master exited with {done}"));
+            }
+            assert_no_reruns(&dir.join("run.journal"))?;
+            if journal_converged(&dir.join("run.journal"))? != ref_converged {
+                return Err("zombie run convergence differs from reference".into());
+            }
+            if expired == 0 {
+                return Err(
+                    "no lease expiry recorded — the stall never tripped the watchdog".into()
+                );
+            }
+            if fenced == 0 || !fenced_on_disk {
+                return Err("no fencing rejection recorded — the stale publish was ingested".into());
+            }
+            let posterior = read_posterior(&dir)?;
+            if posterior != reference {
+                return Err("zombie posterior differs from unkilled reference".into());
+            }
+            Ok(())
+        })();
+        match outcome {
+            Ok(()) => println!(
+                "zombie: stale publish fenced (fenced={fenced}, expired={expired}), \
+                 bit-identical posterior"
+            ),
+            Err(e) => {
+                failures.push(format!("zombie: {e}"));
+                eprintln!("FAIL zombie (fenced={fenced}, expired={expired}): {e}");
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        if !keep {
+            let _ = std::fs::remove_dir_all(&root);
+        }
+        println!(
+            "PASS: chaos + zombie scenarios, every posterior bit-identical to the \
+             unkilled reference ({:.1?})",
+            t0.elapsed()
+        );
+    } else {
+        eprintln!(
+            "FAIL: {} scenario(s) violated the chaos invariant; artifacts kept in {}",
+            failures.len(),
+            root.display()
+        );
+        std::process::exit(1);
+    }
+}

@@ -26,7 +26,9 @@ pub mod bookkeeping;
 pub mod coverage;
 pub mod fault;
 pub mod journal;
+pub mod lock;
 pub mod metrics;
+pub mod pool;
 pub mod staging;
 pub mod task;
 pub mod triple_buffer;
@@ -49,6 +51,10 @@ pub mod sim {
 
 pub use fault::{FaultPlan, FaultReport, RetryPolicy, RunHealth};
 pub use journal::{Checkpoint, Journal, JournalRecord, JournalState, ResumeState};
+pub use lock::{LockError, WorkdirLock};
+pub use pool::{
+    Heartbeat, LeaseState, LeaseWatch, PoolManifest, PoolScan, ResultRecord, TaskPool, TaskSpec,
+};
 pub use task::{TaskId, TaskOutcome, TaskRecord, TaskState};
 pub use triple_buffer::{DiskTripleBuffer, TripleBuffer};
 pub use workflow::{MtcConfig, MtcConfigBuilder, MtcEsse, MtcOutcome, ReplayState, RunInit};

@@ -1,0 +1,171 @@
+//! Advisory working-directory lock for the coordinator.
+//!
+//! Two `esse_master` processes appending to the same `run.journal`
+//! would interleave frames and corrupt the run. [`WorkdirLock`] makes
+//! that a startup error instead: the coordinator creates `master.lock`
+//! with `O_CREAT | O_EXCL` (atomic on every filesystem the pool
+//! supports), writes its PID into it, and removes it on drop.
+//!
+//! A coordinator that was SIGKILLed leaves its lock behind; that must
+//! not brick the workdir, because the kill–resume harness does exactly
+//! this in a loop. So acquisition that loses the `O_EXCL` race reads
+//! the PID in the lock and — on Linux — checks `/proc/<pid>`: if the
+//! holder is gone the lock is *stale* and is broken (removed, then
+//! re-acquired through the same exclusive-create path, so two breakers
+//! still race safely on the final create).
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Lock file name inside a working directory.
+pub const LOCK_FILE: &str = "master.lock";
+
+/// A held advisory lock; released on drop.
+#[derive(Debug)]
+pub struct WorkdirLock {
+    path: PathBuf,
+}
+
+/// Why the lock could not be acquired.
+#[derive(Debug)]
+pub enum LockError {
+    /// Another live process (PID inside) holds the lock.
+    Held {
+        /// PID recorded in the lock file, if readable.
+        pid: Option<u32>,
+    },
+    /// Filesystem error while acquiring.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Held { pid: Some(pid) } => {
+                write!(f, "workdir is locked by a running master (pid {pid})")
+            }
+            LockError::Held { pid: None } => write!(f, "workdir is locked by another master"),
+            LockError::Io(e) => write!(f, "lock I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+impl From<io::Error> for LockError {
+    fn from(e: io::Error) -> LockError {
+        LockError::Io(e)
+    }
+}
+
+/// Is the process with this PID still alive?
+///
+/// On Linux, `/proc/<pid>` existence is the cheap answer and needs no
+/// signal permission. Elsewhere we conservatively assume the holder is
+/// alive (a human can remove the lock by hand).
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+impl WorkdirLock {
+    /// Acquire the lock inside `workdir`, breaking a stale one (holder
+    /// PID no longer alive) at most once.
+    pub fn acquire(workdir: impl AsRef<Path>) -> Result<WorkdirLock, LockError> {
+        let path = workdir.as_ref().join(LOCK_FILE);
+        for attempt in 0..2 {
+            match Self::try_create(&path) {
+                Ok(lock) => return Ok(lock),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let pid =
+                        fs::read_to_string(&path).ok().and_then(|s| s.trim().parse::<u32>().ok());
+                    let stale = match pid {
+                        Some(pid) => pid != std::process::id() && !pid_alive(pid),
+                        // Unreadable/garbled lock: treat as stale once.
+                        None => true,
+                    };
+                    if !stale || attempt > 0 {
+                        return Err(LockError::Held { pid });
+                    }
+                    // Break the stale lock; losing the remove race to a
+                    // concurrent breaker is fine — the retry's O_EXCL
+                    // create is still the only decider.
+                    match fs::remove_file(&path) {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                        Err(e) => return Err(LockError::Io(e)),
+                    }
+                }
+                Err(e) => return Err(LockError::Io(e)),
+            }
+        }
+        Err(LockError::Held { pid: None })
+    }
+
+    fn try_create(path: &Path) -> io::Result<WorkdirLock> {
+        let mut file = OpenOptions::new().write(true).create_new(true).open(path)?;
+        writeln!(file, "{}", std::process::id())?;
+        file.sync_all()?;
+        Ok(WorkdirLock { path: path.to_path_buf() })
+    }
+
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for WorkdirLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("esse-lock-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn exclusive_within_and_released_on_drop() {
+        let dir = tmpdir("excl");
+        let lock = WorkdirLock::acquire(&dir).unwrap();
+        // Second acquisition sees our own live PID and refuses.
+        match WorkdirLock::acquire(&dir) {
+            Err(LockError::Held { pid }) => assert_eq!(pid, Some(std::process::id())),
+            other => panic!("expected Held, got {other:?}"),
+        }
+        drop(lock);
+        // Released: a fresh acquire succeeds.
+        let relock = WorkdirLock::acquire(&dir).unwrap();
+        assert!(relock.path().exists());
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn stale_lock_is_broken() {
+        let dir = tmpdir("stale");
+        // A PID that cannot be running: beyond default pid_max.
+        fs::write(dir.join(LOCK_FILE), "4194304999\n").unwrap();
+        let lock = WorkdirLock::acquire(&dir).expect("stale lock must be broken");
+        let pid: u32 = fs::read_to_string(lock.path()).unwrap().trim().parse().unwrap();
+        assert_eq!(pid, std::process::id());
+    }
+
+    #[test]
+    fn garbled_lock_is_broken_once() {
+        let dir = tmpdir("garbled");
+        fs::write(dir.join(LOCK_FILE), "not a pid").unwrap();
+        WorkdirLock::acquire(&dir).expect("garbled lock must be treated as stale");
+    }
+}

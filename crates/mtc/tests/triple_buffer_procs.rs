@@ -1,0 +1,143 @@
+//! Cross-**process** property tests for [`DiskTripleBuffer`] — the §4.1
+//! safe/live covariance files.
+//!
+//! The in-crate unit tests exercise the protocol within one process;
+//! the paper's failure mode is two *processes* (master publishing, a
+//! reader recovering after a crash) racing through the filesystem. Here
+//! the writer really is another OS process: the test binary re-executes
+//! itself (`--exact writer_child --include-ignored`) with the target
+//! directory in an environment variable, while the parent loops
+//! `recover()` concurrently and asserts the §4.1 contract:
+//!
+//! * `recover()` NEVER returns a torn or mismatched frame — every
+//!   payload it yields is exactly the canonical payload for its
+//!   version (checksum framing makes a torn write lose the vote);
+//! * versions observed by successive `recover()` calls never decrease
+//!   (the safe file is published by atomic rename);
+//! * after SIGKILLing the writer at an arbitrary point mid-stream, the
+//!   state on disk still recovers to a valid (payload, version) pair.
+
+use esse_mtc::DiskTripleBuffer;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const DIR_ENV: &str = "ESSE_TB_WRITER_DIR";
+const COUNT_ENV: &str = "ESSE_TB_WRITER_COUNT";
+
+/// Deterministic payload for a version: both sides derive it
+/// independently, so the reader can validate content, not just framing.
+fn canonical_payload(version: u64) -> Vec<u8> {
+    let mut x = version.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let len = 64 + (version % 193) as usize;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x as u8
+        })
+        .collect()
+}
+
+/// The writer process body. Ignored in a normal test run; the parent
+/// tests re-exec this binary with the env vars set to drive it.
+#[test]
+#[ignore = "subprocess body, driven by the cross-process tests below"]
+fn writer_child() {
+    let Ok(dir) = std::env::var(DIR_ENV) else { return };
+    let count: u64 = std::env::var(COUNT_ENV).ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+    let buf = DiskTripleBuffer::create(&dir).expect("attach writer buffer");
+    for version in 1..=count {
+        buf.publish(&canonical_payload(version), version).expect("publish");
+    }
+}
+
+fn spawn_writer(dir: &PathBuf, count: u64) -> Child {
+    Command::new(std::env::current_exe().expect("current exe"))
+        .arg("--exact")
+        .arg("writer_child")
+        .arg("--include-ignored")
+        .env(DIR_ENV, dir)
+        .env(COUNT_ENV, count.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn writer process")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("esse-tb-procs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn recover_is_never_torn_or_regressing_under_a_live_writer_process() {
+    let dir = tmpdir("live");
+    let count = 150u64;
+    let mut writer = spawn_writer(&dir, count);
+    let buf = DiskTripleBuffer::create(&dir).expect("attach reader buffer");
+
+    let mut last_version = 0u64;
+    let mut observations = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let done = writer.try_wait().expect("poll writer").is_some();
+        if let Some((payload, version)) = buf.recover().expect("recover") {
+            assert_eq!(
+                payload,
+                canonical_payload(version),
+                "recover() returned a frame whose payload does not match its version {version} \
+                 — a torn or mixed write leaked through"
+            );
+            assert!(
+                version >= last_version,
+                "recover() went backwards: {version} after {last_version}"
+            );
+            last_version = version;
+            observations += 1;
+        }
+        if done {
+            break;
+        }
+        assert!(Instant::now() < deadline, "writer did not finish in time");
+    }
+    assert!(writer.wait().expect("writer exit").success(), "writer process failed");
+    // The final state is the writer's last publish, not something stale.
+    let (payload, version) = buf.recover().expect("final recover").expect("state exists");
+    assert_eq!(version, count);
+    assert_eq!(payload, canonical_payload(count));
+    assert!(observations > 0, "reader never observed a published frame");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_mid_stream_still_recovers_a_valid_frame() {
+    // Several kill points: early (possibly mid-first-publish), and while
+    // the live files are being alternately overwritten.
+    for (i, delay_ms) in [0u64, 3, 7, 15].into_iter().enumerate() {
+        let dir = tmpdir(&format!("kill{i}"));
+        let mut writer = spawn_writer(&dir, 100_000); // far more than it will get to
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        writer.kill().expect("SIGKILL writer");
+        let _ = writer.wait();
+
+        let buf = DiskTripleBuffer::create(&dir).expect("attach after kill");
+        match buf.recover().expect("recover after kill") {
+            Some((payload, version)) => {
+                assert!(version >= 1, "recovered version {version} was never published");
+                assert_eq!(
+                    payload,
+                    canonical_payload(version),
+                    "post-kill recover() yielded a torn frame at version {version}"
+                );
+            }
+            // Killed before the first publish became durable: an empty
+            // state is an honest answer, a torn one would not be.
+            None => {}
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

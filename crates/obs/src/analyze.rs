@@ -283,6 +283,7 @@ impl LoadedTrace {
             counters: final_counters(&self.events),
             task_count: spans.iter().filter(|s| s.cat == "task").count(),
             resumed_members: resumed_members(&self.events),
+            pool: pool_events(&self.events),
         }
     }
 }
@@ -641,6 +642,57 @@ fn resumed_members(events: &[LoadedEvent]) -> Option<u64> {
         .and_then(|e| e.args.get("members").and_then(Value::as_u64))
 }
 
+/// Lease and fencing event counts from the coordinator's `pool`-category
+/// instants — the task-pool health summary of a decoupled-worker run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolEvents {
+    /// Tasks durably seeded (initial + epoch-bumped requeues).
+    pub tasks_seeded: u64,
+    /// Claims first observed alive (leases granted).
+    pub leases_granted: u64,
+    /// Leases that stopped heartbeating and were reclaimed.
+    pub leases_expired: u64,
+    /// Stale-epoch results rejected by fencing.
+    pub fencing_rejected: u64,
+    /// Results accepted into the run.
+    pub results_ingested: u64,
+    /// Local fleet workers (re)spawned by the coordinator.
+    pub workers_spawned: u64,
+}
+
+impl PoolEvents {
+    /// Did the trace carry any pool events at all? (A serial or
+    /// pre-pool trace reports nothing rather than a row of zeros.)
+    pub fn any(&self) -> bool {
+        self.tasks_seeded
+            + self.leases_granted
+            + self.leases_expired
+            + self.fencing_rejected
+            + self.results_ingested
+            + self.workers_spawned
+            > 0
+    }
+}
+
+fn pool_events(events: &[LoadedEvent]) -> PoolEvents {
+    let mut p = PoolEvents::default();
+    for e in events {
+        if e.kind != LoadedKind::Instant || e.cat != "pool" {
+            continue;
+        }
+        match e.name.as_str() {
+            "task_seeded" => p.tasks_seeded += 1,
+            "lease_granted" => p.leases_granted += 1,
+            "lease_expired" => p.leases_expired += 1,
+            "fencing_rejected" => p.fencing_rejected += 1,
+            "result_ingested" => p.results_ingested += 1,
+            "worker_spawned" => p.workers_spawned += 1,
+            _ => {}
+        }
+    }
+    p
+}
+
 fn final_counters(events: &[LoadedEvent]) -> Vec<(String, f64)> {
     let mut last: BTreeMap<String, f64> = BTreeMap::new();
     for e in events {
@@ -676,6 +728,9 @@ pub struct RunAnalysis {
     /// Members rehydrated from a checkpoint, when the trace carries the
     /// engine's `workflow/resumed` instant (a recovered run).
     pub resumed_members: Option<u64>,
+    /// Task-pool lease/fencing event counts (all zero for traces
+    /// predating the decoupled pool).
+    pub pool: PoolEvents,
 }
 
 impl RunAnalysis {
@@ -856,6 +911,32 @@ mod tests {
         let total: u64 = a.throughput.iter().map(|w| w.completions).sum();
         assert_eq!(total, 10);
         assert!(a.peak_throughput_per_s() > 0.0);
+    }
+
+    #[test]
+    fn pool_events_rollup_counts_lease_lifecycle() {
+        let rec = RingRecorder::new();
+        let pool_instant = |t: u64, name: &'static str, m: u64| {
+            rec.instant_at(t, Lane::Coordinator, "pool", name, vec![("member", m.into())]);
+        };
+        pool_instant(0, "task_seeded", 0);
+        pool_instant(1, "task_seeded", 1);
+        pool_instant(2, "lease_granted", 0);
+        pool_instant(3, "lease_expired", 0);
+        pool_instant(4, "task_seeded", 0); // the epoch-bumped requeue
+        pool_instant(5, "fencing_rejected", 0);
+        pool_instant(6, "result_ingested", 0);
+        pool_instant(7, "result_ingested", 1);
+        let a = LoadedTrace::from_trace(&rec.drain()).analyze();
+        assert!(a.pool.any());
+        assert_eq!(a.pool.tasks_seeded, 3);
+        assert_eq!(a.pool.leases_granted, 1);
+        assert_eq!(a.pool.leases_expired, 1);
+        assert_eq!(a.pool.fencing_rejected, 1);
+        assert_eq!(a.pool.results_ingested, 2);
+        assert_eq!(a.pool.workers_spawned, 0);
+        // A pool-free trace reports nothing.
+        assert!(!paired_trace().analyze().pool.any());
     }
 
     #[test]

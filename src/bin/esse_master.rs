@@ -1,5 +1,5 @@
-//! `esse_master` — the master script of paper §4.2, as a real process
-//! orchestrator.
+//! `esse_master` — the master script of paper §4.2, as a *pure
+//! coordinator* over the decoupled on-disk task pool.
 //!
 //! "This master script that runs on a central machine on the home
 //! cluster launches singleton jobs that implement the perturb/forecast
@@ -8,27 +8,53 @@
 //! using separate (per perturbation index) files containing the error
 //! codes of the singleton scripts."
 //!
-//! This binary spawns the real `pert` and `pemodel` executables as child
-//! processes (up to `--children` concurrently), tracks per-member exit
-//! codes in a shared status directory, runs the continuous differ +
-//! SVD + convergence test as results land, grows the ensemble on
-//! failed convergence, and cancels pending work on success.
+//! The master no longer runs member forecasts itself. It seeds one
+//! lease-carrying task record per member into `workdir/pool/pending/`
+//! and any number of autonomous `esse_worker` processes — local
+//! children it spawns (`--workers`, alias `--children`), or external
+//! workers someone else points at the workdir — claim tasks by atomic
+//! rename and publish CRC-framed results. The coordinator's loop:
 //!
-//! Crash consistency: every state transition (run start, member
-//! completed/failed/quarantined, SVD published, converged, run
-//! complete) is appended to a checksummed, fsynced `run.journal` in the
-//! workdir, and every published subspace goes through the §4.1
-//! safe/live covariance files (`cov.live.a`/`cov.live.b`/`cov.safe`).
-//! `--resume` replays the journal (truncating any torn tail), validates
-//! every completed member's forecast file against its checksum,
-//! quarantines corrupt files into `quarantine/` and requeues those
-//! members, then continues the run where it died. A non-empty workdir
-//! is refused unless `--resume` or `--force` is given.
+//! * **ingests** published results, validating every forecast file
+//!   against its checksum before the journal commit point and fencing
+//!   off any result whose epoch is not the member's current epoch (a
+//!   zombie worker resuming after its lease expired can still publish —
+//!   its stale result lands in `pool/results/stale/`, never ingested);
+//! * **watches leases** on its own clock: a claim whose heartbeat
+//!   counter stops advancing for `--lease-ms` is reclaimed and the task
+//!   requeued at the next fencing epoch;
+//! * runs the **continuous SVD + convergence test** at deterministic
+//!   decided-prefix checkpoints (see below), publishing each estimate
+//!   through the §4.1 safe/live covariance files;
+//! * on convergence writes the `CANCEL` tombstone, which workers
+//!   observe *mid-run* (they kill the in-flight forecast — the paper's
+//!   task-cancellation protocol).
+//!
+//! **Determinism.** SVD checkpoints fire when the *decided prefix* —
+//! the contiguous run of members from index 0 whose fate is settled
+//! (completed or permanently failed) — crosses fixed member counts, and
+//! each checkpoint decomposes exactly the first `c` completed members
+//! of that prefix in ascending index order. Member forecasts are pure
+//! functions of `(member, seed)` and requeues reuse the member's seed,
+//! so the rho sequence, the convergence point and the posterior are
+//! bit-identical no matter how many workers run, in what order results
+//! land, or how many workers are killed mid-task.
+//!
+//! Crash consistency is unchanged from the journalled design: every
+//! state transition is appended to the checksummed, fsynced
+//! `run.journal`, `--resume` replays it (truncating any torn tail),
+//! validates completed forecasts, quarantines corrupt ones, recovers
+//! fencing epochs from the pool directories and continues. A non-empty
+//! workdir is refused unless `--resume` or `--force` is given, and an
+//! advisory `master.lock` (O_EXCL, PID-stamped, stale-broken) keeps two
+//! live coordinators out of one workdir.
 //!
 //! ```text
 //! esse_master --workdir DIR --domain monterey:NX,NY,NZ --hours H \
-//!             [--initial N] [--max NMAX] [--tolerance T] [--children C] \
-//!             [--white-noise E] [--base-seed S] [--resume | --force]
+//!             [--initial N] [--max NMAX] [--tolerance T] [--workers C] \
+//!             [--lease-ms MS] [--task-attempts A] [--requeue-budget B] \
+//!             [--white-noise E] [--base-seed S] [--resume | --force] \
+//!             [--trace-out PATH] [--metrics-out PATH]
 //! ```
 
 use esse::cli::{self, files};
@@ -40,36 +66,34 @@ use esse::core::subspace::ErrorSubspace;
 use esse::fileio;
 use esse::mtc::bookkeeping::{ExitStatus, StatusDir};
 use esse::mtc::journal::{
-    config_hash, decode_subspace_blob, encode_subspace_blob, Journal, JournalRecord, JournalState,
+    config_hash, encode_subspace_blob, Journal, JournalRecord, JournalState, SvdRound,
 };
-use esse::mtc::DiskTripleBuffer;
+use esse::mtc::pool::{LeaseState, LeaseWatch, PoolManifest, TaskPool, TaskSpec};
+use esse::mtc::{DiskTripleBuffer, LockError, RetryPolicy, WorkdirLock};
+use esse_obs::event::Lane;
+use esse_obs::recorder::{Recorder, RecorderExt, NULL};
+use esse_obs::registry::MetricsRegistry;
+use esse_obs::ring::RingRecorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::cell::Cell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::process::{Child, Command};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "esse_master --workdir DIR --domain monterey:NX,NY,NZ --hours H \
-                     [--initial N] [--max NMAX] [--tolerance T] [--children C] \
+                     [--initial N] [--max NMAX] [--tolerance T] [--workers C] \
+                     [--lease-ms MS] [--task-attempts A] [--requeue-budget B] \
                      [--resume | --force]";
 
 /// Journal file name inside the workdir.
 const JOURNAL: &str = "run.journal";
 /// Quarantine subdirectory for forecast files that failed validation.
 const QUARANTINE: &str = "quarantine";
-
-/// A running singleton chain: pert then pemodel for one member.
-struct Running {
-    member: usize,
-    stage: Stage,
-    child: Child,
-}
-
-#[derive(Clone, Copy, PartialEq)]
-enum Stage {
-    Pert,
-    Pemodel,
-}
+/// Exit code journalled when a member exhausts its lease-requeue budget.
+const CODE_LEASE_BUDGET: i32 = -9;
 
 /// The workdir journal plus the crash-injection counter used by the
 /// recovery harness (`--crash-after-appends N` aborts the process the
@@ -99,36 +123,6 @@ fn sibling(name: &str) -> PathBuf {
     exe
 }
 
-fn spawn_pert(workdir: &Path, member: usize, white_noise: f64, base_seed: u64) -> Child {
-    Command::new(sibling("pert"))
-        .arg("--workdir")
-        .arg(workdir)
-        .arg("--member")
-        .arg(member.to_string())
-        .arg("--white-noise")
-        .arg(white_noise.to_string())
-        .arg("--base-seed")
-        .arg(base_seed.to_string())
-        .spawn()
-        .expect("spawn pert")
-}
-
-fn spawn_pemodel(workdir: &Path, domain: &str, hours: f64, member: usize, seed: u64) -> Child {
-    Command::new(sibling("pemodel"))
-        .arg("--workdir")
-        .arg(workdir)
-        .arg("--domain")
-        .arg(domain)
-        .arg("--hours")
-        .arg(hours.to_string())
-        .arg("--member")
-        .arg(member.to_string())
-        .arg("--seed")
-        .arg(seed.to_string())
-        .spawn()
-        .expect("spawn pemodel")
-}
-
 /// Move a forecast file that failed checksum validation into the
 /// quarantine corner and journal the quarantine, so the member is
 /// requeued and the torn bytes are never ingested — but remain on disk
@@ -144,6 +138,108 @@ fn quarantine_member(workdir: &Path, journal: &MasterJournal, member: usize, why
     eprintln!("esse_master: quarantined member {member}: {why}");
 }
 
+/// Per-member run bookkeeping; `decided` = completed ∪ permanently
+/// failed. Only decided members extend the deterministic prefix.
+#[derive(Default)]
+struct MemberBook {
+    /// Completed members → attempts consumed (ascending iteration).
+    completed: BTreeMap<u64, u32>,
+    /// Permanently failed members (exit-code budget or lease budget).
+    failed: BTreeSet<u64>,
+    /// Deterministic-failure attempts consumed so far (counts real exit
+    /// codes, not lease expiries).
+    attempts: HashMap<u64, u32>,
+    /// Lease-expiry requeues consumed so far (separate, generous budget
+    /// so worker kills can never flip a member to failed).
+    requeues: HashMap<u64, u32>,
+    /// Backoff holds: do not reseed the member before this instant.
+    hold_until: HashMap<u64, Instant>,
+}
+
+impl MemberBook {
+    fn decided(&self, m: u64) -> bool {
+        self.completed.contains_key(&m) || self.failed.contains(&m)
+    }
+
+    /// Completed member ids inside the contiguous decided prefix from
+    /// member 0 — the only ids a checkpoint SVD may consume.
+    fn prefix_eligible(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut m = 0u64;
+        while self.decided(m) {
+            if self.completed.contains_key(&m) {
+                out.push(m);
+            }
+            m += 1;
+        }
+        out
+    }
+}
+
+/// Rebuild the error-subspace estimate over exactly `ids` (ascending)
+/// from the on-disk forecast files. Deterministic: same ids, same
+/// bytes, same subspace.
+fn subspace_over(
+    workdir: &Path,
+    central: &[f64],
+    ids: &[u64],
+) -> Option<(SpreadAccumulator, ErrorSubspace)> {
+    let mut acc = SpreadAccumulator::new(central.to_vec());
+    for &m in ids {
+        let xf =
+            fileio::read_vector(workdir.join(files::fc(m as usize))).expect("re-read forecast");
+        acc.add_member(m as usize, &xf);
+    }
+    let svd = acc.snapshot().svd()?;
+    Some((acc, ErrorSubspace::from_spread_svd(&svd, 1e-4, 64)))
+}
+
+/// Replay the journalled rho sequence to find the member count at which
+/// the run converged under `tolerance` (the Converged record may be
+/// missing if the coordinator died between the SVD append and it).
+fn converged_members_from(rounds: &[SvdRound], tolerance: f64) -> Option<u64> {
+    let mut t = ConvergenceTest::new(tolerance);
+    for r in rounds {
+        if r.rho.is_finite() && t.check(r.rho) {
+            return Some(r.members);
+        }
+    }
+    None
+}
+
+/// The deterministic checkpoint schedule: every multiple of the SVD
+/// stride plus every stage boundary, ascending, capped at `max`.
+fn checkpoints(initial: usize, max: usize, stages: &[usize]) -> Vec<usize> {
+    let stride = (initial / 2).max(4);
+    let mut cps: BTreeSet<usize> = (1..).map(|k| k * stride).take_while(|&c| c <= max).collect();
+    cps.extend(stages.iter().copied().filter(|&c| c <= max));
+    cps.into_iter().filter(|&c| c >= 2).collect()
+}
+
+fn spawn_local_worker(workdir: &Path, slot: usize) -> Option<Child> {
+    let mut cmd = Command::new(sibling("esse_worker"));
+    cmd.arg("--workdir")
+        .arg(workdir)
+        .arg("--worker-id")
+        .arg(slot.to_string())
+        .arg("--parent-pid")
+        .arg(std::process::id().to_string())
+        .arg("--poll-ms")
+        .arg("10")
+        // Null both streams: an inherited pipe fd would keep a caller's
+        // `output()` on the master blocked for as long as any orphaned
+        // worker survives the master itself.
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    match cli::spawn_with_retry(&mut cmd, "esse_worker", None, 3) {
+        Ok(child) => Some(child),
+        Err(e) => {
+            eprintln!("esse_master: {e}");
+            None
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = cli::parse_args(&argv);
@@ -153,19 +249,31 @@ fn main() {
     let initial: usize = cli::get_or(&args, "initial", 8);
     let max: usize = cli::get_or(&args, "max", 32);
     let tolerance: f64 = cli::get_or(&args, "tolerance", 0.08);
-    let children: usize = cli::get_or(&args, "children", 2).max(1);
+    // `--children` is the historical spelling from the era when the
+    // master forked singletons itself; it now sizes the local worker
+    // fleet. `--workers 0` runs a pure coordinator for external workers.
+    let workers: usize = args
+        .get("workers")
+        .or_else(|| args.get("children"))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
     let white_noise: f64 = cli::get_or(&args, "white-noise", 0.0);
     let base_seed: u64 = cli::get_or(&args, "base-seed", 0x5EED);
+    let lease_ms: u64 = cli::get_or(&args, "lease-ms", 1200u64).max(50);
+    let task_attempts: u32 = cli::get_or(&args, "task-attempts", 3u32).max(1);
+    let requeue_budget: u32 = cli::get_or(&args, "requeue-budget", 16u32).max(1);
     let resume = args.contains_key("resume");
     let force = args.contains_key("force");
     let crash_after: Option<u64> = args.get("crash-after-appends").and_then(|v| v.parse().ok());
+    let trace_out = args.get("trace-out").map(PathBuf::from);
+    let metrics_out = args.get("metrics-out").map(PathBuf::from);
 
     // The run identity: everything that shapes the numerical result.
     // Only the knobs that change member *content* are fingerprinted:
     // a member forecast is a pure function of (domain, hours, noise,
     // seed). Schedule knobs (initial, max, tolerance) and execution
-    // knobs (children, resume, force) are deliberately excluded — a
-    // resume may legitimately extend the ensemble, tighten the
+    // knobs (workers, lease, resume, force) are deliberately excluded —
+    // a resume may legitimately extend the ensemble, tighten the
     // tolerance, or use different parallelism.
     let run_hash = config_hash(&[
         ("domain", domain.clone()),
@@ -194,6 +302,25 @@ fn main() {
         }
     }
     std::fs::create_dir_all(&workdir).expect("create workdir");
+
+    // --- Coordinator exclusion: one live master per workdir. A crashed
+    // master's lock names a dead PID and is broken automatically. ---
+    let _lock = match WorkdirLock::acquire(&workdir) {
+        Ok(lock) => lock,
+        Err(LockError::Held { pid }) => {
+            eprintln!(
+                "esse_master: workdir {} is locked by a running master (pid {})",
+                workdir.display(),
+                pid.map_or_else(|| "unknown".into(), |p| p.to_string())
+            );
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("esse_master: cannot acquire master.lock: {e}");
+            std::process::exit(2);
+        }
+    };
+
     let status = StatusDir::open(workdir.join("status")).expect("status dir");
 
     // --- Journal: create fresh, or replay (truncating any torn tail). ---
@@ -242,6 +369,17 @@ fn main() {
         );
     }
 
+    // --- Observability: trace ring + metrics registry. ---
+    let ring = RingRecorder::new();
+    let rec: &dyn Recorder = if trace_out.is_some() { &ring } else { &NULL };
+    let metrics = MetricsRegistry::new();
+    let m_granted = metrics.counter("esse_pool_lease_granted_total");
+    let m_renewed = metrics.counter("esse_pool_lease_renewed_total");
+    let m_expired = metrics.counter("esse_pool_lease_expired_total");
+    let m_fenced = metrics.counter("esse_pool_fencing_rejected_total");
+    let m_seeded = metrics.counter("esse_pool_tasks_seeded_total");
+    let m_ingested = metrics.counter("esse_pool_results_ingested_total");
+
     // --- Setup: model, mean, prior. ---
     let (model, st0) = cli::build_model(&domain).unwrap_or_else(|e| {
         eprintln!("esse_master: {e}");
@@ -257,7 +395,6 @@ fn main() {
             esse::core::priors::smooth_temperature_prior(&model.grid, 12, 0.5, 2.5, base_seed);
         fileio::write_subspace(&prior_path, &prior).expect("write prior");
     }
-    let _mean = fileio::read_vector(&mean_path).expect("read mean");
     let prior = fileio::read_subspace(&prior_path).expect("read prior");
     let gen = PerturbationGenerator::new(
         &prior,
@@ -267,39 +404,63 @@ fn main() {
     // --- Central forecast (deterministic; reused on resume). ---
     let central_path = workdir.join(files::CENTRAL);
     if !central_path.exists() {
-        let st = Command::new(sibling("pemodel"))
-            .arg("--workdir")
+        let mut cmd = Command::new(sibling("pemodel"));
+        cmd.arg("--workdir")
             .arg(&workdir)
             .arg("--domain")
             .arg(&domain)
             .arg("--hours")
             .arg(hours.to_string())
-            .arg("--central")
-            .status()
-            .expect("spawn central pemodel");
-        if !st.success() {
+            .arg("--central");
+        let ok = match cli::spawn_with_retry(&mut cmd, "central pemodel", None, 3) {
+            Ok(mut child) => child.wait().expect("wait central pemodel").success(),
+            Err(e) => {
+                eprintln!("esse_master: {e}");
+                false
+            }
+        };
+        if !ok {
             eprintln!("esse_master: central forecast failed");
             std::process::exit(1);
         }
     }
     let central = fileio::read_vector(&central_path).expect("read central");
-    let mut acc = SpreadAccumulator::new(central.clone());
+
+    // --- The task pool: the contract every worker reads. ---
+    let pool = TaskPool::create(
+        &workdir,
+        &PoolManifest {
+            domain: domain.clone(),
+            hours,
+            white_noise,
+            base_seed,
+            lease_ms,
+            config_hash: run_hash,
+        },
+    )
+    .expect("create task pool");
+    // A previous incarnation may have left CANCEL/SHUTDOWN behind.
+    pool.clear_tombstones().expect("clear tombstones");
+    // Recover the authoritative fencing-epoch map from the pool dirs.
+    let mut epochs: HashMap<u64, u32> = pool.epochs().expect("recover epochs");
 
     // --- Resume: fold journalled members back in, checksum-validating
     // every forecast file. Corrupt or missing files are quarantined and
     // the member is requeued — never silently ingested (§4.2). ---
+    let mut book = MemberBook::default();
     let mut resumed = 0usize;
     if resume {
-        for (m, _attempts) in &state.completed {
-            let member = *m as usize;
-            match fileio::read_vector(workdir.join(files::fc(member))) {
-                Ok(xf) => {
-                    if acc.add_member(member, &xf) {
-                        resumed += 1;
-                    }
+        for (m, attempts) in &state.completed {
+            match fileio::read_vector(workdir.join(files::fc(*m as usize))) {
+                Ok(_) => {
+                    book.completed.insert(*m, *attempts);
+                    resumed += 1;
                 }
-                Err(e) => quarantine_member(&workdir, &journal, member, &e.to_string()),
+                Err(e) => quarantine_member(&workdir, &journal, *m as usize, &e.to_string()),
             }
+        }
+        for m in &state.failed {
+            book.failed.insert(*m);
         }
         // Legacy workdirs (journal created just now): fall back to the
         // §4.2 per-member status records, migrating them forward.
@@ -307,14 +468,13 @@ fn main() {
             let (ok, _failed) = status.scan().expect("scan status");
             for member in ok {
                 match fileio::read_vector(workdir.join(files::fc(member))) {
-                    Ok(xf) => {
-                        if acc.add_member(member, &xf) {
-                            journal.append(&JournalRecord::MemberCompleted {
-                                member: member as u64,
-                                attempts: 1,
-                            });
-                            resumed += 1;
-                        }
+                    Ok(_) => {
+                        journal.append(&JournalRecord::MemberCompleted {
+                            member: member as u64,
+                            attempts: 1,
+                        });
+                        book.completed.insert(member as u64, 1);
+                        resumed += 1;
                     }
                     Err(e) => quarantine_member(&workdir, &journal, member, &e.to_string()),
                 }
@@ -323,205 +483,430 @@ fn main() {
     }
     println!(
         "esse_master: starting with {} members in the differ (resumed {resumed})",
-        acc.count()
+        book.completed.len()
     );
 
-    // --- Convergence state: restored from the journal + the safe/live
-    // covariance files, so the similarity cadence continues seamlessly. ---
+    // --- Convergence state, restored from the journal. The `previous`
+    // subspace is rebuilt deterministically from forecast files at the
+    // next checkpoint, never trusted from a half-published disk state. ---
     let disk_cov = DiskTripleBuffer::create(&workdir).expect("safe/live covariance files");
     let mut conv = ConvergenceTest::restore(tolerance, &state.rho_history());
-    let mut previous: Option<ErrorSubspace> = if resume {
-        disk_cov
-            .recover()
-            .expect("scan covariance files")
-            .and_then(|(payload, _)| decode_subspace_blob(&payload).ok())
+    let mut converged = conv.converged();
+    let mut converged_members: Option<u64> = if converged {
+        state
+            .converged
+            .map(|(m, _)| m)
+            .or_else(|| converged_members_from(&state.svd_rounds, tolerance))
     } else {
         None
     };
+    let mut fired: BTreeSet<u64> = state.svd_rounds.iter().map(|r| r.members).collect();
+    let mut last_fired: Option<u64> = state.svd_rounds.last().map(|r| r.members);
+    let mut previous: Option<(u64, ErrorSubspace)> = None;
     let mut svd_version: u64 = state.svd_rounds.last().map_or(0, |r| r.version);
-    let mut since_svd = acc.count().saturating_sub(state.last_svd_members() as usize);
-    // Judged under the *current* tolerance (a resume may tighten it),
-    // not the previous incarnation's Converged record.
-    let mut converged = conv.converged();
 
-    // --- The pool loop. ---
+    // --- Schedule + checkpoints. ---
     let schedule = EnsembleSchedule::new(initial, max);
     let stages = schedule.stages();
+    let cps = checkpoints(initial, max, &stages);
     let mut stage_idx = 0usize;
-    while stage_idx + 1 < stages.len() && acc.count() >= stages[stage_idx] {
+    while stage_idx + 1 < stages.len() && (0..stages[stage_idx] as u64).all(|m| book.decided(m)) {
         stage_idx += 1;
     }
-    let mut pending: VecDeque<usize> =
-        (0..stages[stage_idx]).filter(|m| !acc.snapshot().member_ids.contains(m)).collect();
-    if converged {
-        pending.clear();
-    }
-    let mut running: Vec<Running> = Vec::new();
-    let mut launched_max = pending.iter().copied().max().map(|m| m + 1).unwrap_or(acc.count());
-    let mut failed = 0usize;
-    let svd_stride = (initial / 2).max(4);
+
+    // --- Local worker fleet (the pool is agnostic: any number of
+    // external esse_worker processes may also claim tasks). ---
+    let mut fleet: Vec<Option<Child>> = (0..workers).map(|_| None).collect();
+    let mut worker_spawns = 0usize;
+    let spawn_budget = workers * 8;
+    let retry =
+        RetryPolicy::retries(task_attempts).with_backoff(Duration::from_millis(20), 2.0, 0.0);
+    let mut rng = StdRng::seed_from_u64(base_seed ^ 0x00D1_7A5C);
+    let mut watch = LeaseWatch::new();
+    let t0 = Instant::now();
+    let mut cancelled_tasks = 0usize;
 
     loop {
-        // Fill the pool.
-        while !converged && running.len() < children {
-            let Some(member) = pending.pop_front() else {
-                break;
-            };
-            let child = spawn_pert(&workdir, member, white_noise, base_seed);
-            running.push(Running { member, stage: Stage::Pert, child });
-        }
-        if running.is_empty() && (converged || pending.is_empty()) {
-            // Nothing in flight: either done or ensemble exhausted.
-            if converged || stage_idx + 1 >= stages.len() || acc.count() >= stages[stage_idx] {
-                if !converged && stage_idx + 1 < stages.len() {
-                    // Grow to the next stage.
-                    stage_idx += 1;
-                    for m in launched_max..stages[stage_idx] {
-                        pending.push_back(m);
+        // Keep the local fleet at strength (bounded respawn: a worker
+        // that keeps dying must not fork-bomb the host).
+        if !converged {
+            for (slot, entry) in fleet.iter_mut().enumerate() {
+                let dead = match entry {
+                    Some(child) => child.try_wait().expect("poll worker").is_some(),
+                    None => true,
+                };
+                if dead && worker_spawns < spawn_budget.max(workers) {
+                    *entry = spawn_local_worker(&workdir, slot);
+                    if entry.is_some() {
+                        worker_spawns += 1;
+                        rec.instant_at(
+                            rec.now_ns(),
+                            Lane::Coordinator,
+                            "pool",
+                            "worker_spawned",
+                            vec![("slot", (slot as u64).into())],
+                        );
                     }
-                    launched_max = launched_max.max(stages[stage_idx]);
-                    continue;
                 }
-                break;
             }
         }
-        // Poll children.
-        let mut idx = 0;
-        while idx < running.len() {
-            let done = running[idx].child.try_wait().expect("try_wait");
-            match done {
-                None => {
-                    idx += 1;
+
+        let scan = pool.scan().expect("scan pool");
+        let mut outstanding: HashSet<u64> = HashSet::new();
+        for t in &scan.pending {
+            outstanding.insert(t.member);
+        }
+        for c in &scan.claims {
+            outstanding.insert(c.spec.member);
+        }
+
+        // --- Ingest published results. ---
+        for r in &scan.results {
+            let m = r.member;
+            let current = epochs.get(&m).copied().unwrap_or(0);
+            if r.epoch != current {
+                // Fencing: a zombie worker published after its lease
+                // expired and the task was requeued. Never ingested.
+                m_fenced.inc();
+                rec.instant_at(
+                    rec.now_ns(),
+                    Lane::Coordinator,
+                    "pool",
+                    "fencing_rejected",
+                    vec![
+                        ("member", m.into()),
+                        ("epoch", (r.epoch as u64).into()),
+                        ("current", (current as u64).into()),
+                    ],
+                );
+                eprintln!(
+                    "esse_master: fenced stale result for member {m} (epoch {} != current {})",
+                    r.epoch, current
+                );
+                pool.fence_result(r).expect("fence result");
+                continue;
+            }
+            if book.decided(m) {
+                pool.consume_result(r).expect("consume duplicate result");
+                continue;
+            }
+            let spec = TaskSpec { member: m, epoch: r.epoch, seed: gen.forecast_seed(m as usize) };
+            if r.code == 0 {
+                // Validate before the journal commit point: the
+                // MemberCompleted record asserts a checksum-clean
+                // forecast file exists, and the worker's recorded CRC
+                // must match what is on disk now.
+                let fc_ok = fileio::vector_file_crc(workdir.join(files::fc(m as usize)))
+                    .map_err(|e| e.to_string())
+                    .and_then(|crc| {
+                        if crc == r.fc_crc {
+                            Ok(())
+                        } else {
+                            Err(format!(
+                                "forecast CRC {crc:#010x} != result record {:#010x}",
+                                r.fc_crc
+                            ))
+                        }
+                    });
+                match fc_ok {
+                    Ok(()) => {
+                        let attempts = book.attempts.get(&m).copied().unwrap_or(0) + 1;
+                        status.record(m as usize, ExitStatus::Success).expect("record");
+                        journal.append(&JournalRecord::MemberCompleted { member: m, attempts });
+                        book.completed.insert(m, attempts);
+                        m_ingested.inc();
+                        rec.instant_at(
+                            rec.now_ns(),
+                            Lane::Coordinator,
+                            "pool",
+                            "result_ingested",
+                            vec![("member", m.into()), ("epoch", (r.epoch as u64).into())],
+                        );
+                    }
+                    Err(why) => {
+                        quarantine_member(&workdir, &journal, m as usize, &why);
+                        // Requeue at the next epoch so a laggard rewrite
+                        // of the forecast file cannot race the retry.
+                        let next = TaskSpec { epoch: current + 1, ..spec };
+                        pool.seed(&next).expect("requeue quarantined member");
+                        epochs.insert(m, next.epoch);
+                        outstanding.insert(m);
+                        m_seeded.inc();
+                    }
                 }
-                Some(code) => {
-                    let mut task = running.swap_remove(idx);
-                    let member = task.member;
-                    if !code.success() {
-                        let rc = code.code().unwrap_or(-1);
-                        status.record(member, ExitStatus::Failed(rc)).expect("record");
+                pool.consume_result(r).expect("consume result");
+                pool.remove_claim(&spec).expect("drop ingested claim");
+                watch.forget(m);
+            } else {
+                // A real (deterministic) task failure: count it against
+                // the task-attempt budget.
+                let attempts = book.attempts.get(&m).copied().unwrap_or(0) + 1;
+                book.attempts.insert(m, attempts);
+                status.record(m as usize, ExitStatus::Failed(r.code)).expect("record");
+                pool.consume_result(r).expect("consume result");
+                pool.remove_claim(&spec).expect("drop failed claim");
+                watch.forget(m);
+                if attempts >= task_attempts {
+                    journal.append(&JournalRecord::MemberFailed { member: m, code: r.code });
+                    book.failed.insert(m);
+                    eprintln!(
+                        "esse_master: member {m} failed permanently (code {}, {attempts} attempts)",
+                        r.code
+                    );
+                } else {
+                    book.hold_until
+                        .insert(m, Instant::now() + retry.backoff_delay(attempts, &mut rng));
+                }
+            }
+        }
+
+        // --- Lease watchdog: reclaim claims whose heartbeat stalled. ---
+        let now_ms = t0.elapsed().as_millis() as u64;
+        for c in &scan.claims {
+            let m = c.spec.member;
+            let current = epochs.get(&m).copied().unwrap_or(0);
+            if book.decided(m) || c.spec.epoch != current {
+                // Leftover claim of an ingested or already-requeued
+                // incarnation; sweep it.
+                pool.remove_claim(&c.spec).expect("sweep stale claim");
+                continue;
+            }
+            let counter = c.heartbeat.map(|hb| hb.counter);
+            match watch.observe(m, c.spec.epoch, counter, now_ms, lease_ms) {
+                LeaseState::Granted => {
+                    m_granted.inc();
+                    rec.instant_at(
+                        rec.now_ns(),
+                        Lane::Coordinator,
+                        "pool",
+                        "lease_granted",
+                        vec![("member", m.into()), ("epoch", (c.spec.epoch as u64).into())],
+                    );
+                }
+                LeaseState::Renewed => {
+                    m_renewed.inc();
+                }
+                LeaseState::Held => {}
+                LeaseState::Expired => {
+                    m_expired.inc();
+                    rec.instant_at(
+                        rec.now_ns(),
+                        Lane::Coordinator,
+                        "pool",
+                        "lease_expired",
+                        vec![("member", m.into()), ("epoch", (c.spec.epoch as u64).into())],
+                    );
+                    let requeues = book.requeues.get(&m).copied().unwrap_or(0) + 1;
+                    book.requeues.insert(m, requeues);
+                    if requeues > requeue_budget {
                         journal.append(&JournalRecord::MemberFailed {
-                            member: member as u64,
-                            code: rc,
+                            member: m,
+                            code: CODE_LEASE_BUDGET,
                         });
-                        failed += 1;
+                        book.failed.insert(m);
+                        pool.remove_claim(&c.spec).expect("drop abandoned claim");
+                        eprintln!(
+                            "esse_master: member {m} abandoned after {requeues} lease expiries"
+                        );
                         continue;
                     }
-                    match task.stage {
-                        Stage::Pert => {
-                            // Chain into pemodel.
-                            let seed = gen.forecast_seed(member);
-                            task.child = spawn_pemodel(&workdir, &domain, hours, member, seed);
-                            task.stage = Stage::Pemodel;
-                            running.push(task);
-                        }
-                        Stage::Pemodel => {
-                            status.record(member, ExitStatus::Success).expect("record");
-                            // Validate before the journal commit point:
-                            // the MemberCompleted record asserts a
-                            // checksum-clean forecast file exists.
-                            match fileio::read_vector(workdir.join(files::fc(member))) {
-                                Ok(xf) => {
-                                    journal.append(&JournalRecord::MemberCompleted {
-                                        member: member as u64,
-                                        attempts: 1,
-                                    });
-                                    if acc.add_member(member, &xf) {
-                                        since_svd += 1;
-                                    }
-                                }
-                                Err(e) => {
-                                    quarantine_member(&workdir, &journal, member, &e.to_string());
-                                    pending.push_back(member);
-                                }
-                            }
-                        }
-                    }
+                    eprintln!(
+                        "esse_master: lease expired for member {m} (epoch {}); requeueing at epoch {}",
+                        c.spec.epoch,
+                        current + 1
+                    );
+                    // Seed the successor FIRST, then drop the dead
+                    // claim: there is never a moment where the member
+                    // has no incarnation on disk.
+                    let next = TaskSpec {
+                        member: m,
+                        epoch: current + 1,
+                        seed: gen.forecast_seed(m as usize),
+                    };
+                    pool.seed(&next).expect("requeue expired member");
+                    epochs.insert(m, next.epoch);
+                    outstanding.insert(m);
+                    m_seeded.inc();
+                    pool.remove_claim(&c.spec).expect("drop expired claim");
+                    watch.forget(m);
                 }
             }
         }
-        // Continuous SVD + convergence.
-        let at_stage = acc.count() >= stages[stage_idx];
-        if !converged
-            && (since_svd >= svd_stride || (at_stage && since_svd > 0))
-            && acc.count() >= 2
-        {
-            since_svd = 0;
-            if let Some(svd) = acc.snapshot().svd() {
-                let estimate = ErrorSubspace::from_spread_svd(&svd, 1e-4, 64);
-                let mut round_rho = f64::NAN;
-                if let Some(prev) = &previous {
-                    let rho = similarity(prev, &estimate);
-                    round_rho = rho;
-                    println!("esse_master: N={} rho={rho:.4} (tol {:.3})", acc.count(), tolerance);
-                    if conv.check(rho) {
-                        converged = true;
-                        let cancelled = pending.len();
-                        pending.clear();
-                        println!("esse_master: converged; cancelled {cancelled} queued members");
-                    }
+
+        // --- Seed missing tasks for the current stage target. ---
+        if !converged {
+            let target = stages[stage_idx] as u64;
+            for m in 0..target {
+                if book.decided(m) || outstanding.contains(&m) {
+                    continue;
                 }
-                // Safe/live covariance files first, then the journal
-                // record as the commit point (§4.1 on disk).
-                svd_version += 1;
-                disk_cov
-                    .publish(&encode_subspace_blob(&estimate), svd_version)
-                    .expect("publish covariance");
-                journal.append(&JournalRecord::SvdPublished {
-                    members: acc.count() as u64,
-                    version: svd_version,
-                    rho: round_rho,
+                if book.hold_until.get(&m).is_some_and(|t| Instant::now() < *t) {
+                    continue;
+                }
+                let epoch = epochs.get(&m).copied().unwrap_or(0) + 1;
+                let spec = TaskSpec { member: m, epoch, seed: gen.forecast_seed(m as usize) };
+                pool.seed(&spec).expect("seed task");
+                epochs.insert(m, epoch);
+                outstanding.insert(m);
+                m_seeded.inc();
+                rec.instant_at(
+                    rec.now_ns(),
+                    Lane::Coordinator,
+                    "pool",
+                    "task_seeded",
+                    vec![("member", m.into()), ("epoch", (epoch as u64).into())],
+                );
+            }
+        }
+
+        // --- Continuous SVD + convergence at decided-prefix
+        // checkpoints (deterministic under any worker interleaving). ---
+        let eligible = book.prefix_eligible();
+        for &cp in &cps {
+            if converged {
+                break;
+            }
+            let c = cp as u64;
+            if fired.contains(&c) || eligible.len() < cp {
+                continue;
+            }
+            // Rebuild the previous checkpoint's estimate if this
+            // incarnation has not computed it yet (fresh resume).
+            if previous.as_ref().map(|(m, _)| *m) != last_fired {
+                previous = last_fired.map(|p| {
+                    let (_, sub) = subspace_over(&workdir, &central, &eligible[..p as usize])
+                        .expect("rebuild previous checkpoint");
+                    (p, sub)
                 });
-                if converged {
-                    journal.append(&JournalRecord::Converged {
-                        members: acc.count() as u64,
-                        rho: round_rho,
-                    });
+            }
+            let Some((_, estimate)) = subspace_over(&workdir, &central, &eligible[..cp]) else {
+                break;
+            };
+            let mut round_rho = f64::NAN;
+            if let Some((_, prev)) = &previous {
+                let rho = similarity(prev, &estimate);
+                round_rho = rho;
+                println!("esse_master: N={cp} rho={rho:.4} (tol {tolerance:.3})");
+                if conv.check(rho) {
+                    converged = true;
+                    converged_members = Some(c);
                 }
-                previous = Some(estimate);
+            }
+            // Safe/live covariance files first, then the journal
+            // record as the commit point (§4.1 on disk).
+            svd_version += 1;
+            disk_cov
+                .publish(&encode_subspace_blob(&estimate), svd_version)
+                .expect("publish covariance");
+            journal.append(&JournalRecord::SvdPublished {
+                members: c,
+                version: svd_version,
+                rho: round_rho,
+            });
+            rec.instant_at(
+                rec.now_ns(),
+                Lane::Coordinator,
+                "svd",
+                "svd_published",
+                vec![("members", c.into()), ("version", svd_version.into())],
+            );
+            fired.insert(c);
+            last_fired = Some(c);
+            previous = Some((c, estimate));
+            if converged {
+                journal.append(&JournalRecord::Converged { members: c, rho: round_rho });
+                cancelled_tasks = pool.cancel_pending().expect("cancel pending");
+                pool.write_cancel().expect("write cancel tombstone");
+                println!("esse_master: converged; cancelled {cancelled_tasks} queued members");
+                rec.instant_at(
+                    rec.now_ns(),
+                    Lane::Coordinator,
+                    "convergence",
+                    "converged",
+                    vec![("members", c.into()), ("rho", round_rho.into())],
+                );
             }
         }
-        // Grow the pool when a stage completes unconverged.
-        if !converged && at_stage && pending.is_empty() && running.is_empty() {
+        if converged {
+            break;
+        }
+
+        // --- Stage growth / completion. ---
+        let target = stages[stage_idx] as u64;
+        if (0..target).all(|m| book.decided(m)) {
             if stage_idx + 1 < stages.len() {
                 stage_idx += 1;
-                for m in launched_max..stages[stage_idx] {
-                    pending.push_back(m);
-                }
-                launched_max = launched_max.max(stages[stage_idx]);
             } else {
                 break;
             }
         }
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(15));
     }
 
-    // --- Final subspace (UseCompleted policy: everything that arrived).
-    // The posterior is folded in ascending member order from the
-    // on-disk forecast files, so an interrupted-and-resumed run writes
-    // a bit-identical posterior to an uninterrupted one regardless of
-    // arrival order or where the coordinator died. ---
-    let mut ids = acc.snapshot().member_ids.clone();
-    ids.sort_unstable();
-    let mut final_acc = SpreadAccumulator::new(central);
-    for member in &ids {
-        let xf = fileio::read_vector(workdir.join(files::fc(*member))).expect("re-read forecast");
-        final_acc.add_member(*member, &xf);
+    // --- Wind down: tell every worker (local or external) the run is
+    // over, then reap the local fleet. ---
+    pool.write_shutdown().expect("write shutdown tombstone");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for entry in fleet.iter_mut() {
+        if let Some(child) = entry {
+            loop {
+                match child.try_wait().expect("reap worker") {
+                    Some(_) => break,
+                    None if Instant::now() >= deadline => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                    None => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        }
     }
-    let snapshot = final_acc.snapshot();
-    let Some(svd) = snapshot.svd() else {
+
+    // --- Final subspace. When the run converged the posterior is the
+    // first `converged_members` completed members of the decided
+    // prefix — NOT "whatever happened to arrive" — so any worker
+    // interleaving, kill schedule or resume produces bit-identical
+    // posterior bytes. Unconverged runs use every completed member. ---
+    let eligible = book.prefix_eligible();
+    let ids: Vec<u64> = match converged_members {
+        Some(c) if converged => eligible[..(c as usize).min(eligible.len())].to_vec(),
+        _ => book.completed.keys().copied().collect(),
+    };
+    let Some((final_acc, final_subspace)) = subspace_over(&workdir, &central, &ids) else {
         eprintln!("esse_master: not enough members for an SVD");
         std::process::exit(1);
     };
-    let final_subspace = ErrorSubspace::from_spread_svd(&svd, 1e-4, 64);
     fileio::write_subspace(workdir.join(files::POSTERIOR), &final_subspace)
         .expect("write posterior");
     journal.append(&JournalRecord::RunComplete { members: final_acc.count() as u64 });
     println!(
         "esse_master: done — {} members ({} failed), converged={}, rank {}, total variance {:.5}",
         final_acc.count(),
-        failed,
+        book.failed.len(),
         converged,
         final_subspace.rank(),
         final_subspace.total_variance()
     );
+    println!(
+        "esse_master: pool stats — leases granted {}, renewed {}, expired {}, \
+         results fenced {}, tasks seeded {}, ingested {}, cancelled {}",
+        m_granted.get(),
+        m_renewed.get(),
+        m_expired.get(),
+        m_fenced.get(),
+        m_seeded.get(),
+        m_ingested.get(),
+        cancelled_tasks
+    );
+
+    if let Some(path) = trace_out {
+        let trace = ring.drain();
+        esse_obs::export::save(&trace, &path).expect("write trace");
+        println!("esse_master: trace written to {}", path.display());
+    }
+    if let Some(path) = metrics_out {
+        fs::write(&path, metrics.snapshot().to_prometheus()).expect("write metrics");
+        println!("esse_master: metrics written to {}", path.display());
+    }
 }

@@ -1,0 +1,336 @@
+//! `esse_worker` — an autonomous pull-model worker for the on-disk task
+//! pool (paper Fig. 4, §4).
+//!
+//! The paper's ensemble members ran wherever capacity existed — SGE,
+//! Condor, Teragrid, EC2 — with no registration at the master; workers
+//! simply pulled perturbation/forecast tasks from a shared filesystem.
+//! This binary is that worker: point any number of them at a workdir
+//! (start or kill them at any time) and each one
+//!
+//! 1. claims a pending task by atomic rename (exactly one claimer wins),
+//! 2. renews the claim's lease by publishing a heartbeat file,
+//! 3. runs the real `pert` + `pemodel` singleton chain for the member,
+//! 4. durably publishes a CRC-framed result record carrying the claim's
+//!    fencing epoch — the coordinator rejects it if the lease expired
+//!    and the task was requeued at a higher epoch in the meantime.
+//!
+//! Workers observe the coordinator's `CANCEL` tombstone *mid-run* (the
+//! in-flight `pemodel` child is killed — the paper's task-cancellation
+//! protocol) and exit on `SHUTDOWN`, on the death of `--parent-pid`, or
+//! after `--idle-exit-ms` with nothing to do.
+//!
+//! Fault injection for the chaos harness: `--die-after K` aborts the
+//! process the instant it claims its K-th task (routed through
+//! `FaultPlan::worker_dies`, PR 2's scripted worker-death schedule) and
+//! `--stall-task M --stall-ms D` suppresses the heartbeat for member
+//! `M` and sleeps `D` ms before running it — long enough for the lease
+//! to expire, so the eventual publish exercises the fencing path.
+//!
+//! ```text
+//! esse_worker --workdir DIR [--worker-id N] [--poll-ms MS]
+//!             [--idle-exit-ms MS] [--parent-pid PID] [--wait-pool-ms MS]
+//!             [--fault-seed S] [--die-after K] [--stall-task M] [--stall-ms MS]
+//! ```
+
+use esse::cli::{self, files};
+use esse::fileio;
+use esse::mtc::pool::{Heartbeat, PoolManifest, ResultRecord, TaskPool, TaskSpec};
+use esse::mtc::FaultPlan;
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "esse_worker --workdir DIR [--worker-id N] [--poll-ms MS] \
+                     [--idle-exit-ms MS] [--parent-pid PID] [--die-after K] \
+                     [--stall-task M] [--stall-ms MS]";
+
+/// Result code a worker publishes when it could not even spawn the
+/// singleton chain (distinct from any real `pert`/`pemodel` exit code).
+const CODE_SPAWN_FAILED: i32 = 120;
+/// Result code for a forecast file that failed its checksum validation.
+const CODE_CORRUPT_FORECAST: i32 = 121;
+
+fn sibling(name: &str) -> PathBuf {
+    let mut exe = std::env::current_exe().expect("current exe path");
+    exe.set_file_name(name);
+    exe
+}
+
+fn parent_alive(parent_pid: Option<u32>) -> bool {
+    let Some(pid) = parent_pid else { return true };
+    // An unreaped zombie still has a /proc entry but is dead for our
+    // purposes (its workdir will never be coordinated again): check the
+    // state field of /proc/PID/stat, third token after the comm field.
+    match std::fs::read_to_string(format!("/proc/{pid}/stat")) {
+        Ok(stat) => {
+            let state = stat.rsplit(')').next().and_then(|rest| rest.trim().chars().next());
+            !matches!(state, Some('Z') | Some('X') | None)
+        }
+        Err(_) => false,
+    }
+}
+
+/// Wait for a child while watching the CANCEL tombstone; on
+/// cancellation the child is killed mid-run and `None` is returned.
+fn wait_or_cancel(child: &mut Child, pool: &TaskPool) -> Option<i32> {
+    loop {
+        match child.try_wait().expect("try_wait on singleton") {
+            Some(status) => return Some(status.code().unwrap_or(-1)),
+            None => {
+                if pool.cancelled() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// The heartbeat renewal loop, run on its own thread while a task
+/// executes. A SIGKILLed worker takes this thread down with it, the
+/// counter stops advancing, and the coordinator reclaims the lease.
+fn start_heartbeat(
+    pool: TaskPool,
+    spec: TaskSpec,
+    interval: Duration,
+) -> (Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = stop.clone();
+    let handle = std::thread::spawn(move || {
+        let pid = std::process::id();
+        let mut counter = 0u64;
+        while !flag.load(Ordering::Relaxed) {
+            counter += 1;
+            if pool.heartbeat(&spec, &Heartbeat { pid, counter }).is_err() {
+                // The claim directory vanished (workdir torn down):
+                // nothing left to renew.
+                break;
+            }
+            std::thread::sleep(interval);
+        }
+    });
+    (stop, handle)
+}
+
+struct WorkerConfig {
+    workdir: PathBuf,
+    worker_id: u32,
+    poll: Duration,
+    idle_exit: Option<Duration>,
+    parent_pid: Option<u32>,
+    plan: FaultPlan,
+    stall_task: Option<u64>,
+    stall: Duration,
+}
+
+/// Run one claimed task end to end. Returns `true` if a result was
+/// published (the stalled/fenced path also counts — publishing *is* the
+/// point of the stall injection).
+fn run_task(
+    cfg: &WorkerConfig,
+    pool: &TaskPool,
+    manifest: &PoolManifest,
+    spec: TaskSpec,
+    stalled: bool,
+) -> bool {
+    let member = spec.member as usize;
+    let heartbeat = if stalled {
+        // Injection: hold the claim without renewing the lease, then
+        // sleep past its expiry — the zombie-worker scenario.
+        eprintln!(
+            "esse_worker[{}]: stalling on member {member} for {:?} (lease is {}ms)",
+            cfg.worker_id, cfg.stall, manifest.lease_ms
+        );
+        std::thread::sleep(cfg.stall);
+        None
+    } else {
+        let interval = Duration::from_millis((manifest.lease_ms / 5).max(10));
+        Some(start_heartbeat(pool.clone(), spec, interval))
+    };
+
+    let publish = |code: i32, fc_crc: u32| {
+        let rec = ResultRecord {
+            member: spec.member,
+            epoch: spec.epoch,
+            code,
+            pid: std::process::id(),
+            fc_crc,
+        };
+        pool.publish_result(&rec).expect("publish result record");
+    };
+    let mut published = true;
+
+    // pert → pemodel, the §4.2 singleton chain, via the shared
+    // bounded-retry spawner (a transient fork failure degrades into a
+    // retryable failure result instead of killing the worker).
+    let mut pert = Command::new(sibling("pert"));
+    pert.arg("--workdir")
+        .arg(&cfg.workdir)
+        .arg("--member")
+        .arg(member.to_string())
+        .arg("--white-noise")
+        .arg(manifest.white_noise.to_string())
+        .arg("--base-seed")
+        .arg(manifest.base_seed.to_string());
+    match cli::spawn_with_retry(&mut pert, "pert", Some(member), 3) {
+        Ok(mut child) => match wait_or_cancel(&mut child, pool) {
+            Some(0) => {
+                let mut pemodel = Command::new(sibling("pemodel"));
+                pemodel
+                    .arg("--workdir")
+                    .arg(&cfg.workdir)
+                    .arg("--domain")
+                    .arg(&manifest.domain)
+                    .arg("--hours")
+                    .arg(manifest.hours.to_string())
+                    .arg("--member")
+                    .arg(member.to_string())
+                    .arg("--seed")
+                    .arg(spec.seed.to_string());
+                match cli::spawn_with_retry(&mut pemodel, "pemodel", Some(member), 3) {
+                    Ok(mut child) => match wait_or_cancel(&mut child, pool) {
+                        Some(0) => {
+                            // The forecast file is durable (pemodel
+                            // publishes atomically); validate it and
+                            // commit with its CRC fingerprint.
+                            match fileio::vector_file_crc(cfg.workdir.join(files::fc(member))) {
+                                Ok(crc) => publish(0, crc),
+                                Err(e) => {
+                                    eprintln!(
+                                        "esse_worker[{}]: member {member} forecast invalid: {e}",
+                                        cfg.worker_id
+                                    );
+                                    publish(CODE_CORRUPT_FORECAST, 0);
+                                }
+                            }
+                        }
+                        Some(code) => publish(code, 0),
+                        None => published = false, // cancelled mid-run
+                    },
+                    Err(e) => {
+                        eprintln!("esse_worker[{}]: {e}", cfg.worker_id);
+                        publish(CODE_SPAWN_FAILED, 0);
+                    }
+                }
+            }
+            Some(code) => publish(code, 0),
+            None => published = false, // cancelled mid-run
+        },
+        Err(e) => {
+            eprintln!("esse_worker[{}]: {e}", cfg.worker_id);
+            publish(CODE_SPAWN_FAILED, 0);
+        }
+    }
+
+    if let Some((stop, handle)) = heartbeat {
+        stop.store(true, Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    // Release after the publish: the result record is the commit point,
+    // the claim files are just lease bookkeeping.
+    pool.release_claim(&spec).expect("release claim");
+    published
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = cli::parse_args(&argv);
+    let workdir = PathBuf::from(cli::require(&args, "workdir", USAGE));
+    let worker_id: u32 = cli::get_or(&args, "worker-id", 0);
+    let cfg = WorkerConfig {
+        worker_id,
+        poll: Duration::from_millis(cli::get_or(&args, "poll-ms", 25u64).max(1)),
+        idle_exit: args.get("idle-exit-ms").and_then(|v| v.parse().ok()).map(Duration::from_millis),
+        parent_pid: args.get("parent-pid").and_then(|v| v.parse().ok()),
+        plan: {
+            let mut plan = FaultPlan::seeded(cli::get_or(&args, "fault-seed", 0u64));
+            if let Some(k) = args.get("die-after").and_then(|v| v.parse().ok()) {
+                plan = plan.with_worker_death(worker_id as usize, k);
+            }
+            plan
+        },
+        stall_task: args.get("stall-task").and_then(|v| v.parse().ok()),
+        stall: Duration::from_millis(cli::get_or(&args, "stall-ms", 0u64)),
+        workdir,
+    };
+    let wait_pool = Duration::from_millis(cli::get_or(&args, "wait-pool-ms", 30_000u64));
+
+    // The pool may not exist yet (worker started before the master
+    // seeded it — that's allowed, there is no registration step).
+    let t0 = Instant::now();
+    let (pool, manifest) = loop {
+        match TaskPool::open(&cfg.workdir) {
+            Ok(open) => break open,
+            Err(_) if t0.elapsed() < wait_pool => {
+                if !parent_alive(cfg.parent_pid) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => {
+                eprintln!(
+                    "esse_worker[{worker_id}]: no task pool under {}: {e}",
+                    cfg.workdir.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let mut tasks_started = 0usize;
+    let mut tasks_published = 0usize;
+    let mut idle_since: Option<Instant> = None;
+    let mut stalled_once = cfg.stall_task;
+    loop {
+        if pool.shutdown() || pool.cancelled() {
+            break;
+        }
+        if !parent_alive(cfg.parent_pid) {
+            // The coordinator is gone; holding claims would only delay
+            // its successor until the leases expire.
+            break;
+        }
+        let names = pool.pending_names().unwrap_or_default();
+        let mut claimed = None;
+        for name in names {
+            if let Some(spec) = pool.try_claim(&name).expect("claim rename") {
+                claimed = Some(spec);
+                break;
+            }
+        }
+        let Some(spec) = claimed else {
+            let since = *idle_since.get_or_insert_with(Instant::now);
+            if cfg.idle_exit.is_some_and(|d| since.elapsed() >= d) {
+                break;
+            }
+            std::thread::sleep(cfg.poll);
+            continue;
+        };
+        idle_since = None;
+        tasks_started += 1;
+        if cfg.plan.worker_dies(cfg.worker_id as usize, tasks_started) {
+            // Scripted worker death (FaultPlan): die holding the claim,
+            // no cleanup — the lease watchdog must reclaim it.
+            eprintln!(
+                "esse_worker[{}]: injected death on task {tasks_started} (member {})",
+                cfg.worker_id, spec.member
+            );
+            std::process::abort();
+        }
+        let stalled = stalled_once == Some(spec.member);
+        if run_task(&cfg, &pool, &manifest, spec, stalled) {
+            tasks_published += 1;
+        }
+        if stalled {
+            stalled_once = None; // the injection fires once
+        }
+    }
+    println!(
+        "esse_worker[{}]: exiting after {tasks_published}/{tasks_started} task(s) published",
+        cfg.worker_id
+    );
+}

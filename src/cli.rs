@@ -2,8 +2,12 @@
 //! (`pert`, `pemodel`, `esse_master`): argument parsing and the domain
 //! specification both sides must agree on.
 
+use esse_core::error::EsseError;
+use esse_core::model::ForecastError;
 use esse_ocean::{scenario, OceanState, PeModel};
 use std::collections::HashMap;
+use std::process::{Child, Command};
+use std::time::Duration;
 
 /// Parse `--key value` pairs (and bare `--flag`s as `"true"`).
 pub fn parse_args(args: &[String]) -> HashMap<String, String> {
@@ -64,6 +68,38 @@ pub fn build_model(spec: &str) -> Result<(PeModel, OceanState), String> {
     }
 }
 
+/// Spawn `cmd` with a bounded retry: a transient fork/ENOENT failure
+/// (fork bomb pressure, an NFS blip on the executable) is retried with
+/// a short exponential backoff instead of panicking the coordinator.
+/// After `attempts` tries the error is propagated as
+/// [`EsseError::TaskFailed`] so the caller can degrade the run —
+/// `member` names the ensemble member the spawn was for (`None` for
+/// run-level processes such as the central forecast or a worker).
+pub fn spawn_with_retry(
+    cmd: &mut Command,
+    what: &str,
+    member: Option<usize>,
+    attempts: u32,
+) -> Result<Child, EsseError> {
+    let attempts = attempts.max(1);
+    let mut last: Option<std::io::Error> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(10 << (attempt - 1).min(6)));
+        }
+        match cmd.spawn() {
+            Ok(child) => return Ok(child),
+            Err(e) => last = Some(e),
+        }
+    }
+    let why = last.map_or_else(|| "unknown spawn failure".to_string(), |e| e.to_string());
+    Err(EsseError::TaskFailed {
+        member,
+        attempts,
+        source: ForecastError::Injected(format!("spawn {what}: {why}")),
+    })
+}
+
 /// Workflow file names inside a working directory.
 pub mod files {
     /// The mean (analysis/initial) state.
@@ -120,6 +156,27 @@ mod tests {
         assert!(build_model("atlantis:1,2,3").is_err());
         assert!(build_model("monterey:1,2").is_err());
         assert!(build_model("nonsense").is_err());
+    }
+
+    #[test]
+    fn spawn_retry_propagates_task_failed_instead_of_panicking() {
+        let mut cmd = Command::new("/nonexistent/esse-no-such-binary");
+        let err = spawn_with_retry(&mut cmd, "pert", Some(7), 2).unwrap_err();
+        match err {
+            EsseError::TaskFailed { member, attempts, source } => {
+                assert_eq!(member, Some(7));
+                assert_eq!(attempts, 2);
+                assert!(source.to_string().contains("spawn pert"), "{source}");
+            }
+            other => panic!("expected TaskFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn spawn_retry_succeeds_on_a_real_binary() {
+        let mut cmd = Command::new("true");
+        let mut child = spawn_with_retry(&mut cmd, "true", None, 3).unwrap();
+        assert!(child.wait().unwrap().success());
     }
 
     #[test]

@@ -207,6 +207,21 @@ fn corrupt(what: &str, why: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("corrupt ESSE {what} file: {why}"))
 }
 
+/// Validate the vector file at `path` and return its CRC-32 trailer —
+/// the fingerprint a worker publishes in its pool result record so the
+/// coordinator can cross-check that the forecast it ingests is the one
+/// the worker validated. Legacy v1 files have no trailer and report 0.
+pub fn vector_file_crc(path: impl AsRef<Path>) -> io::Result<u32> {
+    let raw = fs::read(path)?;
+    vector_from_bytes(&raw)?;
+    if raw.len() >= 4 && raw[..4] == VEC_MAGIC_V2.to_le_bytes() {
+        let (_, trailer) = raw.split_at(raw.len() - 4);
+        Ok(u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]))
+    } else {
+        Ok(0)
+    }
+}
+
 /// `true` if `err` is the distinct corrupt-file error produced by the
 /// checksum/version validation above (as opposed to "not an ESSE file"
 /// or an ordinary I/O failure). Resume scans use this to decide between
@@ -250,6 +265,19 @@ mod tests {
         let back = read_subspace(&p).unwrap();
         assert_eq!(back.variances, vec![4.0, 1.0]);
         assert_eq!(back.modes, modes);
+    }
+
+    #[test]
+    fn vector_file_crc_matches_trailer_and_rejects_corruption() {
+        let p = tmp("crc");
+        write_vector(&p, &[1.0, 2.5, -3.0]).unwrap();
+        let raw = std::fs::read(&p).unwrap();
+        let trailer = u32::from_le_bytes(raw[raw.len() - 4..].try_into().unwrap());
+        assert_eq!(vector_file_crc(&p).unwrap(), trailer);
+        let mut bad = raw.clone();
+        bad[10] ^= 1;
+        std::fs::write(&p, &bad).unwrap();
+        assert!(vector_file_crc(&p).is_err());
     }
 
     #[test]
