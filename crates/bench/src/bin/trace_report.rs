@@ -22,6 +22,12 @@
 //! is higher-is-better. `--assert-max-regression PCT` exits nonzero if
 //! any baseline metric regressed by more than PCT percent, or vanished
 //! from the trace entirely.
+//!
+//! One committed baseline can pin metrics from *several* trace kinds
+//! (the fault_sweep run, the `pool_bench` transport harness, …).
+//! `--baseline-prefix P` (repeatable) restricts the gate to the
+//! baseline metrics whose names start with any given prefix, so each
+//! CI job checks exactly the slice its trace can produce.
 
 use esse_obs::analyze::RunAnalysis;
 use esse_obs::json::{parse, Value};
@@ -241,6 +247,20 @@ fn render(a: &RunAnalysis, markdown: bool) -> String {
             );
         }
     }
+    if a.net.any() {
+        out.push('\n');
+        out.push_str(&h("net transport"));
+        out.push_str(&format!(
+            "{} connect(s), {} disconnect(s), {} reject(s), {} advisory fence repl(ies)\n",
+            a.net.connects, a.net.disconnects, a.net.rejects, a.net.fenced
+        ));
+        if a.net.connects > a.net.disconnects {
+            out.push_str(&format!(
+                "{} connection(s) still open at trace end\n",
+                a.net.connects - a.net.disconnects
+            ));
+        }
+    }
     if !a.counters.is_empty() {
         out.push('\n');
         out.push_str(&h("final counters"));
@@ -256,12 +276,16 @@ fn main() {
     let mut baseline: Option<PathBuf> = None;
     let mut write_to: Option<PathBuf> = None;
     let mut max_regression: Option<f64> = None;
+    let mut prefixes: Vec<String> = Vec::new();
     let mut markdown = false;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--baseline" => {
                 baseline = Some(PathBuf::from(argv.next().expect("--baseline needs a path")))
+            }
+            "--baseline-prefix" => {
+                prefixes.push(argv.next().expect("--baseline-prefix needs a prefix"))
             }
             "--write-baseline" => {
                 write_to = Some(PathBuf::from(argv.next().expect("--write-baseline needs a path")))
@@ -283,7 +307,8 @@ fn main() {
     let Some(trace_path) = trace_path else {
         eprintln!(
             "usage: trace_report <trace.jsonl> [--markdown] [--baseline B.json] \
-             [--assert-max-regression PCT] [--write-baseline OUT.json]"
+             [--baseline-prefix P]... [--assert-max-regression PCT] \
+             [--write-baseline OUT.json]"
         );
         exit(2);
     };
@@ -312,13 +337,20 @@ fn main() {
     }
 
     if let Some(base_path) = &baseline {
-        let base = match load_baseline(base_path) {
+        let mut base = match load_baseline(base_path) {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("FAIL: baseline {}: {e}", base_path.display());
                 exit(2);
             }
         };
+        if !prefixes.is_empty() {
+            base.retain(|name, _| prefixes.iter().any(|p| name.starts_with(p.as_str())));
+            if base.is_empty() {
+                eprintln!("FAIL: no baseline metric matches --baseline-prefix {prefixes:?}");
+                exit(2);
+            }
+        }
         let limit = max_regression.unwrap_or(f64::INFINITY);
         let mut failed = 0usize;
         println!("\n== baseline comparison vs {} ==", base_path.display());

@@ -26,11 +26,21 @@
 //! * (scenario 3) the fencing-rejected and lease-expired counters are
 //!   both non-zero — the zombie's publish really was rejected.
 //!
+//! With `--transport tcp` the chaos and zombie scenarios run over the
+//! esse-net wire protocol instead of the shared filesystem: the master
+//! opens `--listen 127.0.0.1:0`, the harness reads the bound address
+//! from the pool's endpoint file, and every worker joins with
+//! `--connect` and a private scratch workdir. The reference run stays
+//! on the disk transport, so the bit-identity assertions prove the two
+//! transports produce the same posterior under the same kill schedule
+//! — including the held-open zombie whose stale publish must be fenced
+//! at the coordinator regardless of how it arrived.
+//!
 //! ```text
-//! worker_chaos [--domain D] [--hours H] [--initial N] [--max NMAX]
-//!              [--tolerance T] [--workers W] [--seed S] [--kill-ms MS]
-//!              [--lease-ms MS] [--base-seed S] [--master PATH]
-//!              [--worker PATH] [--artifacts DIR] [--keep]
+//! worker_chaos [--transport disk|tcp] [--domain D] [--hours H]
+//!              [--initial N] [--max NMAX] [--tolerance T] [--workers W]
+//!              [--seed S] [--kill-ms MS] [--lease-ms MS] [--base-seed S]
+//!              [--master PATH] [--worker PATH] [--artifacts DIR] [--keep]
 //! ```
 //!
 //! Exits non-zero on the first violated invariant (CI gate). On failure
@@ -94,6 +104,9 @@ struct ChaosConfig {
     tolerance: f64,
     base_seed: u64,
     lease_ms: u64,
+    /// `true` = workers join over the esse-net TCP transport instead of
+    /// the shared filesystem.
+    tcp: bool,
 }
 
 impl ChaosConfig {
@@ -124,14 +137,47 @@ impl ChaosConfig {
             .arg(workdir.join("pool.trace.jsonl"))
             .stdout(Stdio::null())
             .stderr(Stdio::null());
+        if self.tcp && workers == 0 {
+            // Pure-coordinator scenarios listen for the remote fleet on
+            // an ephemeral port discovered via the endpoint file.
+            cmd.arg("--listen").arg("127.0.0.1:0");
+        }
         cmd
+    }
+
+    /// Block until the coordinator's listener publishes its bound
+    /// address into `pool/endpoint` (TCP transport only).
+    fn wait_endpoint(&self, workdir: &Path) -> String {
+        let path = workdir.join("pool").join("endpoint");
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_secs(30) {
+            if let Ok(raw) = std::fs::read_to_string(&path) {
+                let addr = raw.trim().to_string();
+                if !addr.is_empty() {
+                    return addr;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        eprintln!("FAIL: coordinator never wrote {}", path.display());
+        std::process::exit(2);
     }
 
     fn spawn_worker(&self, workdir: &Path, id: usize, extra: &[String]) -> Child {
         let mut cmd = Command::new(&self.worker);
-        cmd.arg("--workdir")
-            .arg(workdir)
-            .arg("--worker-id")
+        if self.tcp {
+            // Remote worker: no shared filesystem assumptions — inputs
+            // are staged over the wire into a private scratch dir.
+            cmd.arg("--connect")
+                .arg(self.wait_endpoint(workdir))
+                .arg("--scratch")
+                .arg(workdir.join(format!("scratch-w{id}")))
+                .arg("--reconnect-grace-ms")
+                .arg("3000");
+        } else {
+            cmd.arg("--workdir").arg(workdir);
+        }
+        cmd.arg("--worker-id")
             .arg(id.to_string())
             .arg("--poll-ms")
             .arg("5")
@@ -215,6 +261,14 @@ fn main() {
         tolerance: get_or(&args, "tolerance", 0.2),
         base_seed: get_or(&args, "base-seed", 0x5EED),
         lease_ms: get_or(&args, "lease-ms", 400),
+        tcp: match args.get("transport").map(String::as_str).unwrap_or("disk") {
+            "disk" => false,
+            "tcp" => true,
+            other => {
+                eprintln!("FAIL: unknown --transport {other:?} (use disk or tcp)");
+                std::process::exit(2);
+            }
+        },
     };
     let workers: usize = get_or(&args, "workers", 4);
     let seed: u64 = get_or(&args, "seed", 1);
@@ -398,8 +452,9 @@ fn main() {
             let _ = std::fs::remove_dir_all(&root);
         }
         println!(
-            "PASS: chaos + zombie scenarios, every posterior bit-identical to the \
+            "PASS [{}]: chaos + zombie scenarios, every posterior bit-identical to the \
              unkilled reference ({:.1?})",
+            if cfg.tcp { "tcp" } else { "disk" },
             t0.elapsed()
         );
     } else {

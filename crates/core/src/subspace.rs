@@ -6,7 +6,6 @@
 //! that truncation *is* the method.
 
 use esse_linalg::{vecops, Matrix, Svd};
-use serde::{Deserialize, Serialize};
 
 /// Dominant error modes `E` with variances `Λ`.
 #[derive(Debug, Clone)]
@@ -18,7 +17,7 @@ pub struct ErrorSubspace {
 }
 
 /// Compact, serializable summary of a subspace (for experiment records).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SubspaceSummary {
     /// Rank retained.
     pub rank: usize,

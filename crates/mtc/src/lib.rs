@@ -31,6 +31,7 @@ pub mod metrics;
 pub mod pool;
 pub mod staging;
 pub mod task;
+pub mod transport;
 pub mod triple_buffer;
 pub mod workflow;
 
@@ -56,5 +57,6 @@ pub use pool::{
     Heartbeat, LeaseState, LeaseWatch, PoolManifest, PoolScan, ResultRecord, TaskPool, TaskSpec,
 };
 pub use task::{TaskId, TaskOutcome, TaskRecord, TaskState};
+pub use transport::{ClaimOutcome, DiskTransport, PoolTransport, RenewAck, RunState};
 pub use triple_buffer::{DiskTripleBuffer, TripleBuffer};
 pub use workflow::{MtcConfig, MtcConfigBuilder, MtcEsse, MtcOutcome, ReplayState, RunInit};

@@ -28,7 +28,7 @@ pub struct GangReport {
 /// synchronized) onto `cores` slots.
 pub fn pack_gangs(cores: usize, gang_size: usize, jobs: usize, task_s: f64) -> GangReport {
     assert!(gang_size >= 1);
-    let gangs_per_wave = (cores / gang_size).max(0);
+    let gangs_per_wave = cores / gang_size;
     if gangs_per_wave == 0 {
         return GangReport {
             gangs_per_wave: 0,

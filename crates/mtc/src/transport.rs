@@ -1,0 +1,293 @@
+//! The worker-side pool transport abstraction.
+//!
+//! The paper's pull model (§4, Fig. 4) is transport-agnostic: a worker
+//! needs *some* way to claim a task, renew its lease, and publish a
+//! result — the original implementation routed all three through a
+//! shared filesystem, which is exactly the NFS bottleneck §5.2
+//! measures. [`PoolTransport`] extracts that contract so the on-disk
+//! pool ([`DiskTransport`], wrapping [`TaskPool`]) and the TCP protocol
+//! of `esse-net` are interchangeable behind one worker loop, while the
+//! coordinator-side invariants stay where they are:
+//!
+//! * **atomic single-claimer semantics** — every claim, local or
+//!   remote, is arbitrated by the same `pending/ → claimed/` rename on
+//!   the coordinator's filesystem (the TCP server claims *on behalf of*
+//!   its remote worker), so exactly one claimer wins;
+//! * **coordinator-clock leases** — a transport only ferries heartbeat
+//!   counters; expiry is judged by the coordinator's [`LeaseWatch`]
+//!   watching counters advance on its own clock, never by comparing
+//!   cross-host timestamps;
+//! * **monotonic fencing epochs** — results carry the epoch of the
+//!   claim that produced them and the coordinator's epoch check is the
+//!   only authority. A transport-level `Fenced` reply is advisory (it
+//!   lets a zombie stop wasting cycles); the stale record itself still
+//!   lands in `pool/results/` so the coordinator's fencing path — the
+//!   move to `results/stale/`, the metric, the trace event — runs
+//!   unchanged.
+//!
+//! [`LeaseWatch`]: crate::pool::LeaseWatch
+
+use crate::pool::{Heartbeat, PoolManifest, ResultRecord, TaskPool, TaskSpec};
+use std::io;
+use std::path::Path;
+
+/// What a claim attempt produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// A task was claimed; this worker is now the (sole) leaseholder.
+    Task(TaskSpec),
+    /// Nothing claimable right now; poll again later.
+    Idle,
+    /// The run converged — abandon outstanding work and exit.
+    Cancelled,
+    /// The run is complete — exit.
+    Shutdown,
+}
+
+/// Reply to a lease renewal or a publish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenewAck {
+    /// The lease (or result) was accepted.
+    Ok,
+    /// Advisory: the claim is no longer current (requeued at a higher
+    /// epoch, or already decided). The worker should abandon the task;
+    /// the coordinator's own epoch check remains the authority.
+    Fenced,
+}
+
+/// Tombstone state of the run as seen through the transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunState {
+    /// The CANCEL tombstone is present (converged).
+    pub cancelled: bool,
+    /// The SHUTDOWN tombstone is present (run over).
+    pub shutdown: bool,
+}
+
+/// A worker's connection to the task pool — on-disk or over the wire.
+///
+/// Implementations must be usable from two threads at once: the task
+/// loop claims/publishes while the heartbeat thread renews.
+pub trait PoolTransport: Send + Sync {
+    /// The run-wide manifest (the contract every worker executes under).
+    fn manifest(&self) -> &PoolManifest;
+
+    /// Claim the lowest pending task, observing tombstones first.
+    fn claim_next(&self) -> io::Result<ClaimOutcome>;
+
+    /// Renew the lease on a held claim with a strictly increasing
+    /// counter.
+    fn renew_lease(&self, spec: &TaskSpec, hb: &Heartbeat) -> io::Result<RenewAck>;
+
+    /// Publish a result record; the commit point of the task. When
+    /// [`PoolTransport::wants_payload`] is true and the task succeeded,
+    /// `forecast` carries the raw forecast-file bytes to be staged on
+    /// the coordinator's side *before* the record is published.
+    fn publish(&self, rec: &ResultRecord, forecast: Option<&[u8]>) -> io::Result<RenewAck>;
+
+    /// Release a claim after publishing (or abandoning) it.
+    fn release(&self, spec: &TaskSpec) -> io::Result<()>;
+
+    /// Current tombstone state (polled mid-task for cancellation).
+    fn run_state(&self) -> io::Result<RunState>;
+
+    /// Is the coordinator still reachable? `false` means the worker
+    /// should exit rather than hold claims a successor must wait out.
+    fn coordinator_alive(&self) -> bool;
+
+    /// Stage the run inputs (mean + prior) into `workdir` so the
+    /// `pert`/`pemodel` singletons can run there. The disk transport
+    /// shares the coordinator's workdir and needs no staging.
+    fn stage_inputs(&self, workdir: &Path) -> io::Result<()>;
+
+    /// Whether [`PoolTransport::publish`] wants the forecast bytes
+    /// attached (a remote transport must ship them; the disk transport
+    /// already shares the filesystem).
+    fn wants_payload(&self) -> bool;
+
+    /// Human-readable transport description for logs.
+    fn describe(&self) -> String;
+}
+
+/// Liveness of a local coordinator process, judged from `/proc`.
+///
+/// An unreaped zombie still has a `/proc` entry but is dead for our
+/// purposes (its workdir will never be coordinated again): check the
+/// state field of `/proc/PID/stat`, right of the comm field.
+pub fn local_process_alive(pid: u32) -> bool {
+    match std::fs::read_to_string(format!("/proc/{pid}/stat")) {
+        Ok(stat) => {
+            let state = stat.rsplit(')').next().and_then(|rest| rest.trim().chars().next());
+            !matches!(state, Some('Z') | Some('X') | None)
+        }
+        Err(_) => false,
+    }
+}
+
+/// The original shared-filesystem transport: a thin veneer over
+/// [`TaskPool`] plus `/proc` liveness of the spawning coordinator.
+#[derive(Debug)]
+pub struct DiskTransport {
+    pool: TaskPool,
+    manifest: PoolManifest,
+    /// PID of the local coordinator to watch, if any (workers started
+    /// by hand legitimately have no parent to watch).
+    parent_pid: Option<u32>,
+}
+
+impl DiskTransport {
+    /// Wrap an opened pool.
+    pub fn new(pool: TaskPool, manifest: PoolManifest, parent_pid: Option<u32>) -> DiskTransport {
+        DiskTransport { pool, manifest, parent_pid }
+    }
+
+    /// Access the underlying pool (worker-side helpers and tests).
+    pub fn pool(&self) -> &TaskPool {
+        &self.pool
+    }
+}
+
+impl PoolTransport for DiskTransport {
+    fn manifest(&self) -> &PoolManifest {
+        &self.manifest
+    }
+
+    fn claim_next(&self) -> io::Result<ClaimOutcome> {
+        if self.pool.shutdown() {
+            return Ok(ClaimOutcome::Shutdown);
+        }
+        if self.pool.cancelled() {
+            return Ok(ClaimOutcome::Cancelled);
+        }
+        for name in self.pool.pending_names()? {
+            if let Some(spec) = self.pool.try_claim(&name)? {
+                return Ok(ClaimOutcome::Task(spec));
+            }
+        }
+        Ok(ClaimOutcome::Idle)
+    }
+
+    fn renew_lease(&self, spec: &TaskSpec, hb: &Heartbeat) -> io::Result<RenewAck> {
+        self.pool.heartbeat(spec, hb)?;
+        Ok(RenewAck::Ok)
+    }
+
+    fn publish(&self, rec: &ResultRecord, _forecast: Option<&[u8]>) -> io::Result<RenewAck> {
+        // The forecast file is already durable in the shared workdir;
+        // the record is the commit point, fencing is the coordinator's.
+        self.pool.publish_result(rec)?;
+        Ok(RenewAck::Ok)
+    }
+
+    fn release(&self, spec: &TaskSpec) -> io::Result<()> {
+        self.pool.release_claim(spec)
+    }
+
+    fn run_state(&self) -> io::Result<RunState> {
+        Ok(RunState { cancelled: self.pool.cancelled(), shutdown: self.pool.shutdown() })
+    }
+
+    fn coordinator_alive(&self) -> bool {
+        self.parent_pid.is_none_or(local_process_alive)
+    }
+
+    fn stage_inputs(&self, _workdir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn wants_payload(&self) -> bool {
+        false
+    }
+
+    fn describe(&self) -> String {
+        format!("disk:{}", self.pool.root().display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("esse-transport-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn manifest() -> PoolManifest {
+        PoolManifest {
+            domain: "monterey:6,5,4".into(),
+            hours: 1.0,
+            white_noise: 0.0,
+            base_seed: 1,
+            lease_ms: 500,
+            config_hash: 0xFEED,
+        }
+    }
+
+    fn open(dir: &Path) -> DiskTransport {
+        let m = manifest();
+        let pool = TaskPool::create(dir, &m).unwrap();
+        DiskTransport::new(pool, m, None)
+    }
+
+    #[test]
+    fn disk_transport_claims_lowest_pending_first() {
+        let dir = tmpdir("lowest");
+        let t = open(&dir);
+        t.pool().seed(&TaskSpec { member: 5, epoch: 1, seed: 0 }).unwrap();
+        t.pool().seed(&TaskSpec { member: 2, epoch: 1, seed: 0 }).unwrap();
+        match t.claim_next().unwrap() {
+            ClaimOutcome::Task(spec) => assert_eq!(spec.member, 2),
+            other => panic!("expected a task, got {other:?}"),
+        }
+        match t.claim_next().unwrap() {
+            ClaimOutcome::Task(spec) => assert_eq!(spec.member, 5),
+            other => panic!("expected a task, got {other:?}"),
+        }
+        assert_eq!(t.claim_next().unwrap(), ClaimOutcome::Idle);
+    }
+
+    #[test]
+    fn disk_transport_observes_tombstones_before_claiming() {
+        let dir = tmpdir("tomb");
+        let t = open(&dir);
+        t.pool().seed(&TaskSpec { member: 0, epoch: 1, seed: 0 }).unwrap();
+        t.pool().write_cancel().unwrap();
+        assert_eq!(t.claim_next().unwrap(), ClaimOutcome::Cancelled);
+        t.pool().write_shutdown().unwrap();
+        assert_eq!(t.claim_next().unwrap(), ClaimOutcome::Shutdown);
+        let rs = t.run_state().unwrap();
+        assert!(rs.cancelled && rs.shutdown);
+    }
+
+    #[test]
+    fn disk_transport_round_trips_heartbeat_and_result() {
+        let dir = tmpdir("flow");
+        let t = open(&dir);
+        let spec = TaskSpec { member: 0, epoch: 1, seed: 0 };
+        t.pool().seed(&spec).unwrap();
+        let ClaimOutcome::Task(claimed) = t.claim_next().unwrap() else {
+            panic!("claim failed");
+        };
+        assert_eq!(
+            t.renew_lease(&claimed, &Heartbeat { pid: 1, counter: 1 }).unwrap(),
+            RenewAck::Ok
+        );
+        let rec = ResultRecord { member: 0, epoch: 1, code: 0, pid: 1, fc_crc: 7 };
+        assert_eq!(t.publish(&rec, None).unwrap(), RenewAck::Ok);
+        t.release(&claimed).unwrap();
+        let scan = t.pool().scan().unwrap();
+        assert!(scan.claims.is_empty());
+        assert_eq!(scan.results, vec![rec]);
+    }
+
+    #[test]
+    fn liveness_of_self_and_of_an_impossible_pid() {
+        assert!(local_process_alive(std::process::id()));
+        assert!(!local_process_alive(4_194_304_999u32));
+    }
+}

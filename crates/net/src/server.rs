@@ -1,0 +1,458 @@
+//! Coordinator-side listener: proxies remote workers onto the on-disk
+//! pool.
+//!
+//! Each accepted connection gets a thread that executes pool operations
+//! *on the coordinator's local filesystem* on behalf of its remote
+//! worker. That proxy design is what preserves the pool invariants with
+//! zero changes to the master loop:
+//!
+//! * a remote `Claim` performs the same `pending/ → claimed/` atomic
+//!   rename a local worker performs, so local and remote claimers are
+//!   arbitrated by one mechanism and exactly one wins;
+//! * a remote `Renew` writes the same heartbeat file, and expiry is
+//!   still judged by the master's [`LeaseWatch`] on the master's clock;
+//! * a remote result stream stages the forecast bytes into the workdir
+//!   *before* publishing the result record — the record remains the
+//!   commit point — and a stream arriving after the claim was fenced
+//!   (requeued under a higher epoch) skips the stage but still
+//!   publishes the record, so the master's authoritative epoch check
+//!   rejects it through the normal stale path (marker file, metric,
+//!   trace event). The `Fenced` reply to the zombie is advisory.
+//!
+//! [`LeaseWatch`]: esse_mtc::pool::LeaseWatch
+
+use crate::frame::write_frame;
+use crate::msg::{Message, PROTO_VERSION};
+use crate::names;
+use esse_core::durable::atomic_write;
+use esse_mtc::pool::{PoolManifest, TaskPool, TaskSpec, CLAIMED_DIR};
+use esse_obs::recorder::{Recorder, RecorderExt};
+use esse_obs::registry::{Counter, MetricsRegistry};
+use esse_obs::Lane;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Name of the endpoint-discovery file written under the pool root.
+///
+/// Local tooling (tests, `worker_chaos`, two-host quickstarts with a
+/// shared filesystem) reads the bound address from here instead of
+/// parsing coordinator stdout.
+pub const ENDPOINT_FILE: &str = "endpoint";
+
+/// Hard cap on a single streamed result payload (sum of `Data` chunks).
+const MAX_PAYLOAD: u64 = 256 * 1024 * 1024;
+
+/// Counter handles for the `esse_net_*` metric family.
+///
+/// Handles are `Arc`-backed clones into the coordinator's
+/// [`MetricsRegistry`], so server threads bump the same counters the
+/// master exports to `metrics.prom`.
+#[derive(Clone)]
+pub struct NetMetrics {
+    /// Connections accepted (`esse_net_connections_total`).
+    pub connections: Counter,
+    /// Connections closed, any cause (`esse_net_disconnects_total`).
+    pub disconnects: Counter,
+    /// Handshakes refused (`esse_net_rejects_total`).
+    pub rejects: Counter,
+    /// Tasks claimed over the wire (`esse_net_claims_total`).
+    pub claims: Counter,
+    /// Result records published over the wire (`esse_net_results_total`).
+    pub results: Counter,
+    /// Advisory fenced replies sent (`esse_net_fenced_total`).
+    pub fenced: Counter,
+    /// Payload bytes streamed into the workdir
+    /// (`esse_net_bytes_streamed_total`).
+    pub bytes_streamed: Counter,
+}
+
+impl NetMetrics {
+    /// Register (or re-attach to) the `esse_net_*` family in `reg`.
+    pub fn from_registry(reg: &MetricsRegistry) -> NetMetrics {
+        NetMetrics {
+            connections: reg.counter("esse_net_connections_total"),
+            disconnects: reg.counter("esse_net_disconnects_total"),
+            rejects: reg.counter("esse_net_rejects_total"),
+            claims: reg.counter("esse_net_claims_total"),
+            results: reg.counter("esse_net_results_total"),
+            fenced: reg.counter("esse_net_fenced_total"),
+            bytes_streamed: reg.counter("esse_net_bytes_streamed_total"),
+        }
+    }
+
+    /// Standalone counters not attached to any registry (tests,
+    /// benches).
+    pub fn detached() -> NetMetrics {
+        NetMetrics::from_registry(&MetricsRegistry::new())
+    }
+}
+
+/// Everything a listener needs to serve a run.
+pub struct ServerConfig {
+    /// The coordinator's local pool (shared with the master loop).
+    pub pool: TaskPool,
+    /// The run manifest echoed to workers in `Welcome`.
+    pub manifest: PoolManifest,
+    /// The run workdir: source of `mean.vec`/`prior.sub` staging bytes
+    /// and destination of streamed forecast files.
+    pub workdir: PathBuf,
+    /// Listen address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub listen: String,
+    /// `esse_net_*` counters.
+    pub metrics: NetMetrics,
+    /// Trace sink for connection/fencing events.
+    pub recorder: Arc<dyn Recorder + Send + Sync>,
+}
+
+/// A running listener; dropping it without [`NetServer::stop`] leaves
+/// the accept thread running until process exit.
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind, write the endpoint file, and start accepting workers.
+    pub fn start(cfg: ServerConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        atomic_write(cfg.pool.root().join(ENDPOINT_FILE), format!("{addr}\n").as_bytes())?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let shared = Arc::new(cfg);
+        let accept_thread = thread::Builder::new()
+            .name("esse-net-accept".into())
+            .spawn(move || accept_loop(listener, shared, accept_stop))
+            .expect("spawn accept thread");
+        Ok(NetServer { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread. Connection threads
+    /// notice the flag at their next read timeout and drain out.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(listener: TcpListener, cfg: Arc<ServerConfig>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let cfg = Arc::clone(&cfg);
+                let stop = Arc::clone(&stop);
+                let _ =
+                    thread::Builder::new().name(format!("esse-net-conn-{peer}")).spawn(move || {
+                        cfg.metrics.connections.inc();
+                        let outcome = serve_connection(stream, &cfg, &stop);
+                        cfg.metrics.disconnects.inc();
+                        if cfg.recorder.enabled() {
+                            cfg.recorder.instant_at(
+                                cfg.recorder.now_ns(),
+                                Lane::Coordinator,
+                                "net",
+                                "net_disconnect",
+                                vec![("clean", esse_obs::ArgValue::Bool(outcome.is_ok()))],
+                            );
+                        }
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Read the frame header + body, tolerating read timeouts so the
+/// connection thread can observe the stop flag while idle. Returns
+/// `Ok(None)` when the server is stopping and no frame is in flight.
+fn read_frame_or_stop(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match read_exact_patient(stream, &mut header, stop, true)? {
+        ReadOutcome::Stopped => return Ok(None),
+        ReadOutcome::Done => {}
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > crate::frame::MAX_FRAME {
+        return Err(crate::frame::FrameError::TooLarge { advertised: len }.into());
+    }
+    if len == 0 {
+        return Err(crate::frame::FrameError::Empty.into());
+    }
+    let mut rest = vec![0u8; len + 4];
+    match read_exact_patient(stream, &mut rest, stop, false)? {
+        ReadOutcome::Stopped => return Ok(None),
+        ReadOutcome::Done => {}
+    }
+    let (body, trailer) = rest.split_at(len);
+    let expected = u32::from_le_bytes(trailer.try_into().unwrap());
+    let actual = esse_core::durable::crc32(body);
+    if expected != actual {
+        return Err(crate::frame::FrameError::Corrupt { expected, actual }.into());
+    }
+    Ok(Some(body.to_vec()))
+}
+
+enum ReadOutcome {
+    Done,
+    Stopped,
+}
+
+/// `read_exact` across read timeouts. When `idle_ok` and no byte has
+/// arrived yet, a stop request wins; once a frame is partially read we
+/// keep going so framing is never lost mid-message.
+fn read_exact_patient(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    idle_ok: bool,
+) -> io::Result<ReadOutcome> {
+    let mut filled = 0usize;
+    let mut stop_strikes = 0u32;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed"));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    if filled == 0 && idle_ok {
+                        return Ok(ReadOutcome::Stopped);
+                    }
+                    stop_strikes += 1;
+                    if stop_strikes >= 4 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "stopping with a frame in flight",
+                        ));
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Done)
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    cfg: &ServerConfig,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true).ok();
+
+    // Handshake first: anything else on a fresh connection is a
+    // protocol violation and drops it.
+    let Some(body) = read_frame_or_stop(&mut stream, stop)? else {
+        return Ok(());
+    };
+    let worker_id = match Message::decode(&body)? {
+        Message::Hello { proto, worker_id, pid: _, config_hash } => {
+            let refusal = if proto != PROTO_VERSION {
+                Some(format!("protocol {proto} unsupported (want {PROTO_VERSION})"))
+            } else if config_hash != 0 && config_hash != cfg.manifest.config_hash {
+                Some(format!(
+                    "config hash mismatch: worker {:#x}, run {:#x}",
+                    config_hash, cfg.manifest.config_hash
+                ))
+            } else {
+                None
+            };
+            if let Some(reason) = refusal {
+                cfg.metrics.rejects.inc();
+                net_instant(cfg, "net_reject", worker_id);
+                write_frame(&mut stream, &Message::Reject { reason }.encode())?;
+                return Ok(());
+            }
+            let mean = std::fs::read(cfg.workdir.join(names::MEAN))?;
+            let prior = std::fs::read(cfg.workdir.join(names::PRIOR))?;
+            net_instant(cfg, "net_connect", worker_id);
+            write_frame(
+                &mut stream,
+                &Message::Welcome { manifest: cfg.manifest.clone(), mean, prior }.encode(),
+            )?;
+            worker_id
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected hello, got {}", other.name()),
+            ));
+        }
+    };
+
+    loop {
+        let Some(body) = read_frame_or_stop(&mut stream, stop)? else {
+            return Ok(());
+        };
+        // A stopping server answers no further requests — dropping the
+        // connection pushes the worker into its reconnect grace.
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let reply = match Message::decode(&body)? {
+            Message::Claim => handle_claim(cfg)?,
+            Message::Renew { spec, hb } => {
+                if claim_is_current(&cfg.pool, &spec) {
+                    cfg.pool.heartbeat(&spec, &hb)?;
+                    Message::RenewOk
+                } else {
+                    cfg.metrics.fenced.inc();
+                    net_instant(cfg, "net_fenced", spec.member);
+                    Message::Fenced
+                }
+            }
+            Message::Result { rec, payload_len } => {
+                if payload_len > MAX_PAYLOAD {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("result payload of {payload_len} bytes exceeds cap"),
+                    ));
+                }
+                let payload = read_result_stream(&mut stream, stop, payload_len)?;
+                let spec = TaskSpec { member: rec.member, epoch: rec.epoch, seed: 0 };
+                if claim_is_current(&cfg.pool, &spec) {
+                    // Stage the forecast before publishing: the record
+                    // is the commit point, and the master validates the
+                    // file's CRC against rec.fc_crc on ingest.
+                    if !payload.is_empty() {
+                        atomic_write(cfg.workdir.join(names::fc(rec.member)), &payload)?;
+                        cfg.metrics.bytes_streamed.add(payload.len() as u64);
+                    }
+                    cfg.pool.publish_result(&rec)?;
+                    cfg.metrics.results.inc();
+                    Message::ResultAck
+                } else {
+                    // Fenced: skip the stage, publish the record anyway
+                    // so the master's authoritative epoch check rejects
+                    // it through the normal stale path.
+                    cfg.pool.publish_result(&rec)?;
+                    cfg.metrics.fenced.inc();
+                    net_instant(cfg, "net_fenced", rec.member);
+                    Message::Fenced
+                }
+            }
+            Message::Release { spec } => {
+                cfg.pool.release_claim(&spec)?;
+                Message::ReleaseAck
+            }
+            Message::Query => {
+                Message::RunInfo { cancelled: cfg.pool.cancelled(), shutdown: cfg.pool.shutdown() }
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected {} from worker {worker_id}", other.name()),
+                ));
+            }
+        };
+        write_frame(&mut stream, &reply.encode())?;
+    }
+}
+
+fn handle_claim(cfg: &ServerConfig) -> io::Result<Message> {
+    if cfg.pool.shutdown() {
+        return Ok(Message::Shutdown);
+    }
+    if cfg.pool.cancelled() {
+        return Ok(Message::Cancelled);
+    }
+    for name in cfg.pool.pending_names()? {
+        if let Some(spec) = cfg.pool.try_claim(&name)? {
+            cfg.metrics.claims.inc();
+            return Ok(Message::Task { spec });
+        }
+    }
+    Ok(Message::Idle)
+}
+
+/// A claim is current while its claim file exists; requeue under a
+/// higher epoch removes it.
+fn claim_is_current(pool: &TaskPool, spec: &TaskSpec) -> bool {
+    pool.root().join(CLAIMED_DIR).join(spec.file_name()).exists()
+}
+
+fn read_result_stream(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+    payload_len: u64,
+) -> io::Result<Vec<u8>> {
+    let mut payload = Vec::with_capacity(payload_len.min(crate::frame::MAX_FRAME as u64) as usize);
+    loop {
+        let Some(body) = read_frame_or_stop(stream, stop)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "server stopping mid result stream",
+            ));
+        };
+        match Message::decode(&body)? {
+            Message::Data { chunk } => {
+                payload.extend_from_slice(&chunk);
+                if payload.len() as u64 > payload_len {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("result stream overran its declared {payload_len} bytes"),
+                    ));
+                }
+            }
+            Message::ResultEnd => {
+                if payload.len() as u64 != payload_len {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "result stream ended at {} of {payload_len} declared bytes",
+                            payload.len()
+                        ),
+                    ));
+                }
+                return Ok(payload);
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected data/result_end, got {}", other.name()),
+                ));
+            }
+        }
+    }
+}
+
+fn net_instant(cfg: &ServerConfig, name: &'static str, worker: u64) {
+    if cfg.recorder.enabled() {
+        cfg.recorder.instant_at(
+            cfg.recorder.now_ns(),
+            Lane::Coordinator,
+            "net",
+            name,
+            vec![("worker", esse_obs::ArgValue::U64(worker))],
+        );
+    }
+}

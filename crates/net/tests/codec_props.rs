@@ -1,0 +1,208 @@
+//! Hand-rolled property tests for the wire codec: random bodies and
+//! messages must round-trip exactly, and every way a frame can be
+//! damaged — truncation at any byte, any single bit flip, an oversized
+//! length prefix — must surface as a distinct decode error, never as a
+//! silently wrong body.
+
+use esse_mtc::pool::{Heartbeat, PoolManifest, ResultRecord, TaskSpec};
+use esse_net::frame::{self, FrameError, FRAME_OVERHEAD, MAX_FRAME};
+use esse_net::msg::{Message, PROTO_VERSION};
+
+/// xorshift64* — deterministic, dependency-free case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
+const CASES: u64 = 64;
+
+#[test]
+fn random_bodies_roundtrip_exactly() {
+    let mut rng = Rng::new(0xC0DEC);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(4096) as usize;
+        let body = rng.bytes(n);
+        let wire = frame::encode(&body);
+        assert_eq!(wire.len(), body.len() + FRAME_OVERHEAD);
+        let (decoded, consumed) = frame::decode(&wire).expect("clean frame decodes");
+        assert_eq!(decoded, body);
+        assert_eq!(consumed, wire.len());
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_is_reported_as_truncated() {
+    let mut rng = Rng::new(0x7A11);
+    for _ in 0..8 {
+        let n = 1 + rng.below(256) as usize;
+        let body = rng.bytes(n);
+        let wire = frame::encode(&body);
+        for cut in 0..wire.len() {
+            match frame::decode(&wire[..cut]) {
+                Err(FrameError::Truncated { needed, have }) => {
+                    assert_eq!(have, cut);
+                    assert!(needed > cut, "needed {needed} should exceed cut {cut}");
+                }
+                other => panic!("cut {cut}/{}: expected Truncated, got {other:?}", wire.len()),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_detected() {
+    let mut rng = Rng::new(0xB17F);
+    for _ in 0..4 {
+        let n = 1 + rng.below(128) as usize;
+        let body = rng.bytes(n);
+        let wire = frame::encode(&body);
+        for byte in 0..wire.len() {
+            for bit in 0..8 {
+                let mut bad = wire.clone();
+                bad[byte] ^= 1 << bit;
+                match frame::decode(&bad) {
+                    // A flip in the body or trailer must be a CRC
+                    // mismatch; a flip in the length prefix may also
+                    // resize the frame into truncation or the cap.
+                    Err(
+                        FrameError::Corrupt { .. }
+                        | FrameError::Truncated { .. }
+                        | FrameError::TooLarge { .. }
+                        | FrameError::Empty,
+                    ) => {}
+                    Ok((decoded, _)) => panic!(
+                        "bit {bit} of byte {byte} flipped and the frame still decoded \
+                         ({} bytes)",
+                        decoded.len()
+                    ),
+                }
+                if byte >= 4 {
+                    // Past the length prefix the error is specifically
+                    // frame corruption, the distinct CRC error.
+                    assert!(
+                        matches!(frame::decode(&bad), Err(FrameError::Corrupt { .. })),
+                        "flip in body/trailer byte {byte} was not reported as Corrupt"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefixes_are_rejected_without_allocation() {
+    let mut rng = Rng::new(0x0BE5E);
+    for _ in 0..CASES {
+        let advertised = MAX_FRAME as u64 + 1 + rng.below(u32::MAX as u64 - MAX_FRAME as u64 - 1);
+        let mut wire = (advertised as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&rng.bytes(32));
+        match frame::decode(&wire) {
+            Err(FrameError::TooLarge { advertised: got }) => {
+                assert_eq!(got, advertised as usize);
+            }
+            other => panic!("advertised {advertised}: expected TooLarge, got {other:?}"),
+        }
+    }
+}
+
+fn random_message(rng: &mut Rng) -> Message {
+    let spec =
+        TaskSpec { member: rng.below(1 << 20), epoch: rng.below(99_999) as u32, seed: rng.next() };
+    match rng.below(12) {
+        0 => Message::Hello {
+            proto: PROTO_VERSION,
+            worker_id: rng.next(),
+            pid: rng.next() as u32,
+            config_hash: rng.next(),
+        },
+        1 => Message::Welcome {
+            manifest: PoolManifest {
+                domain: format!(
+                    "monterey:{},{},{}",
+                    1 + rng.below(40),
+                    1 + rng.below(40),
+                    1 + rng.below(8)
+                ),
+                hours: rng.below(100) as f64 / 4.0,
+                white_noise: rng.below(1000) as f64 / 1e4,
+                base_seed: rng.next(),
+                lease_ms: rng.below(10_000),
+                config_hash: rng.next(),
+            },
+            mean: {
+                let n = rng.below(512) as usize;
+                rng.bytes(n)
+            },
+            prior: {
+                let n = rng.below(512) as usize;
+                rng.bytes(n)
+            },
+        },
+        2 => Message::Reject { reason: format!("reason-{}", rng.next()) },
+        3 => Message::Task { spec },
+        4 => Message::Renew { spec, hb: Heartbeat { pid: rng.next() as u32, counter: rng.next() } },
+        5 => Message::Result {
+            rec: ResultRecord {
+                member: rng.below(1 << 20),
+                epoch: rng.below(99_999) as u32,
+                code: rng.next() as i32,
+                pid: rng.next() as u32,
+                fc_crc: rng.next() as u32,
+            },
+            payload_len: rng.next(),
+        },
+        6 => Message::Data {
+            chunk: {
+                let n = rng.below(1024) as usize;
+                rng.bytes(n)
+            },
+        },
+        7 => Message::Release { spec },
+        8 => Message::RunInfo { cancelled: rng.below(2) == 1, shutdown: rng.below(2) == 1 },
+        9 => Message::Claim,
+        10 => Message::Idle,
+        _ => Message::Fenced,
+    }
+}
+
+#[test]
+fn random_messages_survive_the_full_frame_pipeline() {
+    let mut rng = Rng::new(0x5EED);
+    for _ in 0..CASES * 4 {
+        let msg = random_message(&mut rng);
+        let wire = frame::encode(&msg.encode());
+        let (body, _) = frame::decode(&wire).expect("framed message decodes");
+        assert_eq!(Message::decode(&body).expect("message decodes"), msg);
+    }
+}
+
+#[test]
+fn truncated_messages_never_decode() {
+    let mut rng = Rng::new(0xDEAD);
+    for _ in 0..CASES {
+        let body = random_message(&mut rng).encode();
+        for cut in 0..body.len() {
+            assert!(Message::decode(&body[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+}

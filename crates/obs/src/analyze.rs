@@ -284,6 +284,7 @@ impl LoadedTrace {
             task_count: spans.iter().filter(|s| s.cat == "task").count(),
             resumed_members: resumed_members(&self.events),
             pool: pool_events(&self.events),
+            net: net_events(&self.events),
         }
     }
 }
@@ -674,6 +675,46 @@ impl PoolEvents {
     }
 }
 
+/// Connection and fencing event counts from the coordinator's
+/// `net`-category instants — the transport health summary of a run
+/// served over the esse-net TCP protocol.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetEvents {
+    /// Remote workers whose handshake was accepted.
+    pub connects: u64,
+    /// Connections closed for any reason (worker exit, kill, reconnect).
+    pub disconnects: u64,
+    /// Handshakes refused (protocol or config-hash mismatch).
+    pub rejects: u64,
+    /// Advisory `Fenced` replies sent to workers holding a stale claim.
+    pub fenced: u64,
+}
+
+impl NetEvents {
+    /// Did the trace carry any net events at all? (A disk-transport or
+    /// serial run reports nothing rather than a row of zeros.)
+    pub fn any(&self) -> bool {
+        self.connects + self.disconnects + self.rejects + self.fenced > 0
+    }
+}
+
+fn net_events(events: &[LoadedEvent]) -> NetEvents {
+    let mut n = NetEvents::default();
+    for e in events {
+        if e.kind != LoadedKind::Instant || e.cat != "net" {
+            continue;
+        }
+        match e.name.as_str() {
+            "net_connect" => n.connects += 1,
+            "net_disconnect" => n.disconnects += 1,
+            "net_reject" => n.rejects += 1,
+            "net_fenced" => n.fenced += 1,
+            _ => {}
+        }
+    }
+    n
+}
+
 fn pool_events(events: &[LoadedEvent]) -> PoolEvents {
     let mut p = PoolEvents::default();
     for e in events {
@@ -731,6 +772,9 @@ pub struct RunAnalysis {
     /// Task-pool lease/fencing event counts (all zero for traces
     /// predating the decoupled pool).
     pub pool: PoolEvents,
+    /// TCP-transport connection/fencing event counts (all zero for
+    /// disk-transport runs).
+    pub net: NetEvents,
 }
 
 impl RunAnalysis {
@@ -937,6 +981,28 @@ mod tests {
         assert_eq!(a.pool.workers_spawned, 0);
         // A pool-free trace reports nothing.
         assert!(!paired_trace().analyze().pool.any());
+    }
+
+    #[test]
+    fn net_events_rollup_counts_connection_lifecycle() {
+        let rec = RingRecorder::new();
+        let net_instant = |t: u64, name: &'static str, w: u64| {
+            rec.instant_at(t, Lane::Coordinator, "net", name, vec![("worker", w.into())]);
+        };
+        net_instant(0, "net_connect", 0);
+        net_instant(1, "net_connect", 1);
+        net_instant(2, "net_reject", 2);
+        net_instant(3, "net_fenced", 0);
+        net_instant(4, "net_disconnect", 1);
+        net_instant(5, "net_connect", 1); // the reconnect after grace
+        let a = LoadedTrace::from_trace(&rec.drain()).analyze();
+        assert!(a.net.any());
+        assert_eq!(a.net.connects, 3);
+        assert_eq!(a.net.disconnects, 1);
+        assert_eq!(a.net.rejects, 1);
+        assert_eq!(a.net.fenced, 1);
+        // A disk-transport trace reports nothing.
+        assert!(!paired_trace().analyze().net.any());
     }
 
     #[test]

@@ -1,11 +1,48 @@
 //! Property tests for the exporters: any recorded event sequence must
 //! produce balanced begin/end span pairs, monotone non-negative
 //! timestamps, valid JSON on every JSONL line, and a parseable Chrome
-//! trace array.
+//! trace array. Hand-rolled seeded sweeps (like `analytics_props.rs`)
+//! rather than proptest, so they run identically offline.
 
 use esse_obs::json::validate;
 use esse_obs::{export, EventKind, Lane, Recorder, RecorderExt, RingRecorder};
-use proptest::prelude::*;
+
+/// xorshift64* — deterministic, dependency-free sample source.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn f64_sample(&mut self) -> f64 {
+        // Mix ordinary magnitudes with the awkward values proptest's
+        // f64::ANY would produce: NaN, infinities, huge, denormal-ish.
+        match self.below(8) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 1e300,
+            4 => -1e-300,
+            5 => 0.0,
+            _ => (self.next() as f64 / u64::MAX as f64 - 0.5) * 2e6,
+        }
+    }
+    fn short_text(&mut self) -> String {
+        let len = self.below(13) as usize;
+        (0..len).map(|_| (b'a' + self.below(26) as u8) as char).collect()
+    }
+}
 
 /// One scripted recording action on a lane.
 #[derive(Debug, Clone)]
@@ -20,20 +57,23 @@ enum Op {
 const SPAN_NAMES: [&str; 4] = ["member", "svd", "read", "stage"];
 const MARK_NAMES: [&str; 3] = ["converged", "deadline_expired", "cancelled"];
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..SPAN_NAMES.len()).prop_map(|i| Op::Open(SPAN_NAMES[i])),
-        Just(Op::Close),
-        ((0..MARK_NAMES.len()), ".{0,12}").prop_map(|(i, s)| Op::Instant(MARK_NAMES[i], s)),
-        (0..MARK_NAMES.len(), proptest::num::f64::ANY)
-            .prop_map(|(i, v)| Op::Counter(MARK_NAMES[i], v)),
-        (0..SPAN_NAMES.len(), 0u64..u64::MAX / 2).prop_map(|(i, v)| Op::Observe(SPAN_NAMES[i], v)),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.below(5) {
+        0 => Op::Open(SPAN_NAMES[rng.below(SPAN_NAMES.len() as u64) as usize]),
+        1 => Op::Close,
+        2 => Op::Instant(MARK_NAMES[rng.below(MARK_NAMES.len() as u64) as usize], rng.short_text()),
+        3 => Op::Counter(MARK_NAMES[rng.below(MARK_NAMES.len() as u64) as usize], rng.f64_sample()),
+        _ => Op::Observe(
+            SPAN_NAMES[rng.below(SPAN_NAMES.len() as u64) as usize],
+            rng.below(u64::MAX / 2),
+        ),
+    }
 }
 
 /// A script: per-step (lane index, op, time increment).
-fn script_strategy() -> impl Strategy<Value = Vec<(u8, Op, u64)>> {
-    proptest::collection::vec((0u8..6, op_strategy(), 0u64..10_000), 0..200)
+fn random_script(rng: &mut Rng) -> Vec<(u8, Op, u64)> {
+    let len = rng.below(200) as usize;
+    (0..len).map(|_| (rng.below(6) as u8, random_op(rng), rng.below(10_000))).collect()
 }
 
 fn lane_of(idx: u8) -> Lane {
@@ -79,11 +119,11 @@ fn replay(rec: &RingRecorder, script: &[(u8, Op, u64)]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn recorded_sequences_export_cleanly(script in script_strategy()) {
+#[test]
+fn recorded_sequences_export_cleanly() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(0xE4_0000 + seed);
+        let script = random_script(&mut rng);
         let rec = RingRecorder::new();
         replay(&rec, &script);
         let trace = rec.drain();
@@ -92,42 +132,52 @@ proptest! {
         trace.check_well_formed().expect("well-formed trace");
         let begins = trace.events.iter().filter(|e| e.kind == EventKind::Begin).count();
         let ends = trace.events.iter().filter(|e| e.kind == EventKind::End).count();
-        prop_assert_eq!(begins, ends);
-        prop_assert_eq!(trace.spans().len(), begins);
+        assert_eq!(begins, ends, "seed {seed}");
+        assert_eq!(trace.spans().len(), begins, "seed {seed}");
         for w in trace.events.windows(2) {
-            prop_assert!(w[0].ts_ns <= w[1].ts_ns, "sorted timestamps");
+            assert!(w[0].ts_ns <= w[1].ts_ns, "seed {seed}: sorted timestamps");
         }
         for s in trace.spans() {
-            prop_assert!(s.end_ns >= s.start_ns);
+            assert!(s.end_ns >= s.start_ns, "seed {seed}");
         }
 
         // Every JSONL line is valid JSON on its own.
         let jsonl = export::jsonl_string(&trace);
         for line in jsonl.lines() {
-            validate(line).map_err(|e| TestCaseError::fail(format!("jsonl: {e}: {line}")))?;
+            validate(line).unwrap_or_else(|e| panic!("seed {seed}: jsonl: {e}: {line}"));
         }
         // meta + events + histograms lines, nothing silently dropped.
-        prop_assert_eq!(
+        assert_eq!(
             jsonl.lines().count(),
-            1 + trace.events.len() + trace.histograms.len()
+            1 + trace.events.len() + trace.histograms.len(),
+            "seed {seed}"
         );
 
         // The Chrome trace is one parseable JSON array.
         let chrome = export::chrome_trace_string(&trace);
-        validate(&chrome).map_err(|e| TestCaseError::fail(format!("chrome: {e}")))?;
-        prop_assert!(chrome.trim_start().starts_with('['));
-        prop_assert!(chrome.trim_end().ends_with(']'));
+        validate(&chrome).unwrap_or_else(|e| panic!("seed {seed}: chrome: {e}"));
+        assert!(chrome.trim_start().starts_with('['), "seed {seed}");
+        assert!(chrome.trim_end().ends_with(']'), "seed {seed}");
     }
+}
 
-    #[test]
-    fn utilization_is_a_fraction(script in script_strategy(), window in 1u64..100_000) {
+#[test]
+fn utilization_is_a_fraction() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(0x07_1000 + seed);
+        let script = random_script(&mut rng);
+        let window = 1 + rng.below(100_000);
         let rec = RingRecorder::new();
         replay(&rec, &script);
         let trace = rec.drain();
         for s in esse_obs::timeline::utilization_of(&trace, window, None) {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&s.busy_fraction), "{}", s.busy_fraction);
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&s.busy_fraction),
+                "seed {seed}: {}",
+                s.busy_fraction
+            );
         }
         let mean = esse_obs::timeline::mean_utilization(&trace, None);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&mean));
+        assert!((0.0..=1.0 + 1e-9).contains(&mean), "seed {seed}: {mean}");
     }
 }

@@ -4,10 +4,8 @@
 //! horizontal level is contiguous — vertical level extraction (the
 //! "30 m temperature" maps of paper Fig. 6) is a slice copy.
 
-use serde::{Deserialize, Serialize};
-
 /// A 2-D horizontal field (`nx × ny`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Field2 {
     nx: usize,
     ny: usize,
@@ -95,7 +93,7 @@ impl Field2 {
 }
 
 /// A 3-D field (`nx × ny × nz`), level-major.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Field3 {
     nx: usize,
     ny: usize,

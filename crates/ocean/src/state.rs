@@ -7,10 +7,9 @@
 
 use crate::field::{Field2, Field3};
 use crate::grid::Grid;
-use serde::{Deserialize, Serialize};
 
 /// Prognostic model state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OceanState {
     /// Eastward velocity (m/s).
     pub u: Field3,

@@ -1,0 +1,229 @@
+//! Vendored stand-in for the subset of the `criterion` bench API used
+//! by `crates/bench/benches/*`, so `cargo bench` works on air-gapped
+//! hosts. No statistics — each benchmark is timed as (best of
+//! `sample_size` samples) × (adaptive iterations per sample) and
+//! printed one line per benchmark. Good enough to spot order-of-
+//! magnitude regressions by eye; the committed regression gate lives
+//! in `trace_report`, not here.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched*` amortises setup cost. The shim runs one setup
+/// per measured batch regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state (setup excluded from timing).
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a displayed parameter.
+    pub fn new<P: Display>(function_id: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_id}/{parameter}") }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Best-sample wall time per iteration, set by the `iter*` calls.
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly; keeps the best sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = calibrate(|| {
+            black_box(routine());
+        });
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+            self.best_ns = self.best_ns.min(ns);
+        }
+    }
+
+    /// Measure `routine` over a value built by `setup` (setup excluded
+    /// from timing; one setup per sample, routine gets `&mut` access).
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.samples.max(1) {
+            let mut input = setup();
+            let t0 = Instant::now();
+            black_box(routine(&mut input));
+            let ns = t0.elapsed().as_nanos() as f64;
+            self.best_ns = self.best_ns.min(ns);
+        }
+    }
+
+    /// Like [`Bencher::iter_batched_ref`] but the routine consumes the
+    /// input by value.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples.max(1) {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let ns = t0.elapsed().as_nanos() as f64;
+            self.best_ns = self.best_ns.min(ns);
+        }
+    }
+}
+
+/// Pick an iteration count that keeps one sample around ~20 ms.
+fn calibrate<F: FnMut()>(mut f: F) -> u64 {
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().max(Duration::from_nanos(50));
+    let target = Duration::from_millis(20);
+    ((target.as_nanos() / once.as_nanos()).clamp(1, 10_000)) as u64
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher { samples: self.samples, best_ns: f64::INFINITY };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id);
+        if b.best_ns.is_finite() {
+            println!("bench {label:<50} {:>14.0} ns/iter", b.best_ns);
+        } else {
+            println!("bench {label:<50} (no measurement)");
+        }
+    }
+
+    /// Run a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run(id, f);
+        self
+    }
+
+    /// Run a parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let owned = id.id.clone();
+        self.run(&owned, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op beyond matching the upstream API).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), samples: 20, _criterion: self }
+    }
+
+    /// Run a stand-alone named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup { name: "crit".into(), samples: 20, _criterion: self };
+        g.run(id, f);
+        self
+    }
+}
+
+/// Define a bench group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define the bench `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; this
+            // shim has no filtering, so arguments are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_benchmark_and_finishes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut runs = 0;
+        group.bench_function("counts", |b| {
+            runs += 1;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn batched_ref_runs_setup_per_sample() {
+        let mut b = Bencher { samples: 3, best_ns: f64::INFINITY };
+        let mut setups = 0;
+        b.iter_batched_ref(
+            || {
+                setups += 1;
+                vec![0u8; 16]
+            },
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(setups, 3);
+        assert!(b.best_ns.is_finite());
+    }
+}

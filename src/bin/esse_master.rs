@@ -86,7 +86,7 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "esse_master --workdir DIR --domain monterey:NX,NY,NZ --hours H \
                      [--initial N] [--max NMAX] [--tolerance T] [--workers C] \
                      [--lease-ms MS] [--task-attempts A] [--requeue-budget B] \
-                     [--resume | --force]";
+                     [--listen ADDR] [--resume | --force]";
 
 /// Journal file name inside the workdir.
 const JOURNAL: &str = "run.journal";
@@ -267,6 +267,10 @@ fn main() {
     let crash_after: Option<u64> = args.get("crash-after-appends").and_then(|v| v.parse().ok());
     let trace_out = args.get("trace-out").map(PathBuf::from);
     let metrics_out = args.get("metrics-out").map(PathBuf::from);
+    // `--listen 127.0.0.1:0` (port 0 = ephemeral) opens the esse-net
+    // listener: remote workers join the same pool over TCP, multiplexed
+    // alongside the local `--workers` fleet.
+    let listen = args.get("listen").cloned();
 
     // The run identity: everything that shapes the numerical result.
     // Only the knobs that change member *content* are fingerprinted:
@@ -370,8 +374,10 @@ fn main() {
     }
 
     // --- Observability: trace ring + metrics registry. ---
-    let ring = RingRecorder::new();
-    let rec: &dyn Recorder = if trace_out.is_some() { &ring } else { &NULL };
+    // The ring is Arc-shared because esse-net connection threads record
+    // into it alongside the coordinator loop.
+    let ring = std::sync::Arc::new(RingRecorder::new());
+    let rec: &dyn Recorder = if trace_out.is_some() { ring.as_ref() } else { &NULL };
     let metrics = MetricsRegistry::new();
     let m_granted = metrics.counter("esse_pool_lease_granted_total");
     let m_renewed = metrics.counter("esse_pool_lease_renewed_total");
@@ -427,20 +433,40 @@ fn main() {
     let central = fileio::read_vector(&central_path).expect("read central");
 
     // --- The task pool: the contract every worker reads. ---
-    let pool = TaskPool::create(
-        &workdir,
-        &PoolManifest {
-            domain: domain.clone(),
-            hours,
-            white_noise,
-            base_seed,
-            lease_ms,
-            config_hash: run_hash,
-        },
-    )
-    .expect("create task pool");
+    let manifest = PoolManifest {
+        domain: domain.clone(),
+        hours,
+        white_noise,
+        base_seed,
+        lease_ms,
+        config_hash: run_hash,
+    };
+    let pool = TaskPool::create(&workdir, &manifest).expect("create task pool");
     // A previous incarnation may have left CANCEL/SHUTDOWN behind.
     pool.clear_tombstones().expect("clear tombstones");
+
+    // --- The esse-net listener: remote workers claim, renew and
+    // publish through per-connection proxy threads against this same
+    // pool, so local and remote claimers are arbitrated by one atomic
+    // rename and the master loop below stays transport-blind. ---
+    let mut net_server = listen.map(|addr| {
+        let recorder: std::sync::Arc<dyn Recorder + Send + Sync> =
+            if trace_out.is_some() { ring.clone() } else { std::sync::Arc::new(NULL) };
+        let server = esse::net::NetServer::start(esse::net::ServerConfig {
+            pool: pool.clone(),
+            manifest: manifest.clone(),
+            workdir: workdir.clone(),
+            listen: addr,
+            metrics: esse::net::NetMetrics::from_registry(&metrics),
+            recorder,
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("esse_master: cannot listen for remote workers: {e}");
+            std::process::exit(2);
+        });
+        println!("esse_master: listening for remote workers on {}", server.local_addr());
+        server
+    });
     // Recover the authoritative fencing-epoch map from the pool dirs.
     let mut epochs: HashMap<u64, u32> = pool.epochs().expect("recover epochs");
 
@@ -847,20 +873,23 @@ fn main() {
     // over, then reap the local fleet. ---
     pool.write_shutdown().expect("write shutdown tombstone");
     let deadline = Instant::now() + Duration::from_secs(10);
-    for entry in fleet.iter_mut() {
-        if let Some(child) = entry {
-            loop {
-                match child.try_wait().expect("reap worker") {
-                    Some(_) => break,
-                    None if Instant::now() >= deadline => {
-                        let _ = child.kill();
-                        let _ = child.wait();
-                        break;
-                    }
-                    None => std::thread::sleep(Duration::from_millis(10)),
+    for child in fleet.iter_mut().flatten() {
+        loop {
+            match child.try_wait().expect("reap worker") {
+                Some(_) => break,
+                None if Instant::now() >= deadline => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
                 }
+                None => std::thread::sleep(Duration::from_millis(10)),
             }
         }
+    }
+    // Remote workers have seen the SHUTDOWN tombstone through their
+    // claim replies by now; close the listener and its connections.
+    if let Some(server) = net_server.as_mut() {
+        server.stop();
     }
 
     // --- Final subspace. When the run converged the posterior is the

@@ -1,50 +1,67 @@
-//! `esse_worker` — an autonomous pull-model worker for the on-disk task
-//! pool (paper Fig. 4, §4).
+//! `esse_worker` — an autonomous pull-model worker for the task pool
+//! (paper Fig. 4, §4).
 //!
 //! The paper's ensemble members ran wherever capacity existed — SGE,
 //! Condor, Teragrid, EC2 — with no registration at the master; workers
-//! simply pulled perturbation/forecast tasks from a shared filesystem.
-//! This binary is that worker: point any number of them at a workdir
-//! (start or kill them at any time) and each one
+//! simply pulled perturbation/forecast tasks from the pool. This binary
+//! is that worker, over either transport:
 //!
-//! 1. claims a pending task by atomic rename (exactly one claimer wins),
-//! 2. renews the claim's lease by publishing a heartbeat file,
+//! * `--workdir DIR` — the original shared-filesystem pool: claims by
+//!   atomic rename, heartbeat files, result records on disk;
+//! * `--connect HOST:PORT` — the `esse-net` TCP protocol: the same
+//!   claims, lease renewals and result publishes proxied through the
+//!   coordinator's listener, with the forecast payload streamed back
+//!   over the wire. The worker stages `mean.vec`/`prior.sub` into a
+//!   private scratch workdir from the `Welcome` handshake, so it needs
+//!   no filesystem in common with the coordinator.
+//!
+//! Either way each worker
+//!
+//! 1. claims a pending task (exactly one claimer wins),
+//! 2. renews the claim's lease with a monotonic heartbeat counter,
 //! 3. runs the real `pert` + `pemodel` singleton chain for the member,
-//! 4. durably publishes a CRC-framed result record carrying the claim's
-//!    fencing epoch — the coordinator rejects it if the lease expired
-//!    and the task was requeued at a higher epoch in the meantime.
+//! 4. publishes a result record carrying the claim's fencing epoch —
+//!    the coordinator rejects it if the lease expired and the task was
+//!    requeued at a higher epoch in the meantime.
 //!
 //! Workers observe the coordinator's `CANCEL` tombstone *mid-run* (the
 //! in-flight `pemodel` child is killed — the paper's task-cancellation
-//! protocol) and exit on `SHUTDOWN`, on the death of `--parent-pid`, or
-//! after `--idle-exit-ms` with nothing to do.
+//! protocol) and exit on `SHUTDOWN`, after `--idle-exit-ms` with
+//! nothing to do, or when the coordinator is gone: death of
+//! `--parent-pid` for local workers, a connection outage longer than
+//! `--reconnect-grace-ms` for remote ones. An orphan exits rather than
+//! hold claims a successor would have to wait out.
 //!
 //! Fault injection for the chaos harness: `--die-after K` aborts the
 //! process the instant it claims its K-th task (routed through
-//! `FaultPlan::worker_dies`, PR 2's scripted worker-death schedule) and
+//! `FaultPlan::worker_dies`, the scripted worker-death schedule) and
 //! `--stall-task M --stall-ms D` suppresses the heartbeat for member
 //! `M` and sleeps `D` ms before running it — long enough for the lease
 //! to expire, so the eventual publish exercises the fencing path.
 //!
 //! ```text
-//! esse_worker --workdir DIR [--worker-id N] [--poll-ms MS]
-//!             [--idle-exit-ms MS] [--parent-pid PID] [--wait-pool-ms MS]
-//!             [--fault-seed S] [--die-after K] [--stall-task M] [--stall-ms MS]
+//! esse_worker (--workdir DIR | --connect HOST:PORT [--scratch DIR])
+//!             [--worker-id N] [--poll-ms MS] [--idle-exit-ms MS]
+//!             [--parent-pid PID] [--wait-pool-ms MS]
+//!             [--reconnect-grace-ms MS] [--fault-seed S] [--die-after K]
+//!             [--stall-task M] [--stall-ms MS]
 //! ```
 
 use esse::cli::{self, files};
 use esse::fileio;
-use esse::mtc::pool::{Heartbeat, PoolManifest, ResultRecord, TaskPool, TaskSpec};
-use esse::mtc::FaultPlan;
+use esse::mtc::pool::{ResultRecord, TaskPool, TaskSpec};
+use esse::mtc::transport::{local_process_alive, ClaimOutcome, DiskTransport, PoolTransport};
+use esse::mtc::{FaultPlan, Heartbeat};
+use esse::net::{TcpConfig, TcpTransport};
 use std::path::PathBuf;
 use std::process::{Child, Command};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const USAGE: &str = "esse_worker --workdir DIR [--worker-id N] [--poll-ms MS] \
-                     [--idle-exit-ms MS] [--parent-pid PID] [--die-after K] \
-                     [--stall-task M] [--stall-ms MS]";
+const USAGE: &str = "esse_worker (--workdir DIR | --connect HOST:PORT [--scratch DIR]) \
+                     [--worker-id N] [--poll-ms MS] [--idle-exit-ms MS] [--parent-pid PID] \
+                     [--reconnect-grace-ms MS] [--die-after K] [--stall-task M] [--stall-ms MS]";
 
 /// Result code a worker publishes when it could not even spawn the
 /// singleton chain (distinct from any real `pert`/`pemodel` exit code).
@@ -58,31 +75,45 @@ fn sibling(name: &str) -> PathBuf {
     exe
 }
 
-fn parent_alive(parent_pid: Option<u32>) -> bool {
-    let Some(pid) = parent_pid else { return true };
-    // An unreaped zombie still has a /proc entry but is dead for our
-    // purposes (its workdir will never be coordinated again): check the
-    // state field of /proc/PID/stat, third token after the comm field.
-    match std::fs::read_to_string(format!("/proc/{pid}/stat")) {
-        Ok(stat) => {
-            let state = stat.rsplit(')').next().and_then(|rest| rest.trim().chars().next());
-            !matches!(state, Some('Z') | Some('X') | None)
-        }
-        Err(_) => false,
-    }
-}
-
-/// Wait for a child while watching the CANCEL tombstone; on
-/// cancellation the child is killed mid-run and `None` is returned.
-fn wait_or_cancel(child: &mut Child, pool: &TaskPool) -> Option<i32> {
+/// Wait for a child while watching for cancellation and fencing; on
+/// either the child is killed mid-run and `None` is returned.
+fn wait_or_cancel(
+    child: &mut Child,
+    transport: &dyn PoolTransport,
+    fenced: &AtomicBool,
+) -> Option<i32> {
+    let mut last_poll = Instant::now();
+    // Tombstone polls go over the transport (a network round trip for
+    // remote workers), so they run on a coarser cadence than the local
+    // child wait.
+    let poll_every = Duration::from_millis(50);
     loop {
         match child.try_wait().expect("try_wait on singleton") {
             Some(status) => return Some(status.code().unwrap_or(-1)),
             None => {
-                if pool.cancelled() {
+                if fenced.load(Ordering::Relaxed) {
                     let _ = child.kill();
                     let _ = child.wait();
                     return None;
+                }
+                if last_poll.elapsed() >= poll_every {
+                    last_poll = Instant::now();
+                    match transport.run_state() {
+                        Ok(rs) if rs.cancelled => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            return None;
+                        }
+                        Ok(_) => {}
+                        Err(_) if !transport.coordinator_alive() => {
+                            // Orphaned mid-task: abandon the child, the
+                            // lease will expire and the work requeue.
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            return None;
+                        }
+                        Err(_) => {}
+                    }
                 }
                 std::thread::sleep(Duration::from_millis(10));
             }
@@ -92,11 +123,14 @@ fn wait_or_cancel(child: &mut Child, pool: &TaskPool) -> Option<i32> {
 
 /// The heartbeat renewal loop, run on its own thread while a task
 /// executes. A SIGKILLed worker takes this thread down with it, the
-/// counter stops advancing, and the coordinator reclaims the lease.
+/// counter stops advancing, and the coordinator reclaims the lease. A
+/// `Fenced` renewal raises the shared flag so the task loop kills the
+/// now-pointless child.
 fn start_heartbeat(
-    pool: TaskPool,
+    transport: Arc<dyn PoolTransport>,
     spec: TaskSpec,
     interval: Duration,
+    fenced: Arc<AtomicBool>,
 ) -> (Arc<AtomicBool>, std::thread::JoinHandle<()>) {
     let stop = Arc::new(AtomicBool::new(false));
     let flag = stop.clone();
@@ -105,10 +139,17 @@ fn start_heartbeat(
         let mut counter = 0u64;
         while !flag.load(Ordering::Relaxed) {
             counter += 1;
-            if pool.heartbeat(&spec, &Heartbeat { pid, counter }).is_err() {
-                // The claim directory vanished (workdir torn down):
-                // nothing left to renew.
-                break;
+            match transport.renew_lease(&spec, &Heartbeat { pid, counter }) {
+                Ok(esse::mtc::RenewAck::Ok) => {}
+                Ok(esse::mtc::RenewAck::Fenced) => {
+                    fenced.store(true, Ordering::Relaxed);
+                    break;
+                }
+                Err(_) => {
+                    // Claim gone (workdir torn down) or coordinator
+                    // unreachable: nothing left to renew.
+                    break;
+                }
             }
             std::thread::sleep(interval);
         }
@@ -121,7 +162,6 @@ struct WorkerConfig {
     worker_id: u32,
     poll: Duration,
     idle_exit: Option<Duration>,
-    parent_pid: Option<u32>,
     plan: FaultPlan,
     stall_task: Option<u64>,
     stall: Duration,
@@ -132,12 +172,13 @@ struct WorkerConfig {
 /// point of the stall injection).
 fn run_task(
     cfg: &WorkerConfig,
-    pool: &TaskPool,
-    manifest: &PoolManifest,
+    transport: &Arc<dyn PoolTransport>,
     spec: TaskSpec,
     stalled: bool,
 ) -> bool {
+    let manifest = transport.manifest().clone();
     let member = spec.member as usize;
+    let fenced = Arc::new(AtomicBool::new(false));
     let heartbeat = if stalled {
         // Injection: hold the claim without renewing the lease, then
         // sleep past its expiry — the zombie-worker scenario.
@@ -149,7 +190,7 @@ fn run_task(
         None
     } else {
         let interval = Duration::from_millis((manifest.lease_ms / 5).max(10));
-        Some(start_heartbeat(pool.clone(), spec, interval))
+        Some(start_heartbeat(Arc::clone(transport), spec, interval, fenced.clone()))
     };
 
     let publish = |code: i32, fc_crc: u32| {
@@ -160,9 +201,25 @@ fn run_task(
             pid: std::process::id(),
             fc_crc,
         };
-        pool.publish_result(&rec).expect("publish result record");
+        // A remote transport ships the forecast bytes alongside the
+        // record; on disk they are already in the shared workdir.
+        let payload = if transport.wants_payload() && code == 0 {
+            std::fs::read(cfg.workdir.join(files::fc(member))).ok()
+        } else {
+            None
+        };
+        match transport.publish(&rec, payload.as_deref()) {
+            Ok(_) => true, // Fenced reply is advisory; the record landed.
+            Err(e) => {
+                eprintln!(
+                    "esse_worker[{}]: publish for member {member} failed: {e}",
+                    cfg.worker_id
+                );
+                false
+            }
+        }
     };
-    let mut published = true;
+    let mut published = false;
 
     // pert → pemodel, the §4.2 singleton chain, via the shared
     // bounded-retry spawner (a transient fork failure degrades into a
@@ -177,7 +234,7 @@ fn run_task(
         .arg("--base-seed")
         .arg(manifest.base_seed.to_string());
     match cli::spawn_with_retry(&mut pert, "pert", Some(member), 3) {
-        Ok(mut child) => match wait_or_cancel(&mut child, pool) {
+        Ok(mut child) => match wait_or_cancel(&mut child, transport.as_ref(), &fenced) {
             Some(0) => {
                 let mut pemodel = Command::new(sibling("pemodel"));
                 pemodel
@@ -192,37 +249,39 @@ fn run_task(
                     .arg("--seed")
                     .arg(spec.seed.to_string());
                 match cli::spawn_with_retry(&mut pemodel, "pemodel", Some(member), 3) {
-                    Ok(mut child) => match wait_or_cancel(&mut child, pool) {
-                        Some(0) => {
-                            // The forecast file is durable (pemodel
-                            // publishes atomically); validate it and
-                            // commit with its CRC fingerprint.
-                            match fileio::vector_file_crc(cfg.workdir.join(files::fc(member))) {
-                                Ok(crc) => publish(0, crc),
-                                Err(e) => {
-                                    eprintln!(
-                                        "esse_worker[{}]: member {member} forecast invalid: {e}",
-                                        cfg.worker_id
-                                    );
-                                    publish(CODE_CORRUPT_FORECAST, 0);
+                    Ok(mut child) => {
+                        match wait_or_cancel(&mut child, transport.as_ref(), &fenced) {
+                            Some(0) => {
+                                // The forecast file is durable (pemodel
+                                // publishes atomically); validate it and
+                                // commit with its CRC fingerprint.
+                                match fileio::vector_file_crc(cfg.workdir.join(files::fc(member))) {
+                                    Ok(crc) => published = publish(0, crc),
+                                    Err(e) => {
+                                        eprintln!(
+                                            "esse_worker[{}]: member {member} forecast invalid: {e}",
+                                            cfg.worker_id
+                                        );
+                                        published = publish(CODE_CORRUPT_FORECAST, 0);
+                                    }
                                 }
                             }
+                            Some(code) => published = publish(code, 0),
+                            None => {} // cancelled or fenced mid-run
                         }
-                        Some(code) => publish(code, 0),
-                        None => published = false, // cancelled mid-run
-                    },
+                    }
                     Err(e) => {
                         eprintln!("esse_worker[{}]: {e}", cfg.worker_id);
-                        publish(CODE_SPAWN_FAILED, 0);
+                        published = publish(CODE_SPAWN_FAILED, 0);
                     }
                 }
             }
-            Some(code) => publish(code, 0),
-            None => published = false, // cancelled mid-run
+            Some(code) => published = publish(code, 0),
+            None => {} // cancelled or fenced mid-run
         },
         Err(e) => {
             eprintln!("esse_worker[{}]: {e}", cfg.worker_id);
-            publish(CODE_SPAWN_FAILED, 0);
+            published = publish(CODE_SPAWN_FAILED, 0);
         }
     }
 
@@ -231,21 +290,81 @@ fn run_task(
         let _ = handle.join();
     }
     // Release after the publish: the result record is the commit point,
-    // the claim files are just lease bookkeeping.
-    pool.release_claim(&spec).expect("release claim");
+    // the claim files are just lease bookkeeping. Tolerant of a claim
+    // the lease watchdog already swept.
+    let _ = transport.release(&spec);
     published
+}
+
+/// Open the transport named on the command line, waiting up to
+/// `wait_pool` for the pool (or listener) to appear — workers may
+/// legitimately start before the coordinator.
+fn open_transport(
+    args: &std::collections::HashMap<String, String>,
+    cfg: &WorkerConfig,
+    parent_pid: Option<u32>,
+    wait_pool: Duration,
+) -> Result<Arc<dyn PoolTransport>, String> {
+    let t0 = Instant::now();
+    if let Some(addr) = args.get("connect") {
+        let grace = Duration::from_millis(cli::get_or(args, "reconnect-grace-ms", 10_000u64));
+        let mut tcp = TcpConfig::new(addr.clone(), cfg.worker_id as u64);
+        tcp.reconnect_grace = grace;
+        loop {
+            match TcpTransport::connect(tcp.clone()) {
+                Ok(t) => return Ok(Arc::new(t)),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::ConnectionRefused
+                        && e.to_string().contains("rejected") =>
+                {
+                    return Err(format!("coordinator at {addr}: {e}"));
+                }
+                Err(_) if t0.elapsed() < wait_pool => {
+                    if !parent_pid.is_none_or(local_process_alive) {
+                        std::process::exit(0);
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(format!("no coordinator at {addr}: {e}")),
+            }
+        }
+    }
+    let workdir = &cfg.workdir;
+    loop {
+        match TaskPool::open(workdir) {
+            Ok((pool, manifest)) => {
+                return Ok(Arc::new(DiskTransport::new(pool, manifest, parent_pid)));
+            }
+            Err(_) if t0.elapsed() < wait_pool => {
+                if !parent_pid.is_none_or(local_process_alive) {
+                    std::process::exit(0);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(format!("no task pool under {}: {e}", workdir.display())),
+        }
+    }
 }
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = cli::parse_args(&argv);
-    let workdir = PathBuf::from(cli::require(&args, "workdir", USAGE));
     let worker_id: u32 = cli::get_or(&args, "worker-id", 0);
+    let remote = args.contains_key("connect");
+    let workdir = if remote {
+        // Remote workers get a private scratch workdir; nothing in it
+        // is shared with the coordinator.
+        args.get("scratch").map(PathBuf::from).unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join(format!("esse-worker-scratch-{}-{worker_id}", std::process::id()))
+        })
+    } else {
+        PathBuf::from(cli::require(&args, "workdir", USAGE))
+    };
     let cfg = WorkerConfig {
         worker_id,
         poll: Duration::from_millis(cli::get_or(&args, "poll-ms", 25u64).max(1)),
         idle_exit: args.get("idle-exit-ms").and_then(|v| v.parse().ok()).map(Duration::from_millis),
-        parent_pid: args.get("parent-pid").and_then(|v| v.parse().ok()),
         plan: {
             let mut plan = FaultPlan::seeded(cli::get_or(&args, "fault-seed", 0u64));
             if let Some(k) = args.get("die-after").and_then(|v| v.parse().ok()) {
@@ -257,58 +376,61 @@ fn main() {
         stall: Duration::from_millis(cli::get_or(&args, "stall-ms", 0u64)),
         workdir,
     };
+    let parent_pid: Option<u32> = args.get("parent-pid").and_then(|v| v.parse().ok());
     let wait_pool = Duration::from_millis(cli::get_or(&args, "wait-pool-ms", 30_000u64));
 
     // The pool may not exist yet (worker started before the master
     // seeded it — that's allowed, there is no registration step).
-    let t0 = Instant::now();
-    let (pool, manifest) = loop {
-        match TaskPool::open(&cfg.workdir) {
-            Ok(open) => break open,
-            Err(_) if t0.elapsed() < wait_pool => {
-                if !parent_alive(cfg.parent_pid) {
-                    return;
-                }
-                std::thread::sleep(Duration::from_millis(50));
-            }
-            Err(e) => {
-                eprintln!(
-                    "esse_worker[{worker_id}]: no task pool under {}: {e}",
-                    cfg.workdir.display()
-                );
-                std::process::exit(2);
-            }
+    let transport = match open_transport(&args, &cfg, parent_pid, wait_pool) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("esse_worker[{worker_id}]: {e}");
+            std::process::exit(2);
         }
     };
+    if remote {
+        if let Err(e) = std::fs::create_dir_all(&cfg.workdir)
+            .and_then(|()| transport.stage_inputs(&cfg.workdir))
+        {
+            eprintln!("esse_worker[{worker_id}]: staging inputs failed: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "esse_worker[{worker_id}]: joined {} with scratch {}",
+            transport.describe(),
+            cfg.workdir.display()
+        );
+    }
 
     let mut tasks_started = 0usize;
     let mut tasks_published = 0usize;
     let mut idle_since: Option<Instant> = None;
     let mut stalled_once = cfg.stall_task;
     loop {
-        if pool.shutdown() || pool.cancelled() {
+        if !transport.coordinator_alive() {
+            // The coordinator is gone (dead parent, or an outage longer
+            // than the reconnect grace); holding claims would only
+            // delay its successor until the leases expire.
+            eprintln!("esse_worker[{}]: coordinator gone, exiting", cfg.worker_id);
             break;
         }
-        if !parent_alive(cfg.parent_pid) {
-            // The coordinator is gone; holding claims would only delay
-            // its successor until the leases expire.
-            break;
-        }
-        let names = pool.pending_names().unwrap_or_default();
-        let mut claimed = None;
-        for name in names {
-            if let Some(spec) = pool.try_claim(&name).expect("claim rename") {
-                claimed = Some(spec);
-                break;
+        let spec = match transport.claim_next() {
+            Ok(ClaimOutcome::Task(spec)) => spec,
+            Ok(ClaimOutcome::Cancelled) | Ok(ClaimOutcome::Shutdown) => break,
+            Ok(ClaimOutcome::Idle) => {
+                let since = *idle_since.get_or_insert_with(Instant::now);
+                if cfg.idle_exit.is_some_and(|d| since.elapsed() >= d) {
+                    break;
+                }
+                std::thread::sleep(cfg.poll);
+                continue;
             }
-        }
-        let Some(spec) = claimed else {
-            let since = *idle_since.get_or_insert_with(Instant::now);
-            if cfg.idle_exit.is_some_and(|d| since.elapsed() >= d) {
-                break;
+            Err(_) if !transport.coordinator_alive() => continue, // exits above
+            Err(e) => {
+                eprintln!("esse_worker[{}]: claim failed: {e}", cfg.worker_id);
+                std::thread::sleep(cfg.poll);
+                continue;
             }
-            std::thread::sleep(cfg.poll);
-            continue;
         };
         idle_since = None;
         tasks_started += 1;
@@ -322,7 +444,7 @@ fn main() {
             std::process::abort();
         }
         let stalled = stalled_once == Some(spec.member);
-        if run_task(&cfg, &pool, &manifest, spec, stalled) {
+        if run_task(&cfg, &transport, spec, stalled) {
             tasks_published += 1;
         }
         if stalled {

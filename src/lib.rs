@@ -52,6 +52,7 @@ pub use esse_acoustics as acoustics;
 pub use esse_core as core;
 pub use esse_linalg as linalg;
 pub use esse_mtc as mtc;
+pub use esse_net as net;
 pub use esse_ocean as ocean;
 
 // The workspace-wide error hierarchy, re-exported so downstream code can

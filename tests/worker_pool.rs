@@ -90,7 +90,7 @@ fn external_workers_drive_the_run_to_completion() {
     let sub = esse::fileio::read_subspace(dir.join("posterior.sub")).expect("posterior exists");
     assert!(sub.rank() >= 1);
     assert!(sub.orthonormality_defect() < 1e-8);
-    let replay = Journal::replay(&dir.join("run.journal")).expect("replay journal");
+    let replay = Journal::replay(dir.join("run.journal")).expect("replay journal");
     assert!(
         replay.records.iter().any(|r| matches!(r, JournalRecord::RunComplete { .. })),
         "journal must record completion"
