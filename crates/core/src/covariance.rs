@@ -86,6 +86,19 @@ impl SpreadAccumulator {
         true
     }
 
+    /// The raw (unnormalized) difference columns in arrival order —
+    /// the incremental subspace tracker folds these directly and
+    /// applies the `1/√(N−1)` normalization at estimate time, since the
+    /// factor changes with every arrival.
+    pub fn raw_diffs(&self) -> &Matrix {
+        &self.diffs
+    }
+
+    /// Member ids in arrival order.
+    pub fn member_ids(&self) -> &[usize] {
+        &self.member_ids
+    }
+
     /// Take a consistent normalized snapshot (the "safe file" update).
     pub fn snapshot(&self) -> SpreadSnapshot {
         let n = self.count();

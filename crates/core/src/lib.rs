@@ -51,4 +51,6 @@ pub use assimilate::Analysis;
 pub use error::{ConfigError, EsseError};
 pub use model::{ForecastError, ForecastModel};
 pub use obs::{ObsSet, Observation};
-pub use subspace::ErrorSubspace;
+pub use subspace::{
+    make_estimator, ErrorSubspace, SubspaceEstimator, SubspaceStrategy, SubspaceUpdate, UpdateKind,
+};

@@ -5,7 +5,9 @@
 //! modes and `Λ = diag(λ₁ ≥ … ≥ λₖ)` their variances. `k ≪ n` always —
 //! that truncation *is* the method.
 
-use esse_linalg::{vecops, Matrix, Svd};
+use crate::covariance::SpreadAccumulator;
+use crate::error::EsseError;
+use esse_linalg::{vecops, IncrementalSvd, LinalgCtx, Matrix, Svd};
 
 /// Dominant error modes `E` with variances `Λ`.
 #[derive(Debug, Clone)]
@@ -93,10 +95,13 @@ impl ErrorSubspace {
     }
 
     /// Apply the covariance to a vector: `P v = E Λ (Eᵀ v)` in `O(nk)`.
-    pub fn covariance_times(&self, v: &[f64]) -> Vec<f64> {
-        let etv = self.modes.tr_matvec(v).expect("dimension checked");
+    ///
+    /// A `v` whose length differs from the state dimension is a
+    /// [`EsseError::Numeric`] error, not a panic.
+    pub fn covariance_times(&self, v: &[f64]) -> Result<Vec<f64>, EsseError> {
+        let etv = self.modes.tr_matvec(v)?;
         let scaled: Vec<f64> = etv.iter().zip(self.variances.iter()).map(|(c, l)| c * l).collect();
-        self.modes.matvec(&scaled).expect("dimension checked")
+        Ok(self.modes.matvec(&scaled)?)
     }
 
     /// Truncate to the leading `k` modes.
@@ -142,9 +147,283 @@ impl ErrorSubspace {
 
     /// RMS amplitude of the subspace along a unit direction `d`
     /// (`sqrt(dᵀ P d)`).
-    pub fn amplitude_along(&self, d: &[f64]) -> f64 {
-        let pv = self.covariance_times(d);
-        vecops::dot(d, &pv).max(0.0).sqrt()
+    pub fn amplitude_along(&self, d: &[f64]) -> Result<f64, EsseError> {
+        let pv = self.covariance_times(d)?;
+        Ok(vecops::dot(d, &pv).max(0.0).sqrt())
+    }
+}
+
+/// How a [`SubspaceUpdate`] was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// Full recompute from the complete spread matrix (the
+    /// [`FullRecompute`] strategy's every estimate).
+    Full,
+    /// Rank-block fold of the newly arrived members into the tracked
+    /// `U·Σ` (Brand update).
+    Incremental,
+    /// Drift-control full recompute inside the [`Incremental`]
+    /// strategy — triggered periodically or on a defect breach.
+    Refresh,
+}
+
+impl UpdateKind {
+    /// Stable lowercase label for traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UpdateKind::Full => "full",
+            UpdateKind::Incremental => "incremental",
+            UpdateKind::Refresh => "refresh",
+        }
+    }
+}
+
+/// Result of one [`SubspaceEstimator::estimate`] call.
+#[derive(Debug, Clone)]
+pub struct SubspaceUpdate {
+    /// The estimated dominant error subspace.
+    pub subspace: ErrorSubspace,
+    /// How this estimate was produced.
+    pub kind: UpdateKind,
+    /// Members folded into the estimate.
+    pub members: usize,
+    /// Measured orthonormality defect `max |EᵀE − I|` of the estimator
+    /// basis — the drift signal compared against `defect_tol`.
+    pub defect: f64,
+    /// Relative spectral-energy error bound of the estimate (fraction
+    /// of total energy lost to truncation since the last full
+    /// recompute). Always 0 for [`UpdateKind::Full`].
+    pub error_bound: f64,
+}
+
+/// Strategy selecting how the error subspace is (re)computed as
+/// members arrive. The default reproduces today's behavior exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SubspaceStrategy {
+    /// Thin SVD of the full spread matrix at every estimate — the
+    /// bit-identical legacy path.
+    #[default]
+    FullRecompute,
+    /// Fold arriving members into the tracked `U·Σ` with rank-block
+    /// updates; full recompute for drift control.
+    Incremental {
+        /// Force a full recompute every this many estimates
+        /// (0 = never periodic; defect breaches still refresh).
+        refresh_every: usize,
+        /// Orthonormality-defect threshold that forces a refresh.
+        defect_tol: f64,
+    },
+}
+
+/// Incrementally consumes member forecasts and produces subspace
+/// estimates on demand — the coordinator's SVD-lane abstraction.
+///
+/// Implementations own the spread bookkeeping (duplicate-id rejection,
+/// central differencing), so the caller only routes forecasts in and
+/// estimates out.
+pub trait SubspaceEstimator: Send {
+    /// Fold member `id`'s forecast. Returns `false` for duplicate ids
+    /// (a retried task may deliver twice; only the first copy counts).
+    fn add_member(&mut self, id: usize, forecast: &[f64]) -> bool;
+
+    /// Members accumulated so far.
+    fn count(&self) -> usize;
+
+    /// Member ids accumulated, in arrival order.
+    fn member_ids(&self) -> &[usize];
+
+    /// Produce the current estimate. `Ok(None)` when fewer than two
+    /// members are available (no spread to decompose).
+    fn estimate(&mut self) -> Result<Option<SubspaceUpdate>, EsseError>;
+
+    /// Stable strategy label for logs and traces.
+    fn strategy(&self) -> &'static str;
+}
+
+/// The legacy strategy: full thin SVD of the normalized spread matrix
+/// at every estimate. Numerically (and bitwise) identical to calling
+/// [`SpreadAccumulator::snapshot`] + [`Svd::compute`] +
+/// [`ErrorSubspace::from_spread_svd`] by hand.
+pub struct FullRecompute {
+    acc: SpreadAccumulator,
+    rel_tol: f64,
+    max_rank: usize,
+}
+
+impl FullRecompute {
+    /// New estimator around the central forecast.
+    pub fn new(central: Vec<f64>, rel_tol: f64, max_rank: usize) -> FullRecompute {
+        FullRecompute { acc: SpreadAccumulator::new(central), rel_tol, max_rank }
+    }
+}
+
+impl SubspaceEstimator for FullRecompute {
+    fn add_member(&mut self, id: usize, forecast: &[f64]) -> bool {
+        self.acc.add_member(id, forecast)
+    }
+
+    fn count(&self) -> usize {
+        self.acc.count()
+    }
+
+    fn member_ids(&self) -> &[usize] {
+        self.acc.member_ids()
+    }
+
+    fn estimate(&mut self) -> Result<Option<SubspaceUpdate>, EsseError> {
+        let snap = self.acc.snapshot();
+        // `svd()` returns None below two members *and* on a failed
+        // decomposition — the legacy path treated both as "skip this
+        // round", so the default strategy must too.
+        let Some(svd) = snap.svd() else { return Ok(None) };
+        let subspace = ErrorSubspace::from_spread_svd(&svd, self.rel_tol, self.max_rank);
+        let defect = subspace.orthonormality_defect();
+        Ok(Some(SubspaceUpdate {
+            subspace,
+            kind: UpdateKind::Full,
+            members: snap.count(),
+            defect,
+            error_bound: 0.0,
+        }))
+    }
+
+    fn strategy(&self) -> &'static str {
+        "full"
+    }
+}
+
+/// The incremental strategy: rank-block folds of new members into a
+/// tracked `U·Σ` ([`IncrementalSvd`]), with drift-controlled full
+/// recomputes. Raw difference columns are retained (same memory as the
+/// accumulator the legacy path keeps) so a refresh can always rebuild
+/// from scratch.
+pub struct IncrementalEstimator {
+    acc: SpreadAccumulator,
+    tracker: IncrementalSvd,
+    /// Columns already folded into the tracker.
+    folded: usize,
+    refresh_every: usize,
+    defect_tol: f64,
+    estimates_since_refresh: usize,
+    rel_tol: f64,
+    max_rank: usize,
+}
+
+impl IncrementalEstimator {
+    /// New estimator around the central forecast.
+    pub fn new(
+        central: Vec<f64>,
+        rel_tol: f64,
+        max_rank: usize,
+        refresh_every: usize,
+        defect_tol: f64,
+        ctx: LinalgCtx,
+    ) -> IncrementalEstimator {
+        IncrementalEstimator {
+            acc: SpreadAccumulator::new(central),
+            // Track extra headroom beyond the published rank: modes
+            // near the truncation edge churn between updates, and the
+            // buffer keeps that churn out of the exported subspace.
+            tracker: IncrementalSvd::new(max_rank + (max_rank / 4).max(2), ctx),
+            folded: 0,
+            refresh_every,
+            defect_tol,
+            estimates_since_refresh: 0,
+            rel_tol,
+            max_rank,
+        }
+    }
+
+    /// Incremental updates applied so far (bench/CI structural counter).
+    pub fn update_count(&self) -> u64 {
+        self.tracker.update_count()
+    }
+
+    /// Drift-control refreshes applied so far.
+    pub fn refresh_count(&self) -> u64 {
+        self.tracker.refresh_count()
+    }
+}
+
+impl SubspaceEstimator for IncrementalEstimator {
+    fn add_member(&mut self, id: usize, forecast: &[f64]) -> bool {
+        self.acc.add_member(id, forecast)
+    }
+
+    fn count(&self) -> usize {
+        self.acc.count()
+    }
+
+    fn member_ids(&self) -> &[usize] {
+        self.acc.member_ids()
+    }
+
+    fn estimate(&mut self) -> Result<Option<SubspaceUpdate>, EsseError> {
+        let total = self.acc.count();
+        if total < 2 {
+            return Ok(None);
+        }
+        let diffs = self.acc.raw_diffs();
+        if self.folded < total {
+            let mut batch = Matrix::zeros(diffs.rows(), total - self.folded);
+            for (jj, j) in (self.folded..total).enumerate() {
+                batch.col_mut(jj).copy_from_slice(diffs.col(j));
+            }
+            self.tracker.fold(&batch)?;
+            self.folded = total;
+        }
+        let periodic =
+            self.refresh_every > 0 && self.estimates_since_refresh + 1 >= self.refresh_every;
+        let drifted = self.tracker.orthonormality_defect() > self.defect_tol;
+        let kind = if periodic || drifted {
+            self.tracker.refresh(diffs)?;
+            self.estimates_since_refresh = 0;
+            UpdateKind::Refresh
+        } else {
+            self.estimates_since_refresh += 1;
+            UpdateKind::Incremental
+        };
+        // Export with the spread normalization applied: the tracker
+        // holds raw-diff singular values, so λ = σ²/(N−1). The rank
+        // trim mirrors `from_spread_svd` (scale-invariant).
+        let s = self.tracker.singular_values();
+        let s0 = s.first().copied().unwrap_or(0.0);
+        let numerical_rank =
+            if s0 <= 0.0 { 0 } else { s.iter().take_while(|&&x| x > self.rel_tol * s0).count() };
+        let rank = numerical_rank.min(self.max_rank).max(1).min(s.len());
+        let norm = 1.0 / ((total - 1) as f64);
+        let subspace = ErrorSubspace {
+            modes: self.tracker.modes().take_cols(rank),
+            variances: s[..rank].iter().map(|x| x * x * norm).collect(),
+        };
+        Ok(Some(SubspaceUpdate {
+            subspace,
+            kind,
+            members: total,
+            defect: self.tracker.orthonormality_defect(),
+            error_bound: self.tracker.relative_error_bound(),
+        }))
+    }
+
+    fn strategy(&self) -> &'static str {
+        "incremental"
+    }
+}
+
+/// Construct the estimator for a strategy — the single factory both
+/// `MtcEsse` and `esse_master` call at engine construction.
+pub fn make_estimator(
+    strategy: &SubspaceStrategy,
+    central: Vec<f64>,
+    rel_tol: f64,
+    max_rank: usize,
+    ctx: LinalgCtx,
+) -> Box<dyn SubspaceEstimator> {
+    match *strategy {
+        SubspaceStrategy::FullRecompute => Box::new(FullRecompute::new(central, rel_tol, max_rank)),
+        SubspaceStrategy::Incremental { refresh_every, defect_tol } => Box::new(
+            IncrementalEstimator::new(central, rel_tol, max_rank, refresh_every, defect_tol, ctx),
+        ),
     }
 }
 
@@ -174,8 +453,15 @@ mod tests {
     fn covariance_times_matches_dense() {
         let s = simple_subspace();
         let v = vec![1.0, 2.0, 3.0, 4.0];
-        let pv = s.covariance_times(&v);
+        let pv = s.covariance_times(&v).unwrap();
         assert_eq!(pv, vec![4.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn covariance_times_rejects_bad_dimension() {
+        let s = simple_subspace();
+        assert!(matches!(s.covariance_times(&[1.0, 2.0]), Err(EsseError::Numeric(_))));
+        assert!(matches!(s.amplitude_along(&[1.0]), Err(EsseError::Numeric(_))));
     }
 
     #[test]
@@ -200,8 +486,143 @@ mod tests {
     #[test]
     fn amplitude_along_axes() {
         let s = simple_subspace();
-        assert!((s.amplitude_along(&[1.0, 0.0, 0.0, 0.0]) - 2.0).abs() < 1e-12);
-        assert!((s.amplitude_along(&[0.0, 0.0, 1.0, 0.0]) - 0.0).abs() < 1e-12);
+        assert!((s.amplitude_along(&[1.0, 0.0, 0.0, 0.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((s.amplitude_along(&[0.0, 0.0, 1.0, 0.0]).unwrap() - 0.0).abs() < 1e-12);
+    }
+
+    fn lcg_forecasts(n: usize, count: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..count)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_recompute_estimator_matches_legacy_path() {
+        let central = vec![0.0; 24];
+        let forecasts = lcg_forecasts(24, 8, 41);
+        let mut est = FullRecompute::new(central.clone(), 1e-6, 6);
+        let mut acc = SpreadAccumulator::new(central);
+        for (id, f) in forecasts.iter().enumerate() {
+            assert!(est.add_member(id, f));
+            acc.add_member(id, f);
+        }
+        let update = est.estimate().unwrap().unwrap();
+        assert_eq!(update.kind, UpdateKind::Full);
+        assert_eq!(update.members, 8);
+        assert_eq!(update.error_bound, 0.0);
+        let svd = acc.snapshot().svd().unwrap();
+        let legacy = ErrorSubspace::from_spread_svd(&svd, 1e-6, 6);
+        // Bit-identical to the hand-rolled legacy path.
+        assert_eq!(legacy.variances, update.subspace.variances);
+        assert_eq!(legacy.modes, update.subspace.modes);
+    }
+
+    #[test]
+    fn estimators_reject_duplicates_and_need_two_members() {
+        let mut est =
+            IncrementalEstimator::new(vec![0.0; 4], 1e-6, 4, 0, 1e-6, LinalgCtx::serial());
+        assert!(est.estimate().unwrap().is_none());
+        assert!(est.add_member(3, &[1.0, 0.0, 0.0, 0.0]));
+        assert!(!est.add_member(3, &[9.0, 9.0, 9.0, 9.0]));
+        assert!(est.estimate().unwrap().is_none());
+        assert!(est.add_member(5, &[0.0, 1.0, 0.0, 0.0]));
+        let update = est.estimate().unwrap().unwrap();
+        assert_eq!(update.members, 2);
+        assert_eq!(est.member_ids(), &[3, 5]);
+    }
+
+    #[test]
+    fn incremental_estimator_tracks_full_svd() {
+        let central = vec![0.0; 40];
+        let forecasts = lcg_forecasts(40, 20, 77);
+        let mut inc =
+            IncrementalEstimator::new(central.clone(), 1e-8, 10, 0, 1e-6, LinalgCtx::serial());
+        let mut full = FullRecompute::new(central, 1e-8, 10);
+        let mut last_inc = None;
+        let mut last_full = None;
+        for (id, f) in forecasts.iter().enumerate() {
+            inc.add_member(id, f);
+            full.add_member(id, f);
+            if id >= 1 && id % 4 == 1 {
+                last_inc = inc.estimate().unwrap();
+                last_full = full.estimate().unwrap();
+            }
+        }
+        let (a, b) = (last_inc.unwrap(), last_full.unwrap());
+        assert!(inc.update_count() > 1, "stream should fold incrementally");
+        assert_eq!(a.members, b.members);
+        assert_eq!(a.subspace.rank(), b.subspace.rank());
+        // Truncation to max_rank+headroom loses a little tail energy;
+        // agreement must hold within the tracker's own reported bound
+        // (plus roundoff).
+        let tol = b.subspace.variances[0] * (a.error_bound + 1e-10);
+        for (x, y) in a.subspace.variances.iter().zip(b.subspace.variances.iter()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y} (bound {tol})");
+        }
+        assert!(a.defect < 1e-8, "defect {}", a.defect);
+    }
+
+    #[test]
+    fn defect_breach_forces_refresh() {
+        // defect_tol = 0 means every estimate after the first fold sees
+        // "drift" and recomputes from scratch.
+        let central = vec![0.0; 12];
+        let forecasts = lcg_forecasts(12, 8, 13);
+        let mut est = IncrementalEstimator::new(central, 1e-8, 6, 0, 0.0, LinalgCtx::serial());
+        for (id, f) in forecasts.iter().enumerate() {
+            est.add_member(id, f);
+        }
+        let update = est.estimate().unwrap().unwrap();
+        assert_eq!(update.kind, UpdateKind::Refresh);
+        assert!(est.refresh_count() >= 1);
+    }
+
+    #[test]
+    fn periodic_refresh_triggers_on_schedule() {
+        let central = vec![0.0; 12];
+        let forecasts = lcg_forecasts(12, 12, 29);
+        // refresh_every = 2: estimates alternate incremental / refresh.
+        let mut est = IncrementalEstimator::new(central, 1e-8, 6, 2, 1.0, LinalgCtx::serial());
+        let mut kinds = Vec::new();
+        for (id, f) in forecasts.iter().enumerate() {
+            est.add_member(id, f);
+            if id >= 1 {
+                kinds.push(est.estimate().unwrap().unwrap().kind);
+            }
+        }
+        assert!(kinds.contains(&UpdateKind::Refresh));
+        assert!(kinds.contains(&UpdateKind::Incremental));
+        assert_eq!(kinds[1], UpdateKind::Refresh, "second estimate hits refresh_every=2");
+    }
+
+    #[test]
+    fn factory_builds_both_strategies() {
+        let full = make_estimator(
+            &SubspaceStrategy::FullRecompute,
+            vec![0.0; 4],
+            1e-6,
+            4,
+            LinalgCtx::serial(),
+        );
+        assert_eq!(full.strategy(), "full");
+        let inc = make_estimator(
+            &SubspaceStrategy::Incremental { refresh_every: 8, defect_tol: 1e-6 },
+            vec![0.0; 4],
+            1e-6,
+            4,
+            LinalgCtx::serial(),
+        );
+        assert_eq!(inc.strategy(), "incremental");
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Incremental (rank-updating) thin SVD of a growing column set.
+//!
+//! ESSE's spread matrix gains columns as ensemble members complete; the
+//! full Gram-path SVD recomputes from scratch at every decided-prefix
+//! step, so its cost grows superlinearly with ensemble size. This
+//! module folds each batch of arriving columns into the current
+//! `U · Σ` with a rank-block update (Brand 2002/2006):
+//!
+//! ```text
+//! L = Uᵀ C               (projection of the new columns, k×b)
+//! H = C − U L            (out-of-subspace residual, n×b)
+//! H = J K                (thin QR of the residual)
+//! ⎡ Σ  L ⎤ = U' Σ' V'ᵀ   (small (k+b)×(k+b) SVD)
+//! ⎣ 0  K ⎦
+//! U ← [U J] U',  Σ ← Σ'  (truncate to max_rank)
+//! ```
+//!
+//! Per batch this costs `O(n k b + n b² + (k+b)³)` instead of the full
+//! recompute's `O(n N²)` over all `N` columns seen — the difference
+//! that keeps the coordinator's SVD lane flat as the ensemble grows.
+//!
+//! Right singular vectors are not tracked: ESSE only needs the left
+//! modes and the spectrum (`P ≈ U Σ² Uᵀ`), and dropping `V` keeps the
+//! update independent of the total column count.
+//!
+//! Two error signals are tracked so callers can bound drift:
+//!
+//! * the **orthonormality defect** `max |UᵀU − I|`, which grows slowly
+//!   as roundoff accumulates across updates, and
+//! * the **discarded energy** — the Σσ² thrown away by `max_rank`
+//!   truncation since the last full recompute, yielding a relative
+//!   error bound on the retained spectrum.
+//!
+//! [`IncrementalSvd::refresh`] recomputes from the full column set to
+//! reset both (periodic drift control).
+
+use crate::ctx::LinalgCtx;
+use crate::matrix::Matrix;
+use crate::svd::Svd;
+use crate::vecops;
+use crate::Result;
+
+/// Incrementally maintained thin SVD (`U`, `Σ`) of everything folded in.
+#[derive(Debug, Clone)]
+pub struct IncrementalSvd {
+    /// Left singular vectors, `n × k`, nominally orthonormal.
+    u: Matrix,
+    /// Singular values, descending.
+    s: Vec<f64>,
+    max_rank: usize,
+    ctx: LinalgCtx,
+    cols_seen: usize,
+    /// Σσ² truncated away since the last refresh.
+    discarded_energy: f64,
+    updates: u64,
+    refreshes: u64,
+}
+
+impl IncrementalSvd {
+    /// Empty tracker retaining at most `max_rank` modes.
+    pub fn new(max_rank: usize, ctx: LinalgCtx) -> IncrementalSvd {
+        IncrementalSvd {
+            u: Matrix::zeros(0, 0),
+            s: Vec::new(),
+            max_rank: max_rank.max(1),
+            ctx,
+            cols_seen: 0,
+            discarded_energy: 0.0,
+            updates: 0,
+            refreshes: 0,
+        }
+    }
+
+    /// Current retained rank.
+    pub fn rank(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Total columns folded in (including refreshed history).
+    pub fn cols_seen(&self) -> usize {
+        self.cols_seen
+    }
+
+    /// Left singular vectors (`n × rank`).
+    pub fn modes(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// Raw singular values of the folded column set, descending.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.s
+    }
+
+    /// Number of incremental updates applied since construction.
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// Number of full recomputes ([`Self::refresh`]) applied.
+    pub fn refresh_count(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Σσ² discarded by rank truncation since the last refresh.
+    pub fn discarded_energy(&self) -> f64 {
+        self.discarded_energy
+    }
+
+    /// Relative spectral-energy error bound: the fraction of total
+    /// energy (retained + discarded) lost to truncation since the last
+    /// refresh. Zero right after a refresh with rank ≤ `max_rank`.
+    pub fn relative_error_bound(&self) -> f64 {
+        let retained: f64 = self.s.iter().map(|x| x * x).sum();
+        let total = retained + self.discarded_energy;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.discarded_energy / total
+        }
+    }
+
+    /// Measured orthonormality defect `max |UᵀU − I|` of the current
+    /// basis — the drift signal checked against `defect_tol`. Costs
+    /// `O(n k²)`, negligible next to an update.
+    pub fn orthonormality_defect(&self) -> f64 {
+        let k = self.rank();
+        if k == 0 {
+            return 0.0;
+        }
+        let g = self.ctx.gram(&self.u);
+        let mut worst: f64 = 0.0;
+        for i in 0..k {
+            for j in 0..k {
+                let want = if i == j { 1.0 } else { 0.0 };
+                worst = worst.max((g.get(i, j) - want).abs());
+            }
+        }
+        worst
+    }
+
+    /// Fold a batch of new columns `c` (n × b, raw — the caller decides
+    /// any normalization) into the tracked decomposition.
+    pub fn fold(&mut self, c: &Matrix) -> Result<()> {
+        let b = c.cols();
+        if b == 0 {
+            return Ok(());
+        }
+        if self.rank() == 0 {
+            // First batch: plain SVD, truncated.
+            let svd = Svd::compute(c)?;
+            self.adopt(svd.u, svd.s);
+            self.cols_seen = b;
+            self.updates += 1;
+            return Ok(());
+        }
+        let k = self.rank();
+        // L = Uᵀ C (k × b).
+        let ut = self.u.transpose();
+        let l = self.ctx.gemm(&ut, c)?;
+        // H = C − U L (residual outside the current subspace).
+        let ul = self.ctx.gemm(&self.u, &l)?;
+        let h = c.sub(&ul)?;
+        // Thin QR of the residual: H = J K.
+        let qr = self.ctx.qr(&h)?;
+        // Small augmented matrix [[Σ, L], [0, K]] of size (k+b)×(k+b).
+        let kb = k + b;
+        let mut aug = Matrix::zeros(kb, kb);
+        for (i, &si) in self.s.iter().enumerate() {
+            aug.set(i, i, si);
+        }
+        for j in 0..b {
+            for i in 0..k {
+                aug.set(i, k + j, l.get(i, j));
+            }
+            for i in 0..b {
+                aug.set(k + i, k + j, qr.r.get(i, j));
+            }
+        }
+        let small = Svd::jacobi(&aug)?;
+        // U ← [U J] U', truncated.
+        let mut u_big = self.u.clone();
+        for j in 0..b {
+            u_big.push_col(qr.q.col(j))?;
+        }
+        let u_new = self.ctx.gemm(&u_big, &small.u)?;
+        let r = self.max_rank.min(kb);
+        for &sv in small.s.iter().skip(r) {
+            self.discarded_energy += sv * sv;
+        }
+        self.u = u_new.take_cols(r);
+        self.s = small.s[..r].to_vec();
+        self.reorthonormalize();
+        self.cols_seen += b;
+        self.updates += 1;
+        Ok(())
+    }
+
+    /// Full recompute from the complete raw column set (drift control):
+    /// resets the basis, the discarded-energy ledger, and the defect.
+    pub fn refresh(&mut self, all_cols: &Matrix) -> Result<()> {
+        let svd = Svd::compute(all_cols)?;
+        self.discarded_energy = 0.0;
+        self.adopt(svd.u, svd.s);
+        self.cols_seen = all_cols.cols();
+        self.refreshes += 1;
+        Ok(())
+    }
+
+    /// Install a freshly computed factorization, truncating to
+    /// `max_rank` and charging the truncated tail to the ledger.
+    fn adopt(&mut self, u: Matrix, s: Vec<f64>) {
+        let r = self.max_rank.min(s.len());
+        for &sv in s.iter().skip(r) {
+            self.discarded_energy += sv * sv;
+        }
+        self.u = u.take_cols(r);
+        self.s = s[..r].to_vec();
+        self.reorthonormalize();
+    }
+
+    /// Two-pass modified Gram–Schmidt over the (already nearly
+    /// orthonormal) basis. Each pass applies `U ← U T⁻¹` for an upper
+    /// triangular `T = I + O(defect)`, a rotation that perturbs the
+    /// modes by only `O(defect)` while pinning the defect back to
+    /// machine epsilon — without it, the `O(1e-9)` defect of a
+    /// Gram-path SVD compounds across rank updates and forces constant
+    /// drift refreshes. Costs `O(n k²)`, negligible next to a fold.
+    fn reorthonormalize(&mut self) {
+        let k = self.rank();
+        for j in 0..k {
+            let mut v = self.u.col(j).to_vec();
+            for _ in 0..2 {
+                for i in 0..j {
+                    let b = self.u.col(i);
+                    let p = vecops::dot(b, &v);
+                    vecops::axpy(-p, b, &mut v);
+                }
+            }
+            let norm = vecops::norm2(&v);
+            if norm > 0.0 {
+                vecops::scale(1.0 / norm, &mut v);
+            }
+            self.u.col_mut(j).copy_from_slice(&v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    /// Principal-angle-style agreement: every retained incremental mode
+    /// must lie (almost) inside the span of the reference modes.
+    fn subspace_agrees(inc: &Matrix, full: &Matrix, k: usize, tol: f64) {
+        for j in 0..k {
+            let c = inc.col(j);
+            let proj = full.take_cols(k).tr_matvec(c).unwrap();
+            let norm: f64 = proj.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!(norm > 1.0 - tol, "mode {j}: projection norm {norm}");
+        }
+    }
+
+    #[test]
+    fn single_batch_matches_direct_svd() {
+        let a = test_matrix(60, 12, 7);
+        let mut inc = IncrementalSvd::new(12, LinalgCtx::serial());
+        inc.fold(&a).unwrap();
+        let direct = Svd::compute(&a).unwrap();
+        for (x, y) in inc.singular_values().iter().zip(direct.s.iter()) {
+            assert!((x - y).abs() < 1e-10 * direct.s[0].max(1.0));
+        }
+        assert_eq!(inc.cols_seen(), 12);
+        assert_eq!(inc.update_count(), 1);
+    }
+
+    #[test]
+    fn batched_folds_match_full_svd() {
+        let a = test_matrix(80, 24, 13);
+        let mut inc = IncrementalSvd::new(24, LinalgCtx::serial());
+        for start in (0..24).step_by(6) {
+            let mut batch = Matrix::zeros(80, 6);
+            for j in 0..6 {
+                batch.col_mut(j).copy_from_slice(a.col(start + j));
+            }
+            inc.fold(&batch).unwrap();
+        }
+        let direct = Svd::compute(&a).unwrap();
+        for (x, y) in inc.singular_values().iter().zip(direct.s.iter()) {
+            assert!((x - y).abs() < 1e-8 * direct.s[0], "{x} vs {y}");
+        }
+        subspace_agrees(inc.modes(), &direct.u, 8, 1e-7);
+        assert!(inc.orthonormality_defect() < 1e-8);
+        assert_eq!(inc.update_count(), 4);
+    }
+
+    #[test]
+    fn truncation_tracks_discarded_energy() {
+        let a = test_matrix(50, 20, 5);
+        let mut inc = IncrementalSvd::new(4, LinalgCtx::serial());
+        for start in (0..20).step_by(5) {
+            let mut batch = Matrix::zeros(50, 5);
+            for j in 0..5 {
+                batch.col_mut(j).copy_from_slice(a.col(start + j));
+            }
+            inc.fold(&batch).unwrap();
+        }
+        assert_eq!(inc.rank(), 4);
+        assert!(inc.discarded_energy() > 0.0);
+        let bound = inc.relative_error_bound();
+        assert!(bound > 0.0 && bound < 1.0);
+        // The retained spectrum can't exceed the true one, and must be
+        // within the energy bound of it.
+        let direct = Svd::compute(&a).unwrap();
+        let retained: f64 = inc.singular_values().iter().map(|x| x * x).sum();
+        let truth: f64 = direct.s.iter().map(|x| x * x).sum();
+        assert!(retained <= truth + 1e-9);
+        assert!(retained / truth >= 1.0 - bound - 1e-9);
+    }
+
+    #[test]
+    fn refresh_resets_drift_ledger() {
+        let a = test_matrix(40, 16, 3);
+        let mut inc = IncrementalSvd::new(4, LinalgCtx::serial());
+        for start in (0..16).step_by(4) {
+            let mut batch = Matrix::zeros(40, 4);
+            for j in 0..4 {
+                batch.col_mut(j).copy_from_slice(a.col(start + j));
+            }
+            inc.fold(&batch).unwrap();
+        }
+        assert!(inc.discarded_energy() > 0.0);
+        inc.refresh(&a).unwrap();
+        assert_eq!(inc.refresh_count(), 1);
+        assert_eq!(inc.cols_seen(), 16);
+        let direct = Svd::compute(&a).unwrap();
+        for (x, y) in inc.singular_values().iter().zip(direct.s.iter()) {
+            assert!((x - y).abs() < 1e-10 * direct.s[0]);
+        }
+        // Post-refresh discarded energy restarts from the truncation tail only.
+        let tail: f64 = direct.s.iter().skip(4).map(|x| x * x).sum();
+        assert!((inc.discarded_energy() - tail).abs() < 1e-9 * tail.max(1.0));
+    }
+
+    #[test]
+    fn empty_fold_is_a_no_op() {
+        let mut inc = IncrementalSvd::new(8, LinalgCtx::serial());
+        inc.fold(&Matrix::zeros(10, 0)).unwrap();
+        assert_eq!(inc.rank(), 0);
+        assert_eq!(inc.update_count(), 0);
+        assert_eq!(inc.orthonormality_defect(), 0.0);
+    }
+
+    #[test]
+    fn rank_one_stream() {
+        // One column at a time, the classic Brand rank-one path.
+        let a = test_matrix(30, 10, 17);
+        let mut inc = IncrementalSvd::new(10, LinalgCtx::serial());
+        for j in 0..10 {
+            let mut col = Matrix::zeros(30, 1);
+            col.col_mut(0).copy_from_slice(a.col(j));
+            inc.fold(&col).unwrap();
+        }
+        let direct = Svd::compute(&a).unwrap();
+        for (x, y) in inc.singular_values().iter().zip(direct.s.iter()) {
+            assert!((x - y).abs() < 1e-8 * direct.s[0], "{x} vs {y}");
+        }
+        assert!(inc.orthonormality_defect() < 1e-9);
+    }
+}

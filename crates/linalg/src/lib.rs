@@ -20,8 +20,10 @@
 //! reduces across threads).
 
 pub mod cholesky;
+pub mod ctx;
 pub mod eigen;
 pub mod gemm;
+pub mod incremental;
 pub mod lanczos;
 pub mod lu;
 pub mod matrix;
@@ -31,7 +33,9 @@ pub mod stats;
 pub mod svd;
 pub mod vecops;
 
+pub use ctx::LinalgCtx;
 pub use eigen::SymEigen;
+pub use incremental::IncrementalSvd;
 pub use matrix::Matrix;
 pub use qr::Qr;
 pub use svd::Svd;

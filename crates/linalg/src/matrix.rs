@@ -191,15 +191,10 @@ impl Matrix {
         t
     }
 
-    /// `self * other` (single-threaded; see [`crate::gemm`] for threaded).
+    /// `self * other` (single-threaded; see [`crate::ctx::LinalgCtx`] for
+    /// the blocked/threaded engine entrypoint).
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
-        if self.cols != other.rows {
-            return Err(LinalgError::DimensionMismatch {
-                expected: format!("lhs.cols == rhs.rows ({} )", self.cols),
-                found: format!("rhs has {} rows", other.rows),
-            });
-        }
-        Ok(crate::gemm::gemm_serial(self, other))
+        crate::gemm::gemm_serial(self, other)
     }
 
     /// `self * v` for a vector `v`.

@@ -17,6 +17,30 @@ pub struct Qr {
     pub r: Matrix,
 }
 
+/// Build the normalized Householder vector annihilating `x[1..]`.
+///
+/// Returns the zero vector when `x` is identically zero (the caller
+/// treats that reflector as the identity). Shared by the unblocked
+/// [`Qr::compute`] and the blocked [`crate::ctx::LinalgCtx::qr`] so
+/// both paths produce bitwise-identical factors.
+pub(crate) fn householder_vector(x: &[f64]) -> Vec<f64> {
+    let alpha = -x[0].signum() * vecops::norm2(x);
+    let mut v = x.to_vec();
+    v[0] -= alpha;
+    let vnorm = vecops::norm2(&v);
+    if vnorm > 0.0 {
+        vecops::scale(1.0 / vnorm, &mut v);
+    }
+    v
+}
+
+/// Apply `H = I − 2 v vᵀ` to a column tail in place.
+#[inline]
+pub(crate) fn apply_reflector(v: &[f64], tail: &mut [f64]) {
+    let proj = 2.0 * vecops::dot(v, tail);
+    vecops::axpy(-proj, v, tail);
+}
+
 impl Qr {
     /// Compute the thin QR of `a` by Householder reflections.
     pub fn compute(a: &Matrix) -> Result<Qr> {
@@ -32,20 +56,12 @@ impl Qr {
         let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
         for k in 0..n {
             // Build the Householder vector for column k, rows k..m.
-            let col = r.col(k);
-            let x = &col[k..m];
-            let alpha = -x[0].signum() * vecops::norm2(x);
-            let mut v = x.to_vec();
-            v[0] -= alpha;
-            let vnorm = vecops::norm2(&v);
-            if vnorm > 0.0 {
-                vecops::scale(1.0 / vnorm, &mut v);
+            let v = householder_vector(&r.col(k)[k..m]);
+            if vecops::norm2(&v) > 0.0 {
                 // Apply H = I - 2 v vᵀ to the trailing columns k..n.
                 for j in k..n {
                     let cj = r.col_mut(j);
-                    let tail = &mut cj[k..m];
-                    let proj = 2.0 * vecops::dot(&v, tail);
-                    vecops::axpy(-proj, &v, tail);
+                    apply_reflector(&v, &mut cj[k..m]);
                 }
             }
             vs.push(v);
@@ -69,9 +85,7 @@ impl Qr {
             }
             for j in 0..n {
                 let cj = q.col_mut(j);
-                let tail = &mut cj[k..m];
-                let proj = 2.0 * vecops::dot(v, tail);
-                vecops::axpy(-proj, v, tail);
+                apply_reflector(v, &mut cj[k..m]);
             }
         }
         Ok(Qr { q, r: rr })

@@ -28,11 +28,11 @@ use crate::triple_buffer::DiskTripleBuffer;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use esse_core::adaptive::{CompletionPolicy, EnsembleSchedule};
 use esse_core::convergence::{similarity, ConvergenceTest};
-use esse_core::covariance::SpreadAccumulator;
 use esse_core::model::{ForecastError, ForecastModel};
 use esse_core::perturb::{PerturbConfig, PerturbationGenerator};
-use esse_core::subspace::ErrorSubspace;
+use esse_core::subspace::{make_estimator, ErrorSubspace, SubspaceStrategy, UpdateKind};
 use esse_core::{ConfigError, EsseError};
+use esse_linalg::LinalgCtx;
 use esse_obs::registry::{Counter, Gauge, Histogram, MetricsRegistry};
 use esse_obs::{Lane, Recorder, RecorderExt, NULL};
 use rand::rngs::StdRng;
@@ -85,6 +85,13 @@ pub struct MtcConfig {
     /// Deterministic fault injection (default: none). Used by resilience
     /// tests and the `fault_sweep` bench harness.
     pub faults: Option<FaultPlan>,
+    /// How the error subspace is (re)computed as members arrive. The
+    /// default, [`SubspaceStrategy::FullRecompute`], reproduces the
+    /// legacy full-SVD-per-round path bit for bit.
+    pub subspace: SubspaceStrategy,
+    /// Threading/blocking context handed to the linalg kernels once at
+    /// engine construction (replaces per-call `threads` arguments).
+    pub linalg: LinalgCtx,
 }
 
 impl Default for MtcConfig {
@@ -104,6 +111,8 @@ impl Default for MtcConfig {
             deadline: None,
             retry: RetryPolicy::default(),
             faults: None,
+            subspace: SubspaceStrategy::FullRecompute,
+            linalg: LinalgCtx::default(),
         }
     }
 }
@@ -142,6 +151,17 @@ impl MtcConfig {
             if frac.is_nan() || frac < 0.0 {
                 return Err(ConfigError::new("completion", "SpareNearlyDone fraction must be ≥ 0"));
             }
+        }
+        if let SubspaceStrategy::Incremental { defect_tol, .. } = self.subspace {
+            if defect_tol.is_nan() || defect_tol < 0.0 {
+                return Err(ConfigError::new("subspace", "Incremental defect_tol must be ≥ 0"));
+            }
+        }
+        if self.linalg.threads == 0 {
+            return Err(ConfigError::new("linalg", "threads must be at least 1"));
+        }
+        if self.linalg.block_size == 0 {
+            return Err(ConfigError::new("linalg", "block_size must be at least 1"));
         }
         self.retry.validate()?;
         Ok(())
@@ -237,6 +257,20 @@ impl MtcConfigBuilder {
     /// Deterministic fault injection plan.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Subspace estimation strategy (default: bit-identical
+    /// [`SubspaceStrategy::FullRecompute`]).
+    pub fn subspace(mut self, strategy: SubspaceStrategy) -> Self {
+        self.cfg.subspace = strategy;
+        self
+    }
+
+    /// Linalg engine context (threads + cache block size), passed to
+    /// the kernels once at engine construction.
+    pub fn linalg(mut self, ctx: LinalgCtx) -> Self {
+        self.cfg.linalg = ctx;
         self
     }
 
@@ -429,7 +463,13 @@ struct Meters {
     spec_losses: Counter,
     workers_died: Counter,
     member_runtime: Histogram,
-    svd_runtime: Histogram,
+    /// Incremental rank-block folds of the subspace lane.
+    subspace_update: Histogram,
+    /// Full recomputes of the subspace lane (every round under
+    /// `FullRecompute`; drift-control refreshes under `Incremental`).
+    subspace_refresh: Histogram,
+    /// Orthonormality defect of the last published estimate.
+    subspace_defect: Gauge,
     queue_wait: Histogram,
 }
 
@@ -451,7 +491,9 @@ impl Meters {
             spec_losses: reg.counter("esse_speculative_losses_total"),
             workers_died: reg.counter("esse_workers_died_total"),
             member_runtime: reg.histogram("esse_member_runtime_ns"),
-            svd_runtime: reg.histogram("esse_svd_runtime_ns"),
+            subspace_update: reg.histogram("esse_subspace_update_ns"),
+            subspace_refresh: reg.histogram("esse_subspace_refresh_ns"),
+            subspace_defect: reg.gauge("esse_subspace_defect"),
             queue_wait: reg.histogram("esse_queue_wait_ns"),
         }
     }
@@ -734,7 +776,13 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
             drop(msg_tx); // coordinator keeps only msg_rx
 
             // --- Coordinator: differ + SVD + convergence + recovery. ---
-            let mut acc = SpreadAccumulator::new(central.clone());
+            let mut acc = make_estimator(
+                &cfg.subspace,
+                central.clone(),
+                cfg.mode_rel_tol,
+                cfg.max_rank,
+                cfg.linalg,
+            );
             for (id, result) in init.resume {
                 acc.add_member(*id, result);
             }
@@ -1176,11 +1224,11 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                             vec![("members", acc.count().into())],
                         );
                     }
-                    let snap = acc.snapshot();
-                    if let Some(svd) = snap.svd() {
+                    let mut round_meta: Option<(UpdateKind, f64, f64)> = None;
+                    if let Some(update) = acc.estimate()? {
                         svd_rounds += 1;
-                        let estimate =
-                            ErrorSubspace::from_spread_svd(&svd, cfg.mode_rel_tol, cfg.max_rank);
+                        round_meta = Some((update.kind, update.defect, update.error_bound));
+                        let estimate = update.subspace;
                         let mut round_rho = f64::NAN;
                         if let Some(prev) = &previous {
                             let rho = similarity(prev, &estimate);
@@ -1243,13 +1291,40 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                         }
                         previous = Some(estimate);
                     }
+                    let svd_finished = t0.elapsed();
                     if obs.enabled() {
-                        let svd_finished = t0.elapsed();
+                        // Nested span naming the update flavour this round
+                        // took (incremental fold vs full/refresh recompute),
+                        // emitted retroactively with the measured bounds so
+                        // the outer "svd" span stays stable for analytics.
+                        if let Some((kind, defect, bound)) = round_meta {
+                            let inner = match kind {
+                                UpdateKind::Incremental => "subspace_update",
+                                UpdateKind::Full | UpdateKind::Refresh => "subspace_refresh",
+                            };
+                            obs.begin_at(
+                                ns(svd_started),
+                                Lane::Coordinator,
+                                "svd",
+                                inner,
+                                vec![("defect", defect.into()), ("error_bound", bound.into())],
+                            );
+                            obs.end_at(ns(svd_finished), Lane::Coordinator, "svd", inner);
+                        }
                         obs.end_at(ns(svd_finished), Lane::Coordinator, "svd", "svd");
                         obs.observe("svd", ns(svd_finished.saturating_sub(svd_started)));
                     }
                     if let Some(m) = met {
-                        m.svd_runtime.observe(ns(t0.elapsed().saturating_sub(svd_started)));
+                        if let Some((kind, defect, _)) = round_meta {
+                            let dur = ns(svd_finished.saturating_sub(svd_started));
+                            match kind {
+                                UpdateKind::Incremental => m.subspace_update.observe(dur),
+                                UpdateKind::Full | UpdateKind::Refresh => {
+                                    m.subspace_refresh.observe(dur)
+                                }
+                            }
+                            m.subspace_defect.set(defect);
+                        }
                     }
                 }
                 // Pool growth: if the current stage is complete but not
@@ -1308,11 +1383,10 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                         vec![("members", acc.count().into())],
                     );
                 }
-                let snap = acc.snapshot();
-                let decomposed = match snap.svd() {
-                    Some(svd) => {
+                let decomposed = match acc.estimate()? {
+                    Some(update) => {
                         svd_rounds += 1;
-                        Some(ErrorSubspace::from_spread_svd(&svd, cfg.mode_rel_tol, cfg.max_rank))
+                        Some(update.subspace)
                     }
                     None => None,
                 };

@@ -54,6 +54,7 @@
 //!             [--initial N] [--max NMAX] [--tolerance T] [--workers C] \
 //!             [--lease-ms MS] [--task-attempts A] [--requeue-budget B] \
 //!             [--white-noise E] [--base-seed S] [--resume | --force] \
+//!             [--subspace full|incremental[:REFRESH,TOL]] \
 //!             [--trace-out PATH] [--metrics-out PATH]
 //! ```
 
@@ -62,8 +63,9 @@ use esse::core::adaptive::EnsembleSchedule;
 use esse::core::convergence::{similarity, ConvergenceTest};
 use esse::core::covariance::SpreadAccumulator;
 use esse::core::perturb::{PerturbConfig, PerturbationGenerator};
-use esse::core::subspace::ErrorSubspace;
+use esse::core::subspace::{make_estimator, ErrorSubspace, SubspaceEstimator, SubspaceStrategy};
 use esse::fileio;
+use esse::linalg::LinalgCtx;
 use esse::mtc::bookkeeping::{ExitStatus, StatusDir};
 use esse::mtc::journal::{
     config_hash, encode_subspace_blob, Journal, JournalRecord, JournalState, SvdRound,
@@ -86,7 +88,27 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "esse_master --workdir DIR --domain monterey:NX,NY,NZ --hours H \
                      [--initial N] [--max NMAX] [--tolerance T] [--workers C] \
                      [--lease-ms MS] [--task-attempts A] [--requeue-budget B] \
+                     [--subspace full|incremental[:REFRESH,TOL]] \
                      [--listen ADDR] [--resume | --force]";
+
+/// Parse the `--subspace` flag: `full` (the bit-identical default),
+/// `incremental` (rank-updating tracker with default drift control), or
+/// `incremental:REFRESH,TOL` to pin the periodic full-recompute cadence
+/// and the orthonormality-defect tolerance.
+fn parse_subspace_flag(v: &str) -> Option<SubspaceStrategy> {
+    if v == "full" {
+        return Some(SubspaceStrategy::FullRecompute);
+    }
+    let rest = v.strip_prefix("incremental")?;
+    if rest.is_empty() {
+        return Some(SubspaceStrategy::Incremental { refresh_every: 8, defect_tol: 1e-6 });
+    }
+    let (refresh, tol) = rest.strip_prefix(':')?.split_once(',')?;
+    Some(SubspaceStrategy::Incremental {
+        refresh_every: refresh.parse().ok()?,
+        defect_tol: tol.parse().ok()?,
+    })
+}
 
 /// Journal file name inside the workdir.
 const JOURNAL: &str = "run.journal";
@@ -176,6 +198,11 @@ impl MemberBook {
     }
 }
 
+/// Mode relative tolerance shared by every subspace estimate.
+const SVD_REL_TOL: f64 = 1e-4;
+/// Rank cap shared by every subspace estimate.
+const SVD_MAX_RANK: usize = 64;
+
 /// Rebuild the error-subspace estimate over exactly `ids` (ascending)
 /// from the on-disk forecast files. Deterministic: same ids, same
 /// bytes, same subspace.
@@ -191,7 +218,7 @@ fn subspace_over(
         acc.add_member(m as usize, &xf);
     }
     let svd = acc.snapshot().svd()?;
-    Some((acc, ErrorSubspace::from_spread_svd(&svd, 1e-4, 64)))
+    Some((acc, ErrorSubspace::from_spread_svd(&svd, SVD_REL_TOL, SVD_MAX_RANK)))
 }
 
 /// Replay the journalled rho sequence to find the member count at which
@@ -271,6 +298,18 @@ fn main() {
     // listener: remote workers join the same pool over TCP, multiplexed
     // alongside the local `--workers` fleet.
     let listen = args.get("listen").cloned();
+    // `--subspace incremental` switches the checkpoint schedule to the
+    // rank-updating tracker; the default full recompute stays
+    // byte-identical to the historical rebuild-from-disk path.
+    let strategy = args.get("subspace").map_or(SubspaceStrategy::FullRecompute, |v| {
+        parse_subspace_flag(v).unwrap_or_else(|| {
+            eprintln!(
+                "esse_master: bad --subspace value {v:?} \
+                 (want full or incremental[:REFRESH,TOL])"
+            );
+            std::process::exit(2);
+        })
+    });
 
     // The run identity: everything that shapes the numerical result.
     // Only the knobs that change member *content* are fingerprinted:
@@ -530,6 +569,21 @@ fn main() {
     let mut last_fired: Option<u64> = state.svd_rounds.last().map(|r| r.members);
     let mut previous: Option<(u64, ErrorSubspace)> = None;
     let mut svd_version: u64 = state.svd_rounds.last().map_or(0, |r| r.version);
+    // Incremental strategy: one persistent tracker folds each newly
+    // decided prefix member exactly once across checkpoints (the prefix
+    // is append-only, so the fold order is deterministic under any
+    // worker interleaving). FullRecompute keeps the historical
+    // rebuild-from-disk path byte-for-byte.
+    let mut inc_est: Option<Box<dyn SubspaceEstimator>> = match strategy {
+        SubspaceStrategy::Incremental { .. } => Some(make_estimator(
+            &strategy,
+            central.clone(),
+            SVD_REL_TOL,
+            SVD_MAX_RANK,
+            LinalgCtx::default(),
+        )),
+        SubspaceStrategy::FullRecompute => None,
+    };
 
     // --- Schedule + checkpoints. ---
     let schedule = EnsembleSchedule::new(initial, max);
@@ -805,8 +859,35 @@ fn main() {
                     (p, sub)
                 });
             }
-            let Some((_, estimate)) = subspace_over(&workdir, &central, &eligible[..cp]) else {
-                break;
+            let estimate = match inc_est.as_mut() {
+                Some(est) => {
+                    for &m in &eligible[est.count()..cp] {
+                        let xf = fileio::read_vector(workdir.join(files::fc(m as usize)))
+                            .expect("re-read forecast");
+                        est.add_member(m as usize, &xf);
+                    }
+                    let update = est.estimate().unwrap_or_else(|e| {
+                        eprintln!("esse_master: incremental subspace update failed: {e}");
+                        std::process::exit(1);
+                    });
+                    let Some(update) = update else {
+                        break;
+                    };
+                    rec.instant_at(
+                        rec.now_ns(),
+                        Lane::Coordinator,
+                        "svd",
+                        update.kind.label(),
+                        vec![("members", c.into()), ("defect", update.defect.into())],
+                    );
+                    update.subspace
+                }
+                None => {
+                    let Some((_, full)) = subspace_over(&workdir, &central, &eligible[..cp]) else {
+                        break;
+                    };
+                    full
+                }
             };
             let mut round_rho = f64::NAN;
             if let Some((_, prev)) = &previous {
