@@ -189,10 +189,10 @@ impl ClimateStore {
         let mut above: Option<&&(ClimateTask, TlField)> = None;
         for e in &at_depth {
             let f = e.0.f_khz;
-            if f <= f_khz && below.map_or(true, |b| f > b.0.f_khz) {
+            if f <= f_khz && below.is_none_or(|b| f > b.0.f_khz) {
                 below = Some(e);
             }
-            if f >= f_khz && above.map_or(true, |a| f < a.0.f_khz) {
+            if f >= f_khz && above.is_none_or(|a| f < a.0.f_khz) {
                 above = Some(e);
             }
         }

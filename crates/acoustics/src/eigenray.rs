@@ -50,6 +50,7 @@ fn depth_and_time_at(ray: &Ray, section: &SoundSpeedSection, range: f64) -> Opti
 /// Scans `n_scan` launch angles over `[-aperture, aperture]`, brackets
 /// sign changes of the depth miss, and bisects each bracket `iters`
 /// times. Multipath geometries return several arrivals.
+#[allow(clippy::too_many_arguments)]
 pub fn find_eigenrays(
     tracer: &RayTracer,
     section: &SoundSpeedSection,

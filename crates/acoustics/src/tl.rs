@@ -121,7 +121,7 @@ impl TlSolver {
             freqs_khz.iter().map(|&f| self.bin_rays(&rays, f, max_range, max_depth)).collect();
         let (nr, nz, dr, dz) = (fields[0].nr, fields[0].nz, fields[0].dr, fields[0].dz);
         let mut tl_db = vec![f64::INFINITY; nr * nz];
-        for n in 0..nr * nz {
+        for (n, out) in tl_db.iter_mut().enumerate() {
             let mut intensity = 0.0;
             for f in &fields {
                 if f.tl_db[n].is_finite() {
@@ -129,7 +129,7 @@ impl TlSolver {
                 }
             }
             if intensity > 0.0 {
-                tl_db[n] = -10.0 * (intensity / fields.len() as f64).log10();
+                *out = -10.0 * (intensity / fields.len() as f64).log10();
             }
         }
         TlField { nr, nz, dr, dz, tl_db }

@@ -44,6 +44,7 @@ fn manifest() -> PoolManifest {
         base_seed: 0x5EED,
         lease_ms: 60_000,
         config_hash: 0xBE4C,
+        trace_run_id: 0,
     }
 }
 
@@ -55,7 +56,8 @@ fn fresh_pool(tag: &str, tasks: u64) -> (PathBuf, TaskPool) {
     std::fs::write(dir.join("prior.sub"), b"pool-bench prior").expect("write prior");
     let pool = TaskPool::create(&dir, &manifest()).expect("create pool");
     for member in 0..tasks {
-        pool.seed(&TaskSpec { member, epoch: 1, seed: member ^ 0x5EED }).expect("seed task");
+        pool.seed(&TaskSpec { member, epoch: 1, seed: member ^ 0x5EED, parent_span: 0 })
+            .expect("seed task");
     }
     (dir, pool)
 }

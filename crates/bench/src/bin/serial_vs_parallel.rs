@@ -176,6 +176,7 @@ fn main() {
                 period: std::time::Duration::from_millis(200),
                 total_members: Some(256),
                 verbose: true,
+                ..esse_obs::monitor::MonitorConfig::default()
             })
         });
         let mon_rec = live.as_ref().map(|m| m.recorder());

@@ -69,6 +69,16 @@ fn metric_map(a: &RunAnalysis) -> BTreeMap<String, f64> {
         m.insert("pool_leases_granted".into(), a.pool.leases_granted as f64);
         m.insert("pool_results_ingested".into(), a.pool.results_ingested as f64);
     }
+    if a.fleet.any() {
+        m.insert("fleet_workers".into(), a.fleet.workers.len() as f64);
+        m.insert("fleet_remote_tasks".into(), a.fleet.remote_tasks as f64);
+        if let Some(e) = a.fleet.enqueue_to_claim {
+            m.insert("fleet_enqueue_to_claim_mean_ms".into(), ms(e.mean_ns));
+        }
+        if let Some(e) = a.fleet.publish_to_ingest {
+            m.insert("fleet_publish_to_ingest_mean_ms".into(), ms(e.mean_ns));
+        }
+    }
     m
 }
 
@@ -261,6 +271,62 @@ fn render(a: &RunAnalysis, markdown: bool) -> String {
             ));
         }
     }
+    if a.fleet.any() {
+        out.push('\n');
+        out.push_str(&h("fleet (merged distributed trace)"));
+        out.push_str(&format!(
+            "{} worker(s), {} remote task span(s), {} orphan edge(s){}\n",
+            a.fleet.workers.len(),
+            a.fleet.remote_tasks,
+            a.fleet.orphan_edges,
+            if a.fleet.orphan_edges == 0 { " — DAG valid" } else { " — DAG INVALID" }
+        ));
+        for w in &a.fleet.workers {
+            out.push_str(&format!(
+                "worker {}: clock offset {:+.3} ms (±{:.3} ms, {}), \
+                 utilization {:.0}%, {} task(s), {} span(s) in {} batch(es), {} dropped\n",
+                w.worker,
+                w.offset_ns / 1e6,
+                w.uncertainty_ns / 1e6,
+                if w.constrained { "two-sided" } else { "one-sided" },
+                w.utilization() * 100.0,
+                w.tasks,
+                w.spans,
+                w.batches,
+                w.dropped
+            ));
+            for p in w.phases.iter().filter(|p| p.key.starts_with("phase/")).take(6) {
+                out.push_str(&format!(
+                    "    {:<16} {:>5}x total {:>9.3} ms mean {:>8.3} ms max {:>8.3} ms\n",
+                    p.key.trim_start_matches("phase/"),
+                    p.count,
+                    ms(p.total_ns),
+                    ms(p.mean_ns),
+                    ms(p.max_ns)
+                ));
+            }
+        }
+        if let Some(e) = a.fleet.enqueue_to_claim {
+            out.push_str(&format!(
+                "enqueue->claim: {} edge(s), mean {:.3} ms, max {:.3} ms\n",
+                e.count,
+                ms(e.mean_ns),
+                ms(e.max_ns)
+            ));
+        }
+        if let Some(e) = a.fleet.publish_to_ingest {
+            out.push_str(&format!(
+                "publish->ingest: {} edge(s), mean {:.3} ms, max {:.3} ms\n",
+                e.count,
+                ms(e.mean_ns),
+                ms(e.max_ns)
+            ));
+        }
+        out.push_str(&format!(
+            "critical path {} the process boundary\n",
+            if a.critical_path_crosses_fleet() { "crosses" } else { "does NOT cross" }
+        ));
+    }
     if !a.counters.is_empty() {
         out.push('\n');
         out.push_str(&h("final counters"));
@@ -278,9 +344,13 @@ fn main() {
     let mut max_regression: Option<f64> = None;
     let mut prefixes: Vec<String> = Vec::new();
     let mut markdown = false;
+    let mut assert_fleet_path = false;
+    let mut assert_zero_orphans = false;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
+            "--assert-fleet-path" => assert_fleet_path = true,
+            "--assert-zero-orphans" => assert_zero_orphans = true,
             "--baseline" => {
                 baseline = Some(PathBuf::from(argv.next().expect("--baseline needs a path")))
             }
@@ -308,7 +378,7 @@ fn main() {
         eprintln!(
             "usage: trace_report <trace.jsonl> [--markdown] [--baseline B.json] \
              [--baseline-prefix P]... [--assert-max-regression PCT] \
-             [--write-baseline OUT.json]"
+             [--write-baseline OUT.json] [--assert-fleet-path] [--assert-zero-orphans]"
         );
         exit(2);
     };
@@ -330,6 +400,41 @@ fn main() {
     let analysis = trace.analyze();
     let metrics = metric_map(&analysis);
     print!("{}", render(&analysis, markdown));
+
+    // Fleet gates: a tracing-enabled multi-worker run must produce a
+    // merged timeline whose end-to-end chain crosses the process
+    // boundary, with every remote task span anchored to a coordinator
+    // enqueue (zero orphan edges).
+    if assert_fleet_path {
+        if !analysis.fleet.any() {
+            eprintln!("FAIL: --assert-fleet-path: trace carries no merged fleet");
+            exit(1);
+        }
+        if !analysis.critical_path_crosses_fleet() {
+            eprintln!(
+                "FAIL: --assert-fleet-path: critical path never enters a worker lane \
+                 ({} segments, {} remote task spans)",
+                analysis.critical_path.segments.len(),
+                analysis.fleet.remote_tasks
+            );
+            exit(1);
+        }
+        println!("assert-fleet-path: OK (critical path crosses the process boundary)");
+    }
+    if assert_zero_orphans {
+        if analysis.fleet.orphan_edges > 0 {
+            eprintln!(
+                "FAIL: --assert-zero-orphans: {} remote task span(s) have no matching \
+                 coordinator enqueue (or a mismatched parent span id)",
+                analysis.fleet.orphan_edges
+            );
+            exit(1);
+        }
+        println!(
+            "assert-zero-orphans: OK ({} remote task spans all anchored)",
+            analysis.fleet.remote_tasks
+        );
+    }
 
     if let Some(out) = &write_to {
         write_baseline(out, &metrics).expect("write baseline");

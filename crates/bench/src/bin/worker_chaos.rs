@@ -26,6 +26,14 @@
 //! * (scenario 3) the fencing-rejected and lease-expired counters are
 //!   both non-zero — the zombie's publish really was rejected.
 //!
+//! Every scenario runs with distributed tracing on, and two more
+//! invariants ride along: the merged trace (`pool.trace.jsonl`) must
+//! analyze to a valid fleet DAG — zero orphan cross-process edges and
+//! a critical path that enters the worker processes — even though
+//! SIGKILL'd workers died holding unshipped span batches, and a
+//! tracing-off re-run of the reference must produce a byte-identical
+//! posterior, proving tracing is purely observational.
+//!
 //! With `--transport tcp` the chaos and zombie scenarios run over the
 //! esse-net wire protocol instead of the shared filesystem: the master
 //! opens `--listen 127.0.0.1:0`, the harness reads the bound address
@@ -110,8 +118,11 @@ struct ChaosConfig {
 }
 
 impl ChaosConfig {
-    /// Coordinator command; `workers` local workers (0 = externals only).
-    fn master(&self, workdir: &Path, workers: usize) -> Command {
+    /// Coordinator command; `workers` local workers (0 = externals
+    /// only). `trace` enables distributed tracing (`--trace-out`);
+    /// tracing must be purely observational, so a tracing-off run of
+    /// the same config asserts the posterior is byte-identical.
+    fn master(&self, workdir: &Path, workers: usize, trace: bool) -> Command {
         let mut cmd = Command::new(&self.master);
         cmd.arg("--workdir")
             .arg(workdir)
@@ -133,10 +144,11 @@ impl ChaosConfig {
             .arg(self.lease_ms.to_string())
             .arg("--metrics-out")
             .arg(workdir.join("metrics.prom"))
-            .arg("--trace-out")
-            .arg(workdir.join("pool.trace.jsonl"))
             .stdout(Stdio::null())
             .stderr(Stdio::null());
+        if trace {
+            cmd.arg("--trace-out").arg(workdir.join("pool.trace.jsonl"));
+        }
         if self.tcp && workers == 0 {
             // Pure-coordinator scenarios listen for the remote fleet on
             // an ephemeral port discovered via the endpoint file.
@@ -230,6 +242,41 @@ fn metric(workdir: &Path, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// Distributed-trace invariant: the merged timeline the coordinator
+/// exported must analyze cleanly even when SIGKILL'd workers never
+/// shipped (or only partially shipped) their span batches — a valid
+/// fleet DAG with zero orphan cross-process edges and a critical path
+/// that actually crosses into the worker processes. Returns a one-line
+/// summary for the scenario report.
+fn check_merged_trace(workdir: &Path) -> Result<String, String> {
+    let path = workdir.join("pool.trace.jsonl");
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let loaded = esse_obs::LoadedTrace::from_jsonl(&text)
+        .map_err(|e| format!("parse {}: {e}", path.display()))?;
+    let a = loaded.analyze();
+    if !a.fleet.any() {
+        return Err("merged trace has no fleet section (no worker batches merged)".into());
+    }
+    if a.fleet.orphan_edges > 0 {
+        return Err(format!(
+            "{} orphan cross-process edge(s) in the merged timeline",
+            a.fleet.orphan_edges
+        ));
+    }
+    if a.fleet.remote_tasks == 0 {
+        return Err("no remote task spans survived the merge".into());
+    }
+    if !a.critical_path_crosses_fleet() {
+        return Err("critical path never enters a worker lane".into());
+    }
+    Ok(format!(
+        "merged trace: {} worker(s), {} remote tasks, 0 orphan edges",
+        a.fleet.workers.len(),
+        a.fleet.remote_tasks
+    ))
+}
+
 fn reap_all(workers: &mut Vec<Child>, grace: Duration) {
     let deadline = Instant::now() + grace;
     for w in workers.iter_mut() {
@@ -291,7 +338,7 @@ fn main() {
 
     // --- Scenario 1: the unkilled single-worker reference. ---
     let ref_dir = root.join("reference");
-    let status = cfg.master(&ref_dir, 1).status().expect("spawn reference master");
+    let status = cfg.master(&ref_dir, 1, true).status().expect("spawn reference master");
     if !status.success() {
         eprintln!("FAIL: reference run exited with {status}");
         std::process::exit(1);
@@ -305,16 +352,48 @@ fn main() {
         std::process::exit(1);
     }
     let ref_converged = journal_converged(&ref_dir.join("run.journal")).unwrap_or(false);
+    let ref_fleet = check_merged_trace(&ref_dir).unwrap_or_else(|e| {
+        eprintln!("FAIL: reference trace: {e}");
+        std::process::exit(1);
+    });
     println!(
-        "reference: posterior {} bytes, converged={ref_converged} ({:.1?})",
+        "reference: posterior {} bytes, converged={ref_converged}, {ref_fleet} ({:.1?})",
         reference.len(),
         t0.elapsed()
     );
 
+    // --- Scenario 1b: the same run with tracing disabled. Tracing is
+    // purely observational, so the posterior must not move by a bit.
+    {
+        let dir = root.join("reference-notrace");
+        let status = cfg.master(&dir, 1, false).status().expect("spawn notrace master");
+        let outcome = (|| -> Result<(), String> {
+            if !status.success() {
+                return Err(format!("tracing-off reference exited with {status}"));
+            }
+            if dir.join("pool.trace.jsonl").exists() {
+                return Err("tracing-off run still exported a trace".into());
+            }
+            if read_posterior(&dir)? != reference {
+                return Err("posterior differs with tracing off — tracing is not \
+                     observational"
+                    .into());
+            }
+            Ok(())
+        })();
+        match outcome {
+            Ok(()) => println!("reference-notrace: posterior bit-identical with tracing off"),
+            Err(e) => {
+                failures.push(format!("reference-notrace: {e}"));
+                eprintln!("FAIL reference-notrace: {e}");
+            }
+        }
+    }
+
     // --- Scenario 2: kill random workers on a seeded schedule. ---
     {
         let dir = root.join("chaos");
-        let mut master = cfg.master(&dir, 0).spawn().expect("spawn chaos master");
+        let mut master = cfg.master(&dir, 0, true).spawn().expect("spawn chaos master");
         let mut fleet: Vec<Child> = (0..workers).map(|i| cfg.spawn_worker(&dir, i, &[])).collect();
         let mut next_id = workers;
         let mut rng = seed | 1;
@@ -337,7 +416,7 @@ fn main() {
             next_id += 1;
         };
         reap_all(&mut fleet, Duration::from_secs(5));
-        let outcome = (|| -> Result<(), String> {
+        let outcome = (|| -> Result<String, String> {
             if !done.success() {
                 return Err(format!("chaos master exited with {done}"));
             }
@@ -349,13 +428,15 @@ fn main() {
             if posterior != reference {
                 return Err("chaos posterior differs from unkilled reference".into());
             }
-            Ok(())
+            // SIGKILL'd workers died holding unshipped span batches; the
+            // merged timeline must stay valid without them.
+            check_merged_trace(&dir)
         })();
         let expired = metric(&dir, "esse_pool_lease_expired_total");
         match outcome {
-            Ok(()) => println!(
+            Ok(fleet) => println!(
                 "chaos: {kills} worker kills ({} spawned), {expired} lease expiries, \
-                 bit-identical posterior",
+                 bit-identical posterior; {fleet}",
                 next_id
             ),
             Err(e) => {
@@ -370,7 +451,7 @@ fn main() {
     {
         let dir = root.join("zombie");
         let stall_ms = cfg.lease_ms * 4;
-        let mut master = cfg.master(&dir, 0).spawn().expect("spawn zombie master");
+        let mut master = cfg.master(&dir, 0, true).spawn().expect("spawn zombie master");
         // The zombie goes first, alone, so it claims member 0.
         let zombie = cfg.spawn_worker(
             &dir,
@@ -410,7 +491,7 @@ fn main() {
         let fenced_on_disk = stale_marker.exists();
         let fenced = metric(&dir, "esse_pool_fencing_rejected_total");
         let expired = metric(&dir, "esse_pool_lease_expired_total");
-        let outcome = (|| -> Result<(), String> {
+        let outcome = (|| -> Result<String, String> {
             if !claimed {
                 return Err("zombie never claimed member 0".into());
             }
@@ -433,12 +514,14 @@ fn main() {
             if posterior != reference {
                 return Err("zombie posterior differs from unkilled reference".into());
             }
-            Ok(())
+            // The zombie's fenced epoch and SIGKILL'd batch must not
+            // poison the merged timeline with orphan edges.
+            check_merged_trace(&dir)
         })();
         match outcome {
-            Ok(()) => println!(
+            Ok(fleet) => println!(
                 "zombie: stale publish fenced (fenced={fenced}, expired={expired}), \
-                 bit-identical posterior"
+                 bit-identical posterior; {fleet}"
             ),
             Err(e) => {
                 failures.push(format!("zombie: {e}"));

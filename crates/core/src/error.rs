@@ -167,7 +167,7 @@ mod tests {
         assert!(matches!(e, EsseError::TaskFailed { member: None, attempts: 1, .. }));
         let e: EsseError = ConfigError::new("tolerance", "out of range").into();
         assert!(matches!(e, EsseError::Config(_)));
-        let e: EsseError = std::io::Error::new(std::io::ErrorKind::Other, "io").into();
+        let e: EsseError = std::io::Error::other("io").into();
         assert!(matches!(e, EsseError::Io(_)));
     }
 

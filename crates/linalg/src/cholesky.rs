@@ -65,15 +65,15 @@ impl Cholesky {
         let mut y = b.to_vec();
         for i in 0..n {
             let mut s = y[i];
-            for j in 0..i {
-                s -= self.l.get(i, j) * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                s -= self.l.get(i, j) * yj;
             }
             y[i] = s / self.l.get(i, i);
         }
         for i in (0..n).rev() {
             let mut s = y[i];
-            for j in i + 1..n {
-                s -= self.l.get(j, i) * y[j];
+            for (j, &yj) in y.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.l.get(j, i) * yj;
             }
             y[i] = s / self.l.get(i, i);
         }

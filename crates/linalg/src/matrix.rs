@@ -71,8 +71,8 @@ impl Matrix {
     pub fn from_diag(d: &[f64]) -> Self {
         let n = d.len();
         let mut m = Matrix::zeros(n, n);
-        for i in 0..n {
-            m.data[i * n + i] = d[i];
+        for (i, &di) in d.iter().enumerate() {
+            m.data[i * n + i] = di;
         }
         m
     }
@@ -206,8 +206,7 @@ impl Matrix {
             });
         }
         let mut y = vec![0.0; self.rows];
-        for j in 0..self.cols {
-            let x = v[j];
+        for (j, &x) in v.iter().enumerate() {
             if x == 0.0 {
                 continue;
             }
@@ -228,8 +227,8 @@ impl Matrix {
             });
         }
         let mut y = vec![0.0; self.cols];
-        for j in 0..self.cols {
-            y[j] = crate::vecops::dot(self.col(j), v);
+        for (j, yj) in y.iter_mut().enumerate() {
+            *yj = crate::vecops::dot(self.col(j), v);
         }
         Ok(y)
     }

@@ -110,9 +110,9 @@ impl Svd {
         // Normalize U columns; columns with σ at roundoff level would
         // normalize into noise, so they get an orthonormal fill instead.
         let floor = s.first().copied().unwrap_or(0.0) * 1e-12;
-        for j in 0..n {
-            if s[j] > floor {
-                vecops::scale(1.0 / s[j], u_sorted.col_mut(j));
+        for (j, &sj) in s.iter().enumerate().take(n) {
+            if sj > floor {
+                vecops::scale(1.0 / sj, u_sorted.col_mut(j));
             }
         }
         fill_null_columns(&mut u_sorted, &s, floor);
@@ -141,9 +141,9 @@ impl Svd {
         let floor = s.first().copied().unwrap_or(0.0) * 1e-7;
         let av = a.matmul(&v)?;
         let mut u = av;
-        for j in 0..n {
-            if s[j] > floor {
-                vecops::scale(1.0 / s[j], u.col_mut(j));
+        for (j, &sj) in s.iter().enumerate().take(n) {
+            if sj > floor {
+                vecops::scale(1.0 / sj, u.col_mut(j));
             } else {
                 for x in u.col_mut(j) {
                     *x = 0.0;
@@ -197,8 +197,8 @@ impl Svd {
 /// columns even for rank-deficient inputs.
 fn fill_null_columns(u: &mut Matrix, s: &[f64], floor: f64) {
     let m = u.rows();
-    for j in 0..s.len() {
-        if s[j] > floor && s[j] > 0.0 {
+    for (j, &sj) in s.iter().enumerate() {
+        if sj > floor && sj > 0.0 {
             continue;
         }
         // Try coordinate vectors until one survives orthogonalization.

@@ -110,6 +110,10 @@ pub struct PoolManifest {
     /// Fingerprint of the run configuration (journal `config_hash`);
     /// workers refuse a pool whose hash differs from their claim's.
     pub config_hash: u64,
+    /// Trace-context run id. Nonzero when the coordinator runs with
+    /// tracing enabled: workers record spans and ship batches tagged
+    /// with this id. Zero disables worker-side tracing entirely.
+    pub trace_run_id: u64,
 }
 
 impl PoolManifest {
@@ -122,6 +126,7 @@ impl PoolManifest {
         p.extend_from_slice(&self.base_seed.to_le_bytes());
         p.extend_from_slice(&self.lease_ms.to_le_bytes());
         p.extend_from_slice(&self.config_hash.to_le_bytes());
+        p.extend_from_slice(&self.trace_run_id.to_le_bytes());
         frame(MANIFEST_MAGIC, &p)
     }
 
@@ -131,9 +136,13 @@ impl PoolManifest {
             return Err(bad("manifest", "truncated"));
         }
         let dlen = u32::from_le_bytes(p[..4].try_into().unwrap()) as usize;
-        if p.len() != 4 + dlen + 8 * 5 {
-            return Err(bad("manifest", "length mismatch"));
-        }
+        // A 5-word tail is a pre-tracing manifest (run id 0); 6 words
+        // carry the trace context.
+        let words = match p.len().checked_sub(4 + dlen) {
+            Some(40) => 5,
+            Some(48) => 6,
+            _ => return Err(bad("manifest", "length mismatch")),
+        };
         let domain = String::from_utf8(p[4..4 + dlen].to_vec())
             .map_err(|_| bad("manifest", "domain not UTF-8"))?;
         let u = |i: usize| {
@@ -146,6 +155,7 @@ impl PoolManifest {
             base_seed: u(2),
             lease_ms: u(3),
             config_hash: u(4),
+            trace_run_id: if words == 6 { u(5) } else { 0 },
         })
     }
 }
@@ -162,6 +172,10 @@ pub struct TaskSpec {
     /// Forecast seed for the member (computed by the coordinator so
     /// workers need no access to the perturbation generator).
     pub seed: u64,
+    /// Coordinator-assigned parent span id for distributed tracing
+    /// (`esse_obs::fleet::span_id(run_id, member, epoch)`); 0 when the
+    /// run is untraced or the record predates tracing.
+    pub parent_span: u64,
 }
 
 impl TaskSpec {
@@ -171,22 +185,30 @@ impl TaskSpec {
     }
 
     fn encode(&self) -> Vec<u8> {
-        let mut p = Vec::with_capacity(20);
+        let mut p = Vec::with_capacity(28);
         p.extend_from_slice(&self.member.to_le_bytes());
         p.extend_from_slice(&self.epoch.to_le_bytes());
         p.extend_from_slice(&self.seed.to_le_bytes());
+        p.extend_from_slice(&self.parent_span.to_le_bytes());
         frame(TASK_MAGIC, &p)
     }
 
     fn decode(raw: &[u8]) -> io::Result<TaskSpec> {
         let p = unframe(TASK_MAGIC, raw, "task record")?;
-        if p.len() != 20 {
+        // 20 bytes is a pre-tracing record (parent span 0); 28 carries
+        // the trace context.
+        if p.len() != 20 && p.len() != 28 {
             return Err(bad("task record", "length mismatch"));
         }
         Ok(TaskSpec {
             member: u64::from_le_bytes(p[..8].try_into().unwrap()),
             epoch: u32::from_le_bytes(p[8..12].try_into().unwrap()),
             seed: u64::from_le_bytes(p[12..20].try_into().unwrap()),
+            parent_span: if p.len() == 28 {
+                u64::from_le_bytes(p[20..28].try_into().unwrap())
+            } else {
+                0
+            },
         })
     }
 }
@@ -542,6 +564,63 @@ impl TaskPool {
     pub fn release_claim(&self, spec: &TaskSpec) -> io::Result<()> {
         self.remove_claim(spec)
     }
+
+    // --- Trace sidecars ---------------------------------------------------
+
+    /// Durably write a span-batch sidecar into `results/`. Sidecar
+    /// names (`rMMMMMM.eEEEEE.trace`, `wWWWWW.final.trace`) are longer
+    /// than the strict 14-byte record names, so they are invisible to
+    /// every pool scan — tracing can never perturb claims or results.
+    /// The name is validated to stay inside the results directory.
+    pub fn write_trace_sidecar(&self, file_name: &str, bytes: &[u8]) -> io::Result<()> {
+        if !valid_sidecar_name(file_name) {
+            return Err(bad("trace sidecar", "invalid sidecar file name"));
+        }
+        atomic_write(self.results_dir().join(file_name), bytes)
+    }
+
+    /// The sidecar path for a given result key, if the file exists
+    /// (results dir first, then `stale/` — a fenced task's spans are
+    /// still real timeline).
+    pub fn trace_sidecar_for(&self, member: u64, epoch: u32) -> Option<PathBuf> {
+        let name = format!("r{member:06}.e{epoch:05}{TRACE_SUFFIX}");
+        [self.results_dir().join(&name), self.stale_dir().join(&name)]
+            .into_iter()
+            .find(|p| p.exists())
+    }
+
+    /// Every span-batch sidecar currently in the pool (results and
+    /// stale directories), sorted by file name.
+    pub fn trace_sidecars(&self) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for dir in [self.results_dir(), self.stale_dir()] {
+            let entries = match fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            for entry in entries.filter_map(|e| e.ok()) {
+                if entry.file_name().into_string().is_ok_and(|n| valid_sidecar_name(&n)) {
+                    out.push(entry.path());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// Suffix of span-batch sidecar files.
+pub const TRACE_SUFFIX: &str = ".trace";
+
+/// A sidecar name is a plain file name (no separators) ending in
+/// [`TRACE_SUFFIX`] — and, being longer than 14 bytes, never a valid
+/// record name.
+fn valid_sidecar_name(name: &str) -> bool {
+    name.len() > TRACE_SUFFIX.len()
+        && name.ends_with(TRACE_SUFFIX)
+        && !name.contains(['/', '\\'])
+        && !name.contains("..")
 }
 
 /// Strict record file-name check: `<prefix>MMMMMM.eEEEEE`. Directory
@@ -654,6 +733,7 @@ mod tests {
             base_seed: 0x5EED,
             lease_ms: 500,
             config_hash: 0xABCD,
+            trace_run_id: 0,
         }
     }
 
@@ -674,7 +754,7 @@ mod tests {
 
     #[test]
     fn task_and_result_records_roundtrip() {
-        let t = TaskSpec { member: 42, epoch: 3, seed: 0xDEAD_BEEF };
+        let t = TaskSpec { member: 42, epoch: 3, seed: 0xDEAD_BEEF, parent_span: 0xABCD_1234_5678 };
         assert_eq!(TaskSpec::decode(&t.encode()).unwrap(), t);
         assert_eq!(t.file_name(), "t000042.e00003");
         let r = ResultRecord { member: 42, epoch: 3, code: 0, pid: 123, fc_crc: 77 };
@@ -690,7 +770,7 @@ mod tests {
     fn claim_is_exclusive() {
         let dir = tmpdir("claim");
         let pool = TaskPool::create(&dir, &manifest()).unwrap();
-        let t = TaskSpec { member: 0, epoch: 1, seed: 9 };
+        let t = TaskSpec { member: 0, epoch: 1, seed: 9, parent_span: 0 };
         pool.seed(&t).unwrap();
         let name = t.file_name();
         let won = pool.try_claim(&name).unwrap();
@@ -709,7 +789,7 @@ mod tests {
     fn concurrent_claimers_exactly_one_wins() {
         let dir = tmpdir("race");
         let pool = TaskPool::create(&dir, &manifest()).unwrap();
-        let t = TaskSpec { member: 7, epoch: 1, seed: 1 };
+        let t = TaskSpec { member: 7, epoch: 1, seed: 1, parent_span: 0 };
         pool.seed(&t).unwrap();
         let name = t.file_name();
         let wins: usize = std::thread::scope(|s| {
@@ -729,7 +809,7 @@ mod tests {
     fn heartbeat_and_result_flow() {
         let dir = tmpdir("flow");
         let pool = TaskPool::create(&dir, &manifest()).unwrap();
-        let t = TaskSpec { member: 2, epoch: 1, seed: 5 };
+        let t = TaskSpec { member: 2, epoch: 1, seed: 5, parent_span: 0 };
         pool.seed(&t).unwrap();
         pool.try_claim(&t.file_name()).unwrap().unwrap();
         pool.heartbeat(&t, &Heartbeat { pid: 1, counter: 1 }).unwrap();
@@ -747,7 +827,7 @@ mod tests {
     fn in_flight_temp_files_are_invisible_to_listing_and_scan() {
         let dir = tmpdir("tmpfiles");
         let pool = TaskPool::create(&dir, &manifest()).unwrap();
-        let t = TaskSpec { member: 0, epoch: 1, seed: 7 };
+        let t = TaskSpec { member: 0, epoch: 1, seed: 7, parent_span: 0 };
         pool.seed(&t).unwrap();
         // A publisher's atomic_write temp sitting in each directory —
         // exactly what a concurrent seed/publish (or a crash mid-write)
@@ -787,8 +867,8 @@ mod tests {
     fn epochs_recover_from_all_three_directories() {
         let dir = tmpdir("epochs");
         let pool = TaskPool::create(&dir, &manifest()).unwrap();
-        pool.seed(&TaskSpec { member: 0, epoch: 3, seed: 1 }).unwrap();
-        let t1 = TaskSpec { member: 1, epoch: 2, seed: 1 };
+        pool.seed(&TaskSpec { member: 0, epoch: 3, seed: 1, parent_span: 0 }).unwrap();
+        let t1 = TaskSpec { member: 1, epoch: 2, seed: 1, parent_span: 0 };
         pool.seed(&t1).unwrap();
         pool.try_claim(&t1.file_name()).unwrap().unwrap();
         pool.publish_result(&ResultRecord { member: 2, epoch: 5, code: 0, pid: 0, fc_crc: 0 })
@@ -805,8 +885,8 @@ mod tests {
         let pool = TaskPool::create(&dir, &manifest()).unwrap();
         assert!(!pool.cancelled());
         assert!(!pool.shutdown());
-        pool.seed(&TaskSpec { member: 0, epoch: 1, seed: 0 }).unwrap();
-        pool.seed(&TaskSpec { member: 1, epoch: 1, seed: 0 }).unwrap();
+        pool.seed(&TaskSpec { member: 0, epoch: 1, seed: 0, parent_span: 0 }).unwrap();
+        pool.seed(&TaskSpec { member: 1, epoch: 1, seed: 0, parent_span: 0 }).unwrap();
         pool.write_cancel().unwrap();
         assert_eq!(pool.cancel_pending().unwrap(), 2);
         assert!(pool.cancelled());
@@ -835,10 +915,10 @@ mod tests {
     fn torn_records_are_skipped_not_trusted() {
         let dir = tmpdir("torn");
         let pool = TaskPool::create(&dir, &manifest()).unwrap();
-        let good = TaskSpec { member: 1, epoch: 1, seed: 1 };
+        let good = TaskSpec { member: 1, epoch: 1, seed: 1, parent_span: 0 };
         pool.seed(&good).unwrap();
         // A torn task record appears in pending/ (no atomic_write).
-        let torn = TaskSpec { member: 2, epoch: 1, seed: 1 }.encode();
+        let torn = TaskSpec { member: 2, epoch: 1, seed: 1, parent_span: 0 }.encode();
         fs::write(
             dir.join(POOL_DIR).join(PENDING_DIR).join("t000002.e00001"),
             &torn[..torn.len() - 3],

@@ -59,6 +59,7 @@ pub fn billed_hours(seconds: f64) -> f64 {
 /// * `members` each returning `output_mb_per_member`,
 /// * `instances` running for `run_seconds` wall-clock each at
 ///   `hourly_rate` USD/hour.
+#[allow(clippy::too_many_arguments)]
 pub fn campaign_cost(
     pricing: &Ec2Pricing,
     input_gb: f64,

@@ -88,6 +88,16 @@ pub trait PoolTransport: Send + Sync {
     /// Release a claim after publishing (or abandoning) it.
     fn release(&self, spec: &TaskSpec) -> io::Result<()>;
 
+    /// Ship an encoded span batch (`esse_obs::fleet::SpanBatch` bytes)
+    /// to the coordinator, to be persisted as a trace sidecar next to
+    /// the results. Best-effort and idempotent: the batch file name is
+    /// derived from its (member, epoch) key, so re-shipping after a
+    /// retry rewrites the same sidecar. The default does nothing —
+    /// tracing must never be load-bearing for a transport.
+    fn ship_trace(&self, _bytes: &[u8]) -> io::Result<()> {
+        Ok(())
+    }
+
     /// Current tombstone state (polled mid-task for cancellation).
     fn run_state(&self) -> io::Result<RunState>;
 
@@ -183,6 +193,14 @@ impl PoolTransport for DiskTransport {
         self.pool.release_claim(spec)
     }
 
+    fn ship_trace(&self, bytes: &[u8]) -> io::Result<()> {
+        // Decode to learn the batch's canonical sidecar name (and to
+        // refuse corrupt bytes before they land next to the results).
+        let batch = esse_obs::fleet::SpanBatch::decode(bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.pool.write_trace_sidecar(&batch.file_name(), bytes)
+    }
+
     fn run_state(&self) -> io::Result<RunState> {
         Ok(RunState { cancelled: self.pool.cancelled(), shutdown: self.pool.shutdown() })
     }
@@ -225,6 +243,7 @@ mod tests {
             base_seed: 1,
             lease_ms: 500,
             config_hash: 0xFEED,
+            trace_run_id: 0,
         }
     }
 
@@ -238,8 +257,8 @@ mod tests {
     fn disk_transport_claims_lowest_pending_first() {
         let dir = tmpdir("lowest");
         let t = open(&dir);
-        t.pool().seed(&TaskSpec { member: 5, epoch: 1, seed: 0 }).unwrap();
-        t.pool().seed(&TaskSpec { member: 2, epoch: 1, seed: 0 }).unwrap();
+        t.pool().seed(&TaskSpec { member: 5, epoch: 1, seed: 0, parent_span: 0 }).unwrap();
+        t.pool().seed(&TaskSpec { member: 2, epoch: 1, seed: 0, parent_span: 0 }).unwrap();
         match t.claim_next().unwrap() {
             ClaimOutcome::Task(spec) => assert_eq!(spec.member, 2),
             other => panic!("expected a task, got {other:?}"),
@@ -255,7 +274,7 @@ mod tests {
     fn disk_transport_observes_tombstones_before_claiming() {
         let dir = tmpdir("tomb");
         let t = open(&dir);
-        t.pool().seed(&TaskSpec { member: 0, epoch: 1, seed: 0 }).unwrap();
+        t.pool().seed(&TaskSpec { member: 0, epoch: 1, seed: 0, parent_span: 0 }).unwrap();
         t.pool().write_cancel().unwrap();
         assert_eq!(t.claim_next().unwrap(), ClaimOutcome::Cancelled);
         t.pool().write_shutdown().unwrap();
@@ -268,7 +287,7 @@ mod tests {
     fn disk_transport_round_trips_heartbeat_and_result() {
         let dir = tmpdir("flow");
         let t = open(&dir);
-        let spec = TaskSpec { member: 0, epoch: 1, seed: 0 };
+        let spec = TaskSpec { member: 0, epoch: 1, seed: 0, parent_span: 0 };
         t.pool().seed(&spec).unwrap();
         let ClaimOutcome::Task(claimed) = t.claim_next().unwrap() else {
             panic!("claim failed");

@@ -280,6 +280,13 @@ impl PoolTransport for TcpTransport {
         }
     }
 
+    fn ship_trace(&self, bytes: &[u8]) -> io::Result<()> {
+        match self.exchange(&Message::Trace { bytes: bytes.to_vec() }, &[])? {
+            Message::TraceAck { .. } => Ok(()),
+            other => Err(unexpected("trace", &other)),
+        }
+    }
+
     fn run_state(&self) -> io::Result<RunState> {
         match self.exchange(&Message::Query, &[])? {
             Message::RunInfo { cancelled, shutdown } => Ok(RunState { cancelled, shutdown }),

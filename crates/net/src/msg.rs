@@ -125,6 +125,21 @@ pub enum Message {
         /// SHUTDOWN tombstone present.
         shutdown: bool,
     },
+    /// Ship an encoded span batch (`esse_obs::fleet::SpanBatch` bytes,
+    /// self-framed with their own magic + CRC) to the coordinator. The
+    /// server persists it as a trace sidecar next to the results;
+    /// shipping is idempotent, so an exchange retry after a reconnect
+    /// just rewrites the same sidecar.
+    Trace {
+        /// Encoded span batch, opaque to the protocol layer.
+        bytes: Vec<u8>,
+    },
+    /// Span batch persisted. Carries the coordinator's receive stamp so
+    /// the worker could tighten its own skew estimate if it cared.
+    TraceAck {
+        /// Coordinator clock at ingest, nanoseconds.
+        server_ns: u64,
+    },
 }
 
 /// Why a frame body failed to decode as a message.
@@ -181,6 +196,8 @@ const T_RELEASE: u8 = 0x10;
 const T_RELEASE_ACK: u8 = 0x11;
 const T_QUERY: u8 = 0x12;
 const T_RUN_INFO: u8 = 0x13;
+const T_TRACE: u8 = 0x14;
+const T_TRACE_ACK: u8 = 0x15;
 
 struct Reader<'a> {
     buf: &'a [u8],
@@ -250,10 +267,11 @@ fn put_spec(out: &mut Vec<u8>, spec: &TaskSpec) {
     out.extend_from_slice(&spec.member.to_le_bytes());
     out.extend_from_slice(&spec.epoch.to_le_bytes());
     out.extend_from_slice(&spec.seed.to_le_bytes());
+    out.extend_from_slice(&spec.parent_span.to_le_bytes());
 }
 
 fn get_spec(r: &mut Reader<'_>) -> Result<TaskSpec, MsgError> {
-    Ok(TaskSpec { member: r.u64()?, epoch: r.u32()?, seed: r.u64()? })
+    Ok(TaskSpec { member: r.u64()?, epoch: r.u32()?, seed: r.u64()?, parent_span: r.u64()? })
 }
 
 impl Message {
@@ -276,6 +294,7 @@ impl Message {
                 out.extend_from_slice(&manifest.base_seed.to_le_bytes());
                 out.extend_from_slice(&manifest.lease_ms.to_le_bytes());
                 out.extend_from_slice(&manifest.config_hash.to_le_bytes());
+                out.extend_from_slice(&manifest.trace_run_id.to_le_bytes());
                 put_blob(&mut out, mean);
                 put_blob(&mut out, prior);
             }
@@ -325,6 +344,14 @@ impl Message {
                 out.push(u8::from(*cancelled));
                 out.push(u8::from(*shutdown));
             }
+            Message::Trace { bytes } => {
+                out.push(T_TRACE);
+                put_blob(&mut out, bytes);
+            }
+            Message::TraceAck { server_ns } => {
+                out.push(T_TRACE_ACK);
+                out.extend_from_slice(&server_ns.to_le_bytes());
+            }
         }
         out
     }
@@ -346,6 +373,7 @@ impl Message {
                 let base_seed = r.u64()?;
                 let lease_ms = r.u64()?;
                 let config_hash = r.u64()?;
+                let trace_run_id = r.u64()?;
                 let mean = r.blob()?;
                 let prior = r.blob()?;
                 Message::Welcome {
@@ -356,6 +384,7 @@ impl Message {
                         base_seed,
                         lease_ms,
                         config_hash,
+                        trace_run_id,
                     },
                     mean,
                     prior,
@@ -390,6 +419,8 @@ impl Message {
             T_RELEASE_ACK => Message::ReleaseAck,
             T_QUERY => Message::Query,
             T_RUN_INFO => Message::RunInfo { cancelled: r.u8()? != 0, shutdown: r.u8()? != 0 },
+            T_TRACE => Message::Trace { bytes: r.blob()? },
+            T_TRACE_ACK => Message::TraceAck { server_ns: r.u64()? },
             t => return Err(MsgError::BadType(t)),
         };
         r.done()?;
@@ -418,6 +449,8 @@ impl Message {
             Message::ReleaseAck => "release_ack",
             Message::Query => "query",
             Message::RunInfo { .. } => "run_info",
+            Message::Trace { .. } => "trace",
+            Message::TraceAck { .. } => "trace_ack",
         }
     }
 }
@@ -437,18 +470,19 @@ mod tests {
                     base_seed: 0x5EED,
                     lease_ms: 1200,
                     config_hash: 0xC0DE,
+                    trace_run_id: 0xBEEF_0001,
                 },
                 mean: vec![1, 2, 3],
                 prior: vec![9; 100],
             },
             Message::Reject { reason: "config hash mismatch".into() },
             Message::Claim,
-            Message::Task { spec: TaskSpec { member: 3, epoch: 2, seed: 99 } },
+            Message::Task { spec: TaskSpec { member: 3, epoch: 2, seed: 99, parent_span: 0xA1 } },
             Message::Idle,
             Message::Cancelled,
             Message::Shutdown,
             Message::Renew {
-                spec: TaskSpec { member: 3, epoch: 2, seed: 99 },
+                spec: TaskSpec { member: 3, epoch: 2, seed: 99, parent_span: 0xA1 },
                 hb: Heartbeat { pid: 4242, counter: 17 },
             },
             Message::RenewOk,
@@ -460,10 +494,12 @@ mod tests {
             Message::Data { chunk: vec![0xAB; 64] },
             Message::ResultEnd,
             Message::ResultAck,
-            Message::Release { spec: TaskSpec { member: 3, epoch: 2, seed: 99 } },
+            Message::Release { spec: TaskSpec { member: 3, epoch: 2, seed: 99, parent_span: 0 } },
             Message::ReleaseAck,
             Message::Query,
             Message::RunInfo { cancelled: true, shutdown: false },
+            Message::Trace { bytes: vec![0x45, 0x53, 0x54, 0x42, 1, 2, 3] },
+            Message::TraceAck { server_ns: 123_456_789 },
         ]
     }
 

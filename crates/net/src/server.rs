@@ -69,6 +69,11 @@ pub struct NetMetrics {
     /// Payload bytes streamed into the workdir
     /// (`esse_net_bytes_streamed_total`).
     pub bytes_streamed: Counter,
+    /// Span batches persisted as trace sidecars
+    /// (`esse_net_trace_batches_total`).
+    pub trace_batches: Counter,
+    /// Span batches dropped as corrupt (`esse_net_trace_rejects_total`).
+    pub trace_rejects: Counter,
 }
 
 impl NetMetrics {
@@ -82,6 +87,8 @@ impl NetMetrics {
             results: reg.counter("esse_net_results_total"),
             fenced: reg.counter("esse_net_fenced_total"),
             bytes_streamed: reg.counter("esse_net_bytes_streamed_total"),
+            trace_batches: reg.counter("esse_net_trace_batches_total"),
+            trace_rejects: reg.counter("esse_net_trace_rejects_total"),
         }
     }
 
@@ -338,7 +345,8 @@ fn serve_connection(
                     ));
                 }
                 let payload = read_result_stream(&mut stream, stop, payload_len)?;
-                let spec = TaskSpec { member: rec.member, epoch: rec.epoch, seed: 0 };
+                let spec =
+                    TaskSpec { member: rec.member, epoch: rec.epoch, seed: 0, parent_span: 0 };
                 if claim_is_current(&cfg.pool, &spec) {
                     // Stage the forecast before publishing: the record
                     // is the commit point, and the master validates the
@@ -367,6 +375,25 @@ fn serve_connection(
             Message::Query => {
                 Message::RunInfo { cancelled: cfg.pool.cancelled(), shutdown: cfg.pool.shutdown() }
             }
+            Message::Trace { bytes } => {
+                // Tracing must never be load-bearing: a corrupt batch is
+                // counted and dropped, but the connection (and the task
+                // flow on it) keeps going. Persisting under the batch's
+                // canonical name makes re-shipping after an exchange
+                // retry idempotent.
+                match esse_obs::fleet::SpanBatch::decode(&bytes) {
+                    Ok(batch) => {
+                        cfg.pool.write_trace_sidecar(&batch.file_name(), &bytes)?;
+                        cfg.metrics.trace_batches.inc();
+                        net_instant(cfg, "net_trace", batch.worker_id as u64);
+                    }
+                    Err(_) => {
+                        cfg.metrics.trace_rejects.inc();
+                        net_instant(cfg, "net_trace_reject", worker_id);
+                    }
+                }
+                Message::TraceAck { server_ns: cfg.recorder.now_ns() }
+            }
             other => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -388,6 +415,20 @@ fn handle_claim(cfg: &ServerConfig) -> io::Result<Message> {
     for name in cfg.pool.pending_names()? {
         if let Some(spec) = cfg.pool.try_claim(&name)? {
             cfg.metrics.claims.inc();
+            // Stamped *inside* the worker's claim exchange, so the skew
+            // estimator gets a true request/response midpoint probe.
+            if cfg.recorder.enabled() {
+                cfg.recorder.instant_at(
+                    cfg.recorder.now_ns(),
+                    Lane::Coordinator,
+                    "net",
+                    "net_grant",
+                    vec![
+                        ("member", esse_obs::ArgValue::U64(spec.member)),
+                        ("epoch", esse_obs::ArgValue::U64(spec.epoch as u64)),
+                    ],
+                );
+            }
             return Ok(Message::Task { spec });
         }
     }

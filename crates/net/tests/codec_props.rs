@@ -126,8 +126,12 @@ fn oversized_length_prefixes_are_rejected_without_allocation() {
 }
 
 fn random_message(rng: &mut Rng) -> Message {
-    let spec =
-        TaskSpec { member: rng.below(1 << 20), epoch: rng.below(99_999) as u32, seed: rng.next() };
+    let spec = TaskSpec {
+        member: rng.below(1 << 20),
+        epoch: rng.below(99_999) as u32,
+        seed: rng.next(),
+        parent_span: rng.next(),
+    };
     match rng.below(12) {
         0 => Message::Hello {
             proto: PROTO_VERSION,
@@ -148,6 +152,7 @@ fn random_message(rng: &mut Rng) -> Message {
                 base_seed: rng.next(),
                 lease_ms: rng.below(10_000),
                 config_hash: rng.next(),
+                trace_run_id: rng.next(),
             },
             mean: {
                 let n = rng.below(512) as usize;

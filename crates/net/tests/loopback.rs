@@ -26,6 +26,7 @@ fn manifest() -> PoolManifest {
         base_seed: 0x5EED,
         lease_ms: 600,
         config_hash: 0xFACADE,
+        trace_run_id: 0,
     }
 }
 
@@ -98,7 +99,7 @@ fn wrong_config_hash_is_rejected() {
 #[test]
 fn claim_renew_publish_release_full_task_lifecycle() {
     let mut fx = start("lifecycle");
-    let spec = TaskSpec { member: 0, epoch: 1, seed: 42 };
+    let spec = TaskSpec { member: 0, epoch: 1, seed: 42, parent_span: 0 };
     fx.pool.seed(&spec).unwrap();
 
     let t = connect(&fx, 2);
@@ -141,7 +142,7 @@ fn tombstones_surface_through_claim_and_query() {
 #[test]
 fn fenced_claim_gets_advisory_fenced_and_record_still_publishes() {
     let mut fx = start("fence");
-    let spec = TaskSpec { member: 4, epoch: 1, seed: 9 };
+    let spec = TaskSpec { member: 4, epoch: 1, seed: 9, parent_span: 0 };
     fx.pool.seed(&spec).unwrap();
 
     let t = connect(&fx, 4);
@@ -203,7 +204,7 @@ fn coordinator_loss_exhausts_grace_and_declares_death() {
 fn two_workers_never_claim_the_same_task() {
     let mut fx = start("race");
     for m in 0..8u64 {
-        fx.pool.seed(&TaskSpec { member: m, epoch: 1, seed: m }).unwrap();
+        fx.pool.seed(&TaskSpec { member: m, epoch: 1, seed: m, parent_span: 0 }).unwrap();
     }
     let a = connect(&fx, 10);
     let b = connect(&fx, 11);

@@ -285,6 +285,7 @@ impl LoadedTrace {
             resumed_members: resumed_members(&self.events),
             pool: pool_events(&self.events),
             net: net_events(&self.events),
+            fleet: fleet_stats(&self.events, &spans),
         }
     }
 }
@@ -734,6 +735,216 @@ fn pool_events(events: &[LoadedEvent]) -> PoolEvents {
     p
 }
 
+/// Latency statistics for one kind of cross-process edge in a merged
+/// fleet trace (e.g. enqueue→claim), in rebased coordinator time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeStat {
+    /// Edges with both endpoints present in the trace.
+    pub count: u64,
+    /// Mean edge latency (ns; negative rebased deltas clamp to 0).
+    pub mean_ns: u64,
+    /// Largest edge latency (ns).
+    pub max_ns: u64,
+}
+
+/// (count, summed ns, max ns) accumulator for one edge kind.
+#[derive(Default, Clone, Copy)]
+struct EdgeAcc {
+    count: u64,
+    total: u128,
+    max: u64,
+}
+
+impl EdgeAcc {
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total += ns as u128;
+        self.max = self.max.max(ns);
+    }
+
+    fn finish(self) -> Option<EdgeStat> {
+        (self.count > 0).then(|| EdgeStat {
+            count: self.count,
+            mean_ns: (self.total / self.count as u128) as u64,
+            max_ns: self.max,
+        })
+    }
+}
+
+/// One worker of the merged fleet: clock alignment plus the
+/// utilization and phase breakdown of its rebased lane.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerFleetStat {
+    /// Worker id (the `worker-N` lane).
+    pub worker: u64,
+    /// Estimated clock offset vs the coordinator (ns, coordinator −
+    /// worker, midpoint of the feasible interval).
+    pub offset_ns: f64,
+    /// Half-width of the feasible offset interval (ns).
+    pub uncertainty_ns: f64,
+    /// Whether any exchange bounded the offset from both sides (a TCP
+    /// in-exchange probe); one-sided disk bounds leave this false.
+    pub constrained: bool,
+    /// Spans merged from this worker's batches.
+    pub spans: u64,
+    /// Batches merged.
+    pub batches: u64,
+    /// Events this worker's bounded ring discarded before shipping.
+    pub dropped: u64,
+    /// Closed remote `task` spans on the lane.
+    pub tasks: u64,
+    /// Summed remote `task` span time (ns).
+    pub busy_ns: u64,
+    /// First-to-last event window of the lane (ns).
+    pub window_ns: u64,
+    /// Per-phase breakdown of the lane's spans, largest total first.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl WorkerFleetStat {
+    /// Fraction of the worker's own window spent inside task spans.
+    pub fn utilization(&self) -> f64 {
+        if self.window_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.window_ns as f64
+        }
+    }
+}
+
+/// The fleet view of a merged distributed trace: per-worker clock
+/// alignment and utilization, cross-process edge latencies, and the
+/// orphan-edge count that validates the merged DAG.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Per-worker rollups, ascending worker id (one entry per
+    /// `fleet/worker_offset` instant the merge emitted).
+    pub workers: Vec<WorkerFleetStat>,
+    /// enqueue→claim edges: coordinator `task_seeded` to the rebased
+    /// start of the worker's task span for the same (member, epoch).
+    pub enqueue_to_claim: Option<EdgeStat>,
+    /// publish→ingest edges: rebased end of the worker's task span to
+    /// the coordinator's `result_ingested` for the same (member, epoch).
+    pub publish_to_ingest: Option<EdgeStat>,
+    /// Remote task spans merged into the trace (all workers).
+    pub remote_tasks: u64,
+    /// Remote task spans whose (member, epoch) was never seeded by this
+    /// trace's coordinator, or whose recorded parent span id does not
+    /// match the id the coordinator assigned at enqueue. A valid merge
+    /// has zero; absent batches (a SIGKILL'd worker) add none.
+    pub orphan_edges: u64,
+}
+
+impl FleetStats {
+    /// Did the trace carry a merged fleet at all? (A single-process or
+    /// tracing-off trace reports nothing rather than rows of zeros.)
+    pub fn any(&self) -> bool {
+        !self.workers.is_empty() || self.remote_tasks > 0
+    }
+}
+
+/// Remote task spans are distinguished from engine-local `task` spans
+/// by the `run` argument the worker stamps from the manifest's trace
+/// run id — no local recorder writes it.
+fn is_remote_task(s: &LoadedSpan) -> bool {
+    s.cat == "task" && s.name == "task" && s.args.contains_key("run")
+}
+
+fn fleet_stats(events: &[LoadedEvent], spans: &[LoadedSpan]) -> FleetStats {
+    let mut fleet = FleetStats::default();
+    for e in events {
+        if e.kind == LoadedKind::Instant && e.cat == "fleet" && e.name == "worker_offset" {
+            let Some(worker) = e.arg_u64("worker") else { continue };
+            fleet.workers.push(WorkerFleetStat {
+                worker,
+                offset_ns: e.arg_f64("offset_ns").unwrap_or(0.0),
+                uncertainty_ns: e.arg_f64("uncertainty_ns").unwrap_or(0.0),
+                constrained: matches!(e.args.get("constrained"), Some(Value::Bool(true))),
+                spans: e.arg_u64("spans").unwrap_or(0),
+                batches: e.arg_u64("batches").unwrap_or(0),
+                dropped: e.arg_u64("dropped").unwrap_or(0),
+                ..WorkerFleetStat::default()
+            });
+        }
+    }
+    if fleet.workers.is_empty() && !spans.iter().any(is_remote_task) {
+        return fleet;
+    }
+    fleet.workers.sort_by_key(|w| w.worker);
+    fleet.workers.dedup_by_key(|w| w.worker);
+
+    for w in &mut fleet.workers {
+        let lane = format!("worker-{}", w.worker);
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for e in events.iter().filter(|e| e.lane == lane) {
+            lo = lo.min(e.ts_ns);
+            hi = hi.max(e.ts_ns);
+        }
+        if lo != u64::MAX {
+            w.window_ns = hi - lo;
+        }
+        let lane_spans: Vec<LoadedSpan> =
+            spans.iter().filter(|s| s.lane == lane).cloned().collect();
+        for s in &lane_spans {
+            if is_remote_task(s) {
+                w.tasks += 1;
+                w.busy_ns += s.duration_ns();
+            }
+        }
+        w.phases = phase_breakdown(&lane_spans);
+    }
+
+    // Cross-process edges + DAG validation against the coordinator's
+    // own enqueue/ingest instants.
+    let mut seeded: BTreeMap<(u64, u64), (u64, u64)> = BTreeMap::new();
+    let mut ingested: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for e in events {
+        if e.kind != LoadedKind::Instant || e.cat != "pool" {
+            continue;
+        }
+        let (Some(m), Some(ep)) = (e.arg_u64("member"), e.arg_u64("epoch")) else {
+            continue;
+        };
+        match e.name.as_str() {
+            "task_seeded" => {
+                seeded.insert((m, ep), (e.ts_ns, e.arg_u64("span").unwrap_or(0)));
+            }
+            "result_ingested" => {
+                ingested.entry((m, ep)).or_insert(e.ts_ns);
+            }
+            _ => {}
+        }
+    }
+    let mut claim_edge = EdgeAcc::default();
+    let mut ingest_edge = EdgeAcc::default();
+    for s in spans.iter().filter(|s| is_remote_task(s)) {
+        fleet.remote_tasks += 1;
+        let member = s.args.get("member").and_then(Value::as_u64);
+        let epoch = s.args.get("epoch").and_then(Value::as_u64);
+        let (Some(m), Some(ep)) = (member, epoch) else {
+            fleet.orphan_edges += 1;
+            continue;
+        };
+        match seeded.get(&(m, ep)) {
+            None => fleet.orphan_edges += 1,
+            Some(&(t_seed, span)) => {
+                let parent = s.args.get("parent").and_then(Value::as_u64).unwrap_or(0);
+                if span != 0 && parent != 0 && span != parent {
+                    fleet.orphan_edges += 1;
+                } else {
+                    claim_edge.record(s.start_ns.saturating_sub(t_seed));
+                }
+            }
+        }
+        if let Some(&t_in) = ingested.get(&(m, ep)) {
+            ingest_edge.record(t_in.saturating_sub(s.end_ns));
+        }
+    }
+    fleet.enqueue_to_claim = claim_edge.finish();
+    fleet.publish_to_ingest = ingest_edge.finish();
+    fleet
+}
+
 fn final_counters(events: &[LoadedEvent]) -> Vec<(String, f64)> {
     let mut last: BTreeMap<String, f64> = BTreeMap::new();
     for e in events {
@@ -775,6 +986,9 @@ pub struct RunAnalysis {
     /// TCP-transport connection/fencing event counts (all zero for
     /// disk-transport runs).
     pub net: NetEvents,
+    /// Merged-fleet view: per-worker clock offsets, utilization and
+    /// phase breakdowns, cross-process edges, orphan-edge validation.
+    pub fleet: FleetStats,
 }
 
 impl RunAnalysis {
@@ -800,6 +1014,13 @@ impl RunAnalysis {
             return None;
         }
         Some(serial.span_ns as f64 / par.span_ns as f64)
+    }
+
+    /// True when the critical path runs through at least one span on a
+    /// merged worker lane — the end-to-end chain crosses the process
+    /// boundary instead of stopping at the coordinator's own events.
+    pub fn critical_path_crosses_fleet(&self) -> bool {
+        self.critical_path.segments.iter().any(|s| s.lane.starts_with("worker-"))
     }
 
     /// Peak single-window task throughput in tasks/second.
@@ -1003,6 +1224,121 @@ mod tests {
         assert_eq!(a.net.fenced, 1);
         // A disk-transport trace reports nothing.
         assert!(!paired_trace().analyze().net.any());
+    }
+
+    /// A miniature merged fleet trace: coordinator seeds two tasks with
+    /// assigned span ids, one worker lane carries the rebased remote
+    /// task+phase spans, and the merge's `fleet/worker_offset` instant
+    /// closes the books.
+    fn merged_fleet_trace(parent_of: impl Fn(u64) -> u64) -> LoadedTrace {
+        let rec = RingRecorder::new();
+        for m in 0..2u64 {
+            rec.instant_at(
+                m * 10,
+                Lane::Coordinator,
+                "pool",
+                "task_seeded",
+                vec![("member", m.into()), ("epoch", 1u64.into()), ("span", (0x100 + m).into())],
+            );
+        }
+        for m in 0..2u64 {
+            let t = 100 + m * 200;
+            let args = vec![
+                ("member", m.into()),
+                ("epoch", 1u64.into()),
+                ("parent", parent_of(m).into()),
+                ("run", 0xAB1u64.into()),
+                ("worker", 7u64.into()),
+            ];
+            rec.begin_at(t, Lane::Worker(7), "task", "task", args);
+            rec.begin_at(t + 5, Lane::Worker(7), "phase", "pemodel", vec![("member", m.into())]);
+            rec.end_at(t + 95, Lane::Worker(7), "phase", "pemodel");
+            rec.end_at(t + 100, Lane::Worker(7), "task", "task");
+            rec.instant_at(
+                t + 150,
+                Lane::Coordinator,
+                "pool",
+                "result_ingested",
+                vec![("member", m.into()), ("epoch", 1u64.into())],
+            );
+        }
+        rec.instant_at(
+            500,
+            Lane::Coordinator,
+            "fleet",
+            "worker_offset",
+            vec![
+                ("worker", 7u64.into()),
+                ("offset_ns", (-25.0).into()),
+                ("uncertainty_ns", 40.0.into()),
+                ("spans", 6u64.into()),
+                ("batches", 2u64.into()),
+                ("dropped", 0u64.into()),
+                ("constrained", true.into()),
+            ],
+        );
+        LoadedTrace::from_trace(&rec.drain())
+    }
+
+    #[test]
+    fn fleet_stats_from_merged_trace() {
+        let a = merged_fleet_trace(|m| 0x100 + m).analyze();
+        assert!(a.fleet.any());
+        assert_eq!(a.fleet.workers.len(), 1);
+        let w = &a.fleet.workers[0];
+        assert_eq!(w.worker, 7);
+        assert_eq!(w.offset_ns, -25.0);
+        assert!(w.constrained);
+        assert_eq!(w.tasks, 2);
+        assert_eq!(w.busy_ns, 200);
+        assert!(w.utilization() > 0.0);
+        assert!(w.phases.iter().any(|p| p.key == "phase/pemodel"));
+        assert_eq!(a.fleet.remote_tasks, 2);
+        assert_eq!(a.fleet.orphan_edges, 0, "matching parents must not orphan");
+        // Edges: enqueue→claim = 100 and 290; publish→ingest = 50 both.
+        let enq = a.fleet.enqueue_to_claim.unwrap();
+        assert_eq!(enq.count, 2);
+        assert_eq!(enq.max_ns, 290);
+        let ing = a.fleet.publish_to_ingest.unwrap();
+        assert_eq!(ing.count, 2);
+        assert_eq!(ing.mean_ns, 50);
+        // The worker's phase spans are leaves, so the end-to-end chain
+        // crosses the process boundary.
+        assert!(a.critical_path_crosses_fleet());
+        // A fleet-free trace reports nothing.
+        assert!(!paired_trace().analyze().fleet.any());
+    }
+
+    #[test]
+    fn mismatched_parent_span_is_an_orphan_edge() {
+        let a = merged_fleet_trace(|m| 0x999 + m).analyze();
+        assert_eq!(a.fleet.orphan_edges, 2);
+        assert!(a.fleet.enqueue_to_claim.is_none(), "orphans contribute no claim edge");
+        // Ingest edges key on (member, epoch) alone: a wrong parent is
+        // a propagation bug, not a missing result.
+        assert!(a.fleet.publish_to_ingest.is_some());
+    }
+
+    #[test]
+    fn unseeded_remote_task_is_an_orphan_edge() {
+        let rec = RingRecorder::new();
+        rec.begin_at(
+            10,
+            Lane::Worker(3),
+            "task",
+            "task",
+            vec![
+                ("member", 5u64.into()),
+                ("epoch", 2u64.into()),
+                ("parent", 0x42u64.into()),
+                ("run", 0xAB1u64.into()),
+            ],
+        );
+        rec.end_at(60, Lane::Worker(3), "task", "task");
+        let a = LoadedTrace::from_trace(&rec.drain()).analyze();
+        assert!(a.fleet.any());
+        assert_eq!(a.fleet.remote_tasks, 1);
+        assert_eq!(a.fleet.orphan_edges, 1);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 pub mod analyze;
 pub mod event;
 pub mod export;
+pub mod fleet;
 pub mod hist;
 pub mod json;
 pub mod monitor;
@@ -54,6 +55,7 @@ pub mod trace;
 
 pub use analyze::{LoadedTrace, RunAnalysis};
 pub use event::{ArgValue, Event, EventKind, Lane};
+pub use fleet::{MergeReport, SkewEstimator, SpanBatch};
 pub use hist::LogHistogram;
 pub use monitor::{RunMonitor, RunReport};
 pub use recorder::{NullRecorder, Recorder, RecorderExt, SpanGuard, NULL};

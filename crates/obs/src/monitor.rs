@@ -31,6 +31,7 @@ use crate::event::{ArgValue, Event, EventKind};
 use crate::hist::LogHistogram;
 use crate::recorder::Recorder;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -45,11 +46,21 @@ pub struct MonitorConfig {
     pub total_members: Option<u64>,
     /// Print each heartbeat to stderr as it fires.
     pub verbose: bool,
+    /// Directory the coordinator captures per-worker stdio logs into
+    /// (`workdir/logs`). [`RunMonitor::finish`] lists its `*.log` files
+    /// in the final [`RunReport`] so the report points at the fleet's
+    /// raw output; `None` skips the scan.
+    pub worker_log_dir: Option<PathBuf>,
 }
 
 impl Default for MonitorConfig {
     fn default() -> Self {
-        MonitorConfig { period: Duration::from_millis(500), total_members: None, verbose: false }
+        MonitorConfig {
+            period: Duration::from_millis(500),
+            total_members: None,
+            verbose: false,
+            worker_log_dir: None,
+        }
     }
 }
 
@@ -77,6 +88,11 @@ pub struct Heartbeat {
     pub rho: Option<f64>,
     /// Whether the workflow has declared convergence.
     pub converged: bool,
+    /// Distinct fleet workers seen so far (local spawns + TCP
+    /// connects); zero for single-process runs.
+    pub fleet_workers: u64,
+    /// Worker span batches that have arrived so far (tracing runs).
+    pub fleet_batches: u64,
 }
 
 impl Heartbeat {
@@ -99,11 +115,27 @@ impl Heartbeat {
         if let Some(rho) = self.rho {
             s.push_str(&format!(" rho {rho:.4}"));
         }
+        if self.fleet_workers > 0 {
+            s.push_str(&format!(" fleet {}w/{}b", self.fleet_workers, self.fleet_batches));
+        }
         if self.converged {
             s.push_str(" CONVERGED");
         }
         s
     }
+}
+
+/// Live view of one fleet worker, aggregated from coordinator-side
+/// instants (the worker's own spans arrive only when its batches are
+/// merged at wind-down).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerView {
+    /// Times the coordinator (re)spawned this local slot.
+    pub spawns: u64,
+    /// TCP (re)connects of this remote worker id.
+    pub connects: u64,
+    /// Trace span batches that arrived from this worker.
+    pub batches: u64,
 }
 
 #[derive(Default)]
@@ -118,6 +150,8 @@ struct State {
     rho_trajectory: Vec<f64>,
     converged: bool,
     degraded_coverage: Option<f64>,
+    fleet: BTreeMap<u64, WorkerView>,
+    fleet_batches: u64,
     last_ts_ns: u64,
 }
 
@@ -146,6 +180,22 @@ impl State {
                 }
                 ("workflow", "degraded") => {
                     self.degraded_coverage = arg_f64(ev, "coverage");
+                }
+                ("pool", "worker_spawned") => {
+                    if let Some(slot) = arg_u64(ev, "slot") {
+                        self.fleet.entry(slot).or_default().spawns += 1;
+                    }
+                }
+                ("net", "net_connect") => {
+                    if let Some(w) = arg_u64(ev, "worker") {
+                        self.fleet.entry(w).or_default().connects += 1;
+                    }
+                }
+                ("fleet", "batch") => {
+                    self.fleet_batches += 1;
+                    if let Some(w) = arg_u64(ev, "worker") {
+                        self.fleet.entry(w).or_default().batches += 1;
+                    }
                 }
                 _ => {}
             },
@@ -184,6 +234,8 @@ impl State {
             eta_ns,
             rho: self.rho_trajectory.last().copied(),
             converged: self.converged,
+            fleet_workers: self.fleet.len() as u64,
+            fleet_batches: self.fleet_batches,
         }
     }
 }
@@ -192,6 +244,13 @@ fn arg_f64(ev: &Event, key: &str) -> Option<f64> {
     ev.args.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
         ArgValue::F64(f) => Some(*f),
         ArgValue::U64(u) => Some(*u as f64),
+        _ => None,
+    })
+}
+
+fn arg_u64(ev: &Event, key: &str) -> Option<u64> {
+    ev.args.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
+        ArgValue::U64(u) => Some(*u),
         _ => None,
     })
 }
@@ -273,6 +332,7 @@ pub struct RunMonitor {
     shared: Arc<Shared>,
     handle: Option<std::thread::JoinHandle<()>>,
     total: Option<u64>,
+    worker_log_dir: Option<PathBuf>,
 }
 
 impl RunMonitor {
@@ -303,7 +363,12 @@ impl RunMonitor {
                 thread_shared.heartbeats.lock().expect("heartbeats poisoned").push(hb);
             }
         });
-        RunMonitor { shared, handle: Some(handle), total: cfg.total_members }
+        RunMonitor {
+            shared,
+            handle: Some(handle),
+            total: cfg.total_members,
+            worker_log_dir: cfg.worker_log_dir,
+        }
     }
 
     /// A recorder handle feeding this monitor. Pass it to
@@ -323,6 +388,18 @@ impl RunMonitor {
         let state = self.shared.state.lock().expect("monitor state poisoned");
         let final_heartbeat = state.heartbeat(elapsed_ns, self.total);
         let task_time = state.task_hist().cloned();
+        let worker_logs = self.worker_log_dir.as_ref().map_or_else(Vec::new, |dir| {
+            let mut logs: Vec<PathBuf> = std::fs::read_dir(dir)
+                .map(|rd| {
+                    rd.filter_map(Result::ok)
+                        .map(|e| e.path())
+                        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+                        .collect()
+                })
+                .unwrap_or_default();
+            logs.sort();
+            logs
+        });
         RunReport {
             elapsed_ns,
             done: state.done,
@@ -335,6 +412,8 @@ impl RunMonitor {
                 &mut *self.shared.heartbeats.lock().expect("heartbeats poisoned"),
             ),
             final_heartbeat,
+            fleet: state.fleet.clone(),
+            worker_logs,
         }
     }
 }
@@ -369,6 +448,11 @@ pub struct RunReport {
     pub heartbeats: Vec<Heartbeat>,
     /// State of the world at finish time.
     pub final_heartbeat: Heartbeat,
+    /// Per-worker fleet view, keyed by local slot / remote worker id.
+    pub fleet: BTreeMap<u64, WorkerView>,
+    /// Captured per-worker stdio log files (the coordinator's
+    /// `workdir/logs/*.log`), when a log dir was configured.
+    pub worker_logs: Vec<PathBuf>,
 }
 
 impl RunReport {
@@ -406,6 +490,22 @@ impl RunReport {
                 self.rho_trajectory.len(),
                 tail.join(" ")
             ));
+        }
+        if !self.fleet.is_empty() {
+            s.push_str(&format!(
+                "fleet: {} worker(s), {} trace batch(es)\n",
+                self.fleet.len(),
+                self.final_heartbeat.fleet_batches
+            ));
+            for (id, w) in &self.fleet {
+                s.push_str(&format!(
+                    "  worker {id}: spawns {} connects {} batches {}\n",
+                    w.spawns, w.connects, w.batches
+                ));
+            }
+        }
+        for log in &self.worker_logs {
+            s.push_str(&format!("worker log: {}\n", log.display()));
         }
         s.push_str(&format!("heartbeats fired: {}\n", self.heartbeats.len()));
         s
@@ -445,7 +545,7 @@ mod tests {
         let monitor = RunMonitor::start(MonitorConfig {
             period: Duration::from_millis(5),
             total_members: Some(4),
-            verbose: false,
+            ..MonitorConfig::default()
         });
         let rec = monitor.recorder();
         feed_demo_run(&rec);
@@ -480,12 +580,15 @@ mod tests {
             eta_ns: Some(2_000_000_000),
             rho: Some(0.9812),
             converged: false,
+            fleet_workers: 3,
+            fleet_batches: 12,
         };
         let line = hb.to_line();
         assert!(line.contains("+1.5s"), "{line}");
         assert!(line.contains("done 10"), "{line}");
         assert!(line.contains("coverage 50%"), "{line}");
         assert!(line.contains("rho 0.9812"), "{line}");
+        assert!(line.contains("fleet 3w/12b"), "{line}");
     }
 
     #[test]
@@ -493,8 +596,7 @@ mod tests {
         let ring = RingRecorder::new();
         let monitor = RunMonitor::start(MonitorConfig {
             period: Duration::from_millis(50),
-            total_members: None,
-            verbose: false,
+            ..MonitorConfig::default()
         });
         let mon_rec = monitor.recorder();
         let tee = Tee::new(&ring, &mon_rec);
@@ -506,6 +608,42 @@ mod tests {
         let report = monitor.finish();
         assert_eq!(report.done, 3);
         assert_eq!(report.task_time.as_ref().map(LogHistogram::count), Some(3));
+    }
+
+    #[test]
+    fn fleet_view_tracks_workers_batches_and_logs() {
+        let dir = std::env::temp_dir().join(format!("esse-mon-logs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("worker-000.log"), b"hello\n").unwrap();
+        std::fs::write(dir.join("worker-000.metrics"), b"# not a log\n").unwrap();
+        let monitor = RunMonitor::start(MonitorConfig {
+            period: Duration::from_millis(50),
+            worker_log_dir: Some(dir.clone()),
+            ..MonitorConfig::default()
+        });
+        let rec = monitor.recorder();
+        rec.instant_at(1, Lane::Coordinator, "pool", "worker_spawned", vec![("slot", 0u64.into())]);
+        rec.instant_at(2, Lane::Coordinator, "pool", "worker_spawned", vec![("slot", 0u64.into())]);
+        rec.instant_at(3, Lane::Coordinator, "net", "net_connect", vec![("worker", 9u64.into())]);
+        rec.instant_at(
+            4,
+            Lane::Coordinator,
+            "fleet",
+            "batch",
+            vec![("member", 1u64.into()), ("epoch", 1u64.into()), ("worker", 9u64.into())],
+        );
+        let report = monitor.finish();
+        assert_eq!(report.fleet.len(), 2);
+        assert_eq!(report.fleet[&0].spawns, 2, "the respawn of slot 0 counts");
+        assert_eq!(report.fleet[&9].connects, 1);
+        assert_eq!(report.fleet[&9].batches, 1);
+        assert_eq!(report.final_heartbeat.fleet_workers, 2);
+        assert_eq!(report.final_heartbeat.fleet_batches, 1);
+        assert_eq!(report.worker_logs.len(), 1, "only *.log files are fleet logs");
+        let text = report.to_text();
+        assert!(text.contains("fleet: 2 worker(s)"), "{text}");
+        assert!(text.contains("worker log:"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -29,7 +29,7 @@ impl Bathymetry {
             let x = i as f64 / (nx - 1).max(1) as f64;
             deep + (shallow - deep) * x
         });
-        Bathymetry { depth, min_depth: shallow.min(10.0).max(1.0) }
+        Bathymetry { depth, min_depth: shallow.clamp(1.0, 10.0) }
     }
 
     /// Monterey-Bay-like domain: coast along the eastern edge with a

@@ -55,8 +55,23 @@
 //!             [--lease-ms MS] [--task-attempts A] [--requeue-budget B] \
 //!             [--white-noise E] [--base-seed S] [--resume | --force] \
 //!             [--subspace full|incremental[:REFRESH,TOL]] \
-//!             [--trace-out PATH] [--metrics-out PATH]
+//!             [--trace-out PATH] [--trace-capacity N] [--metrics-out PATH]
 //! ```
+//!
+//! **Distributed tracing.** With `--trace-out` the manifest carries a
+//! nonzero `trace_run_id`; workers record real spans around
+//! claim/stage/pert/pemodel/publish into a bounded local ring and ship
+//! finished batches back (CRC-framed `.trace` sidecars next to results
+//! on the disk transport, a `TRACE` message over TCP). At wind-down the
+//! coordinator decodes every sidecar (dropping, never trusting,
+//! truncated or corrupt ones), estimates each worker's clock offset
+//! from coordinator-stamped enqueue/grant/ingest events bracketing the
+//! worker's own claim/publish stamps — midpoints where both sides of an
+//! exchange are visible, one-sided bounds otherwise, consistent with
+//! the no-cross-host-clock-sync lease design — rebases the remote spans
+//! and merges them into the run trace as per-worker lanes. Tracing is
+//! purely observational: the posterior is bit-identical with it on or
+//! off.
 
 use esse::cli::{self, files};
 use esse::core::adaptive::EnsembleSchedule;
@@ -243,7 +258,37 @@ fn checkpoints(initial: usize, max: usize, stages: &[usize]) -> Vec<usize> {
     cps.into_iter().filter(|&c| c >= 2).collect()
 }
 
+/// Subdirectory of the workdir holding per-worker stdio logs and
+/// metric snapshots for the locally spawned fleet.
+pub const WORKER_LOG_DIR: &str = "logs";
+
+/// Log file name for local worker `slot` (respawns of the same slot
+/// append to the same file, so the full slot history reads in order).
+pub fn worker_log_name(slot: usize) -> String {
+    format!("worker-{slot:03}.log")
+}
+
 fn spawn_local_worker(workdir: &Path, slot: usize) -> Option<Child> {
+    // Capture the worker's stdio into a per-slot log file under the
+    // workdir instead of nulling it. A regular file fd — unlike an
+    // inherited pipe — cannot keep a caller's `output()` on the master
+    // blocked while an orphaned worker outlives the master itself.
+    let log_dir = workdir.join(WORKER_LOG_DIR);
+    let log = fs::create_dir_all(&log_dir)
+        .and_then(|()| {
+            fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(log_dir.join(worker_log_name(slot)))
+        })
+        .and_then(|f| {
+            let err = f.try_clone()?;
+            Ok((Stdio::from(f), Stdio::from(err)))
+        });
+    let (out, err) = log.unwrap_or_else(|e| {
+        eprintln!("esse_master: cannot open worker log for slot {slot}: {e}");
+        (Stdio::null(), Stdio::null())
+    });
     let mut cmd = Command::new(sibling("esse_worker"));
     cmd.arg("--workdir")
         .arg(workdir)
@@ -253,11 +298,10 @@ fn spawn_local_worker(workdir: &Path, slot: usize) -> Option<Child> {
         .arg(std::process::id().to_string())
         .arg("--poll-ms")
         .arg("10")
-        // Null both streams: an inherited pipe fd would keep a caller's
-        // `output()` on the master blocked for as long as any orphaned
-        // worker survives the master itself.
-        .stdout(Stdio::null())
-        .stderr(Stdio::null());
+        .arg("--metrics-out")
+        .arg(log_dir.join(format!("worker-{slot:03}.metrics")))
+        .stdout(out)
+        .stderr(err);
     match cli::spawn_with_retry(&mut cmd, "esse_worker", None, 3) {
         Ok(child) => Some(child),
         Err(e) => {
@@ -293,6 +337,7 @@ fn main() {
     let force = args.contains_key("force");
     let crash_after: Option<u64> = args.get("crash-after-appends").and_then(|v| v.parse().ok());
     let trace_out = args.get("trace-out").map(PathBuf::from);
+    let trace_capacity: usize = cli::get_or(&args, "trace-capacity", 1usize << 18);
     let metrics_out = args.get("metrics-out").map(PathBuf::from);
     // `--listen 127.0.0.1:0` (port 0 = ephemeral) opens the esse-net
     // listener: remote workers join the same pool over TCP, multiplexed
@@ -415,7 +460,7 @@ fn main() {
     // --- Observability: trace ring + metrics registry. ---
     // The ring is Arc-shared because esse-net connection threads record
     // into it alongside the coordinator loop.
-    let ring = std::sync::Arc::new(RingRecorder::new());
+    let ring = std::sync::Arc::new(RingRecorder::with_capacity(trace_capacity));
     let rec: &dyn Recorder = if trace_out.is_some() { ring.as_ref() } else { &NULL };
     let metrics = MetricsRegistry::new();
     let m_granted = metrics.counter("esse_pool_lease_granted_total");
@@ -424,6 +469,24 @@ fn main() {
     let m_fenced = metrics.counter("esse_pool_fencing_rejected_total");
     let m_seeded = metrics.counter("esse_pool_tasks_seeded_total");
     let m_ingested = metrics.counter("esse_pool_results_ingested_total");
+    let m_batches = metrics.counter("esse_fleet_trace_batches_total");
+    let m_rejected = metrics.counter("esse_fleet_trace_batches_rejected_total");
+    let m_merged = metrics.counter("esse_fleet_spans_merged_total");
+
+    // The fleet-wide trace run id: nonzero iff tracing is on. Workers
+    // read it from the manifest — no flag of their own — and every
+    // parent span id a task record carries is derived from it, so a
+    // batch from a stale run (or a run with tracing off) can never be
+    // merged into this run's timeline.
+    let trace_run: u64 =
+        if trace_out.is_some() { esse_obs::fleet::run_id(run_hash as u32, base_seed) } else { 0 };
+    let span_for = |m: u64, epoch: u32| -> u64 {
+        if trace_run != 0 {
+            esse_obs::fleet::span_id(trace_run, m, epoch)
+        } else {
+            0
+        }
+    };
 
     // --- Setup: model, mean, prior. ---
     let (model, st0) = cli::build_model(&domain).unwrap_or_else(|e| {
@@ -479,6 +542,7 @@ fn main() {
         base_seed,
         lease_ms,
         config_hash: run_hash,
+        trace_run_id: trace_run,
     };
     let pool = TaskPool::create(&workdir, &manifest).expect("create task pool");
     // A previous incarnation may have left CANCEL/SHUTDOWN behind.
@@ -670,7 +734,14 @@ fn main() {
                 pool.consume_result(r).expect("consume duplicate result");
                 continue;
             }
-            let spec = TaskSpec { member: m, epoch: r.epoch, seed: gen.forecast_seed(m as usize) };
+            // Bookkeeping spec: names the claim/result files (member +
+            // epoch only), so the parent span is irrelevant here.
+            let spec = TaskSpec {
+                member: m,
+                epoch: r.epoch,
+                seed: gen.forecast_seed(m as usize),
+                parent_span: 0,
+            };
             if r.code == 0 {
                 // Validate before the journal commit point: the
                 // MemberCompleted record asserts a checksum-clean
@@ -702,16 +773,56 @@ fn main() {
                             "result_ingested",
                             vec![("member", m.into()), ("epoch", (r.epoch as u64).into())],
                         );
+                        // A worker that shipped its span batch leaves a
+                        // `.trace` sidecar next to the result; note its
+                        // arrival live, attributed to the shipping
+                        // worker (the merge itself is deferred to
+                        // wind-down so a straggler batch still counts).
+                        if trace_run != 0 {
+                            let batch = pool.trace_sidecar_for(m, r.epoch).and_then(|p| {
+                                fs::read(&p)
+                                    .ok()
+                                    .and_then(|b| esse_obs::fleet::SpanBatch::decode(&b).ok())
+                            });
+                            if let Some(batch) = batch {
+                                rec.instant_at(
+                                    rec.now_ns(),
+                                    Lane::Coordinator,
+                                    "fleet",
+                                    "batch",
+                                    vec![
+                                        ("member", m.into()),
+                                        ("epoch", (r.epoch as u64).into()),
+                                        ("worker", (batch.worker_id as u64).into()),
+                                    ],
+                                );
+                            }
+                        }
                     }
                     Err(why) => {
                         quarantine_member(&workdir, &journal, m as usize, &why);
                         // Requeue at the next epoch so a laggard rewrite
                         // of the forecast file cannot race the retry.
-                        let next = TaskSpec { epoch: current + 1, ..spec };
+                        let next = TaskSpec {
+                            epoch: current + 1,
+                            parent_span: span_for(m, current + 1),
+                            ..spec
+                        };
                         pool.seed(&next).expect("requeue quarantined member");
                         epochs.insert(m, next.epoch);
                         outstanding.insert(m);
                         m_seeded.inc();
+                        rec.instant_at(
+                            rec.now_ns(),
+                            Lane::Coordinator,
+                            "pool",
+                            "task_seeded",
+                            vec![
+                                ("member", m.into()),
+                                ("epoch", (next.epoch as u64).into()),
+                                ("span", next.parent_span.into()),
+                            ],
+                        );
                     }
                 }
                 pool.consume_result(r).expect("consume result");
@@ -802,11 +913,23 @@ fn main() {
                         member: m,
                         epoch: current + 1,
                         seed: gen.forecast_seed(m as usize),
+                        parent_span: span_for(m, current + 1),
                     };
                     pool.seed(&next).expect("requeue expired member");
                     epochs.insert(m, next.epoch);
                     outstanding.insert(m);
                     m_seeded.inc();
+                    rec.instant_at(
+                        rec.now_ns(),
+                        Lane::Coordinator,
+                        "pool",
+                        "task_seeded",
+                        vec![
+                            ("member", m.into()),
+                            ("epoch", (next.epoch as u64).into()),
+                            ("span", next.parent_span.into()),
+                        ],
+                    );
                     pool.remove_claim(&c.spec).expect("drop expired claim");
                     watch.forget(m);
                 }
@@ -824,7 +947,12 @@ fn main() {
                     continue;
                 }
                 let epoch = epochs.get(&m).copied().unwrap_or(0) + 1;
-                let spec = TaskSpec { member: m, epoch, seed: gen.forecast_seed(m as usize) };
+                let spec = TaskSpec {
+                    member: m,
+                    epoch,
+                    seed: gen.forecast_seed(m as usize),
+                    parent_span: span_for(m, epoch),
+                };
                 pool.seed(&spec).expect("seed task");
                 epochs.insert(m, epoch);
                 outstanding.insert(m);
@@ -834,7 +962,11 @@ fn main() {
                     Lane::Coordinator,
                     "pool",
                     "task_seeded",
-                    vec![("member", m.into()), ("epoch", (epoch as u64).into())],
+                    vec![
+                        ("member", m.into()),
+                        ("epoch", (epoch as u64).into()),
+                        ("span", spec.parent_span.into()),
+                    ],
                 );
             }
         }
@@ -1009,9 +1141,58 @@ fn main() {
         m_ingested.get(),
         cancelled_tasks
     );
+    // Point at the captured stdio of locally-spawned workers (also
+    // picked up by `RunMonitor` reports via `worker_log_dir`).
+    let log_dir = workdir.join(WORKER_LOG_DIR);
+    if let Ok(entries) = fs::read_dir(&log_dir) {
+        let logs = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "log"))
+            .count();
+        if logs > 0 {
+            println!("esse_master: {logs} worker log(s) under {}", log_dir.display());
+        }
+    }
 
     if let Some(path) = trace_out {
-        let trace = ring.drain();
+        let mut trace = ring.drain();
+        // Collect every shipped span batch (disk-transport sidecars and
+        // TCP batches both land as `.trace` files next to results),
+        // dropping whole batches that fail to decode — a SIGKILL'd
+        // worker's truncated sidecar must never corrupt the timeline —
+        // and batches from a different run id.
+        let mut batches = Vec::new();
+        for p in pool.trace_sidecars().unwrap_or_default() {
+            match fs::read(&p)
+                .map_err(|e| e.to_string())
+                .and_then(|b| esse_obs::fleet::SpanBatch::decode(&b))
+            {
+                Ok(b) if b.run_id == trace_run => {
+                    m_batches.inc();
+                    batches.push(b);
+                }
+                Ok(_) => {}
+                Err(why) => {
+                    m_rejected.inc();
+                    eprintln!(
+                        "esse_master: dropping unreadable trace batch {}: {why}",
+                        p.display()
+                    );
+                }
+            }
+        }
+        let report = esse_obs::fleet::merge_batches(&mut trace, &batches);
+        m_merged.add(report.spans_merged as u64);
+        if !report.workers.is_empty() {
+            println!(
+                "esse_master: fleet trace — merged {} span(s) / {} event(s) from {} worker(s), \
+                 {} event(s) dropped at the rings",
+                report.spans_merged,
+                report.events_merged,
+                report.workers.len(),
+                report.dropped()
+            );
+        }
         esse_obs::export::save(&trace, &path).expect("write trace");
         println!("esse_master: trace written to {}", path.display());
     }

@@ -39,12 +39,25 @@
 //! `M` and sleeps `D` ms before running it — long enough for the lease
 //! to expire, so the eventual publish exercises the fencing path.
 //!
+//! **Distributed tracing.** When the coordinator runs with tracing
+//! enabled it stamps a nonzero `trace_run_id` into the pool manifest
+//! and a parent span id into every task record. The worker then records
+//! real spans around claim/stage/pert/pemodel/publish into a bounded
+//! local ring (`--trace-capacity`, drop-oldest with a counter) and
+//! ships each task's finished spans back to the coordinator as a
+//! CRC-framed [`SpanBatch`] — a sidecar file next to the result on the
+//! disk transport, a `TRACE` message over TCP. Shipping is best-effort
+//! and idempotent; tracing is never load-bearing for the task flow. An
+//! `esse_worker_*` metrics registry rides along and is dumped to
+//! `--metrics-out` on any orderly exit, including tombstone shutdown.
+//!
 //! ```text
 //! esse_worker (--workdir DIR | --connect HOST:PORT [--scratch DIR])
 //!             [--worker-id N] [--poll-ms MS] [--idle-exit-ms MS]
 //!             [--parent-pid PID] [--wait-pool-ms MS]
 //!             [--reconnect-grace-ms MS] [--fault-seed S] [--die-after K]
 //!             [--stall-task M] [--stall-ms MS]
+//!             [--trace-capacity N] [--metrics-out PATH]
 //! ```
 
 use esse::cli::{self, files};
@@ -53,6 +66,11 @@ use esse::mtc::pool::{ResultRecord, TaskPool, TaskSpec};
 use esse::mtc::transport::{local_process_alive, ClaimOutcome, DiskTransport, PoolTransport};
 use esse::mtc::{FaultPlan, Heartbeat};
 use esse::net::{TcpConfig, TcpTransport};
+use esse_obs::event::Lane;
+use esse_obs::fleet::SpanBatch;
+use esse_obs::recorder::{Recorder, RecorderExt, NULL};
+use esse_obs::registry::MetricsRegistry;
+use esse_obs::ring::RingRecorder;
 use std::path::PathBuf;
 use std::process::{Child, Command};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -61,7 +79,8 @@ use std::time::{Duration, Instant};
 
 const USAGE: &str = "esse_worker (--workdir DIR | --connect HOST:PORT [--scratch DIR]) \
                      [--worker-id N] [--poll-ms MS] [--idle-exit-ms MS] [--parent-pid PID] \
-                     [--reconnect-grace-ms MS] [--die-after K] [--stall-task M] [--stall-ms MS]";
+                     [--reconnect-grace-ms MS] [--die-after K] [--stall-task M] [--stall-ms MS] \
+                     [--trace-capacity N] [--metrics-out PATH]";
 
 /// Result code a worker publishes when it could not even spawn the
 /// singleton chain (distinct from any real `pert`/`pemodel` exit code).
@@ -175,6 +194,8 @@ fn run_task(
     transport: &Arc<dyn PoolTransport>,
     spec: TaskSpec,
     stalled: bool,
+    rec: &dyn Recorder,
+    lane: Lane,
 ) -> bool {
     let manifest = transport.manifest().clone();
     let member = spec.member as usize;
@@ -194,7 +215,7 @@ fn run_task(
     };
 
     let publish = |code: i32, fc_crc: u32| {
-        let rec = ResultRecord {
+        let record = ResultRecord {
             member: spec.member,
             epoch: spec.epoch,
             code,
@@ -208,7 +229,16 @@ fn run_task(
         } else {
             None
         };
-        match transport.publish(&rec, payload.as_deref()) {
+        rec.begin_at(
+            rec.now_ns(),
+            lane,
+            "phase",
+            "publish",
+            vec![("member", spec.member.into()), ("code", (code as i64 as u64).into())],
+        );
+        let outcome = transport.publish(&record, payload.as_deref());
+        rec.end_at(rec.now_ns(), lane, "phase", "publish");
+        match outcome {
             Ok(_) => true, // Fenced reply is advisory; the record landed.
             Err(e) => {
                 eprintln!(
@@ -223,7 +253,18 @@ fn run_task(
 
     // pert → pemodel, the §4.2 singleton chain, via the shared
     // bounded-retry spawner (a transient fork failure degrades into a
-    // retryable failure result instead of killing the worker).
+    // retryable failure result instead of killing the worker). Each
+    // singleton runs under its own phase span (spawn + wait).
+    let run_child = |name: &'static str, cmd: &mut Command| {
+        rec.begin_at(rec.now_ns(), lane, "phase", name, vec![("member", spec.member.into())]);
+        let exit = match cli::spawn_with_retry(cmd, name, Some(member), 3) {
+            Ok(mut child) => Ok(wait_or_cancel(&mut child, transport.as_ref(), &fenced)),
+            Err(e) => Err(e),
+        };
+        rec.end_at(rec.now_ns(), lane, "phase", name);
+        exit
+    };
+
     let mut pert = Command::new(sibling("pert"));
     pert.arg("--workdir")
         .arg(&cfg.workdir)
@@ -233,52 +274,46 @@ fn run_task(
         .arg(manifest.white_noise.to_string())
         .arg("--base-seed")
         .arg(manifest.base_seed.to_string());
-    match cli::spawn_with_retry(&mut pert, "pert", Some(member), 3) {
-        Ok(mut child) => match wait_or_cancel(&mut child, transport.as_ref(), &fenced) {
-            Some(0) => {
-                let mut pemodel = Command::new(sibling("pemodel"));
-                pemodel
-                    .arg("--workdir")
-                    .arg(&cfg.workdir)
-                    .arg("--domain")
-                    .arg(&manifest.domain)
-                    .arg("--hours")
-                    .arg(manifest.hours.to_string())
-                    .arg("--member")
-                    .arg(member.to_string())
-                    .arg("--seed")
-                    .arg(spec.seed.to_string());
-                match cli::spawn_with_retry(&mut pemodel, "pemodel", Some(member), 3) {
-                    Ok(mut child) => {
-                        match wait_or_cancel(&mut child, transport.as_ref(), &fenced) {
-                            Some(0) => {
-                                // The forecast file is durable (pemodel
-                                // publishes atomically); validate it and
-                                // commit with its CRC fingerprint.
-                                match fileio::vector_file_crc(cfg.workdir.join(files::fc(member))) {
-                                    Ok(crc) => published = publish(0, crc),
-                                    Err(e) => {
-                                        eprintln!(
-                                            "esse_worker[{}]: member {member} forecast invalid: {e}",
-                                            cfg.worker_id
-                                        );
-                                        published = publish(CODE_CORRUPT_FORECAST, 0);
-                                    }
-                                }
-                            }
-                            Some(code) => published = publish(code, 0),
-                            None => {} // cancelled or fenced mid-run
+    match run_child("pert", &mut pert) {
+        Ok(Some(0)) => {
+            let mut pemodel = Command::new(sibling("pemodel"));
+            pemodel
+                .arg("--workdir")
+                .arg(&cfg.workdir)
+                .arg("--domain")
+                .arg(&manifest.domain)
+                .arg("--hours")
+                .arg(manifest.hours.to_string())
+                .arg("--member")
+                .arg(member.to_string())
+                .arg("--seed")
+                .arg(spec.seed.to_string());
+            match run_child("pemodel", &mut pemodel) {
+                Ok(Some(0)) => {
+                    // The forecast file is durable (pemodel publishes
+                    // atomically); validate it and commit with its CRC
+                    // fingerprint.
+                    match fileio::vector_file_crc(cfg.workdir.join(files::fc(member))) {
+                        Ok(crc) => published = publish(0, crc),
+                        Err(e) => {
+                            eprintln!(
+                                "esse_worker[{}]: member {member} forecast invalid: {e}",
+                                cfg.worker_id
+                            );
+                            published = publish(CODE_CORRUPT_FORECAST, 0);
                         }
                     }
-                    Err(e) => {
-                        eprintln!("esse_worker[{}]: {e}", cfg.worker_id);
-                        published = publish(CODE_SPAWN_FAILED, 0);
-                    }
+                }
+                Ok(Some(code)) => published = publish(code, 0),
+                Ok(None) => {} // cancelled or fenced mid-run
+                Err(e) => {
+                    eprintln!("esse_worker[{}]: {e}", cfg.worker_id);
+                    published = publish(CODE_SPAWN_FAILED, 0);
                 }
             }
-            Some(code) => published = publish(code, 0),
-            None => {} // cancelled or fenced mid-run
-        },
+        }
+        Ok(Some(code)) => published = publish(code, 0),
+        Ok(None) => {} // cancelled or fenced mid-run
         Err(e) => {
             eprintln!("esse_worker[{}]: {e}", cfg.worker_id);
             published = publish(CODE_SPAWN_FAILED, 0);
@@ -378,6 +413,8 @@ fn main() {
     };
     let parent_pid: Option<u32> = args.get("parent-pid").and_then(|v| v.parse().ok());
     let wait_pool = Duration::from_millis(cli::get_or(&args, "wait-pool-ms", 30_000u64));
+    let trace_capacity: usize = cli::get_or(&args, "trace-capacity", 1usize << 18);
+    let metrics_out = args.get("metrics-out").map(PathBuf::from);
 
     // The pool may not exist yet (worker started before the master
     // seeded it — that's allowed, there is no registration step).
@@ -388,10 +425,30 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // --- Observability: tracing is opt-in *by the coordinator* — a
+    // nonzero trace_run_id in the manifest is the whole trace context
+    // handshake. With id zero every instrumented path collapses to a
+    // branch on the null recorder and nothing is ever shipped. ---
+    let trace_run = transport.manifest().trace_run_id;
+    let tracing = trace_run != 0;
+    let ring = RingRecorder::with_capacity(trace_capacity);
+    let rec: &dyn Recorder = if tracing { &ring } else { &NULL };
+    let lane = Lane::Worker(worker_id);
+    let metrics = MetricsRegistry::new();
+    let m_claimed = metrics.counter("esse_worker_tasks_claimed_total");
+    let m_published = metrics.counter("esse_worker_tasks_published_total");
+    let m_batches = metrics.counter("esse_worker_trace_batches_shipped_total");
+    let m_ship_failed = metrics.counter("esse_worker_trace_ship_failures_total");
+    let g_dropped = metrics.gauge("esse_worker_trace_dropped_events");
+    let mut dropped_total = 0u64;
+
     if remote {
-        if let Err(e) = std::fs::create_dir_all(&cfg.workdir)
-            .and_then(|()| transport.stage_inputs(&cfg.workdir))
-        {
+        rec.begin_at(rec.now_ns(), lane, "phase", "stage", vec![]);
+        let staged = std::fs::create_dir_all(&cfg.workdir)
+            .and_then(|()| transport.stage_inputs(&cfg.workdir));
+        rec.end_at(rec.now_ns(), lane, "phase", "stage");
+        if let Err(e) = staged {
             eprintln!("esse_worker[{worker_id}]: staging inputs failed: {e}");
             std::process::exit(2);
         }
@@ -401,6 +458,33 @@ fn main() {
             cfg.workdir.display()
         );
     }
+    rec.instant_at(
+        rec.now_ns(),
+        lane,
+        "task",
+        "startup",
+        vec![("worker", (worker_id as u64).into()), ("run", trace_run.into())],
+    );
+
+    // Drain whatever the ring holds into a batch and ship it; returns
+    // the events the ring dropped since the last drain. Failure is
+    // counted, never fatal — tracing must not perturb the task flow.
+    let ship = |member: u64, epoch: u32, final_flush: bool| -> u64 {
+        let trace = ring.drain();
+        let dropped_now = trace.dropped;
+        if trace.events.is_empty() && dropped_now == 0 {
+            return 0;
+        }
+        let batch = SpanBatch::from_trace(trace_run, worker_id, member, epoch, final_flush, &trace);
+        match transport.ship_trace(&batch.encode()) {
+            Ok(()) => m_batches.inc(),
+            Err(e) => {
+                m_ship_failed.inc();
+                eprintln!("esse_worker[{worker_id}]: trace batch not shipped: {e}");
+            }
+        }
+        dropped_now
+    };
 
     let mut tasks_started = 0usize;
     let mut tasks_published = 0usize;
@@ -414,6 +498,7 @@ fn main() {
             eprintln!("esse_worker[{}]: coordinator gone, exiting", cfg.worker_id);
             break;
         }
+        let t_claim = rec.now_ns();
         let spec = match transport.claim_next() {
             Ok(ClaimOutcome::Task(spec)) => spec,
             Ok(ClaimOutcome::Cancelled) | Ok(ClaimOutcome::Shutdown) => break,
@@ -434,9 +519,30 @@ fn main() {
         };
         idle_since = None;
         tasks_started += 1;
+        m_claimed.inc();
+        // The task span carries the full trace context (parent span id
+        // assigned by the coordinator at enqueue); the claim phase span
+        // brackets the claim exchange itself, which is what the
+        // coordinator's skew estimator aligns against.
+        rec.begin_at(
+            t_claim,
+            lane,
+            "task",
+            "task",
+            vec![
+                ("member", spec.member.into()),
+                ("epoch", (spec.epoch as u64).into()),
+                ("parent", spec.parent_span.into()),
+                ("run", trace_run.into()),
+                ("worker", (worker_id as u64).into()),
+            ],
+        );
+        rec.begin_at(t_claim, lane, "phase", "claim", vec![("member", spec.member.into())]);
+        rec.end_at(rec.now_ns(), lane, "phase", "claim");
         if cfg.plan.worker_dies(cfg.worker_id as usize, tasks_started) {
             // Scripted worker death (FaultPlan): die holding the claim,
-            // no cleanup — the lease watchdog must reclaim it.
+            // no cleanup, no batch — the lease watchdog must reclaim the
+            // claim and the merge must tolerate the absent spans.
             eprintln!(
                 "esse_worker[{}]: injected death on task {tasks_started} (member {})",
                 cfg.worker_id, spec.member
@@ -444,11 +550,36 @@ fn main() {
             std::process::abort();
         }
         let stalled = stalled_once == Some(spec.member);
-        if run_task(&cfg, &transport, spec, stalled) {
+        if run_task(&cfg, &transport, spec, stalled, rec, lane) {
             tasks_published += 1;
+            m_published.inc();
+        }
+        rec.end_at(rec.now_ns(), lane, "task", "task");
+        if tracing {
+            dropped_total += ship(spec.member, spec.epoch, false);
+            g_dropped.set(dropped_total as f64);
         }
         if stalled {
             stalled_once = None; // the injection fires once
+        }
+    }
+
+    // Orderly exit (tombstone shutdown, cancel, idle timeout or orphan):
+    // flush any tail spans, then dump the metrics snapshot.
+    rec.instant_at(
+        rec.now_ns(),
+        lane,
+        "task",
+        "shutdown",
+        vec![("worker", (worker_id as u64).into())],
+    );
+    if tracing {
+        dropped_total += ship(0, 0, true);
+        g_dropped.set(dropped_total as f64);
+    }
+    if let Some(path) = metrics_out {
+        if let Err(e) = std::fs::write(&path, metrics.snapshot().to_prometheus()) {
+            eprintln!("esse_worker[{worker_id}]: cannot write metrics: {e}");
         }
     }
     println!(

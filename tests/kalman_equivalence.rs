@@ -122,12 +122,12 @@ fn esse_analysis_matches_exact_kalman_update() {
     let dx = hp.tr_matvec(&sinv_d).unwrap();
     let exact: Vec<f64> = central.iter().zip(dx.iter()).map(|(c, p)| c + p).collect();
 
-    for i in 0..n {
+    for (i, &ex) in exact.iter().enumerate().take(n) {
         assert!(
-            (esse_an.state[i] - exact[i]).abs() < 0.05,
+            (esse_an.state[i] - ex).abs() < 0.05,
             "component {i}: esse {} vs kalman {}",
             esse_an.state[i],
-            exact[i]
+            ex
         );
     }
     // Posterior covariance close to the exact Joseph-form result on the

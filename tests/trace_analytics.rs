@@ -156,7 +156,7 @@ fn monitor_tee_sees_the_same_run_the_trace_records() {
     let monitor = esse_obs::RunMonitor::start(esse_obs::monitor::MonitorConfig {
         period: Duration::from_millis(5),
         total_members: Some(16),
-        verbose: false,
+        ..esse_obs::monitor::MonitorConfig::default()
     });
     let mon_rec = monitor.recorder();
     let tee = esse_obs::monitor::Tee::new(&ring, &mon_rec);
