@@ -178,6 +178,7 @@ fn main() {
         manifest: manifest(),
         workdir: tcp_dir.clone(),
         listen: "127.0.0.1:0".into(),
+        generation: 1,
         metrics: NetMetrics::detached(),
         recorder: Arc::new(NULL),
     })

@@ -281,6 +281,18 @@ fn render(a: &RunAnalysis, markdown: bool) -> String {
             a.fleet.orphan_edges,
             if a.fleet.orphan_edges == 0 { " — DAG valid" } else { " — DAG INVALID" }
         ));
+        if !a.fleet.restarts.is_empty() {
+            let incs: Vec<String> = a.fleet.restarts.iter().map(|i| format!("#{i}")).collect();
+            let by_inc: Vec<String> =
+                a.fleet.tasks_by_incarnation.iter().map(|&(i, n)| format!("#{i}: {n}")).collect();
+            out.push_str(&format!(
+                "coordinator restart(s): {} (incarnation {}); remote tasks by seeding \
+                 incarnation: {}\n",
+                a.fleet.restarts.len(),
+                incs.join(", "),
+                if by_inc.is_empty() { "none".to_string() } else { by_inc.join(", ") }
+            ));
+        }
         for w in &a.fleet.workers {
             out.push_str(&format!(
                 "worker {}: clock offset {:+.3} ms (±{:.3} ms, {}), \

@@ -44,11 +44,30 @@
 //! — including the held-open zombie whose stale publish must be fenced
 //! at the coordinator regardless of how it arrived.
 //!
+//! **`--kill-master`** inverts the chaos: instead of killing workers
+//! under a healthy coordinator, it kills the *coordinator* under a
+//! healthy fleet — once inside the ingest loop (a journal-append abort
+//! immediately after the first `MemberCompleted`, before the result is
+//! consumed), once at the SVD-publish point (SIGKILL the instant the
+//! first `SvdPublished` record lands), and once at a seeded arbitrary
+//! instant — resuming with `--resume` after each kill, with worker
+//! kills interleaved into the outage windows. Workers run with a
+//! 10-second `--coordinator-grace-ms` so they park through every
+//! outage (finding the restarted coordinator via `master.lock` on the
+//! disk transport, via the rewritten `pool/endpoint` file over TCP),
+//! and the harness asserts that no completed member is ever re-run, no
+//! surviving worker orphans out of the fleet, the journal counts
+//! exactly one `CoordinatorStarted` per *working* incarnation (a
+//! resume that finds the run already finished is a durable no-op and
+//! journals nothing) in agreement with the incarnation gauge, and the
+//! posterior is bit-identical to the never-killed reference.
+//!
 //! ```text
-//! worker_chaos [--transport disk|tcp] [--domain D] [--hours H]
-//!              [--initial N] [--max NMAX] [--tolerance T] [--workers W]
-//!              [--seed S] [--kill-ms MS] [--lease-ms MS] [--base-seed S]
-//!              [--master PATH] [--worker PATH] [--artifacts DIR] [--keep]
+//! worker_chaos [--transport disk|tcp] [--kill-master] [--domain D]
+//!              [--hours H] [--initial N] [--max NMAX] [--tolerance T]
+//!              [--workers W] [--seed S] [--kill-ms MS] [--lease-ms MS]
+//!              [--base-seed S] [--master PATH] [--worker PATH]
+//!              [--artifacts DIR] [--keep]
 //! ```
 //!
 //! Exits non-zero on the first violated invariant (CI gate). On failure
@@ -163,11 +182,8 @@ impl ChaosConfig {
         let path = workdir.join("pool").join("endpoint");
         let t0 = Instant::now();
         while t0.elapsed() < Duration::from_secs(30) {
-            if let Ok(raw) = std::fs::read_to_string(&path) {
-                let addr = raw.trim().to_string();
-                if !addr.is_empty() {
-                    return addr;
-                }
+            if let Ok(Some((addr, _generation))) = esse_net::read_endpoint(&path) {
+                return addr;
             }
             std::thread::sleep(Duration::from_millis(10));
         }
@@ -198,6 +214,51 @@ impl ChaosConfig {
         for a in extra {
             cmd.arg(a);
         }
+        cmd.spawn().expect("spawn esse_worker")
+    }
+
+    /// A worker for the `--kill-master` scenario: a coordinator-grace
+    /// window far above any outage this harness stages, so coordinator
+    /// death means *park* — finish and publish the held task, keep
+    /// heartbeating, find the restarted coordinator (via `master.lock`
+    /// on the disk transport, via the rewritten endpoint file over
+    /// TCP) — never exit. Stderr goes to a per-id log file so the
+    /// harness can assert no surviving worker ever logged the orphan
+    /// marker.
+    fn spawn_parked_worker(
+        &self,
+        workdir: &Path,
+        id: usize,
+        master_pid: u32,
+        logs: &Path,
+    ) -> Child {
+        let stderr = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(logs.join(format!("w{id:03}.log")))
+            .map(Stdio::from)
+            .unwrap_or_else(|_| Stdio::null());
+        let mut cmd = Command::new(&self.worker);
+        if self.tcp {
+            cmd.arg("--connect")
+                .arg(self.wait_endpoint(workdir))
+                .arg("--endpoint-file")
+                .arg(workdir.join("pool").join("endpoint"))
+                .arg("--scratch")
+                .arg(workdir.join(format!("scratch-w{id}")));
+        } else {
+            // Only a tracked parent pid lets the disk transport notice
+            // the coordinator died (and adopt its successor).
+            cmd.arg("--workdir").arg(workdir).arg("--parent-pid").arg(master_pid.to_string());
+        }
+        cmd.arg("--worker-id")
+            .arg(id.to_string())
+            .arg("--poll-ms")
+            .arg("5")
+            .arg("--coordinator-grace-ms")
+            .arg("10000")
+            .stdout(Stdio::null())
+            .stderr(stderr);
         cmd.spawn().expect("spawn esse_worker")
     }
 }
@@ -234,12 +295,39 @@ fn read_posterior(workdir: &Path) -> Result<Vec<u8>, String> {
         .map_err(|e| format!("read {}/posterior.sub: {e}", workdir.display()))
 }
 
-/// Read one counter out of the Prometheus text the master exported.
+/// Read one counter or gauge out of the Prometheus text the master
+/// exported (gauges print as floats; round back to the count).
 fn metric(workdir: &Path, name: &str) -> u64 {
     let raw = std::fs::read_to_string(workdir.join("metrics.prom")).unwrap_or_default();
     raw.lines()
-        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse::<u64>().ok()))
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse::<f64>().ok()))
+        .map(|v| v.round() as u64)
         .unwrap_or(0)
+}
+
+/// Count journal records matching `pred`, tolerating the torn tail of
+/// a live (or killed-mid-append) journal.
+fn journal_count(journal: &Path, pred: impl Fn(&JournalRecord) -> bool) -> usize {
+    Journal::replay(journal).map(|r| r.records.iter().filter(|rec| pred(rec)).count()).unwrap_or(0)
+}
+
+fn wait_with_timeout(
+    child: &mut Child,
+    secs: u64,
+    what: &str,
+) -> Result<std::process::ExitStatus, String> {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        if let Some(st) = child.try_wait().map_err(|e| format!("poll {what}: {e}"))? {
+            return Ok(st);
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(format!("{what} did not exit within {secs}s"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }
 
 /// Distributed-trace invariant: the merged timeline the coordinator
@@ -321,6 +409,9 @@ fn main() {
     let seed: u64 = get_or(&args, "seed", 1);
     let kill_ms: u64 = get_or(&args, "kill-ms", 60).max(5);
     let keep = args.contains_key("keep");
+    // `--kill-master` swaps the worker-kill scenarios for the
+    // coordinator-kill scenario: same reference, inverse chaos.
+    let kill_master = args.contains_key("kill-master");
     for (what, path) in [("esse_master", &cfg.master), ("esse_worker", &cfg.worker)] {
         if !path.exists() {
             eprintln!("FAIL: {what} not found at {} (build it first)", path.display());
@@ -364,7 +455,7 @@ fn main() {
 
     // --- Scenario 1b: the same run with tracing disabled. Tracing is
     // purely observational, so the posterior must not move by a bit.
-    {
+    if !kill_master {
         let dir = root.join("reference-notrace");
         let status = cfg.master(&dir, 1, false).status().expect("spawn notrace master");
         let outcome = (|| -> Result<(), String> {
@@ -391,7 +482,7 @@ fn main() {
     }
 
     // --- Scenario 2: kill random workers on a seeded schedule. ---
-    {
+    if !kill_master {
         let dir = root.join("chaos");
         let mut master = cfg.master(&dir, 0, true).spawn().expect("spawn chaos master");
         let mut fleet: Vec<Child> = (0..workers).map(|i| cfg.spawn_worker(&dir, i, &[])).collect();
@@ -448,7 +539,7 @@ fn main() {
 
     // --- Scenario 3: the zombie — stall past lease expiry, publish a
     // stale-epoch result, and get fenced; then SIGKILL the zombie. ---
-    {
+    if !kill_master {
         let dir = root.join("zombie");
         let stall_ms = cfg.lease_ms * 4;
         let mut master = cfg.master(&dir, 0, true).spawn().expect("spawn zombie master");
@@ -530,14 +621,235 @@ fn main() {
         }
     }
 
+    // --- Scenario 4 (--kill-master): SIGKILL the coordinator on a
+    // seeded schedule while the fleet parks through each outage. ---
+    if kill_master {
+        let dir = root.join("master-chaos");
+        // Sibling of the workdir: the fresh coordinator refuses a
+        // non-empty workdir, so the logs cannot live inside it.
+        let logs = root.join("master-chaos-wlogs");
+        std::fs::create_dir_all(&logs).expect("create worker log dir");
+        let journal = dir.join("run.journal");
+        let mut rng = seed | 1;
+        let mut next_id = workers;
+        let mut incarnations = 1u64;
+        let mut master_kills = 0usize;
+        let mut worker_kills = 0usize;
+
+        // Incarnation 1 aborts inside the ingest loop, immediately
+        // after the first MemberCompleted append (appends 1–6 are the
+        // fixed RunStart / CoordinatorStarted / initial-EpochAdvanced
+        // prologue): the consumed-result cleanup never runs, so the
+        // resume must re-ingest the already-journalled result
+        // idempotently and fence nothing that is still live.
+        let mut master = {
+            let mut cmd = cfg.master(&dir, 0, true);
+            cmd.arg("--crash-after-appends").arg("7");
+            cmd.spawn().expect("spawn master incarnation 1")
+        };
+        let mut fleet: Vec<Child> =
+            (0..workers).map(|i| cfg.spawn_parked_worker(&dir, i, master.id(), &logs)).collect();
+
+        let outcome = (|| -> Result<String, String> {
+            let st = wait_with_timeout(&mut master, 120, "master incarnation 1")?;
+            master_kills += 1;
+            if st.success() {
+                return Err("incarnation 1 finished — the injected ingest crash never fired".into());
+            }
+            if !journal.exists() {
+                return Err("journal did not survive the ingest crash".into());
+            }
+
+            // Outage window: the fleet is alone with the pool. A seeded
+            // pause makes the park real, and one worker dies mid-outage
+            // so the restarted coordinator must fence its frozen lease.
+            std::thread::sleep(Duration::from_millis(150 + rng % 250));
+            rng = xorshift64(rng);
+            let victim = (rng % fleet.len() as u64) as usize;
+            rng = xorshift64(rng);
+            let _ = fleet[victim].kill();
+            let _ = fleet[victim].wait();
+            worker_kills += 1;
+
+            // Incarnation 2: resume, then SIGKILL the instant the first
+            // SvdPublished record lands — the kill-during-SVD-publish
+            // point, after the covariance files but mid-checkpoint.
+            let mut cmd = cfg.master(&dir, 0, true);
+            cmd.arg("--resume");
+            let mut master = cmd.spawn().expect("spawn master incarnation 2");
+            incarnations += 1;
+            fleet[victim] = cfg.spawn_parked_worker(&dir, next_id, master.id(), &logs);
+            next_id += 1;
+            let mut final_status = None;
+            let t_svd = Instant::now();
+            loop {
+                if journal_count(&journal, |r| matches!(r, JournalRecord::SvdPublished { .. })) > 0
+                {
+                    let _ = master.kill();
+                    let _ = master.wait();
+                    master_kills += 1;
+                    break;
+                }
+                if let Some(st) = master.try_wait().expect("poll incarnation 2") {
+                    // Outran the poll to completion: no more kills.
+                    final_status = Some(st);
+                    break;
+                }
+                if t_svd.elapsed() > Duration::from_secs(120) {
+                    let _ = master.kill();
+                    let _ = master.wait();
+                    return Err("incarnation 2 never published an SVD".into());
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+
+            // Incarnation 3: resume, SIGKILL at a seeded arbitrary
+            // instant, with a second worker kill in the outage.
+            if final_status.is_none() {
+                std::thread::sleep(Duration::from_millis(100 + rng % 300));
+                rng = xorshift64(rng);
+                let victim = (rng % fleet.len() as u64) as usize;
+                rng = xorshift64(rng);
+                let _ = fleet[victim].kill();
+                let _ = fleet[victim].wait();
+                worker_kills += 1;
+                let mut cmd = cfg.master(&dir, 0, true);
+                cmd.arg("--resume");
+                // `try_wait` returning `Some` reaps the child, which the
+                // lint cannot see across the loop.
+                #[allow(clippy::zombie_processes)]
+                let mut master = cmd.spawn().expect("spawn master incarnation 3");
+                incarnations += 1;
+                fleet[victim] = cfg.spawn_parked_worker(&dir, next_id, master.id(), &logs);
+                next_id += 1;
+                let wait_ms = 30 + rng % 200;
+                rng = xorshift64(rng);
+                let t = Instant::now();
+                while t.elapsed() < Duration::from_millis(wait_ms) && final_status.is_none() {
+                    if let Some(st) = master.try_wait().expect("poll incarnation 3") {
+                        final_status = Some(st);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                if final_status.is_none() {
+                    let _ = master.kill();
+                    let _ = master.wait();
+                    master_kills += 1;
+                }
+            }
+
+            // Final incarnation: resume and run to completion.
+            let done = match final_status {
+                Some(st) => st,
+                None => {
+                    std::thread::sleep(Duration::from_millis(100 + rng % 200));
+                    rng = xorshift64(rng);
+                    let mut cmd = cfg.master(&dir, 0, true);
+                    cmd.arg("--resume");
+                    let mut master = cmd.spawn().expect("spawn final master incarnation");
+                    incarnations += 1;
+                    wait_with_timeout(&mut master, 180, "final master incarnation")?
+                }
+            };
+            if !done.success() {
+                return Err(format!("final incarnation exited with {done}"));
+            }
+
+            // Every surviving worker drains home on SHUTDOWN — a
+            // worker lost to a coordinator outage shows up right here.
+            let deadline = Instant::now() + Duration::from_secs(15);
+            for (i, w) in fleet.iter_mut().enumerate() {
+                loop {
+                    match w.try_wait().expect("reap surviving worker") {
+                        Some(st) if st.success() => break,
+                        Some(st) => {
+                            return Err(format!(
+                                "surviving worker {i} exited with {st} — lost across a restart"
+                            ));
+                        }
+                        None if Instant::now() >= deadline => {
+                            return Err(format!("surviving worker {i} never saw the shutdown"));
+                        }
+                        None => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            }
+            // …and none of them ever gave up on a parked outage (only
+            // SIGKILL'd workers may die, and those die silently).
+            for entry in std::fs::read_dir(&logs).map_err(|e| format!("read {logs:?}: {e}"))? {
+                let path = entry.map_err(|e| e.to_string())?.path();
+                let text = std::fs::read_to_string(&path).unwrap_or_default();
+                if text.contains("orphaned past coordinator grace") {
+                    return Err(format!(
+                        "worker log {} records an orphan exit — a worker fell out of the \
+                         fleet during a coordinator outage",
+                        path.display()
+                    ));
+                }
+            }
+
+            assert_no_reruns(&journal)?;
+            if journal_converged(&journal)? != ref_converged {
+                return Err("master-chaos run convergence differs from reference".into());
+            }
+            let posterior = read_posterior(&dir)?;
+            if posterior != reference {
+                return Err("master-chaos posterior differs from never-killed reference".into());
+            }
+            // A spawned `--resume` that finds the run already finished
+            // (a kill racing run completion) is a durable no-op and
+            // journals nothing, so the exact CoordinatorStarted count
+            // is schedule-dependent: assert the self-consistency that
+            // matters — the journal and the gauge agree on how many
+            // coordinators actually ran the pool, at least one crash
+            // was ridden through, and no phantom incarnations appear.
+            let starts =
+                journal_count(&journal, |r| matches!(r, JournalRecord::CoordinatorStarted { .. }));
+            if !(2..=incarnations as usize).contains(&starts) {
+                return Err(format!(
+                    "journal records {starts} CoordinatorStarted(s) across {incarnations} \
+                     coordinator spawns"
+                ));
+            }
+            let gauge = metric(&dir, "esse_master_incarnation");
+            if gauge != starts as u64 {
+                return Err(format!(
+                    "esse_master_incarnation gauge reads {gauge}, but the journal records \
+                     {starts} incarnation(s)"
+                ));
+            }
+            // The merged timeline must stay a valid DAG across the
+            // restart boundary: batches published while no coordinator
+            // was alive anchor to the resumed master's re-emitted
+            // enqueue instants.
+            check_merged_trace(&dir)
+        })();
+        reap_all(&mut fleet, Duration::from_secs(5));
+        match outcome {
+            Ok(fleet) => println!(
+                "master-chaos: {master_kills} coordinator kill(s) over {incarnations} \
+                 incarnation(s), {worker_kills} worker kill(s) interleaved, \
+                 bit-identical posterior; {fleet}"
+            ),
+            Err(e) => {
+                failures.push(format!("master-chaos: {e}"));
+                eprintln!("FAIL master-chaos ({master_kills} master kills): {e}");
+            }
+        }
+    }
+
     if failures.is_empty() {
         if !keep {
             let _ = std::fs::remove_dir_all(&root);
         }
         println!(
-            "PASS [{}]: chaos + zombie scenarios, every posterior bit-identical to the \
-             unkilled reference ({:.1?})",
+            "PASS [{}]: {}, every posterior bit-identical to the unkilled reference ({:.1?})",
             if cfg.tcp { "tcp" } else { "disk" },
+            if kill_master {
+                "coordinator kill-and-resume scenario"
+            } else {
+                "chaos + zombie scenarios"
+            },
             t0.elapsed()
         );
     } else {

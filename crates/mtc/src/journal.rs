@@ -102,6 +102,25 @@ pub enum JournalRecord {
         /// Members in the final subspace.
         members: u64,
     },
+    /// The coordinator issued (seeded or requeued) task incarnation
+    /// `epoch` for `member`. Appended *before* the task record appears
+    /// in the pool, so replaying any journal prefix restores a fencing
+    /// high-water mark ≥ every epoch a worker could ever have seen —
+    /// a restarted coordinator never re-issues an epoch that a zombie
+    /// result from the previous incarnation could impersonate.
+    EpochAdvanced {
+        /// Member index.
+        member: u64,
+        /// Fencing epoch issued (1-based).
+        epoch: u32,
+    },
+    /// A coordinator incarnation started serving this run (1 for the
+    /// initial start, +1 per `--resume`). Lets observability label
+    /// work by incarnation across a crash-and-restart boundary.
+    CoordinatorStarted {
+        /// Incarnation number (1-based).
+        incarnation: u64,
+    },
 }
 
 impl JournalRecord {
@@ -115,6 +134,8 @@ impl JournalRecord {
             JournalRecord::Converged { .. } => 6,
             JournalRecord::Assimilated { .. } => 7,
             JournalRecord::RunComplete { .. } => 8,
+            JournalRecord::EpochAdvanced { .. } => 9,
+            JournalRecord::CoordinatorStarted { .. } => 10,
         }
     }
 
@@ -151,6 +172,13 @@ impl JournalRecord {
             JournalRecord::RunComplete { members } => {
                 out.extend_from_slice(&members.to_le_bytes());
             }
+            JournalRecord::EpochAdvanced { member, epoch } => {
+                out.extend_from_slice(&member.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            JournalRecord::CoordinatorStarted { incarnation } => {
+                out.extend_from_slice(&incarnation.to_le_bytes());
+            }
         }
         out
     }
@@ -181,6 +209,11 @@ impl JournalRecord {
             6 => JournalRecord::Converged { members: u64_at(0)?, rho: f64::from_bits(u64_at(8)?) },
             7 => JournalRecord::Assimilated { innovations: u64_at(0)? },
             8 => JournalRecord::RunComplete { members: u64_at(0)? },
+            9 => JournalRecord::EpochAdvanced {
+                member: u64_at(0)?,
+                epoch: u32::from_le_bytes(rest.get(8..12)?.try_into().unwrap()),
+            },
+            10 => JournalRecord::CoordinatorStarted { incarnation: u64_at(0)? },
             _ => return None,
         };
         // Reject trailing garbage so a frame is exactly one record.
@@ -322,6 +355,14 @@ pub struct JournalState {
     pub assimilated: Option<u64>,
     /// Members in the published posterior, if the run completed.
     pub complete: Option<u64>,
+    /// Fencing-epoch high-water mark per member, ascending by id: the
+    /// largest epoch ever issued for each member. A resumed
+    /// coordinator seeds strictly above this, so no stale incarnation
+    /// from before the crash can pass the fence.
+    pub epoch_high_water: Vec<(u64, u32)>,
+    /// Coordinator incarnations that have served this run (max of the
+    /// `CoordinatorStarted` records; 0 for pre-incarnation journals).
+    pub incarnations: u64,
 }
 
 impl JournalState {
@@ -361,6 +402,18 @@ impl JournalState {
                 JournalRecord::Converged { members, rho } => st.converged = Some((members, rho)),
                 JournalRecord::Assimilated { innovations } => st.assimilated = Some(innovations),
                 JournalRecord::RunComplete { members } => st.complete = Some(members),
+                JournalRecord::EpochAdvanced { member, epoch } => {
+                    match st.epoch_high_water.binary_search_by_key(&member, |(m, _)| *m) {
+                        Ok(i) => {
+                            let hw = &mut st.epoch_high_water[i].1;
+                            *hw = (*hw).max(epoch);
+                        }
+                        Err(i) => st.epoch_high_water.insert(i, (member, epoch)),
+                    }
+                }
+                JournalRecord::CoordinatorStarted { incarnation } => {
+                    st.incarnations = st.incarnations.max(incarnation);
+                }
             }
         }
         st
@@ -670,12 +723,17 @@ mod tests {
     fn sample_records() -> Vec<JournalRecord> {
         vec![
             JournalRecord::RunStart { config_hash: 0xDEAD_BEEF },
+            JournalRecord::CoordinatorStarted { incarnation: 1 },
+            JournalRecord::EpochAdvanced { member: 0, epoch: 1 },
+            JournalRecord::EpochAdvanced { member: 3, epoch: 1 },
             JournalRecord::MemberCompleted { member: 0, attempts: 1 },
             JournalRecord::MemberCompleted { member: 3, attempts: 2 },
             JournalRecord::MemberFailed { member: 1, code: 3 },
             JournalRecord::SvdPublished { members: 2, version: 1, rho: f64::NAN },
             JournalRecord::SvdPublished { members: 4, version: 2, rho: 0.97 },
             JournalRecord::MemberQuarantined { member: 3 },
+            JournalRecord::CoordinatorStarted { incarnation: 2 },
+            JournalRecord::EpochAdvanced { member: 3, epoch: 2 },
             JournalRecord::Converged { members: 8, rho: 0.995 },
             JournalRecord::Assimilated { innovations: 12 },
             JournalRecord::RunComplete { members: 8 },
@@ -782,6 +840,9 @@ mod tests {
         assert_eq!(st.converged, Some((8, 0.995)));
         assert_eq!(st.assimilated, Some(12));
         assert_eq!(st.complete, Some(8));
+        // Epoch high-water keeps the max ever issued, per member.
+        assert_eq!(st.epoch_high_water, vec![(0, 1), (3, 2)]);
+        assert_eq!(st.incarnations, 2);
     }
 
     #[test]

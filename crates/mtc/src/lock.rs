@@ -8,18 +8,46 @@
 //!
 //! A coordinator that was SIGKILLed leaves its lock behind; that must
 //! not brick the workdir, because the kill–resume harness does exactly
-//! this in a loop. So acquisition that loses the `O_EXCL` race reads
-//! the PID in the lock and — on Linux — checks `/proc/<pid>`: if the
-//! holder is gone the lock is *stale* and is broken (removed, then
-//! re-acquired through the same exclusive-create path, so two breakers
-//! still race safely on the final create).
+//! this in a loop. Breaking a stale lock safely is the subtle part:
+//! two `--resume` invocations racing after a crash must resolve to
+//! *exactly one* live coordinator. The naive protocol (read PID, see
+//! it dead, `unlink`, re-create) has a hole — breaker B can sample the
+//! dead PID, breaker A can break and re-create a *fresh live* lock,
+//! and B's unlink then destroys A's lock, leaving two masters.
+//!
+//! The protocol here never unlinks the lock path based on a stale
+//! read. A breaker *steals* the lock by atomically renaming it to a
+//! shared break-marker (`master.lock.breaking`) — only one breaker can
+//! win the rename — and then re-checks the PID it actually captured:
+//!
+//! * dead (or garbled): the steal was legitimate; the marker is
+//!   unlinked and everyone races on the ordinary `O_EXCL` create.
+//! * alive: the breaker grabbed a lock that was re-created under it;
+//!   it renames the marker straight back and reports `Held`.
+//!
+//! The give-back rename can clobber a third process's just-created
+//! lock, so `O_EXCL` creation alone is no longer proof of ownership:
+//! after creating, the winner waits out any in-flight break marker and
+//! confirms the lock file still carries its own PID (the "PID
+//! liveness re-check under the lock"). A creator that finds another
+//! live PID in its own lock file lost the race and reports `Held`.
 
 use std::fs::{self, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Lock file name inside a working directory.
 pub const LOCK_FILE: &str = "master.lock";
+
+/// In-flight break marker: a stale lock is renamed here while the
+/// breaker decides whether the steal was legitimate. While this file
+/// exists, `O_EXCL` creation of `master.lock` is not yet ownership.
+pub const BREAK_MARKER: &str = "master.lock.breaking";
+
+/// How long a break marker may sit before it is presumed orphaned (its
+/// breaker died mid-break) and recovered by whoever is waiting on it.
+const MARKER_ORPHAN_AFTER: Duration = Duration::from_millis(500);
 
 /// A held advisory lock; released on drop.
 #[derive(Debug)]
@@ -72,38 +100,87 @@ fn pid_alive(pid: u32) -> bool {
     }
 }
 
+/// Read the PID recorded in a lock (or marker) file, if readable.
+fn read_pid(path: &Path) -> Option<u32> {
+    fs::read_to_string(path).ok().and_then(|s| s.trim().parse::<u32>().ok())
+}
+
 impl WorkdirLock {
-    /// Acquire the lock inside `workdir`, breaking a stale one (holder
-    /// PID no longer alive) at most once.
+    /// Acquire the lock inside `workdir`, breaking stale ones (holder
+    /// PID no longer alive) as needed. Exactly one of any number of
+    /// concurrent acquirers wins; every loser gets
+    /// [`LockError::Held`].
     pub fn acquire(workdir: impl AsRef<Path>) -> Result<WorkdirLock, LockError> {
         let path = workdir.as_ref().join(LOCK_FILE);
-        for attempt in 0..2 {
+        let marker = workdir.as_ref().join(BREAK_MARKER);
+        let mut last_seen: Option<u32> = None;
+        // Bounded retries: every iteration either decides or observes
+        // another process making progress; the bound only guards
+        // against pathological filesystem behavior.
+        for _ in 0..64 {
             match Self::try_create(&path) {
-                Ok(lock) => return Ok(lock),
+                Ok(lock) => {
+                    // O_EXCL success is provisional: a breaker may
+                    // rename an older live lock back over ours.
+                    match Self::confirm_ownership(&path, &marker) {
+                        Confirm::Owned => return Ok(lock),
+                        Confirm::Lost { pid } => {
+                            // Our lock file no longer carries our PID;
+                            // do NOT let Drop unlink the winner's file.
+                            std::mem::forget(lock);
+                            return Err(LockError::Held { pid });
+                        }
+                        Confirm::Retry => {
+                            std::mem::forget(lock);
+                            continue;
+                        }
+                    }
+                }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                    let pid =
-                        fs::read_to_string(&path).ok().and_then(|s| s.trim().parse::<u32>().ok());
+                    let pid = read_pid(&path);
+                    last_seen = pid.or(last_seen);
                     let stale = match pid {
                         Some(pid) => pid != std::process::id() && !pid_alive(pid),
-                        // Unreadable/garbled lock: treat as stale once.
+                        // Unreadable/garbled lock: a concurrent writer
+                        // mid-create, or true garbage. Retry; repeated
+                        // garbage is treated as stale by the steal
+                        // path below (rename + re-read decides).
                         None => true,
                     };
-                    if !stale || attempt > 0 {
+                    if !stale {
                         return Err(LockError::Held { pid });
                     }
-                    // Break the stale lock; losing the remove race to a
-                    // concurrent breaker is fine — the retry's O_EXCL
-                    // create is still the only decider.
-                    match fs::remove_file(&path) {
-                        Ok(()) => {}
-                        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    // Steal the stale lock atomically. Only one
+                    // breaker wins the rename; the marker now holds
+                    // whatever the path held at the instant of the
+                    // steal, which is what we re-verify.
+                    match fs::rename(&path, &marker) {
+                        Ok(()) => match read_pid(&marker) {
+                            Some(p) if p != std::process::id() && pid_alive(p) => {
+                                // We stole a lock that was re-created
+                                // fresh under us: give it straight
+                                // back (any creator we clobber will
+                                // fail its own ownership confirm).
+                                let _ = fs::rename(&marker, &path);
+                                return Err(LockError::Held { pid: Some(p) });
+                            }
+                            _ => {
+                                // Genuinely stale (or garbled): the
+                                // steal stands. Race on O_EXCL.
+                                let _ = fs::remove_file(&marker);
+                            }
+                        },
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                            // Another breaker got there first.
+                        }
                         Err(e) => return Err(LockError::Io(e)),
                     }
                 }
                 Err(e) => return Err(LockError::Io(e)),
             }
+            std::thread::sleep(Duration::from_millis(1));
         }
-        Err(LockError::Held { pid: None })
+        Err(LockError::Held { pid: last_seen })
     }
 
     fn try_create(path: &Path) -> io::Result<WorkdirLock> {
@@ -113,10 +190,51 @@ impl WorkdirLock {
         Ok(WorkdirLock { path: path.to_path_buf() })
     }
 
+    /// After a successful `O_EXCL` create: wait out any in-flight
+    /// break marker, then confirm the lock file still names us.
+    fn confirm_ownership(path: &Path, marker: &Path) -> Confirm {
+        let t0 = Instant::now();
+        loop {
+            if marker.exists() {
+                if t0.elapsed() > MARKER_ORPHAN_AFTER {
+                    // The breaker died mid-break. Recover on its
+                    // behalf: a live stolen PID is given back (it is
+                    // the rightful older holder — even over our own
+                    // fresh file), a dead one is discarded.
+                    match read_pid(marker) {
+                        Some(p) if p != std::process::id() && pid_alive(p) => {
+                            let _ = fs::rename(marker, path);
+                        }
+                        _ => {
+                            let _ = fs::remove_file(marker);
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            // No break in flight: the file's content is the verdict.
+            return match read_pid(path) {
+                Some(p) if p == std::process::id() => Confirm::Owned,
+                Some(p) if pid_alive(p) => Confirm::Lost { pid: Some(p) },
+                // Our file was displaced by something dead or
+                // unreadable — go around again.
+                _ => Confirm::Retry,
+            };
+        }
+    }
+
     /// The lock file's path.
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// Outcome of the post-create ownership confirmation.
+enum Confirm {
+    Owned,
+    Lost { pid: Option<u32> },
+    Retry,
 }
 
 impl Drop for WorkdirLock {
@@ -163,9 +281,37 @@ mod tests {
     }
 
     #[test]
-    fn garbled_lock_is_broken_once() {
+    fn garbled_lock_is_broken() {
         let dir = tmpdir("garbled");
         fs::write(dir.join(LOCK_FILE), "not a pid").unwrap();
         WorkdirLock::acquire(&dir).expect("garbled lock must be treated as stale");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn orphaned_break_marker_with_dead_pid_is_recovered() {
+        let dir = tmpdir("orphan-dead");
+        // A breaker died after stealing a genuinely stale lock: the
+        // marker holds a dead PID and nobody will come back for it.
+        fs::write(dir.join(BREAK_MARKER), "4194304999\n").unwrap();
+        let lock = WorkdirLock::acquire(&dir).expect("acquire must recover the orphaned marker");
+        assert_eq!(read_pid(lock.path()), Some(std::process::id()));
+        assert!(!dir.join(BREAK_MARKER).exists());
+    }
+
+    #[test]
+    fn orphaned_break_marker_with_live_pid_is_given_back() {
+        let dir = tmpdir("orphan-live");
+        // A breaker died after stealing a *live* lock (the re-created
+        // fresh one): recovery must reinstate the live holder, and we
+        // must lose to it.
+        // PID 1 is a live foreign process on any Linux box.
+        fs::write(dir.join(BREAK_MARKER), "1\n").unwrap();
+        match WorkdirLock::acquire(&dir) {
+            Err(LockError::Held { pid }) => assert_eq!(pid, Some(1)),
+            other => panic!("expected Held by pid 1, got {other:?}"),
+        }
+        assert_eq!(read_pid(&dir.join(LOCK_FILE)), Some(1));
+        assert!(!dir.join(BREAK_MARKER).exists());
     }
 }

@@ -712,6 +712,21 @@ impl LeaseWatch {
     pub fn forget(&mut self, member: u64) {
         self.seen.retain(|(m, _), _| *m != member);
     }
+
+    /// Rebase the watch onto a new coordinator clock (a restart).
+    ///
+    /// All remembered observations are discarded: they carry `since`
+    /// timestamps from the dead incarnation's clock, which the new
+    /// clock (restarting at zero) can neither compare against nor
+    /// saturate correctly. After a rebase every surviving claim is
+    /// re-`Granted` a full fresh lease at its next observation and
+    /// judged only by heartbeat progress observed *on the new clock* —
+    /// a live worker mid-task is never falsely expired by pre-crash
+    /// staleness, and a dead worker's frozen heartbeat still expires
+    /// one lease after the new coordinator first sees it.
+    pub fn rebase(&mut self) {
+        self.seen.clear();
+    }
 }
 
 #[cfg(test)]

@@ -28,8 +28,10 @@
 //! [`LeaseWatch`]: crate::pool::LeaseWatch
 
 use crate::pool::{Heartbeat, PoolManifest, ResultRecord, TaskPool, TaskSpec};
+use parking_lot::Mutex;
 use std::io;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// What a claim attempt produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,24 +138,88 @@ pub fn local_process_alive(pid: u32) -> bool {
 
 /// The original shared-filesystem transport: a thin veneer over
 /// [`TaskPool`] plus `/proc` liveness of the spawning coordinator.
+///
+/// Coordinator death is not immediately terminal: with a non-zero
+/// coordinator grace the transport *parks* — claims, heartbeats, and
+/// publishes keep flowing through the filesystem (none of them need a
+/// live coordinator) while [`DiskTransport::coordinator_alive`] polls
+/// `master.lock` for a successor incarnation. A successor naming a
+/// live PID is adopted after its manifest re-verifies the run's config
+/// hash (the disk-side re-handshake); only when the grace expires with
+/// no successor does the transport declare the coordinator dead.
 #[derive(Debug)]
 pub struct DiskTransport {
     pool: TaskPool,
     manifest: PoolManifest,
+    watch: Mutex<CoordinatorWatch>,
+}
+
+/// Mutable parking state behind [`DiskTransport::coordinator_alive`].
+#[derive(Debug)]
+struct CoordinatorWatch {
     /// PID of the local coordinator to watch, if any (workers started
     /// by hand legitimately have no parent to watch).
     parent_pid: Option<u32>,
+    /// When the watched coordinator was first observed gone.
+    gone_since: Option<Instant>,
+    /// How long to park on a gone coordinator before giving up.
+    grace: Duration,
+    /// Terminal: grace expired or a successor failed the re-handshake.
+    dead: bool,
 }
 
 impl DiskTransport {
-    /// Wrap an opened pool.
+    /// Wrap an opened pool. The coordinator grace starts at zero
+    /// (coordinator death is immediately terminal, the historical
+    /// behaviour); see [`DiskTransport::with_coordinator_grace`].
     pub fn new(pool: TaskPool, manifest: PoolManifest, parent_pid: Option<u32>) -> DiskTransport {
-        DiskTransport { pool, manifest, parent_pid }
+        DiskTransport {
+            pool,
+            manifest,
+            watch: Mutex::new(CoordinatorWatch {
+                parent_pid,
+                gone_since: None,
+                grace: Duration::ZERO,
+                dead: false,
+            }),
+        }
+    }
+
+    /// Park for up to `grace` when the watched coordinator dies,
+    /// adopting a restarted coordinator found through `master.lock`.
+    pub fn with_coordinator_grace(self, grace: Duration) -> DiskTransport {
+        self.watch.lock().grace = grace;
+        self
     }
 
     /// Access the underlying pool (worker-side helpers and tests).
     pub fn pool(&self) -> &TaskPool {
         &self.pool
+    }
+
+    /// A successor coordinator's PID from `master.lock`, if the file
+    /// names a live process other than `old` — and its rewritten pool
+    /// manifest still describes the same run (config-hash
+    /// re-handshake). `Err(())` means a successor is present but runs
+    /// a *different* config: terminal, never adopted.
+    fn successor(&self, old: u32) -> Result<Option<u32>, ()> {
+        let Some(workdir) = self.pool.root().parent() else { return Ok(None) };
+        let raw = match std::fs::read_to_string(workdir.join(crate::lock::LOCK_FILE)) {
+            Ok(raw) => raw,
+            Err(_) => return Ok(None),
+        };
+        let Ok(pid) = raw.trim().parse::<u32>() else { return Ok(None) };
+        if pid == old || !local_process_alive(pid) {
+            return Ok(None);
+        }
+        // Re-handshake: the successor rewrote the manifest on resume;
+        // refuse to follow a coordinator running a different run.
+        match TaskPool::open(workdir) {
+            Ok((_, m)) if m.config_hash == self.manifest.config_hash => Ok(Some(pid)),
+            Ok(_) => Err(()),
+            // Manifest unreadable mid-rewrite: not adopted yet.
+            Err(_) => Ok(None),
+        }
     }
 }
 
@@ -206,7 +272,37 @@ impl PoolTransport for DiskTransport {
     }
 
     fn coordinator_alive(&self) -> bool {
-        self.parent_pid.is_none_or(local_process_alive)
+        let mut w = self.watch.lock();
+        let Some(old) = w.parent_pid else { return true };
+        if w.dead {
+            return false;
+        }
+        if local_process_alive(old) {
+            w.gone_since = None;
+            return true;
+        }
+        match self.successor(old) {
+            Ok(Some(pid)) => {
+                eprintln!("esse_worker: adopted restarted coordinator (pid {pid})");
+                w.parent_pid = Some(pid);
+                w.gone_since = None;
+                true
+            }
+            Err(()) => {
+                eprintln!("esse_worker: successor coordinator runs a different config; exiting");
+                w.dead = true;
+                false
+            }
+            Ok(None) => {
+                let since = *w.gone_since.get_or_insert_with(Instant::now);
+                if since.elapsed() < w.grace {
+                    true // parked: ride out the coordinator outage
+                } else {
+                    w.dead = true;
+                    false
+                }
+            }
+        }
     }
 
     fn stage_inputs(&self, _workdir: &Path) -> io::Result<()> {
@@ -308,5 +404,68 @@ mod tests {
     fn liveness_of_self_and_of_an_impossible_pid() {
         assert!(local_process_alive(std::process::id()));
         assert!(!local_process_alive(4_194_304_999u32));
+    }
+
+    /// A PID beyond Linux's default pid_max: never alive.
+    const DEAD_PID: u32 = 4_194_304_999;
+
+    #[test]
+    fn zero_grace_keeps_coordinator_death_terminal() {
+        let dir = tmpdir("grace0");
+        let m = manifest();
+        let pool = TaskPool::create(&dir, &m).unwrap();
+        let t = DiskTransport::new(pool, m, Some(DEAD_PID));
+        assert!(!t.coordinator_alive());
+    }
+
+    #[test]
+    fn parked_worker_rides_out_the_grace_then_expires() {
+        let dir = tmpdir("park");
+        let m = manifest();
+        let pool = TaskPool::create(&dir, &m).unwrap();
+        let t = DiskTransport::new(pool, m, Some(DEAD_PID))
+            .with_coordinator_grace(Duration::from_millis(120));
+        // Parked: still "alive", and the pool still works end to end.
+        assert!(t.coordinator_alive());
+        t.pool().seed(&TaskSpec { member: 1, epoch: 1, seed: 0, parent_span: 0 }).unwrap();
+        assert!(matches!(t.claim_next().unwrap(), ClaimOutcome::Task(_)));
+        std::thread::sleep(Duration::from_millis(150));
+        // Grace expired with no successor: orphan self-exit, sticky.
+        assert!(!t.coordinator_alive());
+        assert!(!t.coordinator_alive());
+    }
+
+    #[test]
+    fn parked_worker_adopts_a_restarted_coordinator() {
+        let dir = tmpdir("adopt");
+        let m = manifest();
+        let pool = TaskPool::create(&dir, &m).unwrap();
+        let t = DiskTransport::new(pool, m, Some(DEAD_PID))
+            .with_coordinator_grace(Duration::from_secs(30));
+        assert!(t.coordinator_alive());
+        // A successor incarnation takes the workdir lock (this test
+        // process stands in for the live restarted master).
+        fs::write(dir.join(crate::lock::LOCK_FILE), format!("{}\n", std::process::id())).unwrap();
+        assert!(t.coordinator_alive());
+        // Adoption is durable: the new PID is now the watched parent,
+        // so a vanished lock file no longer matters.
+        fs::remove_file(dir.join(crate::lock::LOCK_FILE)).unwrap();
+        assert!(t.coordinator_alive());
+    }
+
+    #[test]
+    fn successor_with_a_different_config_is_never_adopted() {
+        let dir = tmpdir("adopt-conf");
+        let m = manifest();
+        let pool = TaskPool::create(&dir, &m).unwrap();
+        let t = DiskTransport::new(pool, m, Some(DEAD_PID))
+            .with_coordinator_grace(Duration::from_secs(30));
+        assert!(t.coordinator_alive());
+        // The successor rewrote the manifest under a different run.
+        let mut other = manifest();
+        other.config_hash = 0xD1FF;
+        TaskPool::create(&dir, &other).unwrap();
+        fs::write(dir.join(crate::lock::LOCK_FILE), format!("{}\n", std::process::id())).unwrap();
+        assert!(!t.coordinator_alive());
     }
 }

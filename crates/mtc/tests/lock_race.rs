@@ -1,0 +1,116 @@
+//! Two-**process** race tests for [`WorkdirLock`] — the
+//! `master.lock` stale-break vs. restart race.
+//!
+//! The failure mode being pinned: after a coordinator crash, two
+//! `--resume` invocations race to break the stale lock. The naive
+//! read-PID/unlink/re-create protocol lets the slower breaker unlink
+//! the faster breaker's *fresh live* lock, yielding two coordinators
+//! journaling into the same workdir. These tests run real concurrent
+//! OS processes (the test binary re-executes itself, as in
+//! `triple_buffer_procs.rs`) and assert that any number of racers
+//! resolve to exactly one holder, with every loser reporting `Held`.
+
+use esse_mtc::lock::{LockError, WorkdirLock, LOCK_FILE};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const DIR_ENV: &str = "ESSE_LOCK_RACE_DIR";
+const HOLD_ENV: &str = "ESSE_LOCK_RACE_HOLD_MS";
+
+/// The racer process body: try to acquire the workdir lock exactly
+/// once, report the outcome on stdout, and hold a won lock briefly so
+/// overlapping racers really contend with a live holder.
+#[test]
+#[ignore = "subprocess body, driven by the cross-process tests below"]
+fn locker_child() {
+    let Ok(dir) = std::env::var(DIR_ENV) else { return };
+    let hold_ms: u64 = std::env::var(HOLD_ENV).ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+    match WorkdirLock::acquire(&dir) {
+        Ok(lock) => {
+            println!("OUTCOME ACQUIRED {}", std::process::id());
+            std::thread::sleep(Duration::from_millis(hold_ms));
+            drop(lock);
+        }
+        Err(LockError::Held { pid }) => {
+            println!("OUTCOME HELD {:?}", pid);
+        }
+        Err(LockError::Io(e)) => {
+            println!("OUTCOME IO {e}");
+        }
+    }
+}
+
+fn spawn_racer(dir: &PathBuf, hold_ms: u64) -> Child {
+    Command::new(std::env::current_exe().expect("current exe"))
+        .arg("--exact")
+        .arg("locker_child")
+        .arg("--include-ignored")
+        .arg("--nocapture")
+        .env(DIR_ENV, dir)
+        .env(HOLD_ENV, hold_ms.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn racer process")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("esse-lock-race-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Collect each racer's reported outcome ("ACQUIRED"/"HELD"/"IO").
+fn outcomes(children: Vec<Child>) -> Vec<String> {
+    children
+        .into_iter()
+        .map(|c| {
+            let out = c.wait_with_output().expect("racer output");
+            assert!(out.status.success(), "racer process failed: {out:?}");
+            let text = String::from_utf8_lossy(&out.stdout).to_string();
+            // With --nocapture, libtest may share the line with its
+            // own "test … ok" chatter — match the marker anywhere.
+            text.lines()
+                .find_map(|l| l.split("OUTCOME ").nth(1))
+                .unwrap_or_else(|| panic!("racer printed no outcome:\n{text}"))
+                .to_string()
+        })
+        .collect()
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn racing_breakers_of_a_stale_lock_resolve_to_one_holder() {
+    // Repeat the race: the dangerous interleavings live in
+    // microsecond windows, so one round proves little.
+    for round in 0..10 {
+        let dir = tmpdir(&format!("stale-{round}"));
+        // The crashed coordinator's leftover: a PID beyond pid_max.
+        std::fs::write(dir.join(LOCK_FILE), "4194304999\n").unwrap();
+        let racers: Vec<Child> = (0..4).map(|_| spawn_racer(&dir, 150)).collect();
+        let results = outcomes(racers);
+        let winners = results.iter().filter(|r| r.starts_with("ACQUIRED")).count();
+        let losers = results.iter().filter(|r| r.starts_with("HELD")).count();
+        assert_eq!(winners, 1, "round {round}: expected exactly one winner, got {results:?}");
+        assert_eq!(
+            losers,
+            results.len() - 1,
+            "round {round}: losers must report Held: {results:?}"
+        );
+    }
+}
+
+#[test]
+fn racers_against_a_live_holder_all_lose() {
+    let dir = tmpdir("live");
+    let _lock = WorkdirLock::acquire(&dir).expect("parent acquires");
+    let racers: Vec<Child> = (0..3).map(|_| spawn_racer(&dir, 50)).collect();
+    for r in outcomes(racers) {
+        assert!(r.starts_with("HELD"), "racer must lose to a live holder, got {r}");
+    }
+    // The parent's lock file survived every racer.
+    let pid: u32 = std::fs::read_to_string(dir.join(LOCK_FILE)).unwrap().trim().parse().unwrap();
+    assert_eq!(pid, std::process::id());
+}

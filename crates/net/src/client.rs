@@ -5,14 +5,21 @@
 //! shared between the task loop and the heartbeat thread through a
 //! mutex (one outstanding request at a time — the protocol has no
 //! interleaving). A broken connection is retried with the workspace
-//! [`RetryPolicy`] backoff inside a bounded *reconnect grace*; when the
-//! grace is exhausted the transport declares the coordinator dead
+//! [`RetryPolicy`] backoff, capped at a polling ceiling so dial
+//! attempts keep a bounded cadence, inside a bounded *reconnect
+//! grace*; when the grace is exhausted the transport declares the
+//! coordinator dead
 //! ([`PoolTransport::coordinator_alive`] turns false) and the worker
 //! self-exits instead of holding claims a successor would have to wait
 //! out — the network analogue of the orphan check local workers do via
 //! `/proc`.
 //!
-//! Reconnection re-runs the `Hello`/`Welcome` handshake. Held claims
+//! Reconnection re-runs the `Hello`/`Welcome` handshake (re-verifying
+//! the run's config hash, so a coordinator resumed under a different
+//! configuration is refused, not joined), and — when
+//! [`TcpConfig::endpoint_file`] is set — re-resolves the coordinator
+//! address from `pool/endpoint` on every attempt, so a coordinator
+//! incarnation restarted on a new port is found mid-grace. Held claims
 //! survive a reconnect (they live on the coordinator's disk, not in the
 //! connection), and resumed heartbeats continue the same monotonic
 //! counter, so the coordinator's lease watch simply sees the counter
@@ -53,6 +60,13 @@ pub struct TcpConfig {
     /// Total time a lost connection may spend reconnecting before the
     /// coordinator is declared dead.
     pub reconnect_grace: Duration,
+    /// Optional path of the coordinator's `pool/endpoint` file. When
+    /// set, every reconnect attempt re-reads it and dials whatever
+    /// address it currently names — so a coordinator that crashed and
+    /// was resumed on a *different* port is found as soon as its new
+    /// incarnation rewrites the file, instead of the worker burning
+    /// its whole grace on the dead incarnation's address.
+    pub endpoint_file: Option<std::path::PathBuf>,
 }
 
 impl TcpConfig {
@@ -65,9 +79,31 @@ impl TcpConfig {
             config_hash: 0,
             io_timeout: Duration::from_secs(10),
             reconnect_grace: Duration::from_secs(5),
+            endpoint_file: None,
         }
     }
+
+    /// The address to dial right now: the endpoint file's current
+    /// content when one is configured (and readable), else the
+    /// configured address.
+    fn resolve_addr(&self) -> String {
+        self.endpoint_file
+            .as_deref()
+            .and_then(|p| crate::server::read_endpoint(p).ok().flatten())
+            .map(|(addr, _generation)| addr)
+            .unwrap_or_else(|| self.addr.clone())
+    }
 }
+
+/// Ceiling on the reconnect backoff delay. After the first few
+/// exponential steps a parked worker keeps dialing at this cadence for
+/// the rest of its grace. Uncapped exponential backoff would leave
+/// multi-second gaps between dials — longer than a restarted
+/// coordinator incarnation may take to come up (or, under a chaos kill
+/// schedule, stay up) — turning "park until a coordinator returns"
+/// into a lottery on whether a dial instant happens to land inside the
+/// new incarnation's lifetime.
+const RECONNECT_POLL_CEILING: Duration = Duration::from_millis(250);
 
 struct Conn {
     stream: Option<TcpStream>,
@@ -82,6 +118,11 @@ pub struct TcpTransport {
     prior: Vec<u8>,
     conn: Mutex<Conn>,
     dead: AtomicBool,
+    /// The error that drove `dead` true, echoed in every subsequent
+    /// [`dead_err`] so callers that hit the transport *after* the
+    /// declaring thread (task loop vs. heartbeat thread) still see the
+    /// root cause and not just "declared dead".
+    death_cause: Mutex<Option<String>>,
     retry: RetryPolicy,
 }
 
@@ -103,6 +144,7 @@ impl TcpTransport {
             mean,
             prior,
             dead: AtomicBool::new(false),
+            death_cause: Mutex::new(None),
             cfg,
         })
     }
@@ -121,13 +163,16 @@ impl TcpTransport {
         let mut attempt: u32 = 0;
         loop {
             if self.dead.load(Ordering::SeqCst) {
-                return Err(dead_err(&self.cfg.addr));
+                let cause = self.death_cause.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                return Err(dead_err(&self.cfg.addr, cause.as_deref()));
             }
             if conn.stream.is_none() {
                 let deadline = *lost_at.get_or_insert_with(Instant::now) + self.cfg.reconnect_grace;
                 match self.reconnect(&mut conn, deadline, &mut attempt) {
                     Ok(()) => {}
                     Err(e) => {
+                        *self.death_cause.lock().unwrap_or_else(|p| p.into_inner()) =
+                            Some(e.to_string());
                         self.dead.store(true, Ordering::SeqCst);
                         return Err(e);
                     }
@@ -147,7 +192,8 @@ impl TcpTransport {
 
     fn reconnect(&self, conn: &mut Conn, deadline: Instant, attempt: &mut u32) -> io::Result<()> {
         loop {
-            let delay = self.retry.backoff_delay(*attempt, &mut conn.rng);
+            let delay =
+                self.retry.backoff_delay(*attempt, &mut conn.rng).min(RECONNECT_POLL_CEILING);
             *attempt += 1;
             let now = Instant::now();
             if now + delay > deadline {
@@ -161,6 +207,7 @@ impl TcpTransport {
                 ));
             }
             std::thread::sleep(delay);
+            let target = self.cfg.resolve_addr();
             match dial(&self.cfg).and_then(|mut s| {
                 let (manifest, _, _) = handshake(&mut s, &self.cfg)?;
                 if manifest.config_hash != self.manifest.config_hash {
@@ -172,18 +219,33 @@ impl TcpTransport {
                 Ok(s)
             }) {
                 Ok(s) => {
+                    debug_log(&format!("reconnected to {target} after {} attempts", *attempt));
                     conn.stream = Some(s);
                     return Ok(());
                 }
                 Err(e) if fatal_protocol_error(&e) => return Err(e),
-                Err(_) => {}
+                Err(e) => {
+                    debug_log(&format!("dial {target} attempt {}: {e}", *attempt));
+                }
             }
         }
     }
 }
 
+/// Reconnect diagnostics, stderr-only and off by default: set
+/// `ESSE_NET_DEBUG=1` to see each dial attempt while a worker is
+/// parked waiting out a coordinator outage.
+fn debug_log(msg: &str) {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    if *ON.get_or_init(|| std::env::var_os("ESSE_NET_DEBUG").is_some_and(|v| v != "0")) {
+        let t =
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap_or_default();
+        eprintln!("esse-net[{}.{:03}]: {msg}", t.as_secs() % 100_000, t.subsec_millis());
+    }
+}
+
 fn dial(cfg: &TcpConfig) -> io::Result<TcpStream> {
-    let stream = TcpStream::connect(&cfg.addr)?;
+    let stream = TcpStream::connect(cfg.resolve_addr())?;
     stream.set_read_timeout(Some(cfg.io_timeout))?;
     stream.set_write_timeout(Some(cfg.io_timeout))?;
     stream.set_nodelay(true).ok();
@@ -233,8 +295,12 @@ fn fatal_protocol_error(e: &io::Error) -> bool {
         || (e.kind() == io::ErrorKind::InvalidData && e.to_string().contains("different config"))
 }
 
-fn dead_err(addr: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::NotConnected, format!("coordinator {addr} declared dead"))
+fn dead_err(addr: &str, cause: Option<&str>) -> io::Error {
+    let detail = cause.unwrap_or("no cause recorded");
+    io::Error::new(
+        io::ErrorKind::NotConnected,
+        format!("coordinator {addr} declared dead: {detail}"),
+    )
 }
 
 impl PoolTransport for TcpTransport {

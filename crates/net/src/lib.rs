@@ -29,7 +29,9 @@ pub mod server;
 pub use client::{TcpConfig, TcpTransport};
 pub use frame::{FrameError, FRAME_OVERHEAD, MAX_FRAME};
 pub use msg::{Message, MsgError, PROTO_VERSION};
-pub use server::{NetMetrics, NetServer, ServerConfig, ENDPOINT_FILE};
+pub use server::{
+    read_endpoint, write_endpoint, NetMetrics, NetServer, ServerConfig, ENDPOINT_FILE,
+};
 
 /// Canonical workdir file names shared by the coordinator and remote
 /// staging (kept in sync with the binaries' `cli::files`).

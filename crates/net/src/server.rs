@@ -32,7 +32,7 @@ use esse_obs::Lane;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -43,6 +43,40 @@ use std::time::Duration;
 /// shared filesystem) reads the bound address from here instead of
 /// parsing coordinator stdout.
 pub const ENDPOINT_FILE: &str = "endpoint";
+
+/// Atomically (re)write the endpoint file: `"{addr} #{generation}\n"`.
+///
+/// The write goes through a rename (`atomic_write`), so a reader never
+/// sees a torn address; the generation counter lets a worker that is
+/// polling for a restarted coordinator distinguish a fresh rewrite
+/// from the dead incarnation's leftover.
+pub fn write_endpoint(path: &std::path::Path, addr: &str, generation: u64) -> io::Result<()> {
+    atomic_write(path, format!("{addr} #{generation}\n").as_bytes())
+}
+
+/// Parse an endpoint file written by [`write_endpoint`] (or by a
+/// pre-generation coordinator, whose bare `"{addr}\n"` reads as
+/// generation 0). `Ok(None)` means absent or not (yet) a plausible
+/// address — pollers just try again.
+pub fn read_endpoint(path: &std::path::Path) -> io::Result<Option<(String, u64)>> {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut parts = raw.split_whitespace();
+    let Some(addr) = parts.next() else { return Ok(None) };
+    // A garbage or truncated token never yields a dial target.
+    if !addr.contains(':') {
+        return Ok(None);
+    }
+    let generation = parts
+        .next()
+        .and_then(|t| t.strip_prefix('#'))
+        .and_then(|t| t.parse::<u64>().ok())
+        .unwrap_or(0);
+    Ok(Some((addr.to_string(), generation)))
+}
 
 /// Hard cap on a single streamed result payload (sum of `Data` chunks).
 const MAX_PAYLOAD: u64 = 256 * 1024 * 1024;
@@ -110,6 +144,11 @@ pub struct ServerConfig {
     pub workdir: PathBuf,
     /// Listen address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
     pub listen: String,
+    /// Endpoint-file generation: the coordinator incarnation that
+    /// bound this listener. Workers polling `pool/endpoint` after a
+    /// coordinator crash use the generation to tell a fresh rewrite
+    /// from the dead incarnation's leftover.
+    pub generation: u64,
     /// `esse_net_*` counters.
     pub metrics: NetMetrics,
     /// Trace sink for connection/fencing events.
@@ -121,6 +160,7 @@ pub struct ServerConfig {
 pub struct NetServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
     accept_thread: Option<thread::JoinHandle<()>>,
 }
 
@@ -130,20 +170,56 @@ impl NetServer {
         let listener = TcpListener::bind(&cfg.listen)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        atomic_write(cfg.pool.root().join(ENDPOINT_FILE), format!("{addr}\n").as_bytes())?;
+        write_endpoint(&cfg.pool.root().join(ENDPOINT_FILE), &addr.to_string(), cfg.generation)?;
         let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
         let accept_stop = Arc::clone(&stop);
+        let accept_active = Arc::clone(&active);
         let shared = Arc::new(cfg);
         let accept_thread = thread::Builder::new()
             .name("esse-net-accept".into())
-            .spawn(move || accept_loop(listener, shared, accept_stop))
+            .spawn(move || accept_loop(listener, shared, accept_stop, accept_active))
             .expect("spawn accept thread");
-        Ok(NetServer { addr, stop, accept_thread: Some(accept_thread) })
+        Ok(NetServer { addr, stop, active, accept_thread: Some(accept_thread) })
     }
 
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Keep serving for at least `linger`, and after that until every
+    /// live connection has drained out, up to `timeout` total. Returns
+    /// `true` when the connection count was zero at return.
+    ///
+    /// Call this *after* the SHUTDOWN tombstone is written and *before*
+    /// [`NetServer::stop`]: a remote worker only learns the run is over
+    /// through a `Shutdown` claim reply, and it still ships its final
+    /// trace batch over the same connection before hanging up. Stopping
+    /// the listener first would instead drop those workers into their
+    /// coordinator-reconnect grace and they would exit as orphans.
+    ///
+    /// The minimum linger exists for workers that are *not* connected
+    /// at completion time: a worker parked by a coordinator outage
+    /// dials the endpoint at a bounded poll cadence, and if the run
+    /// finishes (e.g. from journaled results alone) during its between-
+    /// dials gap, a close-on-idle listener would vanish before the next
+    /// dial — the worker could never learn the run ended and would burn
+    /// its whole grace as an orphan. Lingering one poll interval past
+    /// completion guarantees every parked worker gets one dial at a
+    /// listener that answers `Shutdown`.
+    pub fn drain(&self, linger: Duration, timeout: Duration) -> bool {
+        let start = std::time::Instant::now();
+        loop {
+            let idle = self.active.load(Ordering::SeqCst) == 0;
+            if idle && start.elapsed() >= linger {
+                return true;
+            }
+            if start.elapsed() >= timeout {
+                return idle;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
     }
 
     /// Stop accepting and join the accept thread. Connection threads
@@ -162,14 +238,34 @@ impl Drop for NetServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, cfg: Arc<ServerConfig>, stop: Arc<AtomicBool>) {
+/// Decrements the live-connection gauge when a connection thread ends,
+/// however it ends — keeps [`NetServer::drain`] honest under panics.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    cfg: Arc<ServerConfig>,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, peer)) => {
                 let cfg = Arc::clone(&cfg);
                 let stop = Arc::clone(&stop);
+                // Counted before the thread spawns so a drain right
+                // after an accept can never observe a dip to zero.
+                active.fetch_add(1, Ordering::SeqCst);
+                let guard = ConnGuard(Arc::clone(&active));
                 let _ =
                     thread::Builder::new().name(format!("esse-net-conn-{peer}")).spawn(move || {
+                        let _guard = guard;
                         cfg.metrics.connections.inc();
                         let outcome = serve_connection(stream, &cfg, &stop);
                         cfg.metrics.disconnects.inc();

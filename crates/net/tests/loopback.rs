@@ -47,6 +47,7 @@ fn start(tag: &str) -> Fixture {
         manifest: m,
         workdir: dir.clone(),
         listen: "127.0.0.1:0".into(),
+        generation: 1,
         metrics: NetMetrics::detached(),
         recorder: Arc::new(NULL),
     })
@@ -78,8 +79,11 @@ fn handshake_serves_manifest_and_stages_inputs() {
     assert_eq!(fs::read(scratch.join("mean.vec")).unwrap(), b"mean-bytes-for-staging");
     assert_eq!(fs::read(scratch.join("prior.sub")).unwrap(), b"prior-bytes-for-staging");
 
-    let endpoint = fs::read_to_string(fx.pool.root().join(ENDPOINT_FILE)).unwrap();
-    assert_eq!(endpoint.trim(), fx.server.local_addr().to_string());
+    let (addr, generation) = esse_net::read_endpoint(&fx.pool.root().join(ENDPOINT_FILE))
+        .unwrap()
+        .expect("endpoint file present");
+    assert_eq!(addr, fx.server.local_addr().to_string());
+    assert_eq!(generation, 1);
     fx.server.stop();
 }
 

@@ -833,6 +833,15 @@ pub struct FleetStats {
     /// match the id the coordinator assigned at enqueue. A valid merge
     /// has zero; absent batches (a SIGKILL'd worker) add none.
     pub orphan_edges: u64,
+    /// Coordinator incarnations that announced a restart in this trace
+    /// (`coordinator/restart` instants), ascending. Empty for a run
+    /// that was never resumed.
+    pub restarts: Vec<u64>,
+    /// Remote task spans grouped by the coordinator incarnation whose
+    /// `task_seeded` instant anchors them (incarnation 1 when the seed
+    /// carries no label), ascending by incarnation. Labels the merged
+    /// timeline across a crash-and-restart boundary.
+    pub tasks_by_incarnation: Vec<(u64, u64)>,
 }
 
 impl FleetStats {
@@ -896,10 +905,19 @@ fn fleet_stats(events: &[LoadedEvent], spans: &[LoadedSpan]) -> FleetStats {
 
     // Cross-process edges + DAG validation against the coordinator's
     // own enqueue/ingest instants.
-    let mut seeded: BTreeMap<(u64, u64), (u64, u64)> = BTreeMap::new();
+    let mut seeded: BTreeMap<(u64, u64), (u64, u64, u64)> = BTreeMap::new();
     let mut ingested: BTreeMap<(u64, u64), u64> = BTreeMap::new();
     for e in events {
-        if e.kind != LoadedKind::Instant || e.cat != "pool" {
+        if e.kind != LoadedKind::Instant {
+            continue;
+        }
+        if e.cat == "coordinator" && e.name == "restart" {
+            if let Some(inc) = e.arg_u64("incarnation") {
+                fleet.restarts.push(inc);
+            }
+            continue;
+        }
+        if e.cat != "pool" {
             continue;
         }
         let (Some(m), Some(ep)) = (e.arg_u64("member"), e.arg_u64("epoch")) else {
@@ -907,7 +925,8 @@ fn fleet_stats(events: &[LoadedEvent], spans: &[LoadedSpan]) -> FleetStats {
         };
         match e.name.as_str() {
             "task_seeded" => {
-                seeded.insert((m, ep), (e.ts_ns, e.arg_u64("span").unwrap_or(0)));
+                let inc = e.arg_u64("incarnation").unwrap_or(1);
+                seeded.insert((m, ep), (e.ts_ns, e.arg_u64("span").unwrap_or(0), inc));
             }
             "result_ingested" => {
                 ingested.entry((m, ep)).or_insert(e.ts_ns);
@@ -915,6 +934,8 @@ fn fleet_stats(events: &[LoadedEvent], spans: &[LoadedSpan]) -> FleetStats {
             _ => {}
         }
     }
+    fleet.restarts.sort_unstable();
+    fleet.restarts.dedup();
     let mut claim_edge = EdgeAcc::default();
     let mut ingest_edge = EdgeAcc::default();
     for s in spans.iter().filter(|s| is_remote_task(s)) {
@@ -927,12 +948,16 @@ fn fleet_stats(events: &[LoadedEvent], spans: &[LoadedSpan]) -> FleetStats {
         };
         match seeded.get(&(m, ep)) {
             None => fleet.orphan_edges += 1,
-            Some(&(t_seed, span)) => {
+            Some(&(t_seed, span, inc)) => {
                 let parent = s.args.get("parent").and_then(Value::as_u64).unwrap_or(0);
                 if span != 0 && parent != 0 && span != parent {
                     fleet.orphan_edges += 1;
                 } else {
                     claim_edge.record(s.start_ns.saturating_sub(t_seed));
+                    match fleet.tasks_by_incarnation.binary_search_by_key(&inc, |&(i, _)| i) {
+                        Ok(i) => fleet.tasks_by_incarnation[i].1 += 1,
+                        Err(i) => fleet.tasks_by_incarnation.insert(i, (inc, 1)),
+                    }
                 }
             }
         }
@@ -1339,6 +1364,56 @@ mod tests {
         assert!(a.fleet.any());
         assert_eq!(a.fleet.remote_tasks, 1);
         assert_eq!(a.fleet.orphan_edges, 1);
+    }
+
+    /// A resumed coordinator announces its incarnation and re-emits
+    /// the seeds it inherited with an `incarnation` label; unlabelled
+    /// seeds belong to the first incarnation. The fleet stats must
+    /// attribute each remote task to its seeding incarnation.
+    #[test]
+    fn restart_instants_label_tasks_by_incarnation() {
+        let rec = RingRecorder::new();
+        let seed = |t: u64, m: u64, span: u64, inc: Option<u64>| {
+            let mut args =
+                vec![("member", m.into()), ("epoch", 1u64.into()), ("span", span.into())];
+            if let Some(i) = inc {
+                args.push(("incarnation", i.into()));
+            }
+            rec.instant_at(t, Lane::Coordinator, "pool", "task_seeded", args);
+        };
+        seed(0, 0, 0x100, None); // survived from the first incarnation
+        rec.instant_at(
+            5,
+            Lane::Coordinator,
+            "coordinator",
+            "restart",
+            vec![("incarnation", 3u64.into())],
+        );
+        seed(6, 1, 0x101, Some(3)); // re-emitted by the resumed master
+        for m in 0..2u64 {
+            let t = 10 + m * 100;
+            rec.begin_at(
+                t,
+                Lane::Worker(4),
+                "task",
+                "task",
+                vec![
+                    ("member", m.into()),
+                    ("epoch", 1u64.into()),
+                    ("parent", (0x100 + m).into()),
+                    ("run", 0xAB1u64.into()),
+                ],
+            );
+            rec.end_at(t + 50, Lane::Worker(4), "task", "task");
+        }
+        let a = LoadedTrace::from_trace(&rec.drain()).analyze();
+        assert_eq!(a.fleet.restarts, vec![3]);
+        assert_eq!(a.fleet.tasks_by_incarnation, vec![(1, 1), (3, 1)]);
+        assert_eq!(a.fleet.orphan_edges, 0);
+        // A never-resumed trace reports no restarts at all.
+        let plain = merged_fleet_trace(|m| 0x100 + m).analyze();
+        assert!(plain.fleet.restarts.is_empty());
+        assert_eq!(plain.fleet.tasks_by_incarnation, vec![(1, 2)]);
     }
 
     #[test]

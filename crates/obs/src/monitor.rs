@@ -12,7 +12,7 @@
 //!
 //! ```
 //! use esse_obs::monitor::{MonitorConfig, RunMonitor};
-//! use esse_obs::{Lane, RecorderExt};
+//! use esse_obs::{Lane, Recorder, RecorderExt};
 //!
 //! let monitor = RunMonitor::start(MonitorConfig {
 //!     total_members: Some(64),

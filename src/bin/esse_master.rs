@@ -396,12 +396,16 @@ fn main() {
     let _lock = match WorkdirLock::acquire(&workdir) {
         Ok(lock) => lock,
         Err(LockError::Held { pid }) => {
+            // Distinct exit code: two racing `--resume` invocations
+            // after a coordinator crash resolve to exactly one live
+            // master; the loser must be distinguishable from config
+            // errors (exit 2) by supervisors that retry the resume.
             eprintln!(
                 "esse_master: workdir {} is locked by a running master (pid {})",
                 workdir.display(),
                 pid.map_or_else(|| "unknown".into(), |p| p.to_string())
             );
-            std::process::exit(2);
+            std::process::exit(3);
         }
         Err(e) => {
             eprintln!("esse_master: cannot acquire master.lock: {e}");
@@ -448,6 +452,9 @@ fn main() {
         let satisfied = ConvergenceTest::restore(tolerance, &state.rho_history()).converged()
             || state.completed.len() >= max;
         if satisfied {
+            // A durable no-op: nothing journalled, so the incarnation
+            // count keeps meaning "coordinators that ran the pool" —
+            // resuming a finished run takes over nothing.
             println!("esse_master: run already complete ({members} members); nothing to do");
             return;
         }
@@ -455,6 +462,16 @@ fn main() {
             "esse_master: completed run falls short of the requested schedule \
              (max {max}, tolerance {tolerance}); extending"
         );
+    }
+    // Every working (re)start journals its incarnation number before
+    // touching the pool: the TCP endpoint generation, the incarnation
+    // gauge and the trace labels all derive from it, and replay
+    // recovers the high-water mark so a resumed resume keeps counting
+    // up.
+    let incarnation = state.incarnations + 1;
+    journal.append(&JournalRecord::CoordinatorStarted { incarnation });
+    if incarnation > 1 {
+        println!("esse_master: coordinator incarnation {incarnation} (resuming a crashed run)");
     }
 
     // --- Observability: trace ring + metrics registry. ---
@@ -472,6 +489,7 @@ fn main() {
     let m_batches = metrics.counter("esse_fleet_trace_batches_total");
     let m_rejected = metrics.counter("esse_fleet_trace_batches_rejected_total");
     let m_merged = metrics.counter("esse_fleet_spans_merged_total");
+    metrics.gauge("esse_master_incarnation").set(incarnation as f64);
 
     // The fleet-wide trace run id: nonzero iff tracing is on. Workers
     // read it from the manifest — no flag of their own — and every
@@ -487,6 +505,15 @@ fn main() {
             0
         }
     };
+    if incarnation > 1 {
+        rec.instant_at(
+            rec.now_ns(),
+            Lane::Coordinator,
+            "coordinator",
+            "restart",
+            vec![("incarnation", incarnation.into())],
+        );
+    }
 
     // --- Setup: model, mean, prior. ---
     let (model, st0) = cli::build_model(&domain).unwrap_or_else(|e| {
@@ -560,6 +587,7 @@ fn main() {
             manifest: manifest.clone(),
             workdir: workdir.clone(),
             listen: addr,
+            generation: incarnation,
             metrics: esse::net::NetMetrics::from_registry(&metrics),
             recorder,
         })
@@ -570,8 +598,48 @@ fn main() {
         println!("esse_master: listening for remote workers on {}", server.local_addr());
         server
     });
-    // Recover the authoritative fencing-epoch map from the pool dirs.
+    // Recover the authoritative fencing-epoch map from the pool dirs,
+    // then raise it to the journal's high-water marks. The pool scan
+    // alone is not enough after a crash: a consumed result leaves no
+    // pending/claim/result file behind, so a member whose epoch-3
+    // result was ingested just before the crash would rewind to epoch
+    // 0 and its next seed (epoch 1) could be satisfied by an epoch-1
+    // zombie still running from two requeues ago. Every `EpochAdvanced`
+    // is journalled *before* the corresponding seed, so any replayed
+    // prefix covers every epoch a worker could ever have observed.
     let mut epochs: HashMap<u64, u32> = pool.epochs().expect("recover epochs");
+    for &(m, hw) in &state.epoch_high_water {
+        let e = epochs.entry(m).or_insert(0);
+        *e = (*e).max(hw);
+    }
+    if trace_run != 0 && incarnation > 1 {
+        // Re-emit a `task_seeded` instant for every epoch issued by an
+        // earlier incarnation: worker span batches that were published
+        // across the crash boundary still merge at wind-down, and their
+        // parent edges must find a coordinator-side enqueue with the
+        // same span id. Span ids are pure in (trace_run, member, epoch)
+        // and trace_run is derived from the config hash, so these
+        // reconstructed instants carry exactly the ids the lost
+        // originals did — the orphan-edge validator stays at zero.
+        let mut inherited: Vec<(u64, u32)> = epochs.iter().map(|(&m, &e)| (m, e)).collect();
+        inherited.sort_unstable();
+        for (m, hw) in inherited {
+            for ep in 1..=hw {
+                rec.instant_at(
+                    rec.now_ns(),
+                    Lane::Coordinator,
+                    "pool",
+                    "task_seeded",
+                    vec![
+                        ("member", m.into()),
+                        ("epoch", (ep as u64).into()),
+                        ("span", span_for(m, ep).into()),
+                        ("incarnation", incarnation.into()),
+                    ],
+                );
+            }
+        }
+    }
 
     // --- Resume: fold journalled members back in, checksum-validating
     // every forecast file. Corrupt or missing files are quarantined and
@@ -667,6 +735,16 @@ fn main() {
         RetryPolicy::retries(task_attempts).with_backoff(Duration::from_millis(20), 2.0, 0.0);
     let mut rng = StdRng::seed_from_u64(base_seed ^ 0x00D1_7A5C);
     let mut watch = LeaseWatch::new();
+    if incarnation > 1 {
+        // Rebase the lease watch onto this incarnation's clock (a fresh
+        // watch is already rebased; the call pins the restart contract):
+        // a surviving worker's advancing heartbeat re-earns a full lease
+        // at first observation under the new `t0`, while a worker that
+        // died with the old coordinator holds a frozen counter and still
+        // expires exactly one lease later. Pre-crash `last-advance`
+        // timestamps are never compared against the new clock.
+        watch.rebase();
+    }
     let t0 = Instant::now();
     let mut cancelled_tasks = 0usize;
 
@@ -808,6 +886,12 @@ fn main() {
                             parent_span: span_for(m, current + 1),
                             ..spec
                         };
+                        // Journal the epoch before the seed (WAL order):
+                        // a crash between the two costs one unused
+                        // epoch, never an epoch a worker saw but the
+                        // journal did not.
+                        journal
+                            .append(&JournalRecord::EpochAdvanced { member: m, epoch: next.epoch });
                         pool.seed(&next).expect("requeue quarantined member");
                         epochs.insert(m, next.epoch);
                         outstanding.insert(m);
@@ -821,6 +905,7 @@ fn main() {
                                 ("member", m.into()),
                                 ("epoch", (next.epoch as u64).into()),
                                 ("span", next.parent_span.into()),
+                                ("incarnation", incarnation.into()),
                             ],
                         );
                     }
@@ -915,6 +1000,7 @@ fn main() {
                         seed: gen.forecast_seed(m as usize),
                         parent_span: span_for(m, current + 1),
                     };
+                    journal.append(&JournalRecord::EpochAdvanced { member: m, epoch: next.epoch });
                     pool.seed(&next).expect("requeue expired member");
                     epochs.insert(m, next.epoch);
                     outstanding.insert(m);
@@ -928,6 +1014,7 @@ fn main() {
                             ("member", m.into()),
                             ("epoch", (next.epoch as u64).into()),
                             ("span", next.parent_span.into()),
+                            ("incarnation", incarnation.into()),
                         ],
                     );
                     pool.remove_claim(&c.spec).expect("drop expired claim");
@@ -953,6 +1040,7 @@ fn main() {
                     seed: gen.forecast_seed(m as usize),
                     parent_span: span_for(m, epoch),
                 };
+                journal.append(&JournalRecord::EpochAdvanced { member: m, epoch });
                 pool.seed(&spec).expect("seed task");
                 epochs.insert(m, epoch);
                 outstanding.insert(m);
@@ -966,6 +1054,7 @@ fn main() {
                         ("member", m.into()),
                         ("epoch", (epoch as u64).into()),
                         ("span", spec.parent_span.into()),
+                        ("incarnation", incarnation.into()),
                     ],
                 );
             }
@@ -1099,9 +1188,22 @@ fn main() {
             }
         }
     }
-    // Remote workers have seen the SHUTDOWN tombstone through their
-    // claim replies by now; close the listener and its connections.
+    // Remote workers learn the run is over only through a `Shutdown`
+    // claim reply, and they ship their final trace batch over the same
+    // connection before hanging up — so keep serving until every live
+    // connection drains out (bounded), and only then close the
+    // listener. Stopping first would push still-connected workers into
+    // their coordinator-reconnect grace and they would exit as orphans.
+    // A worker can only be left parked-and-disconnected at completion
+    // if some earlier incarnation died under it, so a never-crashed
+    // run skips the linger entirely; on a resumed run the 750ms linger
+    // covers a parked worker's full reconnect-poll interval (250ms
+    // ceiling plus jitter and handshake), so even a worker that was
+    // disconnected the whole time the run finished gets one dial
+    // answered with `Shutdown` instead of a dead port.
     if let Some(server) = net_server.as_mut() {
+        let linger = if incarnation > 1 { Duration::from_millis(750) } else { Duration::ZERO };
+        server.drain(linger, Duration::from_secs(10));
         server.stop();
     }
 

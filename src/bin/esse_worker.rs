@@ -27,10 +27,15 @@
 //! Workers observe the coordinator's `CANCEL` tombstone *mid-run* (the
 //! in-flight `pemodel` child is killed — the paper's task-cancellation
 //! protocol) and exit on `SHUTDOWN`, after `--idle-exit-ms` with
-//! nothing to do, or when the coordinator is gone: death of
-//! `--parent-pid` for local workers, a connection outage longer than
-//! `--reconnect-grace-ms` for remote ones. An orphan exits rather than
-//! hold claims a successor would have to wait out.
+//! nothing to do, or when the coordinator is gone past the bounded
+//! `--coordinator-grace-ms` window. Coordinator death is *not*
+//! immediately terminal: within the grace the worker **parks** — it
+//! finishes and publishes the task it holds, keeps heartbeating, and
+//! polls for a restarted coordinator (a successor PID in `master.lock`
+//! for local workers; a rewritten `pool/endpoint` + re-handshake for
+//! remote ones, see `--endpoint-file`). Adoption re-verifies the run's
+//! config hash; only grace expiry makes the worker an orphan that
+//! self-exits rather than hold claims a successor would wait out.
 //!
 //! Fault injection for the chaos harness: `--die-after K` aborts the
 //! process the instant it claims its K-th task (routed through
@@ -55,7 +60,8 @@
 //! esse_worker (--workdir DIR | --connect HOST:PORT [--scratch DIR])
 //!             [--worker-id N] [--poll-ms MS] [--idle-exit-ms MS]
 //!             [--parent-pid PID] [--wait-pool-ms MS]
-//!             [--reconnect-grace-ms MS] [--fault-seed S] [--die-after K]
+//!             [--coordinator-grace-ms MS] [--reconnect-grace-ms MS]
+//!             [--endpoint-file PATH] [--fault-seed S] [--die-after K]
 //!             [--stall-task M] [--stall-ms MS]
 //!             [--trace-capacity N] [--metrics-out PATH]
 //! ```
@@ -79,7 +85,8 @@ use std::time::{Duration, Instant};
 
 const USAGE: &str = "esse_worker (--workdir DIR | --connect HOST:PORT [--scratch DIR]) \
                      [--worker-id N] [--poll-ms MS] [--idle-exit-ms MS] [--parent-pid PID] \
-                     [--reconnect-grace-ms MS] [--die-after K] [--stall-task M] [--stall-ms MS] \
+                     [--coordinator-grace-ms MS] [--reconnect-grace-ms MS] \
+                     [--endpoint-file PATH] [--die-after K] [--stall-task M] [--stall-ms MS] \
                      [--trace-capacity N] [--metrics-out PATH]";
 
 /// Result code a worker publishes when it could not even spawn the
@@ -341,10 +348,18 @@ fn open_transport(
     wait_pool: Duration,
 ) -> Result<Arc<dyn PoolTransport>, String> {
     let t0 = Instant::now();
+    // The coordinator-outage parking window, shared by both transports.
+    // `--reconnect-grace-ms` is the historical TCP spelling and still
+    // honoured; `--coordinator-grace-ms` wins when both are given.
+    let grace = Duration::from_millis(
+        args.get("coordinator-grace-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| cli::get_or(args, "reconnect-grace-ms", 5_000u64)),
+    );
     if let Some(addr) = args.get("connect") {
-        let grace = Duration::from_millis(cli::get_or(args, "reconnect-grace-ms", 10_000u64));
         let mut tcp = TcpConfig::new(addr.clone(), cfg.worker_id as u64);
         tcp.reconnect_grace = grace;
+        tcp.endpoint_file = args.get("endpoint-file").map(PathBuf::from);
         loop {
             match TcpTransport::connect(tcp.clone()) {
                 Ok(t) => return Ok(Arc::new(t)),
@@ -368,7 +383,9 @@ fn open_transport(
     loop {
         match TaskPool::open(workdir) {
             Ok((pool, manifest)) => {
-                return Ok(Arc::new(DiskTransport::new(pool, manifest, parent_pid)));
+                return Ok(Arc::new(
+                    DiskTransport::new(pool, manifest, parent_pid).with_coordinator_grace(grace),
+                ));
             }
             Err(_) if t0.elapsed() < wait_pool => {
                 if !parent_pid.is_none_or(local_process_alive) {
@@ -490,12 +507,17 @@ fn main() {
     let mut tasks_published = 0usize;
     let mut idle_since: Option<Instant> = None;
     let mut stalled_once = cfg.stall_task;
+    let mut last_net_err: Option<String> = None;
     loop {
         if !transport.coordinator_alive() {
-            // The coordinator is gone (dead parent, or an outage longer
-            // than the reconnect grace); holding claims would only
-            // delay its successor until the leases expire.
-            eprintln!("esse_worker[{}]: coordinator gone, exiting", cfg.worker_id);
+            // The coordinator stayed gone past the parking grace (or a
+            // successor ran a different config); holding claims would
+            // only delay a future coordinator until the leases expire.
+            eprintln!(
+                "esse_worker[{}]: orphaned past coordinator grace, exiting ({})",
+                cfg.worker_id,
+                last_net_err.as_deref().unwrap_or("no transport error recorded"),
+            );
             break;
         }
         let t_claim = rec.now_ns();
@@ -510,7 +532,12 @@ fn main() {
                 std::thread::sleep(cfg.poll);
                 continue;
             }
-            Err(_) if !transport.coordinator_alive() => continue, // exits above
+            Err(e) if !transport.coordinator_alive() => {
+                // Keep the terminal transport error for the orphan-exit
+                // line — the loop top breaks on the next iteration.
+                last_net_err = Some(e.to_string());
+                continue;
+            }
             Err(e) => {
                 eprintln!("esse_worker[{}]: claim failed: {e}", cfg.worker_id);
                 std::thread::sleep(cfg.poll);

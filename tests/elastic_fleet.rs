@@ -80,11 +80,8 @@ fn wait_endpoint(dir: &Path) -> String {
     let path = dir.join("pool").join("endpoint");
     let t0 = Instant::now();
     while t0.elapsed() < Duration::from_secs(30) {
-        if let Ok(raw) = std::fs::read_to_string(&path) {
-            let addr = raw.trim().to_string();
-            if !addr.is_empty() {
-                return addr;
-            }
+        if let Ok(Some((addr, _generation))) = esse_net::read_endpoint(&path) {
+            return addr;
         }
         std::thread::sleep(Duration::from_millis(10));
     }

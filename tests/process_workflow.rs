@@ -115,10 +115,11 @@ fn crashed_master_resumes_to_a_bit_identical_posterior() {
     run_master(&ref_dir, &[]);
     let reference = std::fs::read(ref_dir.join("posterior.sub")).unwrap();
 
-    // Crash the master right after its 5th durable journal append
-    // (RunStart + four members), then resume.
+    // Crash the master right after its 12th durable journal append
+    // (RunStart + CoordinatorStarted + the initial four EpochAdvanced
+    // seeds + a handful of completed members), then resume.
     let dir = workdir("crash");
-    let out = master_cmd(&dir, &["--crash-after-appends", "5"]).output().unwrap();
+    let out = master_cmd(&dir, &["--crash-after-appends", "12"]).output().unwrap();
     assert!(!out.status.success(), "injected crash did not fire");
     assert!(dir.join("run.journal").exists(), "journal survives the crash");
     let log = run_master(&dir, &["--resume"]);

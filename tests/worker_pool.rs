@@ -112,7 +112,9 @@ fn workdir_locked_by_a_live_master_is_refused() {
         .stderr(Stdio::piped())
         .output()
         .expect("run master against locked workdir");
-    assert_eq!(out.status.code(), Some(2), "expected lock refusal");
+    // Exit 3 is the live-owner/race-loser code, distinct from config
+    // errors (exit 2) so a resume supervisor can tell them apart.
+    assert_eq!(out.status.code(), Some(3), "expected lock refusal");
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("locked by a running master"), "stderr: {err}");
 }
