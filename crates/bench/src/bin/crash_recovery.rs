@@ -125,7 +125,7 @@ fn assert_no_reruns(journal: &Path) -> Result<usize, String> {
                      — a completed member was re-run"
                 ));
             }
-            JournalRecord::MemberQuarantined { member } => {
+            JournalRecord::MemberQuarantined { member, .. } => {
                 completed.remove(member);
             }
             _ => {}

@@ -95,6 +95,7 @@ fn drive(
             code: 0,
             pid: std::process::id(),
             fc_crc: crc32(payload),
+            reason: 0,
         };
         let t0 = Instant::now();
         {

@@ -256,6 +256,13 @@ fn render(a: &RunAnalysis, markdown: bool) -> String {
                  stale-epoch publish was fenced, not ingested\n",
             );
         }
+        if a.pool.members_quarantined + a.pool.self_rejections > 0 {
+            out.push_str(&format!(
+                "semantic faults: {} member(s) quarantined at ingest, \
+                 {} replacement(s) scheduled, {} worker self-rejection(s)\n",
+                a.pool.members_quarantined, a.pool.replacements_scheduled, a.pool.self_rejections
+            ));
+        }
     }
     if a.net.any() {
         out.push('\n');

@@ -62,12 +62,29 @@
 //! journals nothing) in agreement with the incarnation gauge, and the
 //! posterior is bit-identical to the never-killed reference.
 //!
+//! **`--corrupt-members RATE`** swaps the crash chaos for *semantic*
+//! chaos: every worker runs with seeded payload corruption (NaN
+//! injection, norm blowups, off-by-one block shifts) at the given rate,
+//! so a fraction of forecasts publish plausible-looking garbage instead
+//! of dying loudly. Two scenarios run: one under the worker-kill
+//! schedule, and one that SIGKILLs the *coordinator* right after the
+//! first quarantine lands (with a worker kill in the outage) and
+//! resumes. The harness asserts every corrupt payload was quarantined
+//! with a journalled non-zero reason code, no quarantined member was
+//! lost to the requeue budget, the coordinator's trace rollup agrees
+//! with the journal, and the final posterior is **bit-identical** to
+//! the corruption-free reference — self-healing replacement leaves no
+//! trace of the corruption in the subspace. Because the corruption
+//! draw is a pure hash of `(--fault-seed, member, epoch)`, the harness
+//! refuses seeds whose first-epoch draws inject nothing (exit 2): a
+//! passing run always actually exercised quarantine.
+//!
 //! ```text
 //! worker_chaos [--transport disk|tcp] [--kill-master] [--domain D]
 //!              [--hours H] [--initial N] [--max NMAX] [--tolerance T]
 //!              [--workers W] [--seed S] [--kill-ms MS] [--lease-ms MS]
-//!              [--base-seed S] [--master PATH] [--worker PATH]
-//!              [--artifacts DIR] [--keep]
+//!              [--base-seed S] [--corrupt-members RATE] [--fault-seed S]
+//!              [--master PATH] [--worker PATH] [--artifacts DIR] [--keep]
 //! ```
 //!
 //! Exits non-zero on the first violated invariant (CI gate). On failure
@@ -75,6 +92,7 @@
 //! artifacts directory for post-mortem upload.
 
 use esse_mtc::journal::{Journal, JournalRecord};
+use esse_mtc::FaultPlan;
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -231,6 +249,7 @@ impl ChaosConfig {
         id: usize,
         master_pid: u32,
         logs: &Path,
+        extra: &[String],
     ) -> Child {
         let stderr = std::fs::OpenOptions::new()
             .create(true)
@@ -259,6 +278,9 @@ impl ChaosConfig {
             .arg("10000")
             .stdout(Stdio::null())
             .stderr(stderr);
+        for a in extra {
+            cmd.arg(a);
+        }
         cmd.spawn().expect("spawn esse_worker")
     }
 }
@@ -276,7 +298,7 @@ fn assert_no_reruns(journal: &Path) -> Result<(), String> {
                      — a result was ingested twice"
                 ));
             }
-            JournalRecord::MemberQuarantined { member } => {
+            JournalRecord::MemberQuarantined { member, .. } => {
                 completed.remove(member);
             }
             _ => {}
@@ -365,6 +387,54 @@ fn check_merged_trace(workdir: &Path) -> Result<String, String> {
     ))
 }
 
+/// Coordinator-side quarantine rollup in the merged trace — the same
+/// numbers `trace_report` prints on its "semantic faults" line, which
+/// CI greps, so the rollup must agree with the journal. Returns
+/// `(members_quarantined, replacements_scheduled)`.
+fn trace_quarantines(workdir: &Path) -> Result<(u64, u64), String> {
+    let path = workdir.join("pool.trace.jsonl");
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let loaded = esse_obs::LoadedTrace::from_jsonl(&text)
+        .map_err(|e| format!("parse {}: {e}", path.display()))?;
+    let a = loaded.analyze();
+    Ok((a.pool.members_quarantined, a.pool.replacements_scheduled))
+}
+
+/// Journal-side quarantine invariants shared by both corruption
+/// scenarios: at least one quarantine fired, every one carries a
+/// non-zero reason code, and none of them fell off the requeue budget
+/// (`MemberFailed` with the quarantine-budget code −10 means the run
+/// degraded instead of self-healing — the posterior check would also
+/// fail, but this names the cause). Returns the quarantine count.
+fn assert_quarantines(journal: &Path) -> Result<usize, String> {
+    let qcount = journal_count(journal, |r| matches!(r, JournalRecord::MemberQuarantined { .. }));
+    if qcount == 0 {
+        return Err("no MemberQuarantined record — the corruption never tripped a validator".into());
+    }
+    let unreasoned = journal_count(
+        journal,
+        |r| matches!(r, JournalRecord::MemberQuarantined { reason, .. } if *reason == 0),
+    );
+    if unreasoned > 0 {
+        return Err(format!(
+            "{unreasoned} of {qcount} MemberQuarantined record(s) carry reason code 0 \
+             — the quarantine cause was not journalled"
+        ));
+    }
+    let lost = journal_count(
+        journal,
+        |r| matches!(r, JournalRecord::MemberFailed { code, .. } if *code == -10),
+    );
+    if lost > 0 {
+        return Err(format!(
+            "{lost} member(s) lost to the quarantine requeue budget — replacement did not \
+             cover every quarantine"
+        ));
+    }
+    Ok(qcount)
+}
+
 fn reap_all(workers: &mut Vec<Child>, grace: Duration) {
     let deadline = Instant::now() + grace;
     for w in workers.iter_mut() {
@@ -412,6 +482,34 @@ fn main() {
     // `--kill-master` swaps the worker-kill scenarios for the
     // coordinator-kill scenario: same reference, inverse chaos.
     let kill_master = args.contains_key("kill-master");
+    // `--corrupt-members RATE` swaps both for the semantic-corruption
+    // scenarios (which stage their own worker and coordinator kills).
+    let corrupt_rate: f64 = get_or(&args, "corrupt-members", 0.0);
+    let fault_seed: u64 = get_or(&args, "fault-seed", 0xC0FFEE);
+    let corrupt = corrupt_rate > 0.0;
+    if corrupt {
+        // The corruption draw is a pure hash of (seed, member, epoch):
+        // refuse seeds whose first-epoch draws inject nothing, so a
+        // passing run always actually exercised quarantine. (A worker
+        // kill can still eat a first attempt — the requeued epoch
+        // draws fresh — but at least one member starts corrupt.)
+        let plan = FaultPlan::seeded(fault_seed).with_corruption(corrupt_rate);
+        let hits: Vec<usize> =
+            (0..cfg.initial).filter(|&m| plan.corruption_for(m, 1).is_some()).collect();
+        if hits.is_empty() {
+            eprintln!(
+                "FAIL: --corrupt-members {corrupt_rate} with --fault-seed {fault_seed:#x} \
+                 draws no corruption for any first-epoch member (0..{}) — pick another \
+                 seed or raise the rate",
+                cfg.initial
+            );
+            std::process::exit(2);
+        }
+        println!(
+            "corruption plan: rate {corrupt_rate}, seed {fault_seed:#x}, first-epoch \
+             corruption on member(s) {hits:?}"
+        );
+    }
     for (what, path) in [("esse_master", &cfg.master), ("esse_worker", &cfg.worker)] {
         if !path.exists() {
             eprintln!("FAIL: {what} not found at {} (build it first)", path.display());
@@ -455,7 +553,7 @@ fn main() {
 
     // --- Scenario 1b: the same run with tracing disabled. Tracing is
     // purely observational, so the posterior must not move by a bit.
-    if !kill_master {
+    if !kill_master && !corrupt {
         let dir = root.join("reference-notrace");
         let status = cfg.master(&dir, 1, false).status().expect("spawn notrace master");
         let outcome = (|| -> Result<(), String> {
@@ -482,7 +580,7 @@ fn main() {
     }
 
     // --- Scenario 2: kill random workers on a seeded schedule. ---
-    if !kill_master {
+    if !kill_master && !corrupt {
         let dir = root.join("chaos");
         let mut master = cfg.master(&dir, 0, true).spawn().expect("spawn chaos master");
         let mut fleet: Vec<Child> = (0..workers).map(|i| cfg.spawn_worker(&dir, i, &[])).collect();
@@ -539,7 +637,7 @@ fn main() {
 
     // --- Scenario 3: the zombie — stall past lease expiry, publish a
     // stale-epoch result, and get fenced; then SIGKILL the zombie. ---
-    if !kill_master {
+    if !kill_master && !corrupt {
         let dir = root.join("zombie");
         let stall_ms = cfg.lease_ms * 4;
         let mut master = cfg.master(&dir, 0, true).spawn().expect("spawn zombie master");
@@ -621,9 +719,196 @@ fn main() {
         }
     }
 
+    // Worker-side corruption flags shared by both semantic scenarios.
+    // Every worker gets the same fault seed, so the corruption draw is
+    // a pure function of (member, epoch) no matter which worker claims
+    // the task — the chaos stays schedule-independent.
+    let corrupt_extra: Vec<String> = vec![
+        "--corrupt-members".into(),
+        corrupt_rate.to_string(),
+        "--fault-seed".into(),
+        fault_seed.to_string(),
+    ];
+
+    // --- Scenario 5 (--corrupt-members): semantic chaos — seeded
+    // payload corruption under the worker-kill schedule. Corrupt
+    // members must be quarantined with journalled reasons, replaced
+    // under the requeue budget, and leave zero trace in the posterior.
+    if corrupt {
+        let dir = root.join("member-chaos");
+        let journal = dir.join("run.journal");
+        let mut master = {
+            let mut cmd = cfg.master(&dir, 0, true);
+            // The bit-identity arm needs the budget to cover every
+            // quarantine; lease requeues from worker kills share it.
+            cmd.arg("--requeue-budget").arg("64");
+            cmd.spawn().expect("spawn member-chaos master")
+        };
+        let mut fleet: Vec<Child> =
+            (0..workers).map(|i| cfg.spawn_worker(&dir, i, &corrupt_extra)).collect();
+        let mut next_id = workers;
+        let mut rng = seed | 1;
+        let mut kills = 0usize;
+        let done = loop {
+            if let Some(st) = master.try_wait().expect("poll member-chaos master") {
+                break st;
+            }
+            rng = xorshift64(rng);
+            std::thread::sleep(Duration::from_millis(kill_ms / 2 + rng % kill_ms));
+            rng = xorshift64(rng);
+            let victim = (rng % fleet.len() as u64) as usize;
+            let _ = fleet[victim].kill();
+            let _ = fleet[victim].wait();
+            kills += 1;
+            fleet[victim] = cfg.spawn_worker(&dir, next_id, &corrupt_extra);
+            next_id += 1;
+        };
+        reap_all(&mut fleet, Duration::from_secs(5));
+        let outcome = (|| -> Result<String, String> {
+            if !done.success() {
+                return Err(format!("member-chaos master exited with {done}"));
+            }
+            assert_no_reruns(&journal)?;
+            let qcount = assert_quarantines(&journal)?;
+            if journal_converged(&journal)? != ref_converged {
+                return Err("member-chaos convergence differs from reference".into());
+            }
+            if read_posterior(&dir)? != reference {
+                return Err("member-chaos posterior differs from the corruption-free \
+                     reference — a corrupt payload leaked into the subspace, or a \
+                     replacement moved the decided prefix"
+                    .into());
+            }
+            // Single coordinator incarnation: the metric and the trace
+            // rollup must agree with the journal exactly.
+            let m_q = metric(&dir, "esse_quarantined_total");
+            if m_q != qcount as u64 {
+                return Err(format!(
+                    "esse_quarantined_total reads {m_q}, journal records {qcount} \
+                     quarantine(s)"
+                ));
+            }
+            let (t_q, t_r) = trace_quarantines(&dir)?;
+            if t_q != qcount as u64 {
+                return Err(format!(
+                    "trace rollup counts {t_q} quarantine instant(s), journal records \
+                     {qcount}"
+                ));
+            }
+            let fleet = check_merged_trace(&dir)?;
+            Ok(format!(
+                "{qcount} quarantine(s) ({t_r} replacement(s) scheduled), {kills} worker \
+                 kills, bit-identical posterior; {fleet}"
+            ))
+        })();
+        match outcome {
+            Ok(line) => println!("member-chaos: {line}"),
+            Err(e) => {
+                failures.push(format!("member-chaos: {e}"));
+                eprintln!("FAIL member-chaos ({kills} kills): {e}");
+            }
+        }
+    }
+
+    // --- Scenario 6 (--corrupt-members): SIGKILL the coordinator the
+    // instant the first quarantine is journalled — the crash window
+    // sits between the quarantine decision and its replacement
+    // running, so the resume must re-seed the replacement from the
+    // journal alone, with a worker kill staged into the outage. ---
+    if corrupt {
+        let dir = root.join("member-chaos-restart");
+        let logs = root.join("member-chaos-wlogs");
+        std::fs::create_dir_all(&logs).expect("create worker log dir");
+        let journal = dir.join("run.journal");
+        let mut rng = (seed ^ 0xDEAD) | 1;
+        let mut master = {
+            let mut cmd = cfg.master(&dir, 0, true);
+            cmd.arg("--requeue-budget").arg("64");
+            cmd.spawn().expect("spawn member-chaos-restart master")
+        };
+        let mut fleet: Vec<Child> = (0..workers)
+            .map(|i| cfg.spawn_parked_worker(&dir, i, master.id(), &logs, &corrupt_extra))
+            .collect();
+        let mut next_id = workers;
+        let mut master_killed = false;
+        let outcome = (|| -> Result<String, String> {
+            let mut final_status = None;
+            let t_kill = Instant::now();
+            loop {
+                if journal_count(&journal, |r| matches!(r, JournalRecord::MemberQuarantined { .. }))
+                    > 0
+                {
+                    let _ = master.kill();
+                    let _ = master.wait();
+                    master_killed = true;
+                    break;
+                }
+                if let Some(st) = master.try_wait().expect("poll member-chaos-restart master") {
+                    // Outran the poll to completion — the assertions
+                    // below still require the quarantine evidence.
+                    final_status = Some(st);
+                    break;
+                }
+                if t_kill.elapsed() > Duration::from_secs(120) {
+                    let _ = master.kill();
+                    let _ = master.wait();
+                    return Err("no quarantine was journalled within 120s".into());
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let done = match final_status {
+                Some(st) => st,
+                None => {
+                    // Outage window: one worker dies while nobody
+                    // coordinates; the resumed incarnation must fence
+                    // its frozen lease *and* re-run the quarantine
+                    // replacement it never got to seed.
+                    std::thread::sleep(Duration::from_millis(100 + rng % 200));
+                    rng = xorshift64(rng);
+                    let victim = (rng % fleet.len() as u64) as usize;
+                    let _ = fleet[victim].kill();
+                    let _ = fleet[victim].wait();
+                    let mut cmd = cfg.master(&dir, 0, true);
+                    cmd.arg("--requeue-budget").arg("64").arg("--resume");
+                    let mut master = cmd.spawn().expect("spawn resumed master");
+                    fleet[victim] =
+                        cfg.spawn_parked_worker(&dir, next_id, master.id(), &logs, &corrupt_extra);
+                    next_id += 1;
+                    wait_with_timeout(&mut master, 180, "resumed member-chaos master")?
+                }
+            };
+            if !done.success() {
+                return Err(format!("final incarnation exited with {done}"));
+            }
+            assert_no_reruns(&journal)?;
+            let qcount = assert_quarantines(&journal)?;
+            if journal_converged(&journal)? != ref_converged {
+                return Err("member-chaos-restart convergence differs from reference".into());
+            }
+            if read_posterior(&dir)? != reference {
+                return Err("member-chaos-restart posterior differs from the \
+                     corruption-free reference across the coordinator restart"
+                    .into());
+            }
+            let fleet = check_merged_trace(&dir)?;
+            Ok(format!(
+                "{qcount} quarantine(s) ridden through a coordinator kill \
+                 (killed={master_killed}), bit-identical posterior; {fleet}"
+            ))
+        })();
+        reap_all(&mut fleet, Duration::from_secs(15));
+        match outcome {
+            Ok(line) => println!("member-chaos-restart: {line}"),
+            Err(e) => {
+                failures.push(format!("member-chaos-restart: {e}"));
+                eprintln!("FAIL member-chaos-restart: {e}");
+            }
+        }
+    }
+
     // --- Scenario 4 (--kill-master): SIGKILL the coordinator on a
     // seeded schedule while the fleet parks through each outage. ---
-    if kill_master {
+    if kill_master && !corrupt {
         let dir = root.join("master-chaos");
         // Sibling of the workdir: the fresh coordinator refuses a
         // non-empty workdir, so the logs cannot live inside it.
@@ -647,8 +932,9 @@ fn main() {
             cmd.arg("--crash-after-appends").arg("7");
             cmd.spawn().expect("spawn master incarnation 1")
         };
-        let mut fleet: Vec<Child> =
-            (0..workers).map(|i| cfg.spawn_parked_worker(&dir, i, master.id(), &logs)).collect();
+        let mut fleet: Vec<Child> = (0..workers)
+            .map(|i| cfg.spawn_parked_worker(&dir, i, master.id(), &logs, &[]))
+            .collect();
 
         let outcome = (|| -> Result<String, String> {
             let st = wait_with_timeout(&mut master, 120, "master incarnation 1")?;
@@ -678,7 +964,7 @@ fn main() {
             cmd.arg("--resume");
             let mut master = cmd.spawn().expect("spawn master incarnation 2");
             incarnations += 1;
-            fleet[victim] = cfg.spawn_parked_worker(&dir, next_id, master.id(), &logs);
+            fleet[victim] = cfg.spawn_parked_worker(&dir, next_id, master.id(), &logs, &[]);
             next_id += 1;
             let mut final_status = None;
             let t_svd = Instant::now();
@@ -720,7 +1006,7 @@ fn main() {
                 #[allow(clippy::zombie_processes)]
                 let mut master = cmd.spawn().expect("spawn master incarnation 3");
                 incarnations += 1;
-                fleet[victim] = cfg.spawn_parked_worker(&dir, next_id, master.id(), &logs);
+                fleet[victim] = cfg.spawn_parked_worker(&dir, next_id, master.id(), &logs, &[]);
                 next_id += 1;
                 let wait_ms = 30 + rng % 200;
                 rng = xorshift64(rng);
@@ -845,7 +1131,9 @@ fn main() {
         println!(
             "PASS [{}]: {}, every posterior bit-identical to the unkilled reference ({:.1?})",
             if cfg.tcp { "tcp" } else { "disk" },
-            if kill_master {
+            if corrupt {
+                "semantic corruption scenarios"
+            } else if kill_master {
                 "coordinator kill-and-resume scenario"
             } else {
                 "chaos + zombie scenarios"

@@ -46,6 +46,7 @@ pub mod priors;
 pub mod realtime;
 pub mod smoother;
 pub mod subspace;
+pub mod validate;
 
 pub use assimilate::Analysis;
 pub use error::{ConfigError, EsseError};

@@ -1,0 +1,542 @@
+//! Semantic forecast validation: the single ingestion gate.
+//!
+//! Every fault the runtime tolerates elsewhere is *crash-shaped* —
+//! killed workers, torn journals and corrupt frames are caught by CRCs,
+//! leases and fencing. A worker that publishes a *wrong* forecast
+//! (NaN/Inf fields, a numerically blown-up trajectory, a silently
+//! mis-packed member) would sail through all of that and corrupt the
+//! posterior. ESSE in the source paper screens ensemble members before
+//! they enter the error subspace; this module is that screen.
+//!
+//! [`ForecastValidator`] composes four deterministic checks and returns
+//! a structured [`Verdict`]:
+//!
+//! 1. **Finiteness** — any NaN/Inf anywhere in the payload.
+//! 2. **Physical bounds per state variable** — each packed block
+//!    (`u`, `v`, `T`, `S`, `η`) must stay inside an envelope derived
+//!    from the scenario's baseline states widened by the prior error
+//!    subspace's per-cell standard deviation. A payload whose blocks
+//!    are misaligned (an off-by-one packing bug) puts salinity values
+//!    into the temperature block and trips this check at the block
+//!    boundaries.
+//! 3. **Energy/norm blowup** — ‖x‖₂ against the initial condition.
+//! 4. **Ensemble-relative outlier** — a robust z-score of the member's
+//!    RMS deviation against the *decided prefix*'s median/MAD. The
+//!    statistics are folded through a sorted set, so the verdict is
+//!    invariant to the order decided members were ingested.
+//!
+//! The same validator runs at both ends of the wire: workers self-check
+//! before publishing (a failing member publishes a typed `REJECTED`
+//! result instead of garbage, saving the upload) and the coordinator
+//! re-validates on ingest — defense in depth; never trust the wire.
+
+use crate::subspace::ErrorSubspace;
+use esse_ocean::{Grid, OceanState};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Why a forecast was quarantined.
+///
+/// Reason codes are stable wire/journal values: `JournalRecord::
+/// MemberQuarantined` persists them so a resumed run replays the same
+/// decision bit-for-bit, and `REJECTED` results carry them from the
+/// worker. Code `0` is reserved for records written before reasons
+/// existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reason {
+    /// Pre-reason journal records; decision cause unknown.
+    Unspecified,
+    /// A NaN or Inf somewhere in the payload.
+    NonFinite,
+    /// A state variable left its physical-bounds envelope.
+    OutOfBounds,
+    /// The payload norm blew up relative to the initial condition.
+    NormBlowup,
+    /// Robust z-score against the decided prefix exceeded the gate.
+    EnsembleOutlier,
+    /// The payload failed structural checks (bad length, CRC mismatch).
+    CorruptPayload,
+}
+
+impl Reason {
+    /// Stable numeric code for journals and the wire.
+    pub fn code(self) -> u32 {
+        match self {
+            Reason::Unspecified => 0,
+            Reason::NonFinite => 1,
+            Reason::OutOfBounds => 2,
+            Reason::NormBlowup => 3,
+            Reason::EnsembleOutlier => 4,
+            Reason::CorruptPayload => 5,
+        }
+    }
+
+    /// Inverse of [`Reason::code`]; unknown codes decode as
+    /// [`Reason::Unspecified`] so future codes stay readable.
+    pub fn from_code(code: u32) -> Reason {
+        match code {
+            1 => Reason::NonFinite,
+            2 => Reason::OutOfBounds,
+            3 => Reason::NormBlowup,
+            4 => Reason::EnsembleOutlier,
+            5 => Reason::CorruptPayload,
+            _ => Reason::Unspecified,
+        }
+    }
+
+    /// Short human-readable label for logs and reports.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Reason::Unspecified => "unspecified",
+            Reason::NonFinite => "non-finite value",
+            Reason::OutOfBounds => "out of physical bounds",
+            Reason::NormBlowup => "norm blowup",
+            Reason::EnsembleOutlier => "ensemble outlier",
+            Reason::CorruptPayload => "corrupt payload",
+        }
+    }
+}
+
+/// The validator's structured answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The forecast may enter the error subspace.
+    Pass,
+    /// The forecast must be quarantined with the given reason.
+    Quarantine(Reason),
+}
+
+impl Verdict {
+    /// True if the forecast passed every check.
+    pub fn is_pass(self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+}
+
+/// Validate a derived scalar statistic (e.g. the convergence ρ): the
+/// ingestion gate for quantities that are not full state vectors.
+pub fn finite_stat(x: f64) -> Verdict {
+    if x.is_finite() {
+        Verdict::Pass
+    } else {
+        Verdict::Quarantine(Reason::NonFinite)
+    }
+}
+
+/// Tuning knobs for the composable checks. The defaults are generous
+/// enough that a physically plausible member can never false-positive
+/// (a false quarantine would break posterior bit-identity), yet tight
+/// enough that cross-block contamination — salinity values landing in
+/// the temperature block — is always caught.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidatorConfig {
+    /// Bounds widen by this many prior standard deviations per cell.
+    pub bound_sigmas: f64,
+    /// Bounds widen by this fraction of the block's peak magnitude.
+    pub bound_rel: f64,
+    /// Absolute floor on the bounds padding (dynamics headroom).
+    pub bound_floor: f64,
+    /// Quarantine when ‖x‖₂ exceeds this multiple of ‖x₀‖₂ + 1.
+    pub blowup_factor: f64,
+    /// Robust z-score gate for the ensemble-relative outlier test.
+    pub outlier_z: f64,
+    /// Outlier test only arms once this many members are decided.
+    pub outlier_min_decided: usize,
+}
+
+impl Default for ValidatorConfig {
+    fn default() -> Self {
+        ValidatorConfig {
+            bound_sigmas: 12.0,
+            bound_rel: 0.25,
+            bound_floor: 3.0,
+            blowup_factor: 50.0,
+            outlier_z: 8.0,
+            outlier_min_decided: 5,
+        }
+    }
+}
+
+/// Per-variable bounds envelope over a contiguous index block.
+#[derive(Debug, Clone)]
+pub struct VarBounds {
+    /// Variable name (`u`, `v`, `T`, `S`, `eta`).
+    pub name: &'static str,
+    /// Packed-vector index range the bounds apply to.
+    pub range: Range<usize>,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+/// Composable semantic forecast checks with a structured verdict.
+///
+/// Member-local checks ([`ForecastValidator::validate`]) are pure in
+/// the payload; the ensemble-relative outlier test
+/// ([`ForecastValidator::validate_member`]) additionally consults the
+/// decided-prefix statistics registered via
+/// [`ForecastValidator::note_decided`].
+#[derive(Debug, Clone)]
+pub struct ForecastValidator {
+    blocks: Vec<VarBounds>,
+    baseline: Vec<f64>,
+    baseline_norm: f64,
+    cfg: ValidatorConfig,
+    /// Member → RMS-deviation statistic, keyed (not ordered) by member
+    /// id so the fold is invariant to ingest order.
+    decided: BTreeMap<u64, f64>,
+}
+
+impl ForecastValidator {
+    /// Build a validator from explicit per-variable bounds and a
+    /// baseline state (the initial condition the norm check anchors
+    /// to). `blocks` may be empty to disable the bounds check.
+    pub fn new(blocks: Vec<VarBounds>, baseline: Vec<f64>, cfg: ValidatorConfig) -> Self {
+        let baseline_norm = norm(&baseline);
+        ForecastValidator { blocks, baseline, baseline_norm, cfg, decided: BTreeMap::new() }
+    }
+
+    /// Build the scenario validator: per-variable envelopes from the
+    /// packed baseline states (the mean analysis and, when available,
+    /// the central forecast) widened by the prior error subspace's
+    /// per-cell standard deviation. The first baseline anchors the
+    /// norm-blowup and deviation statistics.
+    pub fn for_scenario(
+        grid: &Grid,
+        baselines: &[&[f64]],
+        prior: &ErrorSubspace,
+        cfg: ValidatorConfig,
+    ) -> Self {
+        assert!(!baselines.is_empty(), "at least one baseline state required");
+        let n3 = grid.cells3();
+        let n2 = grid.cells2();
+        let n = OceanState::packed_len(grid);
+        for b in baselines {
+            assert_eq!(b.len(), n, "baseline length mismatch");
+        }
+        let std = prior.std_field();
+        let spans: [(&'static str, Range<usize>); 5] = [
+            ("u", 0..n3),
+            ("v", n3..2 * n3),
+            ("T", 2 * n3..3 * n3),
+            ("S", 3 * n3..4 * n3),
+            ("eta", 4 * n3..4 * n3 + n2),
+        ];
+        let mut blocks = Vec::with_capacity(spans.len());
+        for (name, range) in spans {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for b in baselines {
+                for &v in &b[range.clone()] {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+            let max_std = std[range.clone()].iter().copied().fold(0.0_f64, f64::max);
+            let pad = cfg.bound_sigmas * max_std
+                + cfg.bound_rel * lo.abs().max(hi.abs())
+                + cfg.bound_floor;
+            blocks.push(VarBounds { name, range, lo: lo - pad, hi: hi + pad });
+        }
+        Self::new(blocks, baselines[0].to_vec(), cfg)
+    }
+
+    /// The per-variable envelopes in effect (inspection/testing).
+    pub fn bounds(&self) -> &[VarBounds] {
+        &self.blocks
+    }
+
+    /// Member-local checks: structure, finiteness, per-variable bounds
+    /// and norm blowup. Pure in the payload — the same bytes always
+    /// yield the same verdict, on any host, in any ingest order.
+    pub fn validate(&self, x: &[f64]) -> Verdict {
+        if x.len() != self.baseline.len() {
+            return Verdict::Quarantine(Reason::CorruptPayload);
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Verdict::Quarantine(Reason::NonFinite);
+        }
+        for b in &self.blocks {
+            if x[b.range.clone()].iter().any(|&v| v < b.lo || v > b.hi) {
+                return Verdict::Quarantine(Reason::OutOfBounds);
+            }
+        }
+        if norm(x) > self.cfg.blowup_factor * (self.baseline_norm + 1.0) {
+            return Verdict::Quarantine(Reason::NormBlowup);
+        }
+        Verdict::Pass
+    }
+
+    /// Full gate: member-local checks plus the ensemble-relative
+    /// outlier test against the decided prefix. The outlier gate only
+    /// arms once `outlier_min_decided` members are decided, and its
+    /// statistics are order-invariant in the decided *set*.
+    pub fn validate_member(&self, _member: u64, x: &[f64]) -> Verdict {
+        let local = self.validate(x);
+        if !local.is_pass() {
+            return local;
+        }
+        if self.decided.len() >= self.cfg.outlier_min_decided {
+            let z = self.robust_z(self.deviation_stat(x));
+            if z > self.cfg.outlier_z {
+                return Verdict::Quarantine(Reason::EnsembleOutlier);
+            }
+        }
+        Verdict::Pass
+    }
+
+    /// Register a decided (ingested) member's payload so later members
+    /// are judged against the decided prefix. Idempotent per member.
+    pub fn note_decided(&mut self, member: u64, x: &[f64]) {
+        self.decided.insert(member, self.deviation_stat(x));
+    }
+
+    /// Drop a member from the decided statistics (requeue/rollback).
+    pub fn forget(&mut self, member: u64) {
+        self.decided.remove(&member);
+    }
+
+    /// Number of decided members currently folded into the statistics.
+    pub fn decided_len(&self) -> usize {
+        self.decided.len()
+    }
+
+    /// RMS deviation of `x` from the baseline — the scalar the outlier
+    /// test is computed over.
+    pub fn deviation_stat(&self, x: &[f64]) -> f64 {
+        let n = self.baseline.len().max(1) as f64;
+        let ss: f64 = x.iter().zip(&self.baseline).map(|(a, b)| (a - b) * (a - b)).sum();
+        (ss / n).sqrt()
+    }
+
+    /// Robust z-score of a deviation statistic against the decided
+    /// prefix's median/MAD. Statistics are computed over the *sorted*
+    /// decided values, so any ingest order of the same decided set
+    /// yields bit-identical z-scores.
+    pub fn robust_z(&self, stat: f64) -> f64 {
+        let mut vals: Vec<f64> = self.decided.values().copied().collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
+        vals.sort_by(f64::total_cmp);
+        let med = sorted_median(&vals);
+        let mut dev: Vec<f64> = vals.iter().map(|v| (v - med).abs()).collect();
+        dev.sort_by(f64::total_cmp);
+        let mad = sorted_median(&dev);
+        // 1.4826·MAD ≈ σ for a normal sample; the floor keeps the
+        // score finite when the decided stats are (near-)identical.
+        let scale = 1.4826 * mad + 1e-9 * med.abs().max(1.0);
+        (stat - med).abs() / scale
+    }
+}
+
+fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+fn sorted_median(v: &[f64]) -> f64 {
+    let n = v.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perturb::{PerturbConfig, PerturbationGenerator};
+    use crate::priors::smooth_temperature_prior;
+    use esse_ocean::scenario;
+
+    fn flat_validator(n: usize, cfg: ValidatorConfig) -> ForecastValidator {
+        let blocks = vec![VarBounds { name: "x", range: 0..n, lo: -10.0, hi: 10.0 }];
+        ForecastValidator::new(blocks, vec![0.0; n], cfg)
+    }
+
+    #[test]
+    fn reason_codes_roundtrip_and_zero_is_legacy() {
+        for r in [
+            Reason::Unspecified,
+            Reason::NonFinite,
+            Reason::OutOfBounds,
+            Reason::NormBlowup,
+            Reason::EnsembleOutlier,
+            Reason::CorruptPayload,
+        ] {
+            assert_eq!(Reason::from_code(r.code()), r);
+        }
+        assert_eq!(Reason::Unspecified.code(), 0);
+        assert_eq!(Reason::from_code(999), Reason::Unspecified);
+    }
+
+    #[test]
+    fn nan_or_inf_at_any_index_is_always_caught() {
+        let n = 64;
+        let v = flat_validator(n, ValidatorConfig::default());
+        for i in 0..n {
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                let mut x = vec![1.0; n];
+                x[i] = bad;
+                assert_eq!(
+                    v.validate(&x),
+                    Verdict::Quarantine(Reason::NonFinite),
+                    "index {i} value {bad}"
+                );
+            }
+        }
+        assert!(v.validate(&vec![1.0; n]).is_pass());
+    }
+
+    #[test]
+    fn bounds_are_envelope_tight_at_every_index() {
+        let n = 32;
+        let v = flat_validator(n, ValidatorConfig::default());
+        for i in 0..n {
+            let mut x = vec![0.0; n];
+            x[i] = 10.0; // exactly at the bound: inside
+            assert!(v.validate(&x).is_pass(), "at hi, index {i}");
+            x[i] = -10.0;
+            assert!(v.validate(&x).is_pass(), "at lo, index {i}");
+            x[i] = 10.0 + 1e-9; // just outside: caught
+            assert_eq!(
+                v.validate(&x),
+                Verdict::Quarantine(Reason::OutOfBounds),
+                "above hi, index {i}"
+            );
+            x[i] = -10.0 - 1e-9;
+            assert_eq!(
+                v.validate(&x),
+                Verdict::Quarantine(Reason::OutOfBounds),
+                "below lo, index {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn norm_blowup_is_caught() {
+        let n = 16;
+        // Wide bounds so only the norm check can fire.
+        let blocks = vec![VarBounds { name: "x", range: 0..n, lo: -1e12, hi: 1e12 }];
+        let v = ForecastValidator::new(blocks, vec![1.0; n], ValidatorConfig::default());
+        assert!(v.validate(&vec![1.5; n]).is_pass());
+        let blown: Vec<f64> = vec![1e6; n];
+        assert_eq!(v.validate(&blown), Verdict::Quarantine(Reason::NormBlowup));
+    }
+
+    #[test]
+    fn wrong_length_is_corrupt() {
+        let v = flat_validator(8, ValidatorConfig::default());
+        assert_eq!(v.validate(&[0.0; 7]), Verdict::Quarantine(Reason::CorruptPayload));
+    }
+
+    #[test]
+    fn outlier_verdict_is_invariant_to_decided_ingest_order() {
+        let n = 16;
+        let mut forward = flat_validator(n, ValidatorConfig::default());
+        let mut backward = flat_validator(n, ValidatorConfig::default());
+        let mut shuffled = flat_validator(n, ValidatorConfig::default());
+        // Deterministic pseudo-ensemble: member m deviates by ~1 + noise.
+        let member_vec = |m: u64| {
+            let amp = 1.0 + 0.05 * ((m * 2654435761 % 97) as f64 / 97.0);
+            vec![amp; n]
+        };
+        let ids: Vec<u64> = (0..12).collect();
+        for &m in &ids {
+            forward.note_decided(m, &member_vec(m));
+        }
+        for &m in ids.iter().rev() {
+            backward.note_decided(m, &member_vec(m));
+        }
+        for &m in [7u64, 2, 11, 0, 5, 9, 1, 10, 3, 8, 4, 6].iter() {
+            shuffled.note_decided(m, &member_vec(m));
+        }
+        let clean = member_vec(42);
+        let outlier = vec![9.5; n]; // inside bounds, far from the pack
+        for probe in [&clean, &outlier] {
+            let a = forward.validate_member(42, probe);
+            let b = backward.validate_member(42, probe);
+            let c = shuffled.validate_member(42, probe);
+            assert_eq!(a, b);
+            assert_eq!(b, c);
+            let za = forward.robust_z(forward.deviation_stat(probe));
+            let zb = backward.robust_z(backward.deviation_stat(probe));
+            let zc = shuffled.robust_z(shuffled.deviation_stat(probe));
+            assert_eq!(za.to_bits(), zb.to_bits(), "z must be bit-identical");
+            assert_eq!(zb.to_bits(), zc.to_bits(), "z must be bit-identical");
+        }
+        assert!(forward.validate_member(42, &clean).is_pass());
+        assert_eq!(
+            forward.validate_member(42, &outlier),
+            Verdict::Quarantine(Reason::EnsembleOutlier)
+        );
+    }
+
+    #[test]
+    fn outlier_gate_stays_dark_below_min_decided() {
+        let n = 16;
+        let mut v = flat_validator(n, ValidatorConfig::default());
+        for m in 0..4u64 {
+            v.note_decided(m, &vec![1.0; n]);
+        }
+        // 4 decided < the default minimum of 5: even a far-out member
+        // passes the (unarmed) outlier gate.
+        assert!(v.validate_member(99, &vec![9.0; n]).is_pass());
+        v.note_decided(4, &vec![1.0; n]);
+        assert_eq!(
+            v.validate_member(99, &vec![9.0; n]),
+            Verdict::Quarantine(Reason::EnsembleOutlier)
+        );
+        v.forget(4);
+        assert!(v.validate_member(99, &vec![9.0; n]).is_pass());
+    }
+
+    #[test]
+    fn scenario_validator_passes_clean_perturbations() {
+        let (model, st0) = scenario::monterey(12, 12, 3);
+        let g = &model.grid;
+        let prior = smooth_temperature_prior(g, 8, 0.5, 2.5, 7);
+        let mean = st0.pack();
+        let mut v =
+            ForecastValidator::for_scenario(g, &[&mean], &prior, ValidatorConfig::default());
+        let gen = PerturbationGenerator::new(
+            &prior,
+            PerturbConfig { white_noise: 0.05, base_seed: 3, frozen_indices: Vec::new() },
+        );
+        for m in 0..10 {
+            let ic = gen.perturb(&mean, m);
+            assert!(
+                v.validate_member(m as u64, &ic).is_pass(),
+                "clean member {m} must never be quarantined"
+            );
+            v.note_decided(m as u64, &ic);
+        }
+    }
+
+    #[test]
+    fn scenario_validator_catches_block_misalignment() {
+        let (model, st0) = scenario::monterey(12, 12, 3);
+        let g = &model.grid;
+        let prior = smooth_temperature_prior(g, 8, 0.5, 2.5, 7);
+        let mean = st0.pack();
+        let v = ForecastValidator::for_scenario(g, &[&mean], &prior, ValidatorConfig::default());
+        // Rotate the payload by one whole variable block: salinity
+        // values land in the temperature block.
+        let n3 = g.cells3();
+        let mut shifted = mean.clone();
+        shifted.rotate_left(n3);
+        assert_eq!(v.validate(&shifted), Verdict::Quarantine(Reason::OutOfBounds));
+    }
+
+    #[test]
+    fn finite_stat_gates_scalars() {
+        assert!(finite_stat(0.73).is_pass());
+        assert_eq!(finite_stat(f64::NAN), Verdict::Quarantine(Reason::NonFinite));
+        assert_eq!(finite_stat(f64::INFINITY), Verdict::Quarantine(Reason::NonFinite));
+    }
+}

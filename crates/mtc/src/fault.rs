@@ -57,6 +57,71 @@ pub enum FaultKind {
     Straggle(Duration),
 }
 
+/// A semantic payload corruption: the forecast *completes* but its
+/// bytes are wrong. Unlike [`FaultKind`], nothing crashes — the only
+/// defense is the semantic validator on the ingest path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// A NaN planted at a seeded index. Applied *before* the worker's
+    /// self-check, so the worker itself catches it and publishes a
+    /// typed `REJECTED` result (saving the upload).
+    NanInject,
+    /// The whole trajectory scaled into numerical blowup. Applied
+    /// *after* the self-check (a worker lying about its own health), so
+    /// only the coordinator's re-validation catches it.
+    Blowup,
+    /// An off-by-one-block payload: the state blocks rotated by one
+    /// field, so salinity lands in the temperature slot. Also applied
+    /// after the self-check.
+    BlockShift,
+}
+
+impl CorruptionKind {
+    /// Does this corruption slip past the worker self-check (applied
+    /// after it), leaving the coordinator's re-validation as the only
+    /// gate?
+    pub fn bypasses_self_check(&self) -> bool {
+        !matches!(self, CorruptionKind::NanInject)
+    }
+
+    /// Corrupt `payload` in place, deterministically for
+    /// `(seed, member)`. `block` is the per-field block length used by
+    /// [`CorruptionKind::BlockShift`] (one 3-D field, so temperature
+    /// shifts into the velocity slot and salinity into temperature).
+    pub fn apply(&self, seed: u64, member: u64, block: usize, payload: &mut [f64]) {
+        if payload.is_empty() {
+            return;
+        }
+        match self {
+            CorruptionKind::NanInject => {
+                let idx = (unit_draw(seed ^ CORRUPT_INDEX_SALT, member, 0) * payload.len() as f64)
+                    as usize;
+                payload[idx.min(payload.len() - 1)] = f64::NAN;
+            }
+            CorruptionKind::Blowup => {
+                for x in payload.iter_mut() {
+                    *x *= 1e8;
+                }
+            }
+            CorruptionKind::BlockShift => {
+                let shift = block.min(payload.len());
+                payload.rotate_left(shift);
+            }
+        }
+    }
+}
+
+/// Salt folding the corruption stream away from the crash/transient/
+/// straggler draw, so turning corruption on (or off) never changes an
+/// existing seeded chaos schedule.
+const CORRUPT_STREAM_SALT: u64 = 0x5E3A_271C_FA17_B00F;
+
+/// Salt for the corruption-kind draw (independent of the rate draw).
+const CORRUPT_KIND_SALT: u64 = 0x9C2F_44D1_037E_58A3;
+
+/// Salt for the NaN-placement index draw.
+const CORRUPT_INDEX_SALT: u64 = 0x1D5E_ED00_0000_0001;
+
 /// A worker-death instruction: worker `worker` dies while executing its
 /// `after_tasks`-th task (1-based), failing that task and leaving the
 /// pool one slot smaller.
@@ -91,6 +156,10 @@ pub struct FaultPlan {
     /// Transient I/O faults only fire on attempts `< this` (default 1:
     /// first attempt only, so one retry always clears them).
     pub transient_max_attempt: u32,
+    /// Probability an attempt's *payload* is semantically corrupted
+    /// ([`CorruptionKind`]); drawn from a salted stream independent of
+    /// the crash/transient/straggler ladder.
+    pub corrupt_rate: f64,
     /// Scripted worker deaths.
     pub worker_deaths: Vec<WorkerDeath>,
 }
@@ -111,6 +180,7 @@ impl FaultPlan {
             straggler_rate: 0.0,
             straggler_delay: Duration::from_millis(20),
             transient_max_attempt: 1,
+            corrupt_rate: 0.0,
             worker_deaths: Vec::new(),
         }
     }
@@ -134,6 +204,12 @@ impl FaultPlan {
         self
     }
 
+    /// Set the payload-corruption rate.
+    pub fn with_corruption(mut self, rate: f64) -> FaultPlan {
+        self.corrupt_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
     /// Script a worker death.
     pub fn with_worker_death(mut self, worker: usize, after_tasks: usize) -> FaultPlan {
         self.worker_deaths.push(WorkerDeath { worker, after_tasks: after_tasks.max(1) });
@@ -145,6 +221,7 @@ impl FaultPlan {
         self.crash_rate > 0.0
             || self.transient_io_rate > 0.0
             || self.straggler_rate > 0.0
+            || self.corrupt_rate > 0.0
             || !self.worker_deaths.is_empty()
     }
 
@@ -176,6 +253,28 @@ impl FaultPlan {
             return Some(FaultKind::Straggle(self.straggler_delay));
         }
         None
+    }
+
+    /// The payload corruption injected into attempt `attempt` of member
+    /// `member` (`None` = the payload publishes clean). Drawn from a
+    /// stream salted away from [`FaultPlan::fault_for`], so enabling
+    /// corruption never reshuffles an existing crash/straggler
+    /// schedule, and a zero-rate plan is bit-identical to none.
+    pub fn corruption_for(&self, member: TaskId, attempt: u32) -> Option<CorruptionKind> {
+        if self.corrupt_rate <= 0.0 {
+            return None;
+        }
+        let u = unit_draw(self.seed ^ CORRUPT_STREAM_SALT, member as u64, attempt as u64);
+        if u >= self.corrupt_rate {
+            return None;
+        }
+        // Second, independent draw picks the kind uniformly.
+        let k = unit_draw(self.seed ^ CORRUPT_KIND_SALT, member as u64, attempt as u64);
+        Some(match (k * 3.0) as u32 {
+            0 => CorruptionKind::NanInject,
+            1 => CorruptionKind::Blowup,
+            _ => CorruptionKind::BlockShift,
+        })
     }
 
     /// Does worker `worker` die on its `tasks_started`-th task (1-based)?
@@ -314,6 +413,11 @@ pub struct FaultReport {
     pub speculative_losses: usize,
     /// Workers that died during the run.
     pub workers_died: usize,
+    /// Payloads quarantined by the semantic validator (worker
+    /// rejections and coordinator re-validation combined).
+    pub quarantined: usize,
+    /// Quarantined members healed by a replacement forecast.
+    pub replaced: usize,
 }
 
 impl FaultReport {
@@ -345,8 +449,17 @@ pub enum RunHealth {
     Degraded {
         /// Fraction of planned members whose results entered the run.
         coverage: f64,
-        /// Members lost permanently.
+        /// Members lost permanently to crash-shaped faults (never
+        /// produced an ingestible payload).
         lost_members: usize,
+        /// Members quarantined by the semantic validator and *not*
+        /// healed — the replacement budget ran out. Distinct from
+        /// `lost_members`: these produced payloads, but wrong ones.
+        quarantined: usize,
+        /// Quarantined members that *were* healed by a replacement
+        /// (context for the breakdown; healed members still count
+        /// toward coverage).
+        replaced: usize,
     },
 }
 
@@ -449,6 +562,57 @@ mod tests {
     #[test]
     fn health_reports_degradation() {
         assert!(!RunHealth::Full.is_degraded());
-        assert!(RunHealth::Degraded { coverage: 0.9, lost_members: 3 }.is_degraded());
+        let h = RunHealth::Degraded { coverage: 0.9, lost_members: 3, quarantined: 0, replaced: 0 };
+        assert!(h.is_degraded());
+    }
+
+    #[test]
+    fn corruption_stream_is_independent_of_the_fault_ladder() {
+        let clean = FaultPlan::seeded(7).with_crashes(0.3).with_transient_io(0.2);
+        let corrupt = clean.clone().with_corruption(0.5);
+        // Turning corruption on never reshuffles the existing schedule.
+        let sig = |p: &FaultPlan| (0..500).map(|m| p.fault_for(m, 0)).collect::<Vec<_>>();
+        assert_eq!(sig(&clean), sig(&corrupt));
+        // Zero rate draws nothing; the rate is roughly honoured and all
+        // three kinds occur.
+        assert!((0..500).all(|m| clean.corruption_for(m, 0).is_none()));
+        let kinds: Vec<CorruptionKind> =
+            (0..2000).filter_map(|m| corrupt.corruption_for(m, 0)).collect();
+        let rate = kinds.len() as f64 / 2000.0;
+        assert!((rate - 0.5).abs() < 0.05, "observed corruption rate {rate}");
+        for k in [CorruptionKind::NanInject, CorruptionKind::Blowup, CorruptionKind::BlockShift] {
+            assert!(kinds.contains(&k), "{k:?} never drawn");
+        }
+        // Determinism: same plan, same schedule.
+        let again: Vec<CorruptionKind> =
+            (0..2000).filter_map(|m| corrupt.corruption_for(m, 0)).collect();
+        assert_eq!(kinds, again);
+    }
+
+    #[test]
+    fn corruption_kinds_apply_deterministically() {
+        let base: Vec<f64> = (0..64).map(|i| i as f64 * 0.5).collect();
+        // NaN injection plants exactly one NaN at a seeded index.
+        let mut p = base.clone();
+        CorruptionKind::NanInject.apply(11, 3, 16, &mut p);
+        assert_eq!(p.iter().filter(|x| x.is_nan()).count(), 1);
+        let mut q = base.clone();
+        CorruptionKind::NanInject.apply(11, 3, 16, &mut q);
+        assert_eq!(
+            p.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            q.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        // Blowup scales everything; block shift rotates by one block.
+        let mut p = base.clone();
+        CorruptionKind::Blowup.apply(11, 3, 16, &mut p);
+        assert_eq!(p[2], base[2] * 1e8);
+        let mut p = base.clone();
+        CorruptionKind::BlockShift.apply(11, 3, 16, &mut p);
+        assert_eq!(p[0], base[16]);
+        assert_eq!(p[63], base[15]);
+        // Only NaN injection is caught worker-side.
+        assert!(!CorruptionKind::NanInject.bypasses_self_check());
+        assert!(CorruptionKind::Blowup.bypasses_self_check());
+        assert!(CorruptionKind::BlockShift.bypasses_self_check());
     }
 }

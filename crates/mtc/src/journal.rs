@@ -67,12 +67,18 @@ pub enum JournalRecord {
         /// Final exit/error code.
         code: i32,
     },
-    /// A previously completed member's on-disk result failed its
-    /// checksum on resume; the file was quarantined and the member
-    /// requeued. The run is degraded until it completes again.
+    /// A member's result failed validation — semantic checks at
+    /// ingestion (NaN/Inf, physical bounds, norm blowup, ensemble
+    /// outlier) or a checksum failure on resume. The payload was
+    /// quarantined and the member requeued. The run is degraded until
+    /// it completes again.
     MemberQuarantined {
         /// Member index.
         member: u64,
+        /// Stable [`esse_core::validate::Reason`] code (0 for records
+        /// written before reasons existed). Persisted so a resumed run
+        /// replays the same decision bit-for-bit.
+        reason: u32,
     },
     /// The continuous SVD stage published a new subspace estimate to
     /// the safe file (the §4.1 three-file protocol).
@@ -154,8 +160,13 @@ impl JournalRecord {
                 out.extend_from_slice(&member.to_le_bytes());
                 out.extend_from_slice(&code.to_le_bytes());
             }
-            JournalRecord::MemberQuarantined { member } => {
+            JournalRecord::MemberQuarantined { member, reason } => {
                 out.extend_from_slice(&member.to_le_bytes());
+                // Reason 0 keeps the legacy 8-byte payload so journals
+                // written before reason codes replay byte-identically.
+                if reason != 0 {
+                    out.extend_from_slice(&reason.to_le_bytes());
+                }
             }
             JournalRecord::SvdPublished { members, version, rho } => {
                 out.extend_from_slice(&members.to_le_bytes());
@@ -200,7 +211,13 @@ impl JournalRecord {
                 member: u64_at(0)?,
                 code: i32::from_le_bytes(rest.get(8..12)?.try_into().unwrap()),
             },
-            4 => JournalRecord::MemberQuarantined { member: u64_at(0)? },
+            4 => JournalRecord::MemberQuarantined {
+                member: u64_at(0)?,
+                reason: match rest.get(8..12) {
+                    Some(b) => u32::from_le_bytes(b.try_into().unwrap()),
+                    None => 0,
+                },
+            },
             5 => JournalRecord::SvdPublished {
                 members: u64_at(0)?,
                 version: u64_at(8)?,
@@ -237,6 +254,9 @@ pub struct Replay {
 pub struct Journal {
     path: PathBuf,
     file: Mutex<fs::File>,
+    /// Write-error injection: appends remaining before every further
+    /// append fails like a full disk. `u64::MAX` disables injection.
+    fail_after: std::sync::atomic::AtomicU64,
 }
 
 fn corrupt(msg: impl Into<String>) -> io::Error {
@@ -256,7 +276,11 @@ impl Journal {
                 fsync_dir(parent)?;
             }
         }
-        Ok(Journal { path, file: Mutex::new(file) })
+        Ok(Journal {
+            path,
+            file: Mutex::new(file),
+            fail_after: std::sync::atomic::AtomicU64::new(u64::MAX),
+        })
     }
 
     /// Replay `path` without opening it for appends. Stops at the first
@@ -299,7 +323,12 @@ impl Journal {
         }
         let mut file = file;
         file.seek(io::SeekFrom::End(0))?;
-        Ok((Journal { path, file: Mutex::new(file) }, replay))
+        let journal = Journal {
+            path,
+            file: Mutex::new(file),
+            fail_after: std::sync::atomic::AtomicU64::new(u64::MAX),
+        };
+        Ok((journal, replay))
     }
 
     /// The journal's path.
@@ -307,10 +336,30 @@ impl Journal {
         &self.path
     }
 
+    /// Inject a write error: after `appends` more successful appends,
+    /// every further append fails like a full disk (the frame is never
+    /// written, so the on-disk valid prefix stays intact). Testing
+    /// hook for the ENOSPC/failed-fsync parking path.
+    pub fn inject_write_error_after(&self, appends: u64) {
+        self.fail_after.store(appends, std::sync::atomic::Ordering::SeqCst);
+    }
+
     /// Durably append one record: the frame is written and fsynced
     /// before this returns. A record is the commit point of whatever it
     /// describes — write data files first, then append.
+    ///
+    /// On failure (real ENOSPC/fsync trouble or an injected error) the
+    /// journal's valid prefix is still replayable: either the frame
+    /// never hit the file, or replay truncates the torn tail.
     pub fn append(&self, rec: &JournalRecord) -> io::Result<()> {
+        use std::sync::atomic::Ordering;
+        let left = self.fail_after.load(Ordering::SeqCst);
+        if left == 0 {
+            return Err(io::Error::other("injected journal write error (disk full)"));
+        }
+        if left != u64::MAX {
+            self.fail_after.store(left - 1, Ordering::SeqCst);
+        }
         let payload = rec.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -344,9 +393,17 @@ pub struct JournalState {
     pub completed: Vec<(u64, u32)>,
     /// Permanently failed members, ascending.
     pub failed: Vec<u64>,
-    /// Members whose results were quarantined on a resume, ascending.
-    /// (Requeued members that complete again leave this list.)
+    /// Members whose results were quarantined and not yet re-completed,
+    /// ascending. (Requeued members that complete again leave this
+    /// list.)
     pub quarantined: Vec<u64>,
+    /// Last quarantine reason code per member that was *ever*
+    /// quarantined, ascending by id — members present here but absent
+    /// from `quarantined` were healed by a replacement.
+    pub quarantine_reasons: Vec<(u64, u32)>,
+    /// Total quarantine events replayed (a member can contribute more
+    /// than one).
+    pub quarantine_events: u64,
     /// SVD publications in order.
     pub svd_rounds: Vec<SvdRound>,
     /// The convergence record, if the criterion fired.
@@ -388,13 +445,18 @@ impl JournalState {
                         st.failed.insert(i, member);
                     }
                 }
-                JournalRecord::MemberQuarantined { member } => {
+                JournalRecord::MemberQuarantined { member, reason } => {
                     if let Ok(i) = st.completed.binary_search_by_key(&member, |(m, _)| *m) {
                         st.completed.remove(i);
                     }
                     if let Err(i) = st.quarantined.binary_search(&member) {
                         st.quarantined.insert(i, member);
                     }
+                    match st.quarantine_reasons.binary_search_by_key(&member, |(m, _)| *m) {
+                        Ok(i) => st.quarantine_reasons[i].1 = reason,
+                        Err(i) => st.quarantine_reasons.insert(i, (member, reason)),
+                    }
+                    st.quarantine_events += 1;
                 }
                 JournalRecord::SvdPublished { members, version, rho } => {
                     st.svd_rounds.push(SvdRound { members, version, rho });
@@ -661,7 +723,13 @@ impl Checkpoint {
             fs::create_dir_all(&qdir)?;
             fs::rename(&src, qdir.join(format!("member_{member}.ck")))?;
         }
-        self.journal.append(&JournalRecord::MemberQuarantined { member: member as u64 })
+        self.record_quarantined(member, esse_core::validate::Reason::CorruptPayload.code())
+    }
+
+    /// Journal a semantic quarantine decision (validator verdict at
+    /// ingestion) so resume replays the same decision bit-for-bit.
+    pub fn record_quarantined(&self, member: usize, reason: u32) -> io::Result<()> {
+        self.journal.append(&JournalRecord::MemberQuarantined { member: member as u64, reason })
     }
 
     /// The checkpoint directory.
@@ -731,7 +799,8 @@ mod tests {
             JournalRecord::MemberFailed { member: 1, code: 3 },
             JournalRecord::SvdPublished { members: 2, version: 1, rho: f64::NAN },
             JournalRecord::SvdPublished { members: 4, version: 2, rho: 0.97 },
-            JournalRecord::MemberQuarantined { member: 3 },
+            JournalRecord::MemberQuarantined { member: 3, reason: 0 },
+            JournalRecord::MemberQuarantined { member: 5, reason: 3 },
             JournalRecord::CoordinatorStarted { incarnation: 2 },
             JournalRecord::EpochAdvanced { member: 3, epoch: 2 },
             JournalRecord::Converged { members: 8, rho: 0.995 },
@@ -833,7 +902,9 @@ mod tests {
         // Member 3 completed then got quarantined on a later resume.
         assert_eq!(st.completed, vec![(0, 1)]);
         assert_eq!(st.failed, vec![1]);
-        assert_eq!(st.quarantined, vec![3]);
+        assert_eq!(st.quarantined, vec![3, 5]);
+        assert_eq!(st.quarantine_reasons, vec![(3, 0), (5, 3)]);
+        assert_eq!(st.quarantine_events, 2);
         assert_eq!(st.svd_rounds.len(), 2);
         assert_eq!(st.rho_history(), vec![0.97]);
         assert_eq!(st.last_svd_members(), 4);
@@ -907,6 +978,41 @@ mod tests {
             Ok(_) => panic!("create over an existing journal must fail"),
         };
         assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+    }
+
+    #[test]
+    fn quarantine_reason_zero_keeps_the_legacy_encoding() {
+        // Reason 0 must encode exactly like the pre-reason record so
+        // old journals and new zero-reason records are byte-identical.
+        let legacy = JournalRecord::MemberQuarantined { member: 7, reason: 0 };
+        assert_eq!(legacy.encode().len(), 1 + 8);
+        let modern = JournalRecord::MemberQuarantined { member: 7, reason: 4 };
+        assert_eq!(modern.encode().len(), 1 + 8 + 4);
+        for rec in [legacy, modern] {
+            assert_eq!(JournalRecord::decode(&rec.encode()), Some(rec));
+        }
+    }
+
+    #[test]
+    fn injected_write_error_parks_with_a_replayable_prefix() {
+        let dir = tmpdir("enospc");
+        let jpath = dir.join("run.journal");
+        let j = Journal::create(&jpath).unwrap();
+        j.inject_write_error_after(2);
+        j.append(&JournalRecord::RunStart { config_hash: 9 }).unwrap();
+        j.append(&JournalRecord::MemberCompleted { member: 0, attempts: 1 }).unwrap();
+        // The third append fails like ENOSPC — and keeps failing.
+        let err = j.append(&JournalRecord::MemberCompleted { member: 1, attempts: 1 });
+        assert!(err.is_err());
+        assert!(j.append(&JournalRecord::RunComplete { members: 2 }).is_err());
+        drop(j);
+        // The valid prefix survives: both committed records replay.
+        let replay = Journal::replay(&jpath).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.torn_bytes, 0);
+        let st = JournalState::replay(&replay.records);
+        assert_eq!(st.completed, vec![(0, 1)]);
+        assert_eq!(st.complete, None);
     }
 
     #[test]

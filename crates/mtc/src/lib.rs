@@ -50,7 +50,7 @@ pub mod sim {
     pub mod submission;
 }
 
-pub use fault::{FaultPlan, FaultReport, RetryPolicy, RunHealth};
+pub use fault::{CorruptionKind, FaultPlan, FaultReport, RetryPolicy, RunHealth};
 pub use journal::{Checkpoint, Journal, JournalRecord, JournalState, ResumeState};
 pub use lock::{LockError, WorkdirLock};
 pub use pool::{

@@ -213,6 +213,11 @@ impl TaskSpec {
     }
 }
 
+/// Result code of a worker self-check rejection: the forecast failed
+/// the semantic validator *before* publish, so the worker sent a typed
+/// `REJECTED` record (no payload upload) with the validator's reason.
+pub const CODE_REJECTED: i32 = 122;
+
 /// A published task result: the commit record a worker writes after its
 /// forecast file is durable. `code == 0` means success and `fc_crc` is
 /// the CRC-32 trailer of the forecast file the worker validated.
@@ -222,12 +227,17 @@ pub struct ResultRecord {
     pub member: u64,
     /// Fencing epoch of the claim that produced this result.
     pub epoch: u32,
-    /// 0 = success; otherwise the failing singleton's exit code.
+    /// 0 = success; otherwise the failing singleton's exit code, or
+    /// [`CODE_REJECTED`] for a worker self-check rejection.
     pub code: i32,
     /// PID of the publishing worker (post-mortem info only).
     pub pid: u32,
     /// CRC-32 trailer of the published forecast file (0 on failure).
     pub fc_crc: u32,
+    /// Validator [`esse_core::validate::Reason`] code accompanying a
+    /// [`CODE_REJECTED`] result (0 otherwise, and for records written
+    /// before semantic validation existed).
+    pub reason: u32,
 }
 
 impl ResultRecord {
@@ -237,18 +247,25 @@ impl ResultRecord {
     }
 
     fn encode(&self) -> Vec<u8> {
-        let mut p = Vec::with_capacity(24);
+        let mut p = Vec::with_capacity(28);
         p.extend_from_slice(&self.member.to_le_bytes());
         p.extend_from_slice(&self.epoch.to_le_bytes());
         p.extend_from_slice(&self.code.to_le_bytes());
         p.extend_from_slice(&self.pid.to_le_bytes());
         p.extend_from_slice(&self.fc_crc.to_le_bytes());
+        // Reason 0 keeps the legacy 24-byte payload so pre-validation
+        // records and new zero-reason records are byte-identical.
+        if self.reason != 0 {
+            p.extend_from_slice(&self.reason.to_le_bytes());
+        }
         frame(RESULT_MAGIC, &p)
     }
 
     fn decode(raw: &[u8]) -> io::Result<ResultRecord> {
         let p = unframe(RESULT_MAGIC, raw, "result record")?;
-        if p.len() != 24 {
+        // 24 bytes is a pre-validation record (reason 0); 28 carries a
+        // validator reason code.
+        if p.len() != 24 && p.len() != 28 {
             return Err(bad("result record", "length mismatch"));
         }
         Ok(ResultRecord {
@@ -257,6 +274,11 @@ impl ResultRecord {
             code: i32::from_le_bytes(p[12..16].try_into().unwrap()),
             pid: u32::from_le_bytes(p[16..20].try_into().unwrap()),
             fc_crc: u32::from_le_bytes(p[20..24].try_into().unwrap()),
+            reason: if p.len() == 28 {
+                u32::from_le_bytes(p[24..28].try_into().unwrap())
+            } else {
+                0
+            },
         })
     }
 }
@@ -608,6 +630,99 @@ impl TaskPool {
         out.sort();
         Ok(out)
     }
+
+    // --- Garbage collection -----------------------------------------------
+
+    /// Prune bounded pool history, keeping the newest `keep` entries of
+    /// each pruned class (ordered by record name, i.e. member then
+    /// epoch):
+    ///
+    /// - fenced records in `results/stale/` and their trace sidecars,
+    /// - trace sidecars in `results/` whose result record is gone
+    ///   (the result was consumed; the spans were merged at wind-down).
+    ///
+    /// Never touches `pending/`, `claimed/` (records under an active
+    /// lease), live result records, their not-yet-consumed sidecars, or
+    /// worker wind-down sidecars (`w*.final.trace`) — those have no
+    /// record to mark them consumed, so they are left for the
+    /// coordinator's trace merge. Intended for a run-and-exit
+    /// `esse_master --gc` on a completed or parked run.
+    pub fn gc(&self, keep: usize) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        let names_in = |dir: &Path, pred: &dyn Fn(&str) -> bool| -> io::Result<Vec<String>> {
+            let entries = match fs::read_dir(dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+                Err(e) => return Err(e),
+            };
+            let mut names: Vec<String> = entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|n| pred(n))
+                .collect();
+            names.sort();
+            Ok(names)
+        };
+        let remove = |path: PathBuf| -> io::Result<bool> {
+            match fs::remove_file(&path) {
+                Ok(()) => Ok(true),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+                Err(e) => Err(e),
+            }
+        };
+
+        // Fenced records beyond the retention count, plus their spans.
+        let stale = names_in(&self.stale_dir(), &|n| valid_record_name(n, b'r'))?;
+        for name in &stale[..stale.len().saturating_sub(keep)] {
+            if remove(self.stale_dir().join(name))? {
+                report.stale_results += 1;
+            }
+            if remove(self.stale_dir().join(format!("{name}{TRACE_SUFFIX}")))? {
+                report.trace_sidecars += 1;
+            }
+        }
+        // Stale-dir sidecars whose record is already gone (orphans from
+        // an earlier, smaller-retention sweep).
+        for name in names_in(&self.stale_dir(), &|n| {
+            valid_sidecar_name(n) && valid_record_name(&n[..n.len() - TRACE_SUFFIX.len()], b'r')
+        })? {
+            let rec = &name[..name.len() - TRACE_SUFFIX.len()];
+            if !self.stale_dir().join(rec).exists() && remove(self.stale_dir().join(&name))? {
+                report.trace_sidecars += 1;
+            }
+        }
+
+        // Consumed sidecars in results/: the record was ingested and
+        // removed, so only the merged timeline still references them.
+        let consumed: Vec<String> = names_in(&self.results_dir(), &|n| {
+            valid_sidecar_name(n) && valid_record_name(&n[..n.len() - TRACE_SUFFIX.len()], b'r')
+        })?
+        .into_iter()
+        .filter(|n| !self.results_dir().join(&n[..n.len() - TRACE_SUFFIX.len()]).exists())
+        .collect();
+        for name in &consumed[..consumed.len().saturating_sub(keep)] {
+            if remove(self.results_dir().join(name))? {
+                report.trace_sidecars += 1;
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// What [`TaskPool::gc`] pruned.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GcReport {
+    /// Fenced records removed from `results/stale/`.
+    pub stale_results: usize,
+    /// Trace sidecars removed (fenced and consumed classes combined).
+    pub trace_sidecars: usize,
+}
+
+impl GcReport {
+    /// Total files removed.
+    pub fn total(&self) -> usize {
+        self.stale_results + self.trace_sidecars
+    }
 }
 
 /// Suffix of span-batch sidecar files.
@@ -772,13 +887,91 @@ mod tests {
         let t = TaskSpec { member: 42, epoch: 3, seed: 0xDEAD_BEEF, parent_span: 0xABCD_1234_5678 };
         assert_eq!(TaskSpec::decode(&t.encode()).unwrap(), t);
         assert_eq!(t.file_name(), "t000042.e00003");
-        let r = ResultRecord { member: 42, epoch: 3, code: 0, pid: 123, fc_crc: 77 };
+        let r = ResultRecord { member: 42, epoch: 3, code: 0, pid: 123, fc_crc: 77, reason: 0 };
         assert_eq!(ResultRecord::decode(&r.encode()).unwrap(), r);
         for byte in 0..r.encode().len() {
             let mut flip = r.encode();
             flip[byte] ^= 1;
             assert!(ResultRecord::decode(&flip).is_err(), "flip at {byte} accepted");
         }
+    }
+
+    #[test]
+    fn result_record_reason_uses_the_legacy_length_when_zero() {
+        let plain = ResultRecord { member: 1, epoch: 2, code: 0, pid: 3, fc_crc: 4, reason: 0 };
+        let rejected =
+            ResultRecord { member: 1, epoch: 2, code: CODE_REJECTED, pid: 3, fc_crc: 0, reason: 5 };
+        // Reason 0 encodes exactly like a pre-validation record.
+        assert_eq!(plain.encode().len() + 4, rejected.encode().len());
+        assert_eq!(ResultRecord::decode(&plain.encode()).unwrap(), plain);
+        assert_eq!(ResultRecord::decode(&rejected.encode()).unwrap(), rejected);
+        for byte in 0..rejected.encode().len() {
+            let mut flip = rejected.encode();
+            flip[byte] ^= 1;
+            assert!(ResultRecord::decode(&flip).is_err(), "flip at {byte} accepted");
+        }
+    }
+
+    #[test]
+    fn gc_prunes_fenced_history_but_never_live_state() {
+        let dir = tmpdir("gc");
+        let pool = TaskPool::create(&dir, &manifest()).unwrap();
+        // Live state: a pending task, a claimed task, and an unconsumed
+        // result with its sidecar.
+        let pend = TaskSpec { member: 0, epoch: 1, seed: 1, parent_span: 0 };
+        pool.seed(&pend).unwrap();
+        let claim = TaskSpec { member: 1, epoch: 1, seed: 2, parent_span: 0 };
+        pool.seed(&claim).unwrap();
+        pool.try_claim(&claim.file_name()).unwrap().unwrap();
+        let live = ResultRecord { member: 2, epoch: 1, code: 0, pid: 1, fc_crc: 9, reason: 0 };
+        pool.publish_result(&live).unwrap();
+        pool.write_trace_sidecar(&format!("{}{TRACE_SUFFIX}", live.file_name()), b"x").unwrap();
+        // A worker wind-down sidecar (no record to mark it consumed).
+        pool.write_trace_sidecar("w00001.final.trace", b"x").unwrap();
+        // History: three fenced records with sidecars, two consumed
+        // sidecars (record ingested and removed).
+        for m in 10..13u64 {
+            let r = ResultRecord { member: m, epoch: 1, code: 0, pid: 1, fc_crc: 1, reason: 0 };
+            pool.publish_result(&r).unwrap();
+            pool.write_trace_sidecar(&format!("{}{TRACE_SUFFIX}", r.file_name()), b"x").unwrap();
+            pool.fence_result(&r).unwrap();
+            fs::rename(
+                pool.results_dir().join(format!("{}{TRACE_SUFFIX}", r.file_name())),
+                pool.stale_dir().join(format!("{}{TRACE_SUFFIX}", r.file_name())),
+            )
+            .unwrap();
+        }
+        for m in 20..22u64 {
+            let r = ResultRecord { member: m, epoch: 1, code: 0, pid: 1, fc_crc: 1, reason: 0 };
+            pool.publish_result(&r).unwrap();
+            pool.write_trace_sidecar(&format!("{}{TRACE_SUFFIX}", r.file_name()), b"x").unwrap();
+            pool.consume_result(&r).unwrap();
+        }
+
+        let report = pool.gc(1).unwrap();
+        // Two of three fenced records pruned (with their sidecars), one
+        // of two consumed sidecars pruned.
+        assert_eq!(report.stale_results, 2);
+        assert_eq!(report.trace_sidecars, 3);
+        assert_eq!(report.total(), 5);
+        // The newest of each class survives.
+        assert!(pool.stale_dir().join("r000012.e00001").exists());
+        assert!(pool.stale_dir().join("r000012.e00001.trace").exists());
+        assert!(pool.results_dir().join("r000021.e00001.trace").exists());
+        // Live state is untouched.
+        let scan = pool.scan().unwrap();
+        assert_eq!(scan.pending, vec![pend]);
+        assert_eq!(scan.claims.len(), 1);
+        assert_eq!(scan.results, vec![live]);
+        assert!(pool.trace_sidecar_for(live.member, live.epoch).is_some());
+        assert!(pool.results_dir().join("w00001.final.trace").exists());
+        // A second sweep with the same retention is a no-op.
+        assert_eq!(pool.gc(1).unwrap().total(), 0);
+        // Retention 0 clears all history but still leaves live state.
+        let report = pool.gc(0).unwrap();
+        assert_eq!(report.stale_results, 1);
+        assert_eq!(report.trace_sidecars, 2);
+        assert_eq!(pool.scan().unwrap().results, vec![live]);
     }
 
     #[test]
@@ -830,7 +1023,7 @@ mod tests {
         pool.heartbeat(&t, &Heartbeat { pid: 1, counter: 1 }).unwrap();
         let scan = pool.scan().unwrap();
         assert_eq!(scan.claims[0].heartbeat, Some(Heartbeat { pid: 1, counter: 1 }));
-        let r = ResultRecord { member: 2, epoch: 1, code: 0, pid: 1, fc_crc: 0x55 };
+        let r = ResultRecord { member: 2, epoch: 1, code: 0, pid: 1, fc_crc: 0x55, reason: 0 };
         pool.publish_result(&r).unwrap();
         pool.release_claim(&t).unwrap();
         let scan = pool.scan().unwrap();
@@ -864,8 +1057,8 @@ mod tests {
     fn fencing_moves_stale_results_out_of_scan() {
         let dir = tmpdir("fence");
         let pool = TaskPool::create(&dir, &manifest()).unwrap();
-        let stale = ResultRecord { member: 4, epoch: 1, code: 0, pid: 9, fc_crc: 1 };
-        let fresh = ResultRecord { member: 4, epoch: 2, code: 0, pid: 10, fc_crc: 1 };
+        let stale = ResultRecord { member: 4, epoch: 1, code: 0, pid: 9, fc_crc: 1, reason: 0 };
+        let fresh = ResultRecord { member: 4, epoch: 2, code: 0, pid: 10, fc_crc: 1, reason: 0 };
         pool.publish_result(&stale).unwrap();
         pool.publish_result(&fresh).unwrap();
         pool.fence_result(&stale).unwrap();
@@ -886,8 +1079,15 @@ mod tests {
         let t1 = TaskSpec { member: 1, epoch: 2, seed: 1, parent_span: 0 };
         pool.seed(&t1).unwrap();
         pool.try_claim(&t1.file_name()).unwrap().unwrap();
-        pool.publish_result(&ResultRecord { member: 2, epoch: 5, code: 0, pid: 0, fc_crc: 0 })
-            .unwrap();
+        pool.publish_result(&ResultRecord {
+            member: 2,
+            epoch: 5,
+            code: 0,
+            pid: 0,
+            fc_crc: 0,
+            reason: 0,
+        })
+        .unwrap();
         let epochs = pool.epochs().unwrap();
         assert_eq!(epochs.get(&0), Some(&3));
         assert_eq!(epochs.get(&1), Some(&2));
@@ -919,7 +1119,7 @@ mod tests {
     fn consume_result_is_idempotent() {
         let dir = tmpdir("consume");
         let pool = TaskPool::create(&dir, &manifest()).unwrap();
-        let r = ResultRecord { member: 3, epoch: 1, code: 0, pid: 1, fc_crc: 9 };
+        let r = ResultRecord { member: 3, epoch: 1, code: 0, pid: 1, fc_crc: 9, reason: 0 };
         pool.publish_result(&r).unwrap();
         pool.consume_result(&r).unwrap();
         pool.consume_result(&r).unwrap();

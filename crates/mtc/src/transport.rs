@@ -392,7 +392,7 @@ mod tests {
             t.renew_lease(&claimed, &Heartbeat { pid: 1, counter: 1 }).unwrap(),
             RenewAck::Ok
         );
-        let rec = ResultRecord { member: 0, epoch: 1, code: 0, pid: 1, fc_crc: 7 };
+        let rec = ResultRecord { member: 0, epoch: 1, code: 0, pid: 1, fc_crc: 7, reason: 0 };
         assert_eq!(t.publish(&rec, None).unwrap(), RenewAck::Ok);
         t.release(&claimed).unwrap();
         let scan = t.pool().scan().unwrap();

@@ -167,6 +167,34 @@ impl DiskTripleBuffer {
         }
     }
 
+    /// Garbage collection: remove live-slot files that the safe file
+    /// supersedes — a live frame whose version is at or below the safe
+    /// frame's, or a torn live frame that no longer decodes. Returns
+    /// the number of files removed. The safe file itself is never
+    /// touched, and with no valid safe frame nothing is pruned (the
+    /// live slots may be the only recoverable state). Intended for
+    /// completed or parked runs; never call it under a live writer.
+    pub fn prune_superseded(&self) -> io::Result<usize> {
+        let _guard = self.write_lock.lock();
+        let Some((_, safe_version)) = self.read_safe()? else {
+            return Ok(0);
+        };
+        let mut removed = 0;
+        for name in Self::LIVE {
+            let path = self.dir.join(name);
+            let superseded = match fs::read(&path) {
+                Ok(raw) => Self::decode(&raw).is_none_or(|(_, v)| v <= safe_version),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            if superseded {
+                fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
     /// Crash recovery: scan all three files and return the
     /// highest-versioned frame that validates against its checksum.
     /// A torn file (writer killed mid-write) simply loses the vote —
@@ -290,6 +318,35 @@ mod tests {
         let b = fs::read(dir.join(DiskTripleBuffer::LIVE[1])).unwrap();
         assert_eq!(DiskTripleBuffer::decode(&a).unwrap().1, 2);
         assert_eq!(DiskTripleBuffer::decode(&b).unwrap().1, 1);
+    }
+
+    #[test]
+    fn disk_prune_removes_only_superseded_live_slots() {
+        let dir = disk_dir("gc");
+        let buf = DiskTripleBuffer::create(&dir).unwrap();
+        // Nothing published: nothing to prune (and nothing to keep).
+        assert_eq!(buf.prune_superseded().unwrap(), 0);
+        buf.publish(b"one", 1).unwrap();
+        buf.publish(b"two", 2).unwrap();
+        // Both live slots are at or below the safe version (2): pruned.
+        assert_eq!(buf.prune_superseded().unwrap(), 2);
+        assert!(!dir.join(DiskTripleBuffer::LIVE[0]).exists());
+        assert!(!dir.join(DiskTripleBuffer::LIVE[1]).exists());
+        let (payload, ver) = buf.read_safe().unwrap().unwrap();
+        assert_eq!((payload.as_slice(), ver), (b"two".as_slice(), 2));
+        // Recovery still works from the safe file alone.
+        assert_eq!(buf.recover().unwrap().unwrap().1, 2);
+        // A live frame *newer* than the safe file (crash between the
+        // live write and the safe rename) must survive the sweep.
+        let frame = DiskTripleBuffer::encode(b"three", 3);
+        fs::write(dir.join(DiskTripleBuffer::LIVE[1]), &frame).unwrap();
+        assert_eq!(buf.prune_superseded().unwrap(), 0);
+        assert_eq!(buf.recover().unwrap().unwrap().1, 3);
+        // A torn live slot is superseded garbage and goes.
+        fs::write(dir.join(DiskTripleBuffer::LIVE[0]), b"torn").unwrap();
+        assert_eq!(buf.prune_superseded().unwrap(), 1);
+        assert!(dir.join(DiskTripleBuffer::LIVE[1]).exists());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -31,6 +31,7 @@ use esse_core::convergence::{similarity, ConvergenceTest};
 use esse_core::model::{ForecastError, ForecastModel};
 use esse_core::perturb::{PerturbConfig, PerturbationGenerator};
 use esse_core::subspace::{make_estimator, ErrorSubspace, SubspaceStrategy, UpdateKind};
+use esse_core::validate::{ForecastValidator, Verdict};
 use esse_core::{ConfigError, EsseError};
 use esse_linalg::LinalgCtx;
 use esse_obs::registry::{Counter, Gauge, Histogram, MetricsRegistry};
@@ -422,6 +423,9 @@ struct MemberBook {
     spec_attempt: Vec<Option<u32>>,
     /// When the most recent attempt started running (straggler scan).
     running_since: Vec<Option<Duration>>,
+    /// The member was quarantined by the semantic validator at least
+    /// once (a later successful attempt makes it a *replaced* member).
+    quarantined: Vec<bool>,
 }
 
 impl MemberBook {
@@ -432,6 +436,7 @@ impl MemberBook {
         self.speculated.push(false);
         self.spec_attempt.push(None);
         self.running_since.push(None);
+        self.quarantined.push(false);
     }
 
     fn push_resumed(&mut self) {
@@ -441,6 +446,7 @@ impl MemberBook {
         self.speculated.push(false);
         self.spec_attempt.push(None);
         self.running_since.push(None);
+        self.quarantined.push(false);
     }
 }
 
@@ -462,6 +468,8 @@ struct Meters {
     spec_wins: Counter,
     spec_losses: Counter,
     workers_died: Counter,
+    quarantined: Counter,
+    replaced: Counter,
     member_runtime: Histogram,
     /// Incremental rank-block folds of the subspace lane.
     subspace_update: Histogram,
@@ -490,6 +498,8 @@ impl Meters {
             spec_wins: reg.counter("esse_speculative_wins_total"),
             spec_losses: reg.counter("esse_speculative_losses_total"),
             workers_died: reg.counter("esse_workers_died_total"),
+            quarantined: reg.counter("esse_quarantined_total"),
+            replaced: reg.counter("esse_replaced_total"),
             member_runtime: reg.histogram("esse_member_runtime_ns"),
             subspace_update: reg.histogram("esse_subspace_update_ns"),
             subspace_refresh: reg.histogram("esse_subspace_refresh_ns"),
@@ -511,12 +521,27 @@ pub struct MtcEsse<'m, M: ForecastModel> {
     metrics: Option<&'m MetricsRegistry>,
     /// Durable run journal (none unless [`MtcEsse::with_checkpoint`]).
     checkpoint: Option<&'m Checkpoint>,
+    /// Semantic ingest gate (none unless [`MtcEsse::with_validator`]).
+    validator: Option<ForecastValidator>,
 }
 
 impl<'m, M: ForecastModel> MtcEsse<'m, M> {
     /// New engine.
     pub fn new(model: &'m M, config: MtcConfig) -> Self {
-        MtcEsse { model, config, recorder: &NULL, metrics: None, checkpoint: None }
+        MtcEsse { model, config, recorder: &NULL, metrics: None, checkpoint: None, validator: None }
+    }
+
+    /// Attach a semantic forecast validator. Every arriving payload
+    /// must then pass the validator before it enters the spread matrix:
+    /// a quarantined member is journalled with its reason code,
+    /// replaced under the retry budget (fresh attempt index, same
+    /// member), and — only when the budget is exhausted — reported in
+    /// the [`RunHealth::Degraded`] quarantine breakdown. Accepted
+    /// members feed the validator's decided-prefix statistics for the
+    /// ensemble-relative outlier test.
+    pub fn with_validator(mut self, validator: ForecastValidator) -> Self {
+        self.validator = Some(validator);
+        self
     }
 
     /// Attach a trace recorder. Workers then emit one `task`/`member`
@@ -571,6 +596,7 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
         let met = met.as_ref();
         let retry = &cfg.retry;
         let faults = cfg.faults.as_ref();
+        let mut validator = self.validator.clone();
         let ck = self.checkpoint;
         // The on-disk safe/live covariance files live beside the
         // journal; every published subspace goes through them so a
@@ -707,12 +733,29 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                                         _ => {
                                             let x0 = gen.perturb(mean0, id);
                                             let seed = gen.forecast_seed(id);
-                                            model.forecast(
+                                            let mut r = model.forecast(
                                                 &x0,
                                                 cfg.start_time,
                                                 cfg.duration,
                                                 Some(seed),
-                                            )
+                                            );
+                                            // Semantic payload corruption:
+                                            // the forecast "succeeds" but
+                                            // its bytes are wrong — only
+                                            // the ingest validator can
+                                            // catch it.
+                                            if let (Ok(xf), Some(p)) = (&mut r, faults) {
+                                                if let Some(kind) =
+                                                    p.corruption_for(id, attempt)
+                                                {
+                                                    let block =
+                                                        (xf.len() / 5).max(1);
+                                                    kind.apply(
+                                                        p.seed, id as u64, block, xf,
+                                                    );
+                                                }
+                                            }
+                                            r
                                         }
                                     }
                                 };
@@ -785,6 +828,11 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
             );
             for (id, result) in init.resume {
                 acc.add_member(*id, result);
+                // Resumed members were validated before they were
+                // journalled; they re-arm the decided-prefix stats.
+                if let Some(v) = validator.as_mut() {
+                    v.note_decided(*id as u64, result);
+                }
             }
             let mut conv = match init.replay {
                 Some(r) => ConvergenceTest::restore(cfg.tolerance, &r.rho_history),
@@ -794,6 +842,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
             let mut converged = false;
             let mut members_failed = 0usize;
             let mut members_wasted = 0usize;
+            // Members quarantined and never healed (replacement budget
+            // exhausted) — reported separately from `members_failed`.
+            let mut members_quarantined_lost = 0usize;
             let mut svd_rounds = 0usize;
             let mut svd_version: u64 = init.replay.map_or(0, |r| r.svd_version);
             let mut stage_idx = 0usize;
@@ -1054,6 +1105,108 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                 rec.finished_at = Some(finished);
                 rec.state = TaskState::Done;
                 match res {
+                    Ok(xf)
+                        if !timed_out
+                            && !validator
+                                .as_ref()
+                                .map_or(Verdict::Pass, |v| v.validate_member(id as u64, &xf))
+                                .is_pass() =>
+                    {
+                        // Semantic quarantine: the attempt "succeeded"
+                        // but its payload is wrong — it never enters
+                        // the spread matrix.
+                        let Verdict::Quarantine(reason) = validator
+                            .as_ref()
+                            .map_or(Verdict::Pass, |v| v.validate_member(id as u64, &xf))
+                        else {
+                            unreachable!("guard matched a quarantine verdict")
+                        };
+                        runtime_sum += runtime;
+                        runtime_count += 1;
+                        freport.quarantined += 1;
+                        book.quarantined[id] = true;
+                        if let Some(m) = met {
+                            m.quarantined.inc();
+                        }
+                        if obs.enabled() {
+                            obs.instant_at(
+                                ns(now),
+                                Lane::Coordinator,
+                                "fault",
+                                "member_quarantined",
+                                vec![
+                                    ("member", id.into()),
+                                    ("reason", u64::from(reason.code()).into()),
+                                ],
+                            );
+                        }
+                        if converged || deadline_expired {
+                            // The member would have been wasted anyway;
+                            // the corrupt payload is simply never spared.
+                            book.resolved[id] = true;
+                            rec.outcome = Some(TaskOutcome::Wasted);
+                            members_wasted += 1;
+                        } else {
+                            // The quarantine is a journalled decision:
+                            // resume replays it bit-for-bit.
+                            if let Some(ck) = ck {
+                                ck.record_quarantined(id, reason.code())?;
+                            }
+                            if book.inflight[id] > 0 {
+                                // A twin attempt may still deliver a
+                                // clean copy of this member.
+                                rec.state = TaskState::Running;
+                            } else if book.attempts[id] < retry.max_attempts {
+                                // Self-healing: seed a replacement
+                                // attempt under the retry budget.
+                                let prior = book.attempts[id];
+                                let delay = retry.backoff_delay(prior, &mut jitter_rng);
+                                let attempt_next = book.attempts[id];
+                                book.attempts[id] += 1;
+                                retry_queue.push((now + delay, id, attempt_next));
+                                freport.retries += 1;
+                                if let Some(m) = met {
+                                    m.retries.inc();
+                                }
+                                rec.state = TaskState::Pending;
+                                rec.outcome = None;
+                                if obs.enabled() {
+                                    obs.instant_at(
+                                        ns(now),
+                                        Lane::Coordinator,
+                                        "fault",
+                                        "replacement_scheduled",
+                                        vec![
+                                            ("member", id.into()),
+                                            ("attempt", u64::from(attempt_next).into()),
+                                        ],
+                                    );
+                                }
+                            } else {
+                                book.resolved[id] = true;
+                                rec.outcome = Some(TaskOutcome::Failed(format!(
+                                    "quarantined: {}",
+                                    reason.describe()
+                                )));
+                                if let Some(ck) = ck {
+                                    ck.record_failed(id, book.attempts[id] as i32)?;
+                                }
+                                members_quarantined_lost += 1;
+                                if obs.enabled() {
+                                    obs.instant_at(
+                                        ns(now),
+                                        Lane::Coordinator,
+                                        "fault",
+                                        "member_lost_quarantine",
+                                        vec![
+                                            ("member", id.into()),
+                                            ("attempts", u64::from(book.attempts[id]).into()),
+                                        ],
+                                    );
+                                }
+                            }
+                        }
+                    }
                     Ok(xf) if !timed_out => {
                         runtime_sum += runtime;
                         runtime_count += 1;
@@ -1106,6 +1259,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                                     ck.record_member(id, book.attempts[id], &xf)?;
                                 }
                                 acc.add_member(id, &xf);
+                                if let Some(v) = validator.as_mut() {
+                                    v.note_decided(id as u64, &xf);
+                                }
                             } else {
                                 rec.outcome = Some(TaskOutcome::Wasted);
                                 members_wasted += 1;
@@ -1116,6 +1272,9 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                                 ck.record_member(id, book.attempts[id], &xf)?;
                             }
                             acc.add_member(id, &xf);
+                            if let Some(v) = validator.as_mut() {
+                                v.note_decided(id as u64, &xf);
+                            }
                             since_svd += 1;
                         }
                     }
@@ -1401,12 +1560,24 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                 .or(previous)
                 .ok_or(EsseError::NotEnoughMembers { have: acc.count(), need: 2 })?;
 
+            // Quarantined members that a later attempt healed.
+            freport.replaced = (0..records.len())
+                .filter(|&i| {
+                    book.quarantined[i] && matches!(records[i].outcome, Some(TaskOutcome::Success))
+                })
+                .count();
+            if let Some(m) = met {
+                m.replaced.add(freport.replaced as u64);
+            }
             // Statistical health: permanent losses (and deadline
-            // truncation) are reported explicitly, never silently.
+            // truncation) are reported explicitly, never silently. A
+            // quarantined member whose replacement budget ran out is
+            // its own degradation class, distinct from crash-shaped
+            // losses.
             let truncated = deadline_expired && !converged;
             let lost =
                 members_failed + if truncated { members_cancelled + members_wasted } else { 0 };
-            let health = if lost == 0 {
+            let health = if lost == 0 && members_quarantined_lost == 0 {
                 RunHealth::Full
             } else {
                 let planned = records.len().max(1);
@@ -1421,10 +1592,20 @@ impl<'m, M: ForecastModel> MtcEsse<'m, M> {
                         Lane::Coordinator,
                         "workflow",
                         "degraded",
-                        vec![("coverage", coverage.into()), ("lost", lost.into())],
+                        vec![
+                            ("coverage", coverage.into()),
+                            ("lost", lost.into()),
+                            ("quarantined", members_quarantined_lost.into()),
+                            ("replaced", freport.replaced.into()),
+                        ],
                     );
                 }
-                RunHealth::Degraded { coverage, lost_members: lost }
+                RunHealth::Degraded {
+                    coverage,
+                    lost_members: lost,
+                    quarantined: members_quarantined_lost,
+                    replaced: freport.replaced,
+                }
             };
             freport.workers_died =
                 cfg.workers.max(1) - workers_alive.load(Ordering::SeqCst).min(cfg.workers.max(1));
@@ -1478,6 +1659,59 @@ mod tests {
             max_rank: 6,
             svd_stride: 8,
             ..Default::default()
+        }
+    }
+
+    fn validator6(mean: &[f64]) -> ForecastValidator {
+        use esse_core::validate::{ValidatorConfig, VarBounds};
+        ForecastValidator::new(
+            vec![VarBounds { name: "x", range: 0..6, lo: -1e3, hi: 1e3 }],
+            mean.to_vec(),
+            ValidatorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn quarantined_members_are_replaced_under_the_retry_budget() {
+        let (model, prior, mean) = setup();
+        let mut cfg = config(3);
+        cfg.faults = Some(FaultPlan::seeded(11).with_corruption(0.3));
+        cfg.retry = RetryPolicy::retries(6);
+        // Drain the whole plan so replacements are never cancelled by
+        // early convergence — healing is what is under test here.
+        cfg.tolerance = 1e-12;
+        cfg.schedule = EnsembleSchedule::new(24, 24);
+        cfg.pool_factor = 1.0;
+        let engine = MtcEsse::new(&model, cfg).with_validator(validator6(&mean));
+        let out = engine.run(RunInit::new(&mean, &prior)).unwrap();
+        assert!(out.faults.quarantined > 0, "no corruption was ever caught");
+        assert!(out.faults.replaced > 0, "no quarantined member was healed");
+        assert!(out.faults.replaced <= out.faults.quarantined);
+        // Every caught member healed within the budget: full health.
+        assert_eq!(out.health, RunHealth::Full, "faults: {:?}", out.faults);
+        assert_eq!(out.members_failed, 0);
+    }
+
+    #[test]
+    fn exhausted_replacement_budget_lands_degraded_with_a_quarantine_breakdown() {
+        let (model, prior, mean) = setup();
+        let mut cfg = config(2);
+        cfg.faults = Some(FaultPlan::seeded(3).with_corruption(0.45));
+        cfg.retry = RetryPolicy::disabled();
+        cfg.tolerance = 1e-12; // never converge: drain the full plan
+        cfg.schedule = EnsembleSchedule::new(16, 16);
+        cfg.pool_factor = 1.0;
+        let engine = MtcEsse::new(&model, cfg).with_validator(validator6(&mean));
+        let out = engine.run(RunInit::new(&mean, &prior)).unwrap();
+        match out.health {
+            RunHealth::Degraded { quarantined, replaced, lost_members, coverage } => {
+                assert!(quarantined > 0, "faults: {:?}", out.faults);
+                assert_eq!(replaced, 0, "no retries were allowed");
+                assert_eq!(lost_members, 0, "quarantine is not a crash-shaped loss");
+                assert!(coverage < 1.0);
+                assert!(out.faults.quarantined >= quarantined);
+            }
+            h => panic!("expected a degraded quarantine verdict, got {h:?}"),
         }
     }
 
@@ -1876,7 +2110,7 @@ mod tests {
         let out = MtcEsse::new(&model, cfg).run(RunInit::new(&mean, &prior)).unwrap();
         assert!(out.members_failed > 0);
         match out.health {
-            RunHealth::Degraded { coverage, lost_members } => {
+            RunHealth::Degraded { coverage, lost_members, .. } => {
                 assert!(coverage < 1.0);
                 assert_eq!(lost_members, out.members_failed);
             }

@@ -56,7 +56,7 @@ fn random_schedule(seed: u64, members: u64, len: usize) -> Vec<JournalRecord> {
                 JournalRecord::EpochAdvanced { member: m, epoch }
             }
             4..=6 => JournalRecord::MemberCompleted { member: m, attempts: 1 },
-            7 => JournalRecord::MemberQuarantined { member: m },
+            7 => JournalRecord::MemberQuarantined { member: m, reason: 0 },
             8 => JournalRecord::SvdPublished { members: m + 1, version: rng >> 32, rho: 0.5 },
             _ => {
                 incarnation += 1;

@@ -327,6 +327,15 @@ impl PoolTransport for TcpTransport {
     }
 
     fn publish(&self, rec: &ResultRecord, forecast: Option<&[u8]>) -> io::Result<RenewAck> {
+        if rec.code == esse_mtc::pool::CODE_REJECTED {
+            // Self-check quarantine: the whole point is to save the
+            // upload, so only the typed record crosses the wire.
+            return match self.exchange(&Message::Rejected { rec: *rec }, &[])? {
+                Message::ResultAck => Ok(RenewAck::Ok),
+                Message::Fenced => Ok(RenewAck::Fenced),
+                other => Err(unexpected("rejected", &other)),
+            };
+        }
         let payload = forecast.unwrap_or(&[]);
         let mut extra: Vec<Message> =
             payload.chunks(DATA_CHUNK).map(|c| Message::Data { chunk: c.to_vec() }).collect();

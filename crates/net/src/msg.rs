@@ -15,6 +15,8 @@
 //!   | <----------- RenewOk / Fenced ---- |
 //!   | -- Result, Data*, ResultEnd -----> |   (forecast streamed in chunks)
 //!   | <--------- ResultAck / Fenced ---- |
+//!   | -- Rejected ---------------------> |   (self-check quarantine, no payload)
+//!   | <--------- ResultAck / Fenced ---- |
 //!   | -- Release ----------------------> |
 //!   | <------------------ ReleaseAck --- |
 //!   | -- Query ------------------------> |   (mid-task tombstone poll)
@@ -32,7 +34,8 @@ use std::fmt;
 
 /// Protocol revision; bumped on any wire-incompatible change. A
 /// coordinator rejects a `Hello` carrying any other value.
-pub const PROTO_VERSION: u32 = 1;
+/// (v2: `Result` carries the validator reason code; `Rejected` added.)
+pub const PROTO_VERSION: u32 = 2;
 
 /// Preferred chunk size for `Data` frames of a result stream.
 pub const DATA_CHUNK: usize = 256 * 1024;
@@ -99,6 +102,14 @@ pub enum Message {
         /// Total forecast payload bytes that will be streamed (0 for
         /// failure results, which carry no forecast).
         payload_len: u64,
+    },
+    /// A worker self-check rejection: the forecast failed semantic
+    /// validation *before* publish, so no payload is streamed — only
+    /// the typed record (`code == CODE_REJECTED`, `reason` set) is
+    /// published, saving the upload.
+    Rejected {
+        /// The rejection record to publish.
+        rec: ResultRecord,
     },
     /// One chunk of a result payload.
     Data {
@@ -198,6 +209,7 @@ const T_QUERY: u8 = 0x12;
 const T_RUN_INFO: u8 = 0x13;
 const T_TRACE: u8 = 0x14;
 const T_TRACE_ACK: u8 = 0x15;
+const T_REJECTED: u8 = 0x16;
 
 struct Reader<'a> {
     buf: &'a [u8],
@@ -274,6 +286,26 @@ fn get_spec(r: &mut Reader<'_>) -> Result<TaskSpec, MsgError> {
     Ok(TaskSpec { member: r.u64()?, epoch: r.u32()?, seed: r.u64()?, parent_span: r.u64()? })
 }
 
+fn put_rec(out: &mut Vec<u8>, rec: &ResultRecord) {
+    out.extend_from_slice(&rec.member.to_le_bytes());
+    out.extend_from_slice(&rec.epoch.to_le_bytes());
+    out.extend_from_slice(&rec.code.to_le_bytes());
+    out.extend_from_slice(&rec.pid.to_le_bytes());
+    out.extend_from_slice(&rec.fc_crc.to_le_bytes());
+    out.extend_from_slice(&rec.reason.to_le_bytes());
+}
+
+fn get_rec(r: &mut Reader<'_>) -> Result<ResultRecord, MsgError> {
+    Ok(ResultRecord {
+        member: r.u64()?,
+        epoch: r.u32()?,
+        code: r.i32()?,
+        pid: r.u32()?,
+        fc_crc: r.u32()?,
+        reason: r.u32()?,
+    })
+}
+
 impl Message {
     /// Encode into a frame body (type byte first).
     pub fn encode(&self) -> Vec<u8> {
@@ -320,12 +352,12 @@ impl Message {
             Message::Fenced => out.push(T_FENCED),
             Message::Result { rec, payload_len } => {
                 out.push(T_RESULT);
-                out.extend_from_slice(&rec.member.to_le_bytes());
-                out.extend_from_slice(&rec.epoch.to_le_bytes());
-                out.extend_from_slice(&rec.code.to_le_bytes());
-                out.extend_from_slice(&rec.pid.to_le_bytes());
-                out.extend_from_slice(&rec.fc_crc.to_le_bytes());
+                put_rec(&mut out, rec);
                 out.extend_from_slice(&payload_len.to_le_bytes());
+            }
+            Message::Rejected { rec } => {
+                out.push(T_REJECTED);
+                put_rec(&mut out, rec);
             }
             Message::Data { chunk } => {
                 out.push(T_DATA);
@@ -402,16 +434,8 @@ impl Message {
             },
             T_RENEW_OK => Message::RenewOk,
             T_FENCED => Message::Fenced,
-            T_RESULT => Message::Result {
-                rec: ResultRecord {
-                    member: r.u64()?,
-                    epoch: r.u32()?,
-                    code: r.i32()?,
-                    pid: r.u32()?,
-                    fc_crc: r.u32()?,
-                },
-                payload_len: r.u64()?,
-            },
+            T_RESULT => Message::Result { rec: get_rec(&mut r)?, payload_len: r.u64()? },
+            T_REJECTED => Message::Rejected { rec: get_rec(&mut r)? },
             T_DATA => Message::Data { chunk: r.blob()? },
             T_RESULT_END => Message::ResultEnd,
             T_RESULT_ACK => Message::ResultAck,
@@ -442,6 +466,7 @@ impl Message {
             Message::RenewOk => "renew_ok",
             Message::Fenced => "fenced",
             Message::Result { .. } => "result",
+            Message::Rejected { .. } => "rejected",
             Message::Data { .. } => "data",
             Message::ResultEnd => "result_end",
             Message::ResultAck => "result_ack",
@@ -488,8 +513,25 @@ mod tests {
             Message::RenewOk,
             Message::Fenced,
             Message::Result {
-                rec: ResultRecord { member: 3, epoch: 2, code: 0, pid: 4242, fc_crc: 0xFEED },
+                rec: ResultRecord {
+                    member: 3,
+                    epoch: 2,
+                    code: 0,
+                    pid: 4242,
+                    fc_crc: 0xFEED,
+                    reason: 0,
+                },
                 payload_len: 2400,
+            },
+            Message::Rejected {
+                rec: ResultRecord {
+                    member: 4,
+                    epoch: 1,
+                    code: esse_mtc::pool::CODE_REJECTED,
+                    pid: 4242,
+                    fc_crc: 0,
+                    reason: 1,
+                },
             },
             Message::Data { chunk: vec![0xAB; 64] },
             Message::ResultEnd,
@@ -539,7 +581,7 @@ mod tests {
     #[test]
     fn negative_exit_codes_survive_the_wire() {
         let msg = Message::Result {
-            rec: ResultRecord { member: 0, epoch: 1, code: -9, pid: 1, fc_crc: 0 },
+            rec: ResultRecord { member: 0, epoch: 1, code: -9, pid: 1, fc_crc: 0, reason: 0 },
             payload_len: 0,
         };
         assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);

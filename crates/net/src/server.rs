@@ -464,6 +464,24 @@ fn serve_connection(
                     Message::Fenced
                 }
             }
+            Message::Rejected { rec } => {
+                // A self-check quarantine: no payload to stage, just the
+                // typed record. Published even when fenced, so the
+                // master's epoch check handles staleness uniformly.
+                let spec =
+                    TaskSpec { member: rec.member, epoch: rec.epoch, seed: 0, parent_span: 0 };
+                let current = claim_is_current(&cfg.pool, &spec);
+                cfg.pool.publish_result(&rec)?;
+                if current {
+                    cfg.metrics.results.inc();
+                    net_instant(cfg, "net_rejected", rec.member);
+                    Message::ResultAck
+                } else {
+                    cfg.metrics.fenced.inc();
+                    net_instant(cfg, "net_fenced", rec.member);
+                    Message::Fenced
+                }
+            }
             Message::Release { spec } => {
                 cfg.pool.release_claim(&spec)?;
                 Message::ReleaseAck

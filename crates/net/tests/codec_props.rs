@@ -173,6 +173,7 @@ fn random_message(rng: &mut Rng) -> Message {
                 code: rng.next() as i32,
                 pid: rng.next() as u32,
                 fc_crc: rng.next() as u32,
+                reason: rng.next() as u32,
             },
             payload_len: rng.next(),
         },

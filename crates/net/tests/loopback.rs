@@ -115,7 +115,7 @@ fn claim_renew_publish_release_full_task_lifecycle() {
 
     // Payload large enough to exercise multi-chunk streaming.
     let payload: Vec<u8> = (0..600_000usize).map(|i| (i * 31 % 251) as u8).collect();
-    let rec = ResultRecord { member: 0, epoch: 1, code: 0, pid: 7, fc_crc: 0xABCD };
+    let rec = ResultRecord { member: 0, epoch: 1, code: 0, pid: 7, fc_crc: 0xABCD, reason: 0 };
     assert_eq!(t.publish(&rec, Some(&payload)).unwrap(), RenewAck::Ok);
     t.release(&claimed).unwrap();
 
@@ -166,7 +166,7 @@ fn fenced_claim_gets_advisory_fenced_and_record_still_publishes() {
     // The zombie's late result: advisory Fenced, forecast NOT staged,
     // but the record still lands in results/ for the coordinator's
     // authoritative epoch check to reject.
-    let rec = ResultRecord { member: 4, epoch: 1, code: 0, pid: 7, fc_crc: 1 };
+    let rec = ResultRecord { member: 4, epoch: 1, code: 0, pid: 7, fc_crc: 1, reason: 0 };
     assert_eq!(t.publish(&rec, Some(b"stale-forecast")).unwrap(), RenewAck::Fenced);
     assert!(!fx.dir.join("fc_4.vec").exists(), "stale forecast must not be staged");
     assert_eq!(fx.pool.scan().unwrap().results, vec![rec]);

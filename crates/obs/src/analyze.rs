@@ -660,6 +660,14 @@ pub struct PoolEvents {
     pub results_ingested: u64,
     /// Local fleet workers (re)spawned by the coordinator.
     pub workers_spawned: u64,
+    /// Members quarantined by the semantic ingestion gate (coordinator
+    /// `fault/member_quarantined` instants).
+    pub members_quarantined: u64,
+    /// Replacement tasks scheduled for quarantined members.
+    pub replacements_scheduled: u64,
+    /// Worker self-check rejections (`fault/self_reject` instants from
+    /// merged worker lanes — the upload-saving REJECTED publishes).
+    pub self_rejections: u64,
 }
 
 impl PoolEvents {
@@ -672,6 +680,9 @@ impl PoolEvents {
             + self.fencing_rejected
             + self.results_ingested
             + self.workers_spawned
+            + self.members_quarantined
+            + self.replacements_scheduled
+            + self.self_rejections
             > 0
     }
 }
@@ -719,16 +730,21 @@ fn net_events(events: &[LoadedEvent]) -> NetEvents {
 fn pool_events(events: &[LoadedEvent]) -> PoolEvents {
     let mut p = PoolEvents::default();
     for e in events {
-        if e.kind != LoadedKind::Instant || e.cat != "pool" {
+        if e.kind != LoadedKind::Instant {
             continue;
         }
-        match e.name.as_str() {
-            "task_seeded" => p.tasks_seeded += 1,
-            "lease_granted" => p.leases_granted += 1,
-            "lease_expired" => p.leases_expired += 1,
-            "fencing_rejected" => p.fencing_rejected += 1,
-            "result_ingested" => p.results_ingested += 1,
-            "worker_spawned" => p.workers_spawned += 1,
+        match (e.cat.as_str(), e.name.as_str()) {
+            ("pool", "task_seeded") => p.tasks_seeded += 1,
+            ("pool", "lease_granted") => p.leases_granted += 1,
+            ("pool", "lease_expired") => p.leases_expired += 1,
+            ("pool", "fencing_rejected") => p.fencing_rejected += 1,
+            ("pool", "result_ingested") => p.results_ingested += 1,
+            ("pool", "worker_spawned") => p.workers_spawned += 1,
+            ("pool", "replacement_scheduled") => p.replacements_scheduled += 1,
+            // The semantic-fault lane: coordinator quarantines and
+            // (merged from worker lanes) worker self-check rejections.
+            ("fault", "member_quarantined") => p.members_quarantined += 1,
+            ("fault", "self_reject") => p.self_rejections += 1,
             _ => {}
         }
     }
@@ -1217,6 +1233,11 @@ mod tests {
         pool_instant(5, "fencing_rejected", 0);
         pool_instant(6, "result_ingested", 0);
         pool_instant(7, "result_ingested", 1);
+        // The semantic-fault lane: a coordinator quarantine with its
+        // replacement, and a worker-side self-check rejection.
+        rec.instant_at(8, Lane::Coordinator, "fault", "member_quarantined", vec![]);
+        pool_instant(9, "replacement_scheduled", 1);
+        rec.instant_at(10, Lane::Worker(0), "fault", "self_reject", vec![]);
         let a = LoadedTrace::from_trace(&rec.drain()).analyze();
         assert!(a.pool.any());
         assert_eq!(a.pool.tasks_seeded, 3);
@@ -1225,6 +1246,9 @@ mod tests {
         assert_eq!(a.pool.fencing_rejected, 1);
         assert_eq!(a.pool.results_ingested, 2);
         assert_eq!(a.pool.workers_spawned, 0);
+        assert_eq!(a.pool.members_quarantined, 1);
+        assert_eq!(a.pool.replacements_scheduled, 1);
+        assert_eq!(a.pool.self_rejections, 1);
         // A pool-free trace reports nothing.
         assert!(!paired_trace().analyze().pool.any());
     }

@@ -79,13 +79,14 @@ use esse::core::convergence::{similarity, ConvergenceTest};
 use esse::core::covariance::SpreadAccumulator;
 use esse::core::perturb::{PerturbConfig, PerturbationGenerator};
 use esse::core::subspace::{make_estimator, ErrorSubspace, SubspaceEstimator, SubspaceStrategy};
+use esse::core::validate::{finite_stat, ForecastValidator, Reason, ValidatorConfig, Verdict};
 use esse::fileio;
 use esse::linalg::LinalgCtx;
 use esse::mtc::bookkeeping::{ExitStatus, StatusDir};
 use esse::mtc::journal::{
     config_hash, encode_subspace_blob, Journal, JournalRecord, JournalState, SvdRound,
 };
-use esse::mtc::pool::{LeaseState, LeaseWatch, PoolManifest, TaskPool, TaskSpec};
+use esse::mtc::pool::{LeaseState, LeaseWatch, PoolManifest, TaskPool, TaskSpec, CODE_REJECTED};
 use esse::mtc::{DiskTripleBuffer, LockError, RetryPolicy, WorkdirLock};
 use esse_obs::event::Lane;
 use esse_obs::recorder::{Recorder, RecorderExt, NULL};
@@ -104,7 +105,8 @@ const USAGE: &str = "esse_master --workdir DIR --domain monterey:NX,NY,NZ --hour
                      [--initial N] [--max NMAX] [--tolerance T] [--workers C] \
                      [--lease-ms MS] [--task-attempts A] [--requeue-budget B] \
                      [--subspace full|incremental[:REFRESH,TOL]] \
-                     [--listen ADDR] [--resume | --force]";
+                     [--listen ADDR] [--resume | --force]\n\
+                     esse_master --workdir DIR --gc [--gc-keep N]";
 
 /// Parse the `--subspace` flag: `full` (the bit-identical default),
 /// `incremental` (rank-updating tracker with default drift control), or
@@ -131,6 +133,13 @@ const JOURNAL: &str = "run.journal";
 const QUARANTINE: &str = "quarantine";
 /// Exit code journalled when a member exhausts its lease-requeue budget.
 const CODE_LEASE_BUDGET: i32 = -9;
+/// Exit code journalled when a member keeps failing semantic validation
+/// past the requeue budget (replacements could not heal it).
+const CODE_QUARANTINE_BUDGET: i32 = -10;
+/// Exit code of a run parked because the journal itself could not be
+/// appended (ENOSPC, failed fsync): the run stops cleanly and waits for
+/// `--resume` on a healthy disk.
+const EXIT_JOURNAL_PARKED: i32 = 4;
 
 /// The workdir journal plus the crash-injection counter used by the
 /// recovery harness (`--crash-after-appends N` aborts the process the
@@ -144,7 +153,21 @@ struct MasterJournal {
 
 impl MasterJournal {
     fn append(&self, rec: &JournalRecord) {
-        self.journal.append(rec).expect("journal append");
+        if let Err(e) = self.journal.append(rec) {
+            // The journal is the run's source of truth: a failed append
+            // (disk full, failed fsync — or the `--fail-appends`
+            // injection) means no further state transition can be made
+            // durable. Park the run cleanly instead of panicking: the
+            // already-durable prefix replays under `--resume`, workers
+            // ride out the coordinator outage on their parking grace,
+            // and the distinct exit code tells supervisors this is a
+            // storage fault, not a config error or a crash.
+            eprintln!(
+                "esse_master: journal append failed ({e}); \
+                 parking run — resume with --resume once storage recovers"
+            );
+            std::process::exit(EXIT_JOURNAL_PARKED);
+        }
         self.appends.set(self.appends.get() + 1);
         if self.crash_after.is_some_and(|n| self.appends.get() >= n) {
             // No destructors, no buffered-writer flush: the closest a
@@ -160,18 +183,25 @@ fn sibling(name: &str) -> PathBuf {
     exe
 }
 
-/// Move a forecast file that failed checksum validation into the
-/// quarantine corner and journal the quarantine, so the member is
-/// requeued and the torn bytes are never ingested — but remain on disk
-/// for post-mortem inspection.
-fn quarantine_member(workdir: &Path, journal: &MasterJournal, member: usize, why: &str) {
+/// Move a forecast file that failed validation (checksum *or* the
+/// semantic gate) into the quarantine corner and journal the decision
+/// with its reason code, so the member is requeued, a resume replays
+/// the same verdict bit-for-bit, and the offending bytes are never
+/// ingested — but remain on disk for post-mortem inspection.
+fn quarantine_member(
+    workdir: &Path,
+    journal: &MasterJournal,
+    member: usize,
+    reason: u32,
+    why: &str,
+) {
     let fc = workdir.join(files::fc(member));
     let qdir = workdir.join(QUARANTINE);
     fs::create_dir_all(&qdir).expect("create quarantine dir");
     if fc.exists() {
         fs::rename(&fc, qdir.join(files::fc(member))).expect("quarantine rename");
     }
-    journal.append(&JournalRecord::MemberQuarantined { member: member as u64 });
+    journal.append(&JournalRecord::MemberQuarantined { member: member as u64, reason });
     eprintln!("esse_master: quarantined member {member}: {why}");
 }
 
@@ -242,7 +272,10 @@ fn subspace_over(
 fn converged_members_from(rounds: &[SvdRound], tolerance: f64) -> Option<u64> {
     let mut t = ConvergenceTest::new(tolerance);
     for r in rounds {
-        if r.rho.is_finite() && t.check(r.rho) {
+        // The validator is the one ingestion gate, for derived scalars
+        // too: a journalled NaN rho (coordinator died between appends)
+        // never advances the convergence test.
+        if finite_stat(r.rho).is_pass() && t.check(r.rho) {
             return Some(r.members);
         }
     }
@@ -311,10 +344,54 @@ fn spawn_local_worker(workdir: &Path, slot: usize) -> Option<Child> {
     }
 }
 
+/// `--gc` mode: prune the fenced-result history, consumed trace
+/// sidecars and superseded covariance blobs of a completed (or parked)
+/// run, keeping the newest `keep` fenced records for post-mortems.
+/// Takes the workdir lock, so it can never race a live coordinator —
+/// and it never touches records under an active lease, live results,
+/// or anything a `--resume` would need.
+fn run_gc(workdir: &Path, keep: usize) {
+    let _lock = match WorkdirLock::acquire(workdir) {
+        Ok(lock) => lock,
+        Err(LockError::Held { pid }) => {
+            eprintln!(
+                "esse_master: refusing to gc {}: a master is running (pid {})",
+                workdir.display(),
+                pid.map_or_else(|| "unknown".into(), |p| p.to_string())
+            );
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("esse_master: cannot acquire master.lock for gc: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (pool, _manifest) = match TaskPool::open(workdir) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("esse_master: no task pool under {}: {e}", workdir.display());
+            std::process::exit(2);
+        }
+    };
+    let report = pool.gc(keep).expect("pool gc");
+    let blobs = DiskTripleBuffer::create(workdir)
+        .and_then(|b| b.prune_superseded())
+        .expect("prune covariance blobs");
+    println!(
+        "esse_master: gc removed {} fenced result(s), {} trace sidecar(s), \
+         {} superseded covariance blob(s) (kept newest {keep})",
+        report.stale_results, report.trace_sidecars, blobs
+    );
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = cli::parse_args(&argv);
     let workdir = PathBuf::from(cli::require(&args, "workdir", USAGE));
+    if args.contains_key("gc") {
+        run_gc(&workdir, cli::get_or(&args, "gc-keep", 4usize));
+        return;
+    }
     let domain = cli::require(&args, "domain", USAGE).to_string();
     let hours: f64 = cli::get_or(&args, "hours", 6.0);
     let initial: usize = cli::get_or(&args, "initial", 8);
@@ -442,6 +519,12 @@ fn main() {
         (journal, JournalState::replay(&[]))
     };
     let journal = MasterJournal { journal, appends: Cell::new(0), crash_after };
+    if let Some(n) = args.get("fail-appends").and_then(|v| v.parse().ok()) {
+        // Storage-fault injection: the N-th append of this incarnation
+        // (and everything after) errors like a full disk, driving the
+        // clean-park path above.
+        journal.journal.inject_write_error_after(n);
+    }
     if state.config_hash.is_none() {
         journal.append(&JournalRecord::RunStart { config_hash: run_hash });
     }
@@ -486,6 +569,8 @@ fn main() {
     let m_fenced = metrics.counter("esse_pool_fencing_rejected_total");
     let m_seeded = metrics.counter("esse_pool_tasks_seeded_total");
     let m_ingested = metrics.counter("esse_pool_results_ingested_total");
+    let m_quarantined = metrics.counter("esse_quarantined_total");
+    let m_replaced = metrics.counter("esse_replaced_total");
     let m_batches = metrics.counter("esse_fleet_trace_batches_total");
     let m_rejected = metrics.counter("esse_fleet_trace_batches_rejected_total");
     let m_merged = metrics.counter("esse_fleet_spans_merged_total");
@@ -560,6 +645,19 @@ fn main() {
         }
     }
     let central = fileio::read_vector(&central_path).expect("read central");
+
+    // --- The semantic ingestion gate. The same validator the workers
+    // run before publishing is rebuilt here from the same inputs
+    // (defense in depth: never trust the wire): physical bounds come
+    // from the mean and central states widened by the prior spread, and
+    // the ensemble-outlier statistics fold over the decided prefix. ---
+    let mean_vec = fileio::read_vector(&mean_path).expect("read mean");
+    let mut validator = ForecastValidator::for_scenario(
+        &model.grid,
+        &[&mean_vec, &central],
+        &prior,
+        ValidatorConfig::default(),
+    );
 
     // --- The task pool: the contract every worker reads. ---
     let manifest = PoolManifest {
@@ -645,15 +743,31 @@ fn main() {
     // every forecast file. Corrupt or missing files are quarantined and
     // the member is requeued — never silently ingested (§4.2). ---
     let mut book = MemberBook::default();
+    // Quarantine bookkeeping: every member ever quarantined (journal
+    // history included, so resume keeps the healed/lost split honest)
+    // and the members this incarnation lost to the replacement budget.
+    let mut quarantined_members: BTreeSet<u64> =
+        state.quarantine_reasons.iter().map(|&(m, _)| m).collect();
+    let mut quarantined_lost = 0usize;
     let mut resumed = 0usize;
     if resume {
         for (m, attempts) in &state.completed {
             match fileio::read_vector(workdir.join(files::fc(*m as usize))) {
-                Ok(_) => {
+                Ok(xf) => {
                     book.completed.insert(*m, *attempts);
+                    validator.note_decided(*m, &xf);
                     resumed += 1;
                 }
-                Err(e) => quarantine_member(&workdir, &journal, *m as usize, &e.to_string()),
+                Err(e) => {
+                    quarantine_member(
+                        &workdir,
+                        &journal,
+                        *m as usize,
+                        Reason::CorruptPayload.code(),
+                        &e.to_string(),
+                    );
+                    quarantined_members.insert(*m);
+                }
             }
         }
         for m in &state.failed {
@@ -665,15 +779,25 @@ fn main() {
             let (ok, _failed) = status.scan().expect("scan status");
             for member in ok {
                 match fileio::read_vector(workdir.join(files::fc(member))) {
-                    Ok(_) => {
+                    Ok(xf) => {
                         journal.append(&JournalRecord::MemberCompleted {
                             member: member as u64,
                             attempts: 1,
                         });
                         book.completed.insert(member as u64, 1);
+                        validator.note_decided(member as u64, &xf);
                         resumed += 1;
                     }
-                    Err(e) => quarantine_member(&workdir, &journal, member, &e.to_string()),
+                    Err(e) => {
+                        quarantine_member(
+                            &workdir,
+                            &journal,
+                            member,
+                            Reason::CorruptPayload.code(),
+                            &e.to_string(),
+                        );
+                        quarantined_members.insert(member as u64);
+                    }
                 }
             }
         }
@@ -820,29 +944,54 @@ fn main() {
                 seed: gen.forecast_seed(m as usize),
                 parent_span: 0,
             };
-            if r.code == 0 {
-                // Validate before the journal commit point: the
-                // MemberCompleted record asserts a checksum-clean
-                // forecast file exists, and the worker's recorded CRC
-                // must match what is on disk now.
-                let fc_ok = fileio::vector_file_crc(workdir.join(files::fc(m as usize)))
-                    .map_err(|e| e.to_string())
-                    .and_then(|crc| {
-                        if crc == r.fc_crc {
-                            Ok(())
-                        } else {
-                            Err(format!(
-                                "forecast CRC {crc:#010x} != result record {:#010x}",
-                                r.fc_crc
-                            ))
-                        }
-                    });
-                match fc_ok {
-                    Ok(()) => {
+            if r.code == 0 || r.code == CODE_REJECTED {
+                // The single ingestion gate, run before the journal
+                // commit point: structural checks (the worker's recorded
+                // CRC against the bytes on disk now) chain straight into
+                // the semantic validator, and a worker's own REJECTED
+                // self-check verdict folds into the same path — one
+                // gate, one journal record, one replacement schedule.
+                let gate: Result<Vec<f64>, (u32, String)> = if r.code == CODE_REJECTED {
+                    Err((
+                        r.reason,
+                        format!(
+                            "worker self-check rejection ({})",
+                            Reason::from_code(r.reason).describe()
+                        ),
+                    ))
+                } else {
+                    fileio::vector_file_crc(workdir.join(files::fc(m as usize)))
+                        .map_err(|e| e.to_string())
+                        .and_then(|crc| {
+                            if crc == r.fc_crc {
+                                Ok(())
+                            } else {
+                                Err(format!(
+                                    "forecast CRC {crc:#010x} != result record {:#010x}",
+                                    r.fc_crc
+                                ))
+                            }
+                        })
+                        .and_then(|()| {
+                            fileio::read_vector(workdir.join(files::fc(m as usize)))
+                                .map_err(|e| e.to_string())
+                        })
+                        .map_err(|why| (Reason::CorruptPayload.code(), why))
+                        .and_then(|xf| match validator.validate_member(m, &xf) {
+                            Verdict::Pass => Ok(xf),
+                            Verdict::Quarantine(reason) => Err((
+                                reason.code(),
+                                format!("failed semantic validation: {}", reason.describe()),
+                            )),
+                        })
+                };
+                match gate {
+                    Ok(xf) => {
                         let attempts = book.attempts.get(&m).copied().unwrap_or(0) + 1;
                         status.record(m as usize, ExitStatus::Success).expect("record");
                         journal.append(&JournalRecord::MemberCompleted { member: m, attempts });
                         book.completed.insert(m, attempts);
+                        validator.note_decided(m, &xf);
                         m_ingested.inc();
                         rec.instant_at(
                             rec.now_ns(),
@@ -877,37 +1026,86 @@ fn main() {
                             }
                         }
                     }
-                    Err(why) => {
-                        quarantine_member(&workdir, &journal, m as usize, &why);
-                        // Requeue at the next epoch so a laggard rewrite
-                        // of the forecast file cannot race the retry.
-                        let next = TaskSpec {
-                            epoch: current + 1,
-                            parent_span: span_for(m, current + 1),
-                            ..spec
-                        };
-                        // Journal the epoch before the seed (WAL order):
-                        // a crash between the two costs one unused
-                        // epoch, never an epoch a worker saw but the
-                        // journal did not.
-                        journal
-                            .append(&JournalRecord::EpochAdvanced { member: m, epoch: next.epoch });
-                        pool.seed(&next).expect("requeue quarantined member");
-                        epochs.insert(m, next.epoch);
-                        outstanding.insert(m);
-                        m_seeded.inc();
+                    Err((reason, why)) => {
+                        quarantine_member(&workdir, &journal, m as usize, reason, &why);
+                        quarantined_members.insert(m);
+                        m_quarantined.inc();
                         rec.instant_at(
                             rec.now_ns(),
                             Lane::Coordinator,
-                            "pool",
-                            "task_seeded",
+                            "fault",
+                            "member_quarantined",
                             vec![
                                 ("member", m.into()),
-                                ("epoch", (next.epoch as u64).into()),
-                                ("span", next.parent_span.into()),
-                                ("incarnation", incarnation.into()),
+                                ("epoch", (r.epoch as u64).into()),
+                                ("reason", (reason as u64).into()),
                             ],
                         );
+                        let requeues = book.requeues.get(&m).copied().unwrap_or(0) + 1;
+                        book.requeues.insert(m, requeues);
+                        if requeues > requeue_budget {
+                            // Replacements could not heal the member:
+                            // journal the permanent loss under its own
+                            // code so the degraded-health breakdown can
+                            // tell quarantine losses from lease losses.
+                            journal.append(&JournalRecord::MemberFailed {
+                                member: m,
+                                code: CODE_QUARANTINE_BUDGET,
+                            });
+                            book.failed.insert(m);
+                            quarantined_lost += 1;
+                            eprintln!(
+                                "esse_master: member {m} lost to quarantine \
+                                 after {requeues} replacement(s)"
+                            );
+                        } else {
+                            // Self-healing: requeue at the next fencing
+                            // epoch so the quarantined payload can never
+                            // race its replacement into the SVD. The
+                            // replacement reuses the member's canonical
+                            // seed — a healed run's posterior is
+                            // byte-identical to a corruption-free one.
+                            let next = TaskSpec {
+                                epoch: current + 1,
+                                parent_span: span_for(m, current + 1),
+                                ..spec
+                            };
+                            // Journal the epoch before the seed (WAL
+                            // order): a crash between the two costs one
+                            // unused epoch, never an epoch a worker saw
+                            // but the journal did not.
+                            journal.append(&JournalRecord::EpochAdvanced {
+                                member: m,
+                                epoch: next.epoch,
+                            });
+                            pool.seed(&next).expect("requeue quarantined member");
+                            epochs.insert(m, next.epoch);
+                            outstanding.insert(m);
+                            m_seeded.inc();
+                            rec.instant_at(
+                                rec.now_ns(),
+                                Lane::Coordinator,
+                                "pool",
+                                "replacement_scheduled",
+                                vec![
+                                    ("member", m.into()),
+                                    ("epoch", (next.epoch as u64).into()),
+                                    ("reason", (reason as u64).into()),
+                                ],
+                            );
+                            rec.instant_at(
+                                rec.now_ns(),
+                                Lane::Coordinator,
+                                "pool",
+                                "task_seeded",
+                                vec![
+                                    ("member", m.into()),
+                                    ("epoch", (next.epoch as u64).into()),
+                                    ("span", next.parent_span.into()),
+                                    ("incarnation", incarnation.into()),
+                                ],
+                            );
+                        }
                     }
                 }
                 pool.consume_result(r).expect("consume result");
@@ -1115,7 +1313,7 @@ fn main() {
                 let rho = similarity(prev, &estimate);
                 round_rho = rho;
                 println!("esse_master: N={cp} rho={rho:.4} (tol {tolerance:.3})");
-                if conv.check(rho) {
+                if finite_stat(rho).is_pass() && conv.check(rho) {
                     converged = true;
                     converged_members = Some(c);
                 }
@@ -1232,6 +1430,11 @@ fn main() {
         final_subspace.rank(),
         final_subspace.total_variance()
     );
+    // The quarantine ledger: a member counts as *replaced* (healed) once
+    // a later attempt of it completed; quarantined-and-lost members are
+    // the explicit degraded-health breakdown, distinct from lease losses.
+    let replaced = quarantined_members.iter().filter(|m| book.completed.contains_key(m)).count();
+    m_replaced.add(replaced as u64);
     println!(
         "esse_master: pool stats — leases granted {}, renewed {}, expired {}, \
          results fenced {}, tasks seeded {}, ingested {}, cancelled {}",
@@ -1242,6 +1445,12 @@ fn main() {
         m_seeded.get(),
         m_ingested.get(),
         cancelled_tasks
+    );
+    println!(
+        "esse_master: quarantine stats — quarantined {} member(s), replaced {}, lost {}",
+        quarantined_members.len(),
+        replaced,
+        quarantined_lost
     );
     // Point at the captured stdio of locally-spawned workers (also
     // picked up by `RunMonitor` reports via `worker_log_dir`).

@@ -44,6 +44,19 @@
 //! `M` and sleeps `D` ms before running it — long enough for the lease
 //! to expire, so the eventual publish exercises the fencing path.
 //!
+//! **Semantic self-check.** Before publishing a finished forecast the
+//! worker runs the same [`ForecastValidator`] the coordinator applies
+//! at ingest, built from the staged `mean.vec`/`prior.sub` (plus the
+//! central forecast when present). A member that fails the check never
+//! uploads its payload: the worker publishes a typed `REJECTED` result
+//! carrying the validator's reason code, and the coordinator schedules
+//! a replacement. `--corrupt-members RATE` injects seeded payload
+//! corruption (`FaultPlan::corruption_for`): NaN injection lands
+//! *before* the self-check (the worker must catch it), while blowup and
+//! block-shift corruption are written *after* it with a matching CRC —
+//! a worker lying about its own health — so only the coordinator's
+//! re-validation can stop them.
+//!
 //! **Distributed tracing.** When the coordinator runs with tracing
 //! enabled it stamps a nonzero `trace_run_id` into the pool manifest
 //! and a parent span id into every task record. The worker then records
@@ -67,15 +80,16 @@
 //! ```
 
 use esse::cli::{self, files};
+use esse::core::validate::{ForecastValidator, ValidatorConfig, Verdict};
 use esse::fileio;
-use esse::mtc::pool::{ResultRecord, TaskPool, TaskSpec};
+use esse::mtc::pool::{ResultRecord, TaskPool, TaskSpec, CODE_REJECTED};
 use esse::mtc::transport::{local_process_alive, ClaimOutcome, DiskTransport, PoolTransport};
 use esse::mtc::{FaultPlan, Heartbeat};
 use esse::net::{TcpConfig, TcpTransport};
 use esse_obs::event::Lane;
 use esse_obs::fleet::SpanBatch;
 use esse_obs::recorder::{Recorder, RecorderExt, NULL};
-use esse_obs::registry::MetricsRegistry;
+use esse_obs::registry::{Counter, MetricsRegistry};
 use esse_obs::ring::RingRecorder;
 use std::path::PathBuf;
 use std::process::{Child, Command};
@@ -87,7 +101,7 @@ const USAGE: &str = "esse_worker (--workdir DIR | --connect HOST:PORT [--scratch
                      [--worker-id N] [--poll-ms MS] [--idle-exit-ms MS] [--parent-pid PID] \
                      [--coordinator-grace-ms MS] [--reconnect-grace-ms MS] \
                      [--endpoint-file PATH] [--die-after K] [--stall-task M] [--stall-ms MS] \
-                     [--trace-capacity N] [--metrics-out PATH]";
+                     [--corrupt-members RATE] [--trace-capacity N] [--metrics-out PATH]";
 
 /// Result code a worker publishes when it could not even spawn the
 /// singleton chain (distinct from any real `pert`/`pemodel` exit code).
@@ -191,6 +205,13 @@ struct WorkerConfig {
     plan: FaultPlan,
     stall_task: Option<u64>,
     stall: Duration,
+    /// The semantic self-check gate; `None` when the scenario inputs
+    /// could not be staged (the coordinator's re-validation still
+    /// stands).
+    validator: Option<ForecastValidator>,
+    /// One 3-D field's packed length — the rotation unit for injected
+    /// block-shift corruption.
+    corrupt_block: usize,
 }
 
 /// Run one claimed task end to end. Returns `true` if a result was
@@ -203,6 +224,7 @@ fn run_task(
     stalled: bool,
     rec: &dyn Recorder,
     lane: Lane,
+    rejected: &Counter,
 ) -> bool {
     let manifest = transport.manifest().clone();
     let member = spec.member as usize;
@@ -221,13 +243,14 @@ fn run_task(
         Some(start_heartbeat(Arc::clone(transport), spec, interval, fenced.clone()))
     };
 
-    let publish = |code: i32, fc_crc: u32| {
+    let publish = |code: i32, fc_crc: u32, reason: u32| {
         let record = ResultRecord {
             member: spec.member,
             epoch: spec.epoch,
             code,
             pid: std::process::id(),
             fc_crc,
+            reason,
         };
         // A remote transport ships the forecast bytes alongside the
         // record; on disk they are already in the shared workdir.
@@ -297,33 +320,108 @@ fn run_task(
                 .arg(spec.seed.to_string());
             match run_child("pemodel", &mut pemodel) {
                 Ok(Some(0)) => {
+                    let fc_path = cfg.workdir.join(files::fc(member));
+                    // Chaos injection: rewrite the forecast in place,
+                    // deterministically for (seed, member, epoch). A
+                    // NaN plant lands before the self-check; blowup and
+                    // block shift land after it, so the published CRC
+                    // matches the corrupted bytes and only the
+                    // coordinator's re-validation can catch them.
+                    let corruption = cfg.plan.corruption_for(member, spec.epoch);
+                    let inject = |kind: &esse::mtc::CorruptionKind| {
+                        let res = fileio::read_vector(&fc_path).and_then(|mut xf| {
+                            kind.apply(
+                                cfg.plan.seed,
+                                spec.member,
+                                cfg.corrupt_block.max(1),
+                                &mut xf,
+                            );
+                            fileio::write_vector(&fc_path, &xf)
+                        });
+                        match res {
+                            Ok(()) => eprintln!(
+                                "esse_worker[{}]: injected {kind:?} corruption into member {member}",
+                                cfg.worker_id
+                            ),
+                            Err(e) => eprintln!(
+                                "esse_worker[{}]: corruption injection failed for member {member}: {e}",
+                                cfg.worker_id
+                            ),
+                        }
+                    };
+                    if let Some(kind) = corruption.filter(|k| !k.bypasses_self_check()) {
+                        inject(&kind);
+                    }
                     // The forecast file is durable (pemodel publishes
-                    // atomically); validate it and commit with its CRC
-                    // fingerprint.
-                    match fileio::vector_file_crc(cfg.workdir.join(files::fc(member))) {
-                        Ok(crc) => published = publish(0, crc),
+                    // atomically). Self-check it semantically before any
+                    // bytes move: a failing member publishes a typed
+                    // REJECTED result with the validator's reason code
+                    // instead of uploading garbage.
+                    match fileio::read_vector(&fc_path) {
+                        Ok(xf) => {
+                            let verdict =
+                                cfg.validator.as_ref().map_or(Verdict::Pass, |v| v.validate(&xf));
+                            match verdict {
+                                Verdict::Pass => {
+                                    if let Some(kind) =
+                                        corruption.filter(|k| k.bypasses_self_check())
+                                    {
+                                        inject(&kind);
+                                    }
+                                    match fileio::vector_file_crc(&fc_path) {
+                                        Ok(crc) => published = publish(0, crc, 0),
+                                        Err(e) => {
+                                            eprintln!(
+                                                "esse_worker[{}]: member {member} forecast invalid: {e}",
+                                                cfg.worker_id
+                                            );
+                                            published = publish(CODE_CORRUPT_FORECAST, 0, 0);
+                                        }
+                                    }
+                                }
+                                Verdict::Quarantine(reason) => {
+                                    eprintln!(
+                                        "esse_worker[{}]: member {member} failed self-check ({}), publishing REJECTED",
+                                        cfg.worker_id,
+                                        reason.describe()
+                                    );
+                                    rec.instant_at(
+                                        rec.now_ns(),
+                                        lane,
+                                        "fault",
+                                        "self_reject",
+                                        vec![
+                                            ("member", spec.member.into()),
+                                            ("reason", (reason.code() as u64).into()),
+                                        ],
+                                    );
+                                    rejected.inc();
+                                    published = publish(CODE_REJECTED, 0, reason.code());
+                                }
+                            }
+                        }
                         Err(e) => {
                             eprintln!(
                                 "esse_worker[{}]: member {member} forecast invalid: {e}",
                                 cfg.worker_id
                             );
-                            published = publish(CODE_CORRUPT_FORECAST, 0);
+                            published = publish(CODE_CORRUPT_FORECAST, 0, 0);
                         }
                     }
                 }
-                Ok(Some(code)) => published = publish(code, 0),
+                Ok(Some(code)) => published = publish(code, 0, 0),
                 Ok(None) => {} // cancelled or fenced mid-run
                 Err(e) => {
                     eprintln!("esse_worker[{}]: {e}", cfg.worker_id);
-                    published = publish(CODE_SPAWN_FAILED, 0);
+                    published = publish(CODE_SPAWN_FAILED, 0, 0);
                 }
             }
         }
-        Ok(Some(code)) => published = publish(code, 0),
+        Ok(Some(code)) => published = publish(code, 0, 0),
         Ok(None) => {} // cancelled or fenced mid-run
         Err(e) => {
             eprintln!("esse_worker[{}]: {e}", cfg.worker_id);
-            published = publish(CODE_SPAWN_FAILED, 0);
+            published = publish(CODE_SPAWN_FAILED, 0, 0);
         }
     }
 
@@ -413,7 +511,7 @@ fn main() {
     } else {
         PathBuf::from(cli::require(&args, "workdir", USAGE))
     };
-    let cfg = WorkerConfig {
+    let mut cfg = WorkerConfig {
         worker_id,
         poll: Duration::from_millis(cli::get_or(&args, "poll-ms", 25u64).max(1)),
         idle_exit: args.get("idle-exit-ms").and_then(|v| v.parse().ok()).map(Duration::from_millis),
@@ -422,11 +520,16 @@ fn main() {
             if let Some(k) = args.get("die-after").and_then(|v| v.parse().ok()) {
                 plan = plan.with_worker_death(worker_id as usize, k);
             }
+            if let Some(rate) = args.get("corrupt-members").and_then(|v| v.parse().ok()) {
+                plan = plan.with_corruption(rate);
+            }
             plan
         },
         stall_task: args.get("stall-task").and_then(|v| v.parse().ok()),
         stall: Duration::from_millis(cli::get_or(&args, "stall-ms", 0u64)),
         workdir,
+        validator: None,
+        corrupt_block: 0,
     };
     let parent_pid: Option<u32> = args.get("parent-pid").and_then(|v| v.parse().ok());
     let wait_pool = Duration::from_millis(cli::get_or(&args, "wait-pool-ms", 30_000u64));
@@ -455,6 +558,7 @@ fn main() {
     let metrics = MetricsRegistry::new();
     let m_claimed = metrics.counter("esse_worker_tasks_claimed_total");
     let m_published = metrics.counter("esse_worker_tasks_published_total");
+    let m_rejected = metrics.counter("esse_worker_results_rejected_total");
     let m_batches = metrics.counter("esse_worker_trace_batches_shipped_total");
     let m_ship_failed = metrics.counter("esse_worker_trace_ship_failures_total");
     let g_dropped = metrics.gauge("esse_worker_trace_dropped_events");
@@ -474,6 +578,47 @@ fn main() {
             transport.describe(),
             cfg.workdir.display()
         );
+    }
+
+    // --- Semantic self-check: build the same validator the coordinator
+    // runs at ingest, from the staged scenario inputs. Both transports
+    // provide `mean.vec`/`prior.sub`; the central forecast joins the
+    // bounds envelope only when present (the shared disk pool has it, a
+    // TCP scratch dir does not — the envelopes stay compatible because
+    // the central forecast only ever *widens* them). A missing input
+    // degrades to "no self-check" rather than a dead worker; the
+    // coordinator's gate still stands. ---
+    match cli::build_model(&transport.manifest().domain) {
+        Ok((model, _)) => {
+            let mean = fileio::read_vector(cfg.workdir.join(files::MEAN));
+            let prior = fileio::read_subspace(cfg.workdir.join(files::PRIOR));
+            match (mean, prior) {
+                (Ok(mean), Ok(prior)) => {
+                    let central = fileio::read_vector(cfg.workdir.join(files::CENTRAL)).ok();
+                    let mut baselines: Vec<&[f64]> = vec![&mean];
+                    if let Some(c) = central.as_deref() {
+                        baselines.push(c);
+                    }
+                    cfg.validator = Some(ForecastValidator::for_scenario(
+                        &model.grid,
+                        &baselines,
+                        &prior,
+                        ValidatorConfig::default(),
+                    ));
+                    cfg.corrupt_block = model.grid.cells3();
+                }
+                (mean, prior) => {
+                    let why = mean.err().or(prior.err()).map(|e| e.to_string());
+                    eprintln!(
+                        "esse_worker[{worker_id}]: self-check disabled, scenario inputs unreadable: {}",
+                        why.as_deref().unwrap_or("unknown")
+                    );
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("esse_worker[{worker_id}]: self-check disabled, bad domain spec: {e}");
+        }
     }
     rec.instant_at(
         rec.now_ns(),
@@ -577,7 +722,7 @@ fn main() {
             std::process::abort();
         }
         let stalled = stalled_once == Some(spec.member);
-        if run_task(&cfg, &transport, spec, stalled, rec, lane) {
+        if run_task(&cfg, &transport, spec, stalled, rec, lane, &m_rejected) {
             tasks_published += 1;
             m_published.inc();
         }

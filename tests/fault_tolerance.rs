@@ -109,7 +109,7 @@ fn faults_yield_full_coverage_or_explicit_degraded_never_silent() {
                     out.members_failed
                 );
             }
-            RunHealth::Degraded { coverage, lost_members } => {
+            RunHealth::Degraded { coverage, lost_members, .. } => {
                 assert!(lost_members > 0, "case {case}: Degraded with zero losses");
                 assert!(
                     (0.0..1.0).contains(&coverage),

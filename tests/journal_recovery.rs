@@ -34,7 +34,7 @@ fn sample_records() -> Vec<JournalRecord> {
         JournalRecord::MemberCompleted { member: 0, attempts: 1 },
         JournalRecord::MemberFailed { member: 3, code: -9 },
         JournalRecord::SvdPublished { members: 4, version: 1, rho: 0.5 },
-        JournalRecord::MemberQuarantined { member: 2 },
+        JournalRecord::MemberQuarantined { member: 2, reason: 0 },
         JournalRecord::MemberCompleted { member: 2, attempts: 2 },
         JournalRecord::SvdPublished { members: 6, version: 2, rho: 0.97 },
         JournalRecord::Converged { members: 6, rho: 0.97 },
@@ -255,7 +255,10 @@ fn corrupt_member_blob_is_quarantined_never_ingested() {
     );
     // The quarantine is itself journaled, and the folded state agrees.
     let records = Journal::replay(dir.join(Checkpoint::JOURNAL)).unwrap().records;
-    assert!(records.contains(&JournalRecord::MemberQuarantined { member: 0 }));
+    assert!(records.contains(&JournalRecord::MemberQuarantined {
+        member: 0,
+        reason: esse::core::validate::Reason::CorruptPayload.code(),
+    }));
     assert_eq!(resume.state.completed, vec![(1, 1)]);
     assert_eq!(resume.state.quarantined, vec![0]);
 }
